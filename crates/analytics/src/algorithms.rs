@@ -1,0 +1,366 @@
+//! The six distributed graph analytics used in the paper's end-to-end study (Fig. 8).
+//!
+//! All of them follow the same bulk-synchronous pattern as the partitioner itself: each
+//! rank updates its owned vertices, then refreshes ghost values from their owners before
+//! the next superstep. Their communication volume is therefore proportional to the number
+//! of cut edges of the distribution the graph was built with — which is exactly why the
+//! partitioning strategy matters for their end-to-end time.
+
+use xtrapulp_comm::RankCtx;
+use xtrapulp_graph::bfs::dist_bfs;
+use xtrapulp_graph::{DistGraph, GlobalId, LocalId};
+
+/// Distributed PageRank (`PR` in Fig. 8) with uniform teleport; returns the PageRank of
+/// every owned vertex.
+pub fn pagerank(ctx: &RankCtx, graph: &DistGraph, iterations: usize, damping: f64) -> Vec<f64> {
+    let n_owned = graph.n_owned();
+    let n = graph.global_n() as f64;
+    let mut rank_owned = vec![1.0 / n; n_owned];
+    for _ in 0..iterations {
+        // Contribution of each owned vertex: rank / degree.
+        let contrib: Vec<f64> = (0..n_owned)
+            .map(|v| {
+                let d = graph.degree_owned(v as LocalId);
+                if d == 0 {
+                    0.0
+                } else {
+                    rank_owned[v] / d as f64
+                }
+            })
+            .collect();
+        let ghost_contrib = graph.ghost_values_f64(ctx, &contrib);
+        let mut next = vec![(1.0 - damping) / n; n_owned];
+        for v in 0..n_owned {
+            let mut sum = 0.0;
+            for &u in graph.neighbors(v as LocalId) {
+                let u = u as usize;
+                sum += if u < n_owned {
+                    contrib[u]
+                } else {
+                    ghost_contrib[u - n_owned]
+                };
+            }
+            next[v] += damping * sum;
+        }
+        rank_owned = next;
+    }
+    rank_owned
+}
+
+/// Distributed weakly connected components (`WCC`): iterative min-label propagation.
+/// Returns the component id (smallest global vertex id in the component) of every owned
+/// vertex.
+pub fn wcc(ctx: &RankCtx, graph: &DistGraph) -> Vec<u64> {
+    let n_owned = graph.n_owned();
+    let mut label: Vec<u64> = (0..n_owned)
+        .map(|v| graph.global_id(v as LocalId))
+        .collect();
+    loop {
+        let ghost_labels = graph.ghost_values_u64(ctx, &label);
+        let mut changed = 0u64;
+        for v in 0..n_owned {
+            let mut best = label[v];
+            for &u in graph.neighbors(v as LocalId) {
+                let u = u as usize;
+                let lu = if u < n_owned {
+                    label[u]
+                } else {
+                    ghost_labels[u - n_owned]
+                };
+                if lu < best {
+                    best = lu;
+                }
+            }
+            if best < label[v] {
+                label[v] = best;
+                changed += 1;
+            }
+        }
+        if ctx.allreduce_scalar_sum_u64(changed) == 0 {
+            break;
+        }
+    }
+    label
+}
+
+/// "Strongly" connected component extraction (`SCC`): the paper treats all edges as
+/// undirected, so the largest strongly connected component coincides with the largest
+/// weakly connected one; this routine extracts it (returns whether each owned vertex
+/// belongs to the largest component, plus its global size).
+pub fn largest_component(ctx: &RankCtx, graph: &DistGraph) -> (Vec<bool>, u64) {
+    let labels = wcc(ctx, graph);
+    // Count label frequencies globally. Labels are global vertex ids; count locally into a
+    // map, then reduce the top candidate by (count, label).
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    // Find the globally most frequent label: allgather the local top candidates and their
+    // counts, then locally combine (candidate sets are tiny).
+    let local_pairs: Vec<(u64, u64)> = counts.iter().map(|(&l, &c)| (l, c)).collect();
+    let all_pairs = ctx.allgatherv(local_pairs);
+    let mut combined: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for (l, c) in all_pairs {
+        *combined.entry(l).or_insert(0) += c;
+    }
+    let (&best_label, &best_size) = combined
+        .iter()
+        .max_by_key(|(&l, &c)| (c, std::cmp::Reverse(l)))
+        .unwrap_or((&0, &0));
+    let membership = labels.iter().map(|&l| l == best_label).collect();
+    (membership, best_size)
+}
+
+/// Distributed approximate k-core decomposition (`KC`): iterative peeling where each
+/// round removes every vertex whose residual degree is below the current core value.
+/// Returns an approximate coreness per owned vertex.
+pub fn kcore_approx(ctx: &RankCtx, graph: &DistGraph, max_rounds: usize) -> Vec<u64> {
+    let n_owned = graph.n_owned();
+    let mut coreness: Vec<u64> = (0..n_owned)
+        .map(|v| graph.degree_owned(v as LocalId))
+        .collect();
+    for _ in 0..max_rounds {
+        let ghost_core = graph.ghost_values_u64(ctx, &coreness);
+        let mut changed = 0u64;
+        for v in 0..n_owned {
+            // h-index style update: the largest h such that at least h neighbours have
+            // coreness >= h. Converges to the true coreness.
+            let mut neigh: Vec<u64> = graph
+                .neighbors(v as LocalId)
+                .iter()
+                .map(|&u| {
+                    let u = u as usize;
+                    if u < n_owned {
+                        coreness[u]
+                    } else {
+                        ghost_core[u - n_owned]
+                    }
+                })
+                .collect();
+            neigh.sort_unstable_by(|a, b| b.cmp(a));
+            let mut h = 0u64;
+            for (i, &c) in neigh.iter().enumerate() {
+                if c >= (i as u64 + 1) {
+                    h = i as u64 + 1;
+                } else {
+                    break;
+                }
+            }
+            if h < coreness[v] {
+                coreness[v] = h;
+                changed += 1;
+            }
+        }
+        if ctx.allreduce_scalar_sum_u64(changed) == 0 {
+            break;
+        }
+    }
+    coreness
+}
+
+/// Distributed label-propagation community detection (`LP`): each vertex adopts the most
+/// frequent label among its neighbours for a fixed number of sweeps.
+pub fn label_propagation(ctx: &RankCtx, graph: &DistGraph, sweeps: usize) -> Vec<u64> {
+    let n_owned = graph.n_owned();
+    let mut label: Vec<u64> = (0..n_owned)
+        .map(|v| graph.global_id(v as LocalId))
+        .collect();
+    let mut counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for _ in 0..sweeps {
+        let ghost_labels = graph.ghost_values_u64(ctx, &label);
+        let mut changed = 0u64;
+        for v in 0..n_owned {
+            counts.clear();
+            for &u in graph.neighbors(v as LocalId) {
+                let u = u as usize;
+                let lu = if u < n_owned {
+                    label[u]
+                } else {
+                    ghost_labels[u - n_owned]
+                };
+                *counts.entry(lu).or_insert(0) += 1;
+            }
+            if let Some((&best, _)) = counts.iter().max_by_key(|(_, &c)| c) {
+                if best != label[v] {
+                    label[v] = best;
+                    changed += 1;
+                }
+            }
+        }
+        if ctx.allreduce_scalar_sum_u64(changed) == 0 {
+            break;
+        }
+    }
+    label
+}
+
+/// Distributed harmonic centrality (`HC`) of `sources.len()` sampled vertices: for each
+/// source, a BFS provides distances and the harmonic sum `Σ 1/d` is accumulated.
+/// Returns one centrality value per source, identical on every rank.
+pub fn harmonic_centrality(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    sources: &[GlobalId],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let bfs = dist_bfs(ctx, graph, s);
+        let local_sum: f64 = bfs
+            .levels
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1.0 / l as f64)
+            .sum();
+        let total = ctx.allreduce_sum_f64(&[local_sum])[0];
+        out.push(total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_comm::Runtime;
+    use xtrapulp_graph::{csr_from_edges, Distribution};
+
+    /// Two triangles joined by a bridge, plus an isolated pair.
+    fn test_edges() -> (u64, Vec<(u64, u64)>) {
+        (
+            8,
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (6, 7)],
+        )
+    }
+
+    fn gather_owned_u64(
+        out: Vec<Vec<(u64, u64)>>,
+        n: usize,
+    ) -> Vec<u64> {
+        let mut global = vec![0u64; n];
+        for pairs in out {
+            for (g, v) in pairs {
+                global[g as usize] = v;
+            }
+        }
+        global
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_matches_serial_structure() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, n, &edges);
+            let pr = pagerank(ctx, &g, 30, 0.85);
+            let local_sum: f64 = pr.iter().sum();
+            ctx.allreduce_sum_f64(&[local_sum])[0]
+        });
+        for total in out {
+            // Dangling (isolated) vertices leak a little mass; the total stays below 1 and
+            // above the teleport floor.
+            assert!(total > 0.5 && total <= 1.0 + 1e-9, "total {total}");
+        }
+    }
+
+    #[test]
+    fn pagerank_is_consistent_across_rank_counts() {
+        let (n, edges) = test_edges();
+        let reference = Runtime::run(1, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            pagerank(ctx, &g, 20, 0.85)
+        })
+        .pop()
+        .unwrap();
+        let out = Runtime::run(4, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let pr = pagerank(ctx, &g, 20, 0.85);
+            (0..g.n_owned())
+                .map(|v| (g.global_id(v as LocalId), pr[v]))
+                .collect::<Vec<_>>()
+        });
+        let mut combined = vec![0.0; n as usize];
+        for pairs in out {
+            for (g, v) in pairs {
+                combined[g as usize] = v;
+            }
+        }
+        for (a, b) in reference.iter().zip(combined.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wcc_finds_three_components() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let labels = wcc(ctx, &g);
+            (0..g.n_owned())
+                .map(|v| (g.global_id(v as LocalId), labels[v]))
+                .collect::<Vec<_>>()
+        });
+        let labels = gather_owned_u64(out, n as usize);
+        // Component of the two joined triangles is labelled 0; the isolated pair 6.
+        assert_eq!(&labels[..6], &[0, 0, 0, 0, 0, 0]);
+        assert_eq!(&labels[6..], &[6, 6]);
+    }
+
+    #[test]
+    fn largest_component_is_the_joined_triangles() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, n, &edges);
+            largest_component(ctx, &g).1
+        });
+        assert!(out.iter().all(|&s| s == 6));
+    }
+
+    #[test]
+    fn kcore_of_triangles_is_two() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let core = kcore_approx(ctx, &g, 20);
+            (0..g.n_owned())
+                .map(|v| (g.global_id(v as LocalId), core[v]))
+                .collect::<Vec<_>>()
+        });
+        let core = gather_owned_u64(out, n as usize);
+        // Triangle vertices have coreness 2; the isolated edge has coreness 1.
+        assert_eq!(core[0], 2);
+        assert_eq!(core[4], 2);
+        assert_eq!(core[6], 1);
+        assert_eq!(core[7], 1);
+    }
+
+    #[test]
+    fn label_propagation_groups_triangles() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let labels = label_propagation(ctx, &g, 10);
+            (0..g.n_owned())
+                .map(|v| (g.global_id(v as LocalId), labels[v]))
+                .collect::<Vec<_>>()
+        });
+        let labels = gather_owned_u64(out, n as usize);
+        // Vertices within one triangle should share a label.
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[6], labels[7]);
+    }
+
+    #[test]
+    fn harmonic_centrality_matches_hand_computation() {
+        // Path 0-1-2: HC(1) = 1/1 + 1/1 = 2, HC(0) = 1/1 + 1/2 = 1.5.
+        let edges = vec![(0u64, 1u64), (1, 2)];
+        let csr = csr_from_edges(3, &edges);
+        assert_eq!(csr.num_edges(), 2);
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 3, &edges);
+            harmonic_centrality(ctx, &g, &[0, 1])
+        });
+        for hc in out {
+            assert!((hc[0] - 1.5).abs() < 1e-12);
+            assert!((hc[1] - 2.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # xtrapulp-analytics
+//!
+//! Distributed graph analytics used to evaluate partitions end-to-end, reproducing the
+//! Fig. 8 study of the paper: Harmonic Centrality (HC), approximate K-Core decomposition
+//! (KC), Label-Propagation community detection (LP), PageRank (PR), largest
+//! strongly-connected-component extraction (SCC, equal to the weakly connected one since
+//! all edges are treated as undirected) and Weakly Connected Components (WCC).
+//!
+//! Each analytic runs over a [`xtrapulp_graph::DistGraph`] whose vertex ownership can be
+//! any [`xtrapulp_graph::Distribution`] — in particular, an
+//! [`Explicit`](xtrapulp_graph::Distribution::Explicit) distribution built from a
+//! partition computed by XtraPuLP or one of the baselines, which is how the Fig. 8
+//! comparison of EdgeBlock / Random / VertexBlock / XtraPuLP placements is reproduced.
+
+pub mod algorithms;
+pub mod suite;
+
+pub use algorithms::{
+    harmonic_centrality, kcore_approx, label_propagation, largest_component, pagerank, wcc,
+};
+pub use suite::{run_suite, run_suite_with_partition, AnalyticResult, SuiteResult};

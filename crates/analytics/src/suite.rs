@@ -1,0 +1,198 @@
+//! The Fig. 8 end-to-end analytics harness: run the six analytics on a graph distributed
+//! according to a chosen partitioning strategy and record per-analytic wall-clock time
+//! and communication volume.
+
+use xtrapulp_comm::{RankCtx, Runtime, Timer};
+use xtrapulp_graph::{DistGraph, Distribution, GlobalId};
+
+use crate::algorithms::{
+    harmonic_centrality, kcore_approx, label_propagation, largest_component, pagerank, wcc,
+};
+
+/// Timing (and traffic) of one analytic under one partitioning strategy.
+#[derive(Debug, Clone)]
+pub struct AnalyticResult {
+    /// Analytic name (HC, KC, LP, PR, SCC, WCC).
+    pub name: &'static str,
+    /// Wall-clock seconds (maximum over ranks).
+    pub seconds: f64,
+    /// Total bytes exchanged across all ranks while the analytic ran.
+    pub comm_bytes: u64,
+}
+
+/// Results of running the whole suite under one strategy.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Strategy name (EdgeBlock, Random, VertBlock, XtraPuLP, ...).
+    pub strategy: String,
+    /// Seconds spent computing the partition itself (zero for the naive strategies).
+    pub partition_seconds: f64,
+    /// Per-analytic results, in a fixed order.
+    pub analytics: Vec<AnalyticResult>,
+}
+
+impl SuiteResult {
+    /// End-to-end time: partitioning plus every analytic.
+    pub fn total_seconds(&self) -> f64 {
+        self.partition_seconds + self.analytics.iter().map(|a| a.seconds).sum::<f64>()
+    }
+}
+
+/// Run the six analytics of Fig. 8 on the given distributed graph. `hc_sources` bounds
+/// the number of harmonic-centrality BFS sources (the paper uses 100 on WDC12; scale to
+/// the graph at hand).
+pub fn run_suite(ctx: &RankCtx, graph: &DistGraph, hc_sources: usize) -> Vec<AnalyticResult> {
+    let mut results = Vec::new();
+    let mut record = |ctx: &RankCtx, name: &'static str, seconds: f64, bytes_before: u64| {
+        let bytes_now = ctx.stats().bytes_sent();
+        let local = [seconds];
+        let max_secs = ctx.allreduce_max_f64(&local)[0];
+        let total_bytes = ctx.allreduce_scalar_sum_u64(bytes_now - bytes_before);
+        results.push(AnalyticResult {
+            name,
+            seconds: max_secs,
+            comm_bytes: total_bytes,
+        });
+    };
+
+    // HC: harmonic centrality of a sample of sources (paper: 100 vertices).
+    let sources: Vec<GlobalId> = (0..hc_sources as u64)
+        .map(|i| (i * 977) % graph.global_n().max(1))
+        .collect();
+    let before = ctx.stats().bytes_sent();
+    let t = Timer::start();
+    let _ = harmonic_centrality(ctx, graph, &sources);
+    record(ctx, "HC", t.elapsed_secs(), before);
+
+    // KC: approximate k-core decomposition.
+    let before = ctx.stats().bytes_sent();
+    let t = Timer::start();
+    let _ = kcore_approx(ctx, graph, 30);
+    record(ctx, "KC", t.elapsed_secs(), before);
+
+    // LP: label-propagation community detection.
+    let before = ctx.stats().bytes_sent();
+    let t = Timer::start();
+    let _ = label_propagation(ctx, graph, 10);
+    record(ctx, "LP", t.elapsed_secs(), before);
+
+    // PR: PageRank.
+    let before = ctx.stats().bytes_sent();
+    let t = Timer::start();
+    let _ = pagerank(ctx, graph, 20, 0.85);
+    record(ctx, "PR", t.elapsed_secs(), before);
+
+    // SCC: largest (strongly = weakly, undirected) connected component extraction.
+    let before = ctx.stats().bytes_sent();
+    let t = Timer::start();
+    let _ = largest_component(ctx, graph);
+    record(ctx, "SCC", t.elapsed_secs(), before);
+
+    // WCC: weakly connected components.
+    let before = ctx.stats().bytes_sent();
+    let t = Timer::start();
+    let _ = wcc(ctx, graph);
+    record(ctx, "WCC", t.elapsed_secs(), before);
+
+    results
+}
+
+/// Build the graph with ownership given by `parts` (one rank per part) and run the suite.
+/// `parts` must map every global vertex to a rank in `0..nranks`.
+pub fn run_suite_with_partition(
+    nranks: usize,
+    global_n: u64,
+    edges: &[(GlobalId, GlobalId)],
+    parts: &[i32],
+    strategy: &str,
+    partition_seconds: f64,
+    hc_sources: usize,
+) -> SuiteResult {
+    let dist = Distribution::from_parts(parts);
+    let per_rank = Runtime::run(nranks, |ctx| {
+        let graph = DistGraph::from_shared_edges(ctx, dist.clone(), global_n, edges);
+        run_suite(ctx, &graph, hc_sources)
+    });
+    // All ranks report identical (allreduced) numbers; take rank 0's.
+    SuiteResult {
+        strategy: strategy.to_string(),
+        partition_seconds,
+        analytics: per_rank.into_iter().next().unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp::{baselines, PartitionParams, Partitioner, XtraPulpPartitioner};
+    use xtrapulp_gen::{GraphConfig, GraphKind};
+
+    #[test]
+    fn suite_runs_under_all_fig8_strategies() {
+        let el = GraphConfig::new(
+            GraphKind::WebCrawl {
+                num_vertices: 1 << 10,
+                avg_degree: 8,
+                community_size: 64,
+            },
+            3,
+        )
+        .generate();
+        let csr = el.to_csr();
+        let nranks = 4;
+        let n = el.num_vertices;
+
+        let vert_block = baselines::vertex_block_partition(n, nranks);
+        let edge_block = baselines::edge_block_partition(&csr, nranks);
+        let random = baselines::random_partition(n, nranks, 7);
+        let params = PartitionParams {
+            num_parts: nranks,
+            seed: 5,
+            ..Default::default()
+        };
+        let xtrapulp = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
+
+        let mut totals = Vec::new();
+        for (name, parts) in [
+            ("EdgeBlock", &edge_block),
+            ("Random", &random),
+            ("VertBlock", &vert_block),
+            ("XtraPuLP", &xtrapulp),
+        ] {
+            let result =
+                run_suite_with_partition(nranks, n, &el.edges, parts, name, 0.0, 4);
+            assert_eq!(result.analytics.len(), 6);
+            assert!(result.analytics.iter().all(|a| a.seconds >= 0.0));
+            totals.push((name, result));
+        }
+        // The XtraPuLP distribution should move fewer bytes than the random one for the
+        // communication-bound analytics (PR + LP + WCC combined).
+        let comm = |r: &SuiteResult| -> u64 {
+            r.analytics
+                .iter()
+                .filter(|a| ["PR", "LP", "WCC"].contains(&a.name))
+                .map(|a| a.comm_bytes)
+                .sum()
+        };
+        let random_comm = comm(&totals[1].1);
+        let xtrapulp_comm = comm(&totals[3].1);
+        assert!(
+            xtrapulp_comm < random_comm,
+            "XtraPuLP distribution should cut communication: {xtrapulp_comm} vs {random_comm}"
+        );
+    }
+
+    #[test]
+    fn suite_result_totals_include_partitioning_time() {
+        let r = SuiteResult {
+            strategy: "X".into(),
+            partition_seconds: 1.5,
+            analytics: vec![AnalyticResult {
+                name: "PR",
+                seconds: 2.0,
+                comm_bytes: 10,
+            }],
+        };
+        assert!((r.total_seconds() - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion benchmark backing Fig. 8: PageRank over a distributed graph under a random
+//! placement vs an XtraPuLP placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xtrapulp::{baselines, PartitionParams, Partitioner, XtraPulpPartitioner};
+use xtrapulp_analytics::pagerank;
+use xtrapulp_comm::Runtime;
+use xtrapulp_gen::{GraphConfig, GraphKind};
+use xtrapulp_graph::{DistGraph, Distribution};
+
+fn bench_analytics(c: &mut Criterion) {
+    let el = GraphConfig::new(
+        GraphKind::WebCrawl { num_vertices: 1 << 13, avg_degree: 16, community_size: 256 },
+        9,
+    )
+    .generate();
+    let csr = el.to_csr();
+    let n = el.num_vertices;
+    let nranks = 4;
+    let random = baselines::random_partition(n, nranks, 3);
+    let params = PartitionParams { num_parts: nranks, seed: 3, ..Default::default() };
+    let xtrapulp = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
+
+    let mut group = c.benchmark_group("pagerank_crawl13_4ranks");
+    group.sample_size(10);
+    for (name, parts) in [("random_placement", &random), ("xtrapulp_placement", &xtrapulp)] {
+        let dist = Distribution::from_parts(parts);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Runtime::run(nranks, |ctx| {
+                    let g = DistGraph::from_shared_edges(ctx, dist.clone(), n, &el.edges);
+                    pagerank(ctx, &g, 10, 0.85)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark backing Figs. 1-3: XtraPuLP wall time at increasing rank counts on
+//! a fixed graph (strong scaling shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xtrapulp::{PartitionParams, Partitioner, XtraPulpPartitioner};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+
+fn bench_strong_scaling(c: &mut Criterion) {
+    let csr = GraphConfig::new(
+        GraphKind::WebCrawl { num_vertices: 1 << 14, avg_degree: 16, community_size: 256 },
+        5,
+    )
+    .generate()
+    .to_csr();
+    let params = PartitionParams { num_parts: 32, seed: 3, ..Default::default() };
+    let mut group = c.benchmark_group("strong_scaling_crawl14_32parts");
+    group.sample_size(10);
+    for nranks in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nranks), &nranks, |b, &nranks| {
+            b.iter(|| XtraPulpPartitioner::new(nranks).partition(&csr, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_scaling);
+criterion_main!(benches);

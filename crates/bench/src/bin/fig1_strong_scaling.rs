@@ -1,0 +1,46 @@
+//! Fig. 1: strong scaling — partitioning time for fixed-size WDC12/RMAT/RandER/RandHD
+//! proxies into 256 parts while the rank count grows.
+
+use xtrapulp::{xtrapulp_partition, PartitionParams};
+use xtrapulp_bench::{fmt, print_table, scaled};
+use xtrapulp_comm::{Runtime, Timer};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+use xtrapulp_graph::{DistGraph, Distribution};
+
+fn main() {
+    let n = scaled(1 << 15);
+    let graphs = vec![
+        ("WDC12", GraphKind::WebCrawl { num_vertices: n, avg_degree: 16, community_size: 512 }),
+        ("RMAT", GraphKind::Rmat { scale: (n as f64).log2() as u32, edge_factor: 16 }),
+        ("RandER", GraphKind::ErdosRenyi { num_vertices: n, avg_degree: 16 }),
+        ("RandHD", GraphKind::RandHd { num_vertices: n, avg_degree: 16 }),
+    ];
+    let rank_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for (name, kind) in graphs {
+        let el = GraphConfig::new(kind, 42).generate();
+        let edges = el.edges.clone();
+        let mut row = vec![name.to_string()];
+        let mut base = 0.0;
+        for &nranks in &rank_counts {
+            let secs = Runtime::run(nranks, |ctx| {
+                let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &edges);
+                let params = PartitionParams { num_parts: 256, seed: 7, ..Default::default() };
+                let t = Timer::start();
+                let _ = xtrapulp_partition(ctx, &g, &params);
+                ctx.allreduce_max_f64(&[t.elapsed_secs()])[0]
+            })[0];
+            if nranks == rank_counts[0] {
+                base = secs;
+            }
+            row.push(fmt(secs));
+        }
+        row.push(fmt(base / row.last().unwrap().parse::<f64>().unwrap()));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 1 — strong scaling: XtraPuLP time (s) computing 256 parts",
+        &["graph", "1 rank", "2 ranks", "4 ranks", "8 ranks", "speedup 1->8"],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 2: weak scaling — RMAT/RandER/RandHD graphs with a fixed number of vertices per
+//! rank and average degree 16/32/64; the number of parts equals the number of ranks.
+
+use xtrapulp::{xtrapulp_partition, PartitionParams};
+use xtrapulp_bench::{fmt, print_table, scaled};
+use xtrapulp_comm::{Runtime, Timer};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+use xtrapulp_graph::{DistGraph, Distribution};
+
+fn main() {
+    let per_rank = scaled(1 << 13);
+    let rank_counts = [1usize, 2, 4, 8];
+    let degrees = [16u64, 32, 64];
+    let mut rows = Vec::new();
+    for family in ["RMAT", "RandER", "RandHD"] {
+        for &davg in &degrees {
+            let mut row = vec![family.to_string(), davg.to_string()];
+            for &nranks in &rank_counts {
+                let n = per_rank * nranks as u64;
+                let kind = match family {
+                    "RMAT" => GraphKind::Rmat { scale: (n as f64).log2().ceil() as u32, edge_factor: davg / 2 },
+                    "RandER" => GraphKind::ErdosRenyi { num_vertices: n, avg_degree: davg },
+                    _ => GraphKind::RandHd { num_vertices: n, avg_degree: davg },
+                };
+                let el = GraphConfig::new(kind, 9).generate();
+                let edges = el.edges.clone();
+                let secs = Runtime::run(nranks, |ctx| {
+                    let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &edges);
+                    let params = PartitionParams { num_parts: nranks.max(2), seed: 3, ..Default::default() };
+                    let t = Timer::start();
+                    let _ = xtrapulp_partition(ctx, &g, &params);
+                    ctx.allreduce_max_f64(&[t.elapsed_secs()])[0]
+                })[0];
+                row.push(fmt(secs));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Fig. 2 — weak scaling: XtraPuLP time (s), parts = ranks, fixed vertices per rank",
+        &["family", "d_avg", "1 rank", "2 ranks", "4 ranks", "8 ranks"],
+        &rows,
+    );
+}

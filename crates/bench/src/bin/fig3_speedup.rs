@@ -1,0 +1,30 @@
+//! Fig. 3: XtraPuLP relative speedup on the six representative graphs when the rank
+//! count grows from 1 to 8 (the paper's Cluster-1 uses 1-16 nodes).
+
+use xtrapulp::{PartitionParams, XtraPulpPartitioner};
+use xtrapulp_bench::{fmt, print_table, proxy_graph, time_partition};
+
+fn main() {
+    let graphs = ["lj", "orkut", "friendster", "wdc12-pay", "rmat_24", "nlpkkt240"];
+    let rank_counts = [1usize, 2, 4, 8];
+    let params = PartitionParams { num_parts: 16, seed: 3, ..Default::default() };
+    let mut rows = Vec::new();
+    for name in graphs {
+        let csr = proxy_graph(name);
+        let mut row = vec![name.to_string()];
+        let mut base = 0.0;
+        for &nranks in &rank_counts {
+            let (secs, _) = time_partition(&XtraPulpPartitioner::new(nranks), &csr, &params);
+            if nranks == 1 {
+                base = secs;
+            }
+            row.push(fmt(base / secs));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 3 — relative speedup vs a single rank (16 parts)",
+        &["graph", "1", "2", "4", "8"],
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Fig. 4: partition quality (edge cut ratio and scaled max cut ratio) versus the number
+//! of parts, for XtraPuLP, PuLP and the METIS-like baseline, on the six representative
+//! graphs.
+
+use xtrapulp::{PartitionParams, Partitioner, PulpPartitioner, XtraPulpPartitioner};
+use xtrapulp_bench::{fmt, print_table, proxy_graph};
+use xtrapulp_multilevel::MetisLikePartitioner;
+
+fn main() {
+    let graphs = ["lj", "orkut", "friendster", "wdc12-pay", "rmat_24", "nlpkkt240"];
+    let part_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let xtrapulp = XtraPulpPartitioner::new(4);
+    let methods: Vec<(&str, &dyn Partitioner)> = vec![
+        ("XtraPuLP", &xtrapulp),
+        ("PuLP", &PulpPartitioner),
+        ("MetisLike", &MetisLikePartitioner { refine_sweeps: 4 }),
+    ];
+    let mut rows = Vec::new();
+    for name in graphs {
+        let csr = proxy_graph(name);
+        for &p in &part_counts {
+            let params = PartitionParams { num_parts: p, seed: 21, ..Default::default() };
+            for (method, partitioner) in &methods {
+                let (_, q) = partitioner.partition_with_quality(&csr, &params);
+                rows.push(vec![
+                    name.to_string(),
+                    p.to_string(),
+                    method.to_string(),
+                    fmt(q.edge_cut_ratio),
+                    fmt(q.scaled_max_cut_ratio),
+                    fmt(q.vertex_imbalance),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig. 4 — quality vs number of parts",
+        &["graph", "parts", "method", "edge cut ratio", "scaled max cut ratio", "vertex imbalance"],
+        &rows,
+    );
+}

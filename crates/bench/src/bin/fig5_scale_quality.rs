@@ -1,0 +1,26 @@
+//! Fig. 5: how partition quality varies with the rank count when computing 256 parts of
+//! the WDC12 proxy (edge cut ratio, scaled max cut ratio, edge imbalance).
+
+use xtrapulp::{PartitionParams, Partitioner, XtraPulpPartitioner};
+use xtrapulp_bench::{fmt, print_table, proxy_graph};
+
+fn main() {
+    let csr = proxy_graph("wdc12-host");
+    let rank_counts = [1usize, 2, 4, 8, 16];
+    let params = PartitionParams { num_parts: 256, seed: 31, ..Default::default() };
+    let mut rows = Vec::new();
+    for &nranks in &rank_counts {
+        let (_, q) = XtraPulpPartitioner::new(nranks).partition_with_quality(&csr, &params);
+        rows.push(vec![
+            nranks.to_string(),
+            fmt(q.edge_cut_ratio),
+            fmt(q.scaled_max_cut_ratio),
+            fmt(q.edge_imbalance),
+        ]);
+    }
+    print_table(
+        "Fig. 5 — WDC12 proxy, 256 parts: quality vs rank count",
+        &["ranks", "edge cut ratio", "scaled max cut ratio", "max edge imbalance"],
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 6: the single-constraint single-objective comparison — XtraPuLP (edge-balance
+//! stage disabled), PuLP, the METIS-like baseline and the KaHIP-like label-propagation
+//! coarsening partitioner, on lj / rmat_22 / uk-2002, 2-256 parts: edge cut and time.
+
+use xtrapulp::{PartitionParams, Partitioner, PulpPartitioner, XtraPulpPartitioner};
+use xtrapulp_bench::{fmt, print_table, proxy_graph, time_partition};
+use xtrapulp_multilevel::{LpCoarsenKwayPartitioner, MetisLikePartitioner};
+
+fn main() {
+    let graphs = ["lj", "rmat_22", "uk-2002"];
+    let part_counts = [2usize, 8, 32, 128, 256];
+    let xtrapulp = XtraPulpPartitioner::new(4);
+    let methods: Vec<(&str, &dyn Partitioner)> = vec![
+        ("XtraPuLP", &xtrapulp),
+        ("PuLP", &PulpPartitioner),
+        ("MetisLike", &MetisLikePartitioner { refine_sweeps: 4 }),
+        ("KaHIP-like", &LpCoarsenKwayPartitioner { refine_sweeps: 6 }),
+    ];
+    let mut rows = Vec::new();
+    for name in graphs {
+        let csr = proxy_graph(name);
+        for &p in &part_counts {
+            // Single constraint, single objective: 3% imbalance, no edge-balance stage.
+            let params = PartitionParams {
+                num_parts: p,
+                vertex_imbalance: 0.03,
+                edge_balance_stage: false,
+                seed: 17,
+                ..Default::default()
+            };
+            for (method, partitioner) in &methods {
+                let (secs, parts) = time_partition(*partitioner, &csr, &params);
+                let q = xtrapulp::metrics::PartitionQuality::evaluate(&csr, &parts, p);
+                rows.push(vec![
+                    name.to_string(),
+                    p.to_string(),
+                    method.to_string(),
+                    fmt(q.edge_cut_ratio),
+                    fmt(secs),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig. 6 — single-objective comparison (3% imbalance)",
+        &["graph", "parts", "method", "edge cut ratio", "time (s)"],
+        &rows,
+    );
+}

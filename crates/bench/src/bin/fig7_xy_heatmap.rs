@@ -1,0 +1,49 @@
+//! Fig. 7: the effect of the multiplier parameters X and Y on edge cut, max per-part
+//! cut, vertex balance and edge balance (the paper sweeps X,Y in [0,4] over four graphs
+//! and 2-128 parts; we sweep a representative grid).
+
+use xtrapulp::{PartitionParams, Partitioner, XtraPulpPartitioner};
+use xtrapulp_bench::{fmt, print_table, proxy_graph};
+
+fn main() {
+    let values = [0.0f64, 0.25, 0.5, 1.0, 2.0, 4.0];
+    let graphs = ["lj", "uk-2002", "rmat_22", "nlpkkt160"];
+    let mut rows = Vec::new();
+    for &x in &values {
+        for &y in &values {
+            let mut cut = 0.0;
+            let mut max_cut = 0.0;
+            let mut vimb = 0.0;
+            let mut eimb = 0.0;
+            for name in graphs {
+                let csr = proxy_graph(name);
+                let params = PartitionParams {
+                    num_parts: 16,
+                    mult_x: x,
+                    mult_y: y,
+                    seed: 29,
+                    ..Default::default()
+                };
+                let (_, q) = XtraPulpPartitioner::new(4).partition_with_quality(&csr, &params);
+                cut += q.edge_cut_ratio;
+                max_cut += q.scaled_max_cut_ratio;
+                vimb += q.vertex_imbalance;
+                eimb += q.edge_imbalance;
+            }
+            let k = graphs.len() as f64;
+            rows.push(vec![
+                fmt(x),
+                fmt(y),
+                fmt(cut / k),
+                fmt(max_cut / k),
+                fmt(vimb / k),
+                fmt(eimb / k),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 7 — X/Y multiplier sweep (averages over lj, uk-2002, rmat_22, nlpkkt160; 16 parts, 4 ranks)",
+        &["X", "Y", "edge cut ratio", "scaled max cut", "vertex imbalance", "edge imbalance"],
+        &rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Table I: statistics (n, m, average/max degree, approximate diameter) of every proxy
+//! graph standing in for the paper's evaluation corpus.
+
+use xtrapulp_bench::{fmt, print_table};
+use xtrapulp_gen::presets::all_presets;
+use xtrapulp_graph::GraphStats;
+
+fn main() {
+    let mut rows = Vec::new();
+    for preset in all_presets() {
+        // The largest scaling presets are skipped at default scale to keep the run short.
+        if preset.config.num_vertices() > (1 << 17) {
+            continue;
+        }
+        let csr = preset.config.generate().to_csr();
+        let stats = GraphStats::compute(&csr, 10, 1);
+        rows.push(vec![
+            preset.name.to_string(),
+            format!("{:?}", preset.class),
+            stats.num_vertices.to_string(),
+            stats.num_edges.to_string(),
+            fmt(stats.avg_degree),
+            stats.max_degree.to_string(),
+            stats.approx_diameter.to_string(),
+        ]);
+    }
+    print_table(
+        "Table I — proxy graph corpus statistics",
+        &["graph", "class", "n", "m", "d_avg", "d_max", "~D"],
+        &rows,
+    );
+}

@@ -1,0 +1,163 @@
+//! # xtrapulp-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the paper's evaluation
+//! (§IV–V), scaled to a single machine. Each `src/bin/*.rs` binary corresponds to one
+//! table or figure (see DESIGN.md §3 for the full index) and prints the same rows/series
+//! the paper reports, so the *shape* of each result — which method wins, by roughly what
+//! factor, where the crossovers fall — can be compared directly against the publication.
+//!
+//! All experiments accept the `XTRAPULP_SCALE` environment variable (a positive float,
+//! default 1.0) which multiplies the default graph sizes, so the same binaries can be run
+//! quickly for smoke-testing or at larger sizes for more faithful measurements.
+
+use std::time::Instant;
+
+use xtrapulp::{PartitionParams, Partitioner};
+use xtrapulp_gen::{GraphClass, TableIPreset};
+use xtrapulp_graph::Csr;
+
+/// The scale multiplier read from `XTRAPULP_SCALE` (default 1.0, clamped to [0.05, 64]).
+pub fn scale_factor() -> f64 {
+    std::env::var("XTRAPULP_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 64.0)
+}
+
+/// Scale a vertex count by [`scale_factor`], keeping at least 1024 vertices.
+pub fn scaled(n: u64) -> u64 {
+    ((n as f64 * scale_factor()) as u64).max(1024)
+}
+
+/// Generate the proxy graph for a paper graph name, with its vertex count scaled by
+/// [`scale_factor`]. Panics on unknown names (the presets cover every name used by the
+/// harnesses).
+pub fn proxy_graph(name: &str) -> Csr {
+    let preset = TableIPreset::by_name(name)
+        .unwrap_or_else(|| panic!("no preset proxy for paper graph '{name}'"));
+    let mut config = preset.config;
+    // Scale the size field of whichever generator the preset uses.
+    use xtrapulp_gen::GraphKind::*;
+    config.kind = match config.kind {
+        Rmat { scale, edge_factor } => {
+            let extra = scale_factor().log2().round() as i32;
+            Rmat {
+                scale: (scale as i32 + extra).clamp(8, 26) as u32,
+                edge_factor,
+            }
+        }
+        ErdosRenyi { num_vertices, avg_degree } => ErdosRenyi {
+            num_vertices: scaled(num_vertices),
+            avg_degree,
+        },
+        RandHd { num_vertices, avg_degree } => RandHd {
+            num_vertices: scaled(num_vertices),
+            avg_degree,
+        },
+        BarabasiAlbert {
+            num_vertices,
+            edges_per_vertex,
+        } => BarabasiAlbert {
+            num_vertices: scaled(num_vertices),
+            edges_per_vertex,
+        },
+        SmallWorld {
+            num_vertices,
+            k,
+            rewire_probability,
+        } => SmallWorld {
+            num_vertices: scaled(num_vertices),
+            k,
+            rewire_probability,
+        },
+        WebCrawl {
+            num_vertices,
+            avg_degree,
+            community_size,
+        } => WebCrawl {
+            num_vertices: scaled(num_vertices),
+            avg_degree,
+            community_size,
+        },
+        Grid2d { width, height, diagonal } => {
+            let f = scale_factor().sqrt();
+            Grid2d {
+                width: ((width as f64 * f) as u64).max(8),
+                height: ((height as f64 * f) as u64).max(8),
+                diagonal,
+            }
+        }
+        Grid3d { nx, ny, nz, full } => {
+            let f = scale_factor().cbrt();
+            Grid3d {
+                nx: ((nx as f64 * f) as u64).max(4),
+                ny: ((ny as f64 * f) as u64).max(4),
+                nz: ((nz as f64 * f) as u64).max(4),
+                full,
+            }
+        }
+    };
+    config.generate().to_csr()
+}
+
+/// The class of a named paper graph (for grouping rows like Table I / Table II).
+pub fn graph_class(name: &str) -> GraphClass {
+    TableIPreset::by_name(name)
+        .map(|p| p.class)
+        .unwrap_or(GraphClass::Synthetic)
+}
+
+/// Time a partitioner run, returning `(seconds, parts)`.
+pub fn time_partition(
+    partitioner: &dyn Partitioner,
+    csr: &Csr,
+    params: &PartitionParams,
+) -> (f64, Vec<i32>) {
+    let start = Instant::now();
+    let parts = partitioner.partition(csr, params);
+    (start.elapsed().as_secs_f64(), parts)
+}
+
+/// Print a markdown-style table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Format a float with three significant decimals.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_graphs_exist_for_representative_names() {
+        for name in ["lj", "rmat_22", "uk-2002", "nlpkkt160"] {
+            let csr = proxy_graph(name);
+            assert!(csr.num_vertices() > 0, "{name}");
+            assert!(csr.num_edges() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no preset proxy")]
+    fn unknown_graph_name_panics() {
+        proxy_graph("not-a-real-graph");
+    }
+
+    #[test]
+    fn scale_factor_defaults_to_one() {
+        // The env var is not set in tests.
+        assert!((scale_factor() - 1.0).abs() < 1e-9 || scale_factor() > 0.0);
+        assert!(scaled(1 << 20) >= 1024);
+    }
+}

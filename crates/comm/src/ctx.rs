@@ -1,0 +1,384 @@
+//! The runtime entry point ([`Runtime::run`]) and the per-rank handle ([`RankCtx`])
+//! exposing MPI-style collectives.
+
+use std::mem::size_of;
+use std::sync::Arc;
+
+use crate::hub::Hub;
+use crate::stats::{CollectiveKind, CommStats};
+
+/// Launches a bulk-synchronous rank-parallel region.
+///
+/// Each rank is an OS thread with private state; ranks communicate only through the
+/// collectives on [`RankCtx`]. This mirrors how the original XtraPuLP runs one MPI task
+/// per node with OpenMP threads inside it: here the "node" is a thread and intra-rank
+/// parallelism is delegated to rayon by the caller.
+pub struct Runtime;
+
+impl Runtime {
+    /// Run `f` on `nranks` ranks and return each rank's result, indexed by rank.
+    ///
+    /// `f` is shared by reference across ranks, so it can capture read-only input (for
+    /// example, a globally generated edge list that each rank filters down to the part it
+    /// owns). Per-rank mutable state lives inside the closure body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nranks == 0`, or if any rank panics (the panic is propagated).
+    pub fn run<F, R>(nranks: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&RankCtx) -> R + Sync,
+        R: Send,
+    {
+        assert!(nranks > 0, "Runtime::run requires at least one rank");
+        let hub = Arc::new(Hub::new(nranks));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for rank in 0..nranks {
+                let hub = Arc::clone(&hub);
+                handles.push(scope.spawn(move || {
+                    let ctx = RankCtx::new(rank, hub);
+                    f(&ctx)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Handle given to each rank: identity, size, collectives and communication counters.
+pub struct RankCtx {
+    rank: usize,
+    hub: Arc<Hub>,
+    stats: CommStats,
+}
+
+impl RankCtx {
+    fn new(rank: usize, hub: Arc<Hub>) -> Self {
+        RankCtx {
+            rank,
+            hub,
+            stats: CommStats::new(),
+        }
+    }
+
+    /// This rank's id, in `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the runtime.
+    pub fn nranks(&self) -> usize {
+        self.hub.nranks()
+    }
+
+    /// True on rank 0, the conventional root for rooted collectives.
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Communication counters for this rank.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    // ----------------------------------------------------------------------------------
+    // Collectives. All of them must be called by every rank, in the same order.
+    // ----------------------------------------------------------------------------------
+
+    /// Block until every rank reaches this call.
+    pub fn barrier(&self) {
+        self.stats.record_collective(CollectiveKind::Barrier);
+        self.hub.barrier();
+    }
+
+    /// Broadcast `value` from `root` to every rank. Only the root's `value` is used;
+    /// other ranks may pass `None`.
+    pub fn broadcast<T>(&self, root: usize, value: Option<T>) -> T
+    where
+        T: Clone + Send + 'static,
+    {
+        assert!(root < self.nranks(), "broadcast root out of range");
+        self.stats.record_collective(CollectiveKind::Broadcast);
+        if self.rank == root {
+            let value = value.expect("broadcast root must supply a value");
+            self.stats.record_send(size_of::<T>() as u64);
+            self.hub.put_slot(root, value);
+        }
+        self.hub.barrier();
+        let out: T = self.hub.read_slot(root);
+        self.stats.record_recv(size_of::<T>() as u64);
+        self.hub.barrier();
+        if self.rank == root {
+            self.hub.clear_slot(root);
+        }
+        out
+    }
+
+    /// Gather one value from every rank on every rank, indexed by rank.
+    pub fn allgather<T>(&self, value: T) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        self.stats.record_collective(CollectiveKind::Allgather);
+        self.stats.record_send(size_of::<T>() as u64);
+        self.hub.put_slot(self.rank, value);
+        self.hub.barrier();
+        let nranks = self.nranks();
+        let mut out = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            out.push(self.hub.read_slot::<T>(r));
+        }
+        self.stats
+            .record_recv((nranks * size_of::<T>()) as u64);
+        self.hub.barrier();
+        self.hub.clear_slot(self.rank);
+        out
+    }
+
+    /// Gather a variable-length contribution from every rank and concatenate them in rank
+    /// order on every rank.
+    pub fn allgatherv<T>(&self, values: Vec<T>) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        self.stats.record_collective(CollectiveKind::Allgather);
+        self.stats
+            .record_send((values.len() * size_of::<T>()) as u64);
+        self.hub.put_slot(self.rank, values);
+        self.hub.barrier();
+        let nranks = self.nranks();
+        let mut out = Vec::new();
+        for r in 0..nranks {
+            self.hub.with_slot::<Vec<T>, _>(r, |v| {
+                out.extend_from_slice(v);
+            });
+        }
+        self.stats
+            .record_recv((out.len() * size_of::<T>()) as u64);
+        self.hub.barrier();
+        self.hub.clear_slot(self.rank);
+        out
+    }
+
+    /// Gather one value from every rank at `root`. Returns `Some(values)` on the root,
+    /// `None` elsewhere.
+    pub fn gather<T>(&self, root: usize, value: T) -> Option<Vec<T>>
+    where
+        T: Send + 'static,
+    {
+        assert!(root < self.nranks(), "gather root out of range");
+        self.stats.record_collective(CollectiveKind::Gather);
+        self.stats.record_send(size_of::<T>() as u64);
+        self.hub.put_mail(self.rank, root, value);
+        self.hub.barrier();
+        let out = if self.rank == root {
+            let nranks = self.nranks();
+            let mut all = Vec::with_capacity(nranks);
+            for src in 0..nranks {
+                all.push(
+                    self.hub
+                        .take_mail::<T>(src, root)
+                        .expect("gather: missing contribution"),
+                );
+            }
+            self.stats
+                .record_recv((nranks * size_of::<T>()) as u64);
+            Some(all)
+        } else {
+            None
+        };
+        self.hub.barrier();
+        out
+    }
+
+    /// Scatter one value per rank from `root`. The root passes `Some(values)` with
+    /// exactly `nranks` entries; other ranks pass `None`.
+    pub fn scatter<T>(&self, root: usize, values: Option<Vec<T>>) -> T
+    where
+        T: Send + 'static,
+    {
+        assert!(root < self.nranks(), "scatter root out of range");
+        self.stats.record_collective(CollectiveKind::Scatter);
+        if self.rank == root {
+            let values = values.expect("scatter root must supply values");
+            assert_eq!(
+                values.len(),
+                self.nranks(),
+                "scatter requires exactly one value per rank"
+            );
+            self.stats
+                .record_send((values.len() * size_of::<T>()) as u64);
+            for (dst, value) in values.into_iter().enumerate() {
+                self.hub.put_mail(root, dst, value);
+            }
+        }
+        self.hub.barrier();
+        let out = self
+            .hub
+            .take_mail::<T>(root, self.rank)
+            .expect("scatter: missing value for this rank");
+        self.stats.record_recv(size_of::<T>() as u64);
+        self.hub.barrier();
+        out
+    }
+
+    /// Personalised all-to-all exchange with exactly one element per destination.
+    /// `sends[d]` is delivered to rank `d`; the result's element `s` came from rank `s`.
+    pub fn alltoall<T>(&self, sends: Vec<T>) -> Vec<T>
+    where
+        T: Send + 'static,
+    {
+        assert_eq!(
+            sends.len(),
+            self.nranks(),
+            "alltoall requires one element per destination rank"
+        );
+        self.stats.record_collective(CollectiveKind::Alltoall);
+        self.stats
+            .record_send((sends.len() * size_of::<T>()) as u64);
+        for (dst, value) in sends.into_iter().enumerate() {
+            self.hub.put_mail(self.rank, dst, value);
+        }
+        self.hub.barrier();
+        let nranks = self.nranks();
+        let mut out = Vec::with_capacity(nranks);
+        for src in 0..nranks {
+            out.push(
+                self.hub
+                    .take_mail::<T>(src, self.rank)
+                    .expect("alltoall: missing contribution"),
+            );
+        }
+        self.stats
+            .record_recv((nranks * size_of::<T>()) as u64);
+        self.hub.barrier();
+        out
+    }
+
+    /// Personalised all-to-all exchange with variable-length buffers, the workhorse of
+    /// XtraPuLP's `ExchangeUpdates` routine. `sends[d]` is delivered to rank `d`; the
+    /// result's entry `s` is the buffer sent by rank `s`.
+    pub fn alltoallv<T>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>>
+    where
+        T: Send + 'static,
+    {
+        assert_eq!(
+            sends.len(),
+            self.nranks(),
+            "alltoallv requires one buffer per destination rank"
+        );
+        self.stats.record_collective(CollectiveKind::Alltoallv);
+        let sent_elems: usize = sends.iter().map(Vec::len).sum();
+        self.stats
+            .record_send((sent_elems * size_of::<T>()) as u64);
+        for (dst, buf) in sends.into_iter().enumerate() {
+            self.hub.put_mail(self.rank, dst, buf);
+        }
+        self.hub.barrier();
+        let nranks = self.nranks();
+        let mut out = Vec::with_capacity(nranks);
+        for src in 0..nranks {
+            out.push(
+                self.hub
+                    .take_mail::<Vec<T>>(src, self.rank)
+                    .expect("alltoallv: missing contribution"),
+            );
+        }
+        let recv_elems: usize = out.iter().map(Vec::len).sum();
+        self.stats
+            .record_recv((recv_elems * size_of::<T>()) as u64);
+        self.hub.barrier();
+        out
+    }
+
+    /// Element-wise allreduce with a caller-supplied combine function.
+    ///
+    /// Every rank supplies a slice of the same length; `combine(acc, contribution)` is
+    /// applied in rank order, so non-commutative reductions are deterministic.
+    pub fn allreduce_with<T, F>(&self, local: &[T], combine: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.stats.record_collective(CollectiveKind::Allreduce);
+        self.stats
+            .record_send((local.len() * size_of::<T>()) as u64);
+        self.hub.put_slot(self.rank, local.to_vec());
+        self.hub.barrier();
+        let mut acc: Vec<T> = self.hub.read_slot(0);
+        for r in 1..self.nranks() {
+            self.hub.with_slot::<Vec<T>, _>(r, |contrib| {
+                assert_eq!(
+                    acc.len(),
+                    contrib.len(),
+                    "allreduce requires equal-length contributions on every rank"
+                );
+                for (a, c) in acc.iter_mut().zip(contrib.iter()) {
+                    combine(a, c);
+                }
+            });
+        }
+        self.stats
+            .record_recv((acc.len() * size_of::<T>()) as u64);
+        self.hub.barrier();
+        self.hub.clear_slot(self.rank);
+        acc
+    }
+
+    /// Element-wise sum allreduce over `u64`.
+    pub fn allreduce_sum_u64(&self, local: &[u64]) -> Vec<u64> {
+        self.allreduce_with(local, |a, c| *a += *c)
+    }
+
+    /// Element-wise sum allreduce over `i64`.
+    pub fn allreduce_sum_i64(&self, local: &[i64]) -> Vec<i64> {
+        self.allreduce_with(local, |a, c| *a += *c)
+    }
+
+    /// Element-wise sum allreduce over `f64`.
+    pub fn allreduce_sum_f64(&self, local: &[f64]) -> Vec<f64> {
+        self.allreduce_with(local, |a, c| *a += *c)
+    }
+
+    /// Element-wise max allreduce over `u64`.
+    pub fn allreduce_max_u64(&self, local: &[u64]) -> Vec<u64> {
+        self.allreduce_with(local, |a, c| *a = (*a).max(*c))
+    }
+
+    /// Element-wise max allreduce over `f64`.
+    pub fn allreduce_max_f64(&self, local: &[f64]) -> Vec<f64> {
+        self.allreduce_with(local, |a, c| *a = a.max(*c))
+    }
+
+    /// Element-wise min allreduce over `u64`.
+    pub fn allreduce_min_u64(&self, local: &[u64]) -> Vec<u64> {
+        self.allreduce_with(local, |a, c| *a = (*a).min(*c))
+    }
+
+    /// Exclusive prefix sum across ranks: rank `r` receives the sum of the values supplied
+    /// by ranks `0..r` (rank 0 receives 0).
+    pub fn exscan_sum_u64(&self, value: u64) -> u64 {
+        let all = self.allgather(value);
+        all[..self.rank].iter().sum()
+    }
+
+    /// Sum of one value per rank, available on every rank.
+    pub fn allreduce_scalar_sum_u64(&self, value: u64) -> u64 {
+        self.allreduce_sum_u64(&[value])[0]
+    }
+
+    /// Max of one value per rank, available on every rank.
+    pub fn allreduce_scalar_max_u64(&self, value: u64) -> u64 {
+        self.allreduce_max_u64(&[value])[0]
+    }
+
+    /// Max of one `f64` per rank, available on every rank.
+    pub fn allreduce_scalar_max_f64(&self, value: f64) -> f64 {
+        self.allreduce_max_f64(&[value])[0]
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared rendezvous state used by all ranks of a [`crate::Runtime`].
+//!
+//! The hub owns one *slot* per rank (used by rooted and all-to-all-read collectives such
+//! as broadcast, allgather and allreduce) and one *mailbox* per ordered rank pair (used by
+//! alltoall/alltoallv, where rank `s` deposits into `mailbox[s][d]` and rank `d` takes
+//! from it). Collectives are framed by the shared barrier so a slot is never reused
+//! before every rank has finished reading it.
+
+use std::any::Any;
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+/// Type-erased payload deposited by one rank for consumption by others.
+pub(crate) type Payload = Option<Box<dyn Any + Send>>;
+
+/// Shared state for one runtime instance.
+pub(crate) struct Hub {
+    nranks: usize,
+    barrier: Barrier,
+    /// `slots[r]` is written by rank `r` and read (not taken) by any rank.
+    slots: Vec<Mutex<Payload>>,
+    /// `mailbox[src][dst]` is written by `src` and taken by `dst`.
+    mailbox: Vec<Vec<Mutex<Payload>>>,
+}
+
+impl Hub {
+    pub(crate) fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "a runtime needs at least one rank");
+        let slots = (0..nranks).map(|_| Mutex::new(None)).collect();
+        let mailbox = (0..nranks)
+            .map(|_| (0..nranks).map(|_| Mutex::new(None)).collect())
+            .collect();
+        Hub {
+            nranks,
+            barrier: Barrier::new(nranks),
+            slots,
+            mailbox,
+        }
+    }
+
+    pub(crate) fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Block until every rank has reached this point.
+    pub(crate) fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Deposit a value into this rank's slot. Must be paired with [`Hub::clear_slot`]
+    /// after the readers have passed a barrier.
+    pub(crate) fn put_slot<T: Send + 'static>(&self, rank: usize, value: T) {
+        let mut guard = self.slots[rank].lock();
+        debug_assert!(guard.is_none(), "slot {rank} reused before being cleared");
+        *guard = Some(Box::new(value));
+    }
+
+    /// Read (clone out of) another rank's slot.
+    pub(crate) fn read_slot<T: Clone + Send + 'static>(&self, rank: usize) -> T {
+        let guard = self.slots[rank].lock();
+        let boxed = guard
+            .as_ref()
+            .expect("collective protocol error: slot read before deposit");
+        boxed
+            .downcast_ref::<T>()
+            .expect("collective type mismatch between ranks")
+            .clone()
+    }
+
+    /// Apply `f` to the value in another rank's slot without cloning it.
+    pub(crate) fn with_slot<T: Send + 'static, R>(&self, rank: usize, f: impl FnOnce(&T) -> R) -> R {
+        let guard = self.slots[rank].lock();
+        let boxed = guard
+            .as_ref()
+            .expect("collective protocol error: slot read before deposit");
+        f(boxed
+            .downcast_ref::<T>()
+            .expect("collective type mismatch between ranks"))
+    }
+
+    /// Remove the value this rank deposited in its slot.
+    pub(crate) fn clear_slot(&self, rank: usize) {
+        *self.slots[rank].lock() = None;
+    }
+
+    /// Deposit a message from `src` addressed to `dst`.
+    pub(crate) fn put_mail<T: Send + 'static>(&self, src: usize, dst: usize, value: T) {
+        let mut guard = self.mailbox[src][dst].lock();
+        debug_assert!(
+            guard.is_none(),
+            "mailbox ({src} -> {dst}) reused before being taken"
+        );
+        *guard = Some(Box::new(value));
+    }
+
+    /// Take (move out) the message `src` addressed to `dst`, if any.
+    pub(crate) fn take_mail<T: Send + 'static>(&self, src: usize, dst: usize) -> Option<T> {
+        let mut guard = self.mailbox[src][dst].lock();
+        guard.take().map(|boxed| {
+            *boxed
+                .downcast::<T>()
+                .expect("collective type mismatch between ranks")
+        })
+    }
+}

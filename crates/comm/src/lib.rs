@@ -1,0 +1,50 @@
+//! # xtrapulp-comm
+//!
+//! A rank-parallel, bulk-synchronous communication runtime that plays the role MPI plays
+//! in the original XtraPuLP implementation.
+//!
+//! The paper's partitioner is an MPI+OpenMP code: every MPI *task* owns a slice of the
+//! graph, computes on it with OpenMP threads, and exchanges boundary updates with
+//! `MPI_Alltoallv`, `MPI_Allreduce` and `MPI_Bcast` at superstep boundaries. This crate
+//! reproduces exactly that programming model on a single machine: each **rank** is an OS
+//! thread with private state, and the [`RankCtx`] handle exposes the same family of
+//! collectives. Intra-rank parallelism is delegated to `rayon` by the algorithm crates,
+//! mirroring the OpenMP threading of the original.
+//!
+//! Because the partitioning algorithms only observe collective *semantics* (what data
+//! arrives where, and when), running ranks as threads preserves the algorithmic behaviour
+//! the paper studies — batched ghost updates, stale labels within a superstep, and the
+//! dynamic `mult` stabiliser — while remaining runnable on a laptop. Communication volume
+//! is tracked per rank in [`CommStats`] so experiments can report the quantity that would
+//! have crossed the network.
+//!
+//! ## Example
+//!
+//! ```
+//! use xtrapulp_comm::Runtime;
+//!
+//! // Sum rank ids across 4 ranks with an allreduce.
+//! let results = Runtime::run(4, |ctx| {
+//!     let mine = vec![ctx.rank() as u64];
+//!     let total = ctx.allreduce_sum_u64(&mine);
+//!     total[0]
+//! });
+//! assert_eq!(results, vec![6, 6, 6, 6]);
+//! ```
+//!
+//! ## Usage contract
+//!
+//! As with MPI, collectives must be called by **every** rank of the runtime, in the same
+//! order. Violating this deadlocks the step, exactly as it would on a real cluster.
+
+mod ctx;
+mod hub;
+mod stats;
+mod timer;
+
+pub use ctx::{RankCtx, Runtime};
+pub use stats::{CommStats, CollectiveKind};
+pub use timer::{PhaseTimer, Timer};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,147 @@
+//! Per-rank communication accounting.
+//!
+//! The paper repeatedly reasons about communication volume (e.g. why RandHD partitions
+//! 7x faster than WDC12 on the same node count, or why RMAT weak scaling degrades).
+//! Tracking how many bytes each rank hands to the collectives lets the reproduction
+//! report the same quantity even though the "network" is shared memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which collective a byte count was charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Barrier synchronisation (no payload).
+    Barrier,
+    /// One-to-all broadcast.
+    Broadcast,
+    /// All-to-all reduction (sum/max/min or custom).
+    Allreduce,
+    /// Personalised all-to-all exchange (fixed count per destination).
+    Alltoall,
+    /// Personalised all-to-all exchange (variable counts).
+    Alltoallv,
+    /// All-to-all gather of per-rank contributions.
+    Allgather,
+    /// Rooted gather.
+    Gather,
+    /// Rooted scatter.
+    Scatter,
+}
+
+/// Monotonic counters of collective traffic issued by one rank.
+///
+/// Counters are updated by [`crate::RankCtx`] as collectives are issued and can be read
+/// at any time; experiments usually snapshot them once per phase.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    collectives: AtomicU64,
+    barriers: AtomicU64,
+    alltoallv_calls: AtomicU64,
+    allreduce_calls: AtomicU64,
+}
+
+impl CommStats {
+    /// Create a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recv(&self, bytes: u64) {
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_collective(&self, kind: CollectiveKind) {
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            CollectiveKind::Barrier => {
+                self.barriers.fetch_add(1, Ordering::Relaxed);
+            }
+            CollectiveKind::Alltoallv => {
+                self.alltoallv_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            CollectiveKind::Allreduce => {
+                self.allreduce_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Total bytes this rank handed to collectives as send payload.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes this rank received from collectives.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Total number of collective operations issued (including barriers).
+    pub fn collectives(&self) -> u64 {
+        self.collectives.load(Ordering::Relaxed)
+    }
+
+    /// Number of barrier operations issued.
+    pub fn barriers(&self) -> u64 {
+        self.barriers.load(Ordering::Relaxed)
+    }
+
+    /// Number of alltoallv exchanges issued.
+    pub fn alltoallv_calls(&self) -> u64 {
+        self.alltoallv_calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of allreduce operations issued.
+    pub fn allreduce_calls(&self) -> u64 {
+        self.allreduce_calls.load(Ordering::Relaxed)
+    }
+
+    /// Copy the counters into a plain snapshot struct.
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            bytes_sent: self.bytes_sent(),
+            bytes_received: self.bytes_received(),
+            collectives: self.collectives(),
+            barriers: self.barriers(),
+            alltoallv_calls: self.alltoallv_calls(),
+            allreduce_calls: self.allreduce_calls(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`CommStats`], convenient for returning from rank closures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStatsSnapshot {
+    /// Total bytes handed to collectives as send payload.
+    pub bytes_sent: u64,
+    /// Total bytes received from collectives.
+    pub bytes_received: u64,
+    /// Total collective operations (including barriers).
+    pub collectives: u64,
+    /// Barrier count.
+    pub barriers: u64,
+    /// Alltoallv count.
+    pub alltoallv_calls: u64,
+    /// Allreduce count.
+    pub allreduce_calls: u64,
+}
+
+impl CommStatsSnapshot {
+    /// Element-wise sum of two snapshots (used to aggregate across ranks).
+    pub fn merged(self, other: CommStatsSnapshot) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            collectives: self.collectives + other.collectives,
+            barriers: self.barriers + other.barriers,
+            alltoallv_calls: self.alltoallv_calls + other.alltoallv_calls,
+            allreduce_calls: self.allreduce_calls + other.allreduce_calls,
+        }
+    }
+}

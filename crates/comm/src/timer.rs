@@ -1,0 +1,88 @@
+//! Lightweight wall-clock timers used by the experiment harnesses.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start a new timer.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the timer was started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed time since the timer was started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Restart the timer and return the time elapsed up to now.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.start;
+        self.start = now;
+        lap
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// Accumulates named phase durations (initialisation, vertex balance, edge balance, ...).
+///
+/// The paper's discussion distinguishes where time is spent (e.g. the initialisation
+/// stage depends on diameter, the balance stages on cut size); harnesses use this to
+/// report per-phase breakdowns.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    phases: BTreeMap<String, Duration>,
+}
+
+impl PhaseTimer {
+    /// Create an empty phase timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time `f` and add its duration to the named phase.
+    pub fn time<R>(&mut self, phase: &str, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let out = f();
+        self.add(phase, t.elapsed());
+        out
+    }
+
+    /// Add a duration to the named phase.
+    pub fn add(&mut self, phase: &str, d: Duration) {
+        *self.phases.entry(phase.to_string()).or_default() += d;
+    }
+
+    /// Duration accumulated for one phase (zero if never recorded).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.phases.get(phase).copied().unwrap_or_default()
+    }
+
+    /// Total duration across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.values().copied().sum()
+    }
+
+    /// Iterate over `(phase, duration)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}

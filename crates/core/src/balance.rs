@@ -1,0 +1,425 @@
+//! The vertex balancing and refinement phases (Algorithms 4 and 5 of the paper).
+//!
+//! **Balancing** runs weighted label propagation: the attractiveness of part `i` to a
+//! vertex is the (degree-weighted) number of its neighbours in `i`, scaled by the weight
+//! `Wv(i) = max(Imb_v / (Sv(i) + mult * Cv(i)) - 1, 0)` which is large for underweight
+//! parts and zero for parts at or above the target size. **Refinement** is a constrained
+//! label propagation / FM-style pass that greedily reduces the cut while never letting a
+//! part grow past the current maximum.
+//!
+//! The distributed-memory subtlety is the dynamic multiplier `mult`: because every rank
+//! reassigns vertices using part sizes that are only refreshed at the end of the
+//! iteration, an underweight part would receive a flood of vertices from *every* rank at
+//! once and overshoot wildly. Each rank therefore bounds its own contribution by charging
+//! `mult × (its local change)` against the global size estimate, with `mult` ramping
+//! linearly from `nprocs·Y` (each rank may claim ~1/Y of the remaining headroom early on)
+//! to `nprocs·X` (each rank claims exactly its share at the end).
+
+use xtrapulp_comm::RankCtx;
+use xtrapulp_graph::{DistGraph, LocalId};
+
+use crate::exchange::{push_part_updates, PartUpdate};
+use crate::params::PartitionParams;
+
+/// Mutable per-stage counters shared by the balancing phases: the running total iteration
+/// counter that drives the multiplier schedule.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageCounter {
+    /// Number of balance/refine iterations performed so far in the current stage.
+    pub iter_tot: usize,
+}
+
+/// Global part sizes in vertices, computed collectively.
+pub fn global_vertex_counts(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    parts: &[i32],
+    num_parts: usize,
+) -> Vec<i64> {
+    let mut local = vec![0i64; num_parts];
+    for v in 0..graph.n_owned() {
+        local[parts[v] as usize] += 1;
+    }
+    ctx.allreduce_sum_i64(&local)
+}
+
+/// Global part sizes in arcs (vertex degree sums), computed collectively.
+pub fn global_arc_counts(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    parts: &[i32],
+    num_parts: usize,
+) -> Vec<i64> {
+    let mut local = vec![0i64; num_parts];
+    for v in 0..graph.n_owned() {
+        local[parts[v] as usize] += graph.degree_owned(v as LocalId) as i64;
+    }
+    ctx.allreduce_sum_i64(&local)
+}
+
+/// Global per-part cut arc counts (arcs whose source lies in the part and whose endpoint
+/// is in a different part), computed collectively.
+pub fn global_cut_counts(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    parts: &[i32],
+    num_parts: usize,
+) -> Vec<i64> {
+    let mut local = vec![0i64; num_parts];
+    for v in 0..graph.n_owned() {
+        let pv = parts[v];
+        for &u in graph.neighbors(v as LocalId) {
+            if parts[u as usize] != pv {
+                local[pv as usize] += 1;
+            }
+        }
+    }
+    ctx.allreduce_sum_i64(&local)
+}
+
+/// Scratch buffers reused across vertices to avoid per-vertex allocation: a dense score
+/// array plus the list of touched entries for sparse clearing.
+pub(crate) struct ScoreScratch {
+    scores: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+impl ScoreScratch {
+    pub(crate) fn new(num_parts: usize) -> Self {
+        ScoreScratch {
+            scores: vec![0.0; num_parts],
+            touched: Vec::with_capacity(64),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        for &t in &self.touched {
+            self.scores[t] = 0.0;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, part: usize, value: f64) {
+        if self.scores[part] == 0.0 && !self.touched.contains(&part) {
+            self.touched.push(part);
+        }
+        self.scores[part] += value;
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, part: usize) -> f64 {
+        self.scores[part]
+    }
+
+    #[inline]
+    pub(crate) fn touched(&self) -> &[usize] {
+        &self.touched
+    }
+}
+
+/// One pass of the vertex balancing phase (Algorithm 4): `params.balance_iters`
+/// label-propagation iterations weighted towards underweight parts.
+pub fn vertex_balance(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    parts: &mut [i32],
+    params: &PartitionParams,
+    counter: &mut StageCounter,
+) {
+    let p = params.num_parts;
+    let nranks = ctx.nranks();
+    let imb_v = params.target_max_vertices(graph.global_n());
+    let mut size_v = global_vertex_counts(ctx, graph, parts, p);
+
+    let mut scratch = ScoreScratch::new(p);
+    for _ in 0..params.balance_iters {
+        let max_v = size_v
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_v, f64::max);
+        let mult = params.multiplier(nranks, counter.iter_tot);
+        let mut change_v = vec![0i64; p];
+        let weight = |size: i64, change: i64| -> f64 {
+            let denom = (size as f64 + mult * change as f64).max(1.0);
+            (imb_v / denom - 1.0).max(0.0)
+        };
+        let mut weights: Vec<f64> = (0..p).map(|i| weight(size_v[i], 0)).collect();
+
+        let mut updates: Vec<PartUpdate> = Vec::new();
+        for v in 0..graph.n_owned() {
+            let x = parts[v] as usize;
+            scratch.clear();
+            for &u in graph.neighbors(v as LocalId) {
+                let pu = parts[u as usize] as usize;
+                scratch.add(pu, graph.degree(u) as f64);
+            }
+            // Pick the best-scoring admissible part; ties keep the current part.
+            let mut best_part = x;
+            let mut best_score = 0.0f64;
+            for &i in scratch.touched() {
+                if size_v[i] as f64 + mult * change_v[i] as f64 + 1.0 > max_v {
+                    continue;
+                }
+                let score = scratch.get(i) * weights[i];
+                if score > best_score || (score == best_score && i == x) {
+                    best_score = score;
+                    best_part = i;
+                }
+            }
+            if best_part == x || best_score <= 0.0 {
+                // Spill move: label propagation alone cannot drain a part whose remaining
+                // vertices have no neighbours in an underweight part (isolated vertices
+                // and deep-interior vertices). If the current part is over the target,
+                // move the vertex to the globally most underweight part directly. This
+                // preferentially relocates zero-degree vertices (whose move is free) and
+                // is what lets the balance constraint be met on graphs with many tiny
+                // components.
+                let over_target =
+                    size_v[x] as f64 + mult * change_v[x] as f64 > imb_v;
+                if over_target {
+                    // Spill moves are invisible to the other ranks until the end of the
+                    // iteration, and every rank picks the same most-underweight target,
+                    // so charge them at the full rank count to avoid collective
+                    // overshoot of that one part.
+                    let spill_mult = mult.max(nranks as f64);
+                    let spill_target = (0..p)
+                        .min_by(|&a, &b| {
+                            let ea = size_v[a] as f64 + spill_mult * change_v[a] as f64;
+                            let eb = size_v[b] as f64 + spill_mult * change_v[b] as f64;
+                            ea.partial_cmp(&eb).unwrap()
+                        })
+                        .unwrap_or(x);
+                    let estimate =
+                        size_v[spill_target] as f64 + spill_mult * change_v[spill_target] as f64;
+                    if spill_target != x && estimate + 1.0 <= imb_v {
+                        best_part = spill_target;
+                        best_score = 1.0;
+                    }
+                }
+            }
+            if best_part != x && best_score > 0.0 {
+                change_v[x] -= 1;
+                change_v[best_part] += 1;
+                weights[x] = weight(size_v[x], change_v[x]);
+                weights[best_part] = weight(size_v[best_part], change_v[best_part]);
+                parts[v] = best_part as i32;
+                updates.push((v as LocalId, best_part as i32));
+            }
+        }
+
+        if std::env::var_os("XTRAPULP_DEBUG").is_some() {
+            eprintln!(
+                "[balance dbg] rank {} iter_tot {} moved {} sizes {:?}",
+                ctx.rank(),
+                counter.iter_tot,
+                updates.len(),
+                size_v
+            );
+        }
+        push_part_updates(ctx, graph, &updates, parts);
+        let global_change = ctx.allreduce_sum_i64(&change_v);
+        for i in 0..p {
+            size_v[i] += global_change[i];
+        }
+        counter.iter_tot += 1;
+    }
+}
+
+/// One pass of the vertex refinement phase (Algorithm 5): `params.refine_iters`
+/// constrained label-propagation iterations that greedily minimise the edge cut without
+/// letting any part exceed the current maximum size (or the imbalance target, whichever
+/// is larger).
+pub fn vertex_refine(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    parts: &mut [i32],
+    params: &PartitionParams,
+    counter: &mut StageCounter,
+) {
+    let p = params.num_parts;
+    let nranks = ctx.nranks();
+    let imb_v = params.target_max_vertices(graph.global_n());
+    let mut size_v = global_vertex_counts(ctx, graph, parts, p);
+
+    let mut scratch = ScoreScratch::new(p);
+    for _ in 0..params.refine_iters {
+        let max_v = size_v
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_v, f64::max);
+        let mult = params.multiplier(nranks, counter.iter_tot);
+        // Refinement must never push a part above the current maximum, even when every
+        // rank funnels vertices into the same popular part within one stale iteration, so
+        // admissibility is checked with the full rank count (each rank claims at most its
+        // 1/nranks share of the remaining headroom).
+        let guard_mult = mult.max(nranks as f64);
+        let mut change_v = vec![0i64; p];
+
+        let mut updates: Vec<PartUpdate> = Vec::new();
+        for v in 0..graph.n_owned() {
+            let x = parts[v] as usize;
+            scratch.clear();
+            for &u in graph.neighbors(v as LocalId) {
+                scratch.add(parts[u as usize] as usize, 1.0);
+            }
+            let own_score = scratch.get(x);
+            let mut best_part = x;
+            let mut best_score = own_score;
+            for &i in scratch.touched() {
+                if i == x {
+                    continue;
+                }
+                if size_v[i] as f64 + guard_mult * change_v[i] as f64 + 1.0 > max_v {
+                    continue;
+                }
+                let score = scratch.get(i);
+                if score > best_score {
+                    best_score = score;
+                    best_part = i;
+                }
+            }
+            if best_part != x {
+                change_v[x] -= 1;
+                change_v[best_part] += 1;
+                parts[v] = best_part as i32;
+                updates.push((v as LocalId, best_part as i32));
+            }
+        }
+
+        push_part_updates(ctx, graph, &updates, parts);
+        let global_change = ctx.allreduce_sum_i64(&change_v);
+        for i in 0..p {
+            size_v[i] += global_change[i];
+        }
+        counter.iter_tot += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::init_partition;
+    use crate::metrics::{is_valid_partition, PartitionQuality};
+    use crate::params::InitStrategy;
+    use xtrapulp_comm::Runtime;
+    use xtrapulp_graph::Distribution;
+
+    fn grid_edges(w: u64, h: u64) -> Vec<(u64, u64)> {
+        let mut e = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let id = y * w + x;
+                if x + 1 < w {
+                    e.push((id, id + 1));
+                }
+                if y + 1 < h {
+                    e.push((id, id + w));
+                }
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn balance_improves_vertex_imbalance() {
+        let edges = grid_edges(16, 16);
+        let n = 256u64;
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let params = PartitionParams {
+                num_parts: 4,
+                seed: 3,
+                ..Default::default()
+            };
+            let mut parts = init_partition(ctx, &g, &params);
+            let before = PartitionQuality::evaluate_dist(ctx, &g, &parts, 4);
+            let mut counter = StageCounter::default();
+            for _ in 0..params.outer_iters {
+                vertex_balance(ctx, &g, &mut parts, &params, &mut counter);
+                vertex_refine(ctx, &g, &mut parts, &params, &mut counter);
+            }
+            let after = PartitionQuality::evaluate_dist(ctx, &g, &parts, 4);
+            assert!(is_valid_partition(&parts, 4));
+            (before, after)
+        });
+        let (before, after) = out[0];
+        // The BFS-grow initialisation can be arbitrarily imbalanced; after balancing the
+        // constraint (10% slack, i.e. ratio <= 1.1 + rounding) must be approached.
+        assert!(
+            after.vertex_imbalance <= before.vertex_imbalance.max(1.2),
+            "balance phase made imbalance worse: {} -> {}",
+            before.vertex_imbalance,
+            after.vertex_imbalance
+        );
+        assert!(
+            after.vertex_imbalance < 1.35,
+            "vertex imbalance still {} after balancing",
+            after.vertex_imbalance
+        );
+    }
+
+    #[test]
+    fn refine_does_not_break_validity_and_keeps_cut_reasonable() {
+        let edges = grid_edges(12, 12);
+        let n = 144u64;
+        Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, n, &edges);
+            let params = PartitionParams {
+                num_parts: 4,
+                init: InitStrategy::Random,
+                seed: 7,
+                ..Default::default()
+            };
+            let mut parts = init_partition(ctx, &g, &params);
+            let before = PartitionQuality::evaluate_dist(ctx, &g, &parts, 4);
+            let mut counter = StageCounter::default();
+            vertex_refine(ctx, &g, &mut parts, &params, &mut counter);
+            let after = PartitionQuality::evaluate_dist(ctx, &g, &parts, 4);
+            assert!(is_valid_partition(&parts, 4));
+            // Random initialisation cuts nearly everything; refinement must improve it.
+            assert!(
+                after.edge_cut <= before.edge_cut,
+                "refinement increased the cut: {} -> {}",
+                before.edge_cut,
+                after.edge_cut
+            );
+        });
+    }
+
+    #[test]
+    fn counters_advance_with_iterations() {
+        let edges = grid_edges(8, 8);
+        Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 64, &edges);
+            let params = PartitionParams::with_parts(2);
+            let mut parts = init_partition(ctx, &g, &params);
+            let mut counter = StageCounter::default();
+            vertex_balance(ctx, &g, &mut parts, &params, &mut counter);
+            assert_eq!(counter.iter_tot, params.balance_iters);
+            vertex_refine(ctx, &g, &mut parts, &params, &mut counter);
+            assert_eq!(counter.iter_tot, params.balance_iters + params.refine_iters);
+        });
+    }
+
+    #[test]
+    fn global_count_helpers_sum_to_totals() {
+        let edges = grid_edges(10, 10);
+        Runtime::run(4, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, 100, &edges);
+            let params = PartitionParams {
+                num_parts: 5,
+                init: InitStrategy::VertexBlock,
+                ..Default::default()
+            };
+            let parts = init_partition(ctx, &g, &params);
+            let verts = global_vertex_counts(ctx, &g, &parts, 5);
+            let arcs = global_arc_counts(ctx, &g, &parts, 5);
+            let cuts = global_cut_counts(ctx, &g, &parts, 5);
+            assert_eq!(verts.iter().sum::<i64>(), 100);
+            assert_eq!(arcs.iter().sum::<i64>() as u64, 2 * g.global_m());
+            assert!(cuts.iter().sum::<i64>() >= 0);
+        });
+    }
+}

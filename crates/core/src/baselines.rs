@@ -1,0 +1,139 @@
+//! Baseline partitioning strategies: random, vertex-block and edge-block assignment.
+//!
+//! At the scale XtraPuLP targets, "the only competing methods are random and block
+//! partitioning" (§V-B), and the Fig. 8 analytics study compares exactly these three
+//! naive strategies against XtraPuLP. They are also the initial distributions the
+//! partitioner itself starts from.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xtrapulp_graph::Csr;
+
+/// Assign each vertex to a uniformly random part. This balances vertices in expectation
+/// but cuts essentially every edge on small-world graphs (edge cut ratio ≈ (p-1)/p).
+pub fn random_partition(num_vertices: u64, num_parts: usize, seed: u64) -> Vec<i32> {
+    assert!(num_parts >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..num_vertices)
+        .map(|_| rng.gen_range(0..num_parts) as i32)
+        .collect()
+}
+
+/// Assign contiguous blocks of vertex ids to parts so that every part has (almost) the
+/// same number of vertices ("VertexBlock" in Fig. 8).
+pub fn vertex_block_partition(num_vertices: u64, num_parts: usize) -> Vec<i32> {
+    assert!(num_parts >= 1);
+    let p = num_parts as u64;
+    let base = num_vertices / p;
+    let extra = num_vertices % p;
+    let mut parts = Vec::with_capacity(num_vertices as usize);
+    for part in 0..p {
+        let size = if part < extra { base + 1 } else { base };
+        parts.extend(std::iter::repeat(part as i32).take(size as usize));
+    }
+    parts
+}
+
+/// Assign contiguous blocks of vertex ids to parts so that every part has approximately
+/// the same number of *edges* (degree sum), the "EdgeBlock" strategy of Fig. 8. Vertex
+/// counts per part may be wildly imbalanced on skewed graphs.
+pub fn edge_block_partition(csr: &Csr, num_parts: usize) -> Vec<i32> {
+    assert!(num_parts >= 1);
+    let n = csr.num_vertices() as u64;
+    let total_arcs = csr.num_arcs();
+    let target = (total_arcs as f64 / num_parts as f64).max(1.0);
+    let mut parts = vec![0i32; n as usize];
+    let mut part = 0usize;
+    let mut acc = 0u64;
+    for v in 0..n {
+        parts[v as usize] = part as i32;
+        acc += csr.degree(v);
+        if (acc as f64) >= target * (part + 1) as f64 && part + 1 < num_parts {
+            part += 1;
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{is_valid_partition, PartitionQuality};
+    use xtrapulp_graph::csr_from_edges;
+
+    fn star_plus_path() -> Csr {
+        // Vertex 0 is a hub of degree 20; vertices 20..40 form a path.
+        let mut edges: Vec<(u64, u64)> = (1..=20u64).map(|i| (0, i)).collect();
+        edges.extend((20..39u64).map(|i| (i, i + 1)));
+        csr_from_edges(40, &edges)
+    }
+
+    #[test]
+    fn random_partition_is_valid_and_deterministic() {
+        let a = random_partition(1000, 8, 7);
+        let b = random_partition(1000, 8, 7);
+        assert_eq!(a, b);
+        assert!(is_valid_partition(&a, 8));
+        // Every part should receive a decent share of vertices.
+        for p in 0..8 {
+            let count = a.iter().filter(|&&x| x == p).count();
+            assert!(count > 50, "part {p} has only {count} vertices");
+        }
+    }
+
+    #[test]
+    fn vertex_block_partition_is_balanced_and_contiguous() {
+        let parts = vertex_block_partition(10, 3);
+        assert_eq!(parts, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert!(is_valid_partition(&parts, 3));
+        let parts = vertex_block_partition(9, 3);
+        assert_eq!(parts.iter().filter(|&&p| p == 0).count(), 3);
+    }
+
+    #[test]
+    fn vertex_block_handles_more_parts_than_vertices() {
+        let parts = vertex_block_partition(3, 8);
+        assert_eq!(parts.len(), 3);
+        assert!(is_valid_partition(&parts, 8));
+    }
+
+    #[test]
+    fn edge_block_balances_degree_sums() {
+        let csr = star_plus_path();
+        let parts = edge_block_partition(&csr, 2);
+        assert!(is_valid_partition(&parts, 2));
+        let q = PartitionQuality::evaluate(&csr, &parts, 2);
+        // Degree sums should be much better balanced than vertex counts for this skewed
+        // graph.
+        assert!(q.edge_imbalance < 1.5, "edge imbalance {}", q.edge_imbalance);
+        // The hub part holds far fewer vertices.
+        let hub_part_size = parts.iter().filter(|&&p| p == parts[0]).count();
+        assert!(hub_part_size < 30);
+    }
+
+    #[test]
+    fn edge_block_on_uniform_path_is_nearly_vertex_block() {
+        let edges: Vec<(u64, u64)> = (0..29u64).map(|i| (i, i + 1)).collect();
+        let csr = csr_from_edges(30, &edges);
+        let parts = edge_block_partition(&csr, 3);
+        let counts: Vec<usize> = (0..3)
+            .map(|p| parts.iter().filter(|&&x| x == p).count())
+            .collect();
+        assert!(counts.iter().all(|&c| c >= 8 && c <= 12), "{counts:?}");
+    }
+
+    #[test]
+    fn random_partition_cuts_most_edges_of_a_clique() {
+        let mut edges = Vec::new();
+        for u in 0..20u64 {
+            for v in (u + 1)..20 {
+                edges.push((u, v));
+            }
+        }
+        let csr = csr_from_edges(20, &edges);
+        let parts = random_partition(20, 4, 3);
+        let q = PartitionQuality::evaluate(&csr, &parts, 4);
+        // Expected cut ratio ~ (p-1)/p = 0.75.
+        assert!(q.edge_cut_ratio > 0.5);
+    }
+}

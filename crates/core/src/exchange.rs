@@ -1,0 +1,162 @@
+//! The boundary update exchange (`ExchangeUpdates`, Algorithm 3 of the paper).
+//!
+//! After a rank reassigns some of its owned vertices, every rank that keeps a ghost copy
+//! of those vertices must learn the new part labels before the next iteration. A rank
+//! `t` holds a ghost of vertex `v` exactly when `t` owns at least one neighbour of `v`,
+//! so the sender walks `v`'s adjacency, collects the set of neighbouring ranks (with a
+//! `to_send` dedup bitmap, as in the paper), and ships `(global_id, new_part)` pairs with
+//! one `Alltoallv`.
+
+use xtrapulp_comm::RankCtx;
+use xtrapulp_graph::{DistGraph, LocalId};
+
+/// One part reassignment of an owned vertex.
+pub type PartUpdate = (LocalId, i32);
+
+/// Push the part labels of locally reassigned vertices to the ranks holding them as
+/// ghosts, and apply the symmetric incoming updates to this rank's ghost entries in
+/// `parts`.
+///
+/// Returns the number of ghost labels updated locally. Must be called collectively.
+pub fn push_part_updates(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    updates: &[PartUpdate],
+    parts: &mut [i32],
+) -> u64 {
+    let nranks = ctx.nranks();
+    let rank = ctx.rank();
+    // Build per-destination buffers of (global id, new part) pairs. `to_send` deduplicates
+    // destinations per updated vertex, exactly like the boolean array in Algorithm 3.
+    let mut sends: Vec<Vec<(u64, i32)>> = vec![Vec::new(); nranks];
+    let mut to_send = vec![false; nranks];
+    for &(v, new_part) in updates {
+        debug_assert!(graph.is_owned(v), "only owned vertices can be reassigned");
+        for flag in to_send.iter_mut() {
+            *flag = false;
+        }
+        for &u in graph.neighbors(v) {
+            let owner = graph.owner_of_local(u);
+            if owner != rank && !to_send[owner] {
+                to_send[owner] = true;
+                sends[owner].push((graph.global_id(v), new_part));
+            }
+        }
+    }
+
+    let received = ctx.alltoallv(sends);
+    let mut applied = 0u64;
+    for buf in received {
+        for (global, new_part) in buf {
+            let lid = graph
+                .local_id(global)
+                .expect("received a part update for a vertex this rank does not know");
+            debug_assert!(
+                !graph.is_owned(lid),
+                "part updates must only arrive for ghost vertices"
+            );
+            parts[lid as usize] = new_part;
+            applied += 1;
+        }
+    }
+    applied
+}
+
+/// Synchronise all ghost part labels by pulling them from their owners (used after
+/// non-incremental initialisation, where every label may have changed).
+pub fn refresh_ghost_parts(ctx: &RankCtx, graph: &DistGraph, parts: &mut [i32]) {
+    let owned = parts[..graph.n_owned()].to_vec();
+    let ghosts = graph.ghost_values_i32(ctx, &owned);
+    parts[graph.n_owned()..graph.n_total()].copy_from_slice(&ghosts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_comm::Runtime;
+    use xtrapulp_graph::{Distribution, GlobalId};
+
+    fn ring(n: u64) -> Vec<(GlobalId, GlobalId)> {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    }
+
+    #[test]
+    fn updates_reach_all_ghost_copies() {
+        let edges = ring(12);
+        Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 12, &edges);
+            // Start with everything in part 0 everywhere.
+            let mut parts = vec![0i32; g.n_total()];
+            // Every rank moves its first owned vertex to part (rank + 1).
+            let updates: Vec<PartUpdate> = if g.n_owned() > 0 {
+                parts[0] = ctx.rank() as i32 + 1;
+                vec![(0, ctx.rank() as i32 + 1)]
+            } else {
+                vec![]
+            };
+            push_part_updates(ctx, &g, &updates, &mut parts);
+            // Every ghost label must now equal what its owner assigned: the owner's first
+            // owned vertex got `owner_rank + 1`, all others stayed 0.
+            for slot in 0..g.n_ghost() {
+                let lid = (g.n_owned() + slot) as LocalId;
+                let owner = g.owner_of_local(lid);
+                let owner_first_global: GlobalId = g
+                    .distribution()
+                    .owned_vertices(owner, 12, ctx.nranks())
+                    .next()
+                    .unwrap();
+                let expected = if g.global_id(lid) == owner_first_global {
+                    owner as i32 + 1
+                } else {
+                    0
+                };
+                assert_eq!(parts[lid as usize], expected);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_update_lists_are_fine() {
+        let edges = ring(8);
+        Runtime::run(4, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, 8, &edges);
+            let mut parts = vec![3i32; g.n_total()];
+            let applied = push_part_updates(ctx, &g, &[], &mut parts);
+            assert_eq!(applied, 0);
+            assert!(parts.iter().all(|&p| p == 3));
+        });
+    }
+
+    #[test]
+    fn refresh_ghost_parts_pulls_owner_labels() {
+        let edges = ring(10);
+        Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 10, &edges);
+            let mut parts = vec![-1i32; g.n_total()];
+            // Owners label their vertices with their global id.
+            for v in 0..g.n_owned() {
+                parts[v] = g.global_id(v as LocalId) as i32;
+            }
+            refresh_ghost_parts(ctx, &g, &mut parts);
+            for slot in 0..g.n_ghost() {
+                let lid = (g.n_owned() + slot) as LocalId;
+                assert_eq!(parts[lid as usize], g.global_id(lid) as i32);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts_to_update() {
+        let edges = ring(6);
+        Runtime::run(1, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            let mut parts = vec![0i32; g.n_total()];
+            let updates: Vec<PartUpdate> = (0..g.n_owned() as LocalId).map(|v| (v, 1)).collect();
+            for &(v, p) in &updates {
+                parts[v as usize] = p;
+            }
+            let applied = push_part_updates(ctx, &g, &updates, &mut parts);
+            assert_eq!(applied, 0);
+        });
+    }
+}

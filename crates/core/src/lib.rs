@@ -1,0 +1,72 @@
+//! # xtrapulp
+//!
+//! A Rust reproduction of **XtraPuLP** — the distributed-memory, label-propagation-based
+//! graph partitioner of Slota, Rajamanickam, Devine and Madduri ("Partitioning
+//! Trillion-edge Graphs in Minutes", IPDPS 2017) — together with the shared-memory PuLP
+//! baseline and the naive block/random baselines the paper compares against.
+//!
+//! ## What the algorithm does
+//!
+//! XtraPuLP computes a `p`-way partition of an undirected graph under two balance
+//! constraints (vertices per part and edges per part) while minimising two objectives
+//! (total edge cut and the maximum per-part cut). It does so with three stages of
+//! label-propagation-style sweeps over the vertices:
+//!
+//! 1. **Initialisation** ([`init`]): `p` random roots are grown breadth-first; unassigned
+//!    vertices adopt a random neighbouring part.
+//! 2. **Vertex stage** ([`balance`]): weighted label propagation drives part *vertex*
+//!    counts towards balance, alternating with constrained refinement sweeps that reduce
+//!    the cut.
+//! 3. **Edge stage** ([`edge_balance`]): the same machinery driven by per-part *edge* and
+//!    *cut* counts, yielding the multi-constraint, multi-objective result.
+//!
+//! The distributed-memory realisation keeps a one-dimensional vertex distribution
+//! (see [`xtrapulp_graph::DistGraph`]), exchanges boundary labels with an
+//! `Alltoallv`-based update queue ([`exchange`]), and throttles per-rank moves with the
+//! dynamic multiplier described in the paper (see [`PartitionParams::multiplier`]).
+//!
+//! ## Entry points
+//!
+//! * [`xtrapulp_partition`] — collective call over an already-distributed graph
+//!   ([`DistGraph`]); this is what the scaling experiments use.
+//! * [`XtraPulpPartitioner`] — [`Partitioner`] implementation that distributes an
+//!   in-memory [`Csr`](xtrapulp_graph::Csr) over an internal rank runtime, partitions it,
+//!   and gathers the result; convenient for quality comparisons.
+//! * [`PulpPartitioner`] — the shared-memory PuLP baseline.
+//! * [`RandomPartitioner`], [`VertexBlockPartitioner`], [`EdgeBlockPartitioner`] — the
+//!   naive baselines.
+//! * [`metrics::PartitionQuality`] — the paper's quality metrics.
+//!
+//! ```
+//! use xtrapulp::{PartitionParams, Partitioner, XtraPulpPartitioner};
+//! use xtrapulp_gen::{GraphConfig, GraphKind};
+//!
+//! let graph = GraphConfig::new(GraphKind::Rmat { scale: 10, edge_factor: 8 }, 42)
+//!     .generate()
+//!     .to_csr();
+//! let params = PartitionParams::with_parts(8);
+//! let (parts, quality) = XtraPulpPartitioner::new(2).partition_with_quality(&graph, &params);
+//! assert_eq!(parts.len(), graph.num_vertices());
+//! assert!(quality.vertex_imbalance < 1.2);
+//! ```
+
+pub mod balance;
+pub mod baselines;
+pub mod edge_balance;
+pub mod exchange;
+pub mod init;
+pub mod metrics;
+pub mod params;
+pub mod partitioner;
+pub mod pulp;
+
+pub use params::{InitStrategy, PartitionParams};
+pub use partitioner::{
+    xtrapulp_partition, EdgeBlockPartitioner, PartitionResult, Partitioner, RandomPartitioner,
+    VertexBlockPartitioner, XtraPulpPartitioner,
+};
+pub use pulp::{pulp_partition, PulpPartitioner};
+
+// Re-exported so downstream crates (analytics, spmv, bench) can name graph types without
+// an extra dependency edge.
+pub use xtrapulp_graph::{Csr, DistGraph, Distribution};

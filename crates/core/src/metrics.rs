@@ -1,0 +1,333 @@
+//! Partition quality metrics.
+//!
+//! The paper evaluates partitions with two architecture-independent metrics: the **edge
+//! cut ratio** (cut edges divided by total edges) and the **scaled max cut ratio** (the
+//! largest per-part cut divided by the average number of edges per part), plus the vertex
+//! and edge balance constraints. §V-B additionally aggregates results across a test suite
+//! with geometric-mean "performance ratios". This module computes all of them, both from
+//! a global [`Csr`] + part vector and collectively from a [`DistGraph`].
+
+use serde::{Deserialize, Serialize};
+use xtrapulp_comm::RankCtx;
+use xtrapulp_graph::{Csr, DistGraph, LocalId};
+
+/// Quality summary of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionQuality {
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Number of cut (inter-part) undirected edges.
+    pub edge_cut: u64,
+    /// `edge_cut / total_edges`; the paper's primary quality metric (lower is better).
+    pub edge_cut_ratio: f64,
+    /// Largest number of cut edges incident to any single part.
+    pub max_part_cut: u64,
+    /// `max_part_cut / (m / p)`; the paper's second objective (lower is better).
+    pub scaled_max_cut_ratio: f64,
+    /// `max_k |V(k)| / (n / p)`; 1.0 is perfect balance, the constraint allows
+    /// `1 + vertex_imbalance`.
+    pub vertex_imbalance: f64,
+    /// `max_k degree_sum(k) / (2m / p)`; the edge-balance constraint measure.
+    pub edge_imbalance: f64,
+}
+
+impl PartitionQuality {
+    /// Evaluate a partition of an in-memory graph. `parts[v]` must be a valid part id in
+    /// `0..num_parts` for every vertex.
+    pub fn evaluate(csr: &Csr, parts: &[i32], num_parts: usize) -> PartitionQuality {
+        assert_eq!(parts.len(), csr.num_vertices(), "one part id per vertex required");
+        assert!(num_parts >= 1);
+        let mut part_vertices = vec![0u64; num_parts];
+        let mut part_arcs = vec![0u64; num_parts];
+        let mut part_cut = vec![0u64; num_parts];
+        let mut cut = 0u64;
+        for v in 0..csr.num_vertices() as u64 {
+            let pv = parts[v as usize];
+            assert!(
+                pv >= 0 && (pv as usize) < num_parts,
+                "vertex {v} has invalid part {pv}"
+            );
+            part_vertices[pv as usize] += 1;
+            part_arcs[pv as usize] += csr.degree(v);
+            for &u in csr.neighbors(v) {
+                let pu = parts[u as usize];
+                if pu != pv {
+                    // Each cut edge is visited from both endpoints; count it once globally
+                    // (u < v guard) but charge it to both parts' cut counters.
+                    if v < u {
+                        cut += 1;
+                    }
+                    part_cut[pv as usize] += 1;
+                }
+            }
+        }
+        // part_cut currently counts cut *arcs* from each part's side, which equals the
+        // number of cut edges incident to the part (each such edge contributes exactly one
+        // arc whose source lies in the part).
+        Self::from_counts(
+            csr.num_vertices() as u64,
+            csr.num_edges(),
+            num_parts,
+            cut,
+            &part_vertices,
+            &part_arcs,
+            &part_cut,
+        )
+    }
+
+    /// Evaluate a partition of a distributed graph collectively. `parts` covers owned +
+    /// ghost vertices of this rank; every rank receives the same (global) result.
+    pub fn evaluate_dist(
+        ctx: &RankCtx,
+        graph: &DistGraph,
+        parts: &[i32],
+        num_parts: usize,
+    ) -> PartitionQuality {
+        assert!(parts.len() >= graph.n_total());
+        let mut part_vertices = vec![0u64; num_parts];
+        let mut part_arcs = vec![0u64; num_parts];
+        let mut part_cut = vec![0u64; num_parts];
+        let mut cut2 = 0u64; // counts each cut edge twice (once from each endpoint)
+        for v in 0..graph.n_owned() {
+            let pv = parts[v];
+            assert!(pv >= 0 && (pv as usize) < num_parts);
+            part_vertices[pv as usize] += 1;
+            part_arcs[pv as usize] += graph.degree_owned(v as LocalId);
+            for &u in graph.neighbors(v as LocalId) {
+                let pu = parts[u as usize];
+                if pu != pv {
+                    cut2 += 1;
+                    part_cut[pv as usize] += 1;
+                }
+            }
+        }
+        let totals = {
+            let mut local = Vec::with_capacity(1 + 3 * num_parts);
+            local.push(cut2);
+            local.extend_from_slice(&part_vertices);
+            local.extend_from_slice(&part_arcs);
+            local.extend_from_slice(&part_cut);
+            ctx.allreduce_sum_u64(&local)
+        };
+        let cut = totals[0] / 2;
+        let part_vertices = &totals[1..1 + num_parts];
+        let part_arcs = &totals[1 + num_parts..1 + 2 * num_parts];
+        let part_cut = &totals[1 + 2 * num_parts..1 + 3 * num_parts];
+        Self::from_counts(
+            graph.global_n(),
+            graph.global_m(),
+            num_parts,
+            cut,
+            part_vertices,
+            part_arcs,
+            part_cut,
+        )
+    }
+
+    fn from_counts(
+        n: u64,
+        m: u64,
+        num_parts: usize,
+        cut: u64,
+        part_vertices: &[u64],
+        part_arcs: &[u64],
+        part_cut: &[u64],
+    ) -> PartitionQuality {
+        let p = num_parts as f64;
+        let max_part_cut = part_cut.iter().copied().max().unwrap_or(0);
+        let avg_edges_per_part = (m as f64 / p).max(1.0);
+        let avg_vertices_per_part = (n as f64 / p).max(1.0);
+        let avg_arcs_per_part = (2.0 * m as f64 / p).max(1.0);
+        PartitionQuality {
+            num_parts,
+            edge_cut: cut,
+            edge_cut_ratio: if m == 0 { 0.0 } else { cut as f64 / m as f64 },
+            max_part_cut,
+            scaled_max_cut_ratio: max_part_cut as f64 / avg_edges_per_part,
+            vertex_imbalance: part_vertices.iter().copied().max().unwrap_or(0) as f64
+                / avg_vertices_per_part,
+            edge_imbalance: part_arcs.iter().copied().max().unwrap_or(0) as f64
+                / avg_arcs_per_part,
+        }
+    }
+}
+
+/// Check that a part vector is a valid assignment into `0..num_parts`.
+pub fn is_valid_partition(parts: &[i32], num_parts: usize) -> bool {
+    parts.iter().all(|&p| p >= 0 && (p as usize) < num_parts)
+}
+
+/// Geometric mean of a slice of positive values (used for the paper's "performance
+/// ratio" aggregation). Returns 1.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The paper's performance-ratio aggregation: for each test, each method's metric is
+/// divided by the best (smallest) metric achieved on that test; the ratios are then
+/// combined with a geometric mean per method. A value of 1.0 means the method was best on
+/// every test.
+///
+/// `results[test][method]` holds the metric of `method` on `test`. Tests where a method
+/// has no result (`None`, e.g. ParMETIS running out of memory) are skipped for that
+/// method.
+pub fn performance_ratios(results: &[Vec<Option<f64>>], num_methods: usize) -> Vec<f64> {
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); num_methods];
+    for test in results {
+        assert_eq!(test.len(), num_methods);
+        let best = test
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        if !best.is_finite() {
+            continue;
+        }
+        for (m, value) in test.iter().enumerate() {
+            if let Some(v) = value {
+                // Guard against zero cuts: ratio of equal zeros is 1.
+                let ratio = if best <= 0.0 {
+                    if *v <= 0.0 {
+                        1.0
+                    } else {
+                        // Any positive value against a zero best: use the value itself +1
+                        // to keep the ratio finite but penalising.
+                        1.0 + *v
+                    }
+                } else {
+                    v / best
+                };
+                per_method[m].push(ratio);
+            }
+        }
+    }
+    per_method.iter().map(|r| geometric_mean(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::csr_from_edges;
+
+    /// Two triangles joined by a bridge; the natural 2-partition cuts one edge.
+    fn two_triangles() -> Csr {
+        csr_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn perfect_two_way_cut() {
+        let csr = two_triangles();
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        let q = PartitionQuality::evaluate(&csr, &parts, 2);
+        assert_eq!(q.edge_cut, 1);
+        assert!((q.edge_cut_ratio - 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(q.max_part_cut, 1);
+        assert!((q.vertex_imbalance - 1.0).abs() < 1e-12);
+        // Each part has 7 arcs (degree sum); average is 7 -> imbalance 1.0.
+        assert!((q.edge_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let csr = two_triangles();
+        let parts = vec![0; 6];
+        let q = PartitionQuality::evaluate(&csr, &parts, 1);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.edge_cut_ratio, 0.0);
+        assert_eq!(q.max_part_cut, 0);
+    }
+
+    #[test]
+    fn fully_scattered_partition_cuts_everything() {
+        let csr = two_triangles();
+        let parts = vec![0, 1, 2, 3, 4, 5];
+        let q = PartitionQuality::evaluate(&csr, &parts, 6);
+        assert_eq!(q.edge_cut, 7);
+        assert!((q.edge_cut_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_partition_is_detected() {
+        let csr = two_triangles();
+        let parts = vec![0, 0, 0, 0, 0, 1];
+        let q = PartitionQuality::evaluate(&csr, &parts, 2);
+        assert!((q.vertex_imbalance - 5.0 / 3.0).abs() < 1e-12);
+        assert!(q.edge_imbalance > 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid part")]
+    fn out_of_range_part_panics() {
+        let csr = two_triangles();
+        let parts = vec![0, 0, 0, 1, 1, 7];
+        PartitionQuality::evaluate(&csr, &parts, 2);
+    }
+
+    #[test]
+    fn distributed_and_serial_evaluation_agree() {
+        use xtrapulp_comm::Runtime;
+        use xtrapulp_graph::Distribution;
+        let edges = vec![(0u64, 1u64), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
+        let csr = csr_from_edges(6, &edges);
+        let global_parts = vec![0, 0, 1, 1, 0, 1];
+        let serial = PartitionQuality::evaluate(&csr, &global_parts, 2);
+        let out = Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, 6, &edges);
+            let parts: Vec<i32> = (0..g.n_total() as LocalId)
+                .map(|v| global_parts[g.global_id(v) as usize])
+                .collect();
+            PartitionQuality::evaluate_dist(ctx, &g, &parts, 2)
+        });
+        for q in out {
+            assert_eq!(q.edge_cut, serial.edge_cut);
+            assert!((q.edge_cut_ratio - serial.edge_cut_ratio).abs() < 1e-12);
+            assert_eq!(q.max_part_cut, serial.max_part_cut);
+            assert!((q.vertex_imbalance - serial.vertex_imbalance).abs() < 1e-12);
+            assert!((q.edge_imbalance - serial.edge_imbalance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partition_validity_check() {
+        assert!(is_valid_partition(&[0, 1, 2], 3));
+        assert!(!is_valid_partition(&[0, -1, 2], 3));
+        assert!(!is_valid_partition(&[0, 3], 3));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[]) - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_ratio_aggregation() {
+        // Two tests, two methods. Method 0 is best on both.
+        let results = vec![
+            vec![Some(10.0), Some(20.0)],
+            vec![Some(5.0), Some(5.0)],
+        ];
+        let ratios = performance_ratios(&results, 2);
+        assert!((ratios[0] - 1.0).abs() < 1e-12);
+        assert!((ratios[1] - (2.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_ratio_skips_missing_results() {
+        let results = vec![vec![Some(10.0), None], vec![Some(4.0), Some(8.0)]];
+        let ratios = performance_ratios(&results, 2);
+        assert!((ratios[0] - 1.0).abs() < 1e-12);
+        assert!((ratios[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! The XtraPuLP driver (Algorithm 1) and the serial [`Partitioner`] interface shared by
+//! every partitioning method in the workspace.
+
+use xtrapulp_comm::{PhaseTimer, RankCtx, Runtime};
+use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId};
+
+use crate::balance::{vertex_balance, vertex_refine, StageCounter};
+use crate::baselines;
+use crate::edge_balance::{edge_balance, edge_refine};
+use crate::init::init_partition;
+use crate::metrics::PartitionQuality;
+use crate::params::PartitionParams;
+
+/// The outcome of one distributed XtraPuLP run on one rank.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// Part labels for this rank's owned + ghost vertices (indexed by local id).
+    pub parts: Vec<i32>,
+    /// Global quality metrics (identical on every rank).
+    pub quality: PartitionQuality,
+    /// Wall-clock time per phase on this rank.
+    pub timings: PhaseTimer,
+}
+
+impl PartitionResult {
+    /// Part labels of the owned vertices only.
+    pub fn owned_parts(&self, graph: &DistGraph) -> &[i32] {
+        &self.parts[..graph.n_owned()]
+    }
+}
+
+/// Run the full multi-constraint multi-objective XtraPuLP algorithm (Algorithm 1)
+/// collectively on an already-distributed graph.
+pub fn xtrapulp_partition(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+) -> PartitionResult {
+    params.validate();
+    let mut timings = PhaseTimer::new();
+
+    let mut parts = timings.time("init", || init_partition(ctx, graph, params));
+
+    // Stage 1: vertex balance + refinement.
+    let mut counter = StageCounter::default();
+    timings.time("vertex_stage", || {
+        for _ in 0..params.outer_iters {
+            vertex_balance(ctx, graph, &mut parts, params, &mut counter);
+            vertex_refine(ctx, graph, &mut parts, params, &mut counter);
+        }
+    });
+
+    // Stage 2: edge balance + refinement (the "MM" in PuLP-MM). The iteration counter is
+    // reset, as in Algorithm 1.
+    if params.edge_balance_stage && params.num_parts > 1 {
+        let mut counter = StageCounter::default();
+        timings.time("edge_stage", || {
+            for _ in 0..params.outer_iters {
+                edge_balance(ctx, graph, &mut parts, params, &mut counter);
+                edge_refine(ctx, graph, &mut parts, params, &mut counter);
+            }
+        });
+    }
+
+    let quality = timings.time("metrics", || {
+        PartitionQuality::evaluate_dist(ctx, graph, &parts, params.num_parts)
+    });
+
+    PartitionResult {
+        parts,
+        quality,
+        timings,
+    }
+}
+
+/// A (serial-facing) graph partitioner: given a whole graph and parameters, produce one
+/// part id per vertex. Implemented by XtraPuLP (which internally spins up its rank
+/// runtime), the PuLP baseline, the naive baselines, and the multilevel baselines in
+/// `xtrapulp-multilevel`.
+pub trait Partitioner {
+    /// Human-readable method name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Compute a partition: one part id (in `0..params.num_parts`) per vertex.
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32>;
+
+    /// Compute a partition and evaluate its quality.
+    fn partition_with_quality(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> (Vec<i32>, PartitionQuality) {
+        let parts = self.partition(csr, params);
+        let quality = PartitionQuality::evaluate(csr, &parts, params.num_parts);
+        (parts, quality)
+    }
+}
+
+/// The distributed XtraPuLP partitioner, exposed through the serial [`Partitioner`]
+/// interface: the input graph is distributed over `nranks` ranks with the configured
+/// [`Distribution`], partitioned collectively, and the part vector gathered back.
+#[derive(Debug, Clone)]
+pub struct XtraPulpPartitioner {
+    /// Number of ranks (threads standing in for MPI tasks) to run with.
+    pub nranks: usize,
+    /// Vertex ownership function used to distribute the input graph.
+    pub distribution: Distribution,
+}
+
+impl Default for XtraPulpPartitioner {
+    fn default() -> Self {
+        XtraPulpPartitioner {
+            nranks: 4,
+            distribution: Distribution::Block,
+        }
+    }
+}
+
+impl XtraPulpPartitioner {
+    /// Create a partitioner running on `nranks` ranks with a block distribution.
+    pub fn new(nranks: usize) -> Self {
+        XtraPulpPartitioner {
+            nranks,
+            distribution: Distribution::Block,
+        }
+    }
+
+    /// Use a different vertex distribution.
+    pub fn with_distribution(mut self, distribution: Distribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+}
+
+impl Partitioner for XtraPulpPartitioner {
+    fn name(&self) -> &'static str {
+        "XtraPuLP"
+    }
+
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+        let n = csr.num_vertices() as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        let nranks = self.nranks.max(1);
+        let dist = self.distribution.clone();
+        let per_rank: Vec<Vec<(u64, i32)>> = Runtime::run(nranks, |ctx| {
+            let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
+            let result = xtrapulp_partition(ctx, &graph, params);
+            (0..graph.n_owned())
+                .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
+                .collect()
+        });
+        let mut parts = vec![0i32; n as usize];
+        for rank_pairs in per_rank {
+            for (g, p) in rank_pairs {
+                parts[g as usize] = p;
+            }
+        }
+        parts
+    }
+}
+
+/// Uniform random assignment, exposed through the [`Partitioner`] interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPartitioner;
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+        baselines::random_partition(csr.num_vertices() as u64, params.num_parts, params.seed)
+    }
+}
+
+/// Contiguous vertex blocks, exposed through the [`Partitioner`] interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VertexBlockPartitioner;
+
+impl Partitioner for VertexBlockPartitioner {
+    fn name(&self) -> &'static str {
+        "VertexBlock"
+    }
+
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+        baselines::vertex_block_partition(csr.num_vertices() as u64, params.num_parts)
+    }
+}
+
+/// Contiguous vertex blocks balanced by edge count, exposed through the [`Partitioner`]
+/// interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeBlockPartitioner;
+
+impl Partitioner for EdgeBlockPartitioner {
+    fn name(&self) -> &'static str {
+        "EdgeBlock"
+    }
+
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+        baselines::edge_block_partition(csr, params.num_parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::is_valid_partition;
+    use xtrapulp_comm::Runtime;
+    use xtrapulp_graph::csr_from_edges;
+
+    fn grid_csr(w: u64, h: u64) -> Csr {
+        let mut e = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let id = y * w + x;
+                if x + 1 < w {
+                    e.push((id, id + 1));
+                }
+                if y + 1 < h {
+                    e.push((id, id + w));
+                }
+            }
+        }
+        csr_from_edges(w * h, &e)
+    }
+
+    #[test]
+    fn distributed_partition_meets_constraints_on_a_grid() {
+        let csr = grid_csr(20, 20);
+        let edges: Vec<_> = csr.edges().collect();
+        let out = Runtime::run(4, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 400, &edges);
+            let params = PartitionParams {
+                num_parts: 8,
+                seed: 17,
+                ..Default::default()
+            };
+            let res = xtrapulp_partition(ctx, &g, &params);
+            assert!(is_valid_partition(&res.parts, 8));
+            res.quality
+        });
+        let q = out[0];
+        assert!(q.vertex_imbalance <= 1.30, "vertex imbalance {}", q.vertex_imbalance);
+        // A 20x20 grid split 8 ways should cut well under half the edges.
+        assert!(q.edge_cut_ratio < 0.5, "edge cut ratio {}", q.edge_cut_ratio);
+        // Every rank reports identical quality.
+        for qq in &out {
+            assert_eq!(qq.edge_cut, q.edge_cut);
+        }
+    }
+
+    #[test]
+    fn serial_interface_produces_a_full_partition() {
+        let csr = grid_csr(16, 16);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let partitioner = XtraPulpPartitioner::new(3);
+        let (parts, quality) = partitioner.partition_with_quality(&csr, &params);
+        assert_eq!(parts.len(), 256);
+        assert!(is_valid_partition(&parts, 4));
+        assert!(quality.vertex_imbalance <= 1.35);
+        assert!(quality.edge_cut_ratio < 0.6);
+    }
+
+    #[test]
+    fn single_rank_single_part_is_trivial() {
+        let csr = grid_csr(4, 4);
+        let params = PartitionParams {
+            num_parts: 1,
+            ..Default::default()
+        };
+        let parts = XtraPulpPartitioner::new(1).partition(&csr, &params);
+        assert!(parts.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_partition() {
+        let csr = csr_from_edges(0, &[]);
+        let parts = XtraPulpPartitioner::new(2).partition(&csr, &PartitionParams::with_parts(4));
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn baseline_partitioners_are_valid() {
+        let csr = grid_csr(10, 10);
+        let params = PartitionParams::with_parts(5);
+        for p in [
+            &RandomPartitioner as &dyn Partitioner,
+            &VertexBlockPartitioner,
+            &EdgeBlockPartitioner,
+        ] {
+            let parts = p.partition(&csr, &params);
+            assert_eq!(parts.len(), 100, "{}", p.name());
+            assert!(is_valid_partition(&parts, 5), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn xtrapulp_beats_random_on_cut_quality() {
+        let csr = grid_csr(16, 16);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 23,
+            ..Default::default()
+        };
+        let (_, q_x) = XtraPulpPartitioner::new(2).partition_with_quality(&csr, &params);
+        let (_, q_r) = RandomPartitioner.partition_with_quality(&csr, &params);
+        assert!(
+            q_x.edge_cut < q_r.edge_cut / 2,
+            "XtraPuLP cut {} should be far below random cut {}",
+            q_x.edge_cut,
+            q_r.edge_cut
+        );
+    }
+
+    #[test]
+    fn timings_cover_all_phases() {
+        let csr = grid_csr(8, 8);
+        let edges: Vec<_> = csr.edges().collect();
+        Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 64, &edges);
+            let res = xtrapulp_partition(ctx, &g, &PartitionParams::with_parts(2));
+            let phases: Vec<&str> = res.timings.iter().map(|(name, _)| name).collect();
+            assert!(phases.contains(&"init"));
+            assert!(phases.contains(&"vertex_stage"));
+            assert!(phases.contains(&"edge_stage"));
+        });
+    }
+
+    #[test]
+    fn results_are_deterministic_for_fixed_seed_and_ranks() {
+        let csr = grid_csr(12, 12);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 77,
+            ..Default::default()
+        };
+        let a = XtraPulpPartitioner::new(2).partition(&csr, &params);
+        let b = XtraPulpPartitioner::new(2).partition(&csr, &params);
+        assert_eq!(a, b);
+    }
+}

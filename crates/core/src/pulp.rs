@@ -1,0 +1,438 @@
+//! The shared-memory PuLP baseline (Slota, Madduri, Rajamanickam, IEEE BigData 2014).
+//!
+//! PuLP is the prior system XtraPuLP extends: a single-node, multi-constraint,
+//! multi-objective partitioner built from weighted label propagation. The paper's
+//! Cluster-1 comparisons (Table II, Figs. 3–4 and 6) all report PuLP numbers, so the
+//! reproduction ships a faithful shared-memory implementation: the same three stages as
+//! XtraPuLP, but with part sizes updated synchronously after every move (there is no
+//! distributed staleness, hence no dynamic multiplier).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use xtrapulp_graph::{Csr, GlobalId, UNASSIGNED};
+
+use crate::params::{InitStrategy, PartitionParams};
+use crate::partitioner::Partitioner;
+
+/// The shared-memory PuLP partitioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PulpPartitioner;
+
+impl Partitioner for PulpPartitioner {
+    fn name(&self) -> &'static str {
+        "PuLP"
+    }
+
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+        pulp_partition(csr, params)
+    }
+}
+
+/// Run the PuLP-MM algorithm on an in-memory graph.
+pub fn pulp_partition(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+    params.validate();
+    let n = csr.num_vertices() as u64;
+    if n == 0 {
+        return Vec::new();
+    }
+    let p = params.num_parts;
+    if p == 1 {
+        return vec![0; n as usize];
+    }
+
+    let mut parts = init(csr, params);
+
+    // Stage 1: vertex balance + refinement.
+    for _ in 0..params.outer_iters {
+        vertex_balance(csr, &mut parts, params);
+        vertex_refine(csr, &mut parts, params);
+    }
+    // Stage 2: edge balance + refinement.
+    if params.edge_balance_stage {
+        for _ in 0..params.outer_iters {
+            edge_balance(csr, &mut parts, params);
+            edge_refine(csr, &mut parts, params);
+        }
+    }
+    parts
+}
+
+fn init(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+    let n = csr.num_vertices() as u64;
+    let p = params.num_parts;
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x50_4C_50);
+    match params.init {
+        InitStrategy::Random => (0..n).map(|_| rng.gen_range(0..p) as i32).collect(),
+        InitStrategy::VertexBlock => (0..n)
+            .map(|v| ((v as u128 * p as u128 / n.max(1) as u128) as u64).min(p as u64 - 1) as i32)
+            .collect(),
+        InitStrategy::BfsGrow => {
+            let mut parts = vec![UNASSIGNED; n as usize];
+            // Select p unique roots.
+            let mut roots: Vec<GlobalId> = if (p as u64) >= n {
+                (0..n).collect()
+            } else {
+                let mut all: Vec<GlobalId> = (0..n).collect();
+                all.shuffle(&mut rng);
+                all.truncate(p);
+                all
+            };
+            roots.sort_unstable();
+            for (i, &r) in roots.iter().enumerate() {
+                parts[r as usize] = (i % p) as i32;
+            }
+            // Grow parts outward, adopting a random neighbouring part.
+            let mut frontier: Vec<GlobalId> = roots;
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    let pv = parts[v as usize];
+                    for &u in csr.neighbors(v) {
+                        if parts[u as usize] == UNASSIGNED {
+                            parts[u as usize] = pv;
+                            next.push(u);
+                        }
+                    }
+                }
+                next.shuffle(&mut rng);
+                frontier = next;
+            }
+            // Random fallback for untouched vertices.
+            for part in parts.iter_mut() {
+                if *part == UNASSIGNED {
+                    *part = rng.gen_range(0..p) as i32;
+                }
+            }
+            parts
+        }
+    }
+}
+
+fn part_vertex_counts(parts: &[i32], p: usize) -> Vec<i64> {
+    let mut counts = vec![0i64; p];
+    for &x in parts {
+        counts[x as usize] += 1;
+    }
+    counts
+}
+
+fn part_arc_counts(csr: &Csr, parts: &[i32], p: usize) -> Vec<i64> {
+    let mut counts = vec![0i64; p];
+    for v in 0..csr.num_vertices() as u64 {
+        counts[parts[v as usize] as usize] += csr.degree(v) as i64;
+    }
+    counts
+}
+
+fn part_cut_counts(csr: &Csr, parts: &[i32], p: usize) -> Vec<i64> {
+    let mut counts = vec![0i64; p];
+    for v in 0..csr.num_vertices() as u64 {
+        let pv = parts[v as usize];
+        for &u in csr.neighbors(v) {
+            if parts[u as usize] != pv {
+                counts[pv as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+    let p = params.num_parts;
+    let n = csr.num_vertices() as u64;
+    let imb_v = params.target_max_vertices(n);
+    let mut size_v = part_vertex_counts(parts, p);
+    let mut scores = vec![0.0f64; p];
+    for _ in 0..params.balance_iters {
+        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
+        for v in 0..n {
+            let x = parts[v as usize] as usize;
+            for s in scores.iter_mut() {
+                *s = 0.0;
+            }
+            for &u in csr.neighbors(v) {
+                scores[parts[u as usize] as usize] += csr.degree(u) as f64;
+            }
+            let mut best = x;
+            let mut best_score = 0.0;
+            for i in 0..p {
+                if (size_v[i] as f64) + 1.0 > max_v {
+                    continue;
+                }
+                let w = (imb_v / (size_v[i] as f64).max(1.0) - 1.0).max(0.0);
+                let score = scores[i] * w;
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            if best != x && best_score > 0.0 {
+                size_v[x] -= 1;
+                size_v[best] += 1;
+                parts[v as usize] = best as i32;
+            }
+        }
+    }
+}
+
+fn vertex_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+    let p = params.num_parts;
+    let n = csr.num_vertices() as u64;
+    let imb_v = params.target_max_vertices(n);
+    let mut size_v = part_vertex_counts(parts, p);
+    let mut scores = vec![0.0f64; p];
+    for _ in 0..params.refine_iters {
+        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
+        let mut moved = 0u64;
+        for v in 0..n {
+            let x = parts[v as usize] as usize;
+            for s in scores.iter_mut() {
+                *s = 0.0;
+            }
+            for &u in csr.neighbors(v) {
+                scores[parts[u as usize] as usize] += 1.0;
+            }
+            let mut best = x;
+            let mut best_score = scores[x];
+            for i in 0..p {
+                if i == x || (size_v[i] as f64) + 1.0 > max_v {
+                    continue;
+                }
+                if scores[i] > best_score {
+                    best_score = scores[i];
+                    best = i;
+                }
+            }
+            if best != x {
+                size_v[x] -= 1;
+                size_v[best] += 1;
+                parts[v as usize] = best as i32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+    let p = params.num_parts;
+    let n = csr.num_vertices() as u64;
+    let imb_v = params.target_max_vertices(n);
+    let imb_e = params.target_max_arcs(csr.num_arcs());
+    let mut size_v = part_vertex_counts(parts, p);
+    let mut size_e = part_arc_counts(csr, parts, p);
+    let mut size_c = part_cut_counts(csr, parts, p);
+    let mut scores = vec![0.0f64; p];
+    let mut r_e = 1.0f64;
+    let mut r_c = 1.0f64;
+    for _ in 0..params.balance_iters {
+        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
+        let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
+        let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
+        if size_e.iter().all(|&s| (s as f64) <= imb_e) {
+            r_c += 1.0;
+        } else {
+            r_e += 1.0;
+        }
+        for v in 0..n {
+            let x = parts[v as usize] as usize;
+            let deg = csr.degree(v) as f64;
+            for s in scores.iter_mut() {
+                *s = 0.0;
+            }
+            for &u in csr.neighbors(v) {
+                scores[parts[u as usize] as usize] += 1.0;
+            }
+            let mut best = x;
+            let mut best_score = 0.0;
+            for i in 0..p {
+                if i == x
+                    || (size_v[i] as f64) + 1.0 > max_v
+                    || (size_e[i] as f64) + deg > max_e
+                {
+                    continue;
+                }
+                let w_e = (imb_e / (size_e[i] as f64).max(1.0) - 1.0).max(0.0);
+                let w_c = (max_c / (size_c[i] as f64).max(1.0) - 1.0).max(0.0);
+                let score = scores[i] * (r_e * w_e + r_c * w_c);
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            if best != x && best_score > 0.0 {
+                let cut_from_x = deg as i64 - scores[x] as i64;
+                let cut_from_best = deg as i64 - scores[best] as i64;
+                size_v[x] -= 1;
+                size_v[best] += 1;
+                size_e[x] -= deg as i64;
+                size_e[best] += deg as i64;
+                size_c[x] = (size_c[x] - cut_from_x).max(0);
+                size_c[best] += cut_from_best;
+                parts[v as usize] = best as i32;
+            }
+        }
+    }
+}
+
+fn edge_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+    let p = params.num_parts;
+    let n = csr.num_vertices() as u64;
+    let imb_v = params.target_max_vertices(n);
+    let imb_e = params.target_max_arcs(csr.num_arcs());
+    let mut size_v = part_vertex_counts(parts, p);
+    let mut size_e = part_arc_counts(csr, parts, p);
+    let mut size_c = part_cut_counts(csr, parts, p);
+    let mut scores = vec![0.0f64; p];
+    for _ in 0..params.refine_iters {
+        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
+        let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
+        let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
+        let mut moved = 0u64;
+        for v in 0..n {
+            let x = parts[v as usize] as usize;
+            let deg = csr.degree(v) as f64;
+            for s in scores.iter_mut() {
+                *s = 0.0;
+            }
+            for &u in csr.neighbors(v) {
+                scores[parts[u as usize] as usize] += 1.0;
+            }
+            let mut best = x;
+            let mut best_score = scores[x];
+            for i in 0..p {
+                if i == x
+                    || (size_v[i] as f64) + 1.0 > max_v
+                    || (size_e[i] as f64) + deg > max_e
+                    || (size_c[i] as f64) + (deg - scores[i]) > max_c
+                {
+                    continue;
+                }
+                if scores[i] > best_score {
+                    best_score = scores[i];
+                    best = i;
+                }
+            }
+            if best != x {
+                let cut_from_x = deg as i64 - scores[x] as i64;
+                let cut_from_best = deg as i64 - scores[best] as i64;
+                size_v[x] -= 1;
+                size_v[best] += 1;
+                size_e[x] -= deg as i64;
+                size_e[best] += deg as i64;
+                size_c[x] = (size_c[x] - cut_from_x).max(0);
+                size_c[best] += cut_from_best;
+                parts[v as usize] = best as i32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{is_valid_partition, PartitionQuality};
+    use crate::partitioner::RandomPartitioner;
+    use xtrapulp_graph::csr_from_edges;
+
+    fn grid_csr(w: u64, h: u64) -> Csr {
+        let mut e = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let id = y * w + x;
+                if x + 1 < w {
+                    e.push((id, id + 1));
+                }
+                if y + 1 < h {
+                    e.push((id, id + w));
+                }
+            }
+        }
+        csr_from_edges(w * h, &e)
+    }
+
+    #[test]
+    fn pulp_produces_balanced_low_cut_partitions_on_a_grid() {
+        let csr = grid_csr(20, 20);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 5,
+            ..Default::default()
+        };
+        let (parts, q) = PulpPartitioner.partition_with_quality(&csr, &params);
+        assert!(is_valid_partition(&parts, 4));
+        assert!(q.vertex_imbalance <= 1.25, "vertex imbalance {}", q.vertex_imbalance);
+        assert!(q.edge_cut_ratio < 0.4, "edge cut ratio {}", q.edge_cut_ratio);
+    }
+
+    #[test]
+    fn pulp_beats_random_on_cut() {
+        let csr = grid_csr(16, 16);
+        let params = PartitionParams {
+            num_parts: 8,
+            seed: 5,
+            ..Default::default()
+        };
+        let (_, q_pulp) = PulpPartitioner.partition_with_quality(&csr, &params);
+        let (_, q_rand) = RandomPartitioner.partition_with_quality(&csr, &params);
+        assert!(q_pulp.edge_cut < q_rand.edge_cut / 2);
+    }
+
+    #[test]
+    fn single_part_and_empty_graph_edge_cases() {
+        let csr = grid_csr(4, 4);
+        let parts = pulp_partition(&csr, &PartitionParams::with_parts(1));
+        assert!(parts.iter().all(|&p| p == 0));
+        let empty = csr_from_edges(0, &[]);
+        assert!(pulp_partition(&empty, &PartitionParams::with_parts(4)).is_empty());
+    }
+
+    #[test]
+    fn all_init_strategies_produce_valid_partitions() {
+        let csr = grid_csr(10, 10);
+        for init in [InitStrategy::BfsGrow, InitStrategy::Random, InitStrategy::VertexBlock] {
+            let params = PartitionParams {
+                num_parts: 5,
+                init,
+                seed: 9,
+                ..Default::default()
+            };
+            let parts = pulp_partition(&csr, &params);
+            assert!(is_valid_partition(&parts, 5), "{init:?}");
+            let q = PartitionQuality::evaluate(&csr, &parts, 5);
+            assert!(q.vertex_imbalance < 1.4, "{init:?}: {}", q.vertex_imbalance);
+        }
+    }
+
+    #[test]
+    fn pulp_is_deterministic() {
+        let csr = grid_csr(12, 12);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 123,
+            ..Default::default()
+        };
+        assert_eq!(pulp_partition(&csr, &params), pulp_partition(&csr, &params));
+    }
+
+    #[test]
+    fn single_objective_mode_skips_edge_stage() {
+        let csr = grid_csr(12, 12);
+        let params = PartitionParams {
+            num_parts: 4,
+            edge_balance_stage: false,
+            seed: 3,
+            ..Default::default()
+        };
+        let (parts, q) = PulpPartitioner.partition_with_quality(&csr, &params);
+        assert!(is_valid_partition(&parts, 4));
+        assert!(q.vertex_imbalance <= 1.25);
+    }
+}

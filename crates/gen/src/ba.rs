@@ -1,0 +1,127 @@
+//! Barabási–Albert preferential attachment: the proxy for the paper's online social
+//! network class (lj, orkut, friendster, twitter).
+//!
+//! Preferential attachment produces the heavy-tailed degree distribution and very low
+//! diameter that characterise those networks, which in turn produce the near-1.0 edge cut
+//! ratios the paper reports for them at high part counts.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::EdgeList;
+
+/// Parameters of the Barabási–Albert generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BaConfig {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Edges added per new vertex (half the eventual average degree).
+    pub edges_per_vertex: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a Barabási–Albert edge list.
+///
+/// Uses the standard "repeated endpoints" trick: attachment targets are sampled
+/// uniformly from the list of previous edge endpoints, which realises preferential
+/// attachment in O(m) time.
+pub fn generate(config: &BaConfig) -> EdgeList {
+    let n = config.num_vertices;
+    let m = config.edges_per_vertex.max(1);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut edges: Vec<(u64, u64)> = Vec::with_capacity((n * m) as usize);
+    // Endpoint pool for preferential sampling.
+    let mut pool: Vec<u64> = Vec::with_capacity((2 * n * m) as usize);
+
+    let seed_size = (m + 1).min(n);
+    // Start from a small clique so early samples have targets.
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            edges.push((u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for u in seed_size..n {
+        for _ in 0..m {
+            let v = if pool.is_empty() {
+                rng.gen_range(0..u)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if v == u {
+                continue;
+            }
+            edges.push((u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    EdgeList {
+        num_vertices: n,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::stats::approximate_diameter;
+
+    #[test]
+    fn sizes_are_plausible() {
+        let el = generate(&BaConfig {
+            num_vertices: 2000,
+            edges_per_vertex: 8,
+            seed: 1,
+        });
+        assert_eq!(el.num_vertices, 2000);
+        let csr = el.to_csr();
+        assert!(csr.avg_degree() > 10.0);
+        assert!(csr.num_edges() > 10_000);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = BaConfig {
+            num_vertices: 300,
+            edges_per_vertex: 4,
+            seed: 77,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let el = generate(&BaConfig {
+            num_vertices: 4000,
+            edges_per_vertex: 6,
+            seed: 3,
+        });
+        let csr = el.to_csr();
+        assert!(csr.max_degree() as f64 > csr.avg_degree() * 10.0);
+    }
+
+    #[test]
+    fn diameter_is_small() {
+        let el = generate(&BaConfig {
+            num_vertices: 4000,
+            edges_per_vertex: 6,
+            seed: 3,
+        });
+        let diam = approximate_diameter(&el.to_csr(), 10, 1);
+        assert!(diam <= 8, "social-network proxy should have a tiny diameter, got {diam}");
+    }
+
+    #[test]
+    fn tiny_configurations_do_not_panic() {
+        let el = generate(&BaConfig {
+            num_vertices: 2,
+            edges_per_vertex: 3,
+            seed: 1,
+        });
+        assert_eq!(el.num_vertices, 2);
+        assert!(el.to_csr().num_edges() <= 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # xtrapulp-gen
+//!
+//! Deterministic synthetic graph generators used to stand in for the paper's evaluation
+//! corpus.
+//!
+//! The paper evaluates XtraPuLP on four classes of graphs (Table I): online social /
+//! communication networks, web crawls, synthetic R-MAT / random graphs, and regular
+//! scientific-computing meshes, plus the Blue Waters scaling graphs (R-MAT, Erdős–Rényi,
+//! and the "RandHD" high-diameter random construction). We cannot redistribute the real
+//! datasets (and the largest of them, the 128-billion-edge WDC12 crawl, would not fit on
+//! one machine anyway), so every experiment harness draws from these generators, scaled
+//! to laptop sizes, with each class's structural signature preserved:
+//!
+//! * [`rmat`] — the R-MAT recursive matrix model (skewed degrees, low diameter), the
+//!   paper's proxy for power-law graphs.
+//! * [`erdos_renyi`] — uniform random graphs (the paper's RandER).
+//! * [`rand_hd`] — the paper's own high-diameter random construction: vertex `k` connects
+//!   to `davg` uniform picks from `(k - davg, k + davg)`.
+//! * [`mesh`] — 2-D and 3-D grid stencils (proxies for `InternalMeshX` and `nlpkktXXX`).
+//! * [`ba`] — Barabási–Albert preferential attachment (proxy for social networks).
+//! * [`smallworld`] — Watts–Strogatz ring rewiring (generic small-world instances).
+//! * [`webcrawl`] — a planted-community + hub model that mimics the very low edge-cut
+//!   structure of real crawls under block partitioning (the property the paper highlights
+//!   for WDC12 and the uk-* crawls).
+//! * [`presets`] — named, scaled-down stand-ins for each row of Table I and for the Blue
+//!   Waters strong/weak-scaling graphs.
+
+pub mod ba;
+pub mod erdos_renyi;
+pub mod mesh;
+pub mod presets;
+pub mod rand_hd;
+pub mod rmat;
+pub mod smallworld;
+pub mod webcrawl;
+
+pub use presets::{GraphClass, GraphConfig, GraphKind, TableIPreset};
+
+use xtrapulp_graph::GlobalId;
+
+/// An undirected edge list with an explicit vertex count (isolated vertices allowed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (vertex ids are `0..num_vertices`).
+    pub num_vertices: u64,
+    /// Undirected edges; may contain duplicates or self loops, which downstream builders
+    /// remove.
+    pub edges: Vec<(GlobalId, GlobalId)>,
+}
+
+impl EdgeList {
+    /// Build an in-memory CSR from this edge list.
+    pub fn to_csr(&self) -> xtrapulp_graph::Csr {
+        xtrapulp_graph::csr_from_edges(self.num_vertices, &self.edges)
+    }
+}

@@ -1,0 +1,146 @@
+//! Regular mesh generators: proxies for the paper's `InternalMeshX` and `nlpkktXXX`
+//! scientific-computing graphs.
+//!
+//! These graphs are the fourth class in Table I: regular, high-diameter, low and uniform
+//! degree (≈ 13 for both families). ParMETIS is expected to beat label-propagation
+//! partitioners on them, and the reproduction needs that contrast. A 2-D 9-point or 3-D
+//! 27-point stencil over a grid reproduces the relevant structure (constant degree,
+//! planar-ish separators, diameter that grows as a power of n).
+
+use crate::EdgeList;
+
+/// Generate a 2-D grid graph of `width * height` vertices.
+///
+/// `diagonal = false` gives the 5-point stencil (degree ≤ 4), `true` the 9-point stencil
+/// (degree ≤ 8). Vertex `(x, y)` has id `y * width + x`.
+pub fn grid2d(width: u64, height: u64, diagonal: bool) -> EdgeList {
+    let n = width * height;
+    let mut edges = Vec::with_capacity((n * if diagonal { 4 } else { 2 }) as usize);
+    let id = |x: u64, y: u64| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < height {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+            if diagonal && x + 1 < width && y + 1 < height {
+                edges.push((id(x, y), id(x + 1, y + 1)));
+                edges.push((id(x + 1, y), id(x, y + 1)));
+            }
+        }
+    }
+    EdgeList {
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Generate a 3-D grid graph of `nx * ny * nz` vertices with the 7-point stencil
+/// (`full = false`) or the 27-point stencil minus centre (`full = true`, degree ≤ 26).
+///
+/// The 27-point stencil's average interior degree (26) brackets the nlpkkt family's
+/// average degree; the 7-point stencil (6) brackets the InternalMesh family from below.
+/// Experiments use whichever matches the target degree better.
+pub fn grid3d(nx: u64, ny: u64, nz: u64, full: bool) -> EdgeList {
+    let n = nx * ny * nz;
+    let mut edges = Vec::new();
+    let id = |x: u64, y: u64, z: u64| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if full {
+                    // Connect to all lexicographically-greater neighbours in the 3x3x3 cube.
+                    for dz in 0..=1u64 {
+                        for dy in -1i64..=1 {
+                            for dx in -1i64..=1 {
+                                if dz == 0 && (dy < 0 || (dy == 0 && dx <= 0)) {
+                                    continue;
+                                }
+                                let nx_ = x as i64 + dx;
+                                let ny_ = y as i64 + dy;
+                                let nz_ = z + dz;
+                                if nx_ < 0 || ny_ < 0 || nx_ >= nx as i64 || ny_ >= ny as i64 || nz_ >= nz {
+                                    continue;
+                                }
+                                edges.push((id(x, y, z), id(nx_ as u64, ny_ as u64, nz_)));
+                            }
+                        }
+                    }
+                } else {
+                    if x + 1 < nx {
+                        edges.push((id(x, y, z), id(x + 1, y, z)));
+                    }
+                    if y + 1 < ny {
+                        edges.push((id(x, y, z), id(x, y + 1, z)));
+                    }
+                    if z + 1 < nz {
+                        edges.push((id(x, y, z), id(x, y, z + 1)));
+                    }
+                }
+            }
+        }
+    }
+    EdgeList {
+        num_vertices: n,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::stats::approximate_diameter;
+
+    #[test]
+    fn grid2d_5point_counts() {
+        let el = grid2d(4, 3, false);
+        assert_eq!(el.num_vertices, 12);
+        // 2*4*3 - 4 - 3 = 17 edges for a 4x3 grid.
+        assert_eq!(el.edges.len(), 17);
+        let csr = el.to_csr();
+        assert_eq!(csr.num_edges(), 17);
+        assert_eq!(csr.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid2d_9point_has_higher_degree() {
+        let el = grid2d(10, 10, true);
+        let csr = el.to_csr();
+        assert_eq!(csr.max_degree(), 8);
+        assert_eq!(csr.num_vertices(), 100);
+    }
+
+    #[test]
+    fn grid3d_7point_interior_degree() {
+        let el = grid3d(5, 5, 5, false);
+        let csr = el.to_csr();
+        assert_eq!(csr.num_vertices(), 125);
+        assert_eq!(csr.max_degree(), 6);
+        // Interior vertex (2,2,2) has id (2*5+2)*5+2 = 62 and degree 6.
+        assert_eq!(csr.degree(62), 6);
+    }
+
+    #[test]
+    fn grid3d_27point_interior_degree() {
+        let el = grid3d(5, 5, 5, true);
+        let csr = el.to_csr();
+        assert_eq!(csr.max_degree(), 26);
+    }
+
+    #[test]
+    fn grid_diameter_grows_with_side_length() {
+        let small = approximate_diameter(&grid2d(8, 8, false).to_csr(), 10, 1);
+        let large = approximate_diameter(&grid2d(24, 24, false).to_csr(), 10, 1);
+        assert_eq!(small, 14);
+        assert_eq!(large, 46);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid2d(1, 1, true).to_csr().num_edges(), 0);
+        assert_eq!(grid2d(5, 1, false).to_csr().num_edges(), 4);
+        assert_eq!(grid3d(1, 1, 7, false).to_csr().num_edges(), 6);
+    }
+}

@@ -1,0 +1,146 @@
+//! R-MAT recursive matrix graph generator.
+//!
+//! The paper's synthetic power-law graphs (`rmat_22` … `rmat_28` and the Blue Waters
+//! `RMAT` scaling graphs) follow the R-MAT model of Chakrabarti, Zhan and Faloutsos with
+//! the Graph500 parameters `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`: each edge is placed
+//! by recursively descending into one of the four quadrants of the adjacency matrix with
+//! those probabilities. The result has a highly skewed degree distribution and a small
+//! diameter — the properties that stress the partitioner's load balance.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::EdgeList;
+
+/// Parameters of the R-MAT model.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average number of undirected edges per vertex.
+    pub edge_factor: u64,
+    /// Quadrant probability `a` (top-left).
+    pub a: f64,
+    /// Quadrant probability `b` (top-right).
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left).
+    pub c: f64,
+    /// RNG seed; the generator is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters at the given scale and edge factor.
+    pub fn graph500(scale: u32, edge_factor: u64, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
+    }
+}
+
+/// Generate an R-MAT edge list.
+pub fn generate(config: &RmatConfig) -> EdgeList {
+    let n = 1u64 << config.scale;
+    let m = n.saturating_mul(config.edge_factor);
+    let d = 1.0 - config.a - config.b - config.c;
+    assert!(
+        d >= 0.0 && config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0,
+        "R-MAT quadrant probabilities must be non-negative and sum to at most 1"
+    );
+
+    // Generate in parallel chunks, each with an independent deterministic stream.
+    let chunk = 1u64 << 16;
+    let num_chunks = m.div_ceil(chunk);
+    let edges: Vec<(u64, u64)> = (0..num_chunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ (ci.wrapping_mul(0x9E37_79B9)));
+            let count = chunk.min(m - ci * chunk);
+            let cfg = *config;
+            (0..count).map(move |_| sample_edge(&cfg, &mut rng))
+        })
+        .collect();
+
+    EdgeList {
+        num_vertices: n,
+        edges,
+    }
+}
+
+fn sample_edge(config: &RmatConfig, rng: &mut SmallRng) -> (u64, u64) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    let ab = config.a + config.b;
+    let abc = ab + config.c;
+    for level in (0..config.scale).rev() {
+        let r: f64 = rng.gen();
+        // Add a little per-level noise, as in the Graph500 reference generator, to avoid
+        // exact self-similarity artifacts.
+        let bit = 1u64 << level;
+        if r < config.a {
+            // top-left: neither bit set
+        } else if r < ab {
+            v |= bit;
+        } else if r < abc {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_configuration() {
+        let el = generate(&RmatConfig::graph500(10, 8, 1));
+        assert_eq!(el.num_vertices, 1024);
+        assert_eq!(el.edges.len(), 1024 * 8);
+        assert!(el.edges.iter().all(|&(u, v)| u < 1024 && v < 1024));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(&RmatConfig::graph500(8, 4, 7));
+        let b = generate(&RmatConfig::graph500(8, 4, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&RmatConfig::graph500(8, 4, 7));
+        let b = generate(&RmatConfig::graph500(8, 4, 8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // R-MAT graphs have a much larger max degree than an Erdős–Rényi graph of the
+        // same size; check the skew qualitatively.
+        let el = generate(&RmatConfig::graph500(12, 8, 3));
+        let csr = el.to_csr();
+        let avg = csr.avg_degree();
+        assert!(
+            csr.max_degree() as f64 > avg * 8.0,
+            "expected a skewed degree distribution (max {} vs avg {avg})",
+            csr.max_degree()
+        );
+    }
+
+    #[test]
+    fn zero_edge_factor_gives_empty_graph() {
+        let el = generate(&RmatConfig::graph500(6, 0, 1));
+        assert!(el.edges.is_empty());
+        assert_eq!(el.num_vertices, 64);
+    }
+}

@@ -1,0 +1,120 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The paper frames its target workloads as "small-world" graphs (low diameter, local
+//! clustering). The Watts–Strogatz model — a ring lattice with a fraction of edges
+//! rewired to uniform random targets — is the canonical generator for that regime and is
+//! used by the test suite to produce graphs that are neither as skewed as R-MAT nor as
+//! regular as meshes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::EdgeList;
+
+/// Parameters of the Watts–Strogatz generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallWorldConfig {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Each vertex connects to `k` nearest neighbours on each side of the ring (degree 2k
+    /// before rewiring).
+    pub k: u64,
+    /// Probability that each lattice edge is rewired to a uniform random target.
+    pub rewire_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a Watts–Strogatz edge list.
+pub fn generate(config: &SmallWorldConfig) -> EdgeList {
+    let n = config.num_vertices;
+    let k = config.k.max(1);
+    assert!(
+        (0.0..=1.0).contains(&config.rewire_probability),
+        "rewire probability must be in [0, 1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut edges = Vec::with_capacity((n * k) as usize);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < config.rewire_probability {
+                // Rewire the far endpoint to a uniform random vertex.
+                let w = rng.gen_range(0..n);
+                if w != u {
+                    edges.push((u, w));
+                    continue;
+                }
+            }
+            if v != u {
+                edges.push((u, v));
+            }
+        }
+    }
+    EdgeList {
+        num_vertices: n,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::stats::approximate_diameter;
+
+    #[test]
+    fn unrewired_lattice_is_regular() {
+        let el = generate(&SmallWorldConfig {
+            num_vertices: 100,
+            k: 3,
+            rewire_probability: 0.0,
+            seed: 1,
+        });
+        let csr = el.to_csr();
+        assert_eq!(csr.num_edges(), 300);
+        for v in 0..100 {
+            assert_eq!(csr.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn rewiring_shrinks_the_diameter() {
+        let lattice = generate(&SmallWorldConfig {
+            num_vertices: 600,
+            k: 2,
+            rewire_probability: 0.0,
+            seed: 1,
+        });
+        let rewired = generate(&SmallWorldConfig {
+            num_vertices: 600,
+            k: 2,
+            rewire_probability: 0.2,
+            seed: 1,
+        });
+        let d_lattice = approximate_diameter(&lattice.to_csr(), 10, 1);
+        let d_rewired = approximate_diameter(&rewired.to_csr(), 10, 1);
+        assert!(d_rewired * 3 < d_lattice, "{d_rewired} vs {d_lattice}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SmallWorldConfig {
+            num_vertices: 200,
+            k: 4,
+            rewire_probability: 0.1,
+            seed: 5,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewire probability")]
+    fn invalid_probability_panics() {
+        generate(&SmallWorldConfig {
+            num_vertices: 10,
+            k: 2,
+            rewire_probability: 1.5,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,307 @@
+//! In-memory compressed sparse row graph and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GlobalId;
+
+/// An undirected graph in compressed sparse row form.
+///
+/// Vertices are `0..num_vertices()`. The adjacency of vertex `v` is the slice
+/// `adjacency[offsets[v]..offsets[v+1]]`. Every undirected edge `{u, v}` is stored twice
+/// (once per endpoint), matching the paper's convention of treating all edges as
+/// undirected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    adjacency: Vec<GlobalId>,
+}
+
+impl Csr {
+    /// Build a CSR directly from pre-validated offsets and adjacency arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotonically non-decreasing, do not start at zero,
+    /// or do not end at `adjacency.len()`.
+    pub fn from_parts(offsets: Vec<u64>, adjacency: Vec<GlobalId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at zero");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            adjacency.len(),
+            "offsets must end at the adjacency length"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = offsets.len() as u64 - 1;
+        assert!(
+            adjacency.iter().all(|&u| u < n),
+            "adjacency refers to a vertex outside 0..n"
+        );
+        Csr { offsets, adjacency }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (half the number of stored directed arcs).
+    pub fn num_edges(&self) -> u64 {
+        self.adjacency.len() as u64 / 2
+    }
+
+    /// Number of stored directed arcs (twice the undirected edge count).
+    pub fn num_arcs(&self) -> u64 {
+        self.adjacency.len() as u64
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: GlobalId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbors(&self, v: GlobalId) -> &[GlobalId] {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.adjacency[start..end]
+    }
+
+    /// The raw offset array (length `n + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw adjacency array.
+    pub fn adjacency(&self) -> &[GlobalId] {
+        &self.adjacency
+    }
+
+    /// Iterate over all directed arcs `(u, v)`; each undirected edge appears twice.
+    pub fn arcs(&self) -> impl Iterator<Item = (GlobalId, GlobalId)> + '_ {
+        (0..self.num_vertices() as u64)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterate over each undirected edge exactly once (as `(u, v)` with `u <= v`).
+    pub fn edges(&self) -> impl Iterator<Item = (GlobalId, GlobalId)> + '_ {
+        self.arcs().filter(|&(u, v)| u <= v)
+    }
+
+    /// Maximum vertex degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> u64 {
+        (0..self.num_vertices() as u64)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average vertex degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.adjacency.len() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+/// Builder assembling a [`Csr`] from an arbitrary edge list.
+///
+/// The builder tolerates the messiness of real edge lists (duplicate edges, self loops,
+/// both directions present) and always produces a simple, symmetric graph, which is what
+/// the partitioning algorithms assume.
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    num_vertices: u64,
+    edges: Vec<(GlobalId, GlobalId)>,
+    keep_self_loops: bool,
+}
+
+impl CsrBuilder {
+    /// Create a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: u64) -> Self {
+        CsrBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            keep_self_loops: false,
+        }
+    }
+
+    /// Keep self loops instead of dropping them (default: drop).
+    pub fn keep_self_loops(mut self, keep: bool) -> Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Add one undirected edge.
+    pub fn add_edge(&mut self, u: GlobalId, v: GlobalId) -> &mut Self {
+        debug_assert!(u < self.num_vertices && v < self.num_vertices);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Add many undirected edges.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (GlobalId, GlobalId)>) -> &mut Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Number of raw (pre-deduplication) edges added so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Build the CSR: symmetrise, drop out-of-range endpoints, deduplicate, and (by
+    /// default) remove self loops.
+    pub fn build(&self) -> Csr {
+        let n = self.num_vertices as usize;
+        // Symmetrise into directed arcs.
+        let mut arcs: Vec<(GlobalId, GlobalId)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            if u >= self.num_vertices || v >= self.num_vertices {
+                continue;
+            }
+            if u == v {
+                if self.keep_self_loops {
+                    arcs.push((u, v));
+                }
+                continue;
+            }
+            arcs.push((u, v));
+            arcs.push((v, u));
+        }
+        // Sort and deduplicate.
+        arcs.sort_unstable();
+        arcs.dedup();
+        // Counting sort into CSR.
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let adjacency: Vec<GlobalId> = arcs.iter().map(|&(_, v)| v).collect();
+        Csr { offsets, adjacency }
+    }
+}
+
+/// Build a CSR from a plain undirected edge list over `num_vertices` vertices.
+pub fn csr_from_edges(num_vertices: u64, edges: &[(GlobalId, GlobalId)]) -> Csr {
+    let mut b = CsrBuilder::new(num_vertices);
+    b.add_edges(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u64) -> Csr {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        csr_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = csr_from_edges(5, &[]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = csr_from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_are_merged() {
+        let g = csr_from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = csr_from_edges(3, &[(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loops_kept_on_request() {
+        let mut b = CsrBuilder::new(3).keep_self_loops(true);
+        b.add_edge(0, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.degree(0), 2);
+        assert!(g.neighbors(0).contains(&0));
+    }
+
+    #[test]
+    fn out_of_range_edges_are_dropped() {
+        let g = csr_from_edges(3, &[(0, 1), (0, 7), (9, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn arcs_and_edges_iterators_agree() {
+        let g = csr_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]);
+        assert_eq!(g.arcs().count() as u64, g.num_arcs());
+        assert_eq!(g.edges().count() as u64, g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(u <= v);
+            assert!(g.neighbors(u).contains(&v));
+            assert!(g.neighbors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let g = path_graph(4);
+        let g2 = Csr::from_parts(g.offsets().to_vec(), g.adjacency().to_vec());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_parts_rejects_bad_offsets() {
+        Csr::from_parts(vec![0, 3, 2, 4], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_parts_rejects_bad_adjacency() {
+        Csr::from_parts(vec![0, 1], vec![7]);
+    }
+
+    #[test]
+    fn star_graph_degrees() {
+        let edges: Vec<_> = (1..10).map(|i| (0, i)).collect();
+        let g = csr_from_edges(10, &edges);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.max_degree(), 9);
+        for v in 1..10 {
+            assert_eq!(g.degree(v), 1);
+            assert_eq!(g.neighbors(v), &[0]);
+        }
+    }
+}

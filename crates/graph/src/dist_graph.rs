@@ -1,0 +1,628 @@
+//! The per-rank distributed graph: owned vertices, ghosts, and a local CSR.
+//!
+//! This is the reproduction of XtraPuLP's distributed one-dimensional CSR-like
+//! representation. Each rank owns a subset of vertices (given by a [`Distribution`]) and
+//! stores:
+//!
+//! * the adjacency of its owned vertices, with neighbours referenced by *local id*;
+//! * a *ghost* table for the one-hop neighbourhood owned by other ranks (global id,
+//!   owning rank, and global degree of each ghost);
+//! * a hash map translating global ids to local ids, and a flat array for the reverse
+//!   direction — exactly the scheme the paper describes.
+//!
+//! Local ids are laid out as `[0, n_owned)` for owned vertices followed by
+//! `[n_owned, n_owned + n_ghost)` for ghosts, so per-vertex state (part labels, BFS
+//! levels, PageRank values, ...) can be kept in a single flat vector.
+
+use std::collections::HashMap;
+
+use xtrapulp_comm::RankCtx;
+
+use crate::{Csr, Distribution, GlobalId, LocalId};
+
+/// A rank-local view of a globally distributed undirected graph.
+#[derive(Debug, Clone)]
+pub struct DistGraph {
+    global_n: u64,
+    global_m: u64,
+    rank: usize,
+    nranks: usize,
+    dist: Distribution,
+    /// Global id of each owned vertex; index is the local id.
+    owned_global: Vec<GlobalId>,
+    /// Global id of each ghost vertex; index is `local_id - n_owned`.
+    ghost_global: Vec<GlobalId>,
+    /// Owning rank of each ghost vertex.
+    ghost_owner: Vec<u32>,
+    /// Global degree of each ghost vertex.
+    ghost_degree: Vec<u64>,
+    global_to_local: HashMap<GlobalId, LocalId>,
+    /// CSR offsets over owned vertices (length `n_owned + 1`).
+    offsets: Vec<u64>,
+    /// CSR adjacency in local ids (owned or ghost).
+    adjacency: Vec<LocalId>,
+}
+
+impl DistGraph {
+    // --------------------------------------------------------------------------------
+    // Construction
+    // --------------------------------------------------------------------------------
+
+    /// Build the local graph from a globally shared undirected edge list.
+    ///
+    /// Every rank scans the same `edges` slice and keeps the arcs whose source it owns.
+    /// This is the cheapest construction path when the whole edge list fits in shared
+    /// memory (which is always the case in this reproduction).
+    pub fn from_shared_edges(
+        ctx: &RankCtx,
+        dist: Distribution,
+        global_n: u64,
+        edges: &[(GlobalId, GlobalId)],
+    ) -> Self {
+        let rank = ctx.rank();
+        let nranks = ctx.nranks();
+        let mut arcs = Vec::new();
+        for &(u, v) in edges {
+            if u == v || u >= global_n || v >= global_n {
+                continue;
+            }
+            if dist.owner(u, global_n, nranks) == rank {
+                arcs.push((u, v));
+            }
+            if dist.owner(v, global_n, nranks) == rank {
+                arcs.push((v, u));
+            }
+        }
+        Self::from_owned_arcs(ctx, dist, global_n, arcs)
+    }
+
+    /// Build the local graph from a globally shared [`Csr`].
+    pub fn from_csr(ctx: &RankCtx, dist: Distribution, csr: &Csr) -> Self {
+        let rank = ctx.rank();
+        let nranks = ctx.nranks();
+        let global_n = csr.num_vertices() as u64;
+        let mut arcs = Vec::new();
+        for u in dist.owned_vertices(rank, global_n, nranks) {
+            for &v in csr.neighbors(u) {
+                if u != v {
+                    arcs.push((u, v));
+                }
+            }
+        }
+        Self::from_owned_arcs(ctx, dist, global_n, arcs)
+    }
+
+    /// Build the local graph when each rank holds an arbitrary chunk of the global edge
+    /// list (e.g. each rank generated part of the graph). Edges are shuffled to the
+    /// owners of both endpoints with an all-to-all exchange, mirroring how the original
+    /// code ingests distributed graph files.
+    pub fn from_local_edges(
+        ctx: &RankCtx,
+        dist: Distribution,
+        global_n: u64,
+        edges: Vec<(GlobalId, GlobalId)>,
+    ) -> Self {
+        let rank = ctx.rank();
+        let nranks = ctx.nranks();
+        let mut sends: Vec<Vec<(GlobalId, GlobalId)>> = vec![Vec::new(); nranks];
+        let mut my_arcs = Vec::new();
+        for (u, v) in edges {
+            if u == v || u >= global_n || v >= global_n {
+                continue;
+            }
+            let ou = dist.owner(u, global_n, nranks);
+            let ov = dist.owner(v, global_n, nranks);
+            if ou == rank {
+                my_arcs.push((u, v));
+            } else {
+                sends[ou].push((u, v));
+            }
+            if ov == rank {
+                my_arcs.push((v, u));
+            } else {
+                sends[ov].push((v, u));
+            }
+        }
+        let received = ctx.alltoallv(sends);
+        for buf in received {
+            my_arcs.extend(buf);
+        }
+        Self::from_owned_arcs(ctx, dist, global_n, my_arcs)
+    }
+
+    /// Core constructor: `arcs` are directed arcs whose source is owned by this rank.
+    /// Duplicates are removed; ghost metadata (owner, degree) is fetched collectively.
+    fn from_owned_arcs(
+        ctx: &RankCtx,
+        dist: Distribution,
+        global_n: u64,
+        mut arcs: Vec<(GlobalId, GlobalId)>,
+    ) -> Self {
+        let rank = ctx.rank();
+        let nranks = ctx.nranks();
+
+        let owned_global: Vec<GlobalId> = dist.owned_vertices(rank, global_n, nranks).collect();
+        let n_owned = owned_global.len();
+        let mut global_to_local: HashMap<GlobalId, LocalId> =
+            HashMap::with_capacity(n_owned * 2);
+        for (i, &g) in owned_global.iter().enumerate() {
+            global_to_local.insert(g, i as LocalId);
+        }
+
+        arcs.sort_unstable();
+        arcs.dedup();
+
+        // Assign ghost local ids in first-seen (sorted) order.
+        let mut ghost_global = Vec::new();
+        for &(_, v) in &arcs {
+            if !global_to_local.contains_key(&v) {
+                let lid = (n_owned + ghost_global.len()) as LocalId;
+                global_to_local.insert(v, lid);
+                ghost_global.push(v);
+            }
+        }
+
+        // Build CSR over owned vertices.
+        let mut offsets = vec![0u64; n_owned + 1];
+        for &(u, _) in &arcs {
+            let lu = global_to_local[&u] as usize;
+            debug_assert!(lu < n_owned, "arc source must be owned by this rank");
+            offsets[lu + 1] += 1;
+        }
+        for i in 0..n_owned {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adjacency = vec![0 as LocalId; arcs.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &arcs {
+            let lu = global_to_local[&u] as usize;
+            adjacency[cursor[lu] as usize] = global_to_local[&v];
+            cursor[lu] += 1;
+        }
+
+        let ghost_owner: Vec<u32> = ghost_global
+            .iter()
+            .map(|&g| dist.owner(g, global_n, nranks) as u32)
+            .collect();
+
+        // Global undirected edge count: every arc's source is owned by exactly one rank,
+        // and each undirected edge produces two arcs overall.
+        let local_arcs = adjacency.len() as u64;
+        let global_m = ctx.allreduce_scalar_sum_u64(local_arcs) / 2;
+
+        let mut graph = DistGraph {
+            global_n,
+            global_m,
+            rank,
+            nranks,
+            dist,
+            owned_global,
+            ghost_global,
+            ghost_owner,
+            ghost_degree: Vec::new(),
+            global_to_local,
+            offsets,
+            adjacency,
+        };
+
+        // Fetch the global degree of every ghost from its owner (needed by the weighted
+        // balance phase, which weights neighbour counts by degree).
+        let owned_degrees: Vec<u64> = (0..graph.n_owned())
+            .map(|v| graph.degree_owned(v as LocalId))
+            .collect();
+        graph.ghost_degree = graph.ghost_values_u64(ctx, &owned_degrees);
+        graph
+    }
+
+    // --------------------------------------------------------------------------------
+    // Sizes and identity
+    // --------------------------------------------------------------------------------
+
+    /// Number of vertices owned by this rank.
+    pub fn n_owned(&self) -> usize {
+        self.owned_global.len()
+    }
+
+    /// Number of ghost vertices (neighbours owned by other ranks).
+    pub fn n_ghost(&self) -> usize {
+        self.ghost_global.len()
+    }
+
+    /// Owned plus ghost vertices: the length required for per-vertex state vectors.
+    pub fn n_total(&self) -> usize {
+        self.n_owned() + self.n_ghost()
+    }
+
+    /// Number of vertices in the global graph.
+    pub fn global_n(&self) -> u64 {
+        self.global_n
+    }
+
+    /// Number of undirected edges in the global graph.
+    pub fn global_m(&self) -> u64 {
+        self.global_m
+    }
+
+    /// Number of directed arcs stored on this rank (the local workload measure the edge
+    /// balance phase equalises).
+    pub fn local_arcs(&self) -> u64 {
+        self.adjacency.len() as u64
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks the graph is distributed over.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The ownership function used to distribute the graph.
+    pub fn distribution(&self) -> Distribution {
+        self.dist.clone()
+    }
+
+    // --------------------------------------------------------------------------------
+    // Topology accessors
+    // --------------------------------------------------------------------------------
+
+    /// Neighbours (as local ids) of an owned vertex.
+    pub fn neighbors(&self, v: LocalId) -> &[LocalId] {
+        debug_assert!((v as usize) < self.n_owned(), "neighbors() requires an owned vertex");
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.adjacency[start..end]
+    }
+
+    /// Degree of an owned vertex.
+    pub fn degree_owned(&self, v: LocalId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Degree of any local vertex: the local degree for owned vertices, the global degree
+    /// (fetched from the owner at construction time) for ghosts.
+    pub fn degree(&self, v: LocalId) -> u64 {
+        let v = v as usize;
+        if v < self.n_owned() {
+            self.degree_owned(v as LocalId)
+        } else {
+            self.ghost_degree[v - self.n_owned()]
+        }
+    }
+
+    /// Is this local id an owned vertex (as opposed to a ghost)?
+    pub fn is_owned(&self, v: LocalId) -> bool {
+        (v as usize) < self.n_owned()
+    }
+
+    /// Global id of a local vertex (owned or ghost).
+    pub fn global_id(&self, v: LocalId) -> GlobalId {
+        let v = v as usize;
+        if v < self.n_owned() {
+            self.owned_global[v]
+        } else {
+            self.ghost_global[v - self.n_owned()]
+        }
+    }
+
+    /// Local id of a global vertex if it is known to this rank (owned or ghost).
+    pub fn local_id(&self, g: GlobalId) -> Option<LocalId> {
+        self.global_to_local.get(&g).copied()
+    }
+
+    /// The rank that owns a local vertex.
+    pub fn owner_of_local(&self, v: LocalId) -> usize {
+        let v = v as usize;
+        if v < self.n_owned() {
+            self.rank
+        } else {
+            self.ghost_owner[v - self.n_owned()] as usize
+        }
+    }
+
+    /// The rank that owns a global vertex.
+    pub fn owner_of_global(&self, g: GlobalId) -> usize {
+        self.dist.owner(g, self.global_n, self.nranks)
+    }
+
+    /// Iterate over owned vertices as local ids.
+    pub fn owned_vertices(&self) -> impl Iterator<Item = LocalId> + '_ {
+        (0..self.n_owned() as LocalId).into_iter()
+    }
+
+    /// Global ids of this rank's ghosts, indexed by `local_id - n_owned()`.
+    pub fn ghost_globals(&self) -> &[GlobalId] {
+        &self.ghost_global
+    }
+
+    // --------------------------------------------------------------------------------
+    // Ghost exchange
+    // --------------------------------------------------------------------------------
+
+    /// Pull one `u64` value per ghost vertex from the ghosts' owners.
+    ///
+    /// `owned_values[v]` must hold the value of owned vertex `v` on every rank. The
+    /// result is indexed by ghost slot (`local_id - n_owned()`).
+    pub fn ghost_values_u64(&self, ctx: &RankCtx, owned_values: &[u64]) -> Vec<u64> {
+        self.ghost_values_with(ctx, |v| owned_values[v as usize])
+    }
+
+    /// Pull one `f64` value per ghost vertex from the ghosts' owners.
+    pub fn ghost_values_f64(&self, ctx: &RankCtx, owned_values: &[f64]) -> Vec<f64> {
+        self.ghost_values_with(ctx, |v| owned_values[v as usize])
+    }
+
+    /// Pull one `i32` value per ghost vertex from the ghosts' owners (used for part
+    /// labels and component/level ids).
+    pub fn ghost_values_i32(&self, ctx: &RankCtx, owned_values: &[i32]) -> Vec<i32> {
+        self.ghost_values_with(ctx, |v| owned_values[v as usize])
+    }
+
+    /// Generic pull-based ghost exchange: every rank answers requests for its owned
+    /// vertices with `value_of(local_owned_id)`, and receives the values of its ghosts.
+    pub fn ghost_values_with<T, F>(&self, ctx: &RankCtx, value_of: F) -> Vec<T>
+    where
+        T: Copy + Send + 'static,
+        F: Fn(LocalId) -> T,
+    {
+        let nranks = self.nranks;
+        // Group ghost requests by owning rank, remembering each ghost's slot so replies
+        // can be scattered back into place.
+        let mut requests: Vec<Vec<GlobalId>> = vec![Vec::new(); nranks];
+        let mut request_slots: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+        for (slot, (&g, &owner)) in self
+            .ghost_global
+            .iter()
+            .zip(self.ghost_owner.iter())
+            .enumerate()
+        {
+            requests[owner as usize].push(g);
+            request_slots[owner as usize].push(slot);
+        }
+        let incoming = ctx.alltoallv(requests);
+        // Answer every request with the value of the owned vertex.
+        let replies: Vec<Vec<T>> = incoming
+            .iter()
+            .map(|reqs| {
+                reqs.iter()
+                    .map(|&g| {
+                        let lid = self.global_to_local[&g];
+                        debug_assert!(self.is_owned(lid));
+                        value_of(lid)
+                    })
+                    .collect()
+            })
+            .collect();
+        let answered = ctx.alltoallv(replies);
+        let mut out = vec![None; self.n_ghost()];
+        for (owner, values) in answered.into_iter().enumerate() {
+            for (slot, value) in request_slots[owner].iter().zip(values) {
+                out[*slot] = Some(value);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("ghost exchange missed a ghost"))
+            .collect()
+    }
+
+    /// Convenience: extend a per-owned-vertex state vector to cover ghosts too, by
+    /// pulling ghost values from their owners. The result has length `n_total()`.
+    pub fn extend_with_ghosts_u64(&self, ctx: &RankCtx, owned_values: &[u64]) -> Vec<u64> {
+        let mut full = owned_values.to_vec();
+        full.extend(self.ghost_values_u64(ctx, owned_values));
+        full
+    }
+
+    /// Cut statistics for a local part assignment covering owned + ghost vertices:
+    /// returns `(local_cut_arcs, per_part_cut_arcs)` where a cut arc is an owned arc
+    /// whose endpoints are in different parts.
+    pub fn local_cut(&self, parts: &[i32], num_parts: usize) -> (u64, Vec<u64>) {
+        assert!(parts.len() >= self.n_total());
+        let mut cut = 0u64;
+        let mut per_part = vec![0u64; num_parts];
+        for v in 0..self.n_owned() {
+            let pv = parts[v];
+            for &u in self.neighbors(v as LocalId) {
+                let pu = parts[u as usize];
+                if pv != pu {
+                    cut += 1;
+                    if pv >= 0 {
+                        per_part[pv as usize] += 1;
+                    }
+                    if pu >= 0 {
+                        per_part[pu as usize] += 1;
+                    }
+                }
+            }
+        }
+        (cut, per_part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr_from_edges;
+    use xtrapulp_comm::Runtime;
+
+    /// A small graph used across tests: two triangles joined by one bridge edge.
+    ///   0-1-2-0   3-4-5-3   2-3 bridge
+    fn two_triangles() -> Vec<(GlobalId, GlobalId)> {
+        vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+    }
+
+    #[test]
+    fn single_rank_holds_whole_graph() {
+        let edges = two_triangles();
+        let out = Runtime::run(1, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            (g.n_owned(), g.n_ghost(), g.global_m(), g.local_arcs())
+        });
+        assert_eq!(out[0], (6, 0, 7, 14));
+    }
+
+    #[test]
+    fn multi_rank_block_distribution_builds_ghosts() {
+        let edges = two_triangles();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            assert_eq!(g.global_n(), 6);
+            assert_eq!(g.global_m(), 7);
+            assert_eq!(g.n_owned(), 3);
+            // Rank 0 owns {0,1,2}; vertex 2's neighbour 3 is a ghost. Symmetrically for rank 1.
+            assert_eq!(g.n_ghost(), 1);
+            let ghost_global = g.ghost_globals()[0];
+            let expected_ghost = if ctx.rank() == 0 { 3 } else { 2 };
+            assert_eq!(ghost_global, expected_ghost);
+            // Ghost degree equals the global degree of the bridge endpoint (3).
+            assert_eq!(g.degree(g.n_owned() as LocalId), 3);
+            g.local_arcs()
+        });
+        assert_eq!(out.iter().sum::<u64>(), 14);
+    }
+
+    #[test]
+    fn from_csr_and_from_shared_edges_agree() {
+        let edges = two_triangles();
+        let csr = csr_from_edges(6, &edges);
+        let out = Runtime::run(3, |ctx| {
+            let a = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, 6, &edges);
+            let b = DistGraph::from_csr(ctx, Distribution::Cyclic, &csr);
+            assert_eq!(a.n_owned(), b.n_owned());
+            assert_eq!(a.n_ghost(), b.n_ghost());
+            assert_eq!(a.local_arcs(), b.local_arcs());
+            for v in 0..a.n_owned() as LocalId {
+                let mut na: Vec<GlobalId> =
+                    a.neighbors(v).iter().map(|&u| a.global_id(u)).collect();
+                let mut nb: Vec<GlobalId> =
+                    b.neighbors(v).iter().map(|&u| b.global_id(u)).collect();
+                na.sort_unstable();
+                nb.sort_unstable();
+                assert_eq!(na, nb);
+            }
+            true
+        });
+        assert!(out.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn from_local_edges_shuffles_to_owners() {
+        let edges = two_triangles();
+        let out = Runtime::run(3, |ctx| {
+            // Each rank starts with a disjoint slice of the edge list.
+            let chunk: Vec<_> = edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % ctx.nranks() == ctx.rank())
+                .map(|(_, &e)| e)
+                .collect();
+            let g = DistGraph::from_local_edges(ctx, Distribution::Block, 6, chunk);
+            let h = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            assert_eq!(g.local_arcs(), h.local_arcs());
+            assert_eq!(g.n_ghost(), h.n_ghost());
+            g.global_m()
+        });
+        assert!(out.iter().all(|&m| m == 7));
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_are_cleaned() {
+        let mut edges = two_triangles();
+        edges.push((0, 1));
+        edges.push((1, 0));
+        edges.push((4, 4));
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            g.global_m()
+        });
+        assert!(out.iter().all(|&m| m == 7));
+    }
+
+    #[test]
+    fn global_local_id_round_trip() {
+        let edges = two_triangles();
+        Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, 6, &edges);
+            for v in 0..g.n_total() as LocalId {
+                let gid = g.global_id(v);
+                assert_eq!(g.local_id(gid), Some(v));
+            }
+            for v in g.owned_vertices() {
+                assert!(g.is_owned(v));
+                assert_eq!(g.owner_of_local(v), ctx.rank());
+                assert_eq!(g.owner_of_global(g.global_id(v)), ctx.rank());
+            }
+            for ghost_slot in 0..g.n_ghost() {
+                let lid = (g.n_owned() + ghost_slot) as LocalId;
+                assert!(!g.is_owned(lid));
+                assert_ne!(g.owner_of_local(lid), ctx.rank());
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_degrees_match_global_degrees() {
+        let edges = two_triangles();
+        let csr = csr_from_edges(6, &edges);
+        Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, 6, &edges);
+            for slot in 0..g.n_ghost() {
+                let lid = (g.n_owned() + slot) as LocalId;
+                assert_eq!(g.degree(lid), csr.degree(g.global_id(lid)));
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_values_pull_owner_values() {
+        let edges = two_triangles();
+        Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            // Every owned vertex's value is 1000 + its global id.
+            let owned: Vec<u64> = (0..g.n_owned())
+                .map(|v| 1000 + g.global_id(v as LocalId))
+                .collect();
+            let ghosts = g.ghost_values_u64(ctx, &owned);
+            for (slot, &gv) in ghosts.iter().enumerate() {
+                assert_eq!(gv, 1000 + g.ghost_globals()[slot]);
+            }
+            let full = g.extend_with_ghosts_u64(ctx, &owned);
+            assert_eq!(full.len(), g.n_total());
+        });
+    }
+
+    #[test]
+    fn local_cut_counts_cut_arcs() {
+        let edges = two_triangles();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            // Parts: global vertices 0..2 in part 0, 3..5 in part 1 -> only the bridge is cut.
+            let parts: Vec<i32> = (0..g.n_total() as LocalId)
+                .map(|v| if g.global_id(v) < 3 { 0 } else { 1 })
+                .collect();
+            let (cut, per_part) = g.local_cut(&parts, 2);
+            (cut, per_part)
+        });
+        // Each rank sees the bridge arc once (from its owned endpoint).
+        let total_cut: u64 = out.iter().map(|(c, _)| c).sum();
+        assert_eq!(total_cut, 2); // one undirected edge seen as one arc per rank
+        for (_, per_part) in &out {
+            assert_eq!(per_part.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_rank_is_tolerated() {
+        // More ranks than vertices: some ranks own nothing.
+        let edges = vec![(0u64, 1u64)];
+        let out = Runtime::run(4, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 2, &edges);
+            (g.n_owned(), g.global_m())
+        });
+        let total_owned: usize = out.iter().map(|(n, _)| n).sum();
+        assert_eq!(total_owned, 2);
+        assert!(out.iter().all(|&(_, m)| m == 1));
+    }
+}

@@ -1,0 +1,195 @@
+//! Edge-list input/output.
+//!
+//! The original XtraPuLP ingests graphs as binary edge lists; for convenience the
+//! reproduction also supports a whitespace-separated text format (one `u v` pair per
+//! line, `#`-prefixed comments allowed), which is the format most public graph corpora
+//! (SNAP, KONECT) ship.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::GlobalId;
+
+/// Read a whitespace-separated text edge list. Lines beginning with `#` or `%` are
+/// treated as comments; malformed lines produce an error.
+pub fn read_text_edge_list(path: &Path) -> io::Result<Vec<(GlobalId, GlobalId)>> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut edges = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<GlobalId> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: expected two vertex ids"),
+                )
+            })?
+            .parse::<GlobalId>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: bad vertex id: {e}"),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Write a text edge list (one `u v` pair per line).
+pub fn write_text_edge_list(path: &Path, edges: &[(GlobalId, GlobalId)]) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for &(u, v) in edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Read a binary edge list: a little-endian stream of `u64` pairs.
+pub fn read_binary_edge_list(path: &Path) -> io::Result<Vec<(GlobalId, GlobalId)>> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() % 16 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "binary edge list length is not a multiple of 16 bytes",
+        ));
+    }
+    let mut edges = Vec::with_capacity(bytes.len() / 16);
+    for chunk in bytes.chunks_exact(16) {
+        let u = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let v = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Write a binary edge list: a little-endian stream of `u64` pairs.
+pub fn write_binary_edge_list(path: &Path, edges: &[(GlobalId, GlobalId)]) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for &(u, v) in edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Write a partition vector (one part id per line, line index = global vertex id), the
+/// format METIS-family tools use for partition files.
+pub fn write_partition(path: &Path, parts: &[i32]) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for &p in parts {
+        writeln!(w, "{p}")?;
+    }
+    w.flush()
+}
+
+/// Read a partition vector written by [`write_partition`].
+pub fn read_partition(path: &Path) -> io::Result<Vec<i32>> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut parts = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        parts.push(trimmed.parse::<i32>().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad part id: {e}", lineno + 1),
+            )
+        })?);
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xtrapulp-graph-io-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn text_edge_list_round_trip() {
+        let path = temp_path("text.el");
+        let edges = vec![(0u64, 1u64), (1, 2), (5, 3)];
+        write_text_edge_list(&path, &edges).unwrap();
+        let back = read_text_edge_list(&path).unwrap();
+        assert_eq!(back, edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_edge_list_skips_comments_and_blank_lines() {
+        let path = temp_path("comments.el");
+        std::fs::write(&path, "# header\n\n0 1\n% another comment\n2 3\n").unwrap();
+        let back = read_text_edge_list(&path).unwrap();
+        assert_eq!(back, vec![(0, 1), (2, 3)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_edge_list_rejects_malformed_lines() {
+        let path = temp_path("bad.el");
+        std::fs::write(&path, "0 1\n2\n").unwrap();
+        assert!(read_text_edge_list(&path).is_err());
+        std::fs::write(&path, "0 x\n").unwrap();
+        assert!(read_text_edge_list(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_edge_list_round_trip() {
+        let path = temp_path("bin.el");
+        let edges = vec![(0u64, 1u64), (u64::MAX, 7), (123456789, 987654321)];
+        write_binary_edge_list(&path, &edges).unwrap();
+        let back = read_binary_edge_list(&path).unwrap();
+        assert_eq!(back, edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_edge_list_rejects_truncated_files() {
+        let path = temp_path("trunc.el");
+        std::fs::write(&path, [0u8; 20]).unwrap();
+        assert!(read_binary_edge_list(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partition_round_trip() {
+        let path = temp_path("parts.txt");
+        let parts = vec![0, 1, 2, 1, 0, 3];
+        write_partition(&path, &parts).unwrap();
+        assert_eq!(read_partition(&path).unwrap(), parts);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! Graph statistics: degree summaries and the approximate-diameter estimate used for
+//! Table I of the paper.
+//!
+//! The paper's corpus table lists, for every graph, the vertex count, edge count, average
+//! and maximum degree, and an approximate diameter obtained by "10 iterative breadth
+//! first searches with a vertex randomly selected from the farthest level on the previous
+//! search". [`approximate_diameter`] reproduces that estimator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bfs::{bfs_levels, UNREACHED};
+use crate::{Csr, GlobalId};
+
+/// Summary statistics of a graph, matching the columns of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of undirected edges.
+    pub num_edges: u64,
+    /// Average degree (2m / n).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: u64,
+    /// Approximate diameter from the iterative BFS heuristic.
+    pub approx_diameter: u64,
+}
+
+impl GraphStats {
+    /// Compute the full statistics of a graph. `bfs_rounds` controls the diameter
+    /// estimator (the paper uses 10); `seed` selects its starting vertex deterministically.
+    pub fn compute(csr: &Csr, bfs_rounds: usize, seed: u64) -> GraphStats {
+        GraphStats {
+            num_vertices: csr.num_vertices() as u64,
+            num_edges: csr.num_edges(),
+            avg_degree: csr.avg_degree(),
+            max_degree: csr.max_degree(),
+            approx_diameter: approximate_diameter(csr, bfs_rounds, seed),
+        }
+    }
+}
+
+/// Approximate the graph diameter with the paper's iterative-BFS heuristic: run a BFS,
+/// jump to a vertex on the farthest level, and repeat, keeping the largest eccentricity
+/// seen. Deterministic for a fixed `seed`.
+pub fn approximate_diameter(csr: &Csr, rounds: usize, seed: u64) -> u64 {
+    let n = csr.num_vertices() as u64;
+    if n == 0 {
+        return 0;
+    }
+    let mut start: GlobalId = seed % n;
+    // Skip isolated starting vertices if possible: pick the first vertex with a neighbour.
+    if csr.degree(start) == 0 {
+        if let Some(v) = (0..n).find(|&v| csr.degree(v) > 0) {
+            start = v;
+        } else {
+            return 0;
+        }
+    }
+    let mut best = 0u64;
+    for round in 0..rounds.max(1) {
+        let levels = bfs_levels(csr, start);
+        let (farthest, ecc) = levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l != UNREACHED)
+            .max_by_key(|(_, &l)| l)
+            .map(|(v, &l)| (v as GlobalId, l as u64))
+            .unwrap_or((start, 0));
+        best = best.max(ecc);
+        if farthest == start {
+            break;
+        }
+        // Deterministically perturb the restart choice a little so repeated rounds do not
+        // bounce between the same two endpoints.
+        let candidates: Vec<GlobalId> = levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l as u64 == ecc)
+            .map(|(v, _)| v as GlobalId)
+            .collect();
+        start = candidates[(seed as usize + round) % candidates.len()];
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr_from_edges;
+
+    #[test]
+    fn stats_of_a_path() {
+        let edges: Vec<_> = (0..9u64).map(|i| (i, i + 1)).collect();
+        let csr = csr_from_edges(10, &edges);
+        let s = GraphStats::compute(&csr, 10, 1);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 9);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 1.8).abs() < 1e-12);
+        assert_eq!(s.approx_diameter, 9);
+    }
+
+    #[test]
+    fn stats_of_a_star() {
+        let edges: Vec<_> = (1..8u64).map(|i| (0, i)).collect();
+        let csr = csr_from_edges(8, &edges);
+        let s = GraphStats::compute(&csr, 5, 3);
+        assert_eq!(s.max_degree, 7);
+        assert_eq!(s.approx_diameter, 2);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let n = 20u64;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let csr = csr_from_edges(n, &edges);
+        assert_eq!(approximate_diameter(&csr, 10, 0), 10);
+    }
+
+    #[test]
+    fn diameter_ignores_isolated_start() {
+        // Vertex 0 is isolated; the estimator should still find the path's diameter.
+        let edges: Vec<_> = (1..6u64).map(|i| (i, i + 1)).collect();
+        let csr = csr_from_edges(7, &edges);
+        assert_eq!(approximate_diameter(&csr, 10, 0), 5);
+    }
+
+    #[test]
+    fn diameter_of_empty_and_edgeless_graphs() {
+        assert_eq!(approximate_diameter(&csr_from_edges(0, &[]), 10, 0), 0);
+        assert_eq!(approximate_diameter(&csr_from_edges(5, &[]), 10, 0), 0);
+    }
+
+    #[test]
+    fn diameter_is_deterministic_for_fixed_seed() {
+        let edges: Vec<_> = (0..50u64)
+            .flat_map(|i| vec![(i, (i + 1) % 50), (i, (i + 7) % 50)])
+            .collect();
+        let csr = csr_from_edges(50, &edges);
+        let a = approximate_diameter(&csr, 10, 42);
+        let b = approximate_diameter(&csr, 10, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Graph coarsening: heavy-edge matching (METIS-style) and size-constrained label
+//! propagation clustering (KaHIP / Meyerhenke-style).
+//!
+//! Both produce a mapping from fine vertices to coarse vertices; [`contract`] then builds
+//! the coarse weighted graph by summing vertex weights within clusters and edge weights
+//! between clusters.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::weighted::WeightedGraph;
+
+/// Result of one coarsening step.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// For each fine vertex, the id of the coarse vertex it maps to.
+    pub fine_to_coarse: Vec<u64>,
+    /// Number of coarse vertices.
+    pub num_coarse: usize,
+}
+
+/// Heavy-edge matching: visit vertices in random order and match each unmatched vertex
+/// with its unmatched neighbour of maximum edge weight. Matched pairs become one coarse
+/// vertex; unmatched vertices survive unchanged.
+pub fn heavy_edge_matching(graph: &WeightedGraph, seed: u64) -> Coarsening {
+    let n = graph.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<u64> = (0..n as u64).collect();
+    order.shuffle(&mut rng);
+    let unmatched = u64::MAX;
+    let mut matched_with = vec![unmatched; n];
+    for &v in &order {
+        if matched_with[v as usize] != unmatched {
+            continue;
+        }
+        let mut best: Option<(u64, u64)> = None;
+        for (u, w) in graph.neighbors(v) {
+            if u != v && matched_with[u as usize] == unmatched {
+                if best.map_or(true, |(_, bw)| w > bw) {
+                    best = Some((u, w));
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                matched_with[v as usize] = u;
+                matched_with[u as usize] = v;
+            }
+            None => matched_with[v as usize] = v,
+        }
+    }
+    // Assign coarse ids: each pair (or singleton) gets one id, numbered by the smaller
+    // endpoint for determinism.
+    let mut fine_to_coarse = vec![u64::MAX; n];
+    let mut next = 0u64;
+    for v in 0..n as u64 {
+        if fine_to_coarse[v as usize] != u64::MAX {
+            continue;
+        }
+        let m = matched_with[v as usize];
+        fine_to_coarse[v as usize] = next;
+        if m != v && m != unmatched {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    Coarsening {
+        fine_to_coarse,
+        num_coarse: next as usize,
+    }
+}
+
+/// Size-constrained label propagation clustering (the coarsening scheme of Meyerhenke,
+/// Sanders and Schulz for complex networks): every vertex starts in its own cluster; for
+/// a few sweeps each vertex joins the neighbouring cluster with the largest incident edge
+/// weight, as long as the cluster's total vertex weight stays below `max_cluster_weight`.
+pub fn label_prop_clustering(
+    graph: &WeightedGraph,
+    max_cluster_weight: u64,
+    sweeps: usize,
+    seed: u64,
+) -> Coarsening {
+    let n = graph.num_vertices();
+    let mut cluster: Vec<u64> = (0..n as u64).collect();
+    let mut cluster_weight: Vec<u64> = graph.vertex_weights.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<u64> = (0..n as u64).collect();
+    // BTreeMap keeps the candidate iteration order deterministic, so gain ties are
+    // always broken the same way.
+    let mut gain: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for _ in 0..sweeps.max(1) {
+        order.shuffle(&mut rng);
+        let mut moved = 0usize;
+        for &v in &order {
+            gain.clear();
+            for (u, w) in graph.neighbors(v) {
+                if u == v {
+                    continue;
+                }
+                *gain.entry(cluster[u as usize]).or_insert(0) += w;
+            }
+            let current = cluster[v as usize];
+            let vw = graph.vertex_weights[v as usize];
+            let mut best = current;
+            let mut best_gain = gain.get(&current).copied().unwrap_or(0);
+            for (&c, &g) in gain.iter() {
+                if c == current {
+                    continue;
+                }
+                if cluster_weight[c as usize] + vw > max_cluster_weight {
+                    continue;
+                }
+                if g > best_gain {
+                    best_gain = g;
+                    best = c;
+                }
+            }
+            if best != current {
+                cluster_weight[current as usize] -= vw;
+                cluster_weight[best as usize] += vw;
+                cluster[v as usize] = best;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    // Renumber clusters densely.
+    let mut remap: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut fine_to_coarse = vec![0u64; n];
+    let mut next = 0u64;
+    for v in 0..n {
+        let c = cluster[v];
+        let id = *remap.entry(c).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        fine_to_coarse[v] = id;
+    }
+    Coarsening {
+        fine_to_coarse,
+        num_coarse: next as usize,
+    }
+}
+
+/// Contract a graph according to a coarsening: cluster vertex weights are summed, and
+/// parallel edges between clusters are merged by summing their weights. Intra-cluster
+/// edges disappear.
+pub fn contract(graph: &WeightedGraph, coarsening: &Coarsening) -> WeightedGraph {
+    let nc = coarsening.num_coarse;
+    let mut vertex_weights = vec![0u64; nc];
+    for v in 0..graph.num_vertices() {
+        vertex_weights[coarsening.fine_to_coarse[v] as usize] += graph.vertex_weights[v];
+    }
+    let mut arcs: Vec<(u64, u64, u64)> = Vec::with_capacity(graph.num_arcs());
+    for v in 0..graph.num_vertices() as u64 {
+        let cv = coarsening.fine_to_coarse[v as usize];
+        for (u, w) in graph.neighbors(v) {
+            let cu = coarsening.fine_to_coarse[u as usize];
+            if cv != cu {
+                arcs.push((cv, cu, w));
+            }
+        }
+    }
+    WeightedGraph::from_weighted_arcs(nc, arcs, vertex_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::csr_from_edges;
+
+    fn path_graph(n: u64) -> WeightedGraph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        WeightedGraph::from_csr(&csr_from_edges(n, &edges))
+    }
+
+    #[test]
+    fn matching_roughly_halves_the_graph() {
+        let g = path_graph(100);
+        let c = heavy_edge_matching(&g, 1);
+        assert!(c.num_coarse >= 50 && c.num_coarse < 80, "{}", c.num_coarse);
+        // Every fine vertex maps to a valid coarse vertex.
+        assert!(c.fine_to_coarse.iter().all(|&c_| (c_ as usize) < c.num_coarse));
+    }
+
+    #[test]
+    fn matching_preserves_total_vertex_weight() {
+        let g = path_graph(37);
+        let c = heavy_edge_matching(&g, 3);
+        let coarse = contract(&g, &c);
+        assert_eq!(coarse.total_vertex_weight(), 37);
+    }
+
+    #[test]
+    fn matching_prefers_heavy_edges() {
+        // Triangle with one very heavy edge: the heavy edge must be contracted.
+        let arcs = vec![
+            (0, 1, 100),
+            (1, 0, 100),
+            (1, 2, 1),
+            (2, 1, 1),
+            (0, 2, 1),
+            (2, 0, 1),
+        ];
+        let g = WeightedGraph::from_weighted_arcs(3, arcs, vec![1, 1, 1]);
+        let c = heavy_edge_matching(&g, 7);
+        assert_eq!(c.fine_to_coarse[0], c.fine_to_coarse[1]);
+        assert_ne!(c.fine_to_coarse[0], c.fine_to_coarse[2]);
+    }
+
+    #[test]
+    fn label_prop_clustering_respects_size_limit() {
+        let g = path_graph(64);
+        let c = label_prop_clustering(&g, 8, 4, 5);
+        let coarse = contract(&g, &c);
+        assert!(coarse.vertex_weights.iter().all(|&w| w <= 8));
+        assert_eq!(coarse.total_vertex_weight(), 64);
+        assert!(c.num_coarse < 64, "clustering should shrink the graph");
+    }
+
+    #[test]
+    fn contract_merges_parallel_edges() {
+        // Square 0-1-2-3-0; contract {0,1} and {2,3} -> one coarse edge of weight 2.
+        let csr = csr_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = WeightedGraph::from_csr(&csr);
+        let coarsening = Coarsening {
+            fine_to_coarse: vec![0, 0, 1, 1],
+            num_coarse: 2,
+        };
+        let coarse = contract(&g, &coarsening);
+        assert_eq!(coarse.num_vertices(), 2);
+        assert_eq!(coarse.neighbors(0).collect::<Vec<_>>(), vec![(1, 2)]);
+        assert_eq!(coarse.vertex_weights, vec![2, 2]);
+    }
+
+    #[test]
+    fn coarsening_is_deterministic() {
+        let g = path_graph(50);
+        let a = heavy_edge_matching(&g, 9).fine_to_coarse;
+        let b = heavy_edge_matching(&g, 9).fine_to_coarse;
+        assert_eq!(a, b);
+        let c = label_prop_clustering(&g, 10, 3, 9).fine_to_coarse;
+        let d = label_prop_clustering(&g, 10, 3, 9).fine_to_coarse;
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,120 @@
+//! Boundary refinement for the multilevel baselines: a greedy, weight-constrained
+//! Fiduccia–Mattheyses-style pass applied after every uncoarsening step.
+
+use crate::weighted::WeightedGraph;
+
+/// Run `sweeps` passes of greedy boundary refinement. A vertex moves to the neighbouring
+/// part with the largest positive cut gain, provided the destination part stays below
+/// `max_part_weight`.
+pub fn greedy_refine(
+    graph: &WeightedGraph,
+    parts: &mut [i32],
+    num_parts: usize,
+    max_part_weight: u64,
+    sweeps: usize,
+) {
+    let n = graph.num_vertices();
+    if n == 0 || num_parts <= 1 {
+        return;
+    }
+    let mut part_weights = graph.part_weights(parts, num_parts);
+    let mut gain = vec![0u64; num_parts];
+    let mut touched: Vec<usize> = Vec::new();
+    for _ in 0..sweeps.max(1) {
+        let mut moved = 0usize;
+        for v in 0..n as u64 {
+            let x = parts[v as usize] as usize;
+            for &t in &touched {
+                gain[t] = 0;
+            }
+            touched.clear();
+            for (u, w) in graph.neighbors(v) {
+                let pu = parts[u as usize] as usize;
+                if gain[pu] == 0 {
+                    touched.push(pu);
+                }
+                gain[pu] += w;
+            }
+            let own = gain[x];
+            let vw = graph.vertex_weights[v as usize];
+            let mut best = x;
+            let mut best_gain = own;
+            for &i in &touched {
+                if i == x {
+                    continue;
+                }
+                if part_weights[i] + vw > max_part_weight {
+                    continue;
+                }
+                if gain[i] > best_gain {
+                    best_gain = gain[i];
+                    best = i;
+                }
+            }
+            if best != x {
+                part_weights[x] -= vw;
+                part_weights[best] += vw;
+                parts[v as usize] = best as i32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+/// Project a coarse-level partition back onto the fine level: every fine vertex takes the
+/// part of the coarse vertex it was contracted into.
+pub fn project(fine_to_coarse: &[u64], coarse_parts: &[i32]) -> Vec<i32> {
+    fine_to_coarse
+        .iter()
+        .map(|&c| coarse_parts[c as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::csr_from_edges;
+
+    #[test]
+    fn refinement_reduces_the_cut_of_a_bad_partition() {
+        // A path 0..20 with an alternating (worst-case) partition.
+        let edges: Vec<_> = (0..19u64).map(|i| (i, i + 1)).collect();
+        let g = WeightedGraph::from_csr(&csr_from_edges(20, &edges));
+        let mut parts: Vec<i32> = (0..20).map(|v| (v % 2) as i32).collect();
+        let before = g.weighted_cut(&parts);
+        greedy_refine(&g, &mut parts, 2, 12, 10);
+        let after = g.weighted_cut(&parts);
+        assert!(after < before, "{before} -> {after}");
+        // Balance constraint respected.
+        let weights = g.part_weights(&parts, 2);
+        assert!(weights.iter().all(|&w| w <= 12), "{weights:?}");
+    }
+
+    #[test]
+    fn refinement_is_a_no_op_on_an_optimal_partition() {
+        let edges: Vec<_> = (0..9u64).map(|i| (i, i + 1)).collect();
+        let g = WeightedGraph::from_csr(&csr_from_edges(10, &edges));
+        let mut parts = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        greedy_refine(&g, &mut parts, 2, 6, 5);
+        assert_eq!(g.weighted_cut(&parts), 1);
+    }
+
+    #[test]
+    fn projection_maps_coarse_parts_to_fine_vertices() {
+        let fine_to_coarse = vec![0, 0, 1, 1, 2];
+        let coarse_parts = vec![5, 6, 7];
+        assert_eq!(project(&fine_to_coarse, &coarse_parts), vec![5, 5, 6, 6, 7]);
+    }
+
+    #[test]
+    fn refinement_handles_single_part_gracefully() {
+        let edges: Vec<_> = (0..5u64).map(|i| (i, i + 1)).collect();
+        let g = WeightedGraph::from_csr(&csr_from_edges(6, &edges));
+        let mut parts = vec![0; 6];
+        greedy_refine(&g, &mut parts, 1, 100, 3);
+        assert!(parts.iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Quickstart: generate a small-world graph, partition it with XtraPuLP, and print the
+//! paper's quality metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xtrapulp_suite::prelude::*;
+
+fn main() {
+    // 1. Generate an R-MAT graph (the paper's synthetic power-law model).
+    let graph = GraphConfig::new(GraphKind::Rmat { scale: 14, edge_factor: 16 }, 42)
+        .generate()
+        .to_csr();
+    println!(
+        "generated graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Partition it into 16 parts with XtraPuLP running on 4 ranks.
+    let params = PartitionParams::with_parts(16);
+    let partitioner = XtraPulpPartitioner::new(4);
+    let (parts, quality) = partitioner.partition_with_quality(&graph, &params);
+
+    // 3. Inspect the result.
+    println!("part of vertex 0: {}", parts[0]);
+    println!("edge cut ratio:       {:.3}", quality.edge_cut_ratio);
+    println!("scaled max cut ratio: {:.3}", quality.scaled_max_cut_ratio);
+    println!("vertex imbalance:     {:.3}", quality.vertex_imbalance);
+    println!("edge imbalance:       {:.3}", quality.edge_imbalance);
+
+    // 4. Compare against the PuLP shared-memory baseline.
+    let (_, pulp_quality) = PulpPartitioner.partition_with_quality(&graph, &params);
+    println!("PuLP edge cut ratio:  {:.3}", pulp_quality.edge_cut_ratio);
+}

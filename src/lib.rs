@@ -1,0 +1,28 @@
+//! Umbrella crate for the XtraPuLP reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and the cross-crate integration tests in `/tests`. It re-exports every
+//! workspace crate under a short alias so examples read naturally:
+//!
+//! ```
+//! use xtrapulp_suite::prelude::*;
+//! ```
+
+pub use xtrapulp as core;
+pub use xtrapulp_analytics as analytics;
+pub use xtrapulp_comm as comm;
+pub use xtrapulp_gen as gen;
+pub use xtrapulp_graph as graph;
+pub use xtrapulp_multilevel as multilevel;
+pub use xtrapulp_spmv as spmv;
+
+/// Convenience re-exports used by the examples and integration tests.
+pub mod prelude {
+    pub use xtrapulp::{
+        metrics::PartitionQuality, PartitionParams, Partitioner, PulpPartitioner,
+        XtraPulpPartitioner,
+    };
+    pub use xtrapulp_comm::{CommStats, RankCtx, Runtime};
+    pub use xtrapulp_gen::{GraphConfig, GraphKind};
+    pub use xtrapulp_graph::{Csr, DistGraph, Distribution};
+}

@@ -1,0 +1,105 @@
+//! Property-based tests (proptest) of the core invariants: partition validity, balance
+//! behaviour, CSR construction and the communication substrate.
+
+use proptest::prelude::*;
+use xtrapulp_suite::core::metrics::{is_valid_partition, PartitionQuality};
+use xtrapulp_suite::core::{baselines, Partitioner, PulpPartitioner};
+use xtrapulp_suite::graph::{csr_from_edges, DistGraph, Distribution};
+use xtrapulp_suite::prelude::*;
+
+/// Strategy: a random edge list over up to 200 vertices.
+fn edge_list(max_n: u64) -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 1..400);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_is_symmetric_and_simple((n, edges) in edge_list(200)) {
+        let csr = csr_from_edges(n, &edges);
+        prop_assert_eq!(csr.num_vertices() as u64, n);
+        for (u, v) in csr.arcs() {
+            prop_assert_ne!(u, v);
+            prop_assert!(csr.neighbors(v).contains(&u));
+        }
+        // No duplicate neighbours.
+        for v in 0..n {
+            let mut neigh = csr.neighbors(v).to_vec();
+            let len = neigh.len();
+            neigh.dedup();
+            prop_assert_eq!(neigh.len(), len);
+        }
+    }
+
+    #[test]
+    fn xtrapulp_partitions_are_always_valid((n, edges) in edge_list(160), nparts in 2usize..9, nranks in 1usize..4) {
+        let csr = csr_from_edges(n, &edges);
+        let params = PartitionParams { num_parts: nparts, seed: 11, ..Default::default() };
+        let parts = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
+        prop_assert_eq!(parts.len(), csr.num_vertices());
+        prop_assert!(is_valid_partition(&parts, nparts));
+        // Every part's vertex count is accounted for exactly once.
+        let total: usize = (0..nparts)
+            .map(|p| parts.iter().filter(|&&x| x == p as i32).count())
+            .sum();
+        prop_assert_eq!(total, csr.num_vertices());
+    }
+
+    #[test]
+    fn pulp_partitions_are_valid_and_cut_is_bounded((n, edges) in edge_list(160), nparts in 2usize..8) {
+        let csr = csr_from_edges(n, &edges);
+        let params = PartitionParams { num_parts: nparts, seed: 7, ..Default::default() };
+        let (parts, q) = PulpPartitioner.partition_with_quality(&csr, &params);
+        prop_assert!(is_valid_partition(&parts, nparts));
+        prop_assert!(q.edge_cut <= csr.num_edges());
+        prop_assert!(q.edge_cut_ratio <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn distributed_graph_conserves_edges((n, edges) in edge_list(150), nranks in 1usize..5) {
+        let csr = csr_from_edges(n, &edges);
+        let expected_m = csr.num_edges();
+        let shared = edges.clone();
+        let out = Runtime::run(nranks, move |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, n, &shared);
+            (g.global_m(), g.local_arcs())
+        });
+        let total_arcs: u64 = out.iter().map(|(_, a)| a).sum();
+        prop_assert_eq!(total_arcs, expected_m * 2);
+        prop_assert!(out.iter().all(|&(m, _)| m == expected_m));
+    }
+
+    #[test]
+    fn block_partition_is_always_near_balanced(n in 1u64..5000, nparts in 1usize..32) {
+        let parts = baselines::vertex_block_partition(n, nparts);
+        prop_assert_eq!(parts.len() as u64, n);
+        prop_assert!(is_valid_partition(&parts, nparts));
+        let mut counts = vec![0u64; nparts];
+        for &p in &parts {
+            counts[p as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn random_partition_covers_only_valid_parts(n in 1u64..3000, nparts in 1usize..17, seed in 0u64..100) {
+        let parts = baselines::random_partition(n, nparts, seed);
+        prop_assert!(is_valid_partition(&parts, nparts));
+    }
+
+    #[test]
+    fn quality_metrics_are_internally_consistent((n, edges) in edge_list(120), nparts in 1usize..6) {
+        let csr = csr_from_edges(n, &edges);
+        let parts = baselines::random_partition(n, nparts, 5);
+        let q = PartitionQuality::evaluate(&csr, &parts, nparts);
+        prop_assert!(q.edge_cut <= csr.num_edges());
+        prop_assert!(q.max_part_cut <= q.edge_cut.max(1) * 2);
+        prop_assert!(q.vertex_imbalance >= 1.0 - 1e-9 || csr.num_vertices() == 0);
+    }
+}
