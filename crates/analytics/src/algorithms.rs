@@ -30,7 +30,7 @@ pub fn pagerank(ctx: &RankCtx, graph: &DistGraph, iterations: usize, damping: f6
             .collect();
         let ghost_contrib = graph.ghost_values_f64(ctx, &contrib);
         let mut next = vec![(1.0 - damping) / n; n_owned];
-        for v in 0..n_owned {
+        for (v, next_v) in next.iter_mut().enumerate() {
             let mut sum = 0.0;
             for &u in graph.neighbors(v as LocalId) {
                 let u = u as usize;
@@ -40,7 +40,7 @@ pub fn pagerank(ctx: &RankCtx, graph: &DistGraph, iterations: usize, damping: f6
                     ghost_contrib[u - n_owned]
                 };
             }
-            next[v] += damping * sum;
+            *next_v += damping * sum;
         }
         rank_owned = next;
     }
@@ -197,11 +197,7 @@ pub fn label_propagation(ctx: &RankCtx, graph: &DistGraph, sweeps: usize) -> Vec
 /// Distributed harmonic centrality (`HC`) of `sources.len()` sampled vertices: for each
 /// source, a BFS provides distances and the harmonic sum `Σ 1/d` is accumulated.
 /// Returns one centrality value per source, identical on every rank.
-pub fn harmonic_centrality(
-    ctx: &RankCtx,
-    graph: &DistGraph,
-    sources: &[GlobalId],
-) -> Vec<f64> {
+pub fn harmonic_centrality(ctx: &RankCtx, graph: &DistGraph, sources: &[GlobalId]) -> Vec<f64> {
     let mut out = Vec::with_capacity(sources.len());
     for &s in sources {
         let bfs = dist_bfs(ctx, graph, s);
@@ -227,14 +223,20 @@ mod tests {
     fn test_edges() -> (u64, Vec<(u64, u64)>) {
         (
             8,
-            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (6, 7)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (6, 7),
+            ],
         )
     }
 
-    fn gather_owned_u64(
-        out: Vec<Vec<(u64, u64)>>,
-        n: usize,
-    ) -> Vec<u64> {
+    fn gather_owned_u64(out: Vec<Vec<(u64, u64)>>, n: usize) -> Vec<u64> {
         let mut global = vec![0u64; n];
         for pairs in out {
             for (g, v) in pairs {

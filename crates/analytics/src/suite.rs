@@ -124,7 +124,8 @@ pub fn run_suite_with_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xtrapulp::{baselines, PartitionParams, Partitioner, XtraPulpPartitioner};
+    use xtrapulp::PartitionParams;
+    use xtrapulp_api::{Method, PartitionJob, Session};
     use xtrapulp_gen::{GraphConfig, GraphKind};
 
     #[test]
@@ -142,28 +143,36 @@ mod tests {
         let nranks = 4;
         let n = el.num_vertices;
 
-        let vert_block = baselines::vertex_block_partition(n, nranks);
-        let edge_block = baselines::edge_block_partition(&csr, nranks);
-        let random = baselines::random_partition(n, nranks, 7);
+        // The Fig. 8 placement strategies, resolved through the registry and
+        // partitioned on one session.
+        let mut session = Session::new(nranks).expect("valid rank count");
         let params = PartitionParams {
             num_parts: nranks,
             seed: 5,
             ..Default::default()
         };
-        let xtrapulp = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
-
         let mut totals = Vec::new();
-        for (name, parts) in [
-            ("EdgeBlock", &edge_block),
-            ("Random", &random),
-            ("VertBlock", &vert_block),
-            ("XtraPuLP", &xtrapulp),
+        for method in [
+            Method::EdgeBlock,
+            Method::Random,
+            Method::VertexBlock,
+            Method::XtraPulp,
         ] {
-            let result =
-                run_suite_with_partition(nranks, n, &el.edges, parts, name, 0.0, 4);
+            let report = session
+                .submit(&PartitionJob::new(method).with_params(params), &csr)
+                .expect("valid job");
+            let result = run_suite_with_partition(
+                nranks,
+                n,
+                &el.edges,
+                &report.parts,
+                method.name(),
+                0.0,
+                4,
+            );
             assert_eq!(result.analytics.len(), 6);
             assert!(result.analytics.iter().all(|a| a.seconds >= 0.0));
-            totals.push((name, result));
+            totals.push((method, result));
         }
         // The XtraPuLP distribution should move fewer bytes than the random one for the
         // communication-bound analytics (PR + LP + WCC combined).

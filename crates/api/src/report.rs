@@ -1,0 +1,123 @@
+//! The serialisable outcome of a partitioning job.
+
+use serde::Serialize;
+use xtrapulp::metrics::PartitionQuality;
+use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer};
+
+/// Everything a caller learns from one partitioning job: the part vector, the paper's
+/// quality metrics, per-phase wall-clock timings and the communication volume the job
+/// would have put on a real network. Serialises to JSON via [`PartitionReport::to_json`],
+/// which is what the bench binaries emit under `--json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PartitionReport {
+    /// Method name (a [`crate::Method`] canonical name).
+    pub method: String,
+    /// Number of parts requested.
+    pub num_parts: usize,
+    /// Ranks the job ran on (1 for serial methods).
+    pub nranks: usize,
+    /// Vertices in the input graph.
+    pub num_vertices: u64,
+    /// Undirected edges in the input graph.
+    pub num_edges: u64,
+    /// One part id per vertex, indexed by global vertex id.
+    pub parts: Vec<i32>,
+    /// The paper's quality metrics for this partition.
+    pub quality: PartitionQuality,
+    /// Per-phase wall-clock durations (max over ranks per phase).
+    pub timings: PhaseTimer,
+    /// Communication counters summed over all ranks (zero for serial methods).
+    pub comm: CommStatsSnapshot,
+}
+
+/// [`PartitionReport`] minus the (potentially huge) part vector — the shape emitted for
+/// result logging and the bench binaries' `--json` rows.
+#[derive(Debug, Clone, Serialize)]
+struct ReportSummary {
+    method: String,
+    num_parts: usize,
+    nranks: usize,
+    num_vertices: u64,
+    num_edges: u64,
+    quality: PartitionQuality,
+    timings: PhaseTimer,
+    comm: CommStatsSnapshot,
+}
+
+impl PartitionReport {
+    /// Serialise the full report (including the part vector) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation is infallible")
+    }
+
+    /// Serialise everything except the part vector to JSON — the right shape for result
+    /// streams where the partition itself stays in memory or on disk.
+    pub fn to_json_summary(&self) -> String {
+        let summary = ReportSummary {
+            method: self.method.clone(),
+            num_parts: self.num_parts,
+            nranks: self.nranks,
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+            quality: self.quality,
+            timings: self.timings.clone(),
+            comm: self.comm,
+        };
+        serde_json::to_string(&summary).expect("report serialisation is infallible")
+    }
+
+    /// Total wall-clock seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.timings.total().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PartitionReport {
+        let mut timings = PhaseTimer::new();
+        timings.add("init", std::time::Duration::from_millis(250));
+        PartitionReport {
+            method: "XtraPuLP".to_string(),
+            num_parts: 4,
+            nranks: 2,
+            num_vertices: 3,
+            num_edges: 2,
+            parts: vec![0, 1, 2],
+            quality: PartitionQuality::evaluate(
+                &xtrapulp_graph::csr_from_edges(3, &[(0, 1), (1, 2)]),
+                &[0, 1, 2],
+                4,
+            ),
+            timings,
+            comm: CommStatsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_json_with_all_sections() {
+        let json = sample_report().to_json();
+        for key in [
+            "\"method\":\"XtraPuLP\"",
+            "\"num_parts\":4",
+            "\"parts\":[0,1,2]",
+            "\"quality\":{",
+            "\"timings\":{",
+            "\"init\":0.25",
+            "\"comm\":{",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn summary_json_omits_the_part_vector() {
+        let report = sample_report();
+        let json = report.to_json_summary();
+        assert!(!json.contains("\"parts\""));
+        assert!(json.contains("\"quality\""));
+        assert!((report.total_seconds() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! The persistent partitioning session.
+
+use xtrapulp::metrics::PartitionQuality;
+use xtrapulp::partitioner::assemble_gathered_parts;
+use xtrapulp::{try_xtrapulp_partition, PartitionError, PartitionParams};
+use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer, RankCtx, Runtime};
+use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId};
+
+use crate::method::Method;
+use crate::report::PartitionReport;
+
+/// A description of one partitioning request: which method to run and with which
+/// parameters. The graph travels separately (by reference) so one job description can be
+/// replayed across many graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionJob {
+    /// The method to run.
+    pub method: Method,
+    /// Algorithm parameters (validated on submission, not construction).
+    pub params: PartitionParams,
+}
+
+impl PartitionJob {
+    /// A job running `method` with the paper-default parameters.
+    pub fn new(method: Method) -> Self {
+        PartitionJob {
+            method,
+            params: PartitionParams::default(),
+        }
+    }
+
+    /// Replace the parameters.
+    pub fn with_params(mut self, params: PartitionParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Replace the part count, keeping other parameters.
+    pub fn with_parts(mut self, num_parts: usize) -> Self {
+        self.params.num_parts = num_parts;
+        self
+    }
+}
+
+/// A persistent partitioning session owning a reusable rank [`Runtime`].
+///
+/// Constructing a session spawns its rank threads once; every subsequent
+/// [`submit`](Session::submit) reuses them, so a service partitioning many graphs — or a
+/// pipeline partitioning a graph and then running analytics over it — pays thread
+/// spawn/teardown once instead of per call (the `bench_api_overhead` bench measures the
+/// difference against one-shot [`Runtime::run`] calls).
+///
+/// All request validation happens *before* a job enters the runtime, so a malformed
+/// request returns a typed [`PartitionError`] and leaves the session healthy for the
+/// next job. Results are deterministic: a session job produces byte-identical part
+/// vectors to the legacy one-shot path for the same graph, parameters and rank count.
+pub struct Session {
+    runtime: Runtime,
+    distribution: Distribution,
+    jobs_completed: u64,
+}
+
+impl Session {
+    /// Spawn a session with `nranks` rank threads and a block vertex distribution.
+    pub fn new(nranks: usize) -> Result<Session, PartitionError> {
+        Session::with_distribution(nranks, Distribution::Block)
+    }
+
+    /// Spawn a session with `nranks` rank threads and the given vertex distribution for
+    /// distributed jobs.
+    pub fn with_distribution(
+        nranks: usize,
+        distribution: Distribution,
+    ) -> Result<Session, PartitionError> {
+        if nranks == 0 {
+            return Err(PartitionError::InvalidRanks { got: 0 });
+        }
+        Ok(Session {
+            runtime: Runtime::new(nranks),
+            distribution,
+            jobs_completed: 0,
+        })
+    }
+
+    /// Number of ranks this session runs distributed jobs on.
+    pub fn nranks(&self) -> usize {
+        self.runtime.nranks()
+    }
+
+    /// Jobs successfully completed over the session's lifetime.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Partition `csr` with XtraPuLP on the session's ranks — the common case of
+    /// [`submit`](Session::submit).
+    pub fn partition(
+        &mut self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<PartitionReport, PartitionError> {
+        self.submit(
+            &PartitionJob::new(Method::XtraPulp).with_params(*params),
+            csr,
+        )
+    }
+
+    /// Run one partitioning job and return its report.
+    ///
+    /// Distributed methods run collectively on the session's persistent ranks; serial
+    /// methods run inline on the calling thread. Either way the report carries the part
+    /// vector, quality metrics, per-phase timings and communication counters.
+    pub fn submit(
+        &mut self,
+        job: &PartitionJob,
+        csr: &Csr,
+    ) -> Result<PartitionReport, PartitionError> {
+        job.params.validate()?;
+        let report = if job.method.is_distributed() {
+            self.run_distributed(job, csr)?
+        } else {
+            self.run_serial(job, csr)?
+        };
+        self.jobs_completed += 1;
+        Ok(report)
+    }
+
+    /// Run an arbitrary collective job on the session's ranks (for example analytics
+    /// over a graph the session just partitioned). Delegates to [`Runtime::execute`].
+    pub fn execute<F, R>(&mut self, f: F) -> Vec<R>
+    where
+        F: Fn(&RankCtx) -> R + Sync,
+        R: Send + 'static,
+    {
+        self.runtime.execute(f)
+    }
+
+    fn run_distributed(
+        &mut self,
+        job: &PartitionJob,
+        csr: &Csr,
+    ) -> Result<PartitionReport, PartitionError> {
+        let n = csr.num_vertices();
+        if n == 0 {
+            return Ok(self.empty_report(job, csr));
+        }
+        let dist = self.distribution.clone();
+        let params = job.params;
+        type RankOut = (
+            Vec<(u64, i32)>,
+            PartitionQuality,
+            PhaseTimer,
+            CommStatsSnapshot,
+        );
+        let per_rank: Vec<RankOut> = self.runtime.execute(|ctx| {
+            let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
+            let result = try_xtrapulp_partition(ctx, &graph, &params)
+                .expect("params are validated before the job enters the runtime");
+            let pairs = (0..graph.n_owned())
+                .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
+                .collect();
+            (
+                pairs,
+                result.quality,
+                result.timings,
+                ctx.stats().snapshot(),
+            )
+        });
+
+        let mut quality = None;
+        let mut timings = PhaseTimer::new();
+        let mut comm = CommStatsSnapshot::default();
+        let mut pairs = Vec::with_capacity(per_rank.len());
+        for (rank_pairs, rank_quality, rank_timings, rank_comm) in per_rank {
+            // Quality is allreduced inside the job, so every rank reports the same
+            // global value; keep rank 0's.
+            quality.get_or_insert(rank_quality);
+            timings.merge_max(&rank_timings);
+            comm = comm.merged(rank_comm);
+            pairs.push(rank_pairs);
+        }
+        let parts = assemble_gathered_parts(n, job.params.num_parts, pairs)?;
+        Ok(PartitionReport {
+            method: job.method.name().to_string(),
+            num_parts: job.params.num_parts,
+            nranks: self.nranks(),
+            num_vertices: csr.num_vertices() as u64,
+            num_edges: csr.num_edges(),
+            parts,
+            quality: quality.expect("at least one rank ran the job"),
+            timings,
+            comm,
+        })
+    }
+
+    fn run_serial(
+        &mut self,
+        job: &PartitionJob,
+        csr: &Csr,
+    ) -> Result<PartitionReport, PartitionError> {
+        let partitioner = job.method.build(self.nranks());
+        let mut timings = PhaseTimer::new();
+        let parts = timings.time("partition", || partitioner.try_partition(csr, &job.params))?;
+        let quality = timings.time("metrics", || {
+            PartitionQuality::evaluate(csr, &parts, job.params.num_parts)
+        });
+        Ok(PartitionReport {
+            method: job.method.name().to_string(),
+            num_parts: job.params.num_parts,
+            nranks: 1,
+            num_vertices: csr.num_vertices() as u64,
+            num_edges: csr.num_edges(),
+            parts,
+            quality,
+            timings,
+            comm: CommStatsSnapshot::default(),
+        })
+    }
+
+    fn empty_report(&self, job: &PartitionJob, csr: &Csr) -> PartitionReport {
+        PartitionReport {
+            method: job.method.name().to_string(),
+            num_parts: job.params.num_parts,
+            nranks: self.nranks(),
+            num_vertices: 0,
+            num_edges: csr.num_edges(),
+            parts: Vec::new(),
+            quality: PartitionQuality::evaluate(csr, &[], job.params.num_parts),
+            timings: PhaseTimer::new(),
+            comm: CommStatsSnapshot::default(),
+        }
+    }
+}

@@ -10,7 +10,11 @@ use xtrapulp_graph::{DistGraph, Distribution};
 
 fn bench_analytics(c: &mut Criterion) {
     let el = GraphConfig::new(
-        GraphKind::WebCrawl { num_vertices: 1 << 13, avg_degree: 16, community_size: 256 },
+        GraphKind::WebCrawl {
+            num_vertices: 1 << 13,
+            avg_degree: 16,
+            community_size: 256,
+        },
         9,
     )
     .generate();
@@ -18,12 +22,19 @@ fn bench_analytics(c: &mut Criterion) {
     let n = el.num_vertices;
     let nranks = 4;
     let random = baselines::random_partition(n, nranks, 3);
-    let params = PartitionParams { num_parts: nranks, seed: 3, ..Default::default() };
+    let params = PartitionParams {
+        num_parts: nranks,
+        seed: 3,
+        ..Default::default()
+    };
     let xtrapulp = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
 
     let mut group = c.benchmark_group("pagerank_crawl13_4ranks");
     group.sample_size(10);
-    for (name, parts) in [("random_placement", &random), ("xtrapulp_placement", &xtrapulp)] {
+    for (name, parts) in [
+        ("random_placement", &random),
+        ("xtrapulp_placement", &xtrapulp),
+    ] {
         let dist = Distribution::from_parts(parts);
         group.bench_function(name, |b| {
             b.iter(|| {

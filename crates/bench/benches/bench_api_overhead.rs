@@ -1,0 +1,62 @@
+//! Measures what the `Session` facade's runtime reuse buys: partitioning the same
+//! scale-12 R-MAT graph repeatedly through (a) the legacy one-shot path, which spawns
+//! and tears down a fresh rank runtime per call, versus (b) a persistent `Session`
+//! reusing its rank threads, and (c) the pure runtime overhead with a trivial job, which
+//! isolates spawn/teardown cost from the partitioning work itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xtrapulp::{PartitionParams, Partitioner, XtraPulpPartitioner};
+use xtrapulp_api::Session;
+use xtrapulp_comm::Runtime;
+use xtrapulp_gen::{GraphConfig, GraphKind};
+
+fn bench_api_overhead(c: &mut Criterion) {
+    let csr = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 12,
+            edge_factor: 16,
+        },
+        7,
+    )
+    .generate()
+    .to_csr();
+    let params = PartitionParams {
+        num_parts: 16,
+        seed: 3,
+        ..Default::default()
+    };
+    let nranks = 4;
+
+    let mut group = c.benchmark_group("api_overhead_rmat12_16parts");
+    group.sample_size(10);
+
+    // Legacy path: every call pays Runtime::new + thread teardown.
+    group.bench_function("one_shot_runtime_per_call", |b| {
+        b.iter(|| XtraPulpPartitioner::new(nranks).partition(&csr, &params))
+    });
+
+    // Facade path: the session's rank threads are spawned once, outside the loop.
+    let mut session = Session::new(nranks).expect("valid rank count");
+    group.bench_function("reused_session", |b| {
+        b.iter(|| {
+            session
+                .partition(&csr, &params)
+                .expect("valid params")
+                .parts
+        })
+    });
+
+    // The overhead in isolation: a no-op collective job per call vs on a reused runtime.
+    group.bench_function("spawn_teardown_noop_job", |b| {
+        b.iter(|| Runtime::run(nranks, |ctx| ctx.rank()))
+    });
+    let mut runtime = Runtime::new(nranks);
+    group.bench_function("reused_runtime_noop_job", |b| {
+        b.iter(|| runtime.execute(|ctx| ctx.rank()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_api_overhead);
+criterion_main!(benches);

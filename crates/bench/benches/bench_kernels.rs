@@ -8,7 +8,14 @@ use xtrapulp_gen::{GraphConfig, GraphKind};
 use xtrapulp_graph::{bfs::dist_bfs, csr_from_edges, DistGraph, Distribution};
 
 fn bench_kernels(c: &mut Criterion) {
-    let el = GraphConfig::new(GraphKind::Rmat { scale: 13, edge_factor: 8 }, 3).generate();
+    let el = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 13,
+            edge_factor: 8,
+        },
+        3,
+    )
+    .generate();
     let n = el.num_vertices;
 
     let mut group = c.benchmark_group("kernels_rmat13");

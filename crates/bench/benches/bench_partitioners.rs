@@ -7,16 +7,28 @@ use xtrapulp_gen::{GraphConfig, GraphKind};
 use xtrapulp_multilevel::{LpCoarsenKwayPartitioner, MetisLikePartitioner};
 
 fn bench_partitioners(c: &mut Criterion) {
-    let csr = GraphConfig::new(GraphKind::Rmat { scale: 13, edge_factor: 16 }, 7)
-        .generate()
-        .to_csr();
-    let params = PartitionParams { num_parts: 16, seed: 3, ..Default::default() };
+    let csr = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 13,
+            edge_factor: 16,
+        },
+        7,
+    )
+    .generate()
+    .to_csr();
+    let params = PartitionParams {
+        num_parts: 16,
+        seed: 3,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("partitioners_rmat13_16parts");
     group.sample_size(10);
     group.bench_function("xtrapulp_4ranks", |b| {
         b.iter(|| XtraPulpPartitioner::new(4).partition(&csr, &params))
     });
-    group.bench_function("pulp", |b| b.iter(|| PulpPartitioner.partition(&csr, &params)));
+    group.bench_function("pulp", |b| {
+        b.iter(|| PulpPartitioner.partition(&csr, &params))
+    });
     group.bench_function("metis_like", |b| {
         b.iter(|| MetisLikePartitioner::default().partition(&csr, &params))
     });

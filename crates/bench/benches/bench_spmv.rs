@@ -9,7 +9,10 @@ use xtrapulp_spmv::{spmv_1d_with_partition, spmv_2d, Matrix2d};
 
 fn bench_spmv(c: &mut Criterion) {
     let el = GraphConfig::new(
-        GraphKind::Rmat { scale: 12, edge_factor: 16 },
+        GraphKind::Rmat {
+            scale: 12,
+            edge_factor: 16,
+        },
         13,
     )
     .generate();
@@ -18,7 +21,11 @@ fn bench_spmv(c: &mut Criterion) {
     let edges: Vec<(u64, u64)> = csr.edges().collect();
     let nranks = 4;
     let random = baselines::random_partition(n, nranks, 3);
-    let params = PartitionParams { num_parts: nranks, seed: 3, ..Default::default() };
+    let params = PartitionParams {
+        num_parts: nranks,
+        seed: 3,
+        ..Default::default()
+    };
     let xtrapulp = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
 
     let mut group = c.benchmark_group("spmv_rmat12_4ranks_10iters");
@@ -26,7 +33,9 @@ fn bench_spmv(c: &mut Criterion) {
     for (name, parts) in [("rand", &random), ("xtrapulp", &xtrapulp)] {
         group.bench_function(format!("1d_{name}"), |b| {
             b.iter(|| {
-                Runtime::run(nranks, |ctx| spmv_1d_with_partition(ctx, n, &edges, parts, 10))
+                Runtime::run(nranks, |ctx| {
+                    spmv_1d_with_partition(ctx, n, &edges, parts, 10)
+                })
             })
         });
         group.bench_function(format!("2d_{name}"), |b| {

@@ -7,18 +7,28 @@ use xtrapulp_gen::{GraphConfig, GraphKind};
 
 fn bench_strong_scaling(c: &mut Criterion) {
     let csr = GraphConfig::new(
-        GraphKind::WebCrawl { num_vertices: 1 << 14, avg_degree: 16, community_size: 256 },
+        GraphKind::WebCrawl {
+            num_vertices: 1 << 14,
+            avg_degree: 16,
+            community_size: 256,
+        },
         5,
     )
     .generate()
     .to_csr();
-    let params = PartitionParams { num_parts: 32, seed: 3, ..Default::default() };
+    let params = PartitionParams {
+        num_parts: 32,
+        seed: 3,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("strong_scaling_crawl14_32parts");
     group.sample_size(10);
     for nranks in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(nranks), &nranks, |b, &nranks| {
-            b.iter(|| XtraPulpPartitioner::new(nranks).partition(&csr, &params))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nranks),
+            &nranks,
+            |b, &nranks| b.iter(|| XtraPulpPartitioner::new(nranks).partition(&csr, &params)),
+        );
     }
     group.finish();
 }

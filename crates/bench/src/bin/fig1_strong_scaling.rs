@@ -10,10 +10,35 @@ use xtrapulp_graph::{DistGraph, Distribution};
 fn main() {
     let n = scaled(1 << 15);
     let graphs = vec![
-        ("WDC12", GraphKind::WebCrawl { num_vertices: n, avg_degree: 16, community_size: 512 }),
-        ("RMAT", GraphKind::Rmat { scale: (n as f64).log2() as u32, edge_factor: 16 }),
-        ("RandER", GraphKind::ErdosRenyi { num_vertices: n, avg_degree: 16 }),
-        ("RandHD", GraphKind::RandHd { num_vertices: n, avg_degree: 16 }),
+        (
+            "WDC12",
+            GraphKind::WebCrawl {
+                num_vertices: n,
+                avg_degree: 16,
+                community_size: 512,
+            },
+        ),
+        (
+            "RMAT",
+            GraphKind::Rmat {
+                scale: (n as f64).log2() as u32,
+                edge_factor: 16,
+            },
+        ),
+        (
+            "RandER",
+            GraphKind::ErdosRenyi {
+                num_vertices: n,
+                avg_degree: 16,
+            },
+        ),
+        (
+            "RandHD",
+            GraphKind::RandHd {
+                num_vertices: n,
+                avg_degree: 16,
+            },
+        ),
     ];
     let rank_counts = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
@@ -24,8 +49,17 @@ fn main() {
         let mut base = 0.0;
         for &nranks in &rank_counts {
             let secs = Runtime::run(nranks, |ctx| {
-                let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &edges);
-                let params = PartitionParams { num_parts: 256, seed: 7, ..Default::default() };
+                let g = DistGraph::from_shared_edges(
+                    ctx,
+                    Distribution::Hashed,
+                    el.num_vertices,
+                    &edges,
+                );
+                let params = PartitionParams {
+                    num_parts: 256,
+                    seed: 7,
+                    ..Default::default()
+                };
                 let t = Timer::start();
                 let _ = xtrapulp_partition(ctx, &g, &params);
                 ctx.allreduce_max_f64(&[t.elapsed_secs()])[0]
@@ -40,7 +74,14 @@ fn main() {
     }
     print_table(
         "Fig. 1 — strong scaling: XtraPuLP time (s) computing 256 parts",
-        &["graph", "1 rank", "2 ranks", "4 ranks", "8 ranks", "speedup 1->8"],
+        &[
+            "graph",
+            "1 rank",
+            "2 ranks",
+            "4 ranks",
+            "8 ranks",
+            "speedup 1->8",
+        ],
         &rows,
     );
 }

@@ -18,15 +18,33 @@ fn main() {
             for &nranks in &rank_counts {
                 let n = per_rank * nranks as u64;
                 let kind = match family {
-                    "RMAT" => GraphKind::Rmat { scale: (n as f64).log2().ceil() as u32, edge_factor: davg / 2 },
-                    "RandER" => GraphKind::ErdosRenyi { num_vertices: n, avg_degree: davg },
-                    _ => GraphKind::RandHd { num_vertices: n, avg_degree: davg },
+                    "RMAT" => GraphKind::Rmat {
+                        scale: (n as f64).log2().ceil() as u32,
+                        edge_factor: davg / 2,
+                    },
+                    "RandER" => GraphKind::ErdosRenyi {
+                        num_vertices: n,
+                        avg_degree: davg,
+                    },
+                    _ => GraphKind::RandHd {
+                        num_vertices: n,
+                        avg_degree: davg,
+                    },
                 };
                 let el = GraphConfig::new(kind, 9).generate();
                 let edges = el.edges.clone();
                 let secs = Runtime::run(nranks, |ctx| {
-                    let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &edges);
-                    let params = PartitionParams { num_parts: nranks.max(2), seed: 3, ..Default::default() };
+                    let g = DistGraph::from_shared_edges(
+                        ctx,
+                        Distribution::Hashed,
+                        el.num_vertices,
+                        &edges,
+                    );
+                    let params = PartitionParams {
+                        num_parts: nranks.max(2),
+                        seed: 3,
+                        ..Default::default()
+                    };
                     let t = Timer::start();
                     let _ = xtrapulp_partition(ctx, &g, &params);
                     ctx.allreduce_max_f64(&[t.elapsed_secs()])[0]

@@ -5,9 +5,20 @@ use xtrapulp::{PartitionParams, XtraPulpPartitioner};
 use xtrapulp_bench::{fmt, print_table, proxy_graph, time_partition};
 
 fn main() {
-    let graphs = ["lj", "orkut", "friendster", "wdc12-pay", "rmat_24", "nlpkkt240"];
+    let graphs = [
+        "lj",
+        "orkut",
+        "friendster",
+        "wdc12-pay",
+        "rmat_24",
+        "nlpkkt240",
+    ];
     let rank_counts = [1usize, 2, 4, 8];
-    let params = PartitionParams { num_parts: 16, seed: 3, ..Default::default() };
+    let params = PartitionParams {
+        num_parts: 16,
+        seed: 3,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for name in graphs {
         let csr = proxy_graph(name);

@@ -1,41 +1,56 @@
 //! Fig. 4: partition quality (edge cut ratio and scaled max cut ratio) versus the number
 //! of parts, for XtraPuLP, PuLP and the METIS-like baseline, on the six representative
-//! graphs.
+//! graphs. Methods resolve through the registry and run on one persistent session.
 
-use xtrapulp::{PartitionParams, Partitioner, PulpPartitioner, XtraPulpPartitioner};
-use xtrapulp_bench::{fmt, print_table, proxy_graph};
-use xtrapulp_multilevel::MetisLikePartitioner;
+use xtrapulp::PartitionParams;
+use xtrapulp_api::{Method, Session};
+use xtrapulp_bench::{emit_json, fmt, print_table, proxy_graph, time_job};
 
 fn main() {
-    let graphs = ["lj", "orkut", "friendster", "wdc12-pay", "rmat_24", "nlpkkt240"];
-    let part_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
-    let xtrapulp = XtraPulpPartitioner::new(4);
-    let methods: Vec<(&str, &dyn Partitioner)> = vec![
-        ("XtraPuLP", &xtrapulp),
-        ("PuLP", &PulpPartitioner),
-        ("MetisLike", &MetisLikePartitioner { refine_sweeps: 4 }),
+    let graphs = [
+        "lj",
+        "orkut",
+        "friendster",
+        "wdc12-pay",
+        "rmat_24",
+        "nlpkkt240",
     ];
+    let part_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let methods = [Method::XtraPulp, Method::Pulp, Method::MetisLike];
+    let mut session = Session::new(4).expect("4 ranks is a valid session");
     let mut rows = Vec::new();
     for name in graphs {
         let csr = proxy_graph(name);
         for &p in &part_counts {
-            let params = PartitionParams { num_parts: p, seed: 21, ..Default::default() };
-            for (method, partitioner) in &methods {
-                let (_, q) = partitioner.partition_with_quality(&csr, &params);
+            let params = PartitionParams {
+                num_parts: p,
+                seed: 21,
+                ..Default::default()
+            };
+            for method in methods {
+                let (_, report) = time_job(&mut session, method, &csr, &params);
+                emit_json("fig4_quality", name, &report);
                 rows.push(vec![
                     name.to_string(),
                     p.to_string(),
                     method.to_string(),
-                    fmt(q.edge_cut_ratio),
-                    fmt(q.scaled_max_cut_ratio),
-                    fmt(q.vertex_imbalance),
+                    fmt(report.quality.edge_cut_ratio),
+                    fmt(report.quality.scaled_max_cut_ratio),
+                    fmt(report.quality.vertex_imbalance),
                 ]);
             }
         }
     }
     print_table(
         "Fig. 4 — quality vs number of parts",
-        &["graph", "parts", "method", "edge cut ratio", "scaled max cut ratio", "vertex imbalance"],
+        &[
+            "graph",
+            "parts",
+            "method",
+            "edge cut ratio",
+            "scaled max cut ratio",
+            "vertex imbalance",
+        ],
         &rows,
     );
 }

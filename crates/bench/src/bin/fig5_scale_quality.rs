@@ -7,7 +7,11 @@ use xtrapulp_bench::{fmt, print_table, proxy_graph};
 fn main() {
     let csr = proxy_graph("wdc12-host");
     let rank_counts = [1usize, 2, 4, 8, 16];
-    let params = PartitionParams { num_parts: 256, seed: 31, ..Default::default() };
+    let params = PartitionParams {
+        num_parts: 256,
+        seed: 31,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for &nranks in &rank_counts {
         let (_, q) = XtraPulpPartitioner::new(nranks).partition_with_quality(&csr, &params);
@@ -20,7 +24,12 @@ fn main() {
     }
     print_table(
         "Fig. 5 — WDC12 proxy, 256 parts: quality vs rank count",
-        &["ranks", "edge cut ratio", "scaled max cut ratio", "max edge imbalance"],
+        &[
+            "ranks",
+            "edge cut ratio",
+            "scaled max cut ratio",
+            "max edge imbalance",
+        ],
         &rows,
     );
 }

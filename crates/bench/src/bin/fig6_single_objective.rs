@@ -1,21 +1,17 @@
 //! Fig. 6: the single-constraint single-objective comparison — XtraPuLP (edge-balance
 //! stage disabled), PuLP, the METIS-like baseline and the KaHIP-like label-propagation
-//! coarsening partitioner, on lj / rmat_22 / uk-2002, 2-256 parts: edge cut and time.
+//! coarsening partitioner ([`Method::LpCoarsenKway`]), on lj / rmat_22 / uk-2002,
+//! 2-256 parts: edge cut and time.
 
-use xtrapulp::{PartitionParams, Partitioner, PulpPartitioner, XtraPulpPartitioner};
-use xtrapulp_bench::{fmt, print_table, proxy_graph, time_partition};
-use xtrapulp_multilevel::{LpCoarsenKwayPartitioner, MetisLikePartitioner};
+use xtrapulp::PartitionParams;
+use xtrapulp_api::{Method, Session};
+use xtrapulp_bench::{emit_json, fmt, print_table, proxy_graph, time_job};
 
 fn main() {
     let graphs = ["lj", "rmat_22", "uk-2002"];
     let part_counts = [2usize, 8, 32, 128, 256];
-    let xtrapulp = XtraPulpPartitioner::new(4);
-    let methods: Vec<(&str, &dyn Partitioner)> = vec![
-        ("XtraPuLP", &xtrapulp),
-        ("PuLP", &PulpPartitioner),
-        ("MetisLike", &MetisLikePartitioner { refine_sweeps: 4 }),
-        ("KaHIP-like", &LpCoarsenKwayPartitioner { refine_sweeps: 6 }),
-    ];
+    let methods = Method::all_quality();
+    let mut session = Session::new(4).expect("4 ranks is a valid session");
     let mut rows = Vec::new();
     for name in graphs {
         let csr = proxy_graph(name);
@@ -28,14 +24,14 @@ fn main() {
                 seed: 17,
                 ..Default::default()
             };
-            for (method, partitioner) in &methods {
-                let (secs, parts) = time_partition(*partitioner, &csr, &params);
-                let q = xtrapulp::metrics::PartitionQuality::evaluate(&csr, &parts, p);
+            for method in methods {
+                let (secs, report) = time_job(&mut session, method, &csr, &params);
+                emit_json("fig6_single_objective", name, &report);
                 rows.push(vec![
                     name.to_string(),
                     p.to_string(),
                     method.to_string(),
-                    fmt(q.edge_cut_ratio),
+                    fmt(report.quality.edge_cut_ratio),
                     fmt(secs),
                 ]);
             }

@@ -1,24 +1,38 @@
 //! Table II: partitioning time for 16 parts — XtraPuLP (multi-rank) vs PuLP (single rank)
-//! vs the METIS-like baseline — across the four graph classes.
+//! vs the METIS-like baseline — across the four graph classes, all resolved through the
+//! method registry and run on one persistent session.
 
-use xtrapulp::{PartitionParams, PulpPartitioner, XtraPulpPartitioner};
-use xtrapulp_bench::{fmt, graph_class, print_table, proxy_graph, time_partition};
-use xtrapulp_multilevel::MetisLikePartitioner;
+use xtrapulp::PartitionParams;
+use xtrapulp_api::{Method, Session};
+use xtrapulp_bench::{emit_json, fmt, graph_class, print_table, proxy_graph, time_job};
 
 fn main() {
     let graphs = [
-        "lj", "orkut", "friendster", "wdc12-pay", "indochina", "uk-2002",
-        "rmat_22", "rmat_24", "InternalMesh1", "nlpkkt160", "nlpkkt240",
+        "lj",
+        "orkut",
+        "friendster",
+        "wdc12-pay",
+        "indochina",
+        "uk-2002",
+        "rmat_22",
+        "rmat_24",
+        "InternalMesh1",
+        "nlpkkt160",
+        "nlpkkt240",
     ];
-    let params = PartitionParams { num_parts: 16, seed: 13, ..Default::default() };
-    let xtrapulp = XtraPulpPartitioner::new(8);
+    let params = PartitionParams {
+        num_parts: 16,
+        seed: 13,
+        ..Default::default()
+    };
+    let mut session = Session::new(8).expect("8 ranks is a valid session");
     let mut rows = Vec::new();
     for name in graphs {
         let csr = proxy_graph(name);
-        let (tx, px) = time_partition(&xtrapulp, &csr, &params);
-        let (tp, _) = time_partition(&PulpPartitioner, &csr, &params);
-        let (tm, _) = time_partition(&MetisLikePartitioner::default(), &csr, &params);
-        let q = xtrapulp::metrics::PartitionQuality::evaluate(&csr, &px, 16);
+        let (tx, report) = time_job(&mut session, Method::XtraPulp, &csr, &params);
+        let (tp, _) = time_job(&mut session, Method::Pulp, &csr, &params);
+        let (tm, _) = time_job(&mut session, Method::MetisLike, &csr, &params);
+        emit_json("table2_cluster1", name, &report);
         rows.push(vec![
             name.to_string(),
             format!("{:?}", graph_class(name)),
@@ -26,7 +40,7 @@ fn main() {
             fmt(tp),
             fmt(tm),
             fmt(tp / tx),
-            fmt(q.edge_cut_ratio),
+            fmt(report.quality.edge_cut_ratio),
         ]);
     }
     print_table(

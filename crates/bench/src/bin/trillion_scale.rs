@@ -10,11 +10,32 @@ use xtrapulp_graph::{DistGraph, Distribution};
 
 fn main() {
     let n = scaled(1 << 17);
-    let nranks = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8).min(16);
+    let nranks = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8)
+        .min(16);
     let graphs = vec![
-        ("RandER", GraphKind::ErdosRenyi { num_vertices: n, avg_degree: 32 }),
-        ("RandHD", GraphKind::RandHd { num_vertices: n, avg_degree: 32 }),
-        ("RMAT", GraphKind::Rmat { scale: (n as f64).log2() as u32, edge_factor: 16 }),
+        (
+            "RandER",
+            GraphKind::ErdosRenyi {
+                num_vertices: n,
+                avg_degree: 32,
+            },
+        ),
+        (
+            "RandHD",
+            GraphKind::RandHd {
+                num_vertices: n,
+                avg_degree: 32,
+            },
+        ),
+        (
+            "RMAT",
+            GraphKind::Rmat {
+                scale: (n as f64).log2() as u32,
+                edge_factor: 16,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, kind) in graphs {
@@ -22,13 +43,24 @@ fn main() {
         let edges = el.edges.clone();
         let m = el.edges.len();
         let secs = Runtime::run(nranks, |ctx| {
-            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &edges);
-            let params = PartitionParams { num_parts: 256, seed: 5, ..Default::default() };
+            let g =
+                DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &edges);
+            let params = PartitionParams {
+                num_parts: 256,
+                seed: 5,
+                ..Default::default()
+            };
             let t = Timer::start();
             let _ = xtrapulp_partition(ctx, &g, &params);
             ctx.allreduce_max_f64(&[t.elapsed_secs()])[0]
         })[0];
-        rows.push(vec![name.to_string(), el.num_vertices.to_string(), m.to_string(), nranks.to_string(), fmt(secs)]);
+        rows.push(vec![
+            name.to_string(),
+            el.num_vertices.to_string(),
+            m.to_string(),
+            nranks.to_string(),
+            fmt(secs),
+        ]);
     }
     print_table(
         "§V-A.2 — largest-graph runs (paper: 2^34 vertices / 10^12 edges in 357-608 s on 8192 nodes)",

@@ -1,10 +1,21 @@
 //! # xtrapulp-bench
 //!
 //! Experiment harnesses that regenerate every table and figure of the paper's evaluation
-//! (§IV–V), scaled to a single machine. Each `src/bin/*.rs` binary corresponds to one
-//! table or figure (see DESIGN.md §3 for the full index) and prints the same rows/series
-//! the paper reports, so the *shape* of each result — which method wins, by roughly what
+//! (§IV–V), scaled to a single machine. Each `src/bin/*.rs` binary is named after the
+//! table or figure it reproduces (`table1_graphs` → Table I, `fig4_quality` → Fig. 4,
+//! and so on; `trillion_scale` extrapolates §V-E) and prints the same rows/series the
+//! paper reports, so the *shape* of each result — which method wins, by roughly what
 //! factor, where the crossovers fall — can be compared directly against the publication.
+//!
+//! Partitioner comparisons resolve their methods through the
+//! [`Method`](xtrapulp_api::Method) registry and run them on a persistent
+//! [`Session`](xtrapulp_api::Session), so every binary exercises the same serving facade
+//! the API exposes. The session-facade binaries (`fig4_quality`,
+//! `fig6_single_objective`, `fig8_analytics`, `table2_cluster1`) also accept `--json`,
+//! switching per-job output to [`PartitionReport`](xtrapulp_api::PartitionReport)
+//! summary lines (one JSON object per line) for the perf trajectory; the scaling
+//! studies (`fig1`–`fig3`, `fig5`, `trillion_scale`) measure raw collective runs and
+//! keep their table output.
 //!
 //! All experiments accept the `XTRAPULP_SCALE` environment variable (a positive float,
 //! default 1.0) which multiplies the default graph sizes, so the same binaries can be run
@@ -13,6 +24,7 @@
 use std::time::Instant;
 
 use xtrapulp::{PartitionParams, Partitioner};
+use xtrapulp_api::{Method, PartitionJob, PartitionReport, Session};
 use xtrapulp_gen::{GraphClass, TableIPreset};
 use xtrapulp_graph::Csr;
 
@@ -47,11 +59,17 @@ pub fn proxy_graph(name: &str) -> Csr {
                 edge_factor,
             }
         }
-        ErdosRenyi { num_vertices, avg_degree } => ErdosRenyi {
+        ErdosRenyi {
+            num_vertices,
+            avg_degree,
+        } => ErdosRenyi {
             num_vertices: scaled(num_vertices),
             avg_degree,
         },
-        RandHd { num_vertices, avg_degree } => RandHd {
+        RandHd {
+            num_vertices,
+            avg_degree,
+        } => RandHd {
             num_vertices: scaled(num_vertices),
             avg_degree,
         },
@@ -80,7 +98,11 @@ pub fn proxy_graph(name: &str) -> Csr {
             avg_degree,
             community_size,
         },
-        Grid2d { width, height, diagonal } => {
+        Grid2d {
+            width,
+            height,
+            diagonal,
+        } => {
             let f = scale_factor().sqrt();
             Grid2d {
                 width: ((width as f64 * f) as u64).max(8),
@@ -119,11 +141,54 @@ pub fn time_partition(
     (start.elapsed().as_secs_f64(), parts)
 }
 
+/// Submit one registry method as a job on a persistent session, returning the wall-clock
+/// seconds of the whole submission plus the job's report. Harness-facing companion of
+/// [`time_partition`] for the `Session` facade; panics on invalid jobs (harness
+/// parameters are trusted).
+pub fn time_job(
+    session: &mut Session,
+    method: Method,
+    csr: &Csr,
+    params: &PartitionParams,
+) -> (f64, PartitionReport) {
+    let start = Instant::now();
+    let report = session
+        .submit(&PartitionJob::new(method).with_params(*params), csr)
+        .unwrap_or_else(|e| panic!("{method} failed: {e}"));
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// True when the binary was invoked with `--json`: emit machine-readable
+/// [`PartitionReport`] summary lines instead of (or alongside) the human tables.
+pub fn json_flag() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::args().any(|a| a == "--json"))
+}
+
+/// Emit one JSON line for a completed job if `--json` was requested, tagging the report
+/// with the experiment and graph it belongs to. Labels are JSON-escaped, so graph names
+/// from arbitrary sources cannot corrupt the `--json` stream.
+pub fn emit_json(experiment: &str, graph: &str, report: &PartitionReport) {
+    if json_flag() {
+        let mut line = String::from("{\"experiment\":");
+        serde::write_json_str(experiment, &mut line);
+        line.push_str(",\"graph\":");
+        serde::write_json_str(graph, &mut line);
+        line.push_str(",\"report\":");
+        line.push_str(&report.to_json_summary());
+        line.push('}');
+        println!("{line}");
+    }
+}
+
 /// Print a markdown-style table: a header row followed by data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

@@ -1,26 +1,166 @@
-//! The runtime entry point ([`Runtime::run`]) and the per-rank handle ([`RankCtx`])
+//! The reusable rank runtime ([`Runtime`]) and the per-rank handle ([`RankCtx`])
 //! exposing MPI-style collectives.
+//!
+//! [`Runtime::new`] spawns `nranks` long-lived worker threads once;
+//! [`Runtime::execute`] then runs any number of bulk-synchronous jobs on them,
+//! amortising thread spawn/teardown across jobs the way an MPI job reuses its
+//! task set across collective phases. [`Runtime::run`] remains as the one-shot
+//! convenience wrapper (spawn, execute once, tear down).
 
+use std::any::Any;
 use std::mem::size_of;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use crate::hub::Hub;
 use crate::stats::{CollectiveKind, CommStats};
 
-/// Launches a bulk-synchronous rank-parallel region.
+/// Type-erased return value of one rank's job.
+type ErasedResult = Box<dyn Any + Send>;
+
+/// A borrowed, type-erased job closure shipped to the worker threads.
+///
+/// The pointee lives in [`Runtime::execute`]'s stack frame; the `'static`
+/// lifetime is a lie told via `transmute`, made sound because `execute` blocks
+/// until every worker has reported completion of the job, so the reference
+/// never outlives its referent (the same guarantee scoped threads provide,
+/// made manual because the workers are long-lived).
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(&RankCtx) -> ErasedResult + Sync),
+}
+
+/// A persistent pool of rank threads executing bulk-synchronous jobs.
 ///
 /// Each rank is an OS thread with private state; ranks communicate only through the
 /// collectives on [`RankCtx`]. This mirrors how the original XtraPuLP runs one MPI task
 /// per node with OpenMP threads inside it: here the "node" is a thread and intra-rank
 /// parallelism is delegated to rayon by the caller.
-pub struct Runtime;
+///
+/// The rank threads are spawned once in [`Runtime::new`] and live until the
+/// runtime is dropped, so back-to-back jobs (a partitioning service handling
+/// many graphs, a bench loop, a pipeline of partition-then-analyse jobs) pay
+/// the spawn cost once. Every job gets a fresh [`RankCtx`] (and therefore
+/// fresh [`CommStats`]); the rendezvous state ([`Hub`]) is reused, which is
+/// safe because every collective leaves its slots empty on completion.
+pub struct Runtime {
+    nranks: usize,
+    job_txs: Vec<Sender<Job>>,
+    results_rx: Receiver<(usize, std::thread::Result<ErasedResult>)>,
+    workers: Vec<JoinHandle<()>>,
+}
 
 impl Runtime {
-    /// Run `f` on `nranks` ranks and return each rank's result, indexed by rank.
+    /// Spawn a runtime of `nranks` persistent rank threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nranks == 0`. (Request-path callers should validate rank
+    /// counts up front and surface a typed error; see `xtrapulp-api`.)
+    pub fn new(nranks: usize) -> Runtime {
+        assert!(nranks > 0, "a Runtime requires at least one rank");
+        let hub = Arc::new(Hub::new(nranks));
+        let (results_tx, results_rx) = channel();
+        let mut job_txs = Vec::with_capacity(nranks);
+        let mut workers = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let (job_tx, job_rx) = channel::<Job>();
+            let hub = Arc::clone(&hub);
+            let results_tx = results_tx.clone();
+            job_txs.push(job_tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("xtrapulp-rank-{rank}"))
+                    .spawn(move || Self::worker_main(rank, hub, job_rx, results_tx))
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        Runtime {
+            nranks,
+            job_txs,
+            results_rx,
+            workers,
+        }
+    }
+
+    /// Number of ranks in the runtime.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Execute `f` collectively on every rank and return each rank's result,
+    /// indexed by rank.
     ///
     /// `f` is shared by reference across ranks, so it can capture read-only input (for
     /// example, a globally generated edge list that each rank filters down to the part it
     /// owns). Per-rank mutable state lives inside the closure body.
+    ///
+    /// Takes `&mut self` because a runtime executes one job at a time: the
+    /// rank threads and the hub are a single collective context, exactly like
+    /// an MPI communicator.
+    ///
+    /// # Panics
+    ///
+    /// If any rank's closure panics, the panic is re-raised on the caller once
+    /// every rank has finished. If a rank panics *mid-collective* the
+    /// remaining ranks deadlock in the abandoned collective, exactly as an MPI
+    /// job would hang — don't let request-path code panic inside a job.
+    pub fn execute<F, R>(&mut self, f: F) -> Vec<R>
+    where
+        F: Fn(&RankCtx) -> R + Sync,
+        R: Send + 'static,
+    {
+        let wrapper = |ctx: &RankCtx| -> ErasedResult { Box::new(f(ctx)) };
+        let erased: &(dyn Fn(&RankCtx) -> ErasedResult + Sync) = &wrapper;
+        // SAFETY: `Job` is only dereferenced by workers between the sends below
+        // and the corresponding completion messages, all of which this function
+        // waits for before returning; the closure therefore outlives every use
+        // of the forged `'static` reference.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<
+                    &(dyn Fn(&RankCtx) -> ErasedResult + Sync),
+                    &'static (dyn Fn(&RankCtx) -> ErasedResult + Sync),
+                >(erased)
+            },
+        };
+        for tx in &self.job_txs {
+            tx.send(job).expect("rank thread exited unexpectedly");
+        }
+        let mut slots: Vec<Option<std::thread::Result<ErasedResult>>> = Vec::new();
+        slots.resize_with(self.nranks, || None);
+        for _ in 0..self.nranks {
+            let (rank, outcome) = self
+                .results_rx
+                .recv()
+                .expect("rank thread exited unexpectedly");
+            slots[rank] = Some(outcome);
+        }
+        // Every rank is done with the job; the borrow of `f` has ended.
+        let mut results = Vec::with_capacity(self.nranks);
+        let mut panic_payload = None;
+        for slot in slots {
+            match slot.expect("every rank reports exactly once") {
+                Ok(boxed) => results.push(
+                    *boxed
+                        .downcast::<R>()
+                        .expect("job result type mismatch between ranks"),
+                ),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    }
+
+    /// Run `f` on a fresh one-shot runtime of `nranks` ranks and return each
+    /// rank's result, indexed by rank. Convenience wrapper over
+    /// [`Runtime::new`] + [`Runtime::execute`]; for repeated jobs, keep a
+    /// runtime (or an `xtrapulp-api` `Session`) alive instead.
     ///
     /// # Panics
     ///
@@ -28,25 +168,38 @@ impl Runtime {
     pub fn run<F, R>(nranks: usize, f: F) -> Vec<R>
     where
         F: Fn(&RankCtx) -> R + Sync,
-        R: Send,
+        R: Send + 'static,
     {
-        assert!(nranks > 0, "Runtime::run requires at least one rank");
-        let hub = Arc::new(Hub::new(nranks));
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nranks);
-            for rank in 0..nranks {
-                let hub = Arc::clone(&hub);
-                handles.push(scope.spawn(move || {
-                    let ctx = RankCtx::new(rank, hub);
-                    f(&ctx)
-                }));
+        Runtime::new(nranks).execute(f)
+    }
+
+    fn worker_main(
+        rank: usize,
+        hub: Arc<Hub>,
+        job_rx: Receiver<Job>,
+        results_tx: Sender<(usize, std::thread::Result<ErasedResult>)>,
+    ) {
+        // Exits when the runtime drops its sender.
+        while let Ok(job) = job_rx.recv() {
+            let ctx = RankCtx::new(rank, Arc::clone(&hub));
+            let f = job.f;
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            if results_tx.send((rank, outcome)).is_err() {
+                return;
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        })
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Closing the job channels tells every worker to exit its loop.
+        self.job_txs.clear();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible today) would
+            // surface here; swallow it rather than double-panic in drop.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -133,8 +286,7 @@ impl RankCtx {
         for r in 0..nranks {
             out.push(self.hub.read_slot::<T>(r));
         }
-        self.stats
-            .record_recv((nranks * size_of::<T>()) as u64);
+        self.stats.record_recv((nranks * size_of::<T>()) as u64);
         self.hub.barrier();
         self.hub.clear_slot(self.rank);
         out
@@ -158,8 +310,7 @@ impl RankCtx {
                 out.extend_from_slice(v);
             });
         }
-        self.stats
-            .record_recv((out.len() * size_of::<T>()) as u64);
+        self.stats.record_recv((out.len() * size_of::<T>()) as u64);
         self.hub.barrier();
         self.hub.clear_slot(self.rank);
         out
@@ -186,8 +337,7 @@ impl RankCtx {
                         .expect("gather: missing contribution"),
                 );
             }
-            self.stats
-                .record_recv((nranks * size_of::<T>()) as u64);
+            self.stats.record_recv((nranks * size_of::<T>()) as u64);
             Some(all)
         } else {
             None
@@ -254,8 +404,7 @@ impl RankCtx {
                     .expect("alltoall: missing contribution"),
             );
         }
-        self.stats
-            .record_recv((nranks * size_of::<T>()) as u64);
+        self.stats.record_recv((nranks * size_of::<T>()) as u64);
         self.hub.barrier();
         out
     }
@@ -274,8 +423,7 @@ impl RankCtx {
         );
         self.stats.record_collective(CollectiveKind::Alltoallv);
         let sent_elems: usize = sends.iter().map(Vec::len).sum();
-        self.stats
-            .record_send((sent_elems * size_of::<T>()) as u64);
+        self.stats.record_send((sent_elems * size_of::<T>()) as u64);
         for (dst, buf) in sends.into_iter().enumerate() {
             self.hub.put_mail(self.rank, dst, buf);
         }
@@ -290,8 +438,7 @@ impl RankCtx {
             );
         }
         let recv_elems: usize = out.iter().map(Vec::len).sum();
-        self.stats
-            .record_recv((recv_elems * size_of::<T>()) as u64);
+        self.stats.record_recv((recv_elems * size_of::<T>()) as u64);
         self.hub.barrier();
         out
     }
@@ -306,8 +453,7 @@ impl RankCtx {
         F: Fn(&mut T, &T),
     {
         self.stats.record_collective(CollectiveKind::Allreduce);
-        self.stats
-            .record_send((local.len() * size_of::<T>()) as u64);
+        self.stats.record_send(std::mem::size_of_val(local) as u64);
         self.hub.put_slot(self.rank, local.to_vec());
         self.hub.barrier();
         let mut acc: Vec<T> = self.hub.read_slot(0);
@@ -323,8 +469,7 @@ impl RankCtx {
                 }
             });
         }
-        self.stats
-            .record_recv((acc.len() * size_of::<T>()) as u64);
+        self.stats.record_recv((acc.len() * size_of::<T>()) as u64);
         self.hub.barrier();
         self.hub.clear_slot(self.rank);
         acc

@@ -69,7 +69,11 @@ impl Hub {
     }
 
     /// Apply `f` to the value in another rank's slot without cloning it.
-    pub(crate) fn with_slot<T: Send + 'static, R>(&self, rank: usize, f: impl FnOnce(&T) -> R) -> R {
+    pub(crate) fn with_slot<T: Send + 'static, R>(
+        &self,
+        rank: usize,
+        f: impl FnOnce(&T) -> R,
+    ) -> R {
         let guard = self.slots[rank].lock();
         let boxed = guard
             .as_ref()

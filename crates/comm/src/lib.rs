@@ -43,7 +43,7 @@ mod stats;
 mod timer;
 
 pub use ctx::{RankCtx, Runtime};
-pub use stats::{CommStats, CollectiveKind};
+pub use stats::{CollectiveKind, CommStats, CommStatsSnapshot};
 pub use timer::{PhaseTimer, Timer};
 
 #[cfg(test)]

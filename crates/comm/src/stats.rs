@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use serde::Serialize;
+
 /// Which collective a byte count was charged to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
@@ -116,7 +118,7 @@ impl CommStats {
 }
 
 /// Plain-data snapshot of [`CommStats`], convenient for returning from rank closures.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CommStatsSnapshot {
     /// Total bytes handed to collectives as send payload.
     pub bytes_sent: u64,

@@ -282,8 +282,12 @@ fn timer_measures_elapsed_time() {
 #[test]
 fn phase_timer_accumulates() {
     let mut pt = crate::PhaseTimer::new();
-    pt.time("a", || std::thread::sleep(std::time::Duration::from_millis(2)));
-    pt.time("a", || std::thread::sleep(std::time::Duration::from_millis(2)));
+    pt.time("a", || {
+        std::thread::sleep(std::time::Duration::from_millis(2))
+    });
+    pt.time("a", || {
+        std::thread::sleep(std::time::Duration::from_millis(2))
+    });
     pt.time("b", || ());
     assert!(pt.get("a").as_secs_f64() >= 0.003);
     assert!(pt.total() >= pt.get("a"));

@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use serde::Serialize;
+
 /// A simple stopwatch.
 #[derive(Debug, Clone, Copy)]
 pub struct Timer {
@@ -47,7 +49,7 @@ impl Default for Timer {
 /// The paper's discussion distinguishes where time is spent (e.g. the initialisation
 /// stage depends on diameter, the balance stages on cut size); harnesses use this to
 /// report per-phase breakdowns.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize)]
 pub struct PhaseTimer {
     phases: BTreeMap<String, Duration>,
 }
@@ -84,5 +86,17 @@ impl PhaseTimer {
     /// Iterate over `(phase, duration)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
         self.phases.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fold another timer in, keeping the larger duration per phase. Aggregating
+    /// per-rank timers this way yields the wall-clock view of a collective job
+    /// (every phase ends at a barrier, so the slowest rank defines the phase).
+    pub fn merge_max(&mut self, other: &PhaseTimer) {
+        for (phase, d) in other.iter() {
+            let entry = self.phases.entry(phase.to_string()).or_default();
+            if d > *entry {
+                *entry = d;
+            }
+        }
     }
 }

@@ -135,10 +135,7 @@ pub fn vertex_balance(
 
     let mut scratch = ScoreScratch::new(p);
     for _ in 0..params.balance_iters {
-        let max_v = size_v
-            .iter()
-            .map(|&s| s as f64)
-            .fold(imb_v, f64::max);
+        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let mult = params.multiplier(nranks, counter.iter_tot);
         let mut change_v = vec![0i64; p];
         let weight = |size: i64, change: i64| -> f64 {
@@ -176,8 +173,7 @@ pub fn vertex_balance(
                 // preferentially relocates zero-degree vertices (whose move is free) and
                 // is what lets the balance constraint be met on graphs with many tiny
                 // components.
-                let over_target =
-                    size_v[x] as f64 + mult * change_v[x] as f64 > imb_v;
+                let over_target = size_v[x] as f64 + mult * change_v[x] as f64 > imb_v;
                 if over_target {
                     // Spill moves are invisible to the other ranks until the end of the
                     // iteration, and every rank picks the same most-underweight target,
@@ -245,10 +241,7 @@ pub fn vertex_refine(
 
     let mut scratch = ScoreScratch::new(p);
     for _ in 0..params.refine_iters {
-        let max_v = size_v
-            .iter()
-            .map(|&s| s as f64)
-            .fold(imb_v, f64::max);
+        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let mult = params.multiplier(nranks, counter.iter_tot);
         // Refinement must never push a part above the current maximum, even when every
         // rank funnels vertices into the same popular part within one stale iteration, so

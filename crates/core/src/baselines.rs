@@ -29,7 +29,7 @@ pub fn vertex_block_partition(num_vertices: u64, num_parts: usize) -> Vec<i32> {
     let mut parts = Vec::with_capacity(num_vertices as usize);
     for part in 0..p {
         let size = if part < extra { base + 1 } else { base };
-        parts.extend(std::iter::repeat(part as i32).take(size as usize));
+        parts.extend(std::iter::repeat_n(part as i32, size as usize));
     }
     parts
 }
@@ -105,7 +105,11 @@ mod tests {
         let q = PartitionQuality::evaluate(&csr, &parts, 2);
         // Degree sums should be much better balanced than vertex counts for this skewed
         // graph.
-        assert!(q.edge_imbalance < 1.5, "edge imbalance {}", q.edge_imbalance);
+        assert!(
+            q.edge_imbalance < 1.5,
+            "edge imbalance {}",
+            q.edge_imbalance
+        );
         // The hub part holds far fewer vertices.
         let hub_part_size = parts.iter().filter(|&&p| p == parts[0]).count();
         assert!(hub_part_size < 30);
@@ -119,7 +123,7 @@ mod tests {
         let counts: Vec<usize> = (0..3)
             .map(|p| parts.iter().filter(|&&x| x == p).count())
             .collect();
-        assert!(counts.iter().all(|&c| c >= 8 && c <= 12), "{counts:?}");
+        assert!(counts.iter().all(|&c| (8..=12).contains(&c)), "{counts:?}");
     }
 
     #[test]

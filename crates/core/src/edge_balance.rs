@@ -307,7 +307,11 @@ mod tests {
         let (before, after) = out[0];
         // The edge stage should not blow up the vertex balance, and should improve (or at
         // least not substantially worsen) the edge balance.
-        assert!(after.vertex_imbalance < 1.6, "vertex imbalance {}", after.vertex_imbalance);
+        assert!(
+            after.vertex_imbalance < 1.6,
+            "vertex imbalance {}",
+            after.vertex_imbalance
+        );
         assert!(
             after.edge_imbalance <= before.edge_imbalance * 1.25 + 0.1,
             "edge imbalance regressed: {} -> {}",

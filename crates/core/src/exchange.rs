@@ -134,8 +134,8 @@ mod tests {
             let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 10, &edges);
             let mut parts = vec![-1i32; g.n_total()];
             // Owners label their vertices with their global id.
-            for v in 0..g.n_owned() {
-                parts[v] = g.global_id(v as LocalId) as i32;
+            for (v, part) in parts.iter_mut().enumerate().take(g.n_owned()) {
+                *part = g.global_id(v as LocalId) as i32;
             }
             refresh_ghost_parts(ctx, &g, &mut parts);
             for slot in 0..g.n_ghost() {

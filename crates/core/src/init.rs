@@ -35,8 +35,8 @@ fn random_init(ctx: &RankCtx, graph: &DistGraph, params: &PartitionParams) -> Ve
     let p = params.num_parts;
     let mut rng = SmallRng::seed_from_u64(params.seed ^ (ctx.rank() as u64).wrapping_mul(0x9E37));
     let mut parts = vec![UNASSIGNED; graph.n_total()];
-    for v in 0..graph.n_owned() {
-        parts[v] = rng.gen_range(0..p) as i32;
+    for part in parts.iter_mut().take(graph.n_owned()) {
+        *part = rng.gen_range(0..p) as i32;
     }
     refresh_ghost_parts(ctx, graph, &mut parts);
     parts
@@ -46,10 +46,11 @@ fn random_init(ctx: &RankCtx, graph: &DistGraph, params: &PartitionParams) -> Ve
 fn block_init(_ctx: &RankCtx, graph: &DistGraph, params: &PartitionParams) -> Vec<i32> {
     let p = params.num_parts as u64;
     let n = graph.global_n().max(1);
-    let part_of = |g: GlobalId| -> i32 { ((g as u128 * p as u128 / n as u128) as u64).min(p - 1) as i32 };
+    let part_of =
+        |g: GlobalId| -> i32 { ((g as u128 * p as u128 / n as u128) as u64).min(p - 1) as i32 };
     let mut parts = vec![UNASSIGNED; graph.n_total()];
-    for v in 0..graph.n_total() {
-        parts[v] = part_of(graph.global_id(v as LocalId));
+    for (v, part) in parts.iter_mut().enumerate() {
+        *part = part_of(graph.global_id(v as LocalId));
     }
     parts
 }
@@ -152,10 +153,10 @@ fn bfs_grow_init(ctx: &RankCtx, graph: &DistGraph, params: &PartitionParams) -> 
     // Any vertex still unassigned (isolated vertices, or components containing no root)
     // gets a uniform random part.
     let mut leftover_updates: Vec<PartUpdate> = Vec::new();
-    for v in 0..graph.n_owned() {
-        if parts[v] == UNASSIGNED {
+    for (v, part) in parts.iter_mut().enumerate().take(graph.n_owned()) {
+        if *part == UNASSIGNED {
             let w = rng.gen_range(0..p) as i32;
-            parts[v] = w;
+            *part = w;
             leftover_updates.push((v as LocalId, w));
         }
     }
@@ -201,7 +202,10 @@ mod tests {
             };
             let parts = init_partition(ctx, &g, &params);
             assert_eq!(parts.len(), g.n_total());
-            assert!(is_valid_partition(&parts, 4), "{strategy:?} left invalid labels");
+            assert!(
+                is_valid_partition(&parts, 4),
+                "{strategy:?} left invalid labels"
+            );
             // Ghost labels must agree with the owners' labels.
             let owned = parts[..g.n_owned()].to_vec();
             let ghosts = g.ghost_values_i32(ctx, &owned);
@@ -223,7 +227,7 @@ mod tests {
         // Every part should be non-empty for this size.
         for part in 0..4 {
             assert!(
-                global_parts.iter().any(|&p| p == part),
+                global_parts.contains(&part),
                 "{strategy:?}: part {part} is empty"
             );
         }

@@ -27,11 +27,24 @@
 //!
 //! ## Entry points
 //!
-//! * [`xtrapulp_partition`] — collective call over an already-distributed graph
-//!   ([`DistGraph`]); this is what the scaling experiments use.
+//! Most callers should go through the **`xtrapulp-api` facade** (re-exported as
+//! `xtrapulp_suite::api`): its `Session` owns a persistent rank runtime that is reused
+//! across jobs, its `Method` registry resolves any of the workspace's seven partitioning
+//! methods by name, and every job returns a JSON-able `PartitionReport`. This crate
+//! provides the kernel underneath:
+//!
+//! * [`Partitioner`] — the trait every method implements.
+//!   [`try_partition`](Partitioner::try_partition) is the request-path entry point: it
+//!   validates [`PartitionParams`] and reports failures as typed [`PartitionError`]s
+//!   instead of panicking. The panicking `partition`/`partition_with_quality` shims
+//!   remain for trusted harness code.
+//! * [`try_xtrapulp_partition`] / [`xtrapulp_partition`] — collective calls over an
+//!   already-distributed graph ([`DistGraph`]); this is what the scaling experiments use.
 //! * [`XtraPulpPartitioner`] — [`Partitioner`] implementation that distributes an
 //!   in-memory [`Csr`](xtrapulp_graph::Csr) over an internal rank runtime, partitions it,
-//!   and gathers the result; convenient for quality comparisons.
+//!   and gathers the result (failing with
+//!   [`PartitionError::IncompleteGather`](error::PartitionError::IncompleteGather) if any
+//!   vertex goes unclaimed); convenient for quality comparisons.
 //! * [`PulpPartitioner`] — the shared-memory PuLP baseline.
 //! * [`RandomPartitioner`], [`VertexBlockPartitioner`], [`EdgeBlockPartitioner`] — the
 //!   naive baselines.
@@ -45,14 +58,21 @@
 //!     .generate()
 //!     .to_csr();
 //! let params = PartitionParams::with_parts(8);
-//! let (parts, quality) = XtraPulpPartitioner::new(2).partition_with_quality(&graph, &params);
+//! let (parts, quality) = XtraPulpPartitioner::new(2)
+//!     .try_partition_with_quality(&graph, &params)
+//!     .expect("valid parameters");
 //! assert_eq!(parts.len(), graph.num_vertices());
 //! assert!(quality.vertex_imbalance < 1.2);
+//!
+//! // Malformed requests are typed errors, not panics.
+//! let bad = PartitionParams { num_parts: 0, ..Default::default() };
+//! assert!(XtraPulpPartitioner::new(2).try_partition(&graph, &bad).is_err());
 //! ```
 
 pub mod balance;
 pub mod baselines;
 pub mod edge_balance;
+pub mod error;
 pub mod exchange;
 pub mod init;
 pub mod metrics;
@@ -60,12 +80,13 @@ pub mod params;
 pub mod partitioner;
 pub mod pulp;
 
+pub use error::PartitionError;
 pub use params::{InitStrategy, PartitionParams};
 pub use partitioner::{
-    xtrapulp_partition, EdgeBlockPartitioner, PartitionResult, Partitioner, RandomPartitioner,
-    VertexBlockPartitioner, XtraPulpPartitioner,
+    try_xtrapulp_partition, xtrapulp_partition, EdgeBlockPartitioner, PartitionResult, Partitioner,
+    RandomPartitioner, VertexBlockPartitioner, XtraPulpPartitioner,
 };
-pub use pulp::{pulp_partition, PulpPartitioner};
+pub use pulp::{pulp_partition, try_pulp_partition, PulpPartitioner};
 
 // Re-exported so downstream crates (analytics, spmv, bench) can name graph types without
 // an extra dependency edge.

@@ -35,7 +35,11 @@ impl PartitionQuality {
     /// Evaluate a partition of an in-memory graph. `parts[v]` must be a valid part id in
     /// `0..num_parts` for every vertex.
     pub fn evaluate(csr: &Csr, parts: &[i32], num_parts: usize) -> PartitionQuality {
-        assert_eq!(parts.len(), csr.num_vertices(), "one part id per vertex required");
+        assert_eq!(
+            parts.len(),
+            csr.num_vertices(),
+            "one part id per vertex required"
+        );
         assert!(num_parts >= 1);
         let mut part_vertices = vec![0u64; num_parts];
         let mut part_arcs = vec![0u64; num_parts];
@@ -146,8 +150,7 @@ impl PartitionQuality {
             scaled_max_cut_ratio: max_part_cut as f64 / avg_edges_per_part,
             vertex_imbalance: part_vertices.iter().copied().max().unwrap_or(0) as f64
                 / avg_vertices_per_part,
-            edge_imbalance: part_arcs.iter().copied().max().unwrap_or(0) as f64
-                / avg_arcs_per_part,
+            edge_imbalance: part_arcs.iter().copied().max().unwrap_or(0) as f64 / avg_arcs_per_part,
         }
     }
 }
@@ -185,11 +188,7 @@ pub fn performance_ratios(results: &[Vec<Option<f64>>], num_methods: usize) -> V
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); num_methods];
     for test in results {
         assert_eq!(test.len(), num_methods);
-        let best = test
-            .iter()
-            .flatten()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let best = test.iter().flatten().copied().fold(f64::INFINITY, f64::min);
         if !best.is_finite() {
             continue;
         }
@@ -314,10 +313,7 @@ mod tests {
     #[test]
     fn performance_ratio_aggregation() {
         // Two tests, two methods. Method 0 is best on both.
-        let results = vec![
-            vec![Some(10.0), Some(20.0)],
-            vec![Some(5.0), Some(5.0)],
-        ];
+        let results = vec![vec![Some(10.0), Some(20.0)], vec![Some(5.0), Some(5.0)]];
         let ratios = performance_ratios(&results, 2);
         assert!((ratios[0] - 1.0).abs() < 1e-12);
         assert!((ratios[1] - (2.0f64).sqrt()).abs() < 1e-9);

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::PartitionError;
+
 /// How the initial part assignment is produced before the balancing stages run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InitStrategy {
@@ -107,17 +109,38 @@ impl PartitionParams {
         (nranks as f64 * ((self.mult_x - self.mult_y) * frac + self.mult_y)).max(1.0)
     }
 
-    /// Validate parameter sanity; panics with a descriptive message when invalid.
-    pub fn validate(&self) {
-        assert!(self.num_parts >= 1, "num_parts must be at least 1");
-        assert!(
-            self.vertex_imbalance >= 0.0 && self.edge_imbalance >= 0.0,
-            "imbalance ratios must be non-negative"
-        );
-        assert!(
-            self.mult_x >= 0.0 && self.mult_y >= 0.0,
-            "multiplier constants must be non-negative"
-        );
+    /// Validate parameter sanity, reporting the first violation as a typed error.
+    ///
+    /// This is the request-path guard: every
+    /// [`Partitioner::try_partition`](crate::Partitioner::try_partition)
+    /// implementation calls it before touching the graph or the rank runtime, so
+    /// malformed parameters are rejected with an `Err` instead of a panic.
+    pub fn validate(&self) -> Result<(), PartitionError> {
+        if self.num_parts < 1 {
+            return Err(PartitionError::InvalidNumParts {
+                got: self.num_parts,
+            });
+        }
+        for (which, value) in [
+            ("vertex_imbalance", self.vertex_imbalance),
+            ("edge_imbalance", self.edge_imbalance),
+        ] {
+            if value.is_nan() || value < 0.0 {
+                return Err(PartitionError::InvalidImbalance {
+                    which,
+                    got: format!("{value}"),
+                });
+            }
+        }
+        for (which, value) in [("mult_x", self.mult_x), ("mult_y", self.mult_y)] {
+            if value.is_nan() || value < 0.0 {
+                return Err(PartitionError::InvalidMultiplier {
+                    which,
+                    got: format!("{value}"),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -157,11 +180,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "num_parts")]
-    fn zero_parts_is_invalid() {
-        let mut p = PartitionParams::default();
-        p.num_parts = 0;
-        p.validate();
+    fn zero_parts_is_a_typed_error_not_a_panic() {
+        let p = PartitionParams {
+            num_parts: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(PartitionError::InvalidNumParts { got: 0 })
+        );
+    }
+
+    #[test]
+    fn negative_and_nan_ratios_are_typed_errors() {
+        let p = PartitionParams {
+            vertex_imbalance: -0.1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(PartitionError::InvalidImbalance {
+                which: "vertex_imbalance",
+                ..
+            })
+        ));
+        let p = PartitionParams {
+            edge_imbalance: f64::NAN,
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(PartitionError::InvalidImbalance {
+                which: "edge_imbalance",
+                ..
+            })
+        ));
+        let p = PartitionParams {
+            mult_y: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(PartitionError::InvalidMultiplier {
+                which: "mult_y",
+                ..
+            })
+        ));
+        assert_eq!(PartitionParams::default().validate(), Ok(()));
     }
 
     #[test]

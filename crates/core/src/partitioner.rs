@@ -7,6 +7,7 @@ use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId};
 use crate::balance::{vertex_balance, vertex_refine, StageCounter};
 use crate::baselines;
 use crate::edge_balance::{edge_balance, edge_refine};
+use crate::error::PartitionError;
 use crate::init::init_partition;
 use crate::metrics::PartitionQuality;
 use crate::params::PartitionParams;
@@ -30,13 +31,45 @@ impl PartitionResult {
 }
 
 /// Run the full multi-constraint multi-objective XtraPuLP algorithm (Algorithm 1)
+/// collectively on an already-distributed graph, rejecting malformed parameters with a
+/// typed error.
+///
+/// Validation is deterministic, so every rank of a collective call returns the same
+/// `Err` and no rank enters a collective the others skipped.
+pub fn try_xtrapulp_partition(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+) -> Result<PartitionResult, PartitionError> {
+    params.validate()?;
+    Ok(xtrapulp_partition_validated(ctx, graph, params))
+}
+
+/// Run the full multi-constraint multi-objective XtraPuLP algorithm (Algorithm 1)
 /// collectively on an already-distributed graph.
+///
+/// # Panics
+///
+/// Panics on invalid [`PartitionParams`]; request-path callers should prefer
+/// [`try_xtrapulp_partition`] (or the `xtrapulp-api` session facade), which reports the
+/// violation as a [`PartitionError`] instead.
 pub fn xtrapulp_partition(
     ctx: &RankCtx,
     graph: &DistGraph,
     params: &PartitionParams,
 ) -> PartitionResult {
-    params.validate();
+    match try_xtrapulp_partition(ctx, graph, params) {
+        Ok(result) => result,
+        Err(e) => panic!("xtrapulp_partition: {e}"),
+    }
+}
+
+/// The algorithm body; `params` must already be validated.
+fn xtrapulp_partition_validated(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+) -> PartitionResult {
     let mut timings = PhaseTimer::new();
 
     let mut parts = timings.time("init", || init_partition(ctx, graph, params));
@@ -74,25 +107,62 @@ pub fn xtrapulp_partition(
 }
 
 /// A (serial-facing) graph partitioner: given a whole graph and parameters, produce one
-/// part id per vertex. Implemented by XtraPuLP (which internally spins up its rank
+/// part id per vertex. Implemented by XtraPuLP (which internally runs its rank
 /// runtime), the PuLP baseline, the naive baselines, and the multilevel baselines in
 /// `xtrapulp-multilevel`.
+///
+/// [`try_partition`](Partitioner::try_partition) is the required entry point and must
+/// reject malformed input with a [`PartitionError`] rather than panicking — it is what a
+/// serving layer calls with untrusted request parameters. The panicking
+/// [`partition`](Partitioner::partition) / [`partition_with_quality`](Partitioner::partition_with_quality)
+/// methods are default-implemented shims over it, kept so experiment harnesses and older
+/// call sites that construct their own (trusted) parameters migrate incrementally.
 pub trait Partitioner {
     /// Human-readable method name used in experiment tables.
     fn name(&self) -> &'static str;
 
     /// Compute a partition: one part id (in `0..params.num_parts`) per vertex.
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32>;
+    ///
+    /// Returns `Err` on malformed [`PartitionParams`] (see
+    /// [`PartitionParams::validate`]) or when the method itself fails; never panics on
+    /// bad input.
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError>;
 
     /// Compute a partition and evaluate its quality.
+    fn try_partition_with_quality(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<(Vec<i32>, PartitionQuality), PartitionError> {
+        let parts = self.try_partition(csr, params)?;
+        let quality = PartitionQuality::evaluate(csr, &parts, params.num_parts);
+        Ok((parts, quality))
+    }
+
+    /// Compute a partition, panicking on failure (legacy shim over
+    /// [`try_partition`](Partitioner::try_partition)).
+    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+        match self.try_partition(csr, params) {
+            Ok(parts) => parts,
+            Err(e) => panic!("{}: {e}", self.name()),
+        }
+    }
+
+    /// Compute a partition and evaluate its quality, panicking on failure (legacy shim
+    /// over [`try_partition_with_quality`](Partitioner::try_partition_with_quality)).
     fn partition_with_quality(
         &self,
         csr: &Csr,
         params: &PartitionParams,
     ) -> (Vec<i32>, PartitionQuality) {
-        let parts = self.partition(csr, params);
-        let quality = PartitionQuality::evaluate(csr, &parts, params.num_parts);
-        (parts, quality)
+        match self.try_partition_with_quality(csr, params) {
+            Ok(out) => out,
+            Err(e) => panic!("{}: {e}", self.name()),
+        }
     }
 }
 
@@ -132,32 +202,71 @@ impl XtraPulpPartitioner {
     }
 }
 
+/// Stitch per-rank `(global id, part)` pairs into one dense part vector, verifying that
+/// every vertex was claimed by some rank and every claim is a valid `(vertex, part)`
+/// pair for this graph and part count.
+///
+/// The old gather silently defaulted unclaimed vertices to part 0, which turned any
+/// ownership bug in the distribution layer into a quietly imbalanced partition; now a
+/// coverage gap surfaces as [`PartitionError::IncompleteGather`] and a nonsensical pair
+/// (vertex id out of range, part negative or `>= num_parts`) as
+/// [`PartitionError::CorruptGather`] — in release builds too, since this guards against
+/// rank bugs, not caller mistakes. Shared with the `xtrapulp-api` session facade, which
+/// runs the same gather on a reused runtime.
+pub fn assemble_gathered_parts(
+    n: usize,
+    num_parts: usize,
+    per_rank: Vec<Vec<(u64, i32)>>,
+) -> Result<Vec<i32>, PartitionError> {
+    const UNCLAIMED: i32 = -1;
+    let mut parts = vec![UNCLAIMED; n];
+    let mut assigned: u64 = 0;
+    for rank_pairs in per_rank {
+        for (g, p) in rank_pairs {
+            if g >= n as u64 || p < 0 || p as usize >= num_parts {
+                return Err(PartitionError::CorruptGather { vertex: g, part: p });
+            }
+            if parts[g as usize] == UNCLAIMED {
+                assigned += 1;
+            }
+            parts[g as usize] = p;
+        }
+    }
+    if assigned < n as u64 {
+        return Err(PartitionError::IncompleteGather {
+            missing: n as u64 - assigned,
+        });
+    }
+    Ok(parts)
+}
+
 impl Partitioner for XtraPulpPartitioner {
     fn name(&self) -> &'static str {
         "XtraPuLP"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        let n = csr.num_vertices() as u64;
-        if n == 0 {
-            return Vec::new();
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        if self.nranks == 0 {
+            return Err(PartitionError::InvalidRanks { got: 0 });
         }
-        let nranks = self.nranks.max(1);
+        let n = csr.num_vertices();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
         let dist = self.distribution.clone();
-        let per_rank: Vec<Vec<(u64, i32)>> = Runtime::run(nranks, |ctx| {
+        let per_rank: Vec<Vec<(u64, i32)>> = Runtime::run(self.nranks, |ctx| {
             let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
-            let result = xtrapulp_partition(ctx, &graph, params);
+            let result = xtrapulp_partition_validated(ctx, &graph, params);
             (0..graph.n_owned())
                 .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
                 .collect()
         });
-        let mut parts = vec![0i32; n as usize];
-        for rank_pairs in per_rank {
-            for (g, p) in rank_pairs {
-                parts[g as usize] = p;
-            }
-        }
-        parts
+        assemble_gathered_parts(n, params.num_parts, per_rank)
     }
 }
 
@@ -170,8 +279,17 @@ impl Partitioner for RandomPartitioner {
         "Random"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        baselines::random_partition(csr.num_vertices() as u64, params.num_parts, params.seed)
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        Ok(baselines::random_partition(
+            csr.num_vertices() as u64,
+            params.num_parts,
+            params.seed,
+        ))
     }
 }
 
@@ -184,8 +302,16 @@ impl Partitioner for VertexBlockPartitioner {
         "VertexBlock"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        baselines::vertex_block_partition(csr.num_vertices() as u64, params.num_parts)
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        Ok(baselines::vertex_block_partition(
+            csr.num_vertices() as u64,
+            params.num_parts,
+        ))
     }
 }
 
@@ -199,8 +325,13 @@ impl Partitioner for EdgeBlockPartitioner {
         "EdgeBlock"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        baselines::edge_block_partition(csr, params.num_parts)
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        Ok(baselines::edge_block_partition(csr, params.num_parts))
     }
 }
 
@@ -243,9 +374,17 @@ mod tests {
             res.quality
         });
         let q = out[0];
-        assert!(q.vertex_imbalance <= 1.30, "vertex imbalance {}", q.vertex_imbalance);
+        assert!(
+            q.vertex_imbalance <= 1.30,
+            "vertex imbalance {}",
+            q.vertex_imbalance
+        );
         // A 20x20 grid split 8 ways should cut well under half the edges.
-        assert!(q.edge_cut_ratio < 0.5, "edge cut ratio {}", q.edge_cut_ratio);
+        assert!(
+            q.edge_cut_ratio < 0.5,
+            "edge cut ratio {}",
+            q.edge_cut_ratio
+        );
         // Every rank reports identical quality.
         for qq in &out {
             assert_eq!(qq.edge_cut, q.edge_cut);
@@ -331,6 +470,37 @@ mod tests {
             assert!(phases.contains(&"vertex_stage"));
             assert!(phases.contains(&"edge_stage"));
         });
+    }
+
+    #[test]
+    fn gather_assembly_rejects_gaps_and_corrupt_pairs() {
+        // Full coverage assembles cleanly, later ranks win duplicates.
+        let parts = assemble_gathered_parts(3, 4, vec![vec![(0, 1), (1, 2)], vec![(2, 0), (0, 2)]])
+            .expect("full coverage");
+        assert_eq!(parts, vec![2, 2, 0]);
+        // A vertex no rank claimed is an IncompleteGather, not silently part 0.
+        assert_eq!(
+            assemble_gathered_parts(3, 4, vec![vec![(0, 1), (2, 1)]]),
+            Err(PartitionError::IncompleteGather { missing: 1 })
+        );
+        // Negative parts and out-of-range vertex ids are corrupt, in release builds too.
+        assert_eq!(
+            assemble_gathered_parts(2, 4, vec![vec![(0, 0), (1, -1)]]),
+            Err(PartitionError::CorruptGather {
+                vertex: 1,
+                part: -1
+            })
+        );
+        assert_eq!(
+            assemble_gathered_parts(2, 4, vec![vec![(0, 0), (5, 1)]]),
+            Err(PartitionError::CorruptGather { vertex: 5, part: 1 })
+        );
+        // So is a part label at or above num_parts, which would otherwise surface as a
+        // panic inside quality evaluation.
+        assert_eq!(
+            assemble_gathered_parts(2, 4, vec![vec![(0, 0), (1, 4)]]),
+            Err(PartitionError::CorruptGather { vertex: 1, part: 4 })
+        );
     }
 
     #[test]

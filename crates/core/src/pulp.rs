@@ -12,6 +12,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use xtrapulp_graph::{Csr, GlobalId, UNASSIGNED};
 
+use crate::error::PartitionError;
 use crate::params::{InitStrategy, PartitionParams};
 use crate::partitioner::Partitioner;
 
@@ -24,14 +25,37 @@ impl Partitioner for PulpPartitioner {
         "PuLP"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        pulp_partition(csr, params)
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        try_pulp_partition(csr, params)
     }
 }
 
+/// Run the PuLP-MM algorithm on an in-memory graph, rejecting malformed parameters with
+/// a typed error.
+pub fn try_pulp_partition(csr: &Csr, params: &PartitionParams) -> Result<Vec<i32>, PartitionError> {
+    params.validate()?;
+    Ok(pulp_partition_validated(csr, params))
+}
+
 /// Run the PuLP-MM algorithm on an in-memory graph.
+///
+/// # Panics
+///
+/// Panics on invalid [`PartitionParams`]; request-path callers should prefer
+/// [`try_pulp_partition`].
 pub fn pulp_partition(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-    params.validate();
+    match try_pulp_partition(csr, params) {
+        Ok(parts) => parts,
+        Err(e) => panic!("pulp_partition: {e}"),
+    }
+}
+
+/// The algorithm body; `params` must already be validated.
+fn pulp_partition_validated(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
     let n = csr.num_vertices() as u64;
     if n == 0 {
         return Vec::new();
@@ -249,10 +273,7 @@ fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
             let mut best = x;
             let mut best_score = 0.0;
             for i in 0..p {
-                if i == x
-                    || (size_v[i] as f64) + 1.0 > max_v
-                    || (size_e[i] as f64) + deg > max_e
-                {
+                if i == x || (size_v[i] as f64) + 1.0 > max_v || (size_e[i] as f64) + deg > max_e {
                     continue;
                 }
                 let w_e = (imb_e / (size_e[i] as f64).max(1.0) - 1.0).max(0.0);
@@ -368,8 +389,16 @@ mod tests {
         };
         let (parts, q) = PulpPartitioner.partition_with_quality(&csr, &params);
         assert!(is_valid_partition(&parts, 4));
-        assert!(q.vertex_imbalance <= 1.25, "vertex imbalance {}", q.vertex_imbalance);
-        assert!(q.edge_cut_ratio < 0.4, "edge cut ratio {}", q.edge_cut_ratio);
+        assert!(
+            q.vertex_imbalance <= 1.25,
+            "vertex imbalance {}",
+            q.vertex_imbalance
+        );
+        assert!(
+            q.edge_cut_ratio < 0.4,
+            "edge cut ratio {}",
+            q.edge_cut_ratio
+        );
     }
 
     #[test]
@@ -397,7 +426,11 @@ mod tests {
     #[test]
     fn all_init_strategies_produce_valid_partitions() {
         let csr = grid_csr(10, 10);
-        for init in [InitStrategy::BfsGrow, InitStrategy::Random, InitStrategy::VertexBlock] {
+        for init in [
+            InitStrategy::BfsGrow,
+            InitStrategy::Random,
+            InitStrategy::VertexBlock,
+        ] {
             let params = PartitionParams {
                 num_parts: 5,
                 init,

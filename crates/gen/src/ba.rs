@@ -111,7 +111,10 @@ mod tests {
             seed: 3,
         });
         let diam = approximate_diameter(&el.to_csr(), 10, 1);
-        assert!(diam <= 8, "social-network proxy should have a tiny diameter, got {diam}");
+        assert!(
+            diam <= 8,
+            "social-network proxy should have a tiny diameter, got {diam}"
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub fn grid3d(nx: u64, ny: u64, nz: u64, full: bool) -> EdgeList {
                                 let nx_ = x as i64 + dx;
                                 let ny_ = y as i64 + dy;
                                 let nz_ = z + dz;
-                                if nx_ < 0 || ny_ < 0 || nx_ >= nx as i64 || ny_ >= ny as i64 || nz_ >= nz {
+                                if nx_ < 0
+                                    || ny_ < 0
+                                    || nx_ >= nx as i64
+                                    || ny_ >= ny as i64
+                                    || nz_ >= nz
+                                {
                                     continue;
                                 }
                                 edges.push((id(x, y, z), id(nx_ as u64, ny_ as u64, nz_)));

@@ -206,10 +206,17 @@ impl TableIPreset {
     /// The six representative graphs used by the paper for the Cluster-1 strong scaling
     /// and quality studies (Figs. 3 and 4, Table III).
     pub fn representative_six() -> Vec<TableIPreset> {
-        ["lj", "orkut", "friendster", "wdc12-pay", "rmat_24", "nlpkkt240"]
-            .iter()
-            .map(|n| Self::by_name(n).expect("representative preset missing"))
-            .collect()
+        [
+            "lj",
+            "orkut",
+            "friendster",
+            "wdc12-pay",
+            "rmat_24",
+            "nlpkkt240",
+        ]
+        .iter()
+        .map(|n| Self::by_name(n).expect("representative preset missing"))
+        .collect()
     }
 }
 
@@ -225,40 +232,304 @@ pub fn all_presets() -> Vec<TableIPreset> {
     };
     vec![
         // --- Online social / communication networks -------------------------------------
-        p("lj", Social, BarabasiAlbert { num_vertices: 1 << 15, edges_per_vertex: 7 }, 101),
-        p("orkut", Social, BarabasiAlbert { num_vertices: 1 << 14, edges_per_vertex: 19 }, 102),
-        p("friendster", Social, BarabasiAlbert { num_vertices: 1 << 17, edges_per_vertex: 14 }, 103),
-        p("twitter", Social, Rmat { scale: 16, edge_factor: 19 }, 104),
-        p("wikilinks", Social, Rmat { scale: 15, edge_factor: 12 }, 105),
-        p("dbpedia", Social, Rmat { scale: 16, edge_factor: 2 }, 106),
+        p(
+            "lj",
+            Social,
+            BarabasiAlbert {
+                num_vertices: 1 << 15,
+                edges_per_vertex: 7,
+            },
+            101,
+        ),
+        p(
+            "orkut",
+            Social,
+            BarabasiAlbert {
+                num_vertices: 1 << 14,
+                edges_per_vertex: 19,
+            },
+            102,
+        ),
+        p(
+            "friendster",
+            Social,
+            BarabasiAlbert {
+                num_vertices: 1 << 17,
+                edges_per_vertex: 14,
+            },
+            103,
+        ),
+        p(
+            "twitter",
+            Social,
+            Rmat {
+                scale: 16,
+                edge_factor: 19,
+            },
+            104,
+        ),
+        p(
+            "wikilinks",
+            Social,
+            Rmat {
+                scale: 15,
+                edge_factor: 12,
+            },
+            105,
+        ),
+        p(
+            "dbpedia",
+            Social,
+            Rmat {
+                scale: 16,
+                edge_factor: 2,
+            },
+            106,
+        ),
         // --- Web crawls ------------------------------------------------------------------
-        p("indochina", Crawl, WebCrawl { num_vertices: 1 << 14, avg_degree: 41, community_size: 128 }, 201),
-        p("arabic", Crawl, WebCrawl { num_vertices: 1 << 15, avg_degree: 49, community_size: 256 }, 202),
-        p("it", Crawl, WebCrawl { num_vertices: 1 << 16, avg_degree: 29, community_size: 256 }, 203),
-        p("sk", Crawl, WebCrawl { num_vertices: 1 << 16, avg_degree: 38, community_size: 512 }, 204),
-        p("uk-2002", Crawl, WebCrawl { num_vertices: 1 << 14, avg_degree: 16, community_size: 128 }, 205),
-        p("uk-2005", Crawl, WebCrawl { num_vertices: 1 << 16, avg_degree: 40, community_size: 256 }, 206),
-        p("uk-2007", Crawl, WebCrawl { num_vertices: 1 << 17, avg_degree: 31, community_size: 512 }, 207),
-        p("wdc12-pay", Crawl, WebCrawl { num_vertices: 1 << 16, avg_degree: 16, community_size: 256 }, 208),
-        p("wdc12-host", Crawl, WebCrawl { num_vertices: 1 << 17, avg_degree: 23, community_size: 512 }, 209),
+        p(
+            "indochina",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 14,
+                avg_degree: 41,
+                community_size: 128,
+            },
+            201,
+        ),
+        p(
+            "arabic",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 15,
+                avg_degree: 49,
+                community_size: 256,
+            },
+            202,
+        ),
+        p(
+            "it",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 16,
+                avg_degree: 29,
+                community_size: 256,
+            },
+            203,
+        ),
+        p(
+            "sk",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 16,
+                avg_degree: 38,
+                community_size: 512,
+            },
+            204,
+        ),
+        p(
+            "uk-2002",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 14,
+                avg_degree: 16,
+                community_size: 128,
+            },
+            205,
+        ),
+        p(
+            "uk-2005",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 16,
+                avg_degree: 40,
+                community_size: 256,
+            },
+            206,
+        ),
+        p(
+            "uk-2007",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 17,
+                avg_degree: 31,
+                community_size: 512,
+            },
+            207,
+        ),
+        p(
+            "wdc12-pay",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 16,
+                avg_degree: 16,
+                community_size: 256,
+            },
+            208,
+        ),
+        p(
+            "wdc12-host",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 17,
+                avg_degree: 23,
+                community_size: 512,
+            },
+            209,
+        ),
         // --- Synthetic R-MAT graphs --------------------------------------------------------
-        p("rmat_22", Synthetic, Rmat { scale: 14, edge_factor: 16 }, 301),
-        p("rmat_24", Synthetic, Rmat { scale: 16, edge_factor: 16 }, 302),
-        p("rmat_26", Synthetic, Rmat { scale: 17, edge_factor: 16 }, 303),
-        p("rmat_28", Synthetic, Rmat { scale: 18, edge_factor: 16 }, 304),
+        p(
+            "rmat_22",
+            Synthetic,
+            Rmat {
+                scale: 14,
+                edge_factor: 16,
+            },
+            301,
+        ),
+        p(
+            "rmat_24",
+            Synthetic,
+            Rmat {
+                scale: 16,
+                edge_factor: 16,
+            },
+            302,
+        ),
+        p(
+            "rmat_26",
+            Synthetic,
+            Rmat {
+                scale: 17,
+                edge_factor: 16,
+            },
+            303,
+        ),
+        p(
+            "rmat_28",
+            Synthetic,
+            Rmat {
+                scale: 18,
+                edge_factor: 16,
+            },
+            304,
+        ),
         // --- Regular meshes ----------------------------------------------------------------
-        p("InternalMesh1", Mesh, Grid3d { nx: 16, ny: 16, nz: 16, full: true }, 401),
-        p("InternalMesh2", Mesh, Grid3d { nx: 28, ny: 28, nz: 28, full: true }, 402),
-        p("InternalMesh3", Mesh, Grid3d { nx: 44, ny: 44, nz: 44, full: true }, 403),
-        p("InternalMesh4", Mesh, Grid3d { nx: 64, ny: 64, nz: 64, full: true }, 404),
-        p("nlpkkt160", Mesh, Grid3d { nx: 32, ny: 32, nz: 32, full: true }, 405),
-        p("nlpkkt200", Mesh, Grid3d { nx: 40, ny: 40, nz: 40, full: true }, 406),
-        p("nlpkkt240", Mesh, Grid3d { nx: 48, ny: 48, nz: 48, full: true }, 407),
+        p(
+            "InternalMesh1",
+            Mesh,
+            Grid3d {
+                nx: 16,
+                ny: 16,
+                nz: 16,
+                full: true,
+            },
+            401,
+        ),
+        p(
+            "InternalMesh2",
+            Mesh,
+            Grid3d {
+                nx: 28,
+                ny: 28,
+                nz: 28,
+                full: true,
+            },
+            402,
+        ),
+        p(
+            "InternalMesh3",
+            Mesh,
+            Grid3d {
+                nx: 44,
+                ny: 44,
+                nz: 44,
+                full: true,
+            },
+            403,
+        ),
+        p(
+            "InternalMesh4",
+            Mesh,
+            Grid3d {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+                full: true,
+            },
+            404,
+        ),
+        p(
+            "nlpkkt160",
+            Mesh,
+            Grid3d {
+                nx: 32,
+                ny: 32,
+                nz: 32,
+                full: true,
+            },
+            405,
+        ),
+        p(
+            "nlpkkt200",
+            Mesh,
+            Grid3d {
+                nx: 40,
+                ny: 40,
+                nz: 40,
+                full: true,
+            },
+            406,
+        ),
+        p(
+            "nlpkkt240",
+            Mesh,
+            Grid3d {
+                nx: 48,
+                ny: 48,
+                nz: 48,
+                full: true,
+            },
+            407,
+        ),
         // --- Blue Waters scaling graphs -----------------------------------------------------
-        p("WDC12", Crawl, WebCrawl { num_vertices: 1 << 18, avg_degree: 36, community_size: 1024 }, 501),
-        p("RMAT", Synthetic, Rmat { scale: 18, edge_factor: 18 }, 502),
-        p("RandER", Synthetic, ErdosRenyi { num_vertices: 1 << 18, avg_degree: 36 }, 503),
-        p("RandHD", Synthetic, RandHd { num_vertices: 1 << 18, avg_degree: 36 }, 504),
+        p(
+            "WDC12",
+            Crawl,
+            WebCrawl {
+                num_vertices: 1 << 18,
+                avg_degree: 36,
+                community_size: 1024,
+            },
+            501,
+        ),
+        p(
+            "RMAT",
+            Synthetic,
+            Rmat {
+                scale: 18,
+                edge_factor: 18,
+            },
+            502,
+        ),
+        p(
+            "RandER",
+            Synthetic,
+            ErdosRenyi {
+                num_vertices: 1 << 18,
+                avg_degree: 36,
+            },
+            503,
+        ),
+        p(
+            "RandHD",
+            Synthetic,
+            RandHd {
+                num_vertices: 1 << 18,
+                avg_degree: 36,
+            },
+            504,
+        ),
     ]
 }
 
@@ -274,7 +545,12 @@ mod tests {
                 continue;
             }
             let el = preset.config.generate();
-            assert_eq!(el.num_vertices, preset.config.num_vertices(), "{}", preset.name);
+            assert_eq!(
+                el.num_vertices,
+                preset.config.num_vertices(),
+                "{}",
+                preset.name
+            );
             assert!(!el.edges.is_empty(), "{} generated no edges", preset.name);
         }
     }

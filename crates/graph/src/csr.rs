@@ -24,7 +24,10 @@ impl Csr {
     /// Panics if the offsets are not monotonically non-decreasing, do not start at zero,
     /// or do not end at `adjacency.len()`.
     pub fn from_parts(offsets: Vec<u64>, adjacency: Vec<GlobalId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least one entry"
+        );
         assert_eq!(offsets[0], 0, "offsets must start at zero");
         assert_eq!(
             *offsets.last().unwrap() as usize,
@@ -145,7 +148,10 @@ impl CsrBuilder {
     }
 
     /// Add many undirected edges.
-    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (GlobalId, GlobalId)>) -> &mut Self {
+    pub fn add_edges(
+        &mut self,
+        edges: impl IntoIterator<Item = (GlobalId, GlobalId)>,
+    ) -> &mut Self {
         self.edges.extend(edges);
         self
     }

@@ -143,8 +143,7 @@ impl DistGraph {
 
         let owned_global: Vec<GlobalId> = dist.owned_vertices(rank, global_n, nranks).collect();
         let n_owned = owned_global.len();
-        let mut global_to_local: HashMap<GlobalId, LocalId> =
-            HashMap::with_capacity(n_owned * 2);
+        let mut global_to_local: HashMap<GlobalId, LocalId> = HashMap::with_capacity(n_owned * 2);
         for (i, &g) in owned_global.iter().enumerate() {
             global_to_local.insert(g, i as LocalId);
         }
@@ -155,9 +154,9 @@ impl DistGraph {
         // Assign ghost local ids in first-seen (sorted) order.
         let mut ghost_global = Vec::new();
         for &(_, v) in &arcs {
-            if !global_to_local.contains_key(&v) {
+            if let std::collections::hash_map::Entry::Vacant(e) = global_to_local.entry(v) {
                 let lid = (n_owned + ghost_global.len()) as LocalId;
-                global_to_local.insert(v, lid);
+                e.insert(lid);
                 ghost_global.push(v);
             }
         }
@@ -270,7 +269,10 @@ impl DistGraph {
 
     /// Neighbours (as local ids) of an owned vertex.
     pub fn neighbors(&self, v: LocalId) -> &[LocalId] {
-        debug_assert!((v as usize) < self.n_owned(), "neighbors() requires an owned vertex");
+        debug_assert!(
+            (v as usize) < self.n_owned(),
+            "neighbors() requires an owned vertex"
+        );
         let start = self.offsets[v as usize] as usize;
         let end = self.offsets[v as usize + 1] as usize;
         &self.adjacency[start..end]
@@ -329,7 +331,7 @@ impl DistGraph {
 
     /// Iterate over owned vertices as local ids.
     pub fn owned_vertices(&self) -> impl Iterator<Item = LocalId> + '_ {
-        (0..self.n_owned() as LocalId).into_iter()
+        0..self.n_owned() as LocalId
     }
 
     /// Global ids of this rank's ghosts, indexed by `local_id - n_owned()`.

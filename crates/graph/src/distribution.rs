@@ -142,8 +142,12 @@ mod tests {
                 for v in 0..n {
                     owned[d.owner(v, n, nranks)] += 1;
                 }
-                for r in 0..nranks {
-                    assert_eq!(owned[r], d.owned_count(r, n, nranks), "n={n} nranks={nranks} r={r}");
+                for (r, &count) in owned.iter().enumerate() {
+                    assert_eq!(
+                        count,
+                        d.owned_count(r, n, nranks),
+                        "n={n} nranks={nranks} r={r}"
+                    );
                 }
                 assert_eq!(owned.iter().sum::<u64>(), n);
                 // Block ownership is contiguous and balanced within one vertex.
@@ -184,7 +188,11 @@ mod tests {
 
     #[test]
     fn owned_vertices_matches_owner_function() {
-        for dist in [Distribution::Block, Distribution::Cyclic, Distribution::Hashed] {
+        for dist in [
+            Distribution::Block,
+            Distribution::Cyclic,
+            Distribution::Hashed,
+        ] {
             let n = 503u64;
             let nranks = 5;
             let mut seen = vec![false; n as usize];
@@ -201,7 +209,11 @@ mod tests {
 
     #[test]
     fn single_rank_owns_everything() {
-        for dist in [Distribution::Block, Distribution::Cyclic, Distribution::Hashed] {
+        for dist in [
+            Distribution::Block,
+            Distribution::Cyclic,
+            Distribution::Hashed,
+        ] {
             for v in 0..100u64 {
                 assert_eq!(dist.owner(v, 100, 1), 0);
             }

@@ -36,10 +36,9 @@ pub fn heavy_edge_matching(graph: &WeightedGraph, seed: u64) -> Coarsening {
         }
         let mut best: Option<(u64, u64)> = None;
         for (u, w) in graph.neighbors(v) {
-            if u != v && matched_with[u as usize] == unmatched {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((u, w));
-                }
+            if u != v && matched_with[u as usize] == unmatched && best.is_none_or(|(_, bw)| w > bw)
+            {
+                best = Some((u, w));
             }
         }
         match best {
@@ -184,7 +183,10 @@ mod tests {
         let c = heavy_edge_matching(&g, 1);
         assert!(c.num_coarse >= 50 && c.num_coarse < 80, "{}", c.num_coarse);
         // Every fine vertex maps to a valid coarse vertex.
-        assert!(c.fine_to_coarse.iter().all(|&c_| (c_ as usize) < c.num_coarse));
+        assert!(c
+            .fine_to_coarse
+            .iter()
+            .all(|&c_| (c_ as usize) < c.num_coarse));
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //!   coarsening step, as in the Meyerhenke-Sanders-Schulz partitioner the paper compares
 //!   against in Fig. 6 (single constraint, single objective).
 
-use xtrapulp::{PartitionParams, Partitioner};
+use xtrapulp::{PartitionError, PartitionParams, Partitioner};
 use xtrapulp_graph::Csr;
 
 use crate::coarsen::{contract, heavy_edge_matching, label_prop_clustering, Coarsening};
 use crate::initial::greedy_growing;
-use crate::refine::{greedy_refine, project};
+use crate::refine::{greedy_refine, project, rebalance};
 use crate::weighted::WeightedGraph;
 
 /// Which coarsening scheme a multilevel run uses.
@@ -74,6 +74,7 @@ fn multilevel_partition(
     // Initial partition of the coarsest level.
     let (coarsest, _) = levels.last().unwrap();
     let mut parts = greedy_growing(coarsest, params.num_parts, params.seed ^ 0xC0A53);
+    rebalance(coarsest, &mut parts, params.num_parts, max_part_weight);
     greedy_refine(
         coarsest,
         &mut parts,
@@ -82,13 +83,15 @@ fn multilevel_partition(
         refine_sweeps,
     );
 
-    // Uncoarsen: project the partition up one level at a time and refine.
+    // Uncoarsen: project the partition up one level at a time, restore balance (the
+    // coarse level's vertex granularity can overshoot the bound), and refine.
     for idx in (0..levels.len() - 1).rev() {
         let (fine_graph, coarsening) = &levels[idx];
         let coarsening = coarsening
             .as_ref()
             .expect("every non-coarsest level stores its coarsening");
         parts = project(&coarsening.fine_to_coarse, &parts);
+        rebalance(fine_graph, &mut parts, params.num_parts, max_part_weight);
         greedy_refine(
             fine_graph,
             &mut parts,
@@ -118,13 +121,18 @@ impl Partitioner for MetisLikePartitioner {
         "MetisLike"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        multilevel_partition(
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        Ok(multilevel_partition(
             csr,
             params,
             CoarseningScheme::HeavyEdgeMatching,
             self.refine_sweeps,
-        )
+        ))
     }
 }
 
@@ -148,13 +156,18 @@ impl Partitioner for LpCoarsenKwayPartitioner {
         "LpCoarsenKway"
     }
 
-    fn partition(&self, csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-        multilevel_partition(
+    fn try_partition(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        Ok(multilevel_partition(
             csr,
             params,
             CoarseningScheme::LabelPropClustering,
             self.refine_sweeps,
-        )
+        ))
     }
 }
 
@@ -191,7 +204,11 @@ mod tests {
         };
         let (parts, q) = MetisLikePartitioner::default().partition_with_quality(&csr, &params);
         assert!(is_valid_partition(&parts, 8));
-        assert!(q.vertex_imbalance <= 1.15, "imbalance {}", q.vertex_imbalance);
+        assert!(
+            q.vertex_imbalance <= 1.15,
+            "imbalance {}",
+            q.vertex_imbalance
+        );
         // A 32x32 grid cut 8 ways: a good partitioner cuts a small fraction of the 1984
         // edges; random would cut ~87%.
         assert!(q.edge_cut_ratio < 0.25, "cut ratio {}", q.edge_cut_ratio);
@@ -205,10 +222,13 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let (parts, q) =
-            LpCoarsenKwayPartitioner::default().partition_with_quality(&csr, &params);
+        let (parts, q) = LpCoarsenKwayPartitioner::default().partition_with_quality(&csr, &params);
         assert!(is_valid_partition(&parts, 4));
-        assert!(q.vertex_imbalance <= 1.25, "imbalance {}", q.vertex_imbalance);
+        assert!(
+            q.vertex_imbalance <= 1.25,
+            "imbalance {}",
+            q.vertex_imbalance
+        );
         assert!(q.edge_cut_ratio < 0.2, "cut ratio {}", q.edge_cut_ratio);
     }
 
@@ -243,8 +263,8 @@ mod tests {
         let params = PartitionParams::with_parts(2);
         let parts = MetisLikePartitioner::default().partition(&csr, &params);
         assert!(is_valid_partition(&parts, 2));
-        let parts = MetisLikePartitioner::default()
-            .partition(&csr, &PartitionParams::with_parts(1));
+        let parts =
+            MetisLikePartitioner::default().partition(&csr, &PartitionParams::with_parts(1));
         assert!(parts.iter().all(|&p| p == 0));
         let empty = csr_from_edges(0, &[]);
         assert!(MetisLikePartitioner::default()

@@ -29,9 +29,9 @@ pub fn greedy_growing(graph: &WeightedGraph, num_parts: usize, seed: u64) -> Vec
     for part in 0..num_parts as i32 {
         // The final part absorbs every remaining vertex.
         if part as usize == num_parts - 1 {
-            for v in 0..n {
-                if parts[v] == -1 {
-                    parts[v] = part;
+            for slot in parts.iter_mut() {
+                if *slot == -1 {
+                    *slot = part;
                 }
             }
             break;
@@ -45,12 +45,11 @@ pub fn greedy_growing(graph: &WeightedGraph, num_parts: usize, seed: u64) -> Vec
                 break;
             }
         }
-        let seed_vertex = match seed_vertex.or_else(|| {
-            (0..n as u64).find(|&v| parts[v as usize] == -1)
-        }) {
-            Some(v) => v,
-            None => break,
-        };
+        let seed_vertex =
+            match seed_vertex.or_else(|| (0..n as u64).find(|&v| parts[v as usize] == -1)) {
+                Some(v) => v,
+                None => break,
+            };
 
         let mut part_weight = 0u64;
         // connection[v] = total edge weight from v into the growing part.
@@ -90,10 +89,10 @@ pub fn greedy_growing(graph: &WeightedGraph, num_parts: usize, seed: u64) -> Vec
         &parts.iter().map(|&p| p.max(0)).collect::<Vec<_>>(),
         num_parts,
     );
-    for v in 0..n {
-        if parts[v] == -1 {
+    for (v, slot) in parts.iter_mut().enumerate() {
+        if *slot == -1 {
             let lightest = (0..num_parts).min_by_key(|&i| weights[i]).unwrap();
-            parts[v] = lightest as i32;
+            *slot = lightest as i32;
             weights[lightest] += graph.vertex_weights[v];
         }
     }
@@ -127,7 +126,7 @@ mod tests {
         let g = grid(12, 12);
         let parts = greedy_growing(&g, 4, 3);
         assert_eq!(parts.len(), 144);
-        assert!(parts.iter().all(|&p| p >= 0 && p < 4));
+        assert!(parts.iter().all(|&p| (0..4).contains(&p)));
         let weights = g.part_weights(&parts, 4);
         let max = *weights.iter().max().unwrap() as f64;
         assert!(max / 36.0 < 1.5, "weights {weights:?}");

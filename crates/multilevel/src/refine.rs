@@ -64,6 +64,79 @@ pub fn greedy_refine(
     }
 }
 
+/// Force every part under `max_part_weight` by evicting vertices from overweight parts.
+///
+/// [`greedy_refine`] only makes cut-improving moves, so it preserves whatever imbalance
+/// the initial partition (or a projection from a coarser level) handed it — greedy
+/// growing's last part, for example, absorbs every leftover vertex. Real multilevel
+/// partitioners therefore alternate refinement with an explicit balancing pass; this is
+/// that pass. Boundary vertices of overweight parts move to the feasible neighbouring
+/// part losing the least cut weight (falling back to the globally lightest part for
+/// interior vertices), until no part exceeds the bound or a sweep makes no progress.
+pub fn rebalance(graph: &WeightedGraph, parts: &mut [i32], num_parts: usize, max_part_weight: u64) {
+    let n = graph.num_vertices();
+    if n == 0 || num_parts <= 1 {
+        return;
+    }
+    let mut part_weights = graph.part_weights(parts, num_parts);
+    let mut gain = vec![0u64; num_parts];
+    let mut touched: Vec<usize> = Vec::new();
+    loop {
+        if part_weights.iter().all(|&w| w <= max_part_weight) {
+            return;
+        }
+        let mut moved = 0usize;
+        for v in 0..n as u64 {
+            let x = parts[v as usize] as usize;
+            if part_weights[x] <= max_part_weight {
+                continue;
+            }
+            let vw = graph.vertex_weights[v as usize];
+            for &t in &touched {
+                gain[t] = 0;
+            }
+            touched.clear();
+            for (u, w) in graph.neighbors(v) {
+                let pu = parts[u as usize] as usize;
+                if gain[pu] == 0 {
+                    touched.push(pu);
+                }
+                gain[pu] += w;
+            }
+            // Best feasible destination among neighbouring parts: the one keeping the
+            // most adjacent edge weight (i.e. losing the least cut).
+            let mut best: Option<usize> = None;
+            let mut best_gain = 0u64;
+            for &i in &touched {
+                if i == x || part_weights[i] + vw > max_part_weight {
+                    continue;
+                }
+                if best.is_none() || gain[i] > best_gain {
+                    best = Some(i);
+                    best_gain = gain[i];
+                }
+            }
+            // Interior vertex (or all neighbour parts full): lightest feasible part.
+            let best = best.or_else(|| {
+                (0..num_parts)
+                    .filter(|&i| i != x && part_weights[i] + vw <= max_part_weight)
+                    .min_by_key(|&i| part_weights[i])
+            });
+            if let Some(dst) = best {
+                part_weights[x] -= vw;
+                part_weights[dst] += vw;
+                parts[v as usize] = dst as i32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            // No feasible move exists (e.g. one vertex heavier than the bound);
+            // leave the partition as balanced as it can get.
+            return;
+        }
+    }
+}
+
 /// Project a coarse-level partition back onto the fine level: every fine vertex takes the
 /// part of the coarse vertex it was contracted into.
 pub fn project(fine_to_coarse: &[u64], coarse_parts: &[i32]) -> Vec<i32> {
@@ -83,7 +156,7 @@ mod tests {
         // A path 0..20 with an alternating (worst-case) partition.
         let edges: Vec<_> = (0..19u64).map(|i| (i, i + 1)).collect();
         let g = WeightedGraph::from_csr(&csr_from_edges(20, &edges));
-        let mut parts: Vec<i32> = (0..20).map(|v| (v % 2) as i32).collect();
+        let mut parts: Vec<i32> = (0..20).map(|v| v % 2).collect();
         let before = g.weighted_cut(&parts);
         greedy_refine(&g, &mut parts, 2, 12, 10);
         let after = g.weighted_cut(&parts);

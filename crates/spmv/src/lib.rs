@@ -19,8 +19,8 @@
 //!   graphs.
 
 use xtrapulp_comm::{RankCtx, Timer};
-use xtrapulp_graph::{GlobalId, LocalId};
 use xtrapulp_graph::{DistGraph, Distribution};
+use xtrapulp_graph::{GlobalId, LocalId};
 
 /// Result of a timed SpMV run on one rank (identical on all ranks after reduction).
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +44,7 @@ pub fn spmv_1d(ctx: &RankCtx, graph: &DistGraph, iterations: usize) -> SpmvResul
     for _ in 0..iterations {
         let ghost_x = graph.ghost_values_f64(ctx, &x);
         let mut y = vec![0.0f64; n_owned];
-        for v in 0..n_owned {
+        for (v, y_v) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &u in graph.neighbors(v as LocalId) {
                 let u = u as usize;
@@ -54,7 +54,7 @@ pub fn spmv_1d(ctx: &RankCtx, graph: &DistGraph, iterations: usize) -> SpmvResul
                     ghost_x[u - n_owned]
                 };
             }
-            y[v] = acc;
+            *y_v = acc;
         }
         // Normalise to keep values bounded across iterations.
         let local_norm: f64 = y.iter().map(|a| a * a).sum();
@@ -88,7 +88,7 @@ pub struct Matrix2d {
 /// Choose a near-square process grid for `nranks`.
 pub fn choose_grid(nranks: usize) -> (usize, usize) {
     let mut rows = (nranks as f64).sqrt().floor() as usize;
-    while rows > 1 && nranks % rows != 0 {
+    while rows > 1 && !nranks.is_multiple_of(rows) {
         rows -= 1;
     }
     (rows.max(1), nranks / rows.max(1))
@@ -106,7 +106,10 @@ impl Matrix2d {
     ) -> Matrix2d {
         let nranks = ctx.nranks();
         let grid = choose_grid(nranks);
-        let owners: Vec<u32> = parts.iter().map(|&p| (p.max(0) as u32).min(nranks as u32 - 1)).collect();
+        let owners: Vec<u32> = parts
+            .iter()
+            .map(|&p| (p.max(0) as u32).min(nranks as u32 - 1))
+            .collect();
         let my_row = ctx.rank() / grid.1;
         let my_col = ctx.rank() % grid.1;
         let mut nonzeros = Vec::new();
@@ -296,7 +299,10 @@ mod tests {
                 spmv_1d_with_partition(ctx, n, &edges, &parts, 4).checksum
             });
             for c in out {
-                assert!((c - reference).abs() < 1e-6, "nranks={nranks}: {c} vs {reference}");
+                assert!(
+                    (c - reference).abs() < 1e-6,
+                    "nranks={nranks}: {c} vs {reference}"
+                );
             }
         }
     }

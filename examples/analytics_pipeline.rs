@@ -12,7 +12,11 @@ use xtrapulp_suite::prelude::*;
 
 fn main() {
     let el = GraphConfig::new(
-        GraphKind::WebCrawl { num_vertices: 1 << 14, avg_degree: 16, community_size: 256 },
+        GraphKind::WebCrawl {
+            num_vertices: 1 << 14,
+            avg_degree: 16,
+            community_size: 256,
+        },
         11,
     )
     .generate();
@@ -34,11 +38,17 @@ fn main() {
             let seconds = t.elapsed().as_secs_f64();
             let bytes = ctx.stats().bytes_sent();
             let local_max_pr = pr.iter().cloned().fold(0.0f64, f64::max);
-            let components = labels.iter().filter(|&&l| {
-                // a component is counted at its representative (smallest id) vertex
-                graph.local_id(l).map(|lid| graph.is_owned(lid)).unwrap_or(false)
-                    && l == graph.global_id(graph.local_id(l).unwrap())
-            }).count() as u64;
+            let components = labels
+                .iter()
+                .filter(|&&l| {
+                    // a component is counted at its representative (smallest id) vertex
+                    graph
+                        .local_id(l)
+                        .map(|lid| graph.is_owned(lid))
+                        .unwrap_or(false)
+                        && l == graph.global_id(graph.local_id(l).unwrap())
+                })
+                .count() as u64;
             (seconds, bytes, local_max_pr, components)
         });
         let max_secs = results.iter().map(|r| r.0).fold(0.0f64, f64::max);

@@ -1,5 +1,5 @@
-//! Quickstart: generate a small-world graph, partition it with XtraPuLP, and print the
-//! paper's quality metrics.
+//! Quickstart: generate a small-world graph, partition it through the `Session` facade,
+//! and print the paper's quality metrics plus the job's JSON report.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -7,28 +7,60 @@ use xtrapulp_suite::prelude::*;
 
 fn main() {
     // 1. Generate an R-MAT graph (the paper's synthetic power-law model).
-    let graph = GraphConfig::new(GraphKind::Rmat { scale: 14, edge_factor: 16 }, 42)
-        .generate()
-        .to_csr();
+    let graph = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 14,
+            edge_factor: 16,
+        },
+        42,
+    )
+    .generate()
+    .to_csr();
     println!(
         "generated graph: {} vertices, {} edges",
         graph.num_vertices(),
         graph.num_edges()
     );
 
-    // 2. Partition it into 16 parts with XtraPuLP running on 4 ranks.
+    // 2. Open a session with 4 ranks (persistent worker threads standing in for MPI
+    //    tasks) and partition into 16 parts with XtraPuLP. Malformed parameters would
+    //    come back as a typed `PartitionError` instead of panicking.
+    let mut session = Session::new(4).expect("4 ranks is a valid session");
     let params = PartitionParams::with_parts(16);
-    let partitioner = XtraPulpPartitioner::new(4);
-    let (parts, quality) = partitioner.partition_with_quality(&graph, &params);
+    let report = session
+        .partition(&graph, &params)
+        .expect("valid parameters");
 
     // 3. Inspect the result.
-    println!("part of vertex 0: {}", parts[0]);
-    println!("edge cut ratio:       {:.3}", quality.edge_cut_ratio);
-    println!("scaled max cut ratio: {:.3}", quality.scaled_max_cut_ratio);
-    println!("vertex imbalance:     {:.3}", quality.vertex_imbalance);
-    println!("edge imbalance:       {:.3}", quality.edge_imbalance);
+    println!("part of vertex 0: {}", report.parts[0]);
+    println!("edge cut ratio:       {:.3}", report.quality.edge_cut_ratio);
+    println!(
+        "scaled max cut ratio: {:.3}",
+        report.quality.scaled_max_cut_ratio
+    );
+    println!(
+        "vertex imbalance:     {:.3}",
+        report.quality.vertex_imbalance
+    );
+    println!("edge imbalance:       {:.3}", report.quality.edge_imbalance);
 
-    // 4. Compare against the PuLP shared-memory baseline.
-    let (_, pulp_quality) = PulpPartitioner.partition_with_quality(&graph, &params);
-    println!("PuLP edge cut ratio:  {:.3}", pulp_quality.edge_cut_ratio);
+    // 4. Run more jobs on the same session — the rank threads are reused, and any
+    //    registered method can be picked from the `Method` registry (by name if the
+    //    request came over the wire).
+    let pulp = Method::from_name("pulp").expect("registered method");
+    let pulp_report = session
+        .submit(&PartitionJob::new(pulp).with_params(params), &graph)
+        .expect("valid job");
+    println!(
+        "PuLP edge cut ratio:  {:.3}",
+        pulp_report.quality.edge_cut_ratio
+    );
+
+    // 5. Every report serialises to JSON for logging / experiment pipelines.
+    println!("\nXtraPuLP job summary:\n{}", report.to_json_summary());
+    println!(
+        "session completed {} jobs on {} ranks",
+        session.jobs_completed(),
+        session.nranks()
+    );
 }

@@ -5,45 +5,53 @@
 //! Run with: `cargo run --release --example social_network_partition`
 
 use xtrapulp_suite::core::metrics::performance_ratios;
-use xtrapulp_suite::core::{
-    Partitioner, PulpPartitioner, RandomPartitioner, VertexBlockPartitioner,
-};
-use xtrapulp_suite::multilevel::MetisLikePartitioner;
 use xtrapulp_suite::prelude::*;
 
 fn main() {
     // A Barabási–Albert proxy for an online social network (heavy-tailed degrees).
     let graph = GraphConfig::new(
-        GraphKind::BarabasiAlbert { num_vertices: 1 << 15, edges_per_vertex: 10 },
+        GraphKind::BarabasiAlbert {
+            num_vertices: 1 << 15,
+            edges_per_vertex: 10,
+        },
         7,
     )
     .generate()
     .to_csr();
     let params = PartitionParams::with_parts(32);
 
-    let xtrapulp = XtraPulpPartitioner::new(4);
-    let methods: Vec<(&str, &dyn Partitioner)> = vec![
-        ("XtraPuLP", &xtrapulp),
-        ("PuLP", &PulpPartitioner),
-        ("MetisLike", &MetisLikePartitioner { refine_sweeps: 4 }),
-        ("VertexBlock", &VertexBlockPartitioner),
-        ("Random", &RandomPartitioner),
+    // Every method comes from the registry and runs on one persistent session.
+    let mut session = Session::new(4).expect("4 ranks is a valid session");
+    let methods = [
+        Method::XtraPulp,
+        Method::Pulp,
+        Method::MetisLike,
+        Method::VertexBlock,
+        Method::Random,
     ];
 
-    println!("{:<12} {:>14} {:>14} {:>10}", "method", "edge cut ratio", "max cut ratio", "vimb");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "method", "edge cut ratio", "max cut ratio", "vimb"
+    );
     let mut cuts = Vec::new();
-    for (name, method) in &methods {
-        let (_, q) = method.partition_with_quality(&graph, &params);
+    for method in methods {
+        let report = session
+            .submit(&PartitionJob::new(method).with_params(params), &graph)
+            .expect("valid job");
+        let q = report.quality;
         println!(
-            "{name:<12} {:>14.3} {:>14.3} {:>10.3}",
-            q.edge_cut_ratio, q.scaled_max_cut_ratio, q.vertex_imbalance
+            "{:<12} {:>14.3} {:>14.3} {:>10.3}",
+            method.name(),
+            q.edge_cut_ratio,
+            q.scaled_max_cut_ratio,
+            q.vertex_imbalance
         );
         cuts.push(vec![Some(q.edge_cut.max(1) as f64)]);
     }
     // The paper aggregates with geometric-mean performance ratios; here each "test" has a
     // single graph so the ratio is just cut / best cut.
-    let transposed: Vec<Vec<Option<f64>>> =
-        vec![cuts.iter().map(|c| c[0]).collect::<Vec<_>>()];
+    let transposed: Vec<Vec<Option<f64>>> = vec![cuts.iter().map(|c| c[0]).collect::<Vec<_>>()];
     let ratios = performance_ratios(&transposed, methods.len());
     println!("\nperformance ratios (1.0 = best cut): {ratios:.3?}");
 }

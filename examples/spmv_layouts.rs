@@ -9,7 +9,14 @@ use xtrapulp_suite::prelude::*;
 use xtrapulp_suite::spmv::{spmv_1d_with_partition, spmv_2d, Matrix2d};
 
 fn main() {
-    let el = GraphConfig::new(GraphKind::Rmat { scale: 13, edge_factor: 16 }, 5).generate();
+    let el = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 13,
+            edge_factor: 16,
+        },
+        5,
+    )
+    .generate();
     let csr = el.to_csr();
     let n = el.num_vertices;
     let edges: Vec<(u64, u64)> = csr.edges().collect();
@@ -20,10 +27,16 @@ fn main() {
     let strategies: Vec<(&str, Vec<i32>)> = vec![
         ("Block", baselines::vertex_block_partition(n, nranks)),
         ("Random", baselines::random_partition(n, nranks, 3)),
-        ("XtraPuLP", XtraPulpPartitioner::new(nranks).partition(&csr, &params)),
+        (
+            "XtraPuLP",
+            XtraPulpPartitioner::new(nranks).partition(&csr, &params),
+        ),
     ];
 
-    println!("{:<10} {:>12} {:>12} {:>14} {:>14}", "strategy", "1D time (s)", "2D time (s)", "1D comm (MB)", "2D comm (MB)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14}",
+        "strategy", "1D time (s)", "2D time (s)", "1D comm (MB)", "2D comm (MB)"
+    );
     for (name, parts) in &strategies {
         let out = Runtime::run(nranks, |ctx| {
             let r1 = spmv_1d_with_partition(ctx, n, &edges, parts, iterations);

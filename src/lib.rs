@@ -7,9 +7,16 @@
 //! ```
 //! use xtrapulp_suite::prelude::*;
 //! ```
+//!
+//! The recommended entry point is the [`api`] facade: a persistent [`Session`](api::Session)
+//! owning a reusable rank runtime, the [`Method`](api::Method) registry resolving any of
+//! the seven partitioning methods by name, and JSON-able
+//! [`PartitionReport`](api::PartitionReport) results with typed
+//! [`PartitionError`](api::PartitionError) failures.
 
 pub use xtrapulp as core;
 pub use xtrapulp_analytics as analytics;
+pub use xtrapulp_api as api;
 pub use xtrapulp_comm as comm;
 pub use xtrapulp_gen as gen;
 pub use xtrapulp_graph as graph;
@@ -19,9 +26,10 @@ pub use xtrapulp_spmv as spmv;
 /// Convenience re-exports used by the examples and integration tests.
 pub mod prelude {
     pub use xtrapulp::{
-        metrics::PartitionQuality, PartitionParams, Partitioner, PulpPartitioner,
+        metrics::PartitionQuality, PartitionError, PartitionParams, Partitioner, PulpPartitioner,
         XtraPulpPartitioner,
     };
+    pub use xtrapulp_api::{Method, PartitionJob, PartitionReport, Session};
     pub use xtrapulp_comm::{CommStats, RankCtx, Runtime};
     pub use xtrapulp_gen::{GraphConfig, GraphKind};
     pub use xtrapulp_graph::{Csr, DistGraph, Distribution};

@@ -3,15 +3,18 @@
 //! harnesses and examples do.
 
 use xtrapulp_suite::core::metrics::{is_valid_partition, PartitionQuality};
-use xtrapulp_suite::core::{baselines, Partitioner, PulpPartitioner, RandomPartitioner};
+use xtrapulp_suite::core::{baselines, Partitioner, PulpPartitioner};
 use xtrapulp_suite::graph::{DistGraph, Distribution};
-use xtrapulp_suite::multilevel::{LpCoarsenKwayPartitioner, MetisLikePartitioner};
 use xtrapulp_suite::prelude::*;
 use xtrapulp_suite::spmv::{spmv_1d_with_partition, spmv_2d, Matrix2d};
 
 fn crawl_graph(n: u64) -> xtrapulp_suite::gen::EdgeList {
     GraphConfig::new(
-        GraphKind::WebCrawl { num_vertices: n, avg_degree: 12, community_size: 128 },
+        GraphKind::WebCrawl {
+            num_vertices: n,
+            avg_degree: 12,
+            community_size: 128,
+        },
         77,
     )
     .generate()
@@ -20,27 +23,43 @@ fn crawl_graph(n: u64) -> xtrapulp_suite::gen::EdgeList {
 #[test]
 fn every_partitioner_produces_valid_partitions_on_every_graph_class() {
     let configs = [
-        GraphKind::Rmat { scale: 11, edge_factor: 8 },
-        GraphKind::BarabasiAlbert { num_vertices: 2048, edges_per_vertex: 6 },
-        GraphKind::WebCrawl { num_vertices: 2048, avg_degree: 12, community_size: 128 },
-        GraphKind::Grid3d { nx: 12, ny: 12, nz: 12, full: false },
+        GraphKind::Rmat {
+            scale: 11,
+            edge_factor: 8,
+        },
+        GraphKind::BarabasiAlbert {
+            num_vertices: 2048,
+            edges_per_vertex: 6,
+        },
+        GraphKind::WebCrawl {
+            num_vertices: 2048,
+            avg_degree: 12,
+            community_size: 128,
+        },
+        GraphKind::Grid3d {
+            nx: 12,
+            ny: 12,
+            nz: 12,
+            full: false,
+        },
     ];
-    let params = PartitionParams { num_parts: 8, seed: 5, ..Default::default() };
-    let xtrapulp = XtraPulpPartitioner::new(3);
-    let methods: Vec<&dyn Partitioner> = vec![
-        &xtrapulp,
-        &PulpPartitioner,
-        &MetisLikePartitioner { refine_sweeps: 3 },
-        &LpCoarsenKwayPartitioner { refine_sweeps: 3 },
-        &RandomPartitioner,
-    ];
+    let params = PartitionParams {
+        num_parts: 8,
+        seed: 5,
+        ..Default::default()
+    };
+    // The whole registry, every graph class: all seven methods must produce valid
+    // partitions through the typed request path.
     for kind in configs {
         let csr = GraphConfig::new(kind, 3).generate().to_csr();
-        for method in &methods {
-            let (parts, q) = method.partition_with_quality(&csr, &params);
-            assert_eq!(parts.len(), csr.num_vertices(), "{}", method.name());
-            assert!(is_valid_partition(&parts, 8), "{}", method.name());
-            assert!(q.edge_cut_ratio <= 1.0, "{}", method.name());
+        for method in Method::all() {
+            let partitioner = method.build(3);
+            let (parts, q) = partitioner
+                .try_partition_with_quality(&csr, &params)
+                .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert_eq!(parts.len(), csr.num_vertices(), "{method}");
+            assert!(is_valid_partition(&parts, 8), "{method}");
+            assert!(q.edge_cut_ratio <= 1.0, "{method}");
         }
     }
 }
@@ -49,14 +68,28 @@ fn every_partitioner_produces_valid_partitions_on_every_graph_class() {
 fn xtrapulp_quality_tracks_the_paper_pattern_across_classes() {
     // Crawl-like graphs partition with a small cut; RMAT-like graphs do not. The paper's
     // Fig. 4 / Table II rely on exactly this contrast.
-    let params = PartitionParams { num_parts: 8, seed: 9, ..Default::default() };
+    let params = PartitionParams {
+        num_parts: 8,
+        seed: 9,
+        ..Default::default()
+    };
     let crawl = crawl_graph(1 << 13).to_csr();
-    let rmat = GraphConfig::new(GraphKind::Rmat { scale: 13, edge_factor: 12 }, 5)
-        .generate()
-        .to_csr();
+    let rmat = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 13,
+            edge_factor: 12,
+        },
+        5,
+    )
+    .generate()
+    .to_csr();
     let (_, q_crawl) = XtraPulpPartitioner::new(4).partition_with_quality(&crawl, &params);
     let (_, q_rmat) = XtraPulpPartitioner::new(4).partition_with_quality(&rmat, &params);
-    assert!(q_crawl.edge_cut_ratio < 0.4, "crawl cut {}", q_crawl.edge_cut_ratio);
+    assert!(
+        q_crawl.edge_cut_ratio < 0.4,
+        "crawl cut {}",
+        q_crawl.edge_cut_ratio
+    );
     assert!(q_rmat.edge_cut_ratio > q_crawl.edge_cut_ratio);
     assert!(q_crawl.vertex_imbalance < 1.25);
     assert!(q_rmat.vertex_imbalance < 1.25);
@@ -67,7 +100,11 @@ fn distributed_partition_runs_collectively_and_matches_metrics() {
     let el = crawl_graph(1 << 12);
     let out = Runtime::run(4, |ctx| {
         let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, el.num_vertices, &el.edges);
-        let params = PartitionParams { num_parts: 16, seed: 3, ..Default::default() };
+        let params = PartitionParams {
+            num_parts: 16,
+            seed: 3,
+            ..Default::default()
+        };
         let result = xtrapulp_suite::core::xtrapulp_partition(ctx, &g, &params);
         // Every rank must agree on the global quality numbers.
         (result.quality.edge_cut, result.quality.vertex_imbalance)

@@ -1,105 +1,162 @@
-//! Property-based tests (proptest) of the core invariants: partition validity, balance
+//! Randomised property tests of the core invariants: partition validity, balance
 //! behaviour, CSR construction and the communication substrate.
+//!
+//! These were originally `proptest` properties; they now run on a plain
+//! seeded-RNG case loop (24 cases per property, like the old
+//! `ProptestConfig::with_cases(24)`) so the workspace has no dev-dependency on
+//! a shrinking framework. Failures print the generating seed, which is enough
+//! to reproduce a case deterministically.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use xtrapulp_suite::core::metrics::{is_valid_partition, PartitionQuality};
 use xtrapulp_suite::core::{baselines, Partitioner, PulpPartitioner};
 use xtrapulp_suite::graph::{csr_from_edges, DistGraph, Distribution};
 use xtrapulp_suite::prelude::*;
 
-/// Strategy: a random edge list over up to 200 vertices.
-fn edge_list(max_n: u64) -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 1..400);
-        (Just(n), edges)
-    })
+const CASES: u64 = 24;
+
+/// A random edge list over `2..max_n` vertices, mirroring the old proptest
+/// strategy: up to 400 arbitrary (possibly self-loop, possibly duplicate)
+/// endpoint pairs, which `csr_from_edges` must clean up.
+fn edge_list(rng: &mut SmallRng, max_n: u64) -> (u64, Vec<(u64, u64)>) {
+    let n = rng.gen_range(2..max_n);
+    let m = rng.gen_range(1..400usize);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn csr_is_symmetric_and_simple((n, edges) in edge_list(200)) {
+#[test]
+fn csr_is_symmetric_and_simple() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC5A0 + case);
+        let (n, edges) = edge_list(&mut rng, 200);
         let csr = csr_from_edges(n, &edges);
-        prop_assert_eq!(csr.num_vertices() as u64, n);
+        assert_eq!(csr.num_vertices() as u64, n, "case {case}");
         for (u, v) in csr.arcs() {
-            prop_assert_ne!(u, v);
-            prop_assert!(csr.neighbors(v).contains(&u));
+            assert_ne!(u, v, "case {case}: self-loop survived");
+            assert!(
+                csr.neighbors(v).contains(&u),
+                "case {case}: arc ({u},{v}) has no reverse"
+            );
         }
-        // No duplicate neighbours.
         for v in 0..n {
             let mut neigh = csr.neighbors(v).to_vec();
             let len = neigh.len();
             neigh.dedup();
-            prop_assert_eq!(neigh.len(), len);
+            assert_eq!(neigh.len(), len, "case {case}: duplicate neighbours of {v}");
         }
     }
+}
 
-    #[test]
-    fn xtrapulp_partitions_are_always_valid((n, edges) in edge_list(160), nparts in 2usize..9, nranks in 1usize..4) {
+#[test]
+fn xtrapulp_partitions_are_always_valid() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x11AA + case);
+        let (n, edges) = edge_list(&mut rng, 160);
+        let nparts = rng.gen_range(2..9usize);
+        let nranks = rng.gen_range(1..4usize);
         let csr = csr_from_edges(n, &edges);
-        let params = PartitionParams { num_parts: nparts, seed: 11, ..Default::default() };
+        let params = PartitionParams {
+            num_parts: nparts,
+            seed: 11,
+            ..Default::default()
+        };
         let parts = XtraPulpPartitioner::new(nranks).partition(&csr, &params);
-        prop_assert_eq!(parts.len(), csr.num_vertices());
-        prop_assert!(is_valid_partition(&parts, nparts));
+        assert_eq!(parts.len(), csr.num_vertices(), "case {case}");
+        assert!(is_valid_partition(&parts, nparts), "case {case}");
         // Every part's vertex count is accounted for exactly once.
         let total: usize = (0..nparts)
             .map(|p| parts.iter().filter(|&&x| x == p as i32).count())
             .sum();
-        prop_assert_eq!(total, csr.num_vertices());
+        assert_eq!(total, csr.num_vertices(), "case {case}");
     }
+}
 
-    #[test]
-    fn pulp_partitions_are_valid_and_cut_is_bounded((n, edges) in edge_list(160), nparts in 2usize..8) {
+#[test]
+fn pulp_partitions_are_valid_and_cut_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5107 + case);
+        let (n, edges) = edge_list(&mut rng, 160);
+        let nparts = rng.gen_range(2..8usize);
         let csr = csr_from_edges(n, &edges);
-        let params = PartitionParams { num_parts: nparts, seed: 7, ..Default::default() };
+        let params = PartitionParams {
+            num_parts: nparts,
+            seed: 7,
+            ..Default::default()
+        };
         let (parts, q) = PulpPartitioner.partition_with_quality(&csr, &params);
-        prop_assert!(is_valid_partition(&parts, nparts));
-        prop_assert!(q.edge_cut <= csr.num_edges());
-        prop_assert!(q.edge_cut_ratio <= 1.0 + 1e-12);
+        assert!(is_valid_partition(&parts, nparts), "case {case}");
+        assert!(q.edge_cut <= csr.num_edges(), "case {case}");
+        assert!(q.edge_cut_ratio <= 1.0 + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn distributed_graph_conserves_edges((n, edges) in edge_list(150), nranks in 1usize..5) {
+#[test]
+fn distributed_graph_conserves_edges() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD157 + case);
+        let (n, edges) = edge_list(&mut rng, 150);
+        let nranks = rng.gen_range(1..5usize);
         let csr = csr_from_edges(n, &edges);
         let expected_m = csr.num_edges();
-        let shared = edges.clone();
-        let out = Runtime::run(nranks, move |ctx| {
-            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, n, &shared);
+        let out = Runtime::run(nranks, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Hashed, n, &edges);
             (g.global_m(), g.local_arcs())
         });
         let total_arcs: u64 = out.iter().map(|(_, a)| a).sum();
-        prop_assert_eq!(total_arcs, expected_m * 2);
-        prop_assert!(out.iter().all(|&(m, _)| m == expected_m));
+        assert_eq!(total_arcs, expected_m * 2, "case {case}");
+        assert!(out.iter().all(|&(m, _)| m == expected_m), "case {case}");
     }
+}
 
-    #[test]
-    fn block_partition_is_always_near_balanced(n in 1u64..5000, nparts in 1usize..32) {
+#[test]
+fn block_partition_is_always_near_balanced() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB10C + case);
+        let n = rng.gen_range(1..5000u64);
+        let nparts = rng.gen_range(1..32usize);
         let parts = baselines::vertex_block_partition(n, nparts);
-        prop_assert_eq!(parts.len() as u64, n);
-        prop_assert!(is_valid_partition(&parts, nparts));
+        assert_eq!(parts.len() as u64, n, "case {case}");
+        assert!(is_valid_partition(&parts, nparts), "case {case}");
         let mut counts = vec![0u64; nparts];
         for &p in &parts {
             counts[p as usize] += 1;
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1, "case {case}: counts {counts:?}");
     }
+}
 
-    #[test]
-    fn random_partition_covers_only_valid_parts(n in 1u64..3000, nparts in 1usize..17, seed in 0u64..100) {
+#[test]
+fn random_partition_covers_only_valid_parts() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A2D + case);
+        let n = rng.gen_range(1..3000u64);
+        let nparts = rng.gen_range(1..17usize);
+        let seed = rng.gen_range(0..100u64);
         let parts = baselines::random_partition(n, nparts, seed);
-        prop_assert!(is_valid_partition(&parts, nparts));
+        assert!(is_valid_partition(&parts, nparts), "case {case}");
     }
+}
 
-    #[test]
-    fn quality_metrics_are_internally_consistent((n, edges) in edge_list(120), nparts in 1usize..6) {
+#[test]
+fn quality_metrics_are_internally_consistent() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9A11 + case);
+        let (n, edges) = edge_list(&mut rng, 120);
+        let nparts = rng.gen_range(1..6usize);
         let csr = csr_from_edges(n, &edges);
         let parts = baselines::random_partition(n, nparts, 5);
         let q = PartitionQuality::evaluate(&csr, &parts, nparts);
-        prop_assert!(q.edge_cut <= csr.num_edges());
-        prop_assert!(q.max_part_cut <= q.edge_cut.max(1) * 2);
-        prop_assert!(q.vertex_imbalance >= 1.0 - 1e-9 || csr.num_vertices() == 0);
+        assert!(q.edge_cut <= csr.num_edges(), "case {case}");
+        assert!(q.max_part_cut <= q.edge_cut.max(1) * 2, "case {case}");
+        assert!(
+            q.vertex_imbalance >= 1.0 - 1e-9 || csr.num_vertices() == 0,
+            "case {case}"
+        );
     }
 }

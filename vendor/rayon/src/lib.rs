@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements the data-parallel subset the workspace uses — `into_par_iter()`
+//! followed by `map` / `flat_map_iter` / `filter_map` and `collect()`, plus
+//! [`join`] — on top of `std::thread::scope`. Work is split into contiguous
+//! chunks, one per available core, and chunk outputs are concatenated in
+//! order, so results are deterministic and identical to the sequential
+//! evaluation (which upstream rayon also guarantees for these adaptors).
+//!
+//! Unlike upstream there is no work-stealing: each adaptor materialises its
+//! input. The workspace only fans out cheap index ranges (graph-generator
+//! chunk ids), for which this is equivalent in practice.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel stage fans out to.
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Run `items` through `per_item` (which may emit any number of outputs per
+/// input) on a scoped thread pool, preserving input order in the output.
+fn par_flat_apply<T, U, F>(items: Vec<T>, per_item: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Vec<U> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nthreads = threads_for(n);
+    if nthreads == 1 {
+        return items.into_iter().flat_map(&per_item).collect();
+    }
+    let chunk_len = n.div_ceil(nthreads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(nthreads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let per_item = &per_item;
+    let outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || chunk.into_iter().flat_map(per_item).collect::<Vec<U>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    });
+    let total = outputs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut chunk in outputs {
+        out.append(&mut chunk);
+    }
+    out
+}
+
+/// A materialised "parallel iterator": adaptors evaluate eagerly across
+/// threads and hand their ordered output to the next stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_flat_apply(self.items, |t| vec![f(t)]),
+        }
+    }
+
+    /// Parallel filter-map, preserving order.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_flat_apply(self.items, |t| f(t).into_iter().collect()),
+        }
+    }
+
+    /// Parallel flat-map where each item yields a *serial* iterator, matching
+    /// rayon's `flat_map_iter` (the per-item iterators are not themselves
+    /// split).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        ParIter {
+            items: par_flat_apply(self.items, |t| f(t).into_iter().collect()),
+        }
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: par_flat_apply(self.items, |t| if f(&t) { vec![t] } else { Vec::new() }),
+        }
+    }
+
+    /// Collect the (already materialised, ordered) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items currently in the pipeline.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Materialise this collection as a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stand-in join worker panicked"))
+    })
+}
+
+/// The prelude, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_matches_sequential() {
+        let par: Vec<u64> = (0u64..257)
+            .into_par_iter()
+            .flat_map_iter(|c| (0..c % 5).map(move |i| c * 10 + i))
+            .collect();
+        let seq: Vec<u64> = (0u64..257)
+            .flat_map(|c| (0..c % 5).map(move |i| c * 10 + i))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn filter_map_and_empty_inputs_work() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let odd: Vec<u32> = (0u32..100)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odd.len(), 50);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Provides the [`Serialize`] / [`Deserialize`] traits the workspace derives,
+//! with serialisation hard-wired to JSON: `Serialize::json_into` appends the
+//! JSON encoding of a value to a string, and [`json::to_string`] is the
+//! convenience entry point. `Deserialize` is a marker trait only — nothing in
+//! the workspace parses JSON back.
+//!
+//! `#[derive(Serialize, Deserialize)]` (re-exported from the sibling
+//! `serde_derive` stand-in) supports named structs and fieldless enums, which
+//! covers every derived type in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be written as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn json_into(&self, out: &mut String);
+}
+
+/// Marker for types that would be deserialisable with the real `serde`.
+pub trait Deserialize {}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+
+/// Format an integer without going through `format!` (keeps the hot JSON path
+/// allocation-free apart from the output string itself).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl_serialize_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for i128 {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` round-trips f64 (shortest representation).
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // JSON has no NaN/Infinity; follow serde_json's default.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn json_into(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_into(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn json_into(&self, out: &mut String) {
+        write_json_str(&self.to_string(), out);
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn json_into(&self, out: &mut String) {
+        // Durations serialise as fractional seconds; the workspace only reads
+        // them for human consumption in reports.
+        self.as_secs_f64().json_into(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.json_into(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_into(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_into(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_into(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json_into(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&k.to_string(), out);
+            out.push(':');
+            v.json_into(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_into(out);
+        out.push(',');
+        self.1.json_into(out);
+        out.push(']');
+    }
+}
+
+/// JSON entry points (the stand-in for `serde_json`).
+pub mod json {
+    use super::Serialize;
+
+    /// Serialise `value` to a JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.json_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::to_string;
+
+    #[test]
+    fn scalars_and_strings_encode_as_json() {
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers_encode_as_json() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+        assert_eq!(to_string(&Some(5u8)), "5");
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(to_string(&m), "{\"a\":1,\"b\":2}");
+        assert_eq!(to_string(&std::time::Duration::from_millis(1500)), "1.5");
+    }
+}

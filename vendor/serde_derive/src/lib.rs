@@ -1,0 +1,221 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the two
+//! shapes the workspace derives on — **named-field structs** and **fieldless
+//! enums** — without depending on `syn`/`quote`. Anything else (tuple
+//! structs, generics, data-carrying enums, `#[serde(...)]` attributes) is
+//! rejected with a compile-time panic naming the offending item, so a future
+//! switch back to the real `serde_derive` can only widen what compiles.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input turned out to be.
+enum Shape {
+    /// Named struct with its field names, in declaration order.
+    Struct(Vec<String>),
+    /// Fieldless enum with its variant names.
+    Enum(Vec<String>),
+}
+
+/// Parse a derive input into `(type_name, shape)`.
+fn parse_input(input: TokenStream, trait_name: &str) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected a type name, found {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "derive({trait_name}) stand-in does not support generic type `{name}`; \
+             write the impl by hand or use the real serde_derive"
+        ),
+        _ => panic!(
+            "derive({trait_name}) stand-in supports named structs and fieldless enums only \
+             (offending type: `{name}`)"
+        ),
+    };
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name, trait_name)),
+        "enum" => Shape::Enum(parse_fieldless_variants(body, &name, trait_name)),
+        other => panic!("derive({trait_name}): unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Extract field names from a named-struct body.
+fn parse_named_fields(body: TokenStream, type_name: &str, trait_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!(
+                "derive({trait_name}): unexpected token {other:?} in struct `{type_name}` \
+                 (tuple structs are not supported by the stand-in)"
+            ),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "derive({trait_name}): expected `:` after field `{field}` of `{type_name}`, \
+                 found {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extract variant names from an enum body, rejecting data-carrying variants.
+fn parse_fieldless_variants(body: TokenStream, type_name: &str, trait_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                panic!("derive({trait_name}): unexpected token {other:?} in enum `{type_name}`")
+            }
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => panic!(
+                "derive({trait_name}) stand-in does not support data-carrying variant \
+                 `{type_name}::{variant}`"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "derive({trait_name}) stand-in does not support explicit discriminants \
+                 (`{type_name}::{variant}`)"
+            ),
+            Some(other) => {
+                panic!("derive({trait_name}): unexpected token {other:?} after `{variant}`")
+            }
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`: JSON object for structs, JSON string for enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input, "Serialize");
+    let body = match shape {
+        Shape::Struct(fields) => {
+            if fields.is_empty() {
+                "out.push_str(\"{}\");".to_string()
+            } else {
+                let mut code = String::from("out.push('{');\n");
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        code.push_str("out.push(',');\n");
+                    }
+                    code.push_str(&format!(
+                        "::serde::write_json_str(\"{field}\", out);\n\
+                         out.push(':');\n\
+                         ::serde::Serialize::json_into(&self.{field}, out);\n"
+                    ));
+                }
+                code.push_str("out.push('}');");
+                code
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "let variant = match self {{ {} }};\n::serde::write_json_str(variant, out);",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn json_into(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) stand-in generated invalid Rust")
+}
+
+/// `#[derive(Deserialize)]`: marker impl only (the stand-in never parses).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_input(input, "Deserialize");
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derive(Deserialize) stand-in generated invalid Rust")
+}

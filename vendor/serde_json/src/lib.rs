@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Mirrors the call-site shape of the real `serde_json::to_string` — generic
+//! over `serde::Serialize`, returning `Result<String, Error>` — so code written
+//! against this stand-in keeps compiling if the real crates are restored. With
+//! the vendored `serde`, serialisation is infallible, so the error arm is never
+//! produced here.
+
+use std::fmt;
+
+/// Serialisation error, mirroring `serde_json::Error`'s role in signatures.
+/// The vendored JSON writer is infallible, so values of this type are never
+/// constructed; it exists to keep call sites source-compatible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise `value` to a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string(value))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_matches_the_writer() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string("x").unwrap(), "\"x\"");
+    }
+}
