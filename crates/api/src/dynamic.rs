@@ -1,0 +1,487 @@
+//! The dynamic partitioning session: apply updates, repartition warm, report.
+
+use serde::Serialize;
+use xtrapulp::metrics::PartitionQuality;
+use xtrapulp::{
+    try_pulp_partition_from_with_sweeps, try_pulp_partition_with_sweeps, PartitionError,
+};
+use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer};
+use xtrapulp_dynamic::{seed_from_previous, DynamicGraph, UpdateBatch, UpdateError, UpdateSummary};
+use xtrapulp_graph::{Csr, DistGraph, Distribution, UNASSIGNED};
+
+use crate::method::Method;
+use crate::report::PartitionReport;
+use crate::session::{PartitionJob, Session};
+
+/// The outcome of one repartitioning epoch: a full [`PartitionReport`] extended with the
+/// dynamic-subsystem accounting — which epoch it belongs to, whether it was
+/// warm-started, how many previously-assigned vertices changed part, and the
+/// warm-vs-cold label-propagation sweep counts that explain the speedup.
+#[derive(Debug, Clone, Serialize)]
+pub struct DynamicReport {
+    /// The underlying partitioning report (part vector, quality, timings, comm).
+    pub report: PartitionReport,
+    /// The graph epoch this partition corresponds to (number of update batches applied).
+    pub epoch: u64,
+    /// Whether this run was warm-started from the previous epoch's partition.
+    pub warm_start: bool,
+    /// Previously-assigned vertices whose part changed relative to the last epoch
+    /// (newly added vertices are excluded — they had no part to migrate from).
+    pub vertices_migrated: u64,
+    /// Label-propagation sweeps this run executed (0 for non-LP methods).
+    pub lp_sweeps: u64,
+    /// Sweeps of the most recent from-scratch run, the warm-vs-cold reference.
+    pub cold_lp_sweeps: u64,
+}
+
+/// [`DynamicReport`] minus the part vector, for result streams.
+#[derive(Debug, Clone, Serialize)]
+struct DynamicSummary {
+    method: String,
+    epoch: u64,
+    warm_start: bool,
+    vertices_migrated: u64,
+    lp_sweeps: u64,
+    cold_lp_sweeps: u64,
+    num_vertices: u64,
+    num_edges: u64,
+    quality: PartitionQuality,
+    total_seconds: f64,
+}
+
+impl DynamicReport {
+    /// Serialise the full report (including the part vector) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation is infallible")
+    }
+
+    /// Serialise everything except the part vector to JSON.
+    pub fn to_json_summary(&self) -> String {
+        let summary = DynamicSummary {
+            method: self.report.method.clone(),
+            epoch: self.epoch,
+            warm_start: self.warm_start,
+            vertices_migrated: self.vertices_migrated,
+            lp_sweeps: self.lp_sweeps,
+            cold_lp_sweeps: self.cold_lp_sweeps,
+            num_vertices: self.report.num_vertices,
+            num_edges: self.report.num_edges,
+            quality: self.report.quality,
+            total_seconds: self.report.total_seconds(),
+        };
+        serde_json::to_string(&summary).expect("report serialisation is infallible")
+    }
+}
+
+/// A partitioning session over a *mutating* graph.
+///
+/// `DynamicSession` owns a [`Session`] (and through it the persistent rank runtime), the
+/// authoritative [`DynamicGraph`], and the partition of the latest epoch. The serving
+/// loop is `apply_updates` → `repartition` → [`DynamicReport`]:
+///
+/// * [`apply_updates`](DynamicSession::apply_updates) validates a batch against the live
+///   topology and applies it incrementally — including to the per-rank
+///   [`DistGraph`]s, which are kept alive across epochs and evolved with
+///   [`DistGraph::apply_delta`] instead of being redistributed from the CSR each time.
+/// * [`repartition`](DynamicSession::repartition) runs the session's job: from scratch
+///   on the first call (and for methods without warm-start support), warm-started from
+///   the previous epoch's part vector afterwards — new vertices are assigned greedily
+///   and only a short refinement schedule runs, which is what makes repartitioning after
+///   a small mutation much cheaper than a cold run.
+///
+/// A rejected batch or malformed job leaves the session (and its graph) untouched.
+pub struct DynamicSession {
+    session: Session,
+    job: PartitionJob,
+    graph: DynamicGraph,
+    /// Latest partition, kept at graph length (`UNASSIGNED` for vertices added since).
+    parts: Option<Vec<i32>>,
+    cold_lp_sweeps: u64,
+    /// Per-rank distributed graphs, built lazily for distributed methods and evolved
+    /// incrementally on every update batch.
+    rank_graphs: Option<Vec<DistGraph>>,
+}
+
+impl DynamicSession {
+    /// Wrap a session and an initial graph. The first [`repartition`] is a cold run.
+    ///
+    /// [`repartition`]: DynamicSession::repartition
+    pub fn new(session: Session, csr: Csr, job: PartitionJob) -> Result<Self, PartitionError> {
+        job.params.validate()?;
+        Ok(DynamicSession {
+            session,
+            job,
+            graph: DynamicGraph::new(csr),
+            parts: None,
+            cold_lp_sweeps: 0,
+            rank_graphs: None,
+        })
+    }
+
+    /// Convenience: spawn a fresh `nranks`-rank session around the graph.
+    pub fn spawn(nranks: usize, csr: Csr, job: PartitionJob) -> Result<Self, PartitionError> {
+        DynamicSession::new(Session::new(nranks)?, csr, job)
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of update batches applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// The job every [`repartition`](DynamicSession::repartition) runs.
+    pub fn job(&self) -> &PartitionJob {
+        &self.job
+    }
+
+    /// The latest epoch's partition, if one has been computed. Entries for vertices
+    /// added since the last repartition are [`UNASSIGNED`].
+    pub fn parts(&self) -> Option<&[i32]> {
+        self.parts.as_deref()
+    }
+
+    /// The wrapped session, e.g. to run analytics jobs on the same ranks.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Tear the dynamic layer down, returning the inner session.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// Validate one update batch against the live topology and apply it: the CSR is
+    /// rebuilt incrementally, the per-rank distributed graphs (when built) evolve via
+    /// [`DistGraph::apply_delta`], and the carried part vector is extended with
+    /// [`UNASSIGNED`] entries for new vertices. A rejected batch changes nothing.
+    pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<UpdateSummary, UpdateError> {
+        let delta = self.graph.validate(batch)?;
+        // An Explicit ownership table has no entries for new vertices, so growth cannot
+        // be distributed; reject it here as a typed error rather than letting the
+        // graph-layer assertion panic inside the rank threads. Serial methods never
+        // distribute the graph, so they are free to grow.
+        if delta.added_vertices() > 0
+            && self.job.method.is_distributed()
+            && matches!(self.session.distribution(), Distribution::Explicit(_))
+        {
+            return Err(UpdateError::UnsupportedGrowth {
+                detail: format!(
+                    "the session distributes vertices with an explicit ownership table of \
+                     {} entries, which cannot cover {} added vertices",
+                    self.graph.num_vertices(),
+                    delta.added_vertices()
+                ),
+            });
+        }
+        if let Some(graphs) = self.rank_graphs.take() {
+            let updated = self
+                .session
+                .execute(|ctx| graphs[ctx.rank()].apply_delta(ctx, &delta));
+            self.rank_graphs = Some(updated);
+        }
+        let summary = self.graph.apply_validated(&delta);
+        if let Some(parts) = self.parts.take() {
+            self.parts = Some(seed_from_previous(&parts, &delta));
+        }
+        Ok(summary)
+    }
+
+    /// Partition the current epoch's graph and report.
+    ///
+    /// Runs warm-started from the previous partition whenever one exists and the
+    /// session's method supports it ([`Method::supports_warm_start`]); otherwise from
+    /// scratch. The report's `vertices_migrated` and `lp_sweeps`/`cold_lp_sweeps` fields
+    /// quantify the incremental behaviour.
+    pub fn repartition(&mut self) -> Result<DynamicReport, PartitionError> {
+        let warm_seed = if self.job.method.supports_warm_start() {
+            self.parts.clone()
+        } else {
+            None
+        };
+        let warm_start = warm_seed.is_some();
+
+        let (report, lp_sweeps) = if self.job.method.is_distributed() {
+            if self.rank_graphs.is_none() {
+                self.rank_graphs = Some(self.session.build_rank_graphs(self.graph.csr()));
+            }
+            let graphs = self.rank_graphs.as_ref().expect("just built");
+            self.session.run_on_rank_graphs(
+                &self.job,
+                graphs,
+                warm_seed.as_deref(),
+                self.graph.num_edges(),
+            )?
+        } else {
+            self.run_serial(warm_seed.as_deref())?
+        };
+
+        if !warm_start {
+            self.cold_lp_sweeps = lp_sweeps;
+        }
+        let vertices_migrated = match &self.parts {
+            Some(previous) => previous
+                .iter()
+                .zip(&report.parts)
+                .filter(|&(&old, &new)| old != UNASSIGNED && old != new)
+                .count() as u64,
+            None => 0,
+        };
+        self.parts = Some(report.parts.clone());
+        Ok(DynamicReport {
+            report,
+            epoch: self.graph.epoch(),
+            warm_start,
+            vertices_migrated,
+            lp_sweeps,
+            cold_lp_sweeps: self.cold_lp_sweeps,
+        })
+    }
+
+    /// Serial methods: cold via the regular submission path (except PuLP, which runs
+    /// directly so its real sweep counts can be reported), warm via the method's
+    /// [`WarmStartPartitioner`](xtrapulp::WarmStartPartitioner). The multilevel and
+    /// naive methods report 0 sweeps.
+    fn run_serial(
+        &mut self,
+        warm_seed: Option<&[i32]>,
+    ) -> Result<(PartitionReport, u64), PartitionError> {
+        if warm_seed.is_none() && self.job.method != Method::Pulp {
+            let report = self.session.submit(&self.job, self.graph.csr())?;
+            return Ok((report, 0));
+        }
+        let csr = self.graph.csr();
+        let params = self.job.params;
+        let mut timings = PhaseTimer::new();
+        let (parts, sweeps) = match (self.job.method, warm_seed) {
+            (Method::Pulp, None) => {
+                timings.time("partition", || try_pulp_partition_with_sweeps(csr, &params))?
+            }
+            (Method::Pulp, Some(seed)) => timings.time("partition", || {
+                try_pulp_partition_from_with_sweeps(csr, &params, seed)
+            })?,
+            (method, Some(seed)) => {
+                let partitioner = method
+                    .build_warm(self.session.nranks())
+                    .expect("warm_seed is only built for warm-capable methods");
+                let parts = timings.time("partition", || {
+                    partitioner.try_partition_from(csr, &params, seed)
+                })?;
+                (parts, 0)
+            }
+            (_, None) => unreachable!("non-PuLP cold serial jobs go through Session::submit"),
+        };
+        let quality = timings.time("metrics", || {
+            PartitionQuality::evaluate(csr, &parts, params.num_parts)
+        });
+        self.session.note_job_completed();
+        Ok((
+            PartitionReport {
+                method: self.job.method.name().to_string(),
+                num_parts: params.num_parts,
+                nranks: 1,
+                num_vertices: csr.num_vertices() as u64,
+                num_edges: csr.num_edges(),
+                parts,
+                quality,
+                timings,
+                comm: CommStatsSnapshot::default(),
+            },
+            sweeps,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp::PartitionParams;
+    use xtrapulp_gen::{GraphConfig, GraphKind};
+
+    fn ba_csr(n: u64, seed: u64) -> Csr {
+        GraphConfig::new(
+            GraphKind::BarabasiAlbert {
+                num_vertices: n,
+                edges_per_vertex: 5,
+            },
+            seed,
+        )
+        .generate()
+        .to_csr()
+    }
+
+    fn job(method: Method, parts: usize) -> PartitionJob {
+        PartitionJob::new(method).with_params(PartitionParams {
+            num_parts: parts,
+            seed: 13,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn apply_repartition_loop_over_distributed_method() {
+        // A mesh keeps part identity stable across epochs, which makes the migration
+        // accounting assertable; skewed graphs churn labels intrinsically.
+        let csr = GraphConfig::new(
+            GraphKind::Grid2d {
+                width: 20,
+                height: 40,
+                diagonal: false,
+            },
+            5,
+        )
+        .generate()
+        .to_csr();
+        let mut dyn_session =
+            DynamicSession::spawn(3, csr.clone(), job(Method::XtraPulp, 4)).unwrap();
+
+        // Epoch 0: cold run.
+        let cold = dyn_session.repartition().unwrap();
+        assert_eq!(cold.epoch, 0);
+        assert!(!cold.warm_start);
+        assert_eq!(cold.vertices_migrated, 0);
+        assert!(cold.lp_sweeps > 0);
+        assert_eq!(cold.report.parts.len(), 800);
+
+        // Mutate: add two vertices with a few edges, drop one edge.
+        let mut batch = UpdateBatch::new();
+        batch.add_vertices(2);
+        batch
+            .insert_edge(800, 0)
+            .insert_edge(800, 1)
+            .insert_edge(801, 800);
+        let (u, v) = {
+            let u = 5u64;
+            let v = csr.neighbors(u)[0];
+            (u, v)
+        };
+        batch.delete_edge(u, v);
+        let summary = dyn_session.apply_updates(&batch).unwrap();
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(summary.vertices_added, 2);
+        assert_eq!(dyn_session.graph().num_vertices(), 802);
+
+        // Epoch 1: warm run — fewer sweeps, same quality ballpark, few migrations.
+        let warm = dyn_session.repartition().unwrap();
+        assert_eq!(warm.epoch, 1);
+        assert!(warm.warm_start);
+        assert_eq!(warm.report.parts.len(), 802);
+        assert!(
+            warm.lp_sweeps < warm.cold_lp_sweeps,
+            "warm {} vs cold {}",
+            warm.lp_sweeps,
+            warm.cold_lp_sweeps
+        );
+        assert!(
+            warm.vertices_migrated < 800 / 2,
+            "a tiny delta should not migrate most of the graph ({})",
+            warm.vertices_migrated
+        );
+        assert!(warm.report.quality.vertex_imbalance <= 1.30);
+        // Both epochs count towards the wrapped session's lifetime job counter.
+        assert_eq!(dyn_session.session_mut().jobs_completed(), 2);
+    }
+
+    #[test]
+    fn serial_methods_warm_start_through_the_same_facade() {
+        for method in [Method::Pulp, Method::MetisLike] {
+            let csr = ba_csr(600, 8);
+            let mut dyn_session = DynamicSession::spawn(1, csr, job(method, 4)).unwrap();
+            let cold = dyn_session.repartition().unwrap();
+            assert!(!cold.warm_start, "{method}");
+
+            let mut batch = UpdateBatch::new();
+            batch
+                .add_vertices(1)
+                .insert_edge(600, 3)
+                .insert_edge(600, 7);
+            dyn_session.apply_updates(&batch).unwrap();
+            let warm = dyn_session.repartition().unwrap();
+            assert!(warm.warm_start, "{method}");
+            assert_eq!(warm.report.parts.len(), 601, "{method}");
+            assert_ne!(warm.report.parts[600], UNASSIGNED, "{method}");
+            if method == Method::Pulp {
+                assert!(warm.lp_sweeps < warm.cold_lp_sweeps, "{method}");
+            }
+        }
+    }
+
+    #[test]
+    fn methods_without_warm_support_repartition_cold_every_time() {
+        let csr = ba_csr(300, 2);
+        let mut dyn_session = DynamicSession::spawn(1, csr, job(Method::Random, 4)).unwrap();
+        dyn_session.repartition().unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.add_vertices(1).insert_edge(300, 0);
+        dyn_session.apply_updates(&batch).unwrap();
+        let second = dyn_session.repartition().unwrap();
+        assert!(!second.warm_start);
+        assert_eq!(second.report.parts.len(), 301);
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_session_intact() {
+        let csr = ba_csr(300, 4);
+        let mut dyn_session = DynamicSession::spawn(2, csr, job(Method::XtraPulp, 4)).unwrap();
+        dyn_session.repartition().unwrap();
+        let mut bad = UpdateBatch::new();
+        bad.delete_edge(0, 299); // almost surely not an edge
+        if dyn_session.graph().csr().neighbors(0).contains(&299) {
+            return; // pathological seed; nothing to test
+        }
+        assert!(dyn_session.apply_updates(&bad).is_err());
+        assert_eq!(dyn_session.epoch(), 0);
+        // The session still serves jobs afterwards.
+        let report = dyn_session.repartition().unwrap();
+        assert_eq!(report.report.parts.len(), 300);
+    }
+
+    #[test]
+    fn explicit_distribution_growth_is_a_typed_error_not_a_rank_panic() {
+        let csr = ba_csr(120, 3);
+        let owners: Vec<i32> = (0..120).map(|v| v % 2).collect();
+        let session = Session::with_distribution(2, Distribution::from_parts(&owners)).unwrap();
+        let mut dyn_session = DynamicSession::new(session, csr, job(Method::XtraPulp, 2)).unwrap();
+        dyn_session.repartition().unwrap();
+
+        let mut batch = UpdateBatch::new();
+        batch.add_vertices(1).insert_edge(120, 0);
+        let err = dyn_session.apply_updates(&batch).unwrap_err();
+        assert!(
+            matches!(err, UpdateError::UnsupportedGrowth { .. }),
+            "{err}"
+        );
+        // The graph is untouched and the session still serves jobs.
+        assert_eq!(dyn_session.epoch(), 0);
+        assert_eq!(dyn_session.graph().num_vertices(), 120);
+        let mut ok = UpdateBatch::new();
+        ok.insert_edge(0, 119);
+        if dyn_session
+            .graph()
+            .csr()
+            .neighbors(0)
+            .binary_search(&119)
+            .is_err()
+        {
+            dyn_session.apply_updates(&ok).unwrap();
+        }
+        assert_eq!(dyn_session.repartition().unwrap().report.parts.len(), 120);
+    }
+
+    #[test]
+    fn dynamic_report_serialises_with_the_dynamic_fields() {
+        let csr = ba_csr(200, 6);
+        let mut dyn_session = DynamicSession::spawn(1, csr, job(Method::Pulp, 2)).unwrap();
+        let report = dyn_session.repartition().unwrap();
+        let json = report.to_json();
+        for key in ["\"epoch\":0", "\"warm_start\":false", "\"lp_sweeps\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let summary = report.to_json_summary();
+        assert!(!summary.contains("\"parts\""));
+        assert!(summary.contains("\"vertices_migrated\""));
+    }
+}

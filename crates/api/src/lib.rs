@@ -57,14 +57,18 @@
 //! assert!(session.submit(&bad, &graph).is_err());
 //! ```
 
+mod dynamic;
 mod method;
 mod report;
 mod session;
 
+pub use dynamic::{DynamicReport, DynamicSession};
 pub use method::Method;
 pub use report::PartitionReport;
 pub use session::{PartitionJob, Session};
 
 // The facade's error type lives in the core crate (validation happens there); re-export
-// it so `xtrapulp_api` is self-contained for serving callers.
+// it so `xtrapulp_api` is self-contained for serving callers. The dynamic-subsystem
+// types come from `xtrapulp-dynamic` for the same reason.
 pub use xtrapulp::PartitionError;
+pub use xtrapulp_dynamic::{UpdateBatch, UpdateError, UpdateSummary};

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 use xtrapulp::{
     EdgeBlockPartitioner, PartitionError, Partitioner, PulpPartitioner, RandomPartitioner,
-    VertexBlockPartitioner, XtraPulpPartitioner,
+    VertexBlockPartitioner, WarmStartPartitioner, XtraPulpPartitioner,
 };
 use xtrapulp_multilevel::{LpCoarsenKwayPartitioner, MetisLikePartitioner};
 
@@ -74,6 +74,7 @@ impl Method {
 
     /// Resolve a method by name, case-insensitively, accepting the canonical names plus
     /// the aliases the paper's figures use (`VertBlock`, `KaHIP`-style names, `METIS`).
+    /// The error message of a failed lookup lists every valid canonical name.
     pub fn from_name(name: &str) -> Result<Method, PartitionError> {
         match name.to_ascii_lowercase().as_str() {
             "xtrapulp" => Ok(Method::XtraPulp),
@@ -85,6 +86,11 @@ impl Method {
             "lpcoarsenkway" | "kahip" | "kahip-like" => Ok(Method::LpCoarsenKway),
             _ => Err(PartitionError::UnknownMethod {
                 name: name.to_string(),
+                expected: Method::all()
+                    .iter()
+                    .map(|m| m.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
             }),
         }
     }
@@ -93,6 +99,26 @@ impl Method {
     /// `Session`'s persistent ranks rather than running inline).
     pub fn is_distributed(self) -> bool {
         matches!(self, Method::XtraPulp)
+    }
+
+    /// True for methods that can be warm-started from a previous part vector (see
+    /// [`WarmStartPartitioner`]); the naive assignments cannot, and repartition from
+    /// scratch every time. Derived from [`Method::build_warm`] so the two can never
+    /// drift apart.
+    pub fn supports_warm_start(self) -> bool {
+        self.build_warm(1).is_some()
+    }
+
+    /// Construct the warm-start-capable partitioner implementing this method, or `None`
+    /// for methods without warm-start support.
+    pub fn build_warm(self, nranks: usize) -> Option<Box<dyn WarmStartPartitioner>> {
+        match self {
+            Method::XtraPulp => Some(Box::new(XtraPulpPartitioner::new(nranks))),
+            Method::Pulp => Some(Box::new(PulpPartitioner)),
+            Method::MetisLike => Some(Box::new(MetisLikePartitioner::default())),
+            Method::LpCoarsenKway => Some(Box::new(LpCoarsenKwayPartitioner::default())),
+            Method::Random | Method::VertexBlock | Method::EdgeBlock => None,
+        }
     }
 
     /// Construct the partitioner implementing this method. `nranks` is used by
@@ -141,13 +167,20 @@ mod tests {
     }
 
     #[test]
-    fn unknown_names_are_typed_errors() {
-        assert_eq!(
-            Method::from_name("metric-like"),
-            Err(PartitionError::UnknownMethod {
-                name: "metric-like".to_string()
-            })
-        );
+    fn unknown_names_are_typed_errors_listing_the_valid_names() {
+        let err = Method::from_name("metric-like").unwrap_err();
+        assert!(matches!(
+            &err,
+            PartitionError::UnknownMethod { name, .. } if name == "metric-like"
+        ));
+        let msg = err.to_string();
+        for method in Method::all() {
+            assert!(
+                msg.contains(method.name()),
+                "error message must list '{}': {msg}",
+                method.name()
+            );
+        }
     }
 
     #[test]

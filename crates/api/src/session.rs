@@ -2,7 +2,10 @@
 
 use xtrapulp::metrics::PartitionQuality;
 use xtrapulp::partitioner::assemble_gathered_parts;
-use xtrapulp::{try_xtrapulp_partition, PartitionError, PartitionParams};
+use xtrapulp::{
+    try_xtrapulp_partition, try_xtrapulp_partition_from, validate_warm_start, PartitionError,
+    PartitionParams,
+};
 use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer, RankCtx, Runtime};
 use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId};
 
@@ -87,9 +90,21 @@ impl Session {
         self.runtime.nranks()
     }
 
+    /// The vertex distribution this session uses for distributed jobs.
+    pub fn distribution(&self) -> &Distribution {
+        &self.distribution
+    }
+
     /// Jobs successfully completed over the session's lifetime.
     pub fn jobs_completed(&self) -> u64 {
         self.jobs_completed
+    }
+
+    /// Record a job that completed outside [`submit`](Session::submit) (the dynamic
+    /// session runs warm jobs directly on the runtime), keeping
+    /// [`jobs_completed`](Session::jobs_completed) accurate.
+    pub(crate) fn note_job_completed(&mut self) {
+        self.jobs_completed += 1;
     }
 
     /// Partition `csr` with XtraPuLP on the session's ranks — the common case of
@@ -191,6 +206,98 @@ impl Session {
             timings,
             comm,
         })
+    }
+
+    /// Build one [`DistGraph`] per rank from `csr` on the session's persistent ranks.
+    /// The result is indexed by rank and can be carried across jobs (and evolved with
+    /// [`DistGraph::apply_delta`]) by the dynamic-session layer.
+    pub(crate) fn build_rank_graphs(&mut self, csr: &Csr) -> Vec<DistGraph> {
+        let dist = self.distribution.clone();
+        self.runtime
+            .execute(|ctx| DistGraph::from_csr(ctx, dist.clone(), csr))
+    }
+
+    /// Run one distributed partitioning job over pre-built per-rank graphs, cold or —
+    /// when `initial` (a full global part vector, `-1` marking unassigned vertices) is
+    /// given — warm-started. Returns the report plus the number of label-propagation
+    /// sweeps the run executed. Used by the dynamic-session layer, which keeps the rank
+    /// graphs alive across epochs instead of redistributing the CSR per job.
+    pub(crate) fn run_on_rank_graphs(
+        &mut self,
+        job: &PartitionJob,
+        graphs: &[DistGraph],
+        initial: Option<&[i32]>,
+        num_edges: u64,
+    ) -> Result<(PartitionReport, u64), PartitionError> {
+        job.params.validate()?;
+        assert_eq!(graphs.len(), self.nranks(), "one graph per rank required");
+        let n = graphs[0].global_n() as usize;
+        if let Some(initial) = initial {
+            // Validated once, globally, before entering the runtime: every rank's slice
+            // is a sub-view of this vector, so no rank can disagree inside a collective.
+            validate_warm_start(n, job.params.num_parts, initial)?;
+        }
+        let params = job.params;
+        type RankOut = (
+            Vec<(u64, i32)>,
+            PartitionQuality,
+            PhaseTimer,
+            CommStatsSnapshot,
+            u64,
+        );
+        let per_rank: Vec<RankOut> = self.runtime.execute(|ctx| {
+            let graph = &graphs[ctx.rank()];
+            let result = match initial {
+                Some(initial) => {
+                    let owned: Vec<i32> = (0..graph.n_owned())
+                        .map(|v| initial[graph.global_id(v as LocalId) as usize])
+                        .collect();
+                    try_xtrapulp_partition_from(ctx, graph, &params, &owned)
+                        .expect("warm start is validated before the job enters the runtime")
+                }
+                None => try_xtrapulp_partition(ctx, graph, &params)
+                    .expect("params are validated before the job enters the runtime"),
+            };
+            let pairs = (0..graph.n_owned())
+                .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
+                .collect();
+            (
+                pairs,
+                result.quality,
+                result.timings,
+                ctx.stats().snapshot(),
+                result.lp_sweeps,
+            )
+        });
+
+        let mut quality = None;
+        let mut timings = PhaseTimer::new();
+        let mut comm = CommStatsSnapshot::default();
+        let mut pairs = Vec::with_capacity(per_rank.len());
+        let mut lp_sweeps = 0u64;
+        for (rank_pairs, rank_quality, rank_timings, rank_comm, rank_sweeps) in per_rank {
+            quality.get_or_insert(rank_quality);
+            timings.merge_max(&rank_timings);
+            comm = comm.merged(rank_comm);
+            lp_sweeps = lp_sweeps.max(rank_sweeps);
+            pairs.push(rank_pairs);
+        }
+        let parts = assemble_gathered_parts(n, job.params.num_parts, pairs)?;
+        self.jobs_completed += 1;
+        Ok((
+            PartitionReport {
+                method: job.method.name().to_string(),
+                num_parts: job.params.num_parts,
+                nranks: self.nranks(),
+                num_vertices: n as u64,
+                num_edges,
+                parts,
+                quality: quality.expect("at least one rank ran the job"),
+                timings,
+                comm,
+            },
+            lp_sweeps,
+        ))
     }
 
     fn run_serial(

@@ -1,0 +1,166 @@
+//! Dynamic-graph figure: warm-start repartitioning versus from-scratch across update
+//! batch sizes, on the distributed partitioner served through a `DynamicSession`.
+//!
+//! For each churn level the same mutated graph is partitioned twice — warm (seeded from
+//! the previous epoch, short refinement schedule, persistent per-rank graphs evolved by
+//! delta) and cold (full from-scratch job on a fresh session) — and the table reports
+//! the wall-clock speedup together with the quality deltas (edge cut, imbalance) and the
+//! migration/sweep accounting. A growth series does the same for a preferential-
+//! attachment stream. `--json` additionally emits one `DynamicReport` summary line per
+//! warm epoch.
+
+use std::time::Instant;
+
+use xtrapulp::PartitionParams;
+use xtrapulp_api::{DynamicSession, Method, PartitionJob, Session, UpdateBatch};
+use xtrapulp_bench::{fmt, json_flag, print_table, scaled};
+use xtrapulp_gen::{
+    generate_stream, GraphConfig, GraphKind, StreamKind, UpdateStream, UpdateStreamConfig,
+};
+
+const NRANKS: usize = 4;
+
+fn emit_dynamic_json(experiment: &str, series: &str, report: &xtrapulp_api::DynamicReport) {
+    if json_flag() {
+        let mut line = String::from("{\"experiment\":");
+        serde::write_json_str(experiment, &mut line);
+        line.push_str(",\"series\":");
+        serde::write_json_str(series, &mut line);
+        line.push_str(",\"report\":");
+        line.push_str(&report.to_json_summary());
+        line.push('}');
+        println!("{line}");
+    }
+}
+
+fn run_series(
+    rows: &mut Vec<Vec<String>>,
+    series: &str,
+    base: &xtrapulp_gen::EdgeList,
+    stream: &UpdateStream,
+    params: &PartitionParams,
+) {
+    let job = PartitionJob::new(Method::XtraPulp).with_params(*params);
+    let mut dynamic = DynamicSession::new(
+        Session::new(NRANKS).expect("valid rank count"),
+        base.to_csr(),
+        job.clone(),
+    )
+    .expect("valid job");
+    // Epoch 0: the cold reference partition the warm epochs start from.
+    dynamic.repartition().expect("cold run succeeds");
+    let mut cold_session = Session::new(NRANKS).expect("valid rank count");
+
+    for (i, _) in stream.batches.iter().enumerate() {
+        let batch = UpdateBatch::from_ops(stream.batch_ops(i));
+        let summary = dynamic
+            .apply_updates(&batch)
+            .expect("generated streams are valid");
+
+        let warm_start = Instant::now();
+        let warm = dynamic.repartition().expect("warm run succeeds");
+        let warm_secs = warm_start.elapsed().as_secs_f64();
+        emit_dynamic_json("fig_dynamic", series, &warm);
+
+        // From-scratch on the identical mutated graph.
+        let cold_start = Instant::now();
+        let cold = cold_session
+            .submit(&job, dynamic.graph().csr())
+            .expect("cold run succeeds");
+        let cold_secs = cold_start.elapsed().as_secs_f64();
+
+        let cut_delta_pct = if cold.quality.edge_cut == 0 {
+            0.0
+        } else {
+            100.0 * (warm.report.quality.edge_cut as f64 - cold.quality.edge_cut as f64)
+                / cold.quality.edge_cut as f64
+        };
+        rows.push(vec![
+            series.to_string(),
+            format!("{}", warm.epoch),
+            format!("{}", batch.len()),
+            format!("{}", summary.vertices_added),
+            fmt(cold_secs),
+            fmt(warm_secs),
+            fmt(cold_secs / warm_secs.max(1e-9)),
+            format!("{}/{}", warm.lp_sweeps, warm.cold_lp_sweeps),
+            format!("{}", warm.vertices_migrated),
+            fmt(cut_delta_pct),
+            fmt(warm.report.quality.vertex_imbalance),
+        ]);
+    }
+}
+
+fn main() {
+    let n = scaled(1 << 14);
+    let params = PartitionParams {
+        num_parts: 16,
+        seed: 29,
+        ..Default::default()
+    };
+    let base = GraphConfig::new(
+        GraphKind::BarabasiAlbert {
+            num_vertices: n,
+            edges_per_vertex: 8,
+        },
+        77,
+    )
+    .generate();
+    let m = base.to_csr().num_edges();
+
+    let mut rows = Vec::new();
+    // Churn series: one batch per churn level, smallest first (≤1% is the acceptance
+    // regime, 5% shows where warm-start advantage erodes).
+    for churn_pct in [0.1f64, 0.5, 1.0, 5.0] {
+        let ops = ((m as f64 * churn_pct / 100.0) as usize).max(2);
+        let stream = generate_stream(
+            &base,
+            &UpdateStreamConfig {
+                kind: StreamKind::RandomChurn {
+                    ops_per_batch: ops,
+                    delete_fraction: 0.5,
+                },
+                num_batches: 1,
+                seed: 11,
+            },
+        );
+        run_series(
+            &mut rows,
+            &format!("churn {churn_pct}%"),
+            &base,
+            &stream,
+            &params,
+        );
+    }
+    // Growth series: successive preferential-attachment batches on one session.
+    let growth = generate_stream(
+        &base,
+        &UpdateStreamConfig {
+            kind: StreamKind::PreferentialGrowth {
+                vertices_per_batch: (n / 200).max(8),
+                edges_per_vertex: 8,
+            },
+            num_batches: 3,
+            seed: 13,
+        },
+    );
+    run_series(&mut rows, "growth", &base, &growth, &params);
+
+    print_table(
+        "Dynamic repartitioning — warm start vs from scratch",
+        &[
+            "series",
+            "epoch",
+            "batch ops",
+            "verts added",
+            "cold s",
+            "warm s",
+            "speedup",
+            "sweeps warm/cold",
+            "migrated",
+            "cut delta %",
+            "imbalance",
+        ],
+        &rows,
+    );
+}

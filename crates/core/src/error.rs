@@ -53,6 +53,15 @@ pub enum PartitionError {
     UnknownMethod {
         /// The name that failed to resolve.
         name: String,
+        /// Comma-separated list of the names that would have resolved (filled in by the
+        /// registry, which is the only constructor of this variant).
+        expected: String,
+    },
+    /// A warm-start part vector was unusable (wrong length, or a part label outside
+    /// `-1..num_parts` — `-1` marks vertices to be assigned greedily).
+    InvalidWarmStart {
+        /// What was wrong with the vector.
+        detail: String,
     },
 }
 
@@ -83,11 +92,14 @@ impl fmt::Display for PartitionError {
                     "distributed gather produced an invalid assignment (vertex {vertex}, part {part})"
                 )
             }
-            PartitionError::UnknownMethod { name } => {
+            PartitionError::UnknownMethod { name, expected } => {
                 write!(
                     f,
-                    "unknown partitioning method '{name}' (expected one of the Method registry names)"
+                    "unknown partitioning method '{name}' (expected one of: {expected})"
                 )
+            }
+            PartitionError::InvalidWarmStart { detail } => {
+                write!(f, "invalid warm-start part vector: {detail}")
             }
         }
     }
@@ -108,8 +120,17 @@ mod tests {
         assert!(e.to_string().contains("17"));
         let e = PartitionError::UnknownMethod {
             name: "metiss".into(),
+            expected: "XtraPuLP, PuLP".into(),
         };
         assert!(e.to_string().contains("metiss"));
+        assert!(
+            e.to_string().contains("XtraPuLP, PuLP"),
+            "message must list the valid names: {e}"
+        );
+        let e = PartitionError::InvalidWarmStart {
+            detail: "wrong length".into(),
+        };
+        assert!(e.to_string().contains("wrong length"));
     }
 
     #[test]

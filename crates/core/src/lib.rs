@@ -83,10 +83,14 @@ pub mod pulp;
 pub use error::PartitionError;
 pub use params::{InitStrategy, PartitionParams};
 pub use partitioner::{
-    try_xtrapulp_partition, xtrapulp_partition, EdgeBlockPartitioner, PartitionResult, Partitioner,
-    RandomPartitioner, VertexBlockPartitioner, XtraPulpPartitioner,
+    greedy_seed_unassigned, try_xtrapulp_partition, try_xtrapulp_partition_from,
+    validate_warm_start, xtrapulp_partition, EdgeBlockPartitioner, PartitionResult, Partitioner,
+    RandomPartitioner, VertexBlockPartitioner, WarmStartPartitioner, XtraPulpPartitioner,
 };
-pub use pulp::{pulp_partition, try_pulp_partition, PulpPartitioner};
+pub use pulp::{
+    pulp_partition, try_pulp_partition, try_pulp_partition_from,
+    try_pulp_partition_from_with_sweeps, try_pulp_partition_with_sweeps, PulpPartitioner,
+};
 
 // Re-exported so downstream crates (analytics, spmv, bench) can name graph types without
 // an extra dependency edge.

@@ -48,6 +48,12 @@ pub struct PartitionParams {
     /// PuLP-MM). Disabled for the single-constraint single-objective comparison of
     /// Fig. 6.
     pub edge_balance_stage: bool,
+    /// Outer balance/refine rounds per stage for *warm-started* runs (repartitioning
+    /// from a previous part vector after a small graph mutation). Label propagation
+    /// converges from a good seed in far fewer sweeps than from scratch, which is what
+    /// makes incremental repartitioning cheap; `0` means seed-only (new vertices are
+    /// assigned greedily, nothing is refined).
+    pub warm_outer_iters: usize,
     /// RNG seed; every stage derives its own deterministic stream from it.
     pub seed: u64,
 }
@@ -65,6 +71,7 @@ impl Default for PartitionParams {
             mult_y: 0.25,
             init: InitStrategy::BfsGrow,
             edge_balance_stage: true,
+            warm_outer_iters: 1,
             seed: 0xB1_7E5,
         }
     }

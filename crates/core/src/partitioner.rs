@@ -2,12 +2,14 @@
 //! every partitioning method in the workspace.
 
 use xtrapulp_comm::{PhaseTimer, RankCtx, Runtime};
-use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId};
+use xtrapulp_graph::distribution::splitmix64;
+use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId, UNASSIGNED};
 
 use crate::balance::{vertex_balance, vertex_refine, StageCounter};
 use crate::baselines;
 use crate::edge_balance::{edge_balance, edge_refine};
 use crate::error::PartitionError;
+use crate::exchange::{push_part_updates, refresh_ghost_parts, PartUpdate};
 use crate::init::init_partition;
 use crate::metrics::PartitionQuality;
 use crate::params::PartitionParams;
@@ -21,6 +23,9 @@ pub struct PartitionResult {
     pub quality: PartitionQuality,
     /// Wall-clock time per phase on this rank.
     pub timings: PhaseTimer,
+    /// Number of label-propagation sweeps executed across all stages (identical on every
+    /// rank); warm starts run far fewer than from-scratch runs.
+    pub lp_sweeps: u64,
 }
 
 impl PartitionResult {
@@ -71,28 +76,116 @@ fn xtrapulp_partition_validated(
     params: &PartitionParams,
 ) -> PartitionResult {
     let mut timings = PhaseTimer::new();
+    let parts = timings.time("init", || init_partition(ctx, graph, params));
+    run_stages(ctx, graph, params, parts, params.outer_iters, true, timings)
+}
 
-    let mut parts = timings.time("init", || init_partition(ctx, graph, params));
+/// Run the full multi-constraint multi-objective XtraPuLP algorithm *warm-started* from
+/// a previous part assignment, collectively on an already-distributed graph.
+///
+/// `initial_owned[v]` is the seed part of this rank's owned vertex `v` (local id), or
+/// [`UNASSIGNED`] (`-1`) for vertices with no prior assignment — newly added vertices
+/// after a graph mutation. Unassigned vertices adopt the majority part of their assigned
+/// neighbours in level-synchronous rounds (deterministic across rank counts), then a
+/// short schedule of [`PartitionParams::warm_outer_iters`] outer rounds refines the
+/// result instead of the from-scratch `outer_iters`.
+///
+/// Warm-start validation is collective-safe: every rank validates its own slice and the
+/// violation counts are summed, so all ranks agree on the outcome and no rank enters a
+/// collective the others skipped.
+pub fn try_xtrapulp_partition_from(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+    initial_owned: &[i32],
+) -> Result<PartitionResult, PartitionError> {
+    params.validate()?;
+    let local_error = validate_warm_start(graph.n_owned(), params.num_parts, initial_owned).err();
+    let global_violations = ctx.allreduce_scalar_sum_u64(local_error.is_some() as u64);
+    if global_violations > 0 {
+        return Err(
+            local_error.unwrap_or_else(|| PartitionError::InvalidWarmStart {
+                detail: format!("{global_violations} rank(s) received an invalid warm-start slice"),
+            }),
+        );
+    }
 
+    let mut timings = PhaseTimer::new();
+    let parts = timings.time("warm_seed", || warm_seed(ctx, graph, params, initial_owned));
+    // Warm runs skip the (aggressively label-churning) balance passes when the seeded
+    // partition already satisfies both balance constraints — with the same slack as the
+    // serial path, since a converged run routinely lands within rounding of the
+    // fractional target — and then run only `warm_outer_iters` refinement rounds. When
+    // the delta meaningfully overshot a target, the warm run falls back to the full cold
+    // stage schedule (balance needs several rounds to converge; one round overshoots),
+    // still skipping initialisation. Computed collectively, so every rank takes the same
+    // branch.
+    let balance = {
+        let p = params.num_parts;
+        let imb_v = params.target_max_vertices(graph.global_n()) * crate::pulp::WARM_BALANCE_SLACK;
+        let imb_e = params.target_max_arcs(2 * graph.global_m()) * crate::pulp::WARM_BALANCE_SLACK;
+        crate::balance::global_vertex_counts(ctx, graph, &parts, p)
+            .iter()
+            .any(|&s| s as f64 > imb_v)
+            || crate::balance::global_arc_counts(ctx, graph, &parts, p)
+                .iter()
+                .any(|&s| s as f64 > imb_e)
+    };
+    let outer = if balance {
+        params.outer_iters
+    } else {
+        params.warm_outer_iters
+    };
+    Ok(run_stages(
+        ctx, graph, params, parts, outer, balance, timings,
+    ))
+}
+
+/// The shared balance/refine pipeline: `outer` rounds of the vertex stage, then (when
+/// enabled) `outer` rounds of the edge stage, then quality evaluation.
+fn run_stages(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+    mut parts: Vec<i32>,
+    outer: usize,
+    balance: bool,
+    mut timings: PhaseTimer,
+) -> PartitionResult {
+    // The dynamic multiplier ramps from `Y` to `X` over the stage schedule; normalise it
+    // by the rounds actually run (warm starts run `warm_outer_iters`, not `outer_iters`)
+    // so a short schedule still reaches the conservative end-of-run multiplier instead of
+    // spending all its iterations in the low-multiplier regime and overshooting part
+    // sizes collectively.
+    let params = &PartitionParams {
+        outer_iters: outer,
+        ..*params
+    };
     // Stage 1: vertex balance + refinement.
     let mut counter = StageCounter::default();
     timings.time("vertex_stage", || {
-        for _ in 0..params.outer_iters {
-            vertex_balance(ctx, graph, &mut parts, params, &mut counter);
+        for _ in 0..outer {
+            if balance {
+                vertex_balance(ctx, graph, &mut parts, params, &mut counter);
+            }
             vertex_refine(ctx, graph, &mut parts, params, &mut counter);
         }
     });
+    let mut lp_sweeps = counter.iter_tot as u64;
 
     // Stage 2: edge balance + refinement (the "MM" in PuLP-MM). The iteration counter is
     // reset, as in Algorithm 1.
     if params.edge_balance_stage && params.num_parts > 1 {
         let mut counter = StageCounter::default();
         timings.time("edge_stage", || {
-            for _ in 0..params.outer_iters {
-                edge_balance(ctx, graph, &mut parts, params, &mut counter);
+            for _ in 0..outer {
+                if balance {
+                    edge_balance(ctx, graph, &mut parts, params, &mut counter);
+                }
                 edge_refine(ctx, graph, &mut parts, params, &mut counter);
             }
         });
+        lp_sweeps += counter.iter_tot as u64;
     }
 
     let quality = timings.time("metrics", || {
@@ -103,7 +196,72 @@ fn xtrapulp_partition_validated(
         parts,
         quality,
         timings,
+        lp_sweeps,
     }
+}
+
+/// Extend the previous epoch's owned part labels to a full (owned + ghost) assignment:
+/// ghosts are pulled from their owners, unassigned vertices adopt the majority part of
+/// their assigned neighbours in level-synchronous rounds (ties towards the lowest part
+/// id), and vertices with no assigned neighbour at all (new isolated vertices or whole
+/// new components) fall back to a deterministic hash of their global id. Must be called
+/// collectively.
+fn warm_seed(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+    initial_owned: &[i32],
+) -> Vec<i32> {
+    let p = params.num_parts;
+    let mut parts = vec![UNASSIGNED; graph.n_total()];
+    parts[..graph.n_owned()].copy_from_slice(initial_owned);
+    refresh_ghost_parts(ctx, graph, &mut parts);
+
+    let mut scores = vec![0u64; p];
+    loop {
+        let mut updates: Vec<PartUpdate> = Vec::new();
+        for v in 0..graph.n_owned() {
+            if parts[v] != UNASSIGNED {
+                continue;
+            }
+            for s in scores.iter_mut() {
+                *s = 0;
+            }
+            let mut any = false;
+            for &u in graph.neighbors(v as LocalId) {
+                let pu = parts[u as usize];
+                if pu != UNASSIGNED {
+                    scores[pu as usize] += 1;
+                    any = true;
+                }
+            }
+            if any {
+                let best = (0..p)
+                    .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
+                    .unwrap();
+                updates.push((v as LocalId, best as i32));
+            }
+        }
+        // Level-synchronous: this round's adoptions become visible together.
+        for &(v, w) in &updates {
+            parts[v as usize] = w;
+        }
+        push_part_updates(ctx, graph, &updates, &mut parts);
+        if ctx.allreduce_scalar_sum_u64(updates.len() as u64) == 0 {
+            break;
+        }
+    }
+
+    let mut leftovers: Vec<PartUpdate> = Vec::new();
+    for (v, part) in parts.iter_mut().enumerate().take(graph.n_owned()) {
+        if *part == UNASSIGNED {
+            let w = (splitmix64(graph.global_id(v as LocalId) ^ params.seed) % p as u64) as i32;
+            *part = w;
+            leftovers.push((v as LocalId, w));
+        }
+    }
+    push_part_updates(ctx, graph, &leftovers, &mut parts);
+    parts
 }
 
 /// A (serial-facing) graph partitioner: given a whole graph and parameters, produce one
@@ -163,6 +321,96 @@ pub trait Partitioner {
             Ok(out) => out,
             Err(e) => panic!("{}: {e}", self.name()),
         }
+    }
+}
+
+/// A partitioner that can be *warm-started* from a previous part vector — the property
+/// that makes incremental repartitioning of mutating graphs cheap. Label-propagation
+/// methods have it natively (the seed is just the initial labelling); multilevel methods
+/// realise it as a refine-only pass over the finest level.
+pub trait WarmStartPartitioner: Partitioner {
+    /// Compute a partition seeded from `initial`, where `initial[v]` is the previous
+    /// part of vertex `v` or [`UNASSIGNED`] (`-1`) for vertices without one (newly added
+    /// vertices after a graph mutation). Unassigned vertices are assigned greedily;
+    /// assigned vertices keep their part unless a short refinement schedule moves them.
+    ///
+    /// Returns `Err` on malformed parameters or a warm-start vector of the wrong length
+    /// or with out-of-range labels; never panics on bad input.
+    fn try_partition_from(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+        initial: &[i32],
+    ) -> Result<Vec<i32>, PartitionError>;
+}
+
+/// Check a warm-start part vector: one entry per vertex, each either [`UNASSIGNED`]
+/// (`-1`) or a valid part id. Shared by every [`WarmStartPartitioner`] implementation.
+pub fn validate_warm_start(
+    n: usize,
+    num_parts: usize,
+    initial: &[i32],
+) -> Result<(), PartitionError> {
+    if initial.len() != n {
+        return Err(PartitionError::InvalidWarmStart {
+            detail: format!("expected one entry per vertex ({n}), got {}", initial.len()),
+        });
+    }
+    for (v, &x) in initial.iter().enumerate() {
+        if x != UNASSIGNED && (x < 0 || x as usize >= num_parts) {
+            return Err(PartitionError::InvalidWarmStart {
+                detail: format!(
+                    "vertex {v} has part {x}, expected -1 (unassigned) or 0..{num_parts}"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Greedily assign every [`UNASSIGNED`] vertex of a serial part vector: majority part
+/// among already-assigned neighbours, with the smaller part winning ties, and the
+/// globally least-loaded part as the fallback for vertices with no assigned neighbour.
+/// Deterministic; earlier assignments in the sweep are visible to later vertices, so one
+/// ascending pass suffices even for chains of new vertices.
+pub fn greedy_seed_unassigned(csr: &Csr, parts: &mut [i32], num_parts: usize) {
+    let mut size_v = vec![0i64; num_parts];
+    for &x in parts.iter() {
+        if x != UNASSIGNED {
+            size_v[x as usize] += 1;
+        }
+    }
+    let mut scores = vec![0u64; num_parts];
+    for v in 0..csr.num_vertices() as u64 {
+        if parts[v as usize] != UNASSIGNED {
+            continue;
+        }
+        for s in scores.iter_mut() {
+            *s = 0;
+        }
+        let mut any = false;
+        for &u in csr.neighbors(v) {
+            let pu = parts[u as usize];
+            if pu != UNASSIGNED {
+                scores[pu as usize] += 1;
+                any = true;
+            }
+        }
+        let best = if any {
+            (0..num_parts)
+                .max_by_key(|&i| {
+                    (
+                        scores[i],
+                        std::cmp::Reverse(size_v[i]),
+                        std::cmp::Reverse(i),
+                    )
+                })
+                .unwrap()
+        } else {
+            (0..num_parts).min_by_key(|&i| (size_v[i], i)).unwrap()
+        };
+        parts[v as usize] = best as i32;
+        size_v[best] += 1;
     }
 }
 
@@ -266,6 +514,39 @@ impl Partitioner for XtraPulpPartitioner {
                 .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
                 .collect()
         });
+        assemble_gathered_parts(n, params.num_parts, per_rank)
+    }
+}
+
+impl WarmStartPartitioner for XtraPulpPartitioner {
+    fn try_partition_from(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+        initial: &[i32],
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        if self.nranks == 0 {
+            return Err(PartitionError::InvalidRanks { got: 0 });
+        }
+        validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
+        let n = csr.num_vertices();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let dist = self.distribution.clone();
+        let per_rank: Vec<Result<Vec<(u64, i32)>, PartitionError>> =
+            Runtime::run(self.nranks, |ctx| {
+                let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
+                let initial_owned: Vec<i32> = (0..graph.n_owned())
+                    .map(|v| initial[graph.global_id(v as LocalId) as usize])
+                    .collect();
+                let result = try_xtrapulp_partition_from(ctx, &graph, params, &initial_owned)?;
+                Ok((0..graph.n_owned())
+                    .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
+                    .collect())
+            });
+        let per_rank: Vec<Vec<(u64, i32)>> = per_rank.into_iter().collect::<Result<_, _>>()?;
         assemble_gathered_parts(n, params.num_parts, per_rank)
     }
 }
@@ -501,6 +782,145 @@ mod tests {
             assemble_gathered_parts(2, 4, vec![vec![(0, 0), (1, 4)]]),
             Err(PartitionError::CorruptGather { vertex: 1, part: 4 })
         );
+    }
+
+    #[test]
+    fn distributed_warm_start_matches_quality_with_fewer_sweeps() {
+        let csr = grid_csr(20, 20);
+        let edges: Vec<_> = csr.edges().collect();
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 17,
+            ..Default::default()
+        };
+        let out = Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 400, &edges);
+            let cold = xtrapulp_partition(ctx, &g, &params);
+            let warm = try_xtrapulp_partition_from(ctx, &g, &params, &cold.parts[..g.n_owned()])
+                .expect("valid warm start");
+            assert!(is_valid_partition(&warm.parts, 4));
+            (cold.quality, cold.lp_sweeps, warm.quality, warm.lp_sweeps)
+        });
+        let (cold_q, cold_sweeps, warm_q, warm_sweeps) = out[0];
+        assert!(
+            warm_sweeps < cold_sweeps,
+            "warm {warm_sweeps} should be fewer than cold {cold_sweeps}"
+        );
+        assert!(
+            warm_q.edge_cut as f64 <= cold_q.edge_cut as f64 * 1.05,
+            "warm cut {} vs cold {}",
+            warm_q.edge_cut,
+            cold_q.edge_cut
+        );
+        assert!(
+            warm_q.vertex_imbalance <= 1.30,
+            "warm imbalance {} (cold {})",
+            warm_q.vertex_imbalance,
+            cold_q.vertex_imbalance
+        );
+    }
+
+    #[test]
+    fn distributed_warm_start_fills_unassigned_and_is_rank_invariant() {
+        let csr = grid_csr(12, 12);
+        let edges: Vec<_> = csr.edges().collect();
+        let params = PartitionParams {
+            num_parts: 4,
+            warm_outer_iters: 0, // seed-only: the outcome is the greedy assignment
+            // Wide tolerances keep the lopsided seed inside the refine-only regime; a
+            // balance-violating seed would trigger the full-schedule fallback, which is
+            // legitimately rank-dependent.
+            vertex_imbalance: 1.0,
+            edge_imbalance: 1.0,
+            seed: 23,
+            ..Default::default()
+        };
+        // Block partition by rows, with one unassigned band in the middle.
+        let initial: Vec<i32> = (0..144)
+            .map(|v| match v / 36 {
+                1 => UNASSIGNED,
+                q => q,
+            })
+            .collect();
+        let run = |nranks: usize| {
+            let per_rank = Runtime::run(nranks, |ctx| {
+                let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 144, &edges);
+                let initial_owned: Vec<i32> = (0..g.n_owned())
+                    .map(|v| initial[g.global_id(v as LocalId) as usize])
+                    .collect();
+                let res = try_xtrapulp_partition_from(ctx, &g, &params, &initial_owned).unwrap();
+                (0..g.n_owned())
+                    .map(|v| (g.global_id(v as LocalId), res.parts[v]))
+                    .collect::<Vec<_>>()
+            });
+            assemble_gathered_parts(144, 4, per_rank).unwrap()
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(is_valid_partition(&one, 4));
+        assert_eq!(
+            one, three,
+            "warm seeding must be invariant to the rank count"
+        );
+        // Already-assigned vertices keep their seed part under a seed-only schedule.
+        for v in 0..144 {
+            if initial[v] != UNASSIGNED {
+                assert_eq!(one[v], initial[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_warm_start_rejects_bad_slices_collectively() {
+        let csr = grid_csr(8, 8);
+        let edges: Vec<_> = csr.edges().collect();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 64, &edges);
+            let params = PartitionParams::with_parts(4);
+            // Only rank 1's slice is malformed; every rank must still agree on Err.
+            let initial = if ctx.rank() == 1 {
+                vec![99i32; g.n_owned()]
+            } else {
+                vec![0i32; g.n_owned()]
+            };
+            try_xtrapulp_partition_from(ctx, &g, &params, &initial).is_err()
+        });
+        assert!(out.iter().all(|&e| e), "every rank must report the error");
+    }
+
+    #[test]
+    fn serial_warm_start_interface_matches_collective_path() {
+        let csr = grid_csr(16, 16);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let partitioner = XtraPulpPartitioner::new(2);
+        let cold = partitioner.partition(&csr, &params);
+        let warm = partitioner
+            .try_partition_from(&csr, &params, &cold)
+            .expect("valid warm start");
+        assert_eq!(warm.len(), 256);
+        assert!(is_valid_partition(&warm, 4));
+    }
+
+    #[test]
+    fn greedy_seed_and_validation_helpers() {
+        let csr = grid_csr(4, 4);
+        // Fully unassigned: the fallback spreads vertices over the least-loaded parts.
+        let mut parts = vec![UNASSIGNED; 16];
+        greedy_seed_unassigned(&csr, &mut parts, 4);
+        assert!(is_valid_partition(&parts, 4));
+        // Validation accepts -1 entries and rejects out-of-range ones.
+        assert!(validate_warm_start(16, 4, &parts).is_ok());
+        assert!(validate_warm_start(16, 4, &[UNASSIGNED; 16]).is_ok());
+        assert!(validate_warm_start(15, 4, &parts).is_err());
+        let mut bad = parts.clone();
+        bad[0] = 4;
+        assert!(validate_warm_start(16, 4, &bad).is_err());
+        bad[0] = -2;
+        assert!(validate_warm_start(16, 4, &bad).is_err());
     }
 
     #[test]

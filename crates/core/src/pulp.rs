@@ -14,7 +14,14 @@ use xtrapulp_graph::{Csr, GlobalId, UNASSIGNED};
 
 use crate::error::PartitionError;
 use crate::params::{InitStrategy, PartitionParams};
-use crate::partitioner::Partitioner;
+use crate::partitioner::{
+    greedy_seed_unassigned, validate_warm_start, Partitioner, WarmStartPartitioner,
+};
+
+/// Slack applied to the balance targets when deciding whether a warm start needs the
+/// balance stages at all: within this factor, the seed counts as balanced (see
+/// `pulp_run` and the distributed equivalent in `partitioner.rs`).
+pub(crate) const WARM_BALANCE_SLACK: f64 = 1.02;
 
 /// The shared-memory PuLP partitioner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,6 +38,17 @@ impl Partitioner for PulpPartitioner {
         params: &PartitionParams,
     ) -> Result<Vec<i32>, PartitionError> {
         try_pulp_partition(csr, params)
+    }
+}
+
+impl WarmStartPartitioner for PulpPartitioner {
+    fn try_partition_from(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+        initial: &[i32],
+    ) -> Result<Vec<i32>, PartitionError> {
+        try_pulp_partition_from(csr, params, initial)
     }
 }
 
@@ -54,32 +72,115 @@ pub fn pulp_partition(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
     }
 }
 
+/// Run the PuLP-MM algorithm warm-started from a previous part vector, e.g. the result
+/// of the last epoch on a graph that has since mutated.
+///
+/// `initial[v]` is the seed part of vertex `v`, or [`UNASSIGNED`] (`-1`) for vertices
+/// that have no prior assignment (newly added ones); those are assigned greedily to the
+/// majority part among their already-assigned neighbours (least-loaded part as the tie
+/// break and fallback). The balance/refine stages then run a short schedule of
+/// [`PartitionParams::warm_outer_iters`] outer rounds instead of the from-scratch
+/// `outer_iters`.
+pub fn try_pulp_partition_from(
+    csr: &Csr,
+    params: &PartitionParams,
+    initial: &[i32],
+) -> Result<Vec<i32>, PartitionError> {
+    try_pulp_partition_from_with_sweeps(csr, params, initial).map(|(parts, _)| parts)
+}
+
+/// [`try_pulp_partition_from`] variant that also reports the number of
+/// label-propagation sweeps executed, for warm-vs-cold accounting.
+pub fn try_pulp_partition_from_with_sweeps(
+    csr: &Csr,
+    params: &PartitionParams,
+    initial: &[i32],
+) -> Result<(Vec<i32>, u64), PartitionError> {
+    params.validate()?;
+    validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
+    Ok(pulp_run(csr, params, Some(initial)))
+}
+
+/// [`try_pulp_partition`] variant that also reports the number of label-propagation
+/// sweeps executed.
+pub fn try_pulp_partition_with_sweeps(
+    csr: &Csr,
+    params: &PartitionParams,
+) -> Result<(Vec<i32>, u64), PartitionError> {
+    params.validate()?;
+    Ok(pulp_run(csr, params, None))
+}
+
 /// The algorithm body; `params` must already be validated.
 fn pulp_partition_validated(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
+    pulp_run(csr, params, None).0
+}
+
+/// Shared cold/warm driver; returns the part vector and the number of
+/// label-propagation sweeps executed (refinement sweeps stop early on convergence, so
+/// this is a measurement, not a schedule). `initial`, when given, must already be
+/// validated by [`validate_warm_start`].
+fn pulp_run(csr: &Csr, params: &PartitionParams, initial: Option<&[i32]>) -> (Vec<i32>, u64) {
     let n = csr.num_vertices() as u64;
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), 0);
     }
     let p = params.num_parts;
     if p == 1 {
-        return vec![0; n as usize];
+        return (vec![0; n as usize], 0);
     }
 
-    let mut parts = init(csr, params);
+    // Warm runs come in two regimes. When the seeded partition already satisfies both
+    // balance constraints (the common case after a small delta), the balance passes are
+    // skipped entirely: they move vertices aggressively by design (refinement is what
+    // cleans up after them), so running them on an already-balanced seed would churn
+    // labels — and migrate vertices — for nothing; only `warm_outer_iters` rounds of
+    // refinement run. When a delta *did* push a part meaningfully past its target, the
+    // warm run falls back to the full cold stage schedule (balance needs several
+    // balance/refine rounds to converge; a single round overshoots), still skipping
+    // initialisation. The check carries a small slack because a converged run routinely
+    // lands within rounding of the fractional target (e.g. 221 vertices against a
+    // target of 220.0), which is noise, not imbalance.
+    let (mut parts, outer, balance) = match initial {
+        None => (init(csr, params), params.outer_iters, true),
+        Some(initial) => {
+            let mut parts = initial.to_vec();
+            greedy_seed_unassigned(csr, &mut parts, p);
+            let imb_v = params.target_max_vertices(n) * WARM_BALANCE_SLACK;
+            let imb_e = params.target_max_arcs(csr.num_arcs()) * WARM_BALANCE_SLACK;
+            let needs_balance = part_vertex_counts(&parts, p)
+                .iter()
+                .any(|&s| s as f64 > imb_v)
+                || part_arc_counts(csr, &parts, p)
+                    .iter()
+                    .any(|&s| s as f64 > imb_e);
+            let outer = if needs_balance {
+                params.outer_iters
+            } else {
+                params.warm_outer_iters
+            };
+            (parts, outer, needs_balance)
+        }
+    };
 
+    let mut sweeps = 0u64;
     // Stage 1: vertex balance + refinement.
-    for _ in 0..params.outer_iters {
-        vertex_balance(csr, &mut parts, params);
-        vertex_refine(csr, &mut parts, params);
+    for _ in 0..outer {
+        if balance {
+            sweeps += vertex_balance(csr, &mut parts, params);
+        }
+        sweeps += vertex_refine(csr, &mut parts, params);
     }
     // Stage 2: edge balance + refinement.
     if params.edge_balance_stage {
-        for _ in 0..params.outer_iters {
-            edge_balance(csr, &mut parts, params);
-            edge_refine(csr, &mut parts, params);
+        for _ in 0..outer {
+            if balance {
+                sweeps += edge_balance(csr, &mut parts, params);
+            }
+            sweeps += edge_refine(csr, &mut parts, params);
         }
     }
-    parts
+    (parts, sweeps)
 }
 
 fn init(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
@@ -162,13 +263,15 @@ fn part_cut_counts(csr: &Csr, parts: &[i32], p: usize) -> Vec<i64> {
     counts
 }
 
-fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
     let p = params.num_parts;
     let n = csr.num_vertices() as u64;
     let imb_v = params.target_max_vertices(n);
     let mut size_v = part_vertex_counts(parts, p);
     let mut scores = vec![0.0f64; p];
+    let mut sweeps = 0u64;
     for _ in 0..params.balance_iters {
+        sweeps += 1;
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         for v in 0..n {
             let x = parts[v as usize] as usize;
@@ -198,15 +301,18 @@ fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
             }
         }
     }
+    sweeps
 }
 
-fn vertex_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+fn vertex_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
     let p = params.num_parts;
     let n = csr.num_vertices() as u64;
     let imb_v = params.target_max_vertices(n);
     let mut size_v = part_vertex_counts(parts, p);
     let mut scores = vec![0.0f64; p];
+    let mut sweeps = 0u64;
     for _ in 0..params.refine_iters {
+        sweeps += 1;
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let mut moved = 0u64;
         for v in 0..n {
@@ -239,9 +345,10 @@ fn vertex_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
             break;
         }
     }
+    sweeps
 }
 
-fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
     let p = params.num_parts;
     let n = csr.num_vertices() as u64;
     let imb_v = params.target_max_vertices(n);
@@ -252,7 +359,9 @@ fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
     let mut scores = vec![0.0f64; p];
     let mut r_e = 1.0f64;
     let mut r_c = 1.0f64;
+    let mut sweeps = 0u64;
     for _ in 0..params.balance_iters {
+        sweeps += 1;
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
         let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
@@ -297,9 +406,10 @@ fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
             }
         }
     }
+    sweeps
 }
 
-fn edge_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
+fn edge_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
     let p = params.num_parts;
     let n = csr.num_vertices() as u64;
     let imb_v = params.target_max_vertices(n);
@@ -308,7 +418,9 @@ fn edge_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
     let mut size_e = part_arc_counts(csr, parts, p);
     let mut size_c = part_cut_counts(csr, parts, p);
     let mut scores = vec![0.0f64; p];
+    let mut sweeps = 0u64;
     for _ in 0..params.refine_iters {
+        sweeps += 1;
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
         let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
@@ -354,6 +466,7 @@ fn edge_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) {
             break;
         }
     }
+    sweeps
 }
 
 #[cfg(test)]
@@ -453,6 +566,90 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(pulp_partition(&csr, &params), pulp_partition(&csr, &params));
+    }
+
+    #[test]
+    fn warm_start_from_own_result_preserves_quality_with_fewer_sweeps() {
+        let csr = grid_csr(20, 20);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 5,
+            ..Default::default()
+        };
+        let (cold, cold_sweeps) = try_pulp_partition_with_sweeps(&csr, &params).unwrap();
+        let cold_q = PartitionQuality::evaluate(&csr, &cold, 4);
+        let (warm, warm_sweeps) =
+            try_pulp_partition_from_with_sweeps(&csr, &params, &cold).unwrap();
+        let warm_q = PartitionQuality::evaluate(&csr, &warm, 4);
+        assert!(is_valid_partition(&warm, 4));
+        assert!(
+            warm_sweeps < cold_sweeps,
+            "warm {warm_sweeps} sweeps should be fewer than cold {cold_sweeps}"
+        );
+        // Refining an already-good partition must not blow up the cut or the balance.
+        assert!(
+            warm_q.edge_cut as f64 <= cold_q.edge_cut as f64 * 1.05,
+            "warm cut {} vs cold cut {}",
+            warm_q.edge_cut,
+            cold_q.edge_cut
+        );
+        assert!(warm_q.vertex_imbalance <= 1.25);
+    }
+
+    #[test]
+    fn warm_start_assigns_unassigned_vertices_greedily() {
+        let csr = grid_csr(8, 8);
+        let params = PartitionParams {
+            num_parts: 2,
+            warm_outer_iters: 0, // seed-only: isolates the greedy assignment
+            seed: 1,
+            ..Default::default()
+        };
+        // Left half part 0, right half part 1, two unassigned interior vertices.
+        let mut initial: Vec<i32> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        initial[9] = UNASSIGNED; // column 1: all neighbours in part 0
+        initial[14] = UNASSIGNED; // column 6: all neighbours in part 1
+        let parts = try_pulp_partition_from(&csr, &params, &initial).unwrap();
+        assert_eq!(parts[9], 0, "majority of assigned neighbours is part 0");
+        assert_eq!(parts[14], 1, "majority of assigned neighbours is part 1");
+        // Everything already assigned stays put under a seed-only schedule.
+        for v in 0..64 {
+            if initial[v] != UNASSIGNED {
+                assert_eq!(parts[v], initial[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_vectors() {
+        let csr = grid_csr(4, 4);
+        let params = PartitionParams::with_parts(2);
+        assert!(matches!(
+            try_pulp_partition_from(&csr, &params, &[0; 3]),
+            Err(crate::error::PartitionError::InvalidWarmStart { .. })
+        ));
+        let mut bad = vec![0i32; 16];
+        bad[7] = 5; // out of range for 2 parts
+        assert!(matches!(
+            try_pulp_partition_from(&csr, &params, &bad),
+            Err(crate::error::PartitionError::InvalidWarmStart { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let csr = grid_csr(12, 12);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut initial = pulp_partition(&csr, &params);
+        initial[5] = UNASSIGNED;
+        initial[77] = UNASSIGNED;
+        let a = try_pulp_partition_from(&csr, &params, &initial).unwrap();
+        let b = try_pulp_partition_from(&csr, &params, &initial).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! The mutable graph: a [`Csr`] plus an epoch counter, advanced by validated update
+//! batches.
+
+use xtrapulp_graph::{Csr, GlobalId, GraphDelta, UNASSIGNED};
+
+use crate::update::{UpdateBatch, UpdateError};
+
+/// What one applied batch did to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// The epoch the graph is at after the batch (epoch 0 is the initial graph).
+    pub epoch: u64,
+    /// Vertices appended by the batch.
+    pub vertices_added: u64,
+    /// Undirected edges inserted.
+    pub edges_inserted: u64,
+    /// Undirected edges deleted.
+    pub edges_deleted: u64,
+    /// Pre-existing vertices incident to an inserted or deleted edge — the set a
+    /// warm-started repartition revisits.
+    pub vertices_touched: u64,
+}
+
+/// A graph that evolves through validated update batches.
+///
+/// `DynamicGraph` owns the authoritative [`Csr`] and an epoch counter. Each
+/// [`apply`](DynamicGraph::apply) validates the batch *against the live topology* —
+/// inserting an existing edge and deleting a missing one are typed errors, not silent
+/// no-ops — then rebuilds the CSR incrementally via
+/// [`Csr::apply_delta`] and bumps the epoch. A rejected batch leaves the graph
+/// untouched.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    csr: Csr,
+    epoch: u64,
+}
+
+impl DynamicGraph {
+    /// Wrap an initial graph at epoch 0.
+    pub fn new(csr: Csr) -> DynamicGraph {
+        DynamicGraph { csr, epoch: 0 }
+    }
+
+    /// The current topology.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of batches applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Current undirected edge count.
+    pub fn num_edges(&self) -> u64 {
+        self.csr.num_edges()
+    }
+
+    /// Validate a batch against the live topology and compile it to a [`GraphDelta`]
+    /// without applying it. Used by serving layers that must update derived state (e.g.
+    /// per-rank distributed graphs) from the same delta they apply here.
+    pub fn validate(&self, batch: &UpdateBatch) -> Result<GraphDelta, UpdateError> {
+        let delta = batch.compile(self.csr.num_vertices() as u64)?;
+        // The compile step guarantees endpoints are in range; check edge existence
+        // against the CSR (rows are sorted, so membership is a binary search).
+        let has_edge = |u: GlobalId, v: GlobalId| -> bool {
+            u < self.csr.num_vertices() as u64 && self.csr.neighbors(u).binary_search(&v).is_ok()
+        };
+        for &(u, v) in delta.insert_arcs() {
+            if u < v && has_edge(u, v) {
+                return Err(UpdateError::EdgeAlreadyExists { u, v });
+            }
+        }
+        for &(u, v) in delta.delete_arcs() {
+            if u < v && !has_edge(u, v) {
+                return Err(UpdateError::MissingEdge { u, v });
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Validate and apply one batch, advancing the epoch.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<UpdateSummary, UpdateError> {
+        let delta = self.validate(batch)?;
+        Ok(self.apply_validated(&delta))
+    }
+
+    /// Apply an already-validated delta (from [`validate`](DynamicGraph::validate)),
+    /// advancing the epoch.
+    pub fn apply_validated(&mut self, delta: &GraphDelta) -> UpdateSummary {
+        let base_n = self.csr.num_vertices() as u64;
+        let touched = delta
+            .touched_vertices()
+            .iter()
+            .filter(|&&v| v < base_n)
+            .count() as u64;
+        self.csr = self.csr.apply_delta(delta);
+        self.epoch += 1;
+        UpdateSummary {
+            epoch: self.epoch,
+            vertices_added: delta.added_vertices(),
+            edges_inserted: delta.num_insert_edges(),
+            edges_deleted: delta.num_delete_edges(),
+            vertices_touched: touched,
+        }
+    }
+}
+
+/// Extend the previous epoch's part vector to cover a delta's new vertices, marking them
+/// [`UNASSIGNED`] so a warm-started partitioner assigns them greedily.
+pub fn seed_from_previous(previous: &[i32], delta: &GraphDelta) -> Vec<i32> {
+    let mut seed = previous.to_vec();
+    seed.resize(delta.new_n() as usize, UNASSIGNED);
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp_graph::csr_from_edges;
+
+    fn two_triangles() -> Csr {
+        csr_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn apply_advances_epoch_and_topology() {
+        let mut g = DynamicGraph::new(two_triangles());
+        assert_eq!(g.epoch(), 0);
+        let mut batch = UpdateBatch::new();
+        batch.delete_edge(2, 3).add_vertices(1).insert_edge(6, 0);
+        let summary = g.apply(&batch).unwrap();
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(summary.vertices_added, 1);
+        assert_eq!(summary.edges_inserted, 1);
+        assert_eq!(summary.edges_deleted, 1);
+        // Touched pre-existing vertices: 2 and 3 (deleted edge) and 0 (new edge); vertex
+        // 6 is new, not "touched".
+        assert_eq!(summary.vertices_touched, 3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.epoch(), 1);
+    }
+
+    #[test]
+    fn deleting_a_nonexistent_edge_is_a_typed_error_and_leaves_the_graph_untouched() {
+        let mut g = DynamicGraph::new(two_triangles());
+        let before = g.csr().clone();
+        let mut batch = UpdateBatch::new();
+        batch.delete_edge(0, 5);
+        assert_eq!(
+            g.apply(&batch),
+            Err(UpdateError::MissingEdge { u: 0, v: 5 })
+        );
+        assert_eq!(g.csr(), &before);
+        assert_eq!(g.epoch(), 0);
+    }
+
+    #[test]
+    fn inserting_an_existing_edge_is_a_typed_error() {
+        let mut g = DynamicGraph::new(two_triangles());
+        let mut batch = UpdateBatch::new();
+        batch.insert_edge(1, 0);
+        assert_eq!(
+            g.apply(&batch),
+            Err(UpdateError::EdgeAlreadyExists { u: 0, v: 1 })
+        );
+    }
+
+    #[test]
+    fn vertex_additions_grow_the_graph_with_isolated_vertices() {
+        let mut g = DynamicGraph::new(two_triangles());
+        let mut batch = UpdateBatch::new();
+        batch.add_vertices(3);
+        let summary = g.apply(&batch).unwrap();
+        assert_eq!(summary.vertices_added, 3);
+        assert_eq!(summary.vertices_touched, 0);
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 7);
+        for v in 6..9 {
+            assert_eq!(g.csr().degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn batches_chain_across_epochs() {
+        let mut g = DynamicGraph::new(two_triangles());
+        let mut b1 = UpdateBatch::new();
+        b1.add_vertices(1).insert_edge(6, 2).insert_edge(6, 3);
+        g.apply(&b1).unwrap();
+        let mut b2 = UpdateBatch::new();
+        b2.delete_edge(6, 2);
+        g.apply(&b2).unwrap();
+        assert_eq!(g.epoch(), 2);
+        assert_eq!(g.csr().neighbors(6), &[3]);
+    }
+
+    #[test]
+    fn seed_from_previous_marks_new_vertices_unassigned() {
+        let g = DynamicGraph::new(two_triangles());
+        let delta = {
+            let mut b = UpdateBatch::new();
+            b.add_vertices(2).insert_edge(6, 0);
+            g.validate(&b).unwrap()
+        };
+        let seed = seed_from_previous(&[0, 0, 0, 1, 1, 1], &delta);
+        assert_eq!(seed, vec![0, 0, 0, 1, 1, 1, UNASSIGNED, UNASSIGNED]);
+    }
+}

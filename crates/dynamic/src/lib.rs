@@ -1,0 +1,152 @@
+//! # xtrapulp-dynamic
+//!
+//! The dynamic-graph subsystem: graphs that mutate between partitioning requests, and
+//! repartitioning that is *incremental* instead of from-scratch.
+//!
+//! Label propagation — the core of XtraPuLP and PuLP — can be warm-started from any part
+//! vector, so a graph that changed slightly should not pay a full repartition: seed the
+//! labels from the previous epoch, assign only the new vertices greedily, and run a
+//! short refinement schedule (`PartitionParams::warm_outer_iters` outer rounds instead
+//! of `outer_iters`). This crate provides the pieces around that property:
+//!
+//! * [`UpdateBatch`] — a validated, deduplicated batch of mutations (edge insertions and
+//!   deletions, vertex additions) with typed [`UpdateError`]s for self loops,
+//!   out-of-range endpoints, insert/delete conflicts, duplicate inserts against the live
+//!   graph and deletions of missing edges.
+//! * [`DynamicGraph`] — the mutable graph: an epoch counter over a
+//!   [`Csr`](xtrapulp_graph::Csr) rebuilt incrementally through
+//!   [`Csr::apply_delta`](xtrapulp_graph::Csr::apply_delta) (the distributed equivalent
+//!   is [`DistGraph::apply_delta`](xtrapulp_graph::DistGraph::apply_delta)).
+//! * [`seed_from_previous`] — extend the previous epoch's part vector over a delta's new
+//!   vertices with [`UNASSIGNED`](xtrapulp_graph::UNASSIGNED) markers, ready for any
+//!   [`WarmStartPartitioner`](xtrapulp::WarmStartPartitioner)
+//!   (`try_pulp_partition_from`, `try_xtrapulp_partition_from`, or the multilevel
+//!   refine-only drivers).
+//!
+//! The serving layer over this crate is `xtrapulp_api::DynamicSession`
+//! (apply → repartition → report); `xtrapulp_gen::updates` generates realistic
+//! timestamped mutation traces for benches and tests.
+//!
+//! ```
+//! use xtrapulp::{try_pulp_partition, try_pulp_partition_from, PartitionParams};
+//! use xtrapulp_dynamic::{seed_from_previous, DynamicGraph, UpdateBatch};
+//! use xtrapulp_gen::{GraphConfig, GraphKind};
+//!
+//! let csr = GraphConfig::new(GraphKind::Rmat { scale: 10, edge_factor: 8 }, 42)
+//!     .generate()
+//!     .to_csr();
+//! let params = PartitionParams::with_parts(8);
+//! let mut graph = DynamicGraph::new(csr);
+//! let mut parts = try_pulp_partition(graph.csr(), &params).unwrap();
+//!
+//! // The graph mutates: one new vertex, two new edges.
+//! let mut batch = UpdateBatch::new();
+//! batch.add_vertices(1);
+//! let v = graph.num_vertices() as u64;
+//! batch.insert_edge(v, 0).insert_edge(v, 1);
+//! let delta = graph.validate(&batch).unwrap();
+//! graph.apply_validated(&delta);
+//!
+//! // Warm-start repartition: previous labels seed the run, the new vertex is assigned
+//! // greedily, and only a short refinement schedule runs.
+//! let seed = seed_from_previous(&parts, &delta);
+//! parts = try_pulp_partition_from(graph.csr(), &params, &seed).unwrap();
+//! assert_eq!(parts.len(), graph.num_vertices());
+//! ```
+
+mod dynamic_graph;
+mod update;
+
+pub use dynamic_graph::{seed_from_previous, DynamicGraph, UpdateSummary};
+pub use update::{UpdateBatch, UpdateError};
+
+// Re-exported so callers of this crate can name the graph-layer delta types without an
+// extra dependency edge.
+pub use xtrapulp_graph::{GraphDelta, UpdateOp};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrapulp::metrics::PartitionQuality;
+    use xtrapulp::{try_pulp_partition, try_pulp_partition_from, PartitionParams};
+    use xtrapulp_gen::{GraphConfig, GraphKind};
+
+    fn social_graph() -> xtrapulp_graph::Csr {
+        GraphConfig::new(
+            GraphKind::BarabasiAlbert {
+                num_vertices: 1500,
+                edges_per_vertex: 6,
+            },
+            9,
+        )
+        .generate()
+        .to_csr()
+    }
+
+    #[test]
+    fn warm_start_from_empty_delta_reproduces_cold_quality_envelope() {
+        // The acceptance parity check: warm-starting from a trivial (empty-delta) update
+        // must land in the from-scratch cut-quality envelope.
+        let csr = social_graph();
+        let params = PartitionParams {
+            num_parts: 8,
+            seed: 4,
+            ..Default::default()
+        };
+        let cold = try_pulp_partition(&csr, &params).unwrap();
+        let cold_q = PartitionQuality::evaluate(&csr, &cold, 8);
+
+        let mut graph = DynamicGraph::new(csr.clone());
+        let delta = graph.validate(&UpdateBatch::new()).unwrap();
+        assert!(delta.is_empty());
+        graph.apply_validated(&delta);
+        let warm =
+            try_pulp_partition_from(graph.csr(), &params, &seed_from_previous(&cold, &delta))
+                .unwrap();
+        let warm_q = PartitionQuality::evaluate(graph.csr(), &warm, 8);
+
+        assert!(
+            warm_q.edge_cut as f64 <= cold_q.edge_cut as f64 * 1.05,
+            "warm cut {} must stay within 5% of cold cut {}",
+            warm_q.edge_cut,
+            cold_q.edge_cut
+        );
+        assert!(
+            warm_q.vertex_imbalance <= (1.0 + params.vertex_imbalance) * 1.02,
+            "warm imbalance {} must respect the configured tolerance",
+            warm_q.vertex_imbalance
+        );
+    }
+
+    #[test]
+    fn warm_start_results_are_deterministic_across_repeated_runs() {
+        let csr = social_graph();
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 21,
+            ..Default::default()
+        };
+        let cold = try_pulp_partition(&csr, &params).unwrap();
+
+        let run = || {
+            let mut graph = DynamicGraph::new(csr.clone());
+            let mut batch = UpdateBatch::new();
+            batch.add_vertices(2);
+            let n = csr.num_vertices() as u64;
+            batch
+                .insert_edge(n, 0)
+                .insert_edge(n, 17)
+                .insert_edge(n + 1, n)
+                .delete_edge(0, 1);
+            let delta = graph.validate(&batch).unwrap();
+            graph.apply_validated(&delta);
+            try_pulp_partition_from(graph.csr(), &params, &seed_from_previous(&cold, &delta))
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        let c = run();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -24,6 +24,8 @@
 //!   for WDC12 and the uk-* crawls).
 //! * [`presets`] — named, scaled-down stand-ins for each row of Table I and for the Blue
 //!   Waters strong/weak-scaling graphs.
+//! * [`updates`] — timestamped update-stream generation (preferential-attachment growth
+//!   and random churn) for the dynamic-graph benches and tests.
 
 pub mod ba;
 pub mod erdos_renyi;
@@ -32,9 +34,11 @@ pub mod presets;
 pub mod rand_hd;
 pub mod rmat;
 pub mod smallworld;
+pub mod updates;
 pub mod webcrawl;
 
 pub use presets::{GraphClass, GraphConfig, GraphKind, TableIPreset};
+pub use updates::{generate_stream, StreamKind, TimedOp, UpdateStream, UpdateStreamConfig};
 
 use xtrapulp_graph::GlobalId;
 

@@ -110,6 +110,46 @@ impl Csr {
             self.adjacency.len() as f64 / self.num_vertices() as f64
         }
     }
+
+    /// Apply a [`GraphDelta`](crate::delta::GraphDelta), producing the updated graph.
+    ///
+    /// Each vertex's sorted adjacency row is merged with the delta's sorted insert and
+    /// delete rows in one linear pass — `O(arcs + delta)` — instead of rebuilding from
+    /// the full edge list (which would re-sort all `2m` arcs). Inserting an edge that
+    /// already exists and deleting one that does not are both no-ops, matching the
+    /// forgiving [`CsrBuilder`] semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta was normalised against a different vertex count.
+    pub fn apply_delta(&self, delta: &crate::delta::GraphDelta) -> Csr {
+        assert_eq!(
+            delta.base_n(),
+            self.num_vertices() as u64,
+            "delta was built against a graph with {} vertices, this graph has {}",
+            delta.base_n(),
+            self.num_vertices()
+        );
+        let new_n = delta.new_n();
+        let mut offsets = Vec::with_capacity(new_n as usize + 1);
+        offsets.push(0u64);
+        let mut adjacency = Vec::with_capacity(self.adjacency.len() + delta.insert_arcs().len());
+        for u in 0..new_n {
+            let old: &[GlobalId] = if u < self.num_vertices() as u64 {
+                self.neighbors(u)
+            } else {
+                &[]
+            };
+            crate::delta::merge_row(
+                old.iter().copied(),
+                delta.inserts_from(u),
+                delta.deletes_from(u),
+                &mut adjacency,
+            );
+            offsets.push(adjacency.len() as u64);
+        }
+        Csr { offsets, adjacency }
+    }
 }
 
 /// Builder assembling a [`Csr`] from an arbitrary edge list.
@@ -297,6 +337,42 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn from_parts_rejects_bad_adjacency() {
         Csr::from_parts(vec![0, 1], vec![7]);
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_from_scratch() {
+        use crate::delta::GraphDelta;
+        let g = csr_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        // Delete two edges, insert two (one to a new vertex), grow by two vertices.
+        let delta = GraphDelta::new(6, 2, &[(0, 3), (6, 1)], &[(1, 2), (4, 5)]);
+        let updated = g.apply_delta(&delta);
+        let expected = csr_from_edges(8, &[(0, 1), (2, 3), (3, 4), (5, 0), (0, 3), (6, 1)]);
+        assert_eq!(updated, expected);
+        assert_eq!(updated.num_vertices(), 8);
+        assert_eq!(updated.degree(7), 0); // second added vertex is isolated
+    }
+
+    #[test]
+    fn apply_delta_is_forgiving_about_duplicates_and_missing_edges() {
+        use crate::delta::GraphDelta;
+        let g = path_graph(4);
+        // Insert an existing edge, delete a non-existent one: both are no-ops.
+        let delta = GraphDelta::new(4, 0, &[(0, 1)], &[(0, 3)]);
+        assert_eq!(g.apply_delta(&delta), g);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        use crate::delta::GraphDelta;
+        let g = path_graph(5);
+        assert_eq!(g.apply_delta(&GraphDelta::new(5, 0, &[], &[])), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta was built against")]
+    fn apply_delta_rejects_mismatched_base() {
+        use crate::delta::GraphDelta;
+        path_graph(5).apply_delta(&GraphDelta::new(4, 0, &[], &[]));
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Graph mutation deltas.
+//!
+//! A [`GraphDelta`] is the normalised form of one batch of graph mutations: edge
+//! insertions, edge deletions and vertex additions, symmetrised into directed arcs and
+//! sorted so the rebuild paths ([`Csr::apply_delta`](crate::Csr::apply_delta),
+//! [`DistGraph::apply_delta`](crate::DistGraph::apply_delta)) can merge them against the
+//! existing adjacency in one linear pass instead of re-sorting the whole edge list.
+//!
+//! The delta layer is deliberately forgiving, mirroring [`CsrBuilder`](crate::CsrBuilder):
+//! self loops and out-of-range endpoints are dropped during normalisation, duplicate
+//! operations collapse, and an edge both inserted and deleted in the same batch resolves
+//! to the deletion. Strict, typed validation of user-submitted update batches lives one
+//! layer up, in `xtrapulp-dynamic`.
+
+use crate::GlobalId;
+
+/// One raw graph mutation, as produced by update-stream generators and user batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// Insert the undirected edge `{u, v}` (a no-op if it already exists).
+    InsertEdge(GlobalId, GlobalId),
+    /// Delete the undirected edge `{u, v}` (a no-op if it does not exist).
+    DeleteEdge(GlobalId, GlobalId),
+    /// Append `count` new isolated vertices (ids `n..n + count`).
+    AddVertices(u64),
+}
+
+/// A normalised batch of graph mutations against a graph with `base_n` vertices.
+///
+/// Insert and delete arcs are stored symmetrised (both directions), sorted by
+/// `(source, target)` and deduplicated, which is exactly the order the CSR rebuild
+/// consumes them in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDelta {
+    base_n: u64,
+    added_vertices: u64,
+    insert_arcs: Vec<(GlobalId, GlobalId)>,
+    delete_arcs: Vec<(GlobalId, GlobalId)>,
+}
+
+impl GraphDelta {
+    /// Normalise raw insert/delete edge lists into a delta against a graph with `base_n`
+    /// vertices, growing it by `added_vertices`.
+    ///
+    /// Self loops and edges with an endpoint outside `0..base_n + added_vertices` are
+    /// dropped; duplicates collapse; an edge present in both lists resolves to the
+    /// deletion (the batch's net effect is "edge absent").
+    pub fn new(
+        base_n: u64,
+        added_vertices: u64,
+        insert_edges: &[(GlobalId, GlobalId)],
+        delete_edges: &[(GlobalId, GlobalId)],
+    ) -> GraphDelta {
+        let new_n = base_n + added_vertices;
+        let symmetrise = |edges: &[(GlobalId, GlobalId)]| -> Vec<(GlobalId, GlobalId)> {
+            let mut arcs = Vec::with_capacity(edges.len() * 2);
+            for &(u, v) in edges {
+                if u == v || u >= new_n || v >= new_n {
+                    continue;
+                }
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+            arcs.sort_unstable();
+            arcs.dedup();
+            arcs
+        };
+        let delete_arcs = symmetrise(delete_edges);
+        let mut insert_arcs = symmetrise(insert_edges);
+        insert_arcs.retain(|arc| delete_arcs.binary_search(arc).is_err());
+        GraphDelta {
+            base_n,
+            added_vertices,
+            insert_arcs,
+            delete_arcs,
+        }
+    }
+
+    /// Build a delta directly from a mixed op stream (insertions, deletions, vertex
+    /// additions), e.g. one batch of a generated update stream.
+    pub fn from_ops(base_n: u64, ops: impl IntoIterator<Item = UpdateOp>) -> GraphDelta {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        let mut added = 0u64;
+        for op in ops {
+            match op {
+                UpdateOp::InsertEdge(u, v) => inserts.push((u, v)),
+                UpdateOp::DeleteEdge(u, v) => deletes.push((u, v)),
+                UpdateOp::AddVertices(count) => added += count,
+            }
+        }
+        GraphDelta::new(base_n, added, &inserts, &deletes)
+    }
+
+    /// Vertex count of the graph the delta applies to.
+    pub fn base_n(&self) -> u64 {
+        self.base_n
+    }
+
+    /// Vertex count after application.
+    pub fn new_n(&self) -> u64 {
+        self.base_n + self.added_vertices
+    }
+
+    /// Number of vertices the delta appends.
+    pub fn added_vertices(&self) -> u64 {
+        self.added_vertices
+    }
+
+    /// The symmetrised, sorted insertion arcs (each inserted edge appears twice).
+    pub fn insert_arcs(&self) -> &[(GlobalId, GlobalId)] {
+        &self.insert_arcs
+    }
+
+    /// The symmetrised, sorted deletion arcs (each deleted edge appears twice).
+    pub fn delete_arcs(&self) -> &[(GlobalId, GlobalId)] {
+        &self.delete_arcs
+    }
+
+    /// Number of undirected edges the delta inserts.
+    pub fn num_insert_edges(&self) -> u64 {
+        self.insert_arcs.len() as u64 / 2
+    }
+
+    /// Number of undirected edges the delta deletes (whether or not they exist).
+    pub fn num_delete_edges(&self) -> u64 {
+        self.delete_arcs.len() as u64 / 2
+    }
+
+    /// True when applying the delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added_vertices == 0 && self.insert_arcs.is_empty() && self.delete_arcs.is_empty()
+    }
+
+    /// Is the arc `u -> v` scheduled for deletion?
+    pub fn is_deleted(&self, u: GlobalId, v: GlobalId) -> bool {
+        self.delete_arcs.binary_search(&(u, v)).is_ok()
+    }
+
+    /// The insertion arcs whose source is `u`, as a sorted sub-slice.
+    pub fn inserts_from(&self, u: GlobalId) -> &[(GlobalId, GlobalId)] {
+        arcs_from(&self.insert_arcs, u)
+    }
+
+    /// The deletion arcs whose source is `u`, as a sorted sub-slice.
+    pub fn deletes_from(&self, u: GlobalId) -> &[(GlobalId, GlobalId)] {
+        arcs_from(&self.delete_arcs, u)
+    }
+
+    /// Global ids of every vertex incident to an inserted or deleted arc — the "affected"
+    /// set a warm-started repartition revisits. Sorted and deduplicated.
+    pub fn touched_vertices(&self) -> Vec<GlobalId> {
+        let mut touched: Vec<GlobalId> = self
+            .insert_arcs
+            .iter()
+            .chain(self.delete_arcs.iter())
+            .map(|&(u, _)| u)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+}
+
+/// The contiguous sub-slice of sorted `(source, target)` arcs whose source is `u`.
+fn arcs_from(arcs: &[(GlobalId, GlobalId)], u: GlobalId) -> &[(GlobalId, GlobalId)] {
+    let start = arcs.partition_point(|&(a, _)| a < u);
+    let end = arcs.partition_point(|&(a, _)| a <= u);
+    &arcs[start..end]
+}
+
+/// Merge one vertex's sorted old adjacency row with the delta's sorted insert/delete
+/// rows, appending the surviving neighbours to `out`. Shared by the [`Csr`](crate::Csr)
+/// and [`DistGraph`](crate::DistGraph) rebuild paths.
+pub(crate) fn merge_row(
+    old: impl Iterator<Item = GlobalId>,
+    inserts: &[(GlobalId, GlobalId)],
+    deletes: &[(GlobalId, GlobalId)],
+    out: &mut Vec<GlobalId>,
+) {
+    let mut old = old.peekable();
+    let mut ins = inserts.iter().map(|&(_, v)| v).peekable();
+    let mut del = deletes.iter().map(|&(_, v)| v).peekable();
+    loop {
+        let v = match (old.peek().copied(), ins.peek().copied()) {
+            (Some(a), Some(b)) if a == b => {
+                old.next();
+                ins.next();
+                a
+            }
+            (Some(a), Some(b)) if a < b => {
+                old.next();
+                a
+            }
+            (Some(_) | None, Some(b)) => {
+                ins.next();
+                b
+            }
+            (Some(a), None) => {
+                old.next();
+                a
+            }
+            (None, None) => break,
+        };
+        while del.peek().is_some_and(|&d| d < v) {
+            del.next();
+        }
+        // Normalisation removed insert/delete conflicts, so a match here can only kill an
+        // old arc; deleting a non-existent edge never reaches this point at all.
+        if del.peek() == Some(&v) {
+            del.next();
+            continue;
+        }
+        out.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_symmetrises_sorts_and_dedups() {
+        let d = GraphDelta::new(5, 0, &[(1, 0), (0, 1), (3, 2)], &[(4, 2)]);
+        assert_eq!(d.insert_arcs(), &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_eq!(d.delete_arcs(), &[(2, 4), (4, 2)]);
+        assert_eq!(d.num_insert_edges(), 2);
+        assert_eq!(d.num_delete_edges(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn self_loops_and_out_of_range_edges_are_dropped() {
+        let d = GraphDelta::new(3, 1, &[(2, 2), (0, 9), (0, 3)], &[(1, 1), (7, 0)]);
+        // (0, 3) survives: vertex 3 exists after the one-vertex growth.
+        assert_eq!(d.insert_arcs(), &[(0, 3), (3, 0)]);
+        assert!(d.delete_arcs().is_empty());
+        assert_eq!(d.new_n(), 4);
+    }
+
+    #[test]
+    fn insert_delete_conflict_resolves_to_deletion() {
+        let d = GraphDelta::new(4, 0, &[(0, 1), (2, 3)], &[(1, 0)]);
+        assert_eq!(d.insert_arcs(), &[(2, 3), (3, 2)]);
+        assert!(d.is_deleted(0, 1));
+        assert!(d.is_deleted(1, 0));
+    }
+
+    #[test]
+    fn from_ops_accumulates_all_op_kinds() {
+        let d = GraphDelta::from_ops(
+            4,
+            [
+                UpdateOp::InsertEdge(0, 1),
+                UpdateOp::AddVertices(2),
+                UpdateOp::DeleteEdge(2, 3),
+                UpdateOp::InsertEdge(1, 4),
+                UpdateOp::AddVertices(1),
+            ],
+        );
+        assert_eq!(d.base_n(), 4);
+        assert_eq!(d.added_vertices(), 3);
+        assert_eq!(d.new_n(), 7);
+        assert_eq!(d.num_insert_edges(), 2);
+        assert_eq!(d.num_delete_edges(), 1);
+    }
+
+    #[test]
+    fn per_source_slices_and_touched_set() {
+        let d = GraphDelta::new(6, 0, &[(0, 1), (0, 2), (4, 5)], &[(2, 3)]);
+        assert_eq!(d.inserts_from(0), &[(0, 1), (0, 2)]);
+        assert_eq!(d.inserts_from(3), &[]);
+        assert_eq!(d.deletes_from(3), &[(3, 2)]);
+        assert_eq!(d.touched_vertices(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_delta_is_empty() {
+        let d = GraphDelta::new(10, 0, &[], &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.new_n(), 10);
+        assert!(d.touched_vertices().is_empty());
+    }
+
+    #[test]
+    fn merge_row_handles_all_cases() {
+        // Old row {1, 3, 5}; insert {2, 3 (dup), 7}; delete {5, 9 (absent)}.
+        let inserts = [(0u64, 2u64), (0, 3), (0, 7)];
+        let deletes = [(0u64, 5u64), (0, 9)];
+        let mut out = Vec::new();
+        merge_row([1u64, 3, 5].into_iter(), &inserts, &deletes, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 7]);
+    }
+}

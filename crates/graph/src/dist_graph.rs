@@ -214,6 +214,181 @@ impl DistGraph {
     }
 
     // --------------------------------------------------------------------------------
+    // Delta application
+    // --------------------------------------------------------------------------------
+
+    /// Apply a [`GraphDelta`](crate::delta::GraphDelta) collectively, producing the
+    /// updated per-rank graph.
+    ///
+    /// When vertex ownership is stable under the delta (always for `Cyclic` and `Hashed`
+    /// distributions; for `Block` and `Explicit` when no vertices are added), the rebuild
+    /// is incremental: owned local ids are preserved, each owned vertex's sorted
+    /// adjacency row is merged with the delta in one linear pass, the global→local map is
+    /// patched (stale ghosts evicted, new owned/ghost entries added) and only the ghost
+    /// metadata (owner, degree) is re-fetched. Growing a `Block` distribution shifts the
+    /// ownership of existing vertices, so that case falls back to migrating the surviving
+    /// arcs to their new owners with one all-to-all exchange — still without touching the
+    /// original edge list.
+    ///
+    /// Every rank must pass an identical delta. Must be called collectively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta's base vertex count does not match, or when asked to grow a
+    /// graph with an `Explicit` distribution (its ownership table cannot cover the new
+    /// vertices; redistribute explicitly instead).
+    pub fn apply_delta(&self, ctx: &RankCtx, delta: &crate::delta::GraphDelta) -> Self {
+        assert_eq!(
+            delta.base_n(),
+            self.global_n,
+            "delta was built against a graph with {} vertices, this graph has {}",
+            delta.base_n(),
+            self.global_n
+        );
+        let stable = match &self.dist {
+            Distribution::Cyclic | Distribution::Hashed => true,
+            Distribution::Block => delta.added_vertices() == 0,
+            Distribution::Explicit(_) => {
+                assert!(
+                    delta.added_vertices() == 0,
+                    "an Explicit distribution cannot grow: its ownership table has no \
+                     entries for the new vertices"
+                );
+                true
+            }
+        };
+        if stable {
+            self.apply_delta_stable(ctx, delta)
+        } else {
+            self.apply_delta_migrating(ctx, delta)
+        }
+    }
+
+    /// Incremental rebuild for deltas that do not move any existing vertex between ranks.
+    fn apply_delta_stable(&self, ctx: &RankCtx, delta: &crate::delta::GraphDelta) -> Self {
+        let rank = self.rank;
+        let nranks = self.nranks;
+        let new_n = delta.new_n();
+
+        // Owned vertices: the old set is preserved (ownership is stable), new vertices
+        // owned by this rank are appended, keeping owned local ids valid and sorted.
+        let mut owned_global = self.owned_global.clone();
+        let old_n_owned = owned_global.len();
+        for g in self.global_n..new_n {
+            if self.dist.owner(g, new_n, nranks) == rank {
+                owned_global.push(g);
+            }
+        }
+        let n_owned = owned_global.len();
+
+        // Merge each owned row with the delta in global-id space. Rows are sorted by
+        // neighbour global id (construction sorts arcs by `(u, v)`), so this is linear.
+        let mut offsets = Vec::with_capacity(n_owned + 1);
+        offsets.push(0u64);
+        let mut adj_global: Vec<GlobalId> =
+            Vec::with_capacity(self.adjacency.len() + delta.insert_arcs().len());
+        for (lu, &gu) in owned_global.iter().enumerate() {
+            if lu < old_n_owned {
+                crate::delta::merge_row(
+                    self.neighbors(lu as LocalId)
+                        .iter()
+                        .map(|&lv| self.global_id(lv)),
+                    delta.inserts_from(gu),
+                    delta.deletes_from(gu),
+                    &mut adj_global,
+                );
+            } else {
+                adj_global.extend(delta.inserts_from(gu).iter().map(|&(_, v)| v));
+            }
+            offsets.push(adj_global.len() as u64);
+        }
+
+        // Patch the global→local map: evict stale ghost entries (deletions may orphan
+        // ghosts, and growth shifts every ghost local id), register new owned vertices,
+        // then re-assign ghost slots in first-seen row order.
+        let mut global_to_local = self.global_to_local.clone();
+        for &g in &self.ghost_global {
+            global_to_local.remove(&g);
+        }
+        for (lid, &g) in owned_global.iter().enumerate().skip(old_n_owned) {
+            global_to_local.insert(g, lid as LocalId);
+        }
+        let mut ghost_global: Vec<GlobalId> = Vec::with_capacity(self.ghost_global.len());
+        let mut adjacency = Vec::with_capacity(adj_global.len());
+        for &gv in &adj_global {
+            let lid = *global_to_local.entry(gv).or_insert_with(|| {
+                let lid = (n_owned + ghost_global.len()) as LocalId;
+                ghost_global.push(gv);
+                lid
+            });
+            adjacency.push(lid);
+        }
+        let ghost_owner: Vec<u32> = ghost_global
+            .iter()
+            .map(|&g| self.dist.owner(g, new_n, nranks) as u32)
+            .collect();
+
+        let local_arcs = adjacency.len() as u64;
+        let global_m = ctx.allreduce_scalar_sum_u64(local_arcs) / 2;
+
+        let mut graph = DistGraph {
+            global_n: new_n,
+            global_m,
+            rank,
+            nranks,
+            dist: self.dist.clone(),
+            owned_global,
+            ghost_global,
+            ghost_owner,
+            ghost_degree: Vec::new(),
+            global_to_local,
+            offsets,
+            adjacency,
+        };
+        // Insertions and deletions change degrees, so ghost degrees are re-fetched.
+        let owned_degrees: Vec<u64> = (0..graph.n_owned())
+            .map(|v| graph.degree_owned(v as LocalId))
+            .collect();
+        graph.ghost_degree = graph.ghost_values_u64(ctx, &owned_degrees);
+        graph
+    }
+
+    /// Migration rebuild for deltas that shift existing-vertex ownership (growing a
+    /// `Block` distribution): surviving arcs are shuffled to their new owners, insertion
+    /// arcs are claimed directly by their new owners (the delta is globally shared).
+    fn apply_delta_migrating(&self, ctx: &RankCtx, delta: &crate::delta::GraphDelta) -> Self {
+        let rank = self.rank;
+        let nranks = self.nranks;
+        let new_n = delta.new_n();
+        let mut sends: Vec<Vec<(GlobalId, GlobalId)>> = vec![Vec::new(); nranks];
+        let mut mine: Vec<(GlobalId, GlobalId)> = Vec::new();
+        for lu in 0..self.n_owned() {
+            let gu = self.owned_global[lu];
+            let new_owner = self.dist.owner(gu, new_n, nranks);
+            for &lv in self.neighbors(lu as LocalId) {
+                let gv = self.global_id(lv);
+                if delta.is_deleted(gu, gv) {
+                    continue;
+                }
+                if new_owner == rank {
+                    mine.push((gu, gv));
+                } else {
+                    sends[new_owner].push((gu, gv));
+                }
+            }
+        }
+        for &(u, v) in delta.insert_arcs() {
+            if self.dist.owner(u, new_n, nranks) == rank {
+                mine.push((u, v));
+            }
+        }
+        for buf in ctx.alltoallv(sends) {
+            mine.extend(buf);
+        }
+        Self::from_owned_arcs(ctx, self.dist.clone(), new_n, mine)
+    }
+
+    // --------------------------------------------------------------------------------
     // Sizes and identity
     // --------------------------------------------------------------------------------
 
@@ -613,6 +788,113 @@ mod tests {
         for (_, per_part) in &out {
             assert_eq!(per_part.len(), 2);
         }
+    }
+
+    /// Assert that `updated` is structurally identical to a from-scratch build of the
+    /// post-delta edge list: same ownership, ghosts, degrees and per-vertex adjacency.
+    fn assert_same_graph(a: &DistGraph, b: &DistGraph) {
+        assert_eq!(a.global_n(), b.global_n());
+        assert_eq!(a.global_m(), b.global_m());
+        assert_eq!(a.n_owned(), b.n_owned());
+        assert_eq!(a.n_ghost(), b.n_ghost());
+        assert_eq!(a.local_arcs(), b.local_arcs());
+        for v in 0..a.n_total() as LocalId {
+            assert_eq!(a.global_id(v), b.global_id(v));
+            assert_eq!(a.degree(v), b.degree(v));
+        }
+        for v in 0..a.n_owned() as LocalId {
+            let na: Vec<GlobalId> = a.neighbors(v).iter().map(|&u| a.global_id(u)).collect();
+            let nb: Vec<GlobalId> = b.neighbors(v).iter().map(|&u| b.global_id(u)).collect();
+            assert_eq!(na, nb);
+        }
+        for v in 0..a.n_total() as LocalId {
+            assert_eq!(a.local_id(a.global_id(v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn apply_delta_stable_matches_from_scratch() {
+        use crate::delta::GraphDelta;
+        let edges = two_triangles();
+        // Delete the bridge, insert a new bridge and grow by one vertex hooked to both
+        // triangles. Cyclic/Hashed ownership is stable under growth.
+        let delta = GraphDelta::new(6, 1, &[(1, 4), (6, 0), (6, 5)], &[(2, 3)]);
+        let mut new_edges: Vec<_> = edges.iter().copied().filter(|&e| e != (2, 3)).collect();
+        new_edges.extend([(1, 4), (6, 0), (6, 5)]);
+        for dist in [Distribution::Cyclic, Distribution::Hashed] {
+            for nranks in [1usize, 3] {
+                Runtime::run(nranks, |ctx| {
+                    let g = DistGraph::from_shared_edges(ctx, dist.clone(), 6, &edges);
+                    let updated = g.apply_delta(ctx, &delta);
+                    let scratch = DistGraph::from_shared_edges(ctx, dist.clone(), 7, &new_edges);
+                    assert_same_graph(&updated, &scratch);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_block_growth_migrates_ownership() {
+        use crate::delta::GraphDelta;
+        let edges = two_triangles();
+        // Growing a block distribution remaps existing vertices; the migration path must
+        // still reproduce the from-scratch build exactly.
+        let delta = GraphDelta::new(6, 4, &[(6, 0), (7, 8), (9, 3)], &[(0, 1)]);
+        let mut new_edges: Vec<_> = edges.iter().copied().filter(|&e| e != (0, 1)).collect();
+        new_edges.extend([(6, 0), (7, 8), (9, 3)]);
+        Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            let updated = g.apply_delta(ctx, &delta);
+            let scratch = DistGraph::from_shared_edges(ctx, Distribution::Block, 10, &new_edges);
+            assert_same_graph(&updated, &scratch);
+        });
+    }
+
+    #[test]
+    fn apply_delta_deletions_drop_orphaned_ghosts() {
+        use crate::delta::GraphDelta;
+        let edges = two_triangles();
+        Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            assert_eq!(g.n_ghost(), 1); // the bridge endpoint
+            let updated = g.apply_delta(ctx, &GraphDelta::new(6, 0, &[], &[(2, 3)]));
+            assert_eq!(
+                updated.n_ghost(),
+                0,
+                "deleting the bridge orphans the ghost"
+            );
+            assert_eq!(updated.global_m(), 6);
+            // The stale ghost id must no longer resolve.
+            let stale = if ctx.rank() == 0 { 3 } else { 2 };
+            assert_eq!(updated.local_id(stale), None);
+        });
+    }
+
+    #[test]
+    fn apply_delta_empty_delta_is_identity() {
+        use crate::delta::GraphDelta;
+        let edges = two_triangles();
+        Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, 6, &edges);
+            let updated = g.apply_delta(ctx, &GraphDelta::new(6, 0, &[], &[]));
+            assert_same_graph(&updated, &g);
+        });
+    }
+
+    #[test]
+    fn apply_delta_chains_across_epochs() {
+        use crate::delta::GraphDelta;
+        // Apply two successive deltas and compare against one from-scratch build.
+        let edges = two_triangles();
+        Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, 6, &edges);
+            let g1 = g.apply_delta(ctx, &GraphDelta::new(6, 1, &[(6, 2), (6, 3)], &[]));
+            let g2 = g1.apply_delta(ctx, &GraphDelta::new(7, 0, &[(0, 4)], &[(6, 2)]));
+            let mut final_edges = edges.clone();
+            final_edges.extend([(6, 3), (0, 4)]);
+            let scratch = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, 7, &final_edges);
+            assert_same_graph(&g2, &scratch);
+        });
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub fn read_text_edge_list(path: &Path) -> io::Result<Vec<(GlobalId, GlobalId)>>
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
+        if let Some(extra) = it.next() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {lineno}: expected exactly two vertex ids, found trailing token '{extra}'"
+                ),
+            ));
+        }
         edges.push((u, v));
     }
     Ok(edges)
@@ -92,6 +100,50 @@ pub fn write_binary_edge_list(path: &Path, edges: &[(GlobalId, GlobalId)]) -> io
         w.write_all(&v.to_le_bytes())?;
     }
     w.flush()
+}
+
+/// The on-disk edge-list formats the suite understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeListFormat {
+    /// Whitespace-separated `u v` pairs, `#`/`%` comments (SNAP/KONECT style).
+    Text,
+    /// A little-endian stream of `u64` pairs — the original XtraPuLP's native ingest
+    /// format.
+    Binary,
+}
+
+impl EdgeListFormat {
+    /// Detect the format from a path's extension: `.bel`, `.bin` and `.bbin` are binary,
+    /// everything else (`.el`, `.txt`, `.edges`, no extension, ...) is text.
+    pub fn detect(path: &Path) -> EdgeListFormat {
+        match path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(|e| e.to_ascii_lowercase())
+            .as_deref()
+        {
+            Some("bel") | Some("bin") | Some("bbin") => EdgeListFormat::Binary,
+            _ => EdgeListFormat::Text,
+        }
+    }
+}
+
+/// Read an edge list, auto-detecting the format from the file extension (see
+/// [`EdgeListFormat::detect`]).
+pub fn read_edge_list(path: &Path) -> io::Result<Vec<(GlobalId, GlobalId)>> {
+    match EdgeListFormat::detect(path) {
+        EdgeListFormat::Text => read_text_edge_list(path),
+        EdgeListFormat::Binary => read_binary_edge_list(path),
+    }
+}
+
+/// Write an edge list in the format the file extension implies (see
+/// [`EdgeListFormat::detect`]).
+pub fn write_edge_list(path: &Path, edges: &[(GlobalId, GlobalId)]) -> io::Result<()> {
+    match EdgeListFormat::detect(path) {
+        EdgeListFormat::Text => write_text_edge_list(path, edges),
+        EdgeListFormat::Binary => write_binary_edge_list(path, edges),
+    }
 }
 
 /// Write a partition vector (one part id per line, line index = global vertex id), the
@@ -164,6 +216,57 @@ mod tests {
         std::fs::write(&path, "0 x\n").unwrap();
         assert!(read_text_edge_list(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_edge_list_rejects_trailing_tokens_with_line_number() {
+        let path = temp_path("trailing.el");
+        std::fs::write(&path, "0 1\n2 3 4\n").unwrap();
+        let err = read_text_edge_list(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "missing line number: {msg}");
+        assert!(msg.contains("'4'"), "missing offending token: {msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn format_detection_by_extension() {
+        use std::path::Path;
+        assert_eq!(
+            EdgeListFormat::detect(Path::new("graph.bel")),
+            EdgeListFormat::Binary
+        );
+        assert_eq!(
+            EdgeListFormat::detect(Path::new("graph.BIN")),
+            EdgeListFormat::Binary
+        );
+        assert_eq!(
+            EdgeListFormat::detect(Path::new("graph.el")),
+            EdgeListFormat::Text
+        );
+        assert_eq!(
+            EdgeListFormat::detect(Path::new("graph")),
+            EdgeListFormat::Text
+        );
+    }
+
+    #[test]
+    fn auto_detected_round_trips_in_both_formats() {
+        let edges = vec![(0u64, 1u64), (1, 2), (5, 3)];
+        for name in ["auto.el", "auto.bel"] {
+            let path = temp_path(name);
+            write_edge_list(&path, &edges).unwrap();
+            assert_eq!(read_edge_list(&path).unwrap(), edges, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+        // The two formats produce different bytes but identical edge lists.
+        let text = temp_path("auto2.el");
+        let bin = temp_path("auto2.bel");
+        write_edge_list(&text, &edges).unwrap();
+        write_edge_list(&bin, &edges).unwrap();
+        assert_ne!(std::fs::read(&text).unwrap(), std::fs::read(&bin).unwrap());
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&bin).ok();
     }
 
     #[test]

@@ -19,16 +19,21 @@
 //!   strategy, the diameter estimator and the analytics crate).
 //! * [`stats`] — degree statistics and the iterative-BFS diameter estimate used to build
 //!   Table I.
-//! * [`io`] — plain-text and binary edge-list input/output.
+//! * [`io`] — plain-text and binary edge-list input/output with format auto-detection.
+//! * [`delta`] — normalised mutation batches ([`GraphDelta`]) and the incremental
+//!   rebuild-from-delta paths ([`Csr::apply_delta`], [`DistGraph::apply_delta`]) the
+//!   dynamic-graph subsystem is built on.
 
 pub mod bfs;
 pub mod csr;
+pub mod delta;
 pub mod dist_graph;
 pub mod distribution;
 pub mod io;
 pub mod stats;
 
 pub use csr::{csr_from_edges, Csr, CsrBuilder};
+pub use delta::{GraphDelta, UpdateOp};
 pub use dist_graph::DistGraph;
 pub use distribution::Distribution;
 pub use stats::GraphStats;

@@ -9,7 +9,10 @@
 //!   coarsening step, as in the Meyerhenke-Sanders-Schulz partitioner the paper compares
 //!   against in Fig. 6 (single constraint, single objective).
 
-use xtrapulp::{PartitionError, PartitionParams, Partitioner};
+use xtrapulp::{
+    greedy_seed_unassigned, validate_warm_start, PartitionError, PartitionParams, Partitioner,
+    WarmStartPartitioner,
+};
 use xtrapulp_graph::Csr;
 
 use crate::coarsen::{contract, heavy_edge_matching, label_prop_clustering, Coarsening};
@@ -103,6 +106,40 @@ fn multilevel_partition(
     parts
 }
 
+/// Warm-start path shared by both multilevel drivers: no V-cycle at all. The previous
+/// part vector already encodes the multilevel structure, so repartitioning after a small
+/// mutation only needs the finest-level machinery — greedy assignment of unassigned
+/// (new) vertices, a rebalance pass and boundary refinement.
+fn multilevel_partition_from(
+    csr: &Csr,
+    params: &PartitionParams,
+    initial: &[i32],
+    refine_sweeps: usize,
+) -> Vec<i32> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    if params.num_parts <= 1 {
+        return vec![0; n];
+    }
+    let mut parts = initial.to_vec();
+    greedy_seed_unassigned(csr, &mut parts, params.num_parts);
+    let graph = WeightedGraph::from_csr(csr);
+    let max_part_weight = ((1.0 + params.vertex_imbalance) * graph.total_vertex_weight() as f64
+        / params.num_parts as f64)
+        .ceil() as u64;
+    rebalance(&graph, &mut parts, params.num_parts, max_part_weight);
+    greedy_refine(
+        &graph,
+        &mut parts,
+        params.num_parts,
+        max_part_weight,
+        refine_sweeps,
+    );
+    parts
+}
+
 /// METIS-family multilevel k-way partitioner (the ParMETIS stand-in).
 #[derive(Debug, Clone, Copy)]
 pub struct MetisLikePartitioner {
@@ -131,6 +168,24 @@ impl Partitioner for MetisLikePartitioner {
             csr,
             params,
             CoarseningScheme::HeavyEdgeMatching,
+            self.refine_sweeps,
+        ))
+    }
+}
+
+impl WarmStartPartitioner for MetisLikePartitioner {
+    fn try_partition_from(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+        initial: &[i32],
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
+        Ok(multilevel_partition_from(
+            csr,
+            params,
+            initial,
             self.refine_sweeps,
         ))
     }
@@ -166,6 +221,24 @@ impl Partitioner for LpCoarsenKwayPartitioner {
             csr,
             params,
             CoarseningScheme::LabelPropClustering,
+            self.refine_sweeps,
+        ))
+    }
+}
+
+impl WarmStartPartitioner for LpCoarsenKwayPartitioner {
+    fn try_partition_from(
+        &self,
+        csr: &Csr,
+        params: &PartitionParams,
+        initial: &[i32],
+    ) -> Result<Vec<i32>, PartitionError> {
+        params.validate()?;
+        validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
+        Ok(multilevel_partition_from(
+            csr,
+            params,
+            initial,
             self.refine_sweeps,
         ))
     }
@@ -270,6 +343,40 @@ mod tests {
         assert!(MetisLikePartitioner::default()
             .partition(&empty, &params)
             .is_empty());
+    }
+
+    #[test]
+    fn warm_start_refines_without_a_v_cycle() {
+        let csr = grid_csr(24, 24);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 6,
+            ..Default::default()
+        };
+        for driver in [
+            &MetisLikePartitioner::default() as &dyn WarmStartPartitioner,
+            &LpCoarsenKwayPartitioner::default(),
+        ] {
+            let (cold, cold_q) = driver.try_partition_with_quality(&csr, &params).unwrap();
+            // Unassign a small patch (simulating new vertices) and warm-start.
+            let mut initial = cold.clone();
+            for part in initial.iter_mut().take(12) {
+                *part = xtrapulp_graph::UNASSIGNED;
+            }
+            let warm = driver.try_partition_from(&csr, &params, &initial).unwrap();
+            assert!(is_valid_partition(&warm, 4), "{}", driver.name());
+            let warm_q = xtrapulp::metrics::PartitionQuality::evaluate(&csr, &warm, 4);
+            assert!(
+                warm_q.edge_cut as f64 <= cold_q.edge_cut as f64 * 1.10,
+                "{}: warm cut {} vs cold {}",
+                driver.name(),
+                warm_q.edge_cut,
+                cold_q.edge_cut
+            );
+            assert!(warm_q.vertex_imbalance <= 1.15, "{}", driver.name());
+            // Bad warm vectors are typed errors.
+            assert!(driver.try_partition_from(&csr, &params, &[0; 3]).is_err());
+        }
     }
 
     #[test]

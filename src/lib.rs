@@ -18,6 +18,7 @@ pub use xtrapulp as core;
 pub use xtrapulp_analytics as analytics;
 pub use xtrapulp_api as api;
 pub use xtrapulp_comm as comm;
+pub use xtrapulp_dynamic as dynamic;
 pub use xtrapulp_gen as gen;
 pub use xtrapulp_graph as graph;
 pub use xtrapulp_multilevel as multilevel;
@@ -27,10 +28,14 @@ pub use xtrapulp_spmv as spmv;
 pub mod prelude {
     pub use xtrapulp::{
         metrics::PartitionQuality, PartitionError, PartitionParams, Partitioner, PulpPartitioner,
-        XtraPulpPartitioner,
+        WarmStartPartitioner, XtraPulpPartitioner,
     };
-    pub use xtrapulp_api::{Method, PartitionJob, PartitionReport, Session};
+    pub use xtrapulp_api::{
+        DynamicReport, DynamicSession, Method, PartitionJob, PartitionReport, Session, UpdateBatch,
+        UpdateError,
+    };
     pub use xtrapulp_comm::{CommStats, RankCtx, Runtime};
+    pub use xtrapulp_dynamic::{DynamicGraph, GraphDelta, UpdateOp};
     pub use xtrapulp_gen::{GraphConfig, GraphKind};
     pub use xtrapulp_graph::{Csr, DistGraph, Distribution};
 }
