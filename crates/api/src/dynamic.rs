@@ -2,12 +2,13 @@
 
 use serde::Serialize;
 use xtrapulp::metrics::PartitionQuality;
-use xtrapulp::{
-    try_pulp_partition_from_with_sweeps, try_pulp_partition_with_sweeps, PartitionError,
-};
+use xtrapulp::sweep::SweepStats;
+use xtrapulp::{try_pulp_partition_from_with_stats, try_pulp_partition_with_stats, PartitionError};
 use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer};
-use xtrapulp_dynamic::{seed_from_previous, DynamicGraph, UpdateBatch, UpdateError, UpdateSummary};
-use xtrapulp_graph::{Csr, DistGraph, Distribution, UNASSIGNED};
+use xtrapulp_dynamic::{
+    seed_from_previous, DynamicGraph, GraphDelta, UpdateBatch, UpdateError, UpdateSummary,
+};
+use xtrapulp_graph::{Csr, DistGraph, Distribution, GlobalId, UNASSIGNED};
 
 use crate::method::Method;
 use crate::report::PartitionReport;
@@ -32,6 +33,13 @@ pub struct DynamicReport {
     pub lp_sweeps: u64,
     /// Sweeps of the most recent from-scratch run, the warm-vs-cold reference.
     pub cold_lp_sweeps: u64,
+    /// Vertices the label-propagation engine scored in this run — the real unit of
+    /// sweep work. Warm starts seeded from the delta's touched neighbourhood score a
+    /// small fraction of what a cold run does.
+    pub vertices_scored: u64,
+    /// Scored vertices of the most recent from-scratch run, the warm-vs-cold
+    /// reference for sweep throughput.
+    pub cold_vertices_scored: u64,
 }
 
 /// [`DynamicReport`] minus the part vector, for result streams.
@@ -43,6 +51,8 @@ struct DynamicSummary {
     vertices_migrated: u64,
     lp_sweeps: u64,
     cold_lp_sweeps: u64,
+    vertices_scored: u64,
+    cold_vertices_scored: u64,
     num_vertices: u64,
     num_edges: u64,
     quality: PartitionQuality,
@@ -64,6 +74,8 @@ impl DynamicReport {
             vertices_migrated: self.vertices_migrated,
             lp_sweeps: self.lp_sweeps,
             cold_lp_sweeps: self.cold_lp_sweeps,
+            vertices_scored: self.vertices_scored,
+            cold_vertices_scored: self.cold_vertices_scored,
             num_vertices: self.report.num_vertices,
             num_edges: self.report.num_edges,
             quality: self.report.quality,
@@ -96,7 +108,12 @@ pub struct DynamicSession {
     graph: DynamicGraph,
     /// Latest partition, kept at graph length (`UNASSIGNED` for vertices added since).
     parts: Option<Vec<i32>>,
+    /// Global ids touched by the update batches applied since the last repartition
+    /// (edge endpoints and added vertices), deduplicated; seeds the warm run's
+    /// refinement frontier. `None` until the first partition exists.
+    touched: Option<Vec<GlobalId>>,
     cold_lp_sweeps: u64,
+    cold_vertices_scored: u64,
     /// Per-rank distributed graphs, built lazily for distributed methods and evolved
     /// incrementally on every update batch.
     rank_graphs: Option<Vec<DistGraph>>,
@@ -113,7 +130,9 @@ impl DynamicSession {
             job,
             graph: DynamicGraph::new(csr),
             parts: None,
+            touched: None,
             cold_lp_sweeps: 0,
+            cold_vertices_scored: 0,
             rank_graphs: None,
         })
     }
@@ -187,6 +206,11 @@ impl DynamicSession {
         if let Some(parts) = self.parts.take() {
             self.parts = Some(seed_from_previous(&parts, &delta));
         }
+        if let Some(touched) = self.touched.as_mut() {
+            touched.extend(touched_vertices(&delta));
+            touched.sort_unstable();
+            touched.dedup();
+        }
         Ok(summary)
     }
 
@@ -204,7 +228,14 @@ impl DynamicSession {
         };
         let warm_start = warm_seed.is_some();
 
-        let (report, lp_sweeps) = if self.job.method.is_distributed() {
+        // The touched set accumulated since the last repartition scopes the warm run's
+        // refinement frontier; it is consumed (and reset) by this run.
+        let touched = if warm_start {
+            self.touched.take()
+        } else {
+            None
+        };
+        let (report, lp_sweeps, vertices_scored) = if self.job.method.is_distributed() {
             if self.rank_graphs.is_none() {
                 self.rank_graphs = Some(self.session.build_rank_graphs(self.graph.csr()));
             }
@@ -213,14 +244,16 @@ impl DynamicSession {
                 &self.job,
                 graphs,
                 warm_seed.as_deref(),
+                touched.as_deref(),
                 self.graph.num_edges(),
             )?
         } else {
-            self.run_serial(warm_seed.as_deref())?
+            self.run_serial(warm_seed.as_deref(), touched.as_deref())?
         };
 
         if !warm_start {
             self.cold_lp_sweeps = lp_sweeps;
+            self.cold_vertices_scored = vertices_scored;
         }
         let vertices_migrated = match &self.parts {
             Some(previous) => previous
@@ -231,6 +264,9 @@ impl DynamicSession {
             None => 0,
         };
         self.parts = Some(report.parts.clone());
+        // From here on the partition matches the live graph exactly: the next warm run
+        // only needs to look at whatever future batches touch.
+        self.touched = Some(Vec::new());
         Ok(DynamicReport {
             report,
             epoch: self.graph.epoch(),
@@ -238,6 +274,8 @@ impl DynamicSession {
             vertices_migrated,
             lp_sweeps,
             cold_lp_sweeps: self.cold_lp_sweeps,
+            vertices_scored,
+            cold_vertices_scored: self.cold_vertices_scored,
         })
     }
 
@@ -248,20 +286,21 @@ impl DynamicSession {
     fn run_serial(
         &mut self,
         warm_seed: Option<&[i32]>,
-    ) -> Result<(PartitionReport, u64), PartitionError> {
+        touched: Option<&[GlobalId]>,
+    ) -> Result<(PartitionReport, u64, u64), PartitionError> {
         if warm_seed.is_none() && self.job.method != Method::Pulp {
             let report = self.session.submit(&self.job, self.graph.csr())?;
-            return Ok((report, 0));
+            return Ok((report, 0, 0));
         }
         let csr = self.graph.csr();
         let params = self.job.params;
         let mut timings = PhaseTimer::new();
-        let (parts, sweeps) = match (self.job.method, warm_seed) {
+        let (parts, stats) = match (self.job.method, warm_seed) {
             (Method::Pulp, None) => {
-                timings.time("partition", || try_pulp_partition_with_sweeps(csr, &params))?
+                timings.time("partition", || try_pulp_partition_with_stats(csr, &params))?
             }
             (Method::Pulp, Some(seed)) => timings.time("partition", || {
-                try_pulp_partition_from_with_sweeps(csr, &params, seed)
+                try_pulp_partition_from_with_stats(csr, &params, seed, touched)
             })?,
             (method, Some(seed)) => {
                 let partitioner = method
@@ -270,7 +309,7 @@ impl DynamicSession {
                 let parts = timings.time("partition", || {
                     partitioner.try_partition_from(csr, &params, seed)
                 })?;
-                (parts, 0)
+                (parts, SweepStats::default())
             }
             (_, None) => unreachable!("non-PuLP cold serial jobs go through Session::submit"),
         };
@@ -290,9 +329,20 @@ impl DynamicSession {
                 timings,
                 comm: CommStatsSnapshot::default(),
             },
-            sweeps,
+            stats.sweeps,
+            stats.vertices_scored,
         ))
     }
+}
+
+/// The global ids a delta touches: every endpoint of an inserted or deleted edge
+/// ([`GraphDelta::touched_vertices`]) plus every added vertex — the seed set of a warm
+/// run's refinement frontier.
+fn touched_vertices(delta: &GraphDelta) -> impl Iterator<Item = GlobalId> + '_ {
+    delta
+        .touched_vertices()
+        .into_iter()
+        .chain(delta.base_n()..delta.new_n())
 }
 
 #[cfg(test)]

@@ -3,11 +3,11 @@
 use xtrapulp::metrics::PartitionQuality;
 use xtrapulp::partitioner::assemble_gathered_parts;
 use xtrapulp::{
-    try_xtrapulp_partition, try_xtrapulp_partition_from, validate_warm_start, PartitionError,
-    PartitionParams,
+    try_xtrapulp_partition, try_xtrapulp_partition_from_touched, validate_warm_start,
+    PartitionError, PartitionParams,
 };
 use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer, RankCtx, Runtime};
-use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId};
+use xtrapulp_graph::{Csr, DistGraph, Distribution, GlobalId, LocalId};
 
 use crate::method::Method;
 use crate::report::PartitionReport;
@@ -219,16 +219,20 @@ impl Session {
 
     /// Run one distributed partitioning job over pre-built per-rank graphs, cold or —
     /// when `initial` (a full global part vector, `-1` marking unassigned vertices) is
-    /// given — warm-started. Returns the report plus the number of label-propagation
-    /// sweeps the run executed. Used by the dynamic-session layer, which keeps the rank
-    /// graphs alive across epochs instead of redistributing the CSR per job.
+    /// given — warm-started. `touched` (the delta-touched global ids, identical on
+    /// every rank) scopes a warm run's refinement frontier to the mutated
+    /// neighbourhood. Returns the report plus the label-propagation sweep and
+    /// scored-vertex counts the run executed. Used by the dynamic-session layer, which
+    /// keeps the rank graphs alive across epochs instead of redistributing the CSR per
+    /// job.
     pub(crate) fn run_on_rank_graphs(
         &mut self,
         job: &PartitionJob,
         graphs: &[DistGraph],
         initial: Option<&[i32]>,
+        touched: Option<&[GlobalId]>,
         num_edges: u64,
-    ) -> Result<(PartitionReport, u64), PartitionError> {
+    ) -> Result<(PartitionReport, u64, u64), PartitionError> {
         job.params.validate()?;
         assert_eq!(graphs.len(), self.nranks(), "one graph per rank required");
         let n = graphs[0].global_n() as usize;
@@ -243,7 +247,7 @@ impl Session {
             PartitionQuality,
             PhaseTimer,
             CommStatsSnapshot,
-            u64,
+            (u64, u64),
         );
         let per_rank: Vec<RankOut> = self.runtime.execute(|ctx| {
             let graph = &graphs[ctx.rank()];
@@ -252,7 +256,7 @@ impl Session {
                     let owned: Vec<i32> = (0..graph.n_owned())
                         .map(|v| initial[graph.global_id(v as LocalId) as usize])
                         .collect();
-                    try_xtrapulp_partition_from(ctx, graph, &params, &owned)
+                    try_xtrapulp_partition_from_touched(ctx, graph, &params, &owned, touched)
                         .expect("warm start is validated before the job enters the runtime")
                 }
                 None => try_xtrapulp_partition(ctx, graph, &params)
@@ -266,7 +270,7 @@ impl Session {
                 result.quality,
                 result.timings,
                 ctx.stats().snapshot(),
-                result.lp_sweeps,
+                (result.lp_sweeps, result.vertices_scored),
             )
         });
 
@@ -275,11 +279,15 @@ impl Session {
         let mut comm = CommStatsSnapshot::default();
         let mut pairs = Vec::with_capacity(per_rank.len());
         let mut lp_sweeps = 0u64;
-        for (rank_pairs, rank_quality, rank_timings, rank_comm, rank_sweeps) in per_rank {
+        let mut vertices_scored = 0u64;
+        for (rank_pairs, rank_quality, rank_timings, rank_comm, rank_stats) in per_rank {
             quality.get_or_insert(rank_quality);
             timings.merge_max(&rank_timings);
             comm = comm.merged(rank_comm);
-            lp_sweeps = lp_sweeps.max(rank_sweeps);
+            // Both counters are allreduced inside the job, so every rank reports the
+            // same global value.
+            lp_sweeps = lp_sweeps.max(rank_stats.0);
+            vertices_scored = vertices_scored.max(rank_stats.1);
             pairs.push(rank_pairs);
         }
         let parts = assemble_gathered_parts(n, job.params.num_parts, pairs)?;
@@ -297,6 +305,7 @@ impl Session {
                 comm,
             },
             lp_sweeps,
+            vertices_scored,
         ))
     }
 

@@ -1,8 +1,13 @@
 //! Fig. 1: strong scaling — partitioning time for fixed-size WDC12/RMAT/RandER/RandHD
 //! proxies into 256 parts while the rank count grows.
+//!
+//! `--json` additionally emits one line per (graph, rank count) with the sweep
+//! accounting of the frontier engine — wall seconds, label-propagation sweeps,
+//! vertices scored and the resulting sweep throughput (scored vertices per second) —
+//! which is what `BENCH_sweep.json` records as the perf trajectory.
 
 use xtrapulp::{xtrapulp_partition, PartitionParams};
-use xtrapulp_bench::{fmt, print_table, scaled};
+use xtrapulp_bench::{fmt, json_flag, print_table, scaled};
 use xtrapulp_comm::{Runtime, Timer};
 use xtrapulp_gen::{GraphConfig, GraphKind};
 use xtrapulp_graph::{DistGraph, Distribution};
@@ -48,7 +53,7 @@ fn main() {
         let mut row = vec![name.to_string()];
         let mut base = 0.0;
         for &nranks in &rank_counts {
-            let secs = Runtime::run(nranks, |ctx| {
+            let (secs, lp_sweeps, vertices_scored) = Runtime::run(nranks, |ctx| {
                 let g = DistGraph::from_shared_edges(
                     ctx,
                     Distribution::Hashed,
@@ -61,9 +66,22 @@ fn main() {
                     ..Default::default()
                 };
                 let t = Timer::start();
-                let _ = xtrapulp_partition(ctx, &g, &params);
-                ctx.allreduce_max_f64(&[t.elapsed_secs()])[0]
+                let result = xtrapulp_partition(ctx, &g, &params);
+                (
+                    ctx.allreduce_max_f64(&[t.elapsed_secs()])[0],
+                    result.lp_sweeps,
+                    result.vertices_scored,
+                )
             })[0];
+            if json_flag() {
+                let mut line = String::from("{\"experiment\":\"fig1_strong_scaling\",\"graph\":");
+                serde::write_json_str(name, &mut line);
+                line.push_str(&format!(
+                    ",\"nranks\":{nranks},\"seconds\":{secs},\"lp_sweeps\":{lp_sweeps},\"vertices_scored\":{vertices_scored},\"scored_per_sec\":{}}}",
+                    vertices_scored as f64 / secs.max(1e-9)
+                ));
+                println!("{line}");
+            }
             if nranks == rank_counts[0] {
                 base = secs;
             }

@@ -7,7 +7,8 @@
 //! the wall-clock speedup together with the quality deltas (edge cut, imbalance) and the
 //! migration/sweep accounting. A growth series does the same for a preferential-
 //! attachment stream. `--json` additionally emits one `DynamicReport` summary line per
-//! warm epoch.
+//! warm epoch, including the sweep-throughput accounting (`lp_sweeps`,
+//! `vertices_scored` and their cold references) that `BENCH_sweep.json` records.
 
 use std::time::Instant;
 
@@ -84,6 +85,7 @@ fn run_series(
             fmt(warm_secs),
             fmt(cold_secs / warm_secs.max(1e-9)),
             format!("{}/{}", warm.lp_sweeps, warm.cold_lp_sweeps),
+            format!("{}/{}", warm.vertices_scored, warm.cold_vertices_scored),
             format!("{}", warm.vertices_migrated),
             fmt(cut_delta_pct),
             fmt(warm.report.quality.vertex_imbalance),
@@ -157,6 +159,7 @@ fn main() {
             "warm s",
             "speedup",
             "sweeps warm/cold",
+            "scored warm/cold",
             "migrated",
             "cut delta %",
             "imbalance",

@@ -1,0 +1,172 @@
+//! CI perf smoke gate for the sweep engine: runs the quick preset cold (frontier and
+//! legacy full modes) plus a touched-scoped warm start, and fails — exit code 1 — if
+//! the engine's deterministic work counters (sweeps, scored vertices) regress more
+//! than 2x against the checked-in baseline (`crates/bench/perf_baseline.json`); wall
+//! time is printed for context but never gates, since CI machines vary.
+//!
+//! The 2x gate is deliberately loose: it is a tripwire for "someone re-introduced full
+//! sweeps / broke the frontier", not a microbenchmark. Regenerate the baseline with
+//! `cargo run --release -p xtrapulp-bench --bin perf_smoke -- --write-baseline`
+//! after an intentional perf change.
+
+use std::time::Instant;
+
+use xtrapulp::{
+    try_pulp_partition_from_with_stats, try_pulp_partition_with_stats, PartitionParams, SweepMode,
+};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+
+const BASELINE_PATH: &str = "crates/bench/perf_baseline.json";
+/// Wall-time and work-counter regression tolerance.
+const TOLERANCE: f64 = 2.0;
+
+struct Measurement {
+    cold_frontier_seconds: f64,
+    cold_frontier_scored: u64,
+    cold_frontier_sweeps: u64,
+    cold_full_scored: u64,
+    warm_touched_scored: u64,
+}
+
+fn measure() -> Measurement {
+    let csr = GraphConfig::new(
+        GraphKind::WebCrawl {
+            num_vertices: 4096,
+            avg_degree: 16,
+            community_size: 256,
+        },
+        77,
+    )
+    .generate()
+    .to_csr();
+    let frontier = PartitionParams {
+        num_parts: 8,
+        seed: 29,
+        ..Default::default()
+    };
+    let full = PartitionParams {
+        sweep_mode: SweepMode::Full,
+        ..frontier
+    };
+
+    // Warm-up run so the first timed sample is not paying page faults.
+    let _ = try_pulp_partition_with_stats(&csr, &frontier).unwrap();
+    // Median of three for the timed quantity.
+    let mut times = Vec::new();
+    let mut stats = None;
+    let mut parts = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (p, s) = try_pulp_partition_with_stats(&csr, &frontier).unwrap();
+        times.push(t.elapsed().as_secs_f64());
+        stats = Some(s);
+        parts = p;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stats = stats.unwrap();
+
+    let (_, full_stats) = try_pulp_partition_with_stats(&csr, &full).unwrap();
+    let touched: Vec<u64> = (0..16u64).collect();
+    let (_, warm_stats) =
+        try_pulp_partition_from_with_stats(&csr, &frontier, &parts, Some(&touched)).unwrap();
+
+    Measurement {
+        cold_frontier_seconds: times[1],
+        cold_frontier_scored: stats.vertices_scored,
+        cold_frontier_sweeps: stats.sweeps,
+        cold_full_scored: full_stats.vertices_scored,
+        warm_touched_scored: warm_stats.vertices_scored,
+    }
+}
+
+fn to_json(m: &Measurement) -> String {
+    format!(
+        "{{\n  \"cold_frontier_seconds\": {},\n  \"cold_frontier_scored\": {},\n  \
+         \"cold_frontier_sweeps\": {},\n  \"cold_full_scored\": {},\n  \
+         \"warm_touched_scored\": {}\n}}\n",
+        m.cold_frontier_seconds,
+        m.cold_frontier_scored,
+        m.cold_frontier_sweeps,
+        m.cold_full_scored,
+        m.warm_touched_scored
+    )
+}
+
+/// Extract a numeric field from the flat baseline JSON (the workspace's vendored
+/// serde_json only serialises, so parsing is a two-line scan).
+fn field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write-baseline");
+    let m = measure();
+    println!(
+        "perf_smoke: cold frontier {:.3}s, {} sweeps, {} scored (full mode scores {}); \
+         warm touched scores {}",
+        m.cold_frontier_seconds,
+        m.cold_frontier_sweeps,
+        m.cold_frontier_scored,
+        m.cold_full_scored,
+        m.warm_touched_scored
+    );
+
+    if write {
+        std::fs::write(BASELINE_PATH, to_json(&m)).expect("write baseline");
+        println!("perf_smoke: baseline written to {BASELINE_PATH}");
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(BASELINE_PATH)
+        .ok()
+        .or_else(|| std::fs::read_to_string(format!("../../{BASELINE_PATH}")).ok())
+    {
+        Some(b) => b,
+        None => {
+            eprintln!("perf_smoke: no baseline at {BASELINE_PATH}; run with --write-baseline");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failed = false;
+    let mut check = |name: &str, current: f64| {
+        let base = match field(&baseline, name) {
+            Some(b) if b > 0.0 => b,
+            _ => {
+                eprintln!("perf_smoke: baseline missing field {name}");
+                failed = true;
+                return;
+            }
+        };
+        let ratio = current / base;
+        let verdict = if ratio > TOLERANCE { "REGRESSED" } else { "ok" };
+        println!("perf_smoke: {name}: {current} vs baseline {base} ({ratio:.2}x) {verdict}");
+        if ratio > TOLERANCE {
+            failed = true;
+        }
+    };
+    // Wall time is logged for context but does not gate: CI machines vary, the
+    // engine's deterministic work counters do not.
+    if let Some(base) = field(&baseline, "cold_frontier_seconds") {
+        println!(
+            "perf_smoke: cold_frontier_seconds: {} vs baseline {base} ({:.2}x) [informational]",
+            m.cold_frontier_seconds,
+            m.cold_frontier_seconds / base.max(1e-9)
+        );
+    }
+    check("cold_frontier_scored", m.cold_frontier_scored as f64);
+    check("cold_frontier_sweeps", m.cold_frontier_sweeps as f64);
+    check("warm_touched_scored", m.warm_touched_scored as f64);
+
+    if failed {
+        eprintln!("perf_smoke: FAILED (>{TOLERANCE}x regression against {BASELINE_PATH})");
+        std::process::exit(1);
+    }
+    println!("perf_smoke: all checks within {TOLERANCE}x of baseline");
+}

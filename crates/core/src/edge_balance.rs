@@ -16,27 +16,186 @@
 //! monotone schedule (documented in DESIGN.md), which reproduces the qualitative
 //! behaviour: the edge-balance constraint is met first, then the max per-part cut is
 //! reduced and evened out.
+//!
+//! Both phases run on the shared sweep engine (see [`crate::sweep`] and the structurally
+//! identical vertex stage in [`crate::balance`]): frontier-driven refinement, two-phase
+//! deterministic chunk application, and the fixed-point perturbation policy for the
+//! balance pass.
 
 use xtrapulp_comm::RankCtx;
 use xtrapulp_graph::{DistGraph, LocalId};
 
 use crate::balance::{
-    global_arc_counts, global_cut_counts, global_vertex_counts, ScoreScratch, StageCounter,
+    dist_neighbors, global_arc_counts, global_cut_counts, global_vertex_counts, StageCounter,
 };
-use crate::exchange::{push_part_updates, PartUpdate};
+use crate::exchange::{push_part_updates_marking, GhostNeighborMap, PartUpdate};
 use crate::params::PartitionParams;
+use crate::sweep::{
+    refine_budget, RefineConvergence, ScoreScratch, SweepMode, SweepStage, SweepWorkspace,
+    BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
+};
 
-/// One pass of the edge balancing phase: `params.balance_iters` iterations of weighted
-/// label propagation driven by edge- and cut-balance weights.
+/// Count `v`'s neighbours in part `x` and in `target` under the current labels.
+#[inline]
+fn recount_two(graph: &DistGraph, v: u32, parts: &[i32], x: usize, target: usize) -> (f64, f64) {
+    let mut s_x = 0.0f64;
+    let mut s_t = 0.0f64;
+    for &u in graph.neighbors(v as LocalId) {
+        let pu = parts[u as usize] as usize;
+        if pu == x {
+            s_x += 1.0;
+        } else if pu == target {
+            s_t += 1.0;
+        }
+    }
+    (s_x, s_t)
+}
+
+/// Shared mutable state of one edge-stage sweep: the three global size arrays, their
+/// local per-iteration changes and the two weight tables.
+struct EdgeStageState<'a> {
+    size_v: &'a [i64],
+    size_e: &'a [i64],
+    size_c: &'a [i64],
+    change_v: &'a mut [i64],
+    change_e: &'a mut [i64],
+    change_c: &'a mut [i64],
+    w_e: &'a mut [f64],
+    w_c: &'a mut [f64],
+}
+
+impl EdgeStageState<'_> {
+    #[inline]
+    fn est_v(&self, i: usize, mult: f64) -> f64 {
+        self.size_v[i] as f64 + mult * self.change_v[i] as f64
+    }
+
+    #[inline]
+    fn est_e(&self, i: usize, mult: f64) -> f64 {
+        self.size_e[i] as f64 + mult * self.change_e[i] as f64
+    }
+
+    #[inline]
+    fn est_c(&self, i: usize, mult: f64) -> f64 {
+        self.size_c[i] as f64 + mult * self.change_c[i] as f64
+    }
+}
+
+/// One distributed edge-balancing sweep: weighted label propagation driven by edge- and
+/// cut-balance weights.
+struct DistEdgeBalance<'a> {
+    graph: &'a DistGraph,
+    state: EdgeStageState<'a>,
+    imb_e: f64,
+    max_v: f64,
+    max_e: f64,
+    max_c: f64,
+    mult: f64,
+    r_e: f64,
+    r_c: f64,
+}
+
+impl DistEdgeBalance<'_> {
+    #[inline]
+    fn weight_e_of(&self, i: usize) -> f64 {
+        let denom = self.state.est_e(i, self.mult).max(1.0);
+        (self.imb_e / denom - 1.0).max(0.0)
+    }
+
+    #[inline]
+    fn weight_c_of(&self, i: usize) -> f64 {
+        let denom = self.state.est_c(i, self.mult).max(1.0);
+        (self.max_c / denom - 1.0).max(0.0)
+    }
+
+    /// Commit the counter updates of a move of `v` (degree `deg`) from `x` to `w`.
+    fn commit(&mut self, x: usize, w: usize, deg: f64, cut_from_x: i64, cut_from_w: i64) {
+        self.state.change_v[x] -= 1;
+        self.state.change_v[w] += 1;
+        self.state.change_e[x] -= deg as i64;
+        self.state.change_e[w] += deg as i64;
+        self.state.change_c[x] -= cut_from_x;
+        self.state.change_c[w] += cut_from_w;
+        self.state.w_e[x] = self.weight_e_of(x);
+        self.state.w_e[w] = self.weight_e_of(w);
+        self.state.w_c[x] = self.weight_c_of(x);
+        self.state.w_c[w] = self.weight_c_of(w);
+    }
+}
+
+impl SweepStage for DistEdgeBalance<'_> {
+    fn propose(&self, v: u32, parts: &[i32], scratch: &mut ScoreScratch) -> i32 {
+        let x = parts[v as usize] as usize;
+        let deg = self.graph.degree_owned(v as LocalId) as f64;
+        scratch.clear();
+        for &u in self.graph.neighbors(v as LocalId) {
+            scratch.add(parts[u as usize] as usize, 1.0);
+        }
+        let mut best_part = x;
+        let mut best_score = 0.0f64;
+        for &i in scratch.touched() {
+            if i == x {
+                continue;
+            }
+            // Constraints: respect the vertex target and never exceed the current
+            // maximum edge load.
+            if self.state.est_v(i, self.mult) + 1.0 > self.max_v {
+                continue;
+            }
+            if self.state.est_e(i, self.mult) + deg > self.max_e {
+                continue;
+            }
+            let score =
+                scratch.get(i) * (self.r_e * self.state.w_e[i] + self.r_c * self.state.w_c[i]);
+            if score > best_score {
+                best_score = score;
+                best_part = i;
+            }
+        }
+        if best_part != x && best_score > 0.0 {
+            best_part as i32
+        } else {
+            NO_MOVE
+        }
+    }
+
+    fn apply(&mut self, v: u32, target: usize, parts: &[i32]) -> bool {
+        let x = parts[v as usize] as usize;
+        let deg = self.graph.degree_owned(v as LocalId) as f64;
+        if self.state.est_v(target, self.mult) + 1.0 > self.max_v
+            || self.state.est_e(target, self.mult) + deg > self.max_e
+            || self.r_e * self.state.w_e[target] + self.r_c * self.state.w_c[target] <= 0.0
+        {
+            return false;
+        }
+        let (s_x, s_t) = recount_two(self.graph, v, parts, x, target);
+        if s_t <= 0.0 {
+            return false;
+        }
+        let cut_from_x = deg as i64 - s_x as i64;
+        let cut_from_t = deg as i64 - s_t as i64;
+        self.commit(x, target, deg, cut_from_x, cut_from_t);
+        true
+    }
+}
+
+/// One pass of the edge balancing phase: weighted label-propagation iterations driven
+/// by edge- and cut-balance weights, under the fixed-point perturbation policy in
+/// frontier mode. Must be called collectively.
+#[allow(clippy::too_many_arguments)]
 pub fn edge_balance(
     ctx: &RankCtx,
     graph: &DistGraph,
     parts: &mut [i32],
     params: &PartitionParams,
     counter: &mut StageCounter,
+    ws: &mut SweepWorkspace,
+    ghosts: &GhostNeighborMap,
 ) {
     let p = params.num_parts;
     let nranks = ctx.nranks();
+    let n_owned = graph.n_owned();
+    let frontier_mode = params.sweep_mode == SweepMode::Frontier;
     let imb_v = params.target_max_vertices(graph.global_n());
     let imb_e = params.target_max_arcs(2 * graph.global_m());
 
@@ -44,13 +203,47 @@ pub fn edge_balance(
     let mut size_e = global_arc_counts(ctx, graph, parts, p);
     let mut size_c = global_cut_counts(ctx, graph, parts, p);
 
+    // Fixed-point perturbation policy against the edge target, mirroring the vertex
+    // stage, plus stall detection: when the target is unreachable (hub-dominated
+    // skew), pass after pass of balance churn costs full sweeps without improving the
+    // maximum arc load — detect the lack of progress and stop paying for it. All
+    // decisions are on global numbers, so every rank takes the same branch.
+    let cur_max_e = size_e.iter().map(|&s| s as f64).fold(0.0, f64::max);
+    let edge_balanced = size_e.iter().all(|&s| (s as f64) <= imb_e);
+    if frontier_mode && !edge_balanced {
+        if let Some(prev) = ws.edge_balance_last_max {
+            if cur_max_e >= prev * 0.99 {
+                ws.edge_balance_stalled = true;
+            }
+        }
+        ws.edge_balance_last_max = Some(cur_max_e);
+    }
+    let sweep_cap = if frontier_mode && ws.edge_balance_stalled {
+        // The target is out of reach; keep a single churn sweep per pass — its
+        // perturbation still feeds the refinement rounds — but stop paying for the
+        // remaining schedule.
+        1
+    } else if frontier_mode && edge_balanced {
+        let global_active = ctx.allreduce_scalar_sum_u64(ws.engine.frontier.active_len() as u64);
+        if global_active > 0 {
+            0
+        } else {
+            1
+        }
+    } else {
+        params.balance_iters
+    };
+
     // Bias schedule: emphasise edge balance until the constraint is met, then shift the
     // emphasis to the cut-balance objective.
     let mut r_e = 1.0f64;
     let mut r_c = 1.0f64;
 
-    let mut scratch = ScoreScratch::new(p);
-    for _ in 0..params.balance_iters {
+    let SweepWorkspace {
+        engine, counters, ..
+    } = ws;
+    let mut updates: Vec<PartUpdate> = Vec::new();
+    for _ in 0..sweep_cap {
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
         let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
@@ -60,84 +253,65 @@ pub fn edge_balance(
         } else {
             r_e += 1.0;
         }
-        let mult = params.multiplier(nranks, counter.iter_tot);
-
-        let mut change_v = vec![0i64; p];
-        let mut change_e = vec![0i64; p];
-        let mut change_c = vec![0i64; p];
-        let weight_e = |size: i64, change: i64| -> f64 {
-            let denom = (size as f64 + mult * change as f64).max(1.0);
-            (imb_e / denom - 1.0).max(0.0)
+        // A capped churn sweep has no follow-up sweeps to correct collective
+        // overshoot, so it charges changes at the conservative end-of-schedule rate.
+        let mult = if sweep_cap == 1 {
+            params
+                .multiplier(nranks, counter.iter_tot)
+                .max(nranks as f64)
+        } else {
+            params.multiplier(nranks, counter.iter_tot)
         };
-        let weight_c = |size: i64, change: i64| -> f64 {
-            let denom = (size as f64 + mult * change as f64).max(1.0);
-            (max_c / denom - 1.0).max(0.0)
-        };
-        let mut w_e: Vec<f64> = (0..p).map(|i| weight_e(size_e[i], 0)).collect();
-        let mut w_c: Vec<f64> = (0..p).map(|i| weight_c(size_c[i], 0)).collect();
 
-        let mut updates: Vec<PartUpdate> = Vec::new();
-        for v in 0..graph.n_owned() {
-            let x = parts[v] as usize;
-            let deg = graph.degree_owned(v as LocalId) as f64;
-            scratch.clear();
-            for &u in graph.neighbors(v as LocalId) {
-                scratch.add(parts[u as usize] as usize, 1.0);
-            }
-            let mut best_part = x;
-            let mut best_score = 0.0f64;
-            for &i in scratch.touched() {
-                if i == x {
-                    continue;
-                }
-                // Constraints: respect the vertex target and never exceed the current
-                // maximum edge load.
-                if size_v[i] as f64 + mult * change_v[i] as f64 + 1.0 > max_v {
-                    continue;
-                }
-                if size_e[i] as f64 + mult * change_e[i] as f64 + deg > max_e {
-                    continue;
-                }
-                let score = scratch.get(i) * (r_e * w_e[i] + r_c * w_c[i]);
-                if score > best_score {
-                    best_score = score;
-                    best_part = i;
-                }
-            }
-            if best_part != x && best_score > 0.0 {
-                let w = best_part;
-                // Cut arcs contributed by v before and after the move.
-                let cut_from_x = graph
-                    .neighbors(v as LocalId)
-                    .iter()
-                    .filter(|&&u| parts[u as usize] as usize != x)
-                    .count() as i64;
-                let cut_from_w = graph
-                    .neighbors(v as LocalId)
-                    .iter()
-                    .filter(|&&u| parts[u as usize] as usize != w)
-                    .count() as i64;
-                change_v[x] -= 1;
-                change_v[w] += 1;
-                change_e[x] -= deg as i64;
-                change_e[w] += deg as i64;
-                change_c[x] -= cut_from_x;
-                change_c[w] += cut_from_w;
-                w_e[x] = weight_e(size_e[x], change_e[x]);
-                w_e[w] = weight_e(size_e[w], change_e[w]);
-                w_c[x] = weight_c(size_c[x], change_c[x]);
-                w_c[w] = weight_c(size_c[w], change_c[w]);
-                parts[v] = w as i32;
-                updates.push((v as LocalId, w as i32));
-            }
+        counters.reset_changes();
+        for i in 0..p {
+            counters.weight_a[i] = {
+                let denom = (size_e[i] as f64).max(1.0);
+                (imb_e / denom - 1.0).max(0.0)
+            };
+            counters.weight_b[i] = {
+                let denom = (size_c[i] as f64).max(1.0);
+                (max_c / denom - 1.0).max(0.0)
+            };
         }
+        let mut stage = DistEdgeBalance {
+            graph,
+            state: EdgeStageState {
+                size_v: &size_v,
+                size_e: &size_e,
+                size_c: &size_c,
+                change_v: &mut counters.change_v,
+                change_e: &mut counters.change_e,
+                change_c: &mut counters.change_c,
+                w_e: &mut counters.weight_a,
+                w_c: &mut counters.weight_b,
+            },
+            imb_e,
+            max_v,
+            max_e,
+            max_c,
+            mult,
+            r_e,
+            r_c,
+        };
+        updates.clear();
+        engine.sweep(
+            n_owned,
+            parts,
+            false,
+            BALANCE_CHUNK,
+            &mut stage,
+            dist_neighbors(graph),
+            |v, part| updates.push((v, part)),
+        );
 
-        push_part_updates(ctx, graph, &updates, parts);
-        let mut all_changes = Vec::with_capacity(3 * p);
-        all_changes.extend_from_slice(&change_v);
-        all_changes.extend_from_slice(&change_e);
-        all_changes.extend_from_slice(&change_c);
-        let global = ctx.allreduce_sum_i64(&all_changes);
+        push_part_updates_marking(ctx, graph, &updates, parts, ghosts, &mut engine.frontier);
+        let mut all = Vec::with_capacity(3 * p + 1);
+        all.extend_from_slice(&counters.change_v);
+        all.extend_from_slice(&counters.change_e);
+        all.extend_from_slice(&counters.change_c);
+        all.push(updates.len() as i64);
+        let global = ctx.allreduce_sum_i64(&all);
         for i in 0..p {
             size_v[i] += global[i];
             size_e[i] += global[p + i];
@@ -145,29 +319,142 @@ pub fn edge_balance(
             size_c[i] = size_c[i].max(0);
         }
         counter.iter_tot += 1;
+        if frontier_mode && global[3 * p] == 0 {
+            break;
+        }
+    }
+}
+
+/// One distributed edge-stage refinement sweep: constrained label propagation that
+/// reduces the cut while never increasing the maximum vertex, edge or cut load of any
+/// part.
+struct DistEdgeRefine<'a> {
+    graph: &'a DistGraph,
+    state: EdgeStageState<'a>,
+    max_v: f64,
+    max_e: f64,
+    max_c: f64,
+    guard_mult: f64,
+}
+
+impl SweepStage for DistEdgeRefine<'_> {
+    fn propose(&self, v: u32, parts: &[i32], scratch: &mut ScoreScratch) -> i32 {
+        let x = parts[v as usize] as usize;
+        let deg = self.graph.degree_owned(v as LocalId) as f64;
+        scratch.clear();
+        for &u in self.graph.neighbors(v as LocalId) {
+            scratch.add(parts[u as usize] as usize, 1.0);
+        }
+        let own_score = scratch.get(x);
+        let mut best_part = x;
+        let mut best_score = own_score;
+        for &i in scratch.touched() {
+            if i == x {
+                continue;
+            }
+            let cut_into_i = deg - scratch.get(i);
+            if self.state.est_v(i, self.guard_mult) + 1.0 > self.max_v {
+                continue;
+            }
+            if self.state.est_e(i, self.guard_mult) + deg > self.max_e {
+                continue;
+            }
+            if self.state.est_c(i, self.guard_mult) + cut_into_i > self.max_c {
+                continue;
+            }
+            let score = scratch.get(i);
+            if score > best_score {
+                best_score = score;
+                best_part = i;
+            }
+        }
+        if best_part != x {
+            best_part as i32
+        } else {
+            NO_MOVE
+        }
+    }
+
+    fn apply(&mut self, v: u32, target: usize, parts: &[i32]) -> bool {
+        let x = parts[v as usize] as usize;
+        let deg = self.graph.degree_owned(v as LocalId) as f64;
+        let (s_x, s_t) = recount_two(self.graph, v, parts, x, target);
+        if s_t <= s_x
+            || self.state.est_v(target, self.guard_mult) + 1.0 > self.max_v
+            || self.state.est_e(target, self.guard_mult) + deg > self.max_e
+            || self.state.est_c(target, self.guard_mult) + (deg - s_t) > self.max_c
+        {
+            return false;
+        }
+        let cut_from_x = deg as i64 - s_x as i64;
+        let cut_from_t = deg as i64 - s_t as i64;
+        self.state.change_v[x] -= 1;
+        self.state.change_v[target] += 1;
+        self.state.change_e[x] -= deg as i64;
+        self.state.change_e[target] += deg as i64;
+        self.state.change_c[x] -= cut_from_x;
+        self.state.change_c[target] += cut_from_t;
+        true
     }
 }
 
 /// One pass of the edge-stage refinement: constrained label propagation that reduces the
 /// cut while never increasing the maximum vertex, edge or cut load of any part.
+/// Frontier-driven with the [`RefineConvergence`] protocol; must be called collectively.
+#[allow(clippy::too_many_arguments)]
 pub fn edge_refine(
     ctx: &RankCtx,
     graph: &DistGraph,
     parts: &mut [i32],
     params: &PartitionParams,
     counter: &mut StageCounter,
+    ws: &mut SweepWorkspace,
+    ghosts: &GhostNeighborMap,
+    convergence: RefineConvergence,
 ) {
     let p = params.num_parts;
     let nranks = ctx.nranks();
+    let n_owned = graph.n_owned();
+    let frontier_mode = params.sweep_mode == SweepMode::Frontier;
     let imb_v = params.target_max_vertices(graph.global_n());
     let imb_e = params.target_max_arcs(2 * graph.global_m());
+    // A globally-converged frontier-only pass does no work at all — skip the counter
+    // collectives (each an O(n) or O(m) local scan) too. Global check: every rank
+    // returns or proceeds together.
+    if frontier_mode && convergence == RefineConvergence::FrontierOnly {
+        let global_active = ctx.allreduce_scalar_sum_u64(ws.engine.frontier.active_len() as u64);
+        if global_active == 0 {
+            return;
+        }
+    }
 
     let mut size_v = global_vertex_counts(ctx, graph, parts, p);
     let mut size_e = global_arc_counts(ctx, graph, parts, p);
     let mut size_c = global_cut_counts(ctx, graph, parts, p);
 
-    let mut scratch = ScoreScratch::new(p);
-    for _ in 0..params.refine_iters {
+    let SweepWorkspace {
+        engine, counters, ..
+    } = ws;
+    if frontier_mode && convergence == RefineConvergence::Polish {
+        let global_active = ctx.allreduce_scalar_sum_u64(engine.frontier.active_len() as u64);
+        if global_active > graph.global_n() / 8 {
+            engine.frontier.clear();
+        }
+    }
+
+    let budget = refine_budget(params.refine_iters, params.sweep_mode);
+    let mut updates: Vec<PartUpdate> = Vec::new();
+    for _ in 0..budget {
+        let use_frontier = if frontier_mode {
+            let global_active = ctx.allreduce_scalar_sum_u64(engine.frontier.active_len() as u64);
+            if global_active == 0 && convergence == RefineConvergence::FrontierOnly {
+                break;
+            }
+            global_active > 0
+        } else {
+            false
+        };
+
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
         let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
         let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
@@ -177,62 +464,42 @@ pub fn edge_refine(
         // iteration.
         let guard_mult = mult.max(nranks as f64);
 
-        let mut change_v = vec![0i64; p];
-        let mut change_e = vec![0i64; p];
-        let mut change_c = vec![0i64; p];
+        counters.reset_changes();
+        let mut stage = DistEdgeRefine {
+            graph,
+            state: EdgeStageState {
+                size_v: &size_v,
+                size_e: &size_e,
+                size_c: &size_c,
+                change_v: &mut counters.change_v,
+                change_e: &mut counters.change_e,
+                change_c: &mut counters.change_c,
+                w_e: &mut counters.weight_a,
+                w_c: &mut counters.weight_b,
+            },
+            max_v,
+            max_e,
+            max_c,
+            guard_mult,
+        };
+        updates.clear();
+        engine.sweep(
+            n_owned,
+            parts,
+            use_frontier,
+            SWEEP_CHUNK,
+            &mut stage,
+            dist_neighbors(graph),
+            |v, part| updates.push((v, part)),
+        );
 
-        let mut updates: Vec<PartUpdate> = Vec::new();
-        for v in 0..graph.n_owned() {
-            let x = parts[v] as usize;
-            let deg = graph.degree_owned(v as LocalId) as f64;
-            scratch.clear();
-            for &u in graph.neighbors(v as LocalId) {
-                scratch.add(parts[u as usize] as usize, 1.0);
-            }
-            let own_score = scratch.get(x);
-            let mut best_part = x;
-            let mut best_score = own_score;
-            for &i in scratch.touched() {
-                if i == x {
-                    continue;
-                }
-                let cut_into_i = graph.degree_owned(v as LocalId) as f64 - scratch.get(i);
-                if size_v[i] as f64 + guard_mult * change_v[i] as f64 + 1.0 > max_v {
-                    continue;
-                }
-                if size_e[i] as f64 + guard_mult * change_e[i] as f64 + deg > max_e {
-                    continue;
-                }
-                if size_c[i] as f64 + guard_mult * change_c[i] as f64 + cut_into_i > max_c {
-                    continue;
-                }
-                let score = scratch.get(i);
-                if score > best_score {
-                    best_score = score;
-                    best_part = i;
-                }
-            }
-            if best_part != x {
-                let w = best_part;
-                let cut_from_x = deg as i64 - scratch.get(x) as i64;
-                let cut_from_w = deg as i64 - scratch.get(w) as i64;
-                change_v[x] -= 1;
-                change_v[w] += 1;
-                change_e[x] -= deg as i64;
-                change_e[w] += deg as i64;
-                change_c[x] -= cut_from_x;
-                change_c[w] += cut_from_w;
-                parts[v] = w as i32;
-                updates.push((v as LocalId, w as i32));
-            }
-        }
-
-        push_part_updates(ctx, graph, &updates, parts);
-        let mut all_changes = Vec::with_capacity(3 * p);
-        all_changes.extend_from_slice(&change_v);
-        all_changes.extend_from_slice(&change_e);
-        all_changes.extend_from_slice(&change_c);
-        let global = ctx.allreduce_sum_i64(&all_changes);
+        push_part_updates_marking(ctx, graph, &updates, parts, ghosts, &mut engine.frontier);
+        let mut all = Vec::with_capacity(3 * p + 1);
+        all.extend_from_slice(&counters.change_v);
+        all.extend_from_slice(&counters.change_e);
+        all.extend_from_slice(&counters.change_c);
+        all.push(updates.len() as i64);
+        let global = ctx.allreduce_sum_i64(&all);
         for i in 0..p {
             size_v[i] += global[i];
             size_e[i] += global[p + i];
@@ -240,6 +507,12 @@ pub fn edge_refine(
             size_c[i] = size_c[i].max(0);
         }
         counter.iter_tot += 1;
+        if frontier_mode
+            && global[3 * p] == 0
+            && (!use_frontier || convergence == RefineConvergence::FrontierOnly)
+        {
+            break;
+        }
     }
 }
 
@@ -278,6 +551,16 @@ mod tests {
         (141, edges)
     }
 
+    fn stage_env(
+        graph: &DistGraph,
+        params: &PartitionParams,
+    ) -> (SweepWorkspace, GhostNeighborMap) {
+        let mut ws = SweepWorkspace::new(params.sweep_threads);
+        ws.begin_run(graph.n_owned(), params.num_parts);
+        ws.engine.frontier.seed_all(graph.n_owned());
+        (ws, GhostNeighborMap::build(graph))
+    }
+
     #[test]
     fn edge_stage_improves_edge_balance_without_breaking_vertex_constraint() {
         let (n, edges) = skewed_edges();
@@ -289,16 +572,35 @@ mod tests {
                 ..Default::default()
             };
             let mut parts = init_partition(ctx, &g, &params);
+            let (mut ws, ghosts) = stage_env(&g, &params);
             let mut counter = StageCounter::default();
             for _ in 0..params.outer_iters {
-                vertex_balance(ctx, &g, &mut parts, &params, &mut counter);
-                vertex_refine(ctx, &g, &mut parts, &params, &mut counter);
+                vertex_balance(ctx, &g, &mut parts, &params, &mut counter, &mut ws, &ghosts);
+                vertex_refine(
+                    ctx,
+                    &g,
+                    &mut parts,
+                    &params,
+                    &mut counter,
+                    &mut ws,
+                    &ghosts,
+                    RefineConvergence::Polish,
+                );
             }
             let before = PartitionQuality::evaluate_dist(ctx, &g, &parts, 4);
             let mut counter = StageCounter::default();
             for _ in 0..params.outer_iters {
-                edge_balance(ctx, &g, &mut parts, &params, &mut counter);
-                edge_refine(ctx, &g, &mut parts, &params, &mut counter);
+                edge_balance(ctx, &g, &mut parts, &params, &mut counter, &mut ws, &ghosts);
+                edge_refine(
+                    ctx,
+                    &g,
+                    &mut parts,
+                    &params,
+                    &mut counter,
+                    &mut ws,
+                    &ghosts,
+                    RefineConvergence::Polish,
+                );
             }
             let after = PartitionQuality::evaluate_dist(ctx, &g, &parts, 4);
             assert!(is_valid_partition(&parts, 4));
@@ -331,12 +633,31 @@ mod tests {
                 ..Default::default()
             };
             let mut parts = init_partition(ctx, &g, &params);
+            let (mut ws, ghosts) = stage_env(&g, &params);
             let mut counter = StageCounter::default();
-            vertex_balance(ctx, &g, &mut parts, &params, &mut counter);
-            vertex_refine(ctx, &g, &mut parts, &params, &mut counter);
+            vertex_balance(ctx, &g, &mut parts, &params, &mut counter, &mut ws, &ghosts);
+            vertex_refine(
+                ctx,
+                &g,
+                &mut parts,
+                &params,
+                &mut counter,
+                &mut ws,
+                &ghosts,
+                RefineConvergence::Polish,
+            );
             let before = PartitionQuality::evaluate_dist(ctx, &g, &parts, 3);
             let mut counter = StageCounter::default();
-            edge_refine(ctx, &g, &mut parts, &params, &mut counter);
+            edge_refine(
+                ctx,
+                &g,
+                &mut parts,
+                &params,
+                &mut counter,
+                &mut ws,
+                &ghosts,
+                RefineConvergence::Polish,
+            );
             let after = PartitionQuality::evaluate_dist(ctx, &g, &parts, 3);
             assert!(
                 after.edge_cut <= before.edge_cut + before.edge_cut / 4 + 2,
@@ -348,15 +669,28 @@ mod tests {
     }
 
     #[test]
-    fn stage_counters_advance() {
+    fn full_mode_stage_counters_advance() {
         let (n, edges) = skewed_edges();
         Runtime::run(1, |ctx| {
             let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
-            let params = PartitionParams::with_parts(2);
+            let params = PartitionParams {
+                sweep_mode: SweepMode::Full,
+                ..PartitionParams::with_parts(2)
+            };
             let mut parts = init_partition(ctx, &g, &params);
+            let (mut ws, ghosts) = stage_env(&g, &params);
             let mut counter = StageCounter::default();
-            edge_balance(ctx, &g, &mut parts, &params, &mut counter);
-            edge_refine(ctx, &g, &mut parts, &params, &mut counter);
+            edge_balance(ctx, &g, &mut parts, &params, &mut counter, &mut ws, &ghosts);
+            edge_refine(
+                ctx,
+                &g,
+                &mut parts,
+                &params,
+                &mut counter,
+                &mut ws,
+                &ghosts,
+                RefineConvergence::Polish,
+            );
             assert_eq!(counter.iter_tot, params.balance_iters + params.refine_iters);
         });
     }

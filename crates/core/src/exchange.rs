@@ -10,8 +10,63 @@
 use xtrapulp_comm::RankCtx;
 use xtrapulp_graph::{DistGraph, LocalId};
 
+use crate::sweep::Frontier;
+
 /// One part reassignment of an owned vertex.
 pub type PartUpdate = (LocalId, i32);
+
+/// The transpose of the owned→ghost adjacency: for every ghost vertex, the owned
+/// vertices adjacent to it. The frontier-driven sweeps need it because an incoming
+/// ghost part change must re-activate the owned neighbourhood of that ghost, and the
+/// local CSR only stores adjacency for owned vertices. Built once per partitioning run
+/// in `O(local arcs)`.
+#[derive(Debug, Default)]
+pub struct GhostNeighborMap {
+    offsets: Vec<u32>,
+    owned: Vec<LocalId>,
+}
+
+impl GhostNeighborMap {
+    /// Build the map for this rank's graph.
+    pub fn build(graph: &DistGraph) -> GhostNeighborMap {
+        let n_owned = graph.n_owned();
+        let n_ghost = graph.n_ghost();
+        let mut counts = vec![0u32; n_ghost + 1];
+        for v in 0..n_owned {
+            for &u in graph.neighbors(v as LocalId) {
+                if u as usize >= n_owned {
+                    counts[u as usize - n_owned + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n_ghost {
+            counts[i + 1] += counts[i];
+        }
+        let mut owned = vec![0 as LocalId; counts[n_ghost] as usize];
+        let mut cursor = counts.clone();
+        for v in 0..n_owned {
+            for &u in graph.neighbors(v as LocalId) {
+                if u as usize >= n_owned {
+                    let slot = u as usize - n_owned;
+                    owned[cursor[slot] as usize] = v as LocalId;
+                    cursor[slot] += 1;
+                }
+            }
+        }
+        GhostNeighborMap {
+            offsets: counts,
+            owned,
+        }
+    }
+
+    /// The owned vertices adjacent to ghost slot `slot` (i.e. local id
+    /// `n_owned + slot`).
+    pub fn owned_neighbors(&self, slot: usize) -> &[LocalId] {
+        let start = self.offsets[slot] as usize;
+        let end = self.offsets[slot + 1] as usize;
+        &self.owned[start..end]
+    }
+}
 
 /// Push the part labels of locally reassigned vertices to the ranks holding them as
 /// ghosts, and apply the symmetric incoming updates to this rank's ghost entries in
@@ -23,6 +78,31 @@ pub fn push_part_updates(
     graph: &DistGraph,
     updates: &[PartUpdate],
     parts: &mut [i32],
+) -> u64 {
+    push_part_updates_impl(ctx, graph, updates, parts, None)
+}
+
+/// [`push_part_updates`] variant that also feeds the frontier: every owned neighbour of
+/// a ghost whose part label just changed is marked active for the next sweep — the
+/// distributed half of "a vertex is enqueued when it or a neighbour changed part".
+/// Must be called collectively.
+pub fn push_part_updates_marking(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    updates: &[PartUpdate],
+    parts: &mut [i32],
+    ghosts: &GhostNeighborMap,
+    frontier: &mut Frontier,
+) -> u64 {
+    push_part_updates_impl(ctx, graph, updates, parts, Some((ghosts, frontier)))
+}
+
+fn push_part_updates_impl(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    updates: &[PartUpdate],
+    parts: &mut [i32],
+    mut marking: Option<(&GhostNeighborMap, &mut Frontier)>,
 ) -> u64 {
     let nranks = ctx.nranks();
     let rank = ctx.rank();
@@ -55,6 +135,13 @@ pub fn push_part_updates(
                 !graph.is_owned(lid),
                 "part updates must only arrive for ghost vertices"
             );
+            if let Some((ghosts, frontier)) = marking.as_mut() {
+                if parts[lid as usize] != new_part {
+                    for &v in ghosts.owned_neighbors(lid as usize - graph.n_owned()) {
+                        frontier.mark(v);
+                    }
+                }
+            }
             parts[lid as usize] = new_part;
             applied += 1;
         }

@@ -79,18 +79,22 @@ pub mod metrics;
 pub mod params;
 pub mod partitioner;
 pub mod pulp;
+pub mod sweep;
 
 pub use error::PartitionError;
 pub use params::{InitStrategy, PartitionParams};
 pub use partitioner::{
     greedy_seed_unassigned, try_xtrapulp_partition, try_xtrapulp_partition_from,
-    validate_warm_start, xtrapulp_partition, EdgeBlockPartitioner, PartitionResult, Partitioner,
-    RandomPartitioner, VertexBlockPartitioner, WarmStartPartitioner, XtraPulpPartitioner,
+    try_xtrapulp_partition_from_touched, validate_warm_start, xtrapulp_partition,
+    EdgeBlockPartitioner, PartitionResult, Partitioner, RandomPartitioner, VertexBlockPartitioner,
+    WarmStartPartitioner, XtraPulpPartitioner,
 };
 pub use pulp::{
     pulp_partition, try_pulp_partition, try_pulp_partition_from,
-    try_pulp_partition_from_with_sweeps, try_pulp_partition_with_sweeps, PulpPartitioner,
+    try_pulp_partition_from_with_stats, try_pulp_partition_from_with_sweeps,
+    try_pulp_partition_with_stats, try_pulp_partition_with_sweeps, PulpPartitioner,
 };
+pub use sweep::{SweepMode, SweepStats, SweepWorkspace};
 
 // Re-exported so downstream crates (analytics, spmv, bench) can name graph types without
 // an extra dependency edge.

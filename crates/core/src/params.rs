@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::PartitionError;
+use crate::sweep::SweepMode;
 
 /// How the initial part assignment is produced before the balancing stages run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +55,14 @@ pub struct PartitionParams {
     /// makes incremental repartitioning cheap; `0` means seed-only (new vertices are
     /// assigned greedily, nothing is refined).
     pub warm_outer_iters: usize,
+    /// Sweep strategy: frontier-driven active-vertex sweeps (the default) or the
+    /// legacy full `0..n` sweeps, kept as the measured baseline for `bench_sweep` and
+    /// the frontier-vs-full parity tests. See [`crate::sweep`].
+    pub sweep_mode: SweepMode,
+    /// Worker threads for the intra-rank parallel proposal phase of each sweep
+    /// (`0` = auto: `XTRAPULP_THREADS`, then the machine's available parallelism).
+    /// Results are bit-identical for every thread count.
+    pub sweep_threads: usize,
     /// RNG seed; every stage derives its own deterministic stream from it.
     pub seed: u64,
 }
@@ -72,6 +81,8 @@ impl Default for PartitionParams {
             init: InitStrategy::BfsGrow,
             edge_balance_stage: true,
             warm_outer_iters: 1,
+            sweep_mode: SweepMode::Frontier,
+            sweep_threads: 0,
             seed: 0xB1_7E5,
         }
     }

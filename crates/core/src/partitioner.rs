@@ -3,16 +3,19 @@
 
 use xtrapulp_comm::{PhaseTimer, RankCtx, Runtime};
 use xtrapulp_graph::distribution::splitmix64;
-use xtrapulp_graph::{Csr, DistGraph, Distribution, LocalId, UNASSIGNED};
+use xtrapulp_graph::{Csr, DistGraph, Distribution, GlobalId, LocalId, UNASSIGNED};
 
-use crate::balance::{vertex_balance, vertex_refine, StageCounter};
+use crate::balance::{final_rebalance, vertex_balance, vertex_refine, StageCounter};
 use crate::baselines;
 use crate::edge_balance::{edge_balance, edge_refine};
 use crate::error::PartitionError;
-use crate::exchange::{push_part_updates, refresh_ghost_parts, PartUpdate};
+use crate::exchange::{
+    push_part_updates_marking, refresh_ghost_parts, GhostNeighborMap, PartUpdate,
+};
 use crate::init::init_partition;
 use crate::metrics::PartitionQuality;
 use crate::params::PartitionParams;
+use crate::sweep::{RefineConvergence, SweepMode, SweepWorkspace};
 
 /// The outcome of one distributed XtraPuLP run on one rank.
 #[derive(Debug, Clone)]
@@ -26,6 +29,10 @@ pub struct PartitionResult {
     /// Number of label-propagation sweeps executed across all stages (identical on every
     /// rank); warm starts run far fewer than from-scratch runs.
     pub lp_sweeps: u64,
+    /// Number of vertices scored across all sweeps and ranks (identical on every rank):
+    /// the real unit of label-propagation work, which the frontier-driven engine
+    /// shrinks — `n · sweeps` for full sweeps, the sum of active-set sizes otherwise.
+    pub vertices_scored: u64,
 }
 
 impl PartitionResult {
@@ -76,8 +83,24 @@ fn xtrapulp_partition_validated(
     params: &PartitionParams,
 ) -> PartitionResult {
     let mut timings = PhaseTimer::new();
+    let mut ws = SweepWorkspace::new(params.sweep_threads);
+    ws.begin_run(graph.n_owned(), params.num_parts);
+    let ghosts = GhostNeighborMap::build(graph);
     let parts = timings.time("init", || init_partition(ctx, graph, params));
-    run_stages(ctx, graph, params, parts, params.outer_iters, true, timings)
+    // Initialisation changed every label: every owned vertex starts active.
+    ws.engine.frontier.seed_all(graph.n_owned());
+    run_stages(
+        ctx,
+        graph,
+        params,
+        parts,
+        params.outer_iters,
+        params.outer_iters,
+        true,
+        timings,
+        &mut ws,
+        &ghosts,
+    )
 }
 
 /// Run the full multi-constraint multi-objective XtraPuLP algorithm *warm-started* from
@@ -99,6 +122,25 @@ pub fn try_xtrapulp_partition_from(
     params: &PartitionParams,
     initial_owned: &[i32],
 ) -> Result<PartitionResult, PartitionError> {
+    try_xtrapulp_partition_from_touched(ctx, graph, params, initial_owned, None)
+}
+
+/// [`try_xtrapulp_partition_from`] variant that also receives the *touched set* of the
+/// mutation delta separating this epoch from the seed: the global ids of the endpoints
+/// of inserted/deleted edges and of added vertices. The refinement frontier is seeded
+/// from these vertices plus their one-hop neighbourhoods (ghost-mediated hops
+/// included), so a warm run after a small delta scores only the delta region and stops
+/// on empty-frontier convergence instead of running a fixed
+/// [`PartitionParams::warm_outer_iters`] schedule. Every rank must pass the same
+/// `touched` slice. Without it (`None`) the frontier is seeded conservatively from
+/// every vertex.
+pub fn try_xtrapulp_partition_from_touched(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    params: &PartitionParams,
+    initial_owned: &[i32],
+    touched: Option<&[GlobalId]>,
+) -> Result<PartitionResult, PartitionError> {
     params.validate()?;
     let local_error = validate_warm_start(graph.n_owned(), params.num_parts, initial_owned).err();
     let global_violations = ctx.allreduce_scalar_sum_u64(local_error.is_some() as u64);
@@ -111,15 +153,20 @@ pub fn try_xtrapulp_partition_from(
     }
 
     let mut timings = PhaseTimer::new();
-    let parts = timings.time("warm_seed", || warm_seed(ctx, graph, params, initial_owned));
+    let mut ws = SweepWorkspace::new(params.sweep_threads);
+    ws.begin_run(graph.n_owned(), params.num_parts);
+    let ghosts = GhostNeighborMap::build(graph);
+    let parts = timings.time("warm_seed", || {
+        warm_seed(ctx, graph, params, initial_owned, &mut ws, &ghosts)
+    });
     // Warm runs skip the (aggressively label-churning) balance passes when the seeded
     // partition already satisfies both balance constraints — with the same slack as the
     // serial path, since a converged run routinely lands within rounding of the
-    // fractional target — and then run only `warm_outer_iters` refinement rounds. When
-    // the delta meaningfully overshot a target, the warm run falls back to the full cold
-    // stage schedule (balance needs several rounds to converge; one round overshoots),
-    // still skipping initialisation. Computed collectively, so every rank takes the same
-    // branch.
+    // fractional target (e.g. 221 vertices against a target of 220.0), which is noise,
+    // not imbalance. When the delta meaningfully overshot a target, the warm run falls
+    // back to the full cold stage schedule (balance needs several rounds to converge;
+    // one round overshoots), still skipping initialisation. Computed collectively, so
+    // every rank takes the same branch.
     let balance = {
         let p = params.num_parts;
         let imb_v = params.target_max_vertices(graph.global_n()) * crate::pulp::WARM_BALANCE_SLACK;
@@ -131,27 +178,80 @@ pub fn try_xtrapulp_partition_from(
                 .iter()
                 .any(|&s| s as f64 > imb_e)
     };
+    if params.sweep_mode == SweepMode::Frontier {
+        if balance || touched.is_none() {
+            // The fallback cold schedule (or a warm start with no delta information)
+            // rescopes to the whole graph; the marks `warm_seed` left stay valid.
+            ws.engine.frontier.seed_all(graph.n_owned());
+        } else {
+            // Scope the frontier to the delta: every touched vertex this rank knows
+            // (owned or ghost) activates its owned neighbourhood; `warm_seed` already
+            // marked the newly assigned vertices and their cross-rank neighbours.
+            let n_owned = graph.n_owned();
+            for &g in touched.unwrap_or(&[]) {
+                if let Some(lid) = graph.local_id(g) {
+                    if (lid as usize) < n_owned {
+                        ws.engine.frontier.mark(lid);
+                        for &u in graph.neighbors(lid) {
+                            if (u as usize) < n_owned {
+                                ws.engine.frontier.mark(u);
+                            }
+                        }
+                    } else {
+                        for &v in ghosts.owned_neighbors(lid as usize - n_owned) {
+                            ws.engine.frontier.mark(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
     let outer = if balance {
         params.outer_iters
     } else {
         params.warm_outer_iters
     };
+    // The empty-frontier convergence loop may run extra rounds only when the frontier
+    // is actually delta-scoped; a blind warm start (no touched set) keeps the legacy
+    // `warm_outer_iters` round count.
+    let warm_rounds_cap = if !balance && touched.is_some() {
+        outer.max(params.outer_iters)
+    } else {
+        outer
+    };
     Ok(run_stages(
-        ctx, graph, params, parts, outer, balance, timings,
+        ctx,
+        graph,
+        params,
+        parts,
+        outer,
+        warm_rounds_cap,
+        balance,
+        timings,
+        &mut ws,
+        &ghosts,
     ))
 }
 
-/// The shared balance/refine pipeline: `outer` rounds of the vertex stage, then (when
-/// enabled) `outer` rounds of the edge stage, then quality evaluation.
+/// The shared balance/refine pipeline. Cold (and fallback-warm) runs execute `outer`
+/// rounds of the vertex stage, then (when enabled) `outer` rounds of the edge stage,
+/// then the explicit final rebalance pass and quality evaluation. Warm refine-only runs
+/// (`balance == false`) iterate refinement until the frontier empties (capped), which is
+/// what turns repartitioning cost into `O(active work)`.
+#[allow(clippy::too_many_arguments)]
 fn run_stages(
     ctx: &RankCtx,
     graph: &DistGraph,
     params: &PartitionParams,
     mut parts: Vec<i32>,
     outer: usize,
+    warm_rounds_cap: usize,
     balance: bool,
     mut timings: PhaseTimer,
+    ws: &mut SweepWorkspace,
+    ghosts: &GhostNeighborMap,
 ) -> PartitionResult {
+    let frontier_mode = params.sweep_mode == SweepMode::Frontier;
     // The dynamic multiplier ramps from `Y` to `X` over the stage schedule; normalise it
     // by the rounds actually run (warm starts run `warm_outer_iters`, not `outer_iters`)
     // so a short schedule still reaches the conservative end-of-run multiplier instead of
@@ -161,42 +261,143 @@ fn run_stages(
         outer_iters: outer,
         ..*params
     };
-    // Stage 1: vertex balance + refinement.
-    let mut counter = StageCounter::default();
-    timings.time("vertex_stage", || {
-        for _ in 0..outer {
-            if balance {
-                vertex_balance(ctx, graph, &mut parts, params, &mut counter);
-            }
-            vertex_refine(ctx, graph, &mut parts, params, &mut counter);
-        }
-    });
-    let mut lp_sweeps = counter.iter_tot as u64;
-
-    // Stage 2: edge balance + refinement (the "MM" in PuLP-MM). The iteration counter is
-    // reset, as in Algorithm 1.
-    if params.edge_balance_stage && params.num_parts > 1 {
+    let mut lp_sweeps;
+    if balance {
+        // Stage 1: vertex balance + refinement.
         let mut counter = StageCounter::default();
-        timings.time("edge_stage", || {
+        timings.time("vertex_stage", || {
             for _ in 0..outer {
-                if balance {
-                    edge_balance(ctx, graph, &mut parts, params, &mut counter);
-                }
-                edge_refine(ctx, graph, &mut parts, params, &mut counter);
+                vertex_balance(ctx, graph, &mut parts, params, &mut counter, ws, ghosts);
+                vertex_refine(
+                    ctx,
+                    graph,
+                    &mut parts,
+                    params,
+                    &mut counter,
+                    ws,
+                    ghosts,
+                    RefineConvergence::Polish,
+                );
             }
         });
-        lp_sweeps += counter.iter_tot as u64;
+        lp_sweeps = counter.iter_tot as u64;
+
+        // Stage 2: edge balance + refinement (the "MM" in PuLP-MM). The iteration
+        // counter is reset, as in Algorithm 1.
+        if params.edge_balance_stage && params.num_parts > 1 {
+            let mut counter = StageCounter::default();
+            timings.time("edge_stage", || {
+                for _ in 0..outer {
+                    edge_balance(ctx, graph, &mut parts, params, &mut counter, ws, ghosts);
+                    edge_refine(
+                        ctx,
+                        graph,
+                        &mut parts,
+                        params,
+                        &mut counter,
+                        ws,
+                        ghosts,
+                        RefineConvergence::Polish,
+                    );
+                }
+            });
+            lp_sweeps += counter.iter_tot as u64;
+        }
+
+        // Label propagation can leave skewed graphs above the vertex target (the same
+        // gap the multilevel drivers closed in PR 1 with an explicit rebalance); the
+        // final rebalance pass drains any remaining overweight parts cut-awarely. A
+        // no-op when the constraint already holds.
+        timings.time("rebalance", || {
+            final_rebalance(ctx, graph, &mut parts, params, ws, ghosts)
+        });
+    } else {
+        // Warm refine-only run: the seed meets both balance targets, so only
+        // refinement runs. Frontier mode iterates to empty-frontier convergence
+        // (capped); full mode keeps the legacy fixed schedule.
+        let mut counter = StageCounter::default();
+        timings.time("vertex_stage", || {
+            if outer == 0 {
+                // Seed-only schedule: nothing to refine.
+            } else if frontier_mode {
+                // One refinement stage per round: with the edge stage enabled that is
+                // `edge_refine`, whose admissibility (vertex, edge and cut caps) is a
+                // superset of the vertex stage's and whose score rule is identical —
+                // running `vertex_refine` first would consume the frontier to
+                // convergence and leave the edge-capped pass nothing to check.
+                for _ in 0..warm_rounds_cap {
+                    let active =
+                        ctx.allreduce_scalar_sum_u64(ws.engine.frontier.active_len() as u64);
+                    if active == 0 {
+                        break;
+                    }
+                    if params.edge_balance_stage && params.num_parts > 1 {
+                        edge_refine(
+                            ctx,
+                            graph,
+                            &mut parts,
+                            params,
+                            &mut counter,
+                            ws,
+                            ghosts,
+                            RefineConvergence::FrontierOnly,
+                        );
+                    } else {
+                        vertex_refine(
+                            ctx,
+                            graph,
+                            &mut parts,
+                            params,
+                            &mut counter,
+                            ws,
+                            ghosts,
+                            RefineConvergence::FrontierOnly,
+                        );
+                    }
+                }
+            } else {
+                for _ in 0..outer {
+                    vertex_refine(
+                        ctx,
+                        graph,
+                        &mut parts,
+                        params,
+                        &mut counter,
+                        ws,
+                        ghosts,
+                        RefineConvergence::FrontierOnly,
+                    );
+                }
+                if params.edge_balance_stage && params.num_parts > 1 {
+                    for _ in 0..outer {
+                        edge_refine(
+                            ctx,
+                            graph,
+                            &mut parts,
+                            params,
+                            &mut counter,
+                            ws,
+                            ghosts,
+                            RefineConvergence::FrontierOnly,
+                        );
+                    }
+                }
+            }
+        });
+        lp_sweeps = counter.iter_tot as u64;
     }
 
     let quality = timings.time("metrics", || {
         PartitionQuality::evaluate_dist(ctx, graph, &parts, params.num_parts)
     });
+    let vertices_scored = ctx.allreduce_scalar_sum_u64(ws.engine.stats.vertices_scored);
 
     PartitionResult {
         parts,
         quality,
         timings,
         lp_sweeps,
+        vertices_scored,
     }
 }
 
@@ -211,16 +412,31 @@ fn warm_seed(
     graph: &DistGraph,
     params: &PartitionParams,
     initial_owned: &[i32],
+    ws: &mut SweepWorkspace,
+    ghosts: &GhostNeighborMap,
 ) -> Vec<i32> {
     let p = params.num_parts;
+    let n_owned = graph.n_owned();
     let mut parts = vec![UNASSIGNED; graph.n_total()];
-    parts[..graph.n_owned()].copy_from_slice(initial_owned);
+    parts[..n_owned].copy_from_slice(initial_owned);
     refresh_ghost_parts(ctx, graph, &mut parts);
+
+    // Every vertex assigned here counts as delta-touched: it and its neighbourhood
+    // seed the warm refinement frontier (cross-rank neighbours are reached through the
+    // marking exchange).
+    let mark_assigned = |frontier: &mut crate::sweep::Frontier, v: LocalId| {
+        frontier.mark(v);
+        for &u in graph.neighbors(v) {
+            if (u as usize) < n_owned {
+                frontier.mark(u);
+            }
+        }
+    };
 
     let mut scores = vec![0u64; p];
     loop {
         let mut updates: Vec<PartUpdate> = Vec::new();
-        for v in 0..graph.n_owned() {
+        for v in 0..n_owned {
             if parts[v] != UNASSIGNED {
                 continue;
             }
@@ -245,22 +461,40 @@ fn warm_seed(
         // Level-synchronous: this round's adoptions become visible together.
         for &(v, w) in &updates {
             parts[v as usize] = w;
+            mark_assigned(&mut ws.engine.frontier, v);
         }
-        push_part_updates(ctx, graph, &updates, &mut parts);
+        push_part_updates_marking(
+            ctx,
+            graph,
+            &updates,
+            &mut parts,
+            ghosts,
+            &mut ws.engine.frontier,
+        );
         if ctx.allreduce_scalar_sum_u64(updates.len() as u64) == 0 {
             break;
         }
     }
 
     let mut leftovers: Vec<PartUpdate> = Vec::new();
-    for (v, part) in parts.iter_mut().enumerate().take(graph.n_owned()) {
+    for (v, part) in parts.iter_mut().enumerate().take(n_owned) {
         if *part == UNASSIGNED {
             let w = (splitmix64(graph.global_id(v as LocalId) ^ params.seed) % p as u64) as i32;
             *part = w;
             leftovers.push((v as LocalId, w));
         }
     }
-    push_part_updates(ctx, graph, &leftovers, &mut parts);
+    for &(v, _) in &leftovers {
+        mark_assigned(&mut ws.engine.frontier, v);
+    }
+    push_part_updates_marking(
+        ctx,
+        graph,
+        &leftovers,
+        &mut parts,
+        ghosts,
+        &mut ws.engine.frontier,
+    );
     parts
 }
 

@@ -6,6 +6,13 @@
 //! reproduction ships a faithful shared-memory implementation: the same three stages as
 //! XtraPuLP, but with part sizes updated synchronously after every move (there is no
 //! distributed staleness, hence no dynamic multiplier).
+//!
+//! All four stages run on the shared sweep engine in [`crate::sweep`]: refinement
+//! sweeps are frontier-driven (only vertices whose neighbourhood changed since the last
+//! sweep are rescored) and the per-sweep proposal phase is thread-parallel with
+//! deterministic two-phase chunk application, so results are bit-identical for every
+//! thread count. [`PartitionParams::sweep_mode`] selects the legacy full-sweep
+//! behaviour for baseline measurements.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -16,6 +23,10 @@ use crate::error::PartitionError;
 use crate::params::{InitStrategy, PartitionParams};
 use crate::partitioner::{
     greedy_seed_unassigned, validate_warm_start, Partitioner, WarmStartPartitioner,
+};
+use crate::sweep::{
+    refine_budget, RefineConvergence, ScoreScratch, SweepMode, SweepStage, SweepStats,
+    SweepWorkspace, BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
 };
 
 /// Slack applied to the balance targets when deciding whether a warm start needs the
@@ -55,8 +66,7 @@ impl WarmStartPartitioner for PulpPartitioner {
 /// Run the PuLP-MM algorithm on an in-memory graph, rejecting malformed parameters with
 /// a typed error.
 pub fn try_pulp_partition(csr: &Csr, params: &PartitionParams) -> Result<Vec<i32>, PartitionError> {
-    params.validate()?;
-    Ok(pulp_partition_validated(csr, params))
+    try_pulp_partition_with_stats(csr, params).map(|(parts, _)| parts)
 }
 
 /// Run the PuLP-MM algorithm on an in-memory graph.
@@ -78,15 +88,16 @@ pub fn pulp_partition(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
 /// `initial[v]` is the seed part of vertex `v`, or [`UNASSIGNED`] (`-1`) for vertices
 /// that have no prior assignment (newly added ones); those are assigned greedily to the
 /// majority part among their already-assigned neighbours (least-loaded part as the tie
-/// break and fallback). The balance/refine stages then run a short schedule of
-/// [`PartitionParams::warm_outer_iters`] outer rounds instead of the from-scratch
-/// `outer_iters`.
+/// break and fallback). When the seed still satisfies both balance constraints, only
+/// refinement runs — frontier-seeded from the unassigned vertices plus their one-hop
+/// neighbourhoods and stopping as soon as the frontier empties; otherwise the full cold
+/// stage schedule runs (still skipping initialisation).
 pub fn try_pulp_partition_from(
     csr: &Csr,
     params: &PartitionParams,
     initial: &[i32],
 ) -> Result<Vec<i32>, PartitionError> {
-    try_pulp_partition_from_with_sweeps(csr, params, initial).map(|(parts, _)| parts)
+    try_pulp_partition_from_with_stats(csr, params, initial, None).map(|(parts, _)| parts)
 }
 
 /// [`try_pulp_partition_from`] variant that also reports the number of
@@ -96,9 +107,8 @@ pub fn try_pulp_partition_from_with_sweeps(
     params: &PartitionParams,
     initial: &[i32],
 ) -> Result<(Vec<i32>, u64), PartitionError> {
-    params.validate()?;
-    validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
-    Ok(pulp_run(csr, params, Some(initial)))
+    try_pulp_partition_from_with_stats(csr, params, initial, None)
+        .map(|(parts, stats)| (parts, stats.sweeps))
 }
 
 /// [`try_pulp_partition`] variant that also reports the number of label-propagation
@@ -107,53 +117,106 @@ pub fn try_pulp_partition_with_sweeps(
     csr: &Csr,
     params: &PartitionParams,
 ) -> Result<(Vec<i32>, u64), PartitionError> {
+    try_pulp_partition_with_stats(csr, params).map(|(parts, stats)| (parts, stats.sweeps))
+}
+
+/// Full-accounting cold run: the part vector plus the engine's [`SweepStats`]
+/// (sweeps, vertices scored, moves).
+pub fn try_pulp_partition_with_stats(
+    csr: &Csr,
+    params: &PartitionParams,
+) -> Result<(Vec<i32>, SweepStats), PartitionError> {
     params.validate()?;
     Ok(pulp_run(csr, params, None))
 }
 
-/// The algorithm body; `params` must already be validated.
-fn pulp_partition_validated(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
-    pulp_run(csr, params, None).0
+/// Full-accounting warm run. `touched`, when given, lists the vertices the mutation
+/// delta touched (endpoints of inserted/deleted edges, added vertices); the refinement
+/// frontier is seeded from them plus their one-hop neighbourhoods, so an epoch with a
+/// small delta scores only the delta region instead of the whole graph. Without it the
+/// frontier is seeded conservatively from every vertex.
+pub fn try_pulp_partition_from_with_stats(
+    csr: &Csr,
+    params: &PartitionParams,
+    initial: &[i32],
+    touched: Option<&[GlobalId]>,
+) -> Result<(Vec<i32>, SweepStats), PartitionError> {
+    params.validate()?;
+    validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
+    Ok(pulp_run(csr, params, Some((initial, touched))))
 }
 
-/// Shared cold/warm driver; returns the part vector and the number of
-/// label-propagation sweeps executed (refinement sweeps stop early on convergence, so
-/// this is a measurement, not a schedule). `initial`, when given, must already be
-/// validated by [`validate_warm_start`].
-fn pulp_run(csr: &Csr, params: &PartitionParams, initial: Option<&[i32]>) -> (Vec<i32>, u64) {
-    let n = csr.num_vertices() as u64;
+/// Shared cold/warm driver; returns the part vector and the sweep statistics
+/// (refinement sweeps stop early on convergence, so these are measurements, not a
+/// schedule). `initial`, when given, must already be validated by
+/// [`validate_warm_start`].
+fn pulp_run(
+    csr: &Csr,
+    params: &PartitionParams,
+    warm: Option<(&[i32], Option<&[GlobalId]>)>,
+) -> (Vec<i32>, SweepStats) {
+    let n = csr.num_vertices();
     if n == 0 {
-        return (Vec::new(), 0);
+        return (Vec::new(), SweepStats::default());
     }
     let p = params.num_parts;
     if p == 1 {
-        return (vec![0; n as usize], 0);
+        return (vec![0; n], SweepStats::default());
     }
+    let frontier = params.sweep_mode == SweepMode::Frontier;
+    let mut ws = SweepWorkspace::new(params.sweep_threads);
+    ws.begin_run(n, p);
 
     // Warm runs come in two regimes. When the seeded partition already satisfies both
     // balance constraints (the common case after a small delta), the balance passes are
     // skipped entirely: they move vertices aggressively by design (refinement is what
     // cleans up after them), so running them on an already-balanced seed would churn
-    // labels — and migrate vertices — for nothing; only `warm_outer_iters` rounds of
-    // refinement run. When a delta *did* push a part meaningfully past its target, the
-    // warm run falls back to the full cold stage schedule (balance needs several
-    // balance/refine rounds to converge; a single round overshoots), still skipping
-    // initialisation. The check carries a small slack because a converged run routinely
-    // lands within rounding of the fractional target (e.g. 221 vertices against a
-    // target of 220.0), which is noise, not imbalance.
-    let (mut parts, outer, balance) = match initial {
+    // labels — and migrate vertices — for nothing; only refinement runs, seeded from
+    // the delta-touched neighbourhood and stopping on an empty frontier. When a delta
+    // *did* push a part meaningfully past its target, the warm run falls back to the
+    // full cold stage schedule (balance needs several balance/refine rounds to
+    // converge; a single round overshoots), still skipping initialisation. The check
+    // carries a small slack because a converged run routinely lands within rounding of
+    // the fractional target (e.g. 221 vertices against a target of 220.0), which is
+    // noise, not imbalance.
+    let (mut parts, outer, balance) = match warm {
         None => (init(csr, params), params.outer_iters, true),
-        Some(initial) => {
+        Some((initial, touched)) => {
             let mut parts = initial.to_vec();
+            let unassigned: Vec<GlobalId> = (0..n as u64)
+                .filter(|&v| parts[v as usize] == UNASSIGNED)
+                .collect();
             greedy_seed_unassigned(csr, &mut parts, p);
-            let imb_v = params.target_max_vertices(n) * WARM_BALANCE_SLACK;
+            let imb_v = params.target_max_vertices(n as u64) * WARM_BALANCE_SLACK;
             let imb_e = params.target_max_arcs(csr.num_arcs()) * WARM_BALANCE_SLACK;
-            let needs_balance = part_vertex_counts(&parts, p)
-                .iter()
-                .any(|&s| s as f64 > imb_v)
-                || part_arc_counts(csr, &parts, p)
-                    .iter()
-                    .any(|&s| s as f64 > imb_e);
+            fill_part_vertex_counts(&parts, &mut ws.counters.size_v);
+            let over_v = ws.counters.size_v.iter().any(|&s| s as f64 > imb_v);
+            fill_part_arc_counts(csr, &parts, &mut ws.counters.size_e);
+            let needs_balance = over_v || ws.counters.size_e.iter().any(|&s| s as f64 > imb_e);
+            if frontier && !needs_balance {
+                // Refine-only warm run: seed the frontier from the touched region (the
+                // delta's endpoints and every vertex that arrived unassigned) plus its
+                // one-hop neighbourhood. Without any touched information the seed is
+                // conservative: everything.
+                if touched.is_none() && unassigned.is_empty() {
+                    ws.engine.frontier.seed_all(n);
+                } else {
+                    let mut seed_one = |g: GlobalId| {
+                        ws.engine.frontier.mark(g as u32);
+                        for &u in csr.neighbors(g) {
+                            ws.engine.frontier.mark(u as u32);
+                        }
+                    };
+                    for &g in touched.unwrap_or(&[]) {
+                        if g < n as u64 {
+                            seed_one(g);
+                        }
+                    }
+                    for &g in &unassigned {
+                        seed_one(g);
+                    }
+                }
+            }
             let outer = if needs_balance {
                 params.outer_iters
             } else {
@@ -162,25 +225,90 @@ fn pulp_run(csr: &Csr, params: &PartitionParams, initial: Option<&[i32]>) -> (Ve
             (parts, outer, needs_balance)
         }
     };
+    if frontier && (balance || warm.is_none()) {
+        // Cold runs (and warm runs that fell back to the cold schedule) start with
+        // every vertex active: initialisation / the overshooting delta changed
+        // everything worth rescoring.
+        ws.engine.frontier.seed_all(n);
+    }
 
-    let mut sweeps = 0u64;
-    // Stage 1: vertex balance + refinement.
-    for _ in 0..outer {
-        if balance {
-            sweeps += vertex_balance(csr, &mut parts, params);
-        }
-        sweeps += vertex_refine(csr, &mut parts, params);
-    }
-    // Stage 2: edge balance + refinement.
-    if params.edge_balance_stage {
+    if balance {
+        // The cold schedule: alternating balance (full sweeps) and refinement
+        // (frontier sweeps with a verifying full polish) rounds per stage, exactly as
+        // in the papers.
         for _ in 0..outer {
-            if balance {
-                sweeps += edge_balance(csr, &mut parts, params);
+            vertex_balance(csr, &mut parts, params, &mut ws);
+            vertex_refine(csr, &mut parts, params, &mut ws, RefineConvergence::Polish);
+        }
+        if params.edge_balance_stage {
+            for _ in 0..outer {
+                edge_balance(csr, &mut parts, params, &mut ws);
+                edge_refine(csr, &mut parts, params, &mut ws, RefineConvergence::Polish);
             }
-            sweeps += edge_refine(csr, &mut parts, params);
+        }
+    } else if outer > 0 {
+        // Refine-only warm run. Frontier mode stops on convergence (empty frontier)
+        // instead of a fixed round count, and never widens beyond the delta
+        // neighbourhood (the seed is the previous epoch's already-polished partition);
+        // full mode keeps the legacy fixed schedule.
+        if frontier {
+            // Extra convergence rounds only for delta-scoped warm runs; a blind warm
+            // start (no touched set) keeps the legacy round count.
+            let max_rounds = match warm {
+                Some((_, Some(_))) => outer.max(params.outer_iters),
+                _ => outer,
+            };
+            // Each round runs one refinement stage: with the edge stage enabled that
+            // is `edge_refine`, whose admissibility (vertex, edge and cut caps) is a
+            // superset of the vertex stage's and whose score rule is identical —
+            // running `vertex_refine` first would consume the frontier to convergence
+            // and leave the edge-capped pass nothing to check.
+            for _ in 0..max_rounds {
+                if ws.engine.frontier.active_len() == 0 {
+                    break;
+                }
+                if params.edge_balance_stage {
+                    edge_refine(
+                        csr,
+                        &mut parts,
+                        params,
+                        &mut ws,
+                        RefineConvergence::FrontierOnly,
+                    );
+                } else {
+                    vertex_refine(
+                        csr,
+                        &mut parts,
+                        params,
+                        &mut ws,
+                        RefineConvergence::FrontierOnly,
+                    );
+                }
+            }
+        } else {
+            for _ in 0..outer {
+                vertex_refine(
+                    csr,
+                    &mut parts,
+                    params,
+                    &mut ws,
+                    RefineConvergence::FrontierOnly,
+                );
+            }
+            if params.edge_balance_stage {
+                for _ in 0..outer {
+                    edge_refine(
+                        csr,
+                        &mut parts,
+                        params,
+                        &mut ws,
+                        RefineConvergence::FrontierOnly,
+                    );
+                }
+            }
         }
     }
-    (parts, sweeps)
+    (parts, ws.engine.stats)
 }
 
 fn init(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
@@ -234,24 +362,25 @@ fn init(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
     }
 }
 
-fn part_vertex_counts(parts: &[i32], p: usize) -> Vec<i64> {
-    let mut counts = vec![0i64; p];
+/// Fill `counts` (one slot per part) with part sizes in vertices.
+fn fill_part_vertex_counts(parts: &[i32], counts: &mut [i64]) {
+    counts.iter_mut().for_each(|c| *c = 0);
     for &x in parts {
         counts[x as usize] += 1;
     }
-    counts
 }
 
-fn part_arc_counts(csr: &Csr, parts: &[i32], p: usize) -> Vec<i64> {
-    let mut counts = vec![0i64; p];
+/// Fill `counts` with part sizes in arcs (vertex degree sums).
+fn fill_part_arc_counts(csr: &Csr, parts: &[i32], counts: &mut [i64]) {
+    counts.iter_mut().for_each(|c| *c = 0);
     for v in 0..csr.num_vertices() as u64 {
         counts[parts[v as usize] as usize] += csr.degree(v) as i64;
     }
-    counts
 }
 
-fn part_cut_counts(csr: &Csr, parts: &[i32], p: usize) -> Vec<i64> {
-    let mut counts = vec![0i64; p];
+/// Fill `counts` with per-part cut arc counts.
+fn fill_part_cut_counts(csr: &Csr, parts: &[i32], counts: &mut [i64]) {
+    counts.iter_mut().for_each(|c| *c = 0);
     for v in 0..csr.num_vertices() as u64 {
         let pv = parts[v as usize];
         for &u in csr.neighbors(v) {
@@ -260,213 +389,596 @@ fn part_cut_counts(csr: &Csr, parts: &[i32], p: usize) -> Vec<i64> {
             }
         }
     }
-    counts
 }
 
-fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
-    let p = params.num_parts;
-    let n = csr.num_vertices() as u64;
-    let imb_v = params.target_max_vertices(n);
-    let mut size_v = part_vertex_counts(parts, p);
-    let mut scores = vec![0.0f64; p];
-    let mut sweeps = 0u64;
-    for _ in 0..params.balance_iters {
-        sweeps += 1;
-        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
-        for v in 0..n {
-            let x = parts[v as usize] as usize;
-            for s in scores.iter_mut() {
-                *s = 0.0;
-            }
-            for &u in csr.neighbors(v) {
-                scores[parts[u as usize] as usize] += csr.degree(u) as f64;
-            }
-            let mut best = x;
-            let mut best_score = 0.0;
-            for i in 0..p {
-                if (size_v[i] as f64) + 1.0 > max_v {
-                    continue;
-                }
-                let w = (imb_v / (size_v[i] as f64).max(1.0) - 1.0).max(0.0);
-                let score = scores[i] * w;
-                if score > best_score {
-                    best_score = score;
-                    best = i;
-                }
-            }
-            if best != x && best_score > 0.0 {
-                size_v[x] -= 1;
-                size_v[best] += 1;
-                parts[v as usize] = best as i32;
-            }
+/// Enqueue-neighbours closure over a serial CSR for the sweep engine's frontier.
+fn csr_neighbors(csr: &Csr) -> impl Fn(u32, &mut dyn FnMut(u32)) + '_ {
+    move |v, mark| {
+        for &u in csr.neighbors(v as u64) {
+            mark(u as u32);
         }
     }
-    sweeps
 }
 
-fn vertex_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
-    let p = params.num_parts;
-    let n = csr.num_vertices() as u64;
-    let imb_v = params.target_max_vertices(n);
-    let mut size_v = part_vertex_counts(parts, p);
-    let mut scores = vec![0.0f64; p];
-    let mut sweeps = 0u64;
-    for _ in 0..params.refine_iters {
-        sweeps += 1;
-        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
-        let mut moved = 0u64;
-        for v in 0..n {
-            let x = parts[v as usize] as usize;
-            for s in scores.iter_mut() {
-                *s = 0.0;
+/// Count `v`'s neighbours in its own part `x` and in `target` under the current labels
+/// — the cheap recheck the apply phase runs instead of a full rescoring.
+#[inline]
+fn recount_two(csr: &Csr, v: u32, parts: &[i32], x: usize, target: usize) -> (f64, f64) {
+    let mut s_x = 0.0f64;
+    let mut s_t = 0.0f64;
+    for &u in csr.neighbors(v as u64) {
+        let pu = parts[u as usize] as usize;
+        if pu == x {
+            s_x += 1.0;
+        } else if pu == target {
+            s_t += 1.0;
+        }
+    }
+    (s_x, s_t)
+}
+
+/// The vertex balancing stage: weighted label propagation towards underweight parts.
+struct SerialVertexBalance<'a> {
+    csr: &'a Csr,
+    size_v: &'a mut [i64],
+    imb_v: f64,
+    max_v: f64,
+}
+
+impl SerialVertexBalance<'_> {
+    #[inline]
+    fn weight(&self, i: usize) -> f64 {
+        (self.imb_v / (self.size_v[i] as f64).max(1.0) - 1.0).max(0.0)
+    }
+}
+
+impl SweepStage for SerialVertexBalance<'_> {
+    fn propose(&self, v: u32, parts: &[i32], scratch: &mut ScoreScratch) -> i32 {
+        let x = parts[v as usize] as usize;
+        scratch.clear();
+        for &u in self.csr.neighbors(v as u64) {
+            scratch.add(parts[u as usize] as usize, self.csr.degree(u) as f64);
+        }
+        let mut best = x;
+        let mut best_score = 0.0f64;
+        for &i in scratch.touched() {
+            if (self.size_v[i] as f64) + 1.0 > self.max_v {
+                continue;
             }
-            for &u in csr.neighbors(v) {
-                scores[parts[u as usize] as usize] += 1.0;
-            }
-            let mut best = x;
-            let mut best_score = scores[x];
-            for i in 0..p {
-                if i == x || (size_v[i] as f64) + 1.0 > max_v {
-                    continue;
-                }
-                if scores[i] > best_score {
-                    best_score = scores[i];
-                    best = i;
-                }
-            }
-            if best != x {
-                size_v[x] -= 1;
-                size_v[best] += 1;
-                parts[v as usize] = best as i32;
-                moved += 1;
+            let score = scratch.get(i) * self.weight(i);
+            if score > best_score {
+                best_score = score;
+                best = i;
             }
         }
-        if moved == 0 {
+        if best != x && best_score > 0.0 {
+            best as i32
+        } else {
+            NO_MOVE
+        }
+    }
+
+    fn apply(&mut self, v: u32, target: usize, parts: &[i32]) -> bool {
+        let x = parts[v as usize] as usize;
+        // Recheck against the live counters: the target must still be admissible and
+        // still attractive (underweight), and v must still have a neighbour there.
+        if (self.size_v[target] as f64) + 1.0 > self.max_v || self.weight(target) <= 0.0 {
+            return false;
+        }
+        let (_, s_t) = recount_two(self.csr, v, parts, x, target);
+        if s_t <= 0.0 {
+            return false;
+        }
+        self.size_v[x] -= 1;
+        self.size_v[target] += 1;
+        true
+    }
+}
+
+fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams, ws: &mut SweepWorkspace) {
+    let n = csr.num_vertices();
+    let imb_v = params.target_max_vertices(n as u64);
+    let frontier = params.sweep_mode == SweepMode::Frontier;
+    let SweepWorkspace {
+        engine, counters, ..
+    } = ws;
+    fill_part_vertex_counts(parts, &mut counters.size_v);
+    // The stage exists to meet the vertex-balance constraint; once it holds, its label
+    // churn towards momentarily-underweight parts is pure perturbation. Perturbation is
+    // only *useful* when refinement has converged (empty frontier) — it is what lets
+    // the next refinement round escape the local optimum — so: balanced + refinement
+    // still active → skip the pass entirely; balanced + refinement converged → one
+    // churn sweep; unbalanced → the full schedule. Gated on frontier mode so `Full`
+    // stays a faithful legacy baseline.
+    let sweep_cap = if frontier && counters.size_v.iter().all(|&s| (s as f64) <= imb_v) {
+        if engine.frontier.active_len() > 0 {
+            0
+        } else {
+            1
+        }
+    } else {
+        params.balance_iters
+    };
+    for _ in 0..sweep_cap {
+        let max_v = counters
+            .size_v
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_v, f64::max);
+        let mut stage = SerialVertexBalance {
+            csr,
+            size_v: &mut counters.size_v,
+            imb_v,
+            max_v,
+        };
+        let moves = engine.sweep(
+            n,
+            parts,
+            false,
+            BALANCE_CHUNK,
+            &mut stage,
+            csr_neighbors(csr),
+            |_, _| {},
+        );
+        // A move-free balance sweep leaves sizes (hence weights and admissibility)
+        // untouched, so every remaining sweep of this pass would be identical: skip
+        // them. Gated on frontier mode so `Full` stays a faithful legacy baseline.
+        if frontier && moves == 0 {
             break;
         }
     }
-    sweeps
 }
 
-fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
-    let p = params.num_parts;
-    let n = csr.num_vertices() as u64;
-    let imb_v = params.target_max_vertices(n);
+/// The vertex refinement stage: constrained label propagation minimising the cut.
+struct SerialVertexRefine<'a> {
+    csr: &'a Csr,
+    size_v: &'a mut [i64],
+    max_v: f64,
+}
+
+impl SweepStage for SerialVertexRefine<'_> {
+    fn propose(&self, v: u32, parts: &[i32], scratch: &mut ScoreScratch) -> i32 {
+        let x = parts[v as usize] as usize;
+        scratch.clear();
+        for &u in self.csr.neighbors(v as u64) {
+            scratch.add(parts[u as usize] as usize, 1.0);
+        }
+        let mut best = x;
+        let mut best_score = scratch.get(x);
+        for &i in scratch.touched() {
+            if i == x || (self.size_v[i] as f64) + 1.0 > self.max_v {
+                continue;
+            }
+            if scratch.get(i) > best_score {
+                best_score = scratch.get(i);
+                best = i;
+            }
+        }
+        if best != x {
+            best as i32
+        } else {
+            NO_MOVE
+        }
+    }
+
+    fn apply(&mut self, v: u32, target: usize, parts: &[i32]) -> bool {
+        let x = parts[v as usize] as usize;
+        if (self.size_v[target] as f64) + 1.0 > self.max_v {
+            return false;
+        }
+        // The move must still strictly reduce the cut under the live labels (earlier
+        // applications in this chunk may have changed the neighbourhood).
+        let (s_x, s_t) = recount_two(self.csr, v, parts, x, target);
+        if s_t <= s_x {
+            return false;
+        }
+        self.size_v[x] -= 1;
+        self.size_v[target] += 1;
+        true
+    }
+}
+
+fn vertex_refine(
+    csr: &Csr,
+    parts: &mut [i32],
+    params: &PartitionParams,
+    ws: &mut SweepWorkspace,
+    convergence: RefineConvergence,
+) {
+    let n = csr.num_vertices();
+    let imb_v = params.target_max_vertices(n as u64);
+    let frontier_mode = params.sweep_mode == SweepMode::Frontier;
+    let SweepWorkspace {
+        engine, counters, ..
+    } = ws;
+    // A converged frontier-only pass does no work at all — skip the O(n) counter
+    // rebuild too.
+    if frontier_mode
+        && convergence == RefineConvergence::FrontierOnly
+        && engine.frontier.active_len() == 0
+    {
+        return;
+    }
+    fill_part_vertex_counts(parts, &mut counters.size_v);
+    // A pass inheriting a large frontier (the previous round did not converge — heavy
+    // churn classes) drops it and falls straight to the polish full sweep, which
+    // restores the legacy schedule's per-round global coverage.
+    if frontier_mode
+        && convergence == RefineConvergence::Polish
+        && engine.frontier.active_len() > n / 8
+    {
+        engine.frontier.clear();
+    }
+    let budget = refine_budget(params.refine_iters, params.sweep_mode);
+    let mut used = 0u64;
+    loop {
+        if used >= budget {
+            break;
+        }
+        // Polish on an empty frontier: a full sweep verifies the fixed point (part
+        // sizes change as vertices move, so a vertex whose neighbourhood never changed
+        // can still become movable; the frontier alone cannot see that). A move-free
+        // polish ends the pass.
+        let use_frontier = frontier_mode && engine.frontier.active_len() > 0;
+        if frontier_mode && !use_frontier && convergence == RefineConvergence::FrontierOnly {
+            break;
+        }
+        let max_v = counters
+            .size_v
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_v, f64::max);
+        let mut stage = SerialVertexRefine {
+            csr,
+            size_v: &mut counters.size_v,
+            max_v,
+        };
+        let moves = engine.sweep(
+            n,
+            parts,
+            use_frontier,
+            SWEEP_CHUNK,
+            &mut stage,
+            csr_neighbors(csr),
+            |_, _| {},
+        );
+        used += 1;
+        if moves == 0 && (!use_frontier || convergence == RefineConvergence::FrontierOnly) {
+            break;
+        }
+    }
+}
+
+/// The edge balancing stage: weighted label propagation driven by per-part edge and cut
+/// loads.
+struct SerialEdgeBalance<'a> {
+    csr: &'a Csr,
+    size_v: &'a mut [i64],
+    size_e: &'a mut [i64],
+    size_c: &'a mut [i64],
+    imb_e: f64,
+    max_v: f64,
+    max_e: f64,
+    max_c: f64,
+    r_e: f64,
+    r_c: f64,
+}
+
+impl SerialEdgeBalance<'_> {
+    #[inline]
+    fn weight_e(&self, i: usize) -> f64 {
+        (self.imb_e / (self.size_e[i] as f64).max(1.0) - 1.0).max(0.0)
+    }
+
+    #[inline]
+    fn weight_c(&self, i: usize) -> f64 {
+        (self.max_c / (self.size_c[i] as f64).max(1.0) - 1.0).max(0.0)
+    }
+}
+
+impl SweepStage for SerialEdgeBalance<'_> {
+    fn propose(&self, v: u32, parts: &[i32], scratch: &mut ScoreScratch) -> i32 {
+        let x = parts[v as usize] as usize;
+        let deg = self.csr.degree(v as u64) as f64;
+        scratch.clear();
+        for &u in self.csr.neighbors(v as u64) {
+            scratch.add(parts[u as usize] as usize, 1.0);
+        }
+        let mut best = x;
+        let mut best_score = 0.0f64;
+        for &i in scratch.touched() {
+            if i == x
+                || (self.size_v[i] as f64) + 1.0 > self.max_v
+                || (self.size_e[i] as f64) + deg > self.max_e
+            {
+                continue;
+            }
+            let score =
+                scratch.get(i) * (self.r_e * self.weight_e(i) + self.r_c * self.weight_c(i));
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        if best != x && best_score > 0.0 {
+            best as i32
+        } else {
+            NO_MOVE
+        }
+    }
+
+    fn apply(&mut self, v: u32, target: usize, parts: &[i32]) -> bool {
+        let x = parts[v as usize] as usize;
+        let deg = self.csr.degree(v as u64) as f64;
+        if (self.size_v[target] as f64) + 1.0 > self.max_v
+            || (self.size_e[target] as f64) + deg > self.max_e
+            || self.r_e * self.weight_e(target) + self.r_c * self.weight_c(target) <= 0.0
+        {
+            return false;
+        }
+        let (s_x, s_t) = recount_two(self.csr, v, parts, x, target);
+        if s_t <= 0.0 {
+            return false;
+        }
+        let cut_from_x = deg as i64 - s_x as i64;
+        let cut_from_t = deg as i64 - s_t as i64;
+        self.size_v[x] -= 1;
+        self.size_v[target] += 1;
+        self.size_e[x] -= deg as i64;
+        self.size_e[target] += deg as i64;
+        self.size_c[x] = (self.size_c[x] - cut_from_x).max(0);
+        self.size_c[target] += cut_from_t;
+        true
+    }
+}
+
+fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams, ws: &mut SweepWorkspace) {
+    let n = csr.num_vertices();
+    let imb_v = params.target_max_vertices(n as u64);
     let imb_e = params.target_max_arcs(csr.num_arcs());
-    let mut size_v = part_vertex_counts(parts, p);
-    let mut size_e = part_arc_counts(csr, parts, p);
-    let mut size_c = part_cut_counts(csr, parts, p);
-    let mut scores = vec![0.0f64; p];
+    let frontier = params.sweep_mode == SweepMode::Frontier;
+    let SweepWorkspace {
+        engine,
+        counters,
+        edge_balance_last_max,
+        edge_balance_stalled,
+    } = ws;
+    fill_part_vertex_counts(parts, &mut counters.size_v);
+    fill_part_arc_counts(csr, parts, &mut counters.size_e);
+    fill_part_cut_counts(csr, parts, &mut counters.size_c);
     let mut r_e = 1.0f64;
     let mut r_c = 1.0f64;
-    let mut sweeps = 0u64;
-    for _ in 0..params.balance_iters {
-        sweeps += 1;
-        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
-        let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
-        let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
-        if size_e.iter().all(|&s| (s as f64) <= imb_e) {
+    // Same perturbation policy as the vertex stage, against the edge target — skip the
+    // pass while refinement is still active, one churn sweep at a refinement fixed
+    // point, the full schedule while the edge constraint is unmet — plus stall
+    // detection: when the target is unreachable (hub-dominated skew), stop paying for
+    // balance churn that is not improving the maximum arc load.
+    let cur_max_e = counters
+        .size_e
+        .iter()
+        .map(|&s| s as f64)
+        .fold(0.0, f64::max);
+    let edge_balanced = counters.size_e.iter().all(|&s| (s as f64) <= imb_e);
+    if frontier && !edge_balanced {
+        if let Some(prev) = *edge_balance_last_max {
+            if cur_max_e >= prev * 0.99 {
+                *edge_balance_stalled = true;
+            }
+        }
+        *edge_balance_last_max = Some(cur_max_e);
+    }
+    let sweep_cap = if frontier && *edge_balance_stalled {
+        // Target out of reach: one churn sweep per pass keeps feeding refinement.
+        1
+    } else if frontier && edge_balanced {
+        if engine.frontier.active_len() > 0 {
+            0
+        } else {
+            1
+        }
+    } else {
+        params.balance_iters
+    };
+    for _ in 0..sweep_cap {
+        let max_v = counters
+            .size_v
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_v, f64::max);
+        let max_e = counters
+            .size_e
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_e, f64::max);
+        let max_c = counters
+            .size_c
+            .iter()
+            .map(|&s| s as f64)
+            .fold(1.0, f64::max);
+        if counters.size_e.iter().all(|&s| (s as f64) <= imb_e) {
             r_c += 1.0;
         } else {
             r_e += 1.0;
         }
-        for v in 0..n {
-            let x = parts[v as usize] as usize;
-            let deg = csr.degree(v) as f64;
-            for s in scores.iter_mut() {
-                *s = 0.0;
-            }
-            for &u in csr.neighbors(v) {
-                scores[parts[u as usize] as usize] += 1.0;
-            }
-            let mut best = x;
-            let mut best_score = 0.0;
-            for i in 0..p {
-                if i == x || (size_v[i] as f64) + 1.0 > max_v || (size_e[i] as f64) + deg > max_e {
-                    continue;
-                }
-                let w_e = (imb_e / (size_e[i] as f64).max(1.0) - 1.0).max(0.0);
-                let w_c = (max_c / (size_c[i] as f64).max(1.0) - 1.0).max(0.0);
-                let score = scores[i] * (r_e * w_e + r_c * w_c);
-                if score > best_score {
-                    best_score = score;
-                    best = i;
-                }
-            }
-            if best != x && best_score > 0.0 {
-                let cut_from_x = deg as i64 - scores[x] as i64;
-                let cut_from_best = deg as i64 - scores[best] as i64;
-                size_v[x] -= 1;
-                size_v[best] += 1;
-                size_e[x] -= deg as i64;
-                size_e[best] += deg as i64;
-                size_c[x] = (size_c[x] - cut_from_x).max(0);
-                size_c[best] += cut_from_best;
-                parts[v as usize] = best as i32;
-            }
-        }
-    }
-    sweeps
-}
-
-fn edge_refine(csr: &Csr, parts: &mut [i32], params: &PartitionParams) -> u64 {
-    let p = params.num_parts;
-    let n = csr.num_vertices() as u64;
-    let imb_v = params.target_max_vertices(n);
-    let imb_e = params.target_max_arcs(csr.num_arcs());
-    let mut size_v = part_vertex_counts(parts, p);
-    let mut size_e = part_arc_counts(csr, parts, p);
-    let mut size_c = part_cut_counts(csr, parts, p);
-    let mut scores = vec![0.0f64; p];
-    let mut sweeps = 0u64;
-    for _ in 0..params.refine_iters {
-        sweeps += 1;
-        let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
-        let max_e = size_e.iter().map(|&s| s as f64).fold(imb_e, f64::max);
-        let max_c = size_c.iter().map(|&s| s as f64).fold(1.0, f64::max);
-        let mut moved = 0u64;
-        for v in 0..n {
-            let x = parts[v as usize] as usize;
-            let deg = csr.degree(v) as f64;
-            for s in scores.iter_mut() {
-                *s = 0.0;
-            }
-            for &u in csr.neighbors(v) {
-                scores[parts[u as usize] as usize] += 1.0;
-            }
-            let mut best = x;
-            let mut best_score = scores[x];
-            for i in 0..p {
-                if i == x
-                    || (size_v[i] as f64) + 1.0 > max_v
-                    || (size_e[i] as f64) + deg > max_e
-                    || (size_c[i] as f64) + (deg - scores[i]) > max_c
-                {
-                    continue;
-                }
-                if scores[i] > best_score {
-                    best_score = scores[i];
-                    best = i;
-                }
-            }
-            if best != x {
-                let cut_from_x = deg as i64 - scores[x] as i64;
-                let cut_from_best = deg as i64 - scores[best] as i64;
-                size_v[x] -= 1;
-                size_v[best] += 1;
-                size_e[x] -= deg as i64;
-                size_e[best] += deg as i64;
-                size_c[x] = (size_c[x] - cut_from_x).max(0);
-                size_c[best] += cut_from_best;
-                parts[v as usize] = best as i32;
-                moved += 1;
-            }
-        }
-        if moved == 0 {
+        let mut stage = SerialEdgeBalance {
+            csr,
+            size_v: &mut counters.size_v,
+            size_e: &mut counters.size_e,
+            size_c: &mut counters.size_c,
+            imb_e,
+            max_v,
+            max_e,
+            max_c,
+            r_e,
+            r_c,
+        };
+        let moves = engine.sweep(
+            n,
+            parts,
+            false,
+            BALANCE_CHUNK,
+            &mut stage,
+            csr_neighbors(csr),
+            |_, _| {},
+        );
+        // Unlike the vertex stage, the cut-balance weight drifts with `max_c`, so only
+        // a move-free sweep is provably stable; skip the rest then.
+        if frontier && moves == 0 {
             break;
         }
     }
-    sweeps
+}
+
+/// The edge-stage refinement: constrained label propagation that reduces the cut while
+/// never increasing the maximum vertex, edge or cut load of any part.
+struct SerialEdgeRefine<'a> {
+    csr: &'a Csr,
+    size_v: &'a mut [i64],
+    size_e: &'a mut [i64],
+    size_c: &'a mut [i64],
+    max_v: f64,
+    max_e: f64,
+    max_c: f64,
+}
+
+impl SweepStage for SerialEdgeRefine<'_> {
+    fn propose(&self, v: u32, parts: &[i32], scratch: &mut ScoreScratch) -> i32 {
+        let x = parts[v as usize] as usize;
+        let deg = self.csr.degree(v as u64) as f64;
+        scratch.clear();
+        for &u in self.csr.neighbors(v as u64) {
+            scratch.add(parts[u as usize] as usize, 1.0);
+        }
+        let mut best = x;
+        let mut best_score = scratch.get(x);
+        for &i in scratch.touched() {
+            if i == x
+                || (self.size_v[i] as f64) + 1.0 > self.max_v
+                || (self.size_e[i] as f64) + deg > self.max_e
+                || (self.size_c[i] as f64) + (deg - scratch.get(i)) > self.max_c
+            {
+                continue;
+            }
+            if scratch.get(i) > best_score {
+                best_score = scratch.get(i);
+                best = i;
+            }
+        }
+        if best != x {
+            best as i32
+        } else {
+            NO_MOVE
+        }
+    }
+
+    fn apply(&mut self, v: u32, target: usize, parts: &[i32]) -> bool {
+        let x = parts[v as usize] as usize;
+        let deg = self.csr.degree(v as u64) as f64;
+        let (s_x, s_t) = recount_two(self.csr, v, parts, x, target);
+        if s_t <= s_x
+            || (self.size_v[target] as f64) + 1.0 > self.max_v
+            || (self.size_e[target] as f64) + deg > self.max_e
+            || (self.size_c[target] as f64) + (deg - s_t) > self.max_c
+        {
+            return false;
+        }
+        let cut_from_x = deg as i64 - s_x as i64;
+        let cut_from_t = deg as i64 - s_t as i64;
+        self.size_v[x] -= 1;
+        self.size_v[target] += 1;
+        self.size_e[x] -= deg as i64;
+        self.size_e[target] += deg as i64;
+        self.size_c[x] = (self.size_c[x] - cut_from_x).max(0);
+        self.size_c[target] += cut_from_t;
+        true
+    }
+}
+
+fn edge_refine(
+    csr: &Csr,
+    parts: &mut [i32],
+    params: &PartitionParams,
+    ws: &mut SweepWorkspace,
+    convergence: RefineConvergence,
+) {
+    let n = csr.num_vertices();
+    let imb_v = params.target_max_vertices(n as u64);
+    let imb_e = params.target_max_arcs(csr.num_arcs());
+    let frontier_mode = params.sweep_mode == SweepMode::Frontier;
+    let SweepWorkspace {
+        engine, counters, ..
+    } = ws;
+    // A converged frontier-only pass does no work at all — skip the O(n + m) counter
+    // rebuilds too.
+    if frontier_mode
+        && convergence == RefineConvergence::FrontierOnly
+        && engine.frontier.active_len() == 0
+    {
+        return;
+    }
+    fill_part_vertex_counts(parts, &mut counters.size_v);
+    fill_part_arc_counts(csr, parts, &mut counters.size_e);
+    fill_part_cut_counts(csr, parts, &mut counters.size_c);
+    // Large inherited frontier: drop it and fall to the polish full sweep, as in
+    // `vertex_refine`.
+    if frontier_mode
+        && convergence == RefineConvergence::Polish
+        && engine.frontier.active_len() > n / 8
+    {
+        engine.frontier.clear();
+    }
+    let budget = refine_budget(params.refine_iters, params.sweep_mode);
+    let mut used = 0u64;
+    loop {
+        if used >= budget {
+            break;
+        }
+        // Polish on an empty frontier: a full sweep verifies the fixed point (part
+        // sizes change as vertices move, so a vertex whose neighbourhood never changed
+        // can still become movable; the frontier alone cannot see that). A move-free
+        // polish ends the pass.
+        let use_frontier = frontier_mode && engine.frontier.active_len() > 0;
+        if frontier_mode && !use_frontier && convergence == RefineConvergence::FrontierOnly {
+            break;
+        }
+        let max_v = counters
+            .size_v
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_v, f64::max);
+        let max_e = counters
+            .size_e
+            .iter()
+            .map(|&s| s as f64)
+            .fold(imb_e, f64::max);
+        let max_c = counters
+            .size_c
+            .iter()
+            .map(|&s| s as f64)
+            .fold(1.0, f64::max);
+        let mut stage = SerialEdgeRefine {
+            csr,
+            size_v: &mut counters.size_v,
+            size_e: &mut counters.size_e,
+            size_c: &mut counters.size_c,
+            max_v,
+            max_e,
+            max_c,
+        };
+        let moves = engine.sweep(
+            n,
+            parts,
+            use_frontier,
+            SWEEP_CHUNK,
+            &mut stage,
+            csr_neighbors(csr),
+            |_, _| {},
+        );
+        used += 1;
+        if moves == 0 && (!use_frontier || convergence == RefineConvergence::FrontierOnly) {
+            break;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -569,6 +1081,68 @@ mod tests {
     }
 
     #[test]
+    fn pulp_is_identical_across_thread_counts() {
+        let csr = grid_csr(20, 20);
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let params = PartitionParams {
+                num_parts: 4,
+                seed: 5,
+                sweep_threads: threads,
+                ..Default::default()
+            };
+            results.push(pulp_partition(&csr, &params));
+        }
+        assert_eq!(results[0], results[1], "1 vs 2 threads");
+        assert_eq!(results[0], results[2], "1 vs 8 threads");
+    }
+
+    #[test]
+    fn frontier_and_full_sweeps_agree_on_quality() {
+        let csr = grid_csr(24, 24);
+        for seed in [5u64, 17] {
+            let frontier = PartitionParams {
+                num_parts: 4,
+                seed,
+                sweep_mode: SweepMode::Frontier,
+                ..Default::default()
+            };
+            let full = PartitionParams {
+                sweep_mode: SweepMode::Full,
+                ..frontier
+            };
+            let (pf, sf) = try_pulp_partition_with_stats(&csr, &frontier).unwrap();
+            let (pb, sb) = try_pulp_partition_with_stats(&csr, &full).unwrap();
+            let qf = PartitionQuality::evaluate(&csr, &pf, 4);
+            let qb = PartitionQuality::evaluate(&csr, &pb, 4);
+            assert!(is_valid_partition(&pf, 4));
+            // One-sided: the frontier engine may converge further within the sweep
+            // budget (better cut), but must never be more than 1% worse.
+            assert!(
+                qf.edge_cut as f64 <= qb.edge_cut as f64 * 1.01 + 1.0,
+                "seed {seed}: frontier cut {} vs full cut {}",
+                qf.edge_cut,
+                qb.edge_cut
+            );
+            // "No worse" in the constraint sense: the frontier result must stay within
+            // the configured imbalance target (plus rounding) or beat the baseline.
+            let target = (1.0 + frontier.vertex_imbalance) + 0.01;
+            assert!(
+                qf.vertex_imbalance <= qb.vertex_imbalance.max(target),
+                "seed {seed}: frontier imbalance {} vs full {} (target {target})",
+                qf.vertex_imbalance,
+                qb.vertex_imbalance
+            );
+            assert!(
+                sf.vertices_scored < sb.vertices_scored,
+                "seed {seed}: frontier scored {} should be below full {}",
+                sf.vertices_scored,
+                sb.vertices_scored
+            );
+        }
+    }
+
+    #[test]
     fn warm_start_from_own_result_preserves_quality_with_fewer_sweeps() {
         let csr = grid_csr(20, 20);
         let params = PartitionParams {
@@ -594,6 +1168,47 @@ mod tests {
             cold_q.edge_cut
         );
         assert!(warm_q.vertex_imbalance <= 1.25);
+    }
+
+    #[test]
+    fn touched_warm_start_scores_only_the_delta_region() {
+        let csr = grid_csr(30, 30);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 5,
+            ..Default::default()
+        };
+        let (cold, _) = try_pulp_partition_with_stats(&csr, &params).unwrap();
+        // Warm start with an explicit (tiny) touched set versus no information at all.
+        let (_, blind) = try_pulp_partition_from_with_stats(&csr, &params, &cold, None).unwrap();
+        let touched: Vec<u64> = vec![0, 1, 30];
+        let (warm, scoped) =
+            try_pulp_partition_from_with_stats(&csr, &params, &cold, Some(&touched)).unwrap();
+        assert!(is_valid_partition(&warm, 4));
+        assert!(
+            scoped.vertices_scored * 5 <= blind.vertices_scored.max(1),
+            "touched-seeded warm run scored {} vertices, blind warm run {}",
+            scoped.vertices_scored,
+            blind.vertices_scored
+        );
+    }
+
+    #[test]
+    fn converged_warm_start_exits_on_an_empty_frontier() {
+        // Warm-starting from an already-converged partition with an empty touched set
+        // must do (almost) no work: the frontier never fills, so no sweep runs.
+        let csr = grid_csr(20, 20);
+        let params = PartitionParams {
+            num_parts: 4,
+            seed: 5,
+            ..Default::default()
+        };
+        let (cold, _) = try_pulp_partition_with_stats(&csr, &params).unwrap();
+        let (warm, stats) =
+            try_pulp_partition_from_with_stats(&csr, &params, &cold, Some(&[])).unwrap();
+        assert_eq!(warm, cold, "an empty delta must not move anything");
+        assert_eq!(stats.sweeps, 0, "no touched vertices, no sweeps");
+        assert_eq!(stats.vertices_scored, 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use xtrapulp::{
     greedy_seed_unassigned, validate_warm_start, PartitionError, PartitionParams, Partitioner,
-    WarmStartPartitioner,
+    SweepWorkspace, WarmStartPartitioner,
 };
 use xtrapulp_graph::Csr;
 
@@ -74,16 +74,26 @@ fn multilevel_partition(
     }
     levels.push((current, None));
 
-    // Initial partition of the coarsest level.
+    // Initial partition of the coarsest level. One sweep workspace serves the whole
+    // V-cycle (and both passes per level), so no level allocates its own frontier,
+    // weight or gain buffers.
+    let mut ws = SweepWorkspace::new(params.sweep_threads);
     let (coarsest, _) = levels.last().unwrap();
     let mut parts = greedy_growing(coarsest, params.num_parts, params.seed ^ 0xC0A53);
-    rebalance(coarsest, &mut parts, params.num_parts, max_part_weight);
+    rebalance(
+        coarsest,
+        &mut parts,
+        params.num_parts,
+        max_part_weight,
+        &mut ws,
+    );
     greedy_refine(
         coarsest,
         &mut parts,
         params.num_parts,
         max_part_weight,
         refine_sweeps,
+        &mut ws,
     );
 
     // Uncoarsen: project the partition up one level at a time, restore balance (the
@@ -94,13 +104,20 @@ fn multilevel_partition(
             .as_ref()
             .expect("every non-coarsest level stores its coarsening");
         parts = project(&coarsening.fine_to_coarse, &parts);
-        rebalance(fine_graph, &mut parts, params.num_parts, max_part_weight);
+        rebalance(
+            fine_graph,
+            &mut parts,
+            params.num_parts,
+            max_part_weight,
+            &mut ws,
+        );
         greedy_refine(
             fine_graph,
             &mut parts,
             params.num_parts,
             max_part_weight,
             refine_sweeps,
+            &mut ws,
         );
     }
     parts
@@ -129,13 +146,21 @@ fn multilevel_partition_from(
     let max_part_weight = ((1.0 + params.vertex_imbalance) * graph.total_vertex_weight() as f64
         / params.num_parts as f64)
         .ceil() as u64;
-    rebalance(&graph, &mut parts, params.num_parts, max_part_weight);
+    let mut ws = SweepWorkspace::new(params.sweep_threads);
+    rebalance(
+        &graph,
+        &mut parts,
+        params.num_parts,
+        max_part_weight,
+        &mut ws,
+    );
     greedy_refine(
         &graph,
         &mut parts,
         params.num_parts,
         max_part_weight,
         refine_sweeps,
+        &mut ws,
     );
     parts
 }
