@@ -2,13 +2,15 @@
 
 use serde::Serialize;
 use xtrapulp::metrics::PartitionQuality;
-use xtrapulp::sweep::SweepStats;
-use xtrapulp::{try_pulp_partition_from_with_stats, try_pulp_partition_with_stats, PartitionError};
+use xtrapulp::sweep::{StageBreakdown, SweepStats};
+use xtrapulp::{
+    try_pulp_partition_from_with_stats_timed, try_pulp_partition_with_stats_timed, PartitionError,
+};
 use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer};
 use xtrapulp_dynamic::{
     seed_from_previous, DynamicGraph, GraphDelta, UpdateBatch, UpdateError, UpdateSummary,
 };
-use xtrapulp_graph::{Csr, DistGraph, Distribution, GlobalId, UNASSIGNED};
+use xtrapulp_graph::{Csr, DistGraph, GlobalId, UNASSIGNED};
 
 use crate::method::Method;
 use crate::report::PartitionReport;
@@ -40,6 +42,9 @@ pub struct DynamicReport {
     /// Scored vertices of the most recent from-scratch run, the warm-vs-cold
     /// reference for sweep throughput.
     pub cold_vertices_scored: u64,
+    /// The run's sweep/scored work split per schedule stage (refine / balance /
+    /// churn), so trajectories can attribute where label-propagation effort went.
+    pub stages: StageBreakdown,
 }
 
 /// [`DynamicReport`] minus the part vector, for result streams.
@@ -53,6 +58,7 @@ struct DynamicSummary {
     cold_lp_sweeps: u64,
     vertices_scored: u64,
     cold_vertices_scored: u64,
+    stages: StageBreakdown,
     num_vertices: u64,
     num_edges: u64,
     quality: PartitionQuality,
@@ -76,6 +82,7 @@ impl DynamicReport {
             cold_lp_sweeps: self.cold_lp_sweeps,
             vertices_scored: self.vertices_scored,
             cold_vertices_scored: self.cold_vertices_scored,
+            stages: self.stages,
             num_vertices: self.report.num_vertices,
             num_edges: self.report.num_edges,
             quality: self.report.quality,
@@ -179,23 +186,10 @@ impl DynamicSession {
     /// [`UNASSIGNED`] entries for new vertices. A rejected batch changes nothing.
     pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<UpdateSummary, UpdateError> {
         let delta = self.graph.validate(batch)?;
-        // An Explicit ownership table has no entries for new vertices, so growth cannot
-        // be distributed; reject it here as a typed error rather than letting the
-        // graph-layer assertion panic inside the rank threads. Serial methods never
-        // distribute the graph, so they are free to grow.
-        if delta.added_vertices() > 0
-            && self.job.method.is_distributed()
-            && matches!(self.session.distribution(), Distribution::Explicit(_))
-        {
-            return Err(UpdateError::UnsupportedGrowth {
-                detail: format!(
-                    "the session distributes vertices with an explicit ownership table of \
-                     {} entries, which cannot cover {} added vertices",
-                    self.graph.num_vertices(),
-                    delta.added_vertices()
-                ),
-            });
-        }
+        // Growth under an Explicit ownership table is handled in the graph layer:
+        // `DistGraph::apply_delta` (and the from-CSR build paths) extend the table by
+        // hashing the new tail vertices to ranks, so no method/distribution combination
+        // rejects a valid batch.
         if let Some(graphs) = self.rank_graphs.take() {
             let updated = self
                 .session
@@ -235,7 +229,7 @@ impl DynamicSession {
         } else {
             None
         };
-        let (report, lp_sweeps, vertices_scored) = if self.job.method.is_distributed() {
+        let (report, lp_sweeps, vertices_scored, stages) = if self.job.method.is_distributed() {
             if self.rank_graphs.is_none() {
                 self.rank_graphs = Some(self.session.build_rank_graphs(self.graph.csr()));
             }
@@ -276,6 +270,7 @@ impl DynamicSession {
             cold_lp_sweeps: self.cold_lp_sweeps,
             vertices_scored,
             cold_vertices_scored: self.cold_vertices_scored,
+            stages,
         })
     }
 
@@ -287,21 +282,31 @@ impl DynamicSession {
         &mut self,
         warm_seed: Option<&[i32]>,
         touched: Option<&[GlobalId]>,
-    ) -> Result<(PartitionReport, u64, u64), PartitionError> {
+    ) -> Result<(PartitionReport, u64, u64, StageBreakdown), PartitionError> {
         if warm_seed.is_none() && self.job.method != Method::Pulp {
             let report = self.session.submit(&self.job, self.graph.csr())?;
-            return Ok((report, 0, 0));
+            return Ok((report, 0, 0, StageBreakdown::default()));
         }
         let csr = self.graph.csr();
         let params = self.job.params;
         let mut timings = PhaseTimer::new();
         let (parts, stats) = match (self.job.method, warm_seed) {
             (Method::Pulp, None) => {
-                timings.time("partition", || try_pulp_partition_with_stats(csr, &params))?
+                let (parts, stats, sweep_timings) = timings.time("partition", || {
+                    try_pulp_partition_with_stats_timed(csr, &params)
+                })?;
+                // The per-stage sweep wall-clock breakdown ends up in the report's
+                // timings, same phase names as the distributed path.
+                timings.merge_max(&sweep_timings);
+                (parts, stats)
             }
-            (Method::Pulp, Some(seed)) => timings.time("partition", || {
-                try_pulp_partition_from_with_stats(csr, &params, seed, touched)
-            })?,
+            (Method::Pulp, Some(seed)) => {
+                let (parts, stats, sweep_timings) = timings.time("partition", || {
+                    try_pulp_partition_from_with_stats_timed(csr, &params, seed, touched)
+                })?;
+                timings.merge_max(&sweep_timings);
+                (parts, stats)
+            }
             (method, Some(seed)) => {
                 let partitioner = method
                     .build_warm(self.session.nranks())
@@ -331,6 +336,7 @@ impl DynamicSession {
             },
             stats.sweeps,
             stats.vertices_scored,
+            stats.stages,
         ))
     }
 }
@@ -350,6 +356,7 @@ mod tests {
     use super::*;
     use xtrapulp::PartitionParams;
     use xtrapulp_gen::{GraphConfig, GraphKind};
+    use xtrapulp_graph::Distribution;
 
     fn ba_csr(n: u64, seed: u64) -> Csr {
         GraphConfig::new(
@@ -455,6 +462,12 @@ mod tests {
             assert_ne!(warm.report.parts[600], UNASSIGNED, "{method}");
             if method == Method::Pulp {
                 assert!(warm.lp_sweeps < warm.cold_lp_sweeps, "{method}");
+                // The serial path surfaces the per-stage sweep wall-clock in the
+                // report's timings, like the distributed path does.
+                assert!(
+                    warm.report.timings.get("sweep_refine") > std::time::Duration::ZERO,
+                    "serial warm PuLP runs must report sweep_refine time"
+                );
             }
         }
     }
@@ -490,7 +503,10 @@ mod tests {
     }
 
     #[test]
-    fn explicit_distribution_growth_is_a_typed_error_not_a_rank_panic() {
+    fn explicit_distribution_growth_hashes_tail_vertices_to_owners() {
+        // Growing a graph distributed with an explicit ownership table used to be
+        // rejected (the table had no owners for the new vertices); the graph layer now
+        // hashes the tail to ranks, so the serving loop keeps working across growth.
         let csr = ba_csr(120, 3);
         let owners: Vec<i32> = (0..120).map(|v| v % 2).collect();
         let session = Session::with_distribution(2, Distribution::from_parts(&owners)).unwrap();
@@ -498,27 +514,28 @@ mod tests {
         dyn_session.repartition().unwrap();
 
         let mut batch = UpdateBatch::new();
-        batch.add_vertices(1).insert_edge(120, 0);
-        let err = dyn_session.apply_updates(&batch).unwrap_err();
-        assert!(
-            matches!(err, UpdateError::UnsupportedGrowth { .. }),
-            "{err}"
-        );
-        // The graph is untouched and the session still serves jobs.
-        assert_eq!(dyn_session.epoch(), 0);
-        assert_eq!(dyn_session.graph().num_vertices(), 120);
-        let mut ok = UpdateBatch::new();
-        ok.insert_edge(0, 119);
-        if dyn_session
-            .graph()
-            .csr()
-            .neighbors(0)
-            .binary_search(&119)
-            .is_err()
-        {
-            dyn_session.apply_updates(&ok).unwrap();
-        }
-        assert_eq!(dyn_session.repartition().unwrap().report.parts.len(), 120);
+        batch
+            .add_vertices(2)
+            .insert_edge(120, 0)
+            .insert_edge(121, 120);
+        let summary = dyn_session.apply_updates(&batch).unwrap();
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(dyn_session.graph().num_vertices(), 122);
+        let warm = dyn_session.repartition().unwrap();
+        assert!(warm.warm_start);
+        assert_eq!(warm.report.parts.len(), 122);
+        assert_ne!(warm.report.parts[120], UNASSIGNED);
+        assert_ne!(warm.report.parts[121], UNASSIGNED);
+        // Growth before the rank graphs are first built goes through the same hashing
+        // path in `Session::build_rank_graphs`.
+        let csr2 = ba_csr(120, 5);
+        let owners2: Vec<i32> = (0..120).map(|v| v % 2).collect();
+        let session2 = Session::with_distribution(2, Distribution::from_parts(&owners2)).unwrap();
+        let mut fresh = DynamicSession::new(session2, csr2, job(Method::XtraPulp, 2)).unwrap();
+        let mut grow_first = UpdateBatch::new();
+        grow_first.add_vertices(1).insert_edge(120, 1);
+        fresh.apply_updates(&grow_first).unwrap();
+        assert_eq!(fresh.repartition().unwrap().report.parts.len(), 121);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! The concurrent serving session: a [`DynamicSession`] behind the `xtrapulp-serve`
+//! pipeline, so readers and writers stop sharing one lock-stepped loop.
+//!
+//! [`ServingSession::spawn`] runs the cold epoch-0 partition inline (readers always
+//! observe a fully-published snapshot), then moves the dynamic session onto a
+//! background worker thread. From there on:
+//!
+//! * any number of threads [`ingest`](ServingSession::ingest) update batches through
+//!   the bounded queue (typed backpressure when they outrun the partitioner);
+//! * the worker drains batch groups, applies them through the dynamic subsystem's
+//!   validation, repartitions warm-started from the previous epoch, and atomically
+//!   publishes each new [`PartitionSnapshot`](xtrapulp_serve::PartitionSnapshot);
+//! * any number of reader threads hold the [`EpochStore`] and query `part_of`,
+//!   whole-part views and migration diffs against immutable epochs — the epoch-`k`
+//!   partition keeps serving while epoch `k+1` repartitions.
+//!
+//! [`shutdown`](ServingSession::shutdown) is drain-then-stop and hands the
+//! [`DynamicSession`] back, so a service can fall back to the single-writer loop (or
+//! run analytics on the final graph) after the concurrent phase.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use xtrapulp::PartitionError;
+use xtrapulp_dynamic::{UpdateBatch, UpdateError};
+use xtrapulp_graph::Csr;
+use xtrapulp_serve::{
+    replay_update_log, EpochStore, IngestError, IngestQueue, PartitionSnapshot, RepartitionEngine,
+    ReplayError, ReplayOutcome, ServeConfig, ServeHandle, ServeStats,
+};
+
+use crate::dynamic::{DynamicReport, DynamicSession};
+use crate::session::PartitionJob;
+
+/// Why the serving engine failed to process a cycle: a batch the dynamic subsystem
+/// rejected, or a repartition error. Rejected batches leave the graph untouched and
+/// are counted in [`ServeStats::batches_rejected`]; repartition failures keep the
+/// previous epoch serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The update batch failed validation against the live topology.
+    Update(UpdateError),
+    /// The repartition job failed.
+    Partition(PartitionError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Update(e) => write!(f, "update batch rejected: {e}"),
+            ServeError::Partition(e) => write!(f, "repartition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The production [`RepartitionEngine`]: a [`DynamicSession`] driven on the worker
+/// thread. Public only through [`ServingSession`].
+struct DynamicEngine {
+    session: DynamicSession,
+}
+
+impl RepartitionEngine for DynamicEngine {
+    type Error = ServeError;
+
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<(), ServeError> {
+        self.session
+            .apply_updates(batch)
+            .map(|_| ())
+            .map_err(ServeError::Update)
+    }
+
+    fn repartition(&mut self) -> Result<PartitionSnapshot, ServeError> {
+        let report = self.session.repartition().map_err(ServeError::Partition)?;
+        Ok(snapshot_from(report))
+    }
+}
+
+/// Convert one dynamic-session epoch report into the immutable snapshot the epoch
+/// store publishes.
+fn snapshot_from(report: DynamicReport) -> PartitionSnapshot {
+    PartitionSnapshot {
+        epoch: report.epoch,
+        num_parts: report.report.num_parts,
+        quality: report.report.quality,
+        warm_start: report.warm_start,
+        lp_sweeps: report.lp_sweeps,
+        vertices_scored: report.vertices_scored,
+        stages: report.stages,
+        vertices_migrated: report.vertices_migrated,
+        parts: report.report.parts,
+    }
+}
+
+/// A concurrently-served dynamic partitioning session.
+pub struct ServingSession {
+    handle: ServeHandle<DynamicEngine>,
+}
+
+impl ServingSession {
+    /// Spawn a serving session with the default [`ServeConfig`]: `nranks` rank threads
+    /// under the hood, `csr` as the initial graph, `job` as the partitioning request
+    /// every epoch runs. Blocks for the cold epoch-0 partition, then returns with the
+    /// background worker running.
+    pub fn spawn(
+        nranks: usize,
+        csr: Csr,
+        job: PartitionJob,
+    ) -> Result<ServingSession, PartitionError> {
+        ServingSession::spawn_with_config(nranks, csr, job, ServeConfig::default())
+    }
+
+    /// [`spawn`](ServingSession::spawn) with an explicit queue capacity and batching
+    /// policy.
+    pub fn spawn_with_config(
+        nranks: usize,
+        csr: Csr,
+        job: PartitionJob,
+        config: ServeConfig,
+    ) -> Result<ServingSession, PartitionError> {
+        let mut session = DynamicSession::spawn(nranks, csr, job)?;
+        let initial = snapshot_from(session.repartition()?);
+        let handle = xtrapulp_serve::spawn(DynamicEngine { session }, initial, config);
+        Ok(ServingSession { handle })
+    }
+
+    /// The epoch store readers subscribe to: clone the returned `Arc` into as many
+    /// reader threads as needed; every snapshot it hands out is immutable and fully
+    /// published.
+    pub fn store(&self) -> Arc<EpochStore> {
+        self.handle.store()
+    }
+
+    /// The latest published epoch (wait-free).
+    pub fn epoch(&self) -> u64 {
+        self.handle.store().epoch()
+    }
+
+    /// The shared ingest queue, for producer threads that submit directly.
+    pub fn queue(&self) -> Arc<IngestQueue> {
+        self.handle.queue()
+    }
+
+    /// Submit one update batch without blocking. Returns
+    /// [`IngestError::QueueFull`] as backpressure when producers outrun the worker.
+    pub fn try_ingest(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        self.handle.try_ingest(batch)
+    }
+
+    /// Submit one update batch, blocking while the queue is full.
+    pub fn ingest(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        self.handle.ingest(batch)
+    }
+
+    /// Replay a recorded update log (`.ulog` binary or text, auto-detected) through
+    /// the ingest queue in chunks of at most `max_batch_ops` ops, with blocking
+    /// backpressure — a recorded trace drives the identical pipeline live producers
+    /// use.
+    pub fn replay_log(
+        &self,
+        path: &Path,
+        max_batch_ops: usize,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        replay_update_log(&self.handle.queue(), path, max_batch_ops)
+    }
+
+    /// A point-in-time view of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.handle.stats()
+    }
+
+    /// The most recent batch-rejection or repartition failure, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.handle.last_error()
+    }
+
+    /// Drain-then-stop shutdown: close the queue, apply and publish everything already
+    /// accepted, then return the inner [`DynamicSession`] (live graph, final
+    /// partition, persistent ranks) and the final counters.
+    pub fn shutdown(self) -> (DynamicSession, ServeStats) {
+        let (engine, stats) = self.handle.shutdown();
+        (engine.session, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Method;
+    use std::time::Duration;
+    use xtrapulp::PartitionParams;
+    use xtrapulp_gen::{GraphConfig, GraphKind};
+
+    fn ba_csr(n: u64, seed: u64) -> Csr {
+        GraphConfig::new(
+            GraphKind::BarabasiAlbert {
+                num_vertices: n,
+                edges_per_vertex: 5,
+            },
+            seed,
+        )
+        .generate()
+        .to_csr()
+    }
+
+    fn job(parts: usize) -> PartitionJob {
+        PartitionJob::new(Method::XtraPulp).with_params(PartitionParams {
+            num_parts: parts,
+            seed: 11,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn serving_session_publishes_epochs_and_returns_the_dynamic_session() {
+        let csr = ba_csr(400, 3);
+        let serving = ServingSession::spawn(2, csr, job(4)).unwrap();
+        assert_eq!(serving.epoch(), 0);
+        let reader = serving.store();
+        assert_eq!(reader.current().num_vertices(), 400);
+
+        let mut batch = UpdateBatch::new();
+        batch
+            .add_vertices(1)
+            .insert_edge(400, 0)
+            .insert_edge(400, 1);
+        serving.ingest(batch).unwrap();
+        let published = reader
+            .wait_for_epoch(1, Duration::from_secs(60))
+            .expect("worker publishes epoch 1");
+        assert!(published.warm_start);
+        assert_eq!(published.num_vertices(), 401);
+
+        let (session, stats) = serving.shutdown();
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.warm_epochs, 1);
+        assert_eq!(stats.cold_epochs, 0, "epoch 0 is published by the spawner");
+        assert_eq!(session.graph().num_vertices(), 401);
+        assert_eq!(session.epoch(), 1);
+    }
+
+    #[test]
+    fn rejected_batches_surface_in_stats_and_last_error() {
+        let csr = ba_csr(300, 5);
+        // Re-inserting an existing edge is deterministically invalid.
+        let (u, v) = (1u64, csr.neighbors(1)[0]);
+        let serving = ServingSession::spawn(1, csr, job(2)).unwrap();
+        let mut bad = UpdateBatch::new();
+        bad.insert_edge(u, v);
+        serving.ingest(bad).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while serving.stats().batches_rejected == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (_, stats) = serving.shutdown();
+        assert_eq!(stats.batches_rejected, 1);
+        assert_eq!(stats.epochs_published, 0);
+    }
+}

@@ -4,7 +4,7 @@ use xtrapulp::metrics::PartitionQuality;
 use xtrapulp::partitioner::assemble_gathered_parts;
 use xtrapulp::{
     try_xtrapulp_partition, try_xtrapulp_partition_from_touched, validate_warm_start,
-    PartitionError, PartitionParams,
+    PartitionError, PartitionParams, StageBreakdown,
 };
 use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer, RankCtx, Runtime};
 use xtrapulp_graph::{Csr, DistGraph, Distribution, GlobalId, LocalId};
@@ -159,7 +159,9 @@ impl Session {
         if n == 0 {
             return Ok(self.empty_report(job, csr));
         }
-        let dist = self.distribution.clone();
+        // An Explicit ownership table may be shorter than a graph that has since grown;
+        // hash the tail vertices to ranks (a no-op for the functional distributions).
+        let dist = self.distribution.grown(n as u64, self.nranks());
         let params = job.params;
         type RankOut = (
             Vec<(u64, i32)>,
@@ -212,7 +214,11 @@ impl Session {
     /// The result is indexed by rank and can be carried across jobs (and evolved with
     /// [`DistGraph::apply_delta`]) by the dynamic-session layer.
     pub(crate) fn build_rank_graphs(&mut self, csr: &Csr) -> Vec<DistGraph> {
-        let dist = self.distribution.clone();
+        // As in `run_distributed`: a graph grown past an Explicit table's length gets
+        // its tail vertices hashed to ranks.
+        let dist = self
+            .distribution
+            .grown(csr.num_vertices() as u64, self.nranks());
         self.runtime
             .execute(|ctx| DistGraph::from_csr(ctx, dist.clone(), csr))
     }
@@ -232,7 +238,7 @@ impl Session {
         initial: Option<&[i32]>,
         touched: Option<&[GlobalId]>,
         num_edges: u64,
-    ) -> Result<(PartitionReport, u64, u64), PartitionError> {
+    ) -> Result<(PartitionReport, u64, u64, StageBreakdown), PartitionError> {
         job.params.validate()?;
         assert_eq!(graphs.len(), self.nranks(), "one graph per rank required");
         let n = graphs[0].global_n() as usize;
@@ -247,7 +253,7 @@ impl Session {
             PartitionQuality,
             PhaseTimer,
             CommStatsSnapshot,
-            (u64, u64),
+            (u64, u64, StageBreakdown),
         );
         let per_rank: Vec<RankOut> = self.runtime.execute(|ctx| {
             let graph = &graphs[ctx.rank()];
@@ -270,7 +276,7 @@ impl Session {
                 result.quality,
                 result.timings,
                 ctx.stats().snapshot(),
-                (result.lp_sweeps, result.vertices_scored),
+                (result.lp_sweeps, result.vertices_scored, result.stages),
             )
         });
 
@@ -280,14 +286,16 @@ impl Session {
         let mut pairs = Vec::with_capacity(per_rank.len());
         let mut lp_sweeps = 0u64;
         let mut vertices_scored = 0u64;
+        let mut stages = StageBreakdown::default();
         for (rank_pairs, rank_quality, rank_timings, rank_comm, rank_stats) in per_rank {
             quality.get_or_insert(rank_quality);
             timings.merge_max(&rank_timings);
             comm = comm.merged(rank_comm);
-            // Both counters are allreduced inside the job, so every rank reports the
-            // same global value.
+            // These counters are allreduced inside the job, so every rank reports the
+            // same global value; keep the first rank's.
             lp_sweeps = lp_sweeps.max(rank_stats.0);
             vertices_scored = vertices_scored.max(rank_stats.1);
+            stages = rank_stats.2;
             pairs.push(rank_pairs);
         }
         let parts = assemble_gathered_parts(n, job.params.num_parts, pairs)?;
@@ -306,6 +314,7 @@ impl Session {
             },
             lp_sweeps,
             vertices_scored,
+            stages,
         ))
     }
 

@@ -1,0 +1,251 @@
+//! Concurrent-serving benchmark: reader throughput under churn, and ingest-to-publish
+//! latency.
+//!
+//! Two experiments over a `ServingSession` (the `crates/serve` pipeline wrapping a
+//! warm-starting `DynamicSession` on 4 ranks):
+//!
+//! * **readers-under-churn** — N reader threads hammer `EpochStore::current()` +
+//!   `part_of` queries while one producer continuously ingests churn batches; the row
+//!   reports sustained reads/s alongside how many epochs the worker published in the
+//!   same window. The point of the MVCC design is that the left column does not
+//!   collapse when the right column is busy.
+//! * **ingest-to-publish** — sequential batches, each waited to its published epoch;
+//!   the row reports the mean end-to-end latency from a batch entering the queue to
+//!   its epoch serving, plus the worker's own publish (apply+repartition) time.
+//!
+//! `--json` emits one line per row with the full [`ServeStats`] object embedded.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xtrapulp::PartitionParams;
+use xtrapulp_api::{BatchPolicy, Method, PartitionJob, ServeConfig, ServingSession, UpdateBatch};
+use xtrapulp_bench::{fmt, json_flag, print_table, scaled};
+use xtrapulp_gen::{generate_stream, GraphConfig, GraphKind, StreamKind, UpdateStreamConfig};
+use xtrapulp_graph::distribution::splitmix64;
+
+const NRANKS: usize = 4;
+const NUM_PARTS: usize = 16;
+const RUN_MS: u64 = 300;
+
+fn job() -> PartitionJob {
+    PartitionJob::new(Method::XtraPulp).with_params(PartitionParams {
+        num_parts: NUM_PARTS,
+        seed: 29,
+        ..Default::default()
+    })
+}
+
+fn emit_json(series: &str, fields: &[(&str, String)], stats: &xtrapulp_api::ServeStats) {
+    if json_flag() {
+        let mut line = String::from("{\"experiment\":\"bench_serve\",\"series\":");
+        serde::write_json_str(series, &mut line);
+        for (key, value) in fields {
+            line.push(',');
+            serde::write_json_str(key, &mut line);
+            line.push(':');
+            line.push_str(value);
+        }
+        line.push_str(",\"stats\":");
+        line.push_str(&stats.to_json());
+        line.push('}');
+        println!("{line}");
+    }
+}
+
+/// N readers querying the epoch store while a producer churns the graph.
+fn readers_under_churn(
+    rows: &mut Vec<Vec<String>>,
+    base: &xtrapulp_gen::EdgeList,
+    num_readers: usize,
+    ops_per_batch: usize,
+) {
+    let serving = ServingSession::spawn(NRANKS, base.to_csr(), job()).expect("valid job");
+    let store = serving.store();
+    let queue = serving.queue();
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_reads = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..num_readers)
+        .map(|r| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let total_reads = Arc::clone(&total_reads);
+            std::thread::spawn(move || {
+                let mut x = r as u64;
+                let mut checksum = 0i64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = store.current();
+                    let n = snapshot.num_vertices() as u64;
+                    for _ in 0..64 {
+                        x = splitmix64(x);
+                        checksum += snapshot.part_of(x % n).unwrap_or(0) as i64;
+                    }
+                    reads += 64;
+                }
+                total_reads.fetch_add(reads, Ordering::Relaxed);
+                checksum
+            })
+        })
+        .collect();
+
+    // Producer: churn batches, pre-generated so the run window measures serving, not
+    // stream generation.
+    let stream = generate_stream(
+        base,
+        &UpdateStreamConfig {
+            kind: StreamKind::RandomChurn {
+                ops_per_batch,
+                delete_fraction: 0.5,
+            },
+            num_batches: 64,
+            seed: 17,
+        },
+    );
+    let producer = {
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for i in 0..stream.batches.len() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if queue
+                    .submit(UpdateBatch::from_ops(stream.batch_ops(i)))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+    };
+
+    let window = Instant::now();
+    std::thread::sleep(Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        reader.join().expect("reader thread");
+    }
+    let elapsed = window.elapsed().as_secs_f64();
+    producer.join().expect("producer thread");
+    let (_, stats) = serving.shutdown();
+
+    let reads_per_sec = total_reads.load(Ordering::Relaxed) as f64 / elapsed;
+    let series = "readers-under-churn";
+    emit_json(
+        series,
+        &[
+            ("readers", num_readers.to_string()),
+            ("reads_per_sec", format!("{reads_per_sec:.0}")),
+        ],
+        &stats,
+    );
+    rows.push(vec![
+        series.to_string(),
+        num_readers.to_string(),
+        format!("{:.2}M", reads_per_sec / 1e6),
+        format!("{}", stats.epochs_published),
+        format!("{}/{}", stats.warm_epochs, stats.cold_epochs),
+        fmt(stats.last_publish_seconds),
+        fmt(stats.last_ingest_to_publish_seconds),
+    ]);
+}
+
+/// Sequential batches, each waited to its published epoch: the end-to-end latency.
+fn ingest_to_publish(
+    rows: &mut Vec<Vec<String>>,
+    base: &xtrapulp_gen::EdgeList,
+    ops_per_batch: usize,
+) {
+    let config = ServeConfig {
+        // One batch per publish, so each wait observes exactly its own epoch.
+        policy: BatchPolicy {
+            max_group_ops: 65_536,
+            max_group_batches: 1,
+        },
+        ..ServeConfig::default()
+    };
+    let serving =
+        ServingSession::spawn_with_config(NRANKS, base.to_csr(), job(), config).expect("valid job");
+    let store = serving.store();
+    let stream = generate_stream(
+        base,
+        &UpdateStreamConfig {
+            kind: StreamKind::RandomChurn {
+                ops_per_batch,
+                delete_fraction: 0.5,
+            },
+            num_batches: 4,
+            seed: 31,
+        },
+    );
+    let mut latency_sum = 0.0f64;
+    let mut publish_sum = 0.0f64;
+    let epochs = stream.batches.len() as u64;
+    for i in 0..stream.batches.len() {
+        serving
+            .ingest(UpdateBatch::from_ops(stream.batch_ops(i)))
+            .expect("queue open");
+        store
+            .wait_for_epoch(i as u64 + 1, Duration::from_secs(600))
+            .expect("epoch publishes");
+        let stats = serving.stats();
+        latency_sum += stats.last_ingest_to_publish_seconds;
+        publish_sum += stats.last_publish_seconds;
+    }
+    let (_, stats) = serving.shutdown();
+    let series = "ingest-to-publish";
+    emit_json(
+        series,
+        &[
+            ("ops_per_batch", ops_per_batch.to_string()),
+            ("mean_latency_seconds", fmt(latency_sum / epochs as f64)),
+        ],
+        &stats,
+    );
+    rows.push(vec![
+        series.to_string(),
+        format!("ops={ops_per_batch}"),
+        "-".to_string(),
+        format!("{}", stats.epochs_published),
+        format!("{}/{}", stats.warm_epochs, stats.cold_epochs),
+        fmt(publish_sum / epochs as f64),
+        fmt(latency_sum / epochs as f64),
+    ]);
+}
+
+fn main() {
+    let n = scaled(1 << 14);
+    let base = GraphConfig::new(
+        GraphKind::BarabasiAlbert {
+            num_vertices: n,
+            edges_per_vertex: 8,
+        },
+        77,
+    )
+    .generate();
+    let m = base.to_csr().num_edges();
+    let churn_ops = ((m as f64 * 0.005) as usize).max(2);
+
+    let mut rows = Vec::new();
+    for readers in [1usize, 4, 8] {
+        readers_under_churn(&mut rows, &base, readers, churn_ops);
+    }
+    ingest_to_publish(&mut rows, &base, churn_ops);
+
+    print_table(
+        "Concurrent serving — reader throughput under churn, ingest-to-publish latency",
+        &[
+            "series",
+            "readers",
+            "reads/s",
+            "epochs",
+            "warm/cold",
+            "publish s",
+            "ingest→publish s",
+        ],
+        &rows,
+    );
+}

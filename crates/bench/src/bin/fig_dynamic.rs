@@ -86,6 +86,10 @@ fn run_series(
             fmt(cold_secs / warm_secs.max(1e-9)),
             format!("{}/{}", warm.lp_sweeps, warm.cold_lp_sweeps),
             format!("{}/{}", warm.vertices_scored, warm.cold_vertices_scored),
+            format!(
+                "{}/{}/{}",
+                warm.stages.refine_sweeps, warm.stages.balance_sweeps, warm.stages.churn_sweeps
+            ),
             format!("{}", warm.vertices_migrated),
             fmt(cut_delta_pct),
             fmt(warm.report.quality.vertex_imbalance),
@@ -160,6 +164,7 @@ fn main() {
             "speedup",
             "sweeps warm/cold",
             "scored warm/cold",
+            "ref/bal/churn",
             "migrated",
             "cut delta %",
             "imbalance",

@@ -29,8 +29,8 @@ use xtrapulp_graph::{DistGraph, LocalId};
 use crate::exchange::{push_part_updates_marking, GhostNeighborMap, PartUpdate};
 use crate::params::PartitionParams;
 use crate::sweep::{
-    refine_budget, RefineConvergence, ScoreScratch, SweepMode, SweepStage, SweepWorkspace,
-    BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
+    refine_budget, RefineConvergence, ScoreScratch, StageKind, SweepMode, SweepStage,
+    SweepWorkspace, BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
 };
 
 /// Mutable per-stage counters shared by the balancing phases: the running total iteration
@@ -250,7 +250,8 @@ pub fn vertex_balance(
     // fact, so every rank takes the same branch), its churn is pure perturbation —
     // useful exactly when refinement has converged (globally empty frontier), where one
     // churn sweep lets the next refinement round escape its local optimum.
-    let sweep_cap = if frontier_mode && size_v.iter().all(|&s| (s as f64) <= imb_v) {
+    let balanced = size_v.iter().all(|&s| (s as f64) <= imb_v);
+    let sweep_cap = if frontier_mode && balanced {
         let global_active = ctx.allreduce_scalar_sum_u64(ws.engine.frontier.active_len() as u64);
         if global_active > 0 {
             0
@@ -264,6 +265,13 @@ pub fn vertex_balance(
     let SweepWorkspace {
         engine, counters, ..
     } = ws;
+    // A balance pass on an already-balanced partition only perturbs; book it as churn
+    // (a global fact, so every rank books identically).
+    engine.set_stage(if balanced {
+        StageKind::Churn
+    } else {
+        StageKind::Balance
+    });
     let mut updates: Vec<PartUpdate> = Vec::new();
     for _ in 0..sweep_cap {
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
@@ -422,6 +430,7 @@ pub fn vertex_refine(
     let SweepWorkspace {
         engine, counters, ..
     } = ws;
+    engine.set_stage(StageKind::Refine);
     // A pass inheriting a large global frontier opens with one full sweep: it costs
     // barely more than the frontier sweep it replaces and restores the legacy
     // schedule's per-round global coverage. The decision is made on global numbers, so

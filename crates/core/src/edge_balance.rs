@@ -31,8 +31,8 @@ use crate::balance::{
 use crate::exchange::{push_part_updates_marking, GhostNeighborMap, PartUpdate};
 use crate::params::PartitionParams;
 use crate::sweep::{
-    refine_budget, RefineConvergence, ScoreScratch, SweepMode, SweepStage, SweepWorkspace,
-    BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
+    refine_budget, RefineConvergence, ScoreScratch, StageKind, SweepMode, SweepStage,
+    SweepWorkspace, BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
 };
 
 /// Count `v`'s neighbours in part `x` and in `target` under the current labels.
@@ -239,9 +239,17 @@ pub fn edge_balance(
     let mut r_e = 1.0f64;
     let mut r_c = 1.0f64;
 
+    // Balanced or stalled-at-unreachable passes only perturb; book them as churn (all
+    // inputs are global numbers, so every rank books identically).
+    let churn = edge_balanced || ws.edge_balance_stalled;
     let SweepWorkspace {
         engine, counters, ..
     } = ws;
+    engine.set_stage(if churn {
+        StageKind::Churn
+    } else {
+        StageKind::Balance
+    });
     let mut updates: Vec<PartUpdate> = Vec::new();
     for _ in 0..sweep_cap {
         let max_v = size_v.iter().map(|&s| s as f64).fold(imb_v, f64::max);
@@ -435,6 +443,7 @@ pub fn edge_refine(
     let SweepWorkspace {
         engine, counters, ..
     } = ws;
+    engine.set_stage(StageKind::Refine);
     if frontier_mode && convergence == RefineConvergence::Polish {
         let global_active = ctx.allreduce_scalar_sum_u64(engine.frontier.active_len() as u64);
         if global_active > graph.global_n() / 8 {

@@ -91,10 +91,11 @@ pub use partitioner::{
 };
 pub use pulp::{
     pulp_partition, try_pulp_partition, try_pulp_partition_from,
-    try_pulp_partition_from_with_stats, try_pulp_partition_from_with_sweeps,
-    try_pulp_partition_with_stats, try_pulp_partition_with_sweeps, PulpPartitioner,
+    try_pulp_partition_from_with_stats, try_pulp_partition_from_with_stats_timed,
+    try_pulp_partition_from_with_sweeps, try_pulp_partition_with_stats,
+    try_pulp_partition_with_stats_timed, try_pulp_partition_with_sweeps, PulpPartitioner,
 };
-pub use sweep::{SweepMode, SweepStats, SweepWorkspace};
+pub use sweep::{StageBreakdown, StageKind, SweepMode, SweepStats, SweepWorkspace};
 
 // Re-exported so downstream crates (analytics, spmv, bench) can name graph types without
 // an extra dependency edge.

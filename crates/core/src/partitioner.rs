@@ -15,7 +15,7 @@ use crate::exchange::{
 use crate::init::init_partition;
 use crate::metrics::PartitionQuality;
 use crate::params::PartitionParams;
-use crate::sweep::{RefineConvergence, SweepMode, SweepWorkspace};
+use crate::sweep::{RefineConvergence, StageBreakdown, SweepMode, SweepWorkspace};
 
 /// The outcome of one distributed XtraPuLP run on one rank.
 #[derive(Debug, Clone)]
@@ -33,6 +33,11 @@ pub struct PartitionResult {
     /// the real unit of label-propagation work, which the frontier-driven engine
     /// shrinks — `n · sweeps` for full sweeps, the sum of active-set sizes otherwise.
     pub vertices_scored: u64,
+    /// The sweep/scored work split per schedule stage (refine / balance / churn),
+    /// globally reduced so every rank reports the same breakdown: scored counts are
+    /// summed over ranks, sweep counts are the per-rank maximum (a rank whose local
+    /// frontier emptied skips — and does not count — the sweep).
+    pub stages: StageBreakdown,
 }
 
 impl PartitionResult {
@@ -392,12 +397,40 @@ fn run_stages(
     });
     let vertices_scored = ctx.allreduce_scalar_sum_u64(ws.engine.stats.vertices_scored);
 
+    // Per-stage telemetry: scored counts sum over ranks (each rank scored its own
+    // vertices), sweep counts take the per-rank maximum (a rank whose local frontier
+    // emptied skips — and does not count — the sweep), and the per-stage wall-clock
+    // lands in the phase timer so `PartitionReport.timings` carries the breakdown.
+    let stages = {
+        let local = ws.engine.stats.stages;
+        let sums = ctx.allreduce_sum_u64(&[
+            local.refine_scored,
+            local.balance_scored,
+            local.churn_scored,
+        ]);
+        let maxs = ctx.allreduce_max_u64(&[
+            local.refine_sweeps,
+            local.balance_sweeps,
+            local.churn_sweeps,
+        ]);
+        StageBreakdown {
+            refine_sweeps: maxs[0],
+            refine_scored: sums[0],
+            balance_sweeps: maxs[1],
+            balance_scored: sums[1],
+            churn_sweeps: maxs[2],
+            churn_scored: sums[2],
+        }
+    };
+    timings.merge_max(&ws.engine.stage_timings());
+
     PartitionResult {
         parts,
         quality,
         timings,
         lp_sweeps,
         vertices_scored,
+        stages,
     }
 }
 

@@ -17,6 +17,7 @@
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use xtrapulp_comm::PhaseTimer;
 use xtrapulp_graph::{Csr, GlobalId, UNASSIGNED};
 
 use crate::error::PartitionError;
@@ -25,7 +26,7 @@ use crate::partitioner::{
     greedy_seed_unassigned, validate_warm_start, Partitioner, WarmStartPartitioner,
 };
 use crate::sweep::{
-    refine_budget, RefineConvergence, ScoreScratch, SweepMode, SweepStage, SweepStats,
+    refine_budget, RefineConvergence, ScoreScratch, StageKind, SweepMode, SweepStage, SweepStats,
     SweepWorkspace, BALANCE_CHUNK, NO_MOVE, SWEEP_CHUNK,
 };
 
@@ -126,6 +127,17 @@ pub fn try_pulp_partition_with_stats(
     csr: &Csr,
     params: &PartitionParams,
 ) -> Result<(Vec<i32>, SweepStats), PartitionError> {
+    try_pulp_partition_with_stats_timed(csr, params).map(|(parts, stats, _)| (parts, stats))
+}
+
+/// [`try_pulp_partition_with_stats`] variant that also reports the per-stage sweep
+/// wall-clock as a [`PhaseTimer`] with `sweep_refine`/`sweep_balance`/`sweep_churn`
+/// phases — the serial counterpart of the phases distributed runs put in
+/// `PartitionResult::timings`.
+pub fn try_pulp_partition_with_stats_timed(
+    csr: &Csr,
+    params: &PartitionParams,
+) -> Result<(Vec<i32>, SweepStats, PhaseTimer), PartitionError> {
     params.validate()?;
     Ok(pulp_run(csr, params, None))
 }
@@ -141,6 +153,18 @@ pub fn try_pulp_partition_from_with_stats(
     initial: &[i32],
     touched: Option<&[GlobalId]>,
 ) -> Result<(Vec<i32>, SweepStats), PartitionError> {
+    try_pulp_partition_from_with_stats_timed(csr, params, initial, touched)
+        .map(|(parts, stats, _)| (parts, stats))
+}
+
+/// [`try_pulp_partition_from_with_stats`] variant that also reports the per-stage
+/// sweep wall-clock (see [`try_pulp_partition_with_stats_timed`]).
+pub fn try_pulp_partition_from_with_stats_timed(
+    csr: &Csr,
+    params: &PartitionParams,
+    initial: &[i32],
+    touched: Option<&[GlobalId]>,
+) -> Result<(Vec<i32>, SweepStats, PhaseTimer), PartitionError> {
     params.validate()?;
     validate_warm_start(csr.num_vertices(), params.num_parts, initial)?;
     Ok(pulp_run(csr, params, Some((initial, touched))))
@@ -154,14 +178,14 @@ fn pulp_run(
     csr: &Csr,
     params: &PartitionParams,
     warm: Option<(&[i32], Option<&[GlobalId]>)>,
-) -> (Vec<i32>, SweepStats) {
+) -> (Vec<i32>, SweepStats, PhaseTimer) {
     let n = csr.num_vertices();
     if n == 0 {
-        return (Vec::new(), SweepStats::default());
+        return (Vec::new(), SweepStats::default(), PhaseTimer::new());
     }
     let p = params.num_parts;
     if p == 1 {
-        return (vec![0; n], SweepStats::default());
+        return (vec![0; n], SweepStats::default(), PhaseTimer::new());
     }
     let frontier = params.sweep_mode == SweepMode::Frontier;
     let mut ws = SweepWorkspace::new(params.sweep_threads);
@@ -308,7 +332,8 @@ fn pulp_run(
             }
         }
     }
-    (parts, ws.engine.stats)
+    let sweep_timings = ws.engine.stage_timings();
+    (parts, ws.engine.stats, sweep_timings)
 }
 
 fn init(csr: &Csr, params: &PartitionParams) -> Vec<i32> {
@@ -490,7 +515,8 @@ fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams, ws: &m
     // still active → skip the pass entirely; balanced + refinement converged → one
     // churn sweep; unbalanced → the full schedule. Gated on frontier mode so `Full`
     // stays a faithful legacy baseline.
-    let sweep_cap = if frontier && counters.size_v.iter().all(|&s| (s as f64) <= imb_v) {
+    let balanced = counters.size_v.iter().all(|&s| (s as f64) <= imb_v);
+    let sweep_cap = if frontier && balanced {
         if engine.frontier.active_len() > 0 {
             0
         } else {
@@ -499,6 +525,13 @@ fn vertex_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams, ws: &m
     } else {
         params.balance_iters
     };
+    // A balance pass run while the constraint already holds is pure perturbation;
+    // book its sweeps as churn so reports can attribute the work.
+    engine.set_stage(if balanced {
+        StageKind::Churn
+    } else {
+        StageKind::Balance
+    });
     for _ in 0..sweep_cap {
         let max_v = counters
             .size_v
@@ -600,6 +633,7 @@ fn vertex_refine(
         return;
     }
     fill_part_vertex_counts(parts, &mut counters.size_v);
+    engine.set_stage(StageKind::Refine);
     // A pass inheriting a large frontier (the previous round did not converge — heavy
     // churn classes) drops it and falls straight to the polish full sweep, which
     // restores the legacy schedule's per-round global coverage.
@@ -779,6 +813,12 @@ fn edge_balance(csr: &Csr, parts: &mut [i32], params: &PartitionParams, ws: &mut
     } else {
         params.balance_iters
     };
+    // Balanced (or stalled-at-unreachable) passes only perturb; book them as churn.
+    engine.set_stage(if edge_balanced || *edge_balance_stalled {
+        StageKind::Churn
+    } else {
+        StageKind::Balance
+    });
     for _ in 0..sweep_cap {
         let max_v = counters
             .size_v
@@ -919,6 +959,7 @@ fn edge_refine(
     fill_part_vertex_counts(parts, &mut counters.size_v);
     fill_part_arc_counts(csr, parts, &mut counters.size_e);
     fill_part_cut_counts(csr, parts, &mut counters.size_c);
+    engine.set_stage(StageKind::Refine);
     // Large inherited frontier: drop it and fall to the polish full sweep, as in
     // `vertex_refine`.
     if frontier_mode

@@ -239,9 +239,75 @@ impl Frontier {
     }
 }
 
+/// What a sweep is *for*, so the run statistics can attribute work to the schedule
+/// stage that caused it. Stages tag the engine via [`SweepEngine::set_stage`] before
+/// sweeping; the engine books every sweep under the current tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StageKind {
+    /// Cut-reducing refinement sweeps (vertex or edge stage) — the frontier-driven
+    /// workhorse, and the default tag.
+    Refine,
+    /// Constraint-driven balance sweeps: the vertex/edge balance schedule run while a
+    /// balance constraint is actually violated.
+    Balance,
+    /// Perturbation sweeps: a balance pass run while its constraint already holds (or
+    /// is detected as unreachable), whose label churn only exists to let the next
+    /// refinement round escape a local optimum.
+    Churn,
+}
+
+/// Per-stage sweep/scored accounting: the [`SweepStats`] totals split by
+/// [`StageKind`], so a report can attribute label-propagation work to refinement,
+/// balance or perturbation churn. All counts, fully deterministic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StageBreakdown {
+    /// Refinement sweeps executed.
+    pub refine_sweeps: u64,
+    /// Vertices scored by refinement sweeps.
+    pub refine_scored: u64,
+    /// Balance sweeps executed while a constraint was violated.
+    pub balance_sweeps: u64,
+    /// Vertices scored by balance sweeps.
+    pub balance_scored: u64,
+    /// Perturbation (churn) sweeps executed at refinement fixed points.
+    pub churn_sweeps: u64,
+    /// Vertices scored by churn sweeps.
+    pub churn_scored: u64,
+}
+
+impl StageBreakdown {
+    fn record(&mut self, kind: StageKind, scored: u64) {
+        let (sweeps, vertices) = match kind {
+            StageKind::Refine => (&mut self.refine_sweeps, &mut self.refine_scored),
+            StageKind::Balance => (&mut self.balance_sweeps, &mut self.balance_scored),
+            StageKind::Churn => (&mut self.churn_sweeps, &mut self.churn_scored),
+        };
+        *sweeps += 1;
+        *vertices += scored;
+    }
+
+    /// Sweep count booked under `kind`.
+    pub fn sweeps(&self, kind: StageKind) -> u64 {
+        match kind {
+            StageKind::Refine => self.refine_sweeps,
+            StageKind::Balance => self.balance_sweeps,
+            StageKind::Churn => self.churn_sweeps,
+        }
+    }
+
+    /// Scored-vertex count booked under `kind`.
+    pub fn scored(&self, kind: StageKind) -> u64 {
+        match kind {
+            StageKind::Refine => self.refine_scored,
+            StageKind::Balance => self.balance_scored,
+            StageKind::Churn => self.churn_scored,
+        }
+    }
+}
+
 /// Counters a sweep run keeps so speedups can be measured rather than asserted:
 /// sweeps executed, vertices scored (the unit of real work — the frontier's whole point
-/// is to shrink this) and moves applied.
+/// is to shrink this) and moves applied, plus the same work split per schedule stage.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct SweepStats {
     /// Label-propagation sweeps executed (a sweep over an empty frontier is skipped and
@@ -252,6 +318,8 @@ pub struct SweepStats {
     pub vertices_scored: u64,
     /// Part reassignments applied.
     pub moves: u64,
+    /// The sweep/scored totals attributed per stage (refine / balance / churn).
+    pub stages: StageBreakdown,
 }
 
 /// One label-propagation stage, split into the two phases of the deterministic chunk
@@ -284,6 +352,13 @@ pub struct SweepEngine {
     /// not allocate and fill a fresh `4n`-byte index array every time.
     full_range: Vec<u32>,
     threads: usize,
+    /// The schedule stage subsequent sweeps are booked under (see
+    /// [`SweepEngine::set_stage`]).
+    stage: StageKind,
+    /// Wall-clock nanoseconds spent inside [`SweepEngine::sweep`] per stage
+    /// (indexed Refine/Balance/Churn). Timing only — never feeds back into any
+    /// decision, so determinism is untouched.
+    stage_nanos: [u64; 3],
     /// Cumulative counters for the current run.
     pub stats: SweepStats,
 }
@@ -298,6 +373,8 @@ impl SweepEngine {
             proposals: vec![NO_MOVE; SWEEP_CHUNK],
             full_range: Vec::new(),
             threads,
+            stage: StageKind::Refine,
+            stage_nanos: [0; 3],
             stats: SweepStats::default(),
         }
     }
@@ -305,6 +382,37 @@ impl SweepEngine {
     /// The worker-thread count this engine fans proposals out to.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Book subsequent sweeps under `kind` in the per-stage statistics. Stages call
+    /// this once at pass entry; the tag persists until the next call.
+    pub fn set_stage(&mut self, kind: StageKind) {
+        self.stage = kind;
+    }
+
+    /// Wall-clock seconds spent sweeping under `kind` since the last
+    /// [`begin_run`](SweepEngine::begin_run).
+    pub fn stage_seconds(&self, kind: StageKind) -> f64 {
+        self.stage_nanos[kind as usize] as f64 * 1e-9
+    }
+
+    /// The per-stage sweep wall-clock as a [`PhaseTimer`] with
+    /// `sweep_refine`/`sweep_balance`/`sweep_churn` phases (zero-duration stages
+    /// omitted). Both the serial and distributed drivers merge this into their
+    /// reports' timings — the phase names are defined once, here.
+    pub fn stage_timings(&self) -> xtrapulp_comm::PhaseTimer {
+        let mut timings = xtrapulp_comm::PhaseTimer::new();
+        for (phase, kind) in [
+            ("sweep_refine", StageKind::Refine),
+            ("sweep_balance", StageKind::Balance),
+            ("sweep_churn", StageKind::Churn),
+        ] {
+            let seconds = self.stage_seconds(kind);
+            if seconds > 0.0 {
+                timings.add(phase, std::time::Duration::from_secs_f64(seconds));
+            }
+        }
+        timings
     }
 
     /// Borrow a score scratch for sequential (non-sweep) scoring loops, so callers do
@@ -320,6 +428,8 @@ impl SweepEngine {
         for scratch in &mut self.scratches {
             scratch.ensure(num_parts);
         }
+        self.stage = StageKind::Refine;
+        self.stage_nanos = [0; 3];
         self.stats = SweepStats::default();
     }
 
@@ -374,8 +484,10 @@ impl SweepEngine {
             return 0;
         }
 
+        let sweep_started = std::time::Instant::now();
         self.stats.sweeps += 1;
         self.stats.vertices_scored += active.len() as u64;
+        self.stats.stages.record(self.stage, active.len() as u64);
         if self.proposals.len() < chunk_size {
             self.proposals.resize(chunk_size, NO_MOVE);
         }
@@ -412,6 +524,7 @@ impl SweepEngine {
             }
         }
         self.stats.moves += moves;
+        self.stage_nanos[self.stage as usize] += sweep_started.elapsed().as_nanos() as u64;
         if use_frontier {
             self.frontier.end_sweep(current);
         } else {
@@ -714,6 +827,59 @@ mod tests {
         assert_eq!(moves, 0);
         assert_eq!(engine.stats.sweeps, 0);
         assert_eq!(engine.stats.vertices_scored, 0);
+    }
+
+    #[test]
+    fn stage_breakdown_attributes_sweeps_to_the_current_tag() {
+        let n = 16;
+        let mut engine = SweepEngine::new(1);
+        engine.begin_run(n, 2);
+        engine.frontier.seed_all(n);
+        let mut parts = vec![1i32; n];
+        let mut stage = ToyStage {
+            capacity: n as i64,
+            size0: 0,
+        };
+        // Default tag is Refine.
+        engine.sweep(
+            n,
+            &mut parts,
+            true,
+            SWEEP_CHUNK,
+            &mut stage,
+            line_neighbors(n),
+            |_, _| {},
+        );
+        assert_eq!(engine.stats.stages.refine_sweeps, 1);
+        assert_eq!(engine.stats.stages.refine_scored, n as u64);
+        assert_eq!(engine.stats.stages.balance_sweeps, 0);
+        // Re-tag and sweep again (full sweep so the empty frontier doesn't skip it).
+        engine.set_stage(StageKind::Churn);
+        engine.sweep(
+            n,
+            &mut parts,
+            false,
+            SWEEP_CHUNK,
+            &mut stage,
+            line_neighbors(n),
+            |_, _| {},
+        );
+        assert_eq!(engine.stats.stages.churn_sweeps, 1);
+        assert_eq!(engine.stats.stages.churn_scored, n as u64);
+        // Totals and the breakdown agree.
+        let stages = engine.stats.stages;
+        assert_eq!(
+            stages.refine_sweeps + stages.balance_sweeps + stages.churn_sweeps,
+            engine.stats.sweeps
+        );
+        assert_eq!(
+            stages.refine_scored + stages.balance_scored + stages.churn_scored,
+            engine.stats.vertices_scored
+        );
+        assert!(engine.stage_seconds(StageKind::Refine) >= 0.0);
+        // begin_run resets the breakdown and the tag.
+        engine.begin_run(n, 2);
+        assert_eq!(engine.stats.stages, StageBreakdown::default());
     }
 
     #[test]

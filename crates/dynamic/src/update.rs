@@ -49,9 +49,10 @@ pub enum UpdateError {
         /// Higher endpoint.
         v: GlobalId,
     },
-    /// The serving layer cannot apply the batch's vertex additions (e.g. the graph is
-    /// distributed with an `Explicit` ownership table, which has no owners for new
-    /// vertices).
+    /// A serving layer cannot apply the batch's vertex additions. No built-in layer
+    /// raises this any more — `Explicit` distributions now grow by hashing the new
+    /// tail vertices to owners (`Distribution::grown`) — but the variant remains for
+    /// custom serving layers with growth restrictions of their own.
     UnsupportedGrowth {
         /// Why growth is unsupported here.
         detail: String,

@@ -17,15 +17,10 @@ use xtrapulp_graph::{GlobalId, UpdateOp};
 
 use crate::EdgeList;
 
-/// One mutation with its logical timestamp (a global, monotonically increasing event
-/// counter across the whole stream).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimedOp {
-    /// Logical event time.
-    pub time: u64,
-    /// The mutation.
-    pub op: UpdateOp,
-}
+// The record type lives in the graph crate next to its on-disk format
+// (`xtrapulp_graph::io::{read,write}_update_log`); re-exported here so stream
+// consumers keep their import path.
+pub use xtrapulp_graph::TimedOp;
 
 /// The mutation model a stream follows.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +73,12 @@ impl UpdateStream {
     /// Total number of mutations across all batches.
     pub fn num_ops(&self) -> usize {
         self.batches.iter().map(|b| b.len()).sum()
+    }
+
+    /// Every op of every batch in application order — the flat shape
+    /// `xtrapulp_graph::io::write_update_log` records.
+    pub fn all_ops(&self) -> Vec<TimedOp> {
+        self.batches.iter().flatten().copied().collect()
     }
 }
 

@@ -25,6 +25,18 @@ pub enum UpdateOp {
     AddVertices(u64),
 }
 
+/// One mutation with its logical timestamp (a global, monotonically increasing event
+/// counter across a whole mutation trace). This is the record type of the on-disk
+/// update-log format ([`crate::io::read_update_log`] / [`crate::io::write_update_log`])
+/// and of the streams `xtrapulp_gen::updates` generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOp {
+    /// Logical event time.
+    pub time: u64,
+    /// The mutation.
+    pub op: UpdateOp,
+}
+
 /// A normalised batch of graph mutations against a graph with `base_n` vertices.
 ///
 /// Insert and delete arcs are stored symmetrised (both directions), sorted by

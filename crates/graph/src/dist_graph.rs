@@ -220,23 +220,23 @@ impl DistGraph {
     /// Apply a [`GraphDelta`](crate::delta::GraphDelta) collectively, producing the
     /// updated per-rank graph.
     ///
-    /// When vertex ownership is stable under the delta (always for `Cyclic` and `Hashed`
-    /// distributions; for `Block` and `Explicit` when no vertices are added), the rebuild
+    /// When vertex ownership is stable under the delta (always for `Cyclic`, `Hashed`
+    /// and `Explicit` distributions; for `Block` when no vertices are added), the rebuild
     /// is incremental: owned local ids are preserved, each owned vertex's sorted
     /// adjacency row is merged with the delta in one linear pass, the global→local map is
     /// patched (stale ghosts evicted, new owned/ghost entries added) and only the ghost
     /// metadata (owner, degree) is re-fetched. Growing a `Block` distribution shifts the
     /// ownership of existing vertices, so that case falls back to migrating the surviving
     /// arcs to their new owners with one all-to-all exchange — still without touching the
-    /// original edge list.
+    /// original edge list. Growing an `Explicit` distribution extends its ownership
+    /// table by hashing the new tail vertices to ranks ([`Distribution::grown`]):
+    /// existing owners are untouched, so the incremental path applies.
     ///
     /// Every rank must pass an identical delta. Must be called collectively.
     ///
     /// # Panics
     ///
-    /// Panics if the delta's base vertex count does not match, or when asked to grow a
-    /// graph with an `Explicit` distribution (its ownership table cannot cover the new
-    /// vertices; redistribute explicitly instead).
+    /// Panics if the delta's base vertex count does not match.
     pub fn apply_delta(&self, ctx: &RankCtx, delta: &crate::delta::GraphDelta) -> Self {
         assert_eq!(
             delta.base_n(),
@@ -246,16 +246,8 @@ impl DistGraph {
             self.global_n
         );
         let stable = match &self.dist {
-            Distribution::Cyclic | Distribution::Hashed => true,
+            Distribution::Cyclic | Distribution::Hashed | Distribution::Explicit(_) => true,
             Distribution::Block => delta.added_vertices() == 0,
-            Distribution::Explicit(_) => {
-                assert!(
-                    delta.added_vertices() == 0,
-                    "an Explicit distribution cannot grow: its ownership table has no \
-                     entries for the new vertices"
-                );
-                true
-            }
         };
         if stable {
             self.apply_delta_stable(ctx, delta)
@@ -269,13 +261,17 @@ impl DistGraph {
         let rank = self.rank;
         let nranks = self.nranks;
         let new_n = delta.new_n();
+        // Deterministic and prefix-stable, so existing owners are unchanged and every
+        // rank agrees on the owners of the new tail (a no-op clone for the functional
+        // distributions and for non-growing deltas).
+        let dist = self.dist.grown(new_n, nranks);
 
         // Owned vertices: the old set is preserved (ownership is stable), new vertices
         // owned by this rank are appended, keeping owned local ids valid and sorted.
         let mut owned_global = self.owned_global.clone();
         let old_n_owned = owned_global.len();
         for g in self.global_n..new_n {
-            if self.dist.owner(g, new_n, nranks) == rank {
+            if dist.owner(g, new_n, nranks) == rank {
                 owned_global.push(g);
             }
         }
@@ -325,7 +321,7 @@ impl DistGraph {
         }
         let ghost_owner: Vec<u32> = ghost_global
             .iter()
-            .map(|&g| self.dist.owner(g, new_n, nranks) as u32)
+            .map(|&g| dist.owner(g, new_n, nranks) as u32)
             .collect();
 
         let local_arcs = adjacency.len() as u64;
@@ -336,7 +332,7 @@ impl DistGraph {
             global_m,
             rank,
             nranks,
-            dist: self.dist.clone(),
+            dist,
             owned_global,
             ghost_global,
             ghost_owner,
@@ -831,6 +827,39 @@ mod tests {
                 });
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_explicit_growth_hashes_tail_to_owners() {
+        use crate::delta::GraphDelta;
+        use crate::distribution::splitmix64;
+        let edges = two_triangles();
+        let nranks = 3usize;
+        // Explicit ownership (vertex v owned by rank v % 3), then grow by 2 vertices.
+        let owners: Vec<i32> = (0..6).map(|v| (v % nranks as u64) as i32).collect();
+        let dist = Distribution::from_parts(&owners);
+        let delta = GraphDelta::new(6, 2, &[(6, 0), (7, 6), (7, 3)], &[(2, 3)]);
+        let mut new_edges: Vec<_> = edges.iter().copied().filter(|&e| e != (2, 3)).collect();
+        new_edges.extend([(6, 0), (7, 6), (7, 3)]);
+        Runtime::run(nranks, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, dist.clone(), 6, &edges);
+            let updated = g.apply_delta(ctx, &delta);
+            // Existing vertices keep their owners; the tail is hashed.
+            assert_eq!(updated.global_n(), 8);
+            for v in 0..6u64 {
+                assert_eq!(updated.owner_of_global(v), (v % nranks as u64) as usize);
+            }
+            for v in 6..8u64 {
+                assert_eq!(
+                    updated.owner_of_global(v),
+                    (splitmix64(v) % nranks as u64) as usize
+                );
+            }
+            // The incremental rebuild matches a from-scratch build over the grown table.
+            let grown = dist.grown(8, ctx.nranks());
+            let scratch = DistGraph::from_shared_edges(ctx, grown, 8, &new_edges);
+            assert_same_graph(&updated, &scratch);
+        });
     }
 
     #[test]

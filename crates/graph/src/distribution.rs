@@ -36,6 +36,28 @@ impl Distribution {
     pub fn from_parts(parts: &[i32]) -> Distribution {
         Distribution::Explicit(Arc::new(parts.iter().map(|&p| p.max(0) as u32).collect()))
     }
+
+    /// Extend this distribution to cover a graph grown to `new_n` vertices.
+    ///
+    /// The functional distributions (`Block`, `Cyclic`, `Hashed`) are defined for any
+    /// vertex count and are returned unchanged. An `Explicit` table, which has one
+    /// entry per original vertex, is extended by hashing each new tail vertex to a rank
+    /// ([`splitmix64`]`(v) % nranks`) — deterministic, so every rank of a collective
+    /// computes the same extended table, and prefix-stable, so existing vertices keep
+    /// their owners. A table already covering `new_n` is shared, not copied.
+    pub fn grown(&self, new_n: u64, nranks: usize) -> Distribution {
+        match self {
+            Distribution::Explicit(owners) if (owners.len() as u64) < new_n => {
+                let mut extended = Vec::with_capacity(new_n as usize);
+                extended.extend_from_slice(owners);
+                for v in owners.len() as u64..new_n {
+                    extended.push((splitmix64(v) % nranks as u64) as u32);
+                }
+                Distribution::Explicit(Arc::new(extended))
+            }
+            other => other.clone(),
+        }
+    }
 }
 
 impl Distribution {

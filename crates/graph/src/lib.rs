@@ -33,7 +33,7 @@ pub mod io;
 pub mod stats;
 
 pub use csr::{csr_from_edges, Csr, CsrBuilder};
-pub use delta::{GraphDelta, UpdateOp};
+pub use delta::{GraphDelta, TimedOp, UpdateOp};
 pub use dist_graph::DistGraph;
 pub use distribution::Distribution;
 pub use stats::GraphStats;

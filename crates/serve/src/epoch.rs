@@ -1,0 +1,203 @@
+//! The MVCC epoch store: `Arc`-published immutable snapshots with non-blocking reads.
+//!
+//! The store holds the latest [`PartitionSnapshot`] behind an
+//! [`RwLock<Arc<_>>`](parking_lot::RwLock) — the offline stand-in for the `arc-swap`
+//! publication pattern. A read is a shared lock acquisition plus an `Arc` clone
+//! (readers never contend with each other, and a writer holds the lock only for the
+//! duration of one pointer swap), so any number of threads can query `part_of`,
+//! whole-part views and migration diffs while the background worker repartitions the
+//! next epoch. The epoch counter itself is a plain atomic, so "has anything newer been
+//! published?" is a wait-free load.
+//!
+//! Readers that want to *block* for a new epoch (tests, replay drivers) use
+//! [`EpochStore::wait_for_epoch`], backed by a condvar the publisher signals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::snapshot::{MigrationDiff, PartitionSnapshot};
+
+/// The single-writer, many-reader publication point for partition epochs.
+#[derive(Debug)]
+pub struct EpochStore {
+    /// The latest snapshot. Swapped atomically (under a brief write lock) by the
+    /// worker; cloned out (under a shared read lock) by readers.
+    current: RwLock<Arc<PartitionSnapshot>>,
+    /// The previous snapshot, kept so readers can ask for the latest migration diff
+    /// without having retained the older epoch themselves.
+    previous: RwLock<Option<Arc<PartitionSnapshot>>>,
+    /// The latest published epoch, for wait-free staleness checks.
+    epoch: AtomicU64,
+    /// Publish notifications for blocking waiters.
+    publish_mutex: StdMutex<u64>,
+    publish_cond: Condvar,
+}
+
+impl EpochStore {
+    /// Create a store seeded with the initial (epoch-0) snapshot, so readers always
+    /// observe *some* fully-published partition.
+    pub fn new(initial: PartitionSnapshot) -> Arc<EpochStore> {
+        let epoch = initial.epoch;
+        Arc::new(EpochStore {
+            current: RwLock::new(Arc::new(initial)),
+            previous: RwLock::new(None),
+            epoch: AtomicU64::new(epoch),
+            publish_mutex: StdMutex::new(epoch),
+            publish_cond: Condvar::new(),
+        })
+    }
+
+    /// The latest published epoch (wait-free).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The latest published snapshot. Cheap: a shared lock and an `Arc` clone — the
+    /// snapshot itself is never copied, and the returned handle stays valid (and
+    /// immutable) however many epochs are published after it.
+    pub fn current(&self) -> Arc<PartitionSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The snapshot published immediately before the current one, if any.
+    pub fn previous(&self) -> Option<Arc<PartitionSnapshot>> {
+        self.previous.read().clone()
+    }
+
+    /// The migration diff from the previous to the current epoch, if two epochs have
+    /// been published. (Arbitrary pairs: retain the `Arc`s and use
+    /// [`PartitionSnapshot::diff_from`].)
+    ///
+    /// The two snapshots are read under the same lock order `publish` updates them in
+    /// (`previous` first, then `current`), so the pair is always a consistent
+    /// previous→current couple even when a publish races this call.
+    pub fn latest_diff(&self) -> Option<MigrationDiff> {
+        let previous = self.previous.read();
+        let current = self.current.read();
+        previous.as_ref().map(|p| current.diff_from(p))
+    }
+
+    /// Convenience: the current part of global vertex `v`.
+    pub fn part_of(&self, v: xtrapulp_graph::GlobalId) -> Option<i32> {
+        self.current().part_of(v)
+    }
+
+    /// Publish `snapshot` as the new current epoch and wake blocked waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot.epoch` does not exceed the published epoch: epochs are
+    /// strictly monotonic, and the store has exactly one writer (the worker).
+    pub fn publish(&self, snapshot: PartitionSnapshot) -> Arc<PartitionSnapshot> {
+        let published = Arc::new(snapshot);
+        assert!(
+            published.epoch > self.epoch(),
+            "epoch {} published after epoch {}: the store requires strictly \
+             monotonic epochs from its single writer",
+            published.epoch,
+            self.epoch()
+        );
+        {
+            // Both slots are swapped inside one critical section (lock order:
+            // `previous`, then `current` — the same order `latest_diff` reads them
+            // in), so no reader can ever pair the new current with a stale previous.
+            let mut previous = self.previous.write();
+            let mut current = self.current.write();
+            let displaced = std::mem::replace(&mut *current, Arc::clone(&published));
+            *previous = Some(displaced);
+            // The epoch counter is bumped while the write lock is still held, so a
+            // reader that saw the new counter can never read the *older* snapshot.
+            self.epoch.store(published.epoch, Ordering::Release);
+        }
+        let mut latest = self
+            .publish_mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *latest = published.epoch;
+        self.publish_cond.notify_all();
+        drop(latest);
+        published
+    }
+
+    /// Block until an epoch `>= min_epoch` is published (or `timeout` elapses),
+    /// returning the then-current snapshot — which may be newer than `min_epoch` if
+    /// the worker published several epochs in between. `None` on timeout.
+    pub fn wait_for_epoch(
+        &self,
+        min_epoch: u64,
+        timeout: Duration,
+    ) -> Option<Arc<PartitionSnapshot>> {
+        let deadline = Instant::now() + timeout;
+        let mut latest = self
+            .publish_mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *latest < min_epoch {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (guard, wait) = self
+                .publish_cond
+                .wait_timeout(latest, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            latest = guard;
+            if wait.timed_out() && *latest < min_epoch {
+                return None;
+            }
+        }
+        drop(latest);
+        Some(self.current())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::snapshot;
+
+    #[test]
+    fn publish_swaps_current_and_keeps_previous() {
+        let store = EpochStore::new(snapshot(0, vec![0, 1], 2));
+        assert_eq!(store.epoch(), 0);
+        assert!(store.previous().is_none());
+        assert!(store.latest_diff().is_none());
+
+        let held = store.current();
+        store.publish(snapshot(1, vec![1, 1], 2));
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.current().parts, vec![1, 1]);
+        // The handle taken before the publish still reads the old epoch.
+        assert_eq!(held.parts, vec![0, 1]);
+        let diff = store.latest_diff().expect("two epochs published");
+        assert_eq!(diff.moved, vec![0]);
+        assert_eq!(store.part_of(0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly monotonic")]
+    fn non_monotonic_publish_panics() {
+        let store = EpochStore::new(snapshot(3, vec![0], 1));
+        store.publish(snapshot(3, vec![0], 1));
+    }
+
+    #[test]
+    fn wait_for_epoch_blocks_until_published() {
+        let store = EpochStore::new(snapshot(0, vec![0], 1));
+        // Already satisfied: returns immediately.
+        assert!(store.wait_for_epoch(0, Duration::from_millis(1)).is_some());
+        // Not yet published: times out.
+        assert!(store.wait_for_epoch(1, Duration::from_millis(10)).is_none());
+        // Published from another thread: the waiter wakes.
+        let store2 = Arc::clone(&store);
+        let publisher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            store2.publish(snapshot(1, vec![0], 1));
+        });
+        let got = store
+            .wait_for_epoch(1, Duration::from_secs(5))
+            .expect("publisher fires within the timeout");
+        assert!(got.epoch >= 1);
+        publisher.join().unwrap();
+    }
+}

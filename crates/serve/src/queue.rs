@@ -1,0 +1,412 @@
+//! The bounded multi-producer ingest queue feeding the background repartition worker.
+//!
+//! Producers submit whole [`UpdateBatch`]es (a single op is a one-op batch); the queue
+//! is bounded by *total queued ops*, so a burst of producers sees typed backpressure
+//! ([`IngestError::QueueFull`]) instead of unbounded memory growth. Batch boundaries
+//! are preserved end to end — the worker applies each batch through the dynamic
+//! subsystem's validation individually, so one producer's bad batch can never poison
+//! another's — and the worker drains *groups* of consecutive batches up to a
+//! [`BatchPolicy`] flush threshold, amortising one repartition over several queued
+//! batches when producers outpace the partitioner.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use xtrapulp_dynamic::UpdateBatch;
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The queue's op budget cannot take this batch right now (backpressure). The
+    /// producer can retry, drop the batch, or use a blocking submit.
+    QueueFull {
+        /// Ops currently queued.
+        queued_ops: usize,
+        /// The queue's total op capacity.
+        capacity: usize,
+        /// Ops in the rejected batch.
+        batch_ops: usize,
+    },
+    /// The batch alone exceeds the queue's total capacity; it can never be enqueued.
+    /// Split it or grow the queue.
+    BatchTooLarge {
+        /// Ops in the rejected batch.
+        batch_ops: usize,
+        /// The queue's total op capacity.
+        capacity: usize,
+    },
+    /// The queue has been closed (the serving session is shutting down); no further
+    /// submissions are accepted.
+    Closed,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::QueueFull {
+                queued_ops,
+                capacity,
+                batch_ops,
+            } => write!(
+                f,
+                "ingest queue full: {queued_ops}/{capacity} ops queued, batch of \
+                 {batch_ops} ops rejected"
+            ),
+            IngestError::BatchTooLarge {
+                batch_ops,
+                capacity,
+            } => write!(
+                f,
+                "batch of {batch_ops} ops exceeds the queue capacity of {capacity} ops; \
+                 split the batch or grow the queue"
+            ),
+            IngestError::Closed => write!(f, "ingest queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// One queued batch, stamped at submission so ingest-to-publish latency is measurable.
+#[derive(Debug, Clone)]
+pub struct QueuedBatch {
+    /// The submitted batch.
+    pub batch: UpdateBatch,
+    /// When the batch entered the queue.
+    pub enqueued_at: Instant,
+}
+
+/// When the worker stops draining and repartitions: after `max_group_ops` queued ops
+/// or `max_group_batches` batches, whichever comes first (always at least one batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Op-count flush threshold per drained group.
+    pub max_group_ops: usize,
+    /// Batch-count flush threshold per drained group.
+    pub max_group_batches: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_group_ops: 4096,
+            max_group_batches: 64,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<QueuedBatch>,
+    queued_ops: usize,
+    closed: bool,
+}
+
+/// The bounded MPSC ingest queue. Producers share it behind an `Arc`; the single
+/// consumer is the background worker's [`drain_group`](IngestQueue::drain_group) loop.
+#[derive(Debug)]
+pub struct IngestQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when batches arrive or the queue closes (consumer side).
+    readable: Condvar,
+    /// Signalled when ops drain or the queue closes (blocked producers).
+    writable: Condvar,
+    capacity_ops: usize,
+}
+
+impl IngestQueue {
+    /// A queue accepting at most `capacity_ops` total queued ops (minimum 1).
+    pub fn new(capacity_ops: usize) -> IngestQueue {
+        IngestQueue {
+            state: Mutex::new(QueueState::default()),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity_ops: capacity_ops.max(1),
+        }
+    }
+
+    /// The queue's total op capacity.
+    pub fn capacity_ops(&self) -> usize {
+        self.capacity_ops
+    }
+
+    /// Ops currently queued (the live queue depth).
+    pub fn queued_ops(&self) -> usize {
+        self.lock().queued_ops
+    }
+
+    /// Batches currently queued.
+    pub fn queued_batches(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Has [`close`](IngestQueue::close) been called?
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn check(&self, state: &QueueState, batch: &UpdateBatch) -> Result<(), IngestError> {
+        if state.closed {
+            return Err(IngestError::Closed);
+        }
+        if batch.len() > self.capacity_ops {
+            return Err(IngestError::BatchTooLarge {
+                batch_ops: batch.len(),
+                capacity: self.capacity_ops,
+            });
+        }
+        if state.queued_ops + batch.len() > self.capacity_ops {
+            return Err(IngestError::QueueFull {
+                queued_ops: state.queued_ops,
+                capacity: self.capacity_ops,
+                batch_ops: batch.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn enqueue(&self, state: &mut QueueState, batch: UpdateBatch) {
+        state.queued_ops += batch.len();
+        state.queue.push_back(QueuedBatch {
+            batch,
+            enqueued_at: Instant::now(),
+        });
+        self.readable.notify_one();
+    }
+
+    /// Submit without blocking: typed backpressure when the op budget is exhausted.
+    /// Empty batches are accepted and dropped (nothing to apply).
+    pub fn try_submit(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        if batch.is_empty() {
+            return if self.lock().closed {
+                Err(IngestError::Closed)
+            } else {
+                Ok(())
+            };
+        }
+        let mut state = self.lock();
+        self.check(&state, &batch)?;
+        self.enqueue(&mut state, batch);
+        Ok(())
+    }
+
+    /// Submit, blocking while the queue is full. Fails with
+    /// [`IngestError::BatchTooLarge`] for batches that could never fit and
+    /// [`IngestError::Closed`] if the queue closes while waiting.
+    pub fn submit(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        if batch.is_empty() {
+            return if self.lock().closed {
+                Err(IngestError::Closed)
+            } else {
+                Ok(())
+            };
+        }
+        let mut state = self.lock();
+        loop {
+            match self.check(&state, &batch) {
+                Ok(()) => {
+                    self.enqueue(&mut state, batch);
+                    return Ok(());
+                }
+                Err(IngestError::QueueFull { .. }) => {
+                    state = self
+                        .writable
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+    }
+
+    /// Close the queue: further submissions fail with [`IngestError::Closed`]; already
+    /// queued batches remain drainable (the worker's drain-then-stop shutdown).
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Consumer side: block until at least one batch is queued (or the queue is closed
+    /// *and* empty — the drain-then-stop terminal state, returning `None`), then drain
+    /// consecutive batches until a `policy` flush threshold is reached.
+    pub fn drain_group(&self, policy: &BatchPolicy) -> Option<Vec<QueuedBatch>> {
+        match self.drain_group_wait(policy, None) {
+            Drained::Group(group) => Some(group),
+            Drained::Closed => None,
+            Drained::TimedOut => unreachable!("no timeout was requested"),
+        }
+    }
+
+    /// [`drain_group`](IngestQueue::drain_group) with an optional wait bound: with
+    /// `Some(timeout)`, an empty queue returns [`Drained::TimedOut`] after the bound
+    /// instead of blocking forever — the worker uses this to retry a pending publish
+    /// under quiescent traffic.
+    pub fn drain_group_wait(
+        &self,
+        policy: &BatchPolicy,
+        timeout: Option<std::time::Duration>,
+    ) -> Drained {
+        let mut state = self.lock();
+        while state.queue.is_empty() {
+            if state.closed {
+                return Drained::Closed;
+            }
+            match timeout {
+                None => {
+                    state = self
+                        .readable
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                Some(bound) => {
+                    let (guard, wait) = self
+                        .readable
+                        .wait_timeout(state, bound)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    state = guard;
+                    if wait.timed_out() && state.queue.is_empty() {
+                        return if state.closed {
+                            Drained::Closed
+                        } else {
+                            Drained::TimedOut
+                        };
+                    }
+                }
+            }
+        }
+        let mut group = Vec::new();
+        let mut group_ops = 0usize;
+        while let Some(front) = state.queue.front() {
+            let ops = front.batch.len();
+            // Always take at least one batch; after that, stop at the flush thresholds.
+            if !group.is_empty()
+                && (group.len() >= policy.max_group_batches.max(1)
+                    || group_ops + ops > policy.max_group_ops.max(1))
+            {
+                break;
+            }
+            group_ops += ops;
+            state.queued_ops -= ops;
+            group.push(state.queue.pop_front().expect("front exists"));
+        }
+        // Room was freed; wake blocked producers.
+        self.writable.notify_all();
+        Drained::Group(group)
+    }
+}
+
+/// What [`IngestQueue::drain_group_wait`] yielded.
+#[derive(Debug)]
+pub enum Drained {
+    /// At least one batch, up to the policy's flush thresholds.
+    Group(Vec<QueuedBatch>),
+    /// The wait bound elapsed with the queue still empty (and open).
+    TimedOut,
+    /// The queue is closed and fully drained: the consumer's terminal state.
+    Closed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn batch(ops: usize) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        for i in 0..ops {
+            b.insert_edge(i as u64, (i + 1) as u64);
+        }
+        b
+    }
+
+    #[test]
+    fn try_submit_backpressures_at_the_op_budget() {
+        let q = IngestQueue::new(10);
+        q.try_submit(batch(6)).unwrap();
+        assert_eq!(q.queued_ops(), 6);
+        let err = q.try_submit(batch(5)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IngestError::QueueFull {
+                    queued_ops: 6,
+                    capacity: 10,
+                    batch_ops: 5
+                }
+            ),
+            "{err}"
+        );
+        // A batch that fits the remaining budget is accepted.
+        q.try_submit(batch(4)).unwrap();
+        assert_eq!(q.queued_ops(), 10);
+        assert_eq!(q.queued_batches(), 2);
+    }
+
+    #[test]
+    fn oversized_batches_are_permanently_rejected() {
+        let q = IngestQueue::new(3);
+        for submit in [IngestQueue::try_submit, IngestQueue::submit] {
+            let err = submit(&q, batch(4)).unwrap_err();
+            assert!(matches!(err, IngestError::BatchTooLarge { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn drain_group_respects_flush_thresholds() {
+        let q = IngestQueue::new(100);
+        for _ in 0..5 {
+            q.try_submit(batch(4)).unwrap();
+        }
+        let policy = BatchPolicy {
+            max_group_ops: 10,
+            max_group_batches: 64,
+        };
+        // 4 + 4 fits in 10; a third batch would exceed it.
+        let group = q.drain_group(&policy).unwrap();
+        assert_eq!(group.len(), 2);
+        assert_eq!(q.queued_batches(), 3);
+        let policy = BatchPolicy {
+            max_group_ops: 1000,
+            max_group_batches: 2,
+        };
+        assert_eq!(q.drain_group(&policy).unwrap().len(), 2);
+        // The batch-count cap.
+        assert_eq!(q.drain_group(&policy).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn close_unblocks_producer_and_consumer_and_preserves_queued_batches() {
+        let q = Arc::new(IngestQueue::new(4));
+        q.try_submit(batch(4)).unwrap();
+        // A producer blocked on a full queue observes the close as a typed error.
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.submit(batch(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(IngestError::Closed));
+        assert_eq!(q.try_submit(batch(1)), Err(IngestError::Closed));
+        // Drain-then-stop: the queued batch is still served, then None.
+        let policy = BatchPolicy::default();
+        assert_eq!(q.drain_group(&policy).unwrap().len(), 1);
+        assert!(q.drain_group(&policy).is_none());
+    }
+
+    #[test]
+    fn empty_batches_are_accepted_and_dropped() {
+        let q = IngestQueue::new(1);
+        q.try_submit(UpdateBatch::new()).unwrap();
+        q.submit(UpdateBatch::new()).unwrap();
+        assert_eq!(q.queued_batches(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Immutable partition snapshots: what the epoch store publishes and readers consume.
+
+use xtrapulp::metrics::PartitionQuality;
+use xtrapulp::StageBreakdown;
+use xtrapulp_graph::GlobalId;
+
+/// One epoch's published partition: the part vector plus the metadata a serving reader
+/// needs to interpret it. Snapshots are immutable — the epoch store hands them out
+/// behind `Arc`s, so any number of threads can hold any number of epochs concurrently
+/// while the worker publishes newer ones.
+#[derive(Debug, Clone)]
+pub struct PartitionSnapshot {
+    /// The graph epoch this partition corresponds to (number of update batches applied
+    /// to the underlying dynamic graph; epoch 0 is the initial cold partition).
+    pub epoch: u64,
+    /// Number of parts requested.
+    pub num_parts: usize,
+    /// One part id per vertex, indexed by global vertex id.
+    pub parts: Vec<i32>,
+    /// The paper's quality metrics for this partition.
+    pub quality: PartitionQuality,
+    /// Whether the epoch was produced by a warm-started run.
+    pub warm_start: bool,
+    /// Label-propagation sweeps the producing run executed.
+    pub lp_sweeps: u64,
+    /// Vertices the producing run scored (the real unit of sweep work).
+    pub vertices_scored: u64,
+    /// The producing run's sweep work split per schedule stage.
+    pub stages: StageBreakdown,
+    /// Previously-assigned vertices whose part changed relative to the epoch this run
+    /// was seeded from (0 for cold runs).
+    pub vertices_migrated: u64,
+}
+
+impl PartitionSnapshot {
+    /// Number of vertices this snapshot covers.
+    pub fn num_vertices(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The part of global vertex `v`, or `None` for vertices beyond this epoch's
+    /// topology (e.g. ids added to the graph after this snapshot was taken).
+    pub fn part_of(&self, v: GlobalId) -> Option<i32> {
+        self.parts.get(v as usize).copied()
+    }
+
+    /// The whole-part view: every global vertex id assigned to `part`, ascending.
+    pub fn members(&self, part: i32) -> Vec<GlobalId> {
+        self.parts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == part)
+            .map(|(v, _)| v as GlobalId)
+            .collect()
+    }
+
+    /// Per-part vertex counts (length `num_parts`).
+    pub fn part_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.num_parts];
+        for &p in &self.parts {
+            if p >= 0 && (p as usize) < sizes.len() {
+                sizes[p as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// The migration diff from an `earlier` snapshot to this one: which vertices moved
+    /// part, and how many vertices this epoch added beyond the earlier topology.
+    /// A consumer uses it to invalidate caches or schedule data movement for exactly
+    /// the vertices that changed owner between the two epochs it holds.
+    pub fn diff_from(&self, earlier: &PartitionSnapshot) -> MigrationDiff {
+        let shared = earlier.parts.len().min(self.parts.len());
+        let moved: Vec<GlobalId> = (0..shared)
+            .filter(|&v| earlier.parts[v] != self.parts[v])
+            .map(|v| v as GlobalId)
+            .collect();
+        MigrationDiff {
+            from_epoch: earlier.epoch,
+            to_epoch: self.epoch,
+            moved,
+            vertices_added: self.parts.len().saturating_sub(earlier.parts.len()) as u64,
+        }
+    }
+}
+
+/// The difference between two published epochs, from a reader's perspective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationDiff {
+    /// The earlier epoch.
+    pub from_epoch: u64,
+    /// The later epoch.
+    pub to_epoch: u64,
+    /// Global ids (ascending) present in both epochs whose part changed.
+    pub moved: Vec<GlobalId>,
+    /// Vertices the later epoch covers beyond the earlier one's topology.
+    pub vertices_added: u64,
+}
+
+impl MigrationDiff {
+    /// Number of vertices that changed part.
+    pub fn num_moved(&self) -> usize {
+        self.moved.len()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use xtrapulp_graph::csr_from_edges;
+
+    pub(crate) fn snapshot(epoch: u64, parts: Vec<i32>, num_parts: usize) -> PartitionSnapshot {
+        let quality =
+            PartitionQuality::evaluate(&csr_from_edges(parts.len() as u64, &[]), &parts, num_parts);
+        PartitionSnapshot {
+            epoch,
+            num_parts,
+            parts,
+            quality,
+            warm_start: epoch > 0,
+            lp_sweeps: 0,
+            vertices_scored: 0,
+            stages: StageBreakdown::default(),
+            vertices_migrated: 0,
+        }
+    }
+
+    #[test]
+    fn part_views_and_sizes() {
+        let s = snapshot(0, vec![0, 1, 0, 2, 1], 3);
+        assert_eq!(s.num_vertices(), 5);
+        assert_eq!(s.part_of(0), Some(0));
+        assert_eq!(s.part_of(9), None);
+        assert_eq!(s.members(1), vec![1, 4]);
+        assert_eq!(s.part_sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn diff_reports_moved_and_added_vertices() {
+        let a = snapshot(1, vec![0, 1, 0, 2], 3);
+        let b = snapshot(3, vec![0, 2, 0, 2, 1, 1], 3);
+        let diff = b.diff_from(&a);
+        assert_eq!(diff.from_epoch, 1);
+        assert_eq!(diff.to_epoch, 3);
+        assert_eq!(diff.moved, vec![1]);
+        assert_eq!(diff.vertices_added, 2);
+        assert_eq!(diff.num_moved(), 1);
+    }
+}

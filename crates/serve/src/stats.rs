@@ -1,0 +1,133 @@
+//! Serving counters: what the worker records and operators read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Lock-free counter cells shared between the worker (writer) and any thread asking
+/// for a [`ServeStats`] snapshot. All monotonic except the `last_*` gauges.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    pub epochs_published: AtomicU64,
+    pub warm_epochs: AtomicU64,
+    pub cold_epochs: AtomicU64,
+    pub batches_applied: AtomicU64,
+    pub batches_rejected: AtomicU64,
+    pub ops_applied: AtomicU64,
+    pub repartition_failures: AtomicU64,
+    /// Nanoseconds the last apply+repartition+publish cycle took.
+    pub last_publish_nanos: AtomicU64,
+    /// Total nanoseconds across all publish cycles.
+    pub total_publish_nanos: AtomicU64,
+    /// Nanoseconds from the oldest batch of the last group entering the queue to its
+    /// epoch being published — the end-to-end ingest-to-publish latency.
+    pub last_ingest_to_publish_nanos: AtomicU64,
+    /// `lp_sweeps` of the last published epoch.
+    pub last_lp_sweeps: AtomicU64,
+    /// `vertices_scored` of the last published epoch.
+    pub last_vertices_scored: AtomicU64,
+}
+
+impl StatsCells {
+    pub(crate) fn add(&self, cell: &AtomicU64, value: u64) {
+        cell.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set(&self, cell: &AtomicU64, value: u64) {
+        cell.store(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth_ops: u64, queue_depth_batches: u64) -> ServeStats {
+        let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        ServeStats {
+            epochs_published: get(&self.epochs_published),
+            warm_epochs: get(&self.warm_epochs),
+            cold_epochs: get(&self.cold_epochs),
+            batches_applied: get(&self.batches_applied),
+            batches_rejected: get(&self.batches_rejected),
+            ops_applied: get(&self.ops_applied),
+            repartition_failures: get(&self.repartition_failures),
+            queue_depth_ops,
+            queue_depth_batches,
+            last_publish_seconds: get(&self.last_publish_nanos) as f64 * 1e-9,
+            total_publish_seconds: get(&self.total_publish_nanos) as f64 * 1e-9,
+            last_ingest_to_publish_seconds: get(&self.last_ingest_to_publish_nanos) as f64 * 1e-9,
+            last_lp_sweeps: get(&self.last_lp_sweeps),
+            last_vertices_scored: get(&self.last_vertices_scored),
+        }
+    }
+}
+
+/// A point-in-time view of the serving subsystem's counters. JSON-able, so benches and
+/// monitoring endpoints can emit it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeStats {
+    /// Epochs published by the worker (the initial cold epoch is published by the
+    /// spawner, before the worker starts, and is *not* counted here).
+    pub epochs_published: u64,
+    /// Published epochs that ran warm-started.
+    pub warm_epochs: u64,
+    /// Published epochs that ran from scratch.
+    pub cold_epochs: u64,
+    /// Update batches validated and applied to the live graph.
+    pub batches_applied: u64,
+    /// Update batches the dynamic subsystem rejected (typed validation errors); the
+    /// graph is untouched by a rejected batch.
+    pub batches_rejected: u64,
+    /// Total ops across applied batches.
+    pub ops_applied: u64,
+    /// Repartition attempts that failed (the previous epoch keeps serving).
+    pub repartition_failures: u64,
+    /// Ops currently waiting in the ingest queue.
+    pub queue_depth_ops: u64,
+    /// Batches currently waiting in the ingest queue.
+    pub queue_depth_batches: u64,
+    /// Wall-clock seconds of the last apply+repartition+publish cycle.
+    pub last_publish_seconds: f64,
+    /// Cumulative wall-clock seconds across all publish cycles.
+    pub total_publish_seconds: f64,
+    /// Seconds from the oldest batch of the last published group entering the queue to
+    /// its epoch going live — what a producer actually waits for its mutation to be
+    /// reflected in served partitions.
+    pub last_ingest_to_publish_seconds: f64,
+    /// Label-propagation sweeps of the last published epoch (warm runs: far fewer
+    /// than the cold baseline).
+    pub last_lp_sweeps: u64,
+    /// Vertices scored by the last published epoch's run.
+    pub last_vertices_scored: u64,
+}
+
+impl ServeStats {
+    /// Serialise to one JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("stats serialisation is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_cells_and_serialises() {
+        let cells = StatsCells::default();
+        cells.add(&cells.epochs_published, 3);
+        cells.add(&cells.warm_epochs, 2);
+        cells.add(&cells.cold_epochs, 1);
+        cells.add(&cells.ops_applied, 40);
+        cells.set(&cells.last_publish_nanos, 2_500_000_000);
+        let stats = cells.snapshot(7, 2);
+        assert_eq!(stats.epochs_published, 3);
+        assert_eq!(stats.warm_epochs + stats.cold_epochs, 3);
+        assert_eq!(stats.queue_depth_ops, 7);
+        assert!((stats.last_publish_seconds - 2.5).abs() < 1e-9);
+        let json = stats.to_json();
+        for key in [
+            "\"epochs_published\":3",
+            "\"queue_depth_ops\":7",
+            "\"last_publish_seconds\":2.5",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The background repartition worker: drains the ingest queue, drives a repartition
+//! engine off the serving path, and atomically publishes each new epoch.
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use xtrapulp_dynamic::UpdateBatch;
+
+use crate::epoch::EpochStore;
+use crate::queue::{BatchPolicy, Drained, IngestError, IngestQueue, QueuedBatch};
+use crate::snapshot::PartitionSnapshot;
+use crate::stats::{ServeStats, StatsCells};
+
+/// What the worker drives: a stateful engine owning the live graph and the partitioner
+/// state. `xtrapulp_api::ServingSession` implements it over a `DynamicSession`
+/// (apply → incremental CSR/DistGraph evolution; repartition → warm-started run);
+/// tests implement it with toy engines.
+///
+/// The engine runs on the worker thread, strictly single-threaded — all concurrency
+/// lives in the queue in front of it and the epoch store behind it.
+pub trait RepartitionEngine: Send + 'static {
+    /// Why an apply or repartition failed.
+    type Error: fmt::Display + Send;
+
+    /// Validate and apply one update batch to the live graph. An `Err` means the batch
+    /// was rejected and the graph is unchanged.
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<(), Self::Error>;
+
+    /// Repartition the live graph and return the snapshot to publish. Its `epoch` must
+    /// exceed every previously returned epoch (the epoch store enforces this).
+    fn repartition(&mut self) -> Result<PartitionSnapshot, Self::Error>;
+}
+
+/// Configuration of one serving pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Total ops the ingest queue may hold before producers see backpressure.
+    pub queue_capacity_ops: usize,
+    /// When the worker stops draining and repartitions.
+    pub policy: BatchPolicy,
+    /// How long the worker waits for new batches before retrying a *pending* publish
+    /// (a repartition that failed transiently after its batches were applied). Without
+    /// the retry, quiescent traffic would leave the store serving a stale epoch until
+    /// the next batch or shutdown.
+    pub publish_retry: std::time::Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity_ops: 65_536,
+            policy: BatchPolicy::default(),
+            publish_retry: std::time::Duration::from_millis(100),
+        }
+    }
+}
+
+/// A running serving pipeline: the queue producers feed, the store readers consume,
+/// and the worker thread in between. Dropping the handle without
+/// [`shutdown`](ServeHandle::shutdown) closes the queue, so the worker drains what is
+/// already accepted, publishes, and exits detached (the engine is lost); prefer an
+/// explicit shutdown, which joins the worker and returns the engine.
+pub struct ServeHandle<E: RepartitionEngine> {
+    store: Arc<EpochStore>,
+    queue: Arc<IngestQueue>,
+    stats: Arc<StatsCells>,
+    last_error: Arc<Mutex<Option<String>>>,
+    /// `Some` until [`shutdown`](ServeHandle::shutdown) joins it.
+    worker: Option<JoinHandle<E>>,
+}
+
+/// Closes the ingest queue when the worker exits — however it exits. Without this, an
+/// engine panic would leave the queue open and producers blocked in
+/// [`IngestQueue::submit`] asleep forever; with it they wake to a typed
+/// [`IngestError::Closed`].
+struct CloseQueueOnExit(Arc<IngestQueue>);
+
+impl Drop for CloseQueueOnExit {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Spawn a serving pipeline around `engine`.
+///
+/// `initial` is the epoch the store opens with (normally the engine's cold epoch-0
+/// partition, computed by the caller *before* spawning so readers never observe an
+/// empty store). The worker thread then loops: drain a batch group → apply each batch
+/// → repartition → publish, until the queue is closed and drained.
+pub fn spawn<E: RepartitionEngine>(
+    mut engine: E,
+    initial: PartitionSnapshot,
+    config: ServeConfig,
+) -> ServeHandle<E> {
+    let store = EpochStore::new(initial);
+    let queue = Arc::new(IngestQueue::new(config.queue_capacity_ops));
+    let stats = Arc::new(StatsCells::default());
+    let last_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+
+    let worker = {
+        let store = Arc::clone(&store);
+        let queue = Arc::clone(&queue);
+        let stats = Arc::clone(&stats);
+        let last_error = Arc::clone(&last_error);
+        let policy = config.policy;
+        let publish_retry = config.publish_retry;
+        std::thread::Builder::new()
+            .name("xtrapulp-serve-worker".to_string())
+            .spawn(move || {
+                let _close_on_exit = CloseQueueOnExit(Arc::clone(&queue));
+                // Applied-but-unpublished state: set when a batch lands, cleared on a
+                // successful publish. While set, the wait for the next group is
+                // bounded so a pending publish is retried even under quiescent
+                // traffic, and every cycle retries regardless of what its own group
+                // applied.
+                let mut dirty = false;
+                loop {
+                    let bound = dirty.then_some(publish_retry);
+                    match queue.drain_group_wait(&policy, bound) {
+                        Drained::Group(group) => {
+                            step(&mut engine, group, &store, &stats, &last_error, &mut dirty);
+                        }
+                        Drained::TimedOut => {
+                            dirty = !repartition_and_publish(
+                                &mut engine,
+                                &store,
+                                &stats,
+                                &last_error,
+                                Instant::now(),
+                                None,
+                            );
+                        }
+                        Drained::Closed => break,
+                    }
+                }
+                // Drain-then-stop must not exit with applied-but-unpublished state: if
+                // the last cycle's repartition failed, retry once so the final graph
+                // is published (or the failure is recorded a second time).
+                if dirty {
+                    repartition_and_publish(
+                        &mut engine,
+                        &store,
+                        &stats,
+                        &last_error,
+                        Instant::now(),
+                        None,
+                    );
+                }
+                engine
+            })
+            .expect("failed to spawn the serve worker thread")
+    };
+
+    ServeHandle {
+        store,
+        queue,
+        stats,
+        last_error,
+        worker: Some(worker),
+    }
+}
+
+/// One worker cycle: apply a drained group, repartition, publish. `dirty` carries
+/// applied-but-unpublished state across cycles (a failed repartition leaves the graph
+/// ahead of the published epoch; the next cycle must retry even if its own group
+/// applies nothing).
+fn step<E: RepartitionEngine>(
+    engine: &mut E,
+    group: Vec<QueuedBatch>,
+    store: &EpochStore,
+    stats: &StatsCells,
+    last_error: &Mutex<Option<String>>,
+    dirty: &mut bool,
+) {
+    let cycle_start = Instant::now();
+    let oldest = group
+        .iter()
+        .map(|qb| qb.enqueued_at)
+        .min()
+        .expect("drain_group returns at least one batch");
+    let mut applied = 0usize;
+    for qb in &group {
+        match engine.apply(&qb.batch) {
+            Ok(()) => {
+                applied += 1;
+                stats.add(&stats.batches_applied, 1);
+                stats.add(&stats.ops_applied, qb.batch.len() as u64);
+            }
+            Err(e) => {
+                stats.add(&stats.batches_rejected, 1);
+                *last_error.lock() = Some(e.to_string());
+            }
+        }
+    }
+    if applied == 0 && !*dirty {
+        // Every batch was rejected and nothing earlier is waiting to publish: the
+        // graph matches the published epoch — skip the repartition entirely.
+        return;
+    }
+    *dirty = !repartition_and_publish(engine, store, stats, last_error, cycle_start, Some(oldest));
+}
+
+/// Repartition and publish the engine's current graph, recording the latency gauges.
+/// Returns whether a snapshot was published; on failure the previous epoch keeps
+/// serving and the failure is counted and recorded.
+fn repartition_and_publish<E: RepartitionEngine>(
+    engine: &mut E,
+    store: &EpochStore,
+    stats: &StatsCells,
+    last_error: &Mutex<Option<String>>,
+    cycle_start: Instant,
+    oldest_enqueued: Option<Instant>,
+) -> bool {
+    match engine.repartition() {
+        Ok(snapshot) => {
+            // All of this epoch's counters and gauges are recorded *before* the
+            // publish: a consumer woken by `wait_for_epoch` must read stats that
+            // already describe the epoch it waited for (the publish itself is a
+            // pointer swap, negligible against the repartition just timed).
+            stats.set(&stats.last_lp_sweeps, snapshot.lp_sweeps);
+            stats.set(&stats.last_vertices_scored, snapshot.vertices_scored);
+            stats.add(&stats.epochs_published, 1);
+            stats.add(
+                if snapshot.warm_start {
+                    &stats.warm_epochs
+                } else {
+                    &stats.cold_epochs
+                },
+                1,
+            );
+            let publish_nanos = cycle_start.elapsed().as_nanos() as u64;
+            stats.set(&stats.last_publish_nanos, publish_nanos);
+            stats.add(&stats.total_publish_nanos, publish_nanos);
+            if let Some(oldest) = oldest_enqueued {
+                stats.set(
+                    &stats.last_ingest_to_publish_nanos,
+                    oldest.elapsed().as_nanos() as u64,
+                );
+            }
+            store.publish(snapshot);
+            true
+        }
+        Err(e) => {
+            stats.add(&stats.repartition_failures, 1);
+            *last_error.lock() = Some(e.to_string());
+            false
+        }
+    }
+}
+
+impl<E: RepartitionEngine> ServeHandle<E> {
+    /// The epoch store readers subscribe to. Clone the `Arc` per reader thread; every
+    /// accessor on it is safe (and non-blocking) under concurrent publishing.
+    pub fn store(&self) -> Arc<EpochStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The ingest queue, for producers that want to share it across threads directly.
+    pub fn queue(&self) -> Arc<IngestQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Submit a batch without blocking (typed backpressure when full).
+    pub fn try_ingest(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        self.queue.try_submit(batch)
+    }
+
+    /// Submit a batch, blocking while the queue is full.
+    pub fn ingest(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        self.queue.submit(batch)
+    }
+
+    /// A point-in-time view of the serving counters (including live queue depth).
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot(
+            self.queue.queued_ops() as u64,
+            self.queue.queued_batches() as u64,
+        )
+    }
+
+    /// The most recent apply/repartition failure, if any (rejected batches land here
+    /// with their typed validation message).
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    /// Drain-then-stop shutdown: close the queue to producers, let the worker apply
+    /// and publish everything already queued, then join it — returning the engine
+    /// (with its final graph and partition state) and the final counters.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the worker thread, if it died mid-serve.
+    pub fn shutdown(mut self) -> (E, ServeStats) {
+        self.queue.close();
+        let worker = self.worker.take().expect("shutdown runs at most once");
+        let engine = match worker.join() {
+            Ok(engine) => engine,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        let stats = self.stats.snapshot(
+            self.queue.queued_ops() as u64,
+            self.queue.queued_batches() as u64,
+        );
+        (engine, stats)
+    }
+}
+
+impl<E: RepartitionEngine> Drop for ServeHandle<E> {
+    fn drop(&mut self) {
+        // Dropping without `shutdown`: close the queue so the (detached) worker
+        // drains, publishes and exits instead of sleeping on the condvar forever —
+        // and so producer threads blocked in `submit` wake to `IngestError::Closed`.
+        self.queue.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::snapshot;
+    use std::time::Duration;
+
+    /// A toy engine over a virtual growing "graph": each applied batch appends its op
+    /// count as new vertices (all in part 0); repartition publishes the next epoch.
+    struct ToyEngine {
+        epoch: u64,
+        vertices: usize,
+        reject_batches_of: Option<usize>,
+        fail_repartitions: u64,
+    }
+
+    impl RepartitionEngine for ToyEngine {
+        type Error = String;
+
+        fn apply(&mut self, batch: &UpdateBatch) -> Result<(), String> {
+            if self.reject_batches_of == Some(batch.len()) {
+                return Err(format!("rejecting batches of {} ops", batch.len()));
+            }
+            self.vertices += batch.len();
+            self.epoch += 1;
+            Ok(())
+        }
+
+        fn repartition(&mut self) -> Result<PartitionSnapshot, String> {
+            if self.fail_repartitions > 0 {
+                self.fail_repartitions -= 1;
+                return Err("transient repartition failure".to_string());
+            }
+            Ok(snapshot(self.epoch, vec![0; self.vertices], 1))
+        }
+    }
+
+    fn batch(ops: usize) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        for i in 0..ops {
+            b.insert_edge(i as u64, (i + 1) as u64);
+        }
+        b
+    }
+
+    #[test]
+    fn worker_applies_groups_and_publishes_monotonic_epochs() {
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 4,
+            reject_batches_of: None,
+            fail_repartitions: 0,
+        };
+        let handle = spawn(engine, snapshot(0, vec![0; 4], 1), ServeConfig::default());
+        let store = handle.store();
+        for _ in 0..3 {
+            handle.ingest(batch(2)).unwrap();
+        }
+        let seen = store
+            .wait_for_epoch(1, Duration::from_secs(10))
+            .expect("worker publishes");
+        assert!(seen.epoch >= 1);
+        let (engine, stats) = handle.shutdown();
+        // Drain-then-stop: every batch applied, final state published.
+        assert_eq!(engine.epoch, 3);
+        assert_eq!(engine.vertices, 10);
+        assert_eq!(stats.batches_applied, 3);
+        assert_eq!(stats.ops_applied, 6);
+        assert_eq!(stats.queue_depth_ops, 0);
+        assert!(stats.epochs_published >= 1);
+        assert_eq!(store.epoch(), 3);
+        assert_eq!(store.current().num_vertices(), 10);
+        assert!(stats.last_publish_seconds >= 0.0);
+        assert!(stats.last_ingest_to_publish_seconds >= stats.last_publish_seconds);
+    }
+
+    #[test]
+    fn rejected_batches_are_counted_and_do_not_publish() {
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 1,
+            reject_batches_of: Some(3),
+            fail_repartitions: 0,
+        };
+        let handle = spawn(engine, snapshot(0, vec![0], 1), ServeConfig::default());
+        handle.ingest(batch(3)).unwrap(); // rejected by the engine
+        handle.ingest(batch(2)).unwrap(); // applied
+        let store = handle.store();
+        store
+            .wait_for_epoch(1, Duration::from_secs(10))
+            .expect("the good batch publishes");
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.batches_rejected, 1);
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(store.epoch(), 1);
+    }
+
+    #[test]
+    fn repartition_failures_keep_the_previous_epoch_serving() {
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 1,
+            reject_batches_of: None,
+            fail_repartitions: 1,
+        };
+        // A long retry interval keeps the quiescent retry out of this test (it has
+        // its own: `pending_publish_is_retried_under_quiescent_traffic`).
+        let config = ServeConfig {
+            publish_retry: Duration::from_secs(3600),
+            ..ServeConfig::default()
+        };
+        let handle = spawn(engine, snapshot(0, vec![0], 1), config);
+        handle.ingest(batch(1)).unwrap();
+        // Wait until the failure is recorded, then ingest a batch that succeeds.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.stats().repartition_failures == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.store().epoch(), 0, "failed epoch must not publish");
+        assert_eq!(
+            handle.last_error().as_deref(),
+            Some("transient repartition failure")
+        );
+        handle.ingest(batch(1)).unwrap();
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.repartition_failures, 1);
+        assert!(stats.epochs_published >= 1);
+    }
+
+    #[test]
+    fn applied_but_unpublished_state_is_retried_even_by_rejected_groups() {
+        // Cycle 1 applies a batch but its repartition fails; cycle 2's batch is
+        // rejected by the engine. The dirty-state retry must still publish the
+        // cycle-1 graph instead of leaving the store stale forever.
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 1,
+            reject_batches_of: Some(3),
+            fail_repartitions: 1,
+        };
+        // Long retry interval: this test exercises the rejected-group retry path, not
+        // the quiescent timed retry.
+        let config = ServeConfig {
+            publish_retry: Duration::from_secs(3600),
+            ..ServeConfig::default()
+        };
+        let handle = spawn(engine, snapshot(0, vec![0], 1), config);
+        handle.ingest(batch(1)).unwrap(); // applied; repartition fails
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.stats().repartition_failures == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.store().epoch(), 0);
+        handle.ingest(batch(3)).unwrap(); // rejected by the engine
+        let store = handle.store();
+        let published = store
+            .wait_for_epoch(1, Duration::from_secs(10))
+            .expect("the rejected group still retries the pending publish");
+        assert_eq!(published.epoch, 1);
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.batches_rejected, 1);
+        assert_eq!(stats.epochs_published, 1);
+    }
+
+    #[test]
+    fn pending_publish_is_retried_under_quiescent_traffic() {
+        // A transient repartition failure with no follow-up traffic: the bounded
+        // drain wait must retry the pending publish on its own instead of leaving
+        // readers on a stale epoch until shutdown.
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 1,
+            reject_batches_of: None,
+            fail_repartitions: 1,
+        };
+        let config = ServeConfig {
+            publish_retry: Duration::from_millis(10),
+            ..ServeConfig::default()
+        };
+        let handle = spawn(engine, snapshot(0, vec![0], 1), config);
+        handle.ingest(batch(1)).unwrap();
+        let published = handle
+            .store()
+            .wait_for_epoch(1, Duration::from_secs(10))
+            .expect("the timed retry publishes without further ingest");
+        assert_eq!(published.epoch, 1);
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.repartition_failures, 1);
+        assert_eq!(stats.epochs_published, 1);
+    }
+
+    #[test]
+    fn dropping_the_handle_closes_the_queue_and_the_worker_drains() {
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 2,
+            reject_batches_of: None,
+            fail_repartitions: 0,
+        };
+        let handle = spawn(engine, snapshot(0, vec![0; 2], 1), ServeConfig::default());
+        let store = handle.store();
+        let queue = handle.queue();
+        handle.ingest(batch(2)).unwrap();
+        drop(handle);
+        // The detached worker drains and publishes the queued batch...
+        let published = store
+            .wait_for_epoch(1, Duration::from_secs(10))
+            .expect("dropped handle still drains the queue");
+        assert_eq!(published.num_vertices(), 4);
+        // ...and producers see a typed close instead of blocking forever.
+        assert_eq!(queue.submit(batch(1)), Err(IngestError::Closed));
+    }
+}

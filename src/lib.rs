@@ -22,6 +22,7 @@ pub use xtrapulp_dynamic as dynamic;
 pub use xtrapulp_gen as gen;
 pub use xtrapulp_graph as graph;
 pub use xtrapulp_multilevel as multilevel;
+pub use xtrapulp_serve as serve;
 pub use xtrapulp_spmv as spmv;
 
 /// Convenience re-exports used by the examples and integration tests.
@@ -31,8 +32,9 @@ pub mod prelude {
         WarmStartPartitioner, XtraPulpPartitioner,
     };
     pub use xtrapulp_api::{
-        DynamicReport, DynamicSession, Method, PartitionJob, PartitionReport, Session, UpdateBatch,
-        UpdateError,
+        DynamicReport, DynamicSession, EpochStore, IngestError, Method, PartitionJob,
+        PartitionReport, PartitionSnapshot, ServeConfig, ServeStats, ServingSession, Session,
+        UpdateBatch, UpdateError,
     };
     pub use xtrapulp_comm::{CommStats, RankCtx, Runtime};
     pub use xtrapulp_dynamic::{DynamicGraph, GraphDelta, UpdateOp};

@@ -1,0 +1,312 @@
+//! End-to-end tests of the concurrent serving subsystem: snapshot consistency under
+//! concurrent readers, queue backpressure, drain-then-stop shutdown, and `.ulog`
+//! replay through the same pipeline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xtrapulp::PartitionParams;
+use xtrapulp_api::{
+    BatchPolicy, IngestError, Method, PartitionJob, ServeConfig, ServingSession, UpdateBatch,
+};
+use xtrapulp_dynamic::DynamicGraph;
+use xtrapulp_gen::{generate_stream, GraphConfig, GraphKind, StreamKind, UpdateStreamConfig};
+use xtrapulp_graph::io::write_update_log;
+use xtrapulp_graph::Csr;
+
+fn ba_graph(n: u64, seed: u64) -> xtrapulp_gen::EdgeList {
+    GraphConfig::new(
+        GraphKind::BarabasiAlbert {
+            num_vertices: n,
+            edges_per_vertex: 6,
+        },
+        seed,
+    )
+    .generate()
+}
+
+fn ba_csr(n: u64, seed: u64) -> Csr {
+    ba_graph(n, seed).to_csr()
+}
+
+fn xtrapulp_job(parts: usize) -> PartitionJob {
+    PartitionJob::new(Method::XtraPulp).with_params(PartitionParams {
+        num_parts: parts,
+        seed: 13,
+        ..Default::default()
+    })
+}
+
+/// One batch per published epoch, so epoch arithmetic is exact in the tests.
+fn one_batch_per_epoch() -> ServeConfig {
+    ServeConfig {
+        policy: BatchPolicy {
+            max_group_ops: 65_536,
+            max_group_batches: 1,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// The acceptance scenario: N concurrent readers observe only fully-published epochs
+/// (monotonic, consistent topology, no unassigned entry — never a torn partition)
+/// while more than three update batches are ingested and repartitioned in the
+/// background, and the warm-start path is engaged (sweeps reported below the cold
+/// run's).
+#[test]
+fn concurrent_readers_observe_only_fully_published_epochs() {
+    const BASE_N: u64 = 400;
+    const PARTS: usize = 4;
+    const BATCHES: u64 = 6;
+    let serving = ServingSession::spawn_with_config(
+        2,
+        ba_csr(BASE_N, 7),
+        xtrapulp_job(PARTS),
+        one_batch_per_epoch(),
+    )
+    .unwrap();
+    let store = serving.store();
+    let cold = store.current();
+    assert_eq!(cold.epoch, 0);
+    assert!(!cold.warm_start);
+
+    // Readers: each checks every snapshot it observes for the MVCC invariants. Every
+    // growth batch adds exactly one vertex, so an epoch-k snapshot must have exactly
+    // BASE_N + k part entries — a mixed-epoch ("torn") read cannot satisfy this.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = store.current();
+                    assert!(
+                        snapshot.epoch >= last_epoch,
+                        "epochs must be monotonic per reader ({} after {})",
+                        snapshot.epoch,
+                        last_epoch
+                    );
+                    last_epoch = snapshot.epoch;
+                    assert_eq!(
+                        snapshot.num_vertices() as u64,
+                        BASE_N + snapshot.epoch,
+                        "parts length must match the epoch's topology"
+                    );
+                    assert_eq!(snapshot.num_parts, PARTS);
+                    assert!(
+                        snapshot
+                            .parts
+                            .iter()
+                            .all(|&p| p >= 0 && (p as usize) < PARTS),
+                        "observed an unassigned/out-of-range entry: a torn partition"
+                    );
+                    observed += 1;
+                }
+                (last_epoch, observed)
+            })
+        })
+        .collect();
+
+    // Writer: one growth batch per epoch, ingested while the readers run.
+    for i in 0..BATCHES {
+        let new_vertex = BASE_N + i;
+        let mut batch = UpdateBatch::new();
+        batch
+            .add_vertices(1)
+            .insert_edge(new_vertex, i)
+            .insert_edge(new_vertex, i + 1);
+        serving.ingest(batch).unwrap();
+    }
+    let last = store
+        .wait_for_epoch(BATCHES, Duration::from_secs(600))
+        .expect("all epochs publish");
+    assert_eq!(last.epoch, BATCHES);
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        let (final_epoch, observed) = reader.join().expect("reader must not panic");
+        assert!(observed > 0, "every reader observed at least one snapshot");
+        assert!(final_epoch <= BATCHES);
+    }
+
+    // Warm-start path engaged: the published epochs ran warm, with fewer sweeps than
+    // the cold epoch-0 run.
+    assert!(last.warm_start);
+    assert!(
+        last.lp_sweeps < cold.lp_sweeps,
+        "warm epoch ran {} sweeps, cold ran {}",
+        last.lp_sweeps,
+        cold.lp_sweeps
+    );
+
+    let (session, stats) = serving.shutdown();
+    assert_eq!(stats.epochs_published, BATCHES);
+    assert_eq!(stats.warm_epochs, BATCHES);
+    assert_eq!(stats.cold_epochs, 0);
+    assert_eq!(stats.batches_applied, BATCHES);
+    assert_eq!(stats.batches_rejected, 0);
+    assert_eq!(session.epoch(), BATCHES);
+    assert_eq!(session.graph().num_vertices() as u64, BASE_N + BATCHES);
+}
+
+#[test]
+fn queue_backpressure_is_typed_and_nonfatal() {
+    // A tiny queue: an oversized batch can never fit and is rejected immediately, in
+    // both submit flavours; the session keeps serving afterwards.
+    let config = ServeConfig {
+        queue_capacity_ops: 4,
+        ..ServeConfig::default()
+    };
+    let serving = ServingSession::spawn_with_config(
+        1,
+        ba_csr(200, 3),
+        PartitionJob::new(Method::Pulp).with_params(PartitionParams {
+            num_parts: 2,
+            seed: 5,
+            ..Default::default()
+        }),
+        config,
+    )
+    .unwrap();
+    let mut huge = UpdateBatch::new();
+    for i in 0..5u64 {
+        huge.insert_edge(150 + i, i);
+    }
+    for result in [
+        serving.try_ingest(huge.clone()),
+        serving.ingest(huge.clone()),
+    ] {
+        assert!(
+            matches!(
+                result,
+                Err(IngestError::BatchTooLarge {
+                    batch_ops: 5,
+                    capacity: 4
+                })
+            ),
+            "{result:?}"
+        );
+    }
+    // The raw queue reports QueueFull (with depths) when the budget is exhausted;
+    // exercised directly so the assertion does not race the draining worker.
+    let queue = xtrapulp_api::IngestQueue::new(4);
+    let mut batch = UpdateBatch::new();
+    batch.insert_edge(0, 1).insert_edge(1, 2).insert_edge(2, 3);
+    queue.try_submit(batch.clone()).unwrap();
+    let err = queue.try_submit(batch).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            IngestError::QueueFull {
+                queued_ops: 3,
+                capacity: 4,
+                batch_ops: 3
+            }
+        ),
+        "{err}"
+    );
+
+    // After the rejections, a valid batch still flows end to end.
+    let mut ok = UpdateBatch::new();
+    ok.add_vertices(1).insert_edge(200, 0);
+    serving.ingest(ok).unwrap();
+    serving
+        .store()
+        .wait_for_epoch(1, Duration::from_secs(600))
+        .expect("the valid batch publishes");
+    let (_, stats) = serving.shutdown();
+    assert_eq!(stats.batches_applied, 1);
+}
+
+#[test]
+fn shutdown_drains_queued_batches_before_stopping() {
+    const BASE_N: u64 = 300;
+    let serving = ServingSession::spawn(
+        1,
+        ba_csr(BASE_N, 9),
+        PartitionJob::new(Method::Pulp).with_params(PartitionParams {
+            num_parts: 4,
+            seed: 2,
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    let store = serving.store();
+    // Enqueue five growth batches and shut down immediately: drain-then-stop must
+    // apply and publish all of them before the worker exits.
+    for i in 0..5u64 {
+        let mut batch = UpdateBatch::new();
+        batch.add_vertices(1).insert_edge(BASE_N + i, i);
+        serving.ingest(batch).unwrap();
+    }
+    let (session, stats) = serving.shutdown();
+    assert_eq!(stats.batches_applied, 5);
+    assert_eq!(stats.queue_depth_ops, 0);
+    assert_eq!(stats.queue_depth_batches, 0);
+    assert_eq!(session.epoch(), 5);
+    assert_eq!(session.graph().num_vertices() as u64, BASE_N + 5);
+    // The final epoch is published, matching the drained graph.
+    assert_eq!(store.epoch(), 5);
+    assert_eq!(store.current().num_vertices() as u64, BASE_N + 5);
+}
+
+/// A recorded `.ulog` mutation trace replays through the ingest queue and produces the
+/// same graph as applying the stream's batches directly to the dynamic subsystem.
+#[test]
+fn ulog_replay_drives_the_serve_pipeline_end_to_end() {
+    let base = ba_graph(500, 21);
+    let stream = generate_stream(
+        &base,
+        &UpdateStreamConfig {
+            kind: StreamKind::PreferentialGrowth {
+                vertices_per_batch: 10,
+                edges_per_vertex: 4,
+            },
+            num_batches: 4,
+            seed: 3,
+        },
+    );
+    let mut path = std::env::temp_dir();
+    path.push(format!("xtrapulp-serve-e2e-{}.ulog", std::process::id()));
+    write_update_log(&path, &stream.all_ops()).unwrap();
+
+    let serving = ServingSession::spawn(
+        1,
+        base.to_csr(),
+        PartitionJob::new(Method::Pulp).with_params(PartitionParams {
+            num_parts: 4,
+            seed: 8,
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    let outcome = serving.replay_log(&path, 64).unwrap();
+    assert_eq!(outcome.ops as usize, stream.num_ops());
+    let (session, stats) = serving.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(stats.batches_rejected, 0, "{:?}", serving_error(&stats));
+    assert_eq!(stats.ops_applied, outcome.ops);
+    assert!(stats.epochs_published >= 1);
+    assert!(stats.warm_epochs >= 1, "replay epochs run warm-started");
+
+    // Reference: the same stream applied directly through the dynamic subsystem.
+    let mut reference = DynamicGraph::new(base.to_csr());
+    for i in 0..stream.batches.len() {
+        let batch = UpdateBatch::from_ops(stream.batch_ops(i));
+        reference.apply(&batch).unwrap();
+    }
+    assert_eq!(session.graph().num_vertices(), reference.num_vertices());
+    assert_eq!(session.graph().num_edges(), reference.num_edges());
+    // The served partition covers the final topology with valid part ids.
+    let parts = session.parts().expect("final partition exists");
+    assert_eq!(parts.len(), reference.num_vertices());
+    assert!(parts.iter().all(|&p| (0..4).contains(&p)));
+}
+
+fn serving_error(stats: &xtrapulp_api::ServeStats) -> String {
+    format!("{stats:?}")
+}

@@ -1,11 +1,14 @@
 //! Offline stand-in for the `parking_lot` crate (see `vendor/README.md`).
 //!
-//! Exposes the one primitive the workspace uses — [`Mutex`] — with
-//! `parking_lot`'s non-poisoning semantics, implemented over `std::sync::Mutex`:
-//! if a thread panics while holding the lock, the lock is released and the
-//! protected data remains accessible.
+//! Exposes the two primitives the workspace uses — [`Mutex`] and [`RwLock`] —
+//! with `parking_lot`'s non-poisoning semantics, implemented over their
+//! `std::sync` counterparts: if a thread panics while holding a lock, the lock
+//! is released and the protected data remains accessible.
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, TryLockError};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard, TryLockError,
+};
 
 /// A non-poisoning mutual exclusion primitive with `parking_lot`'s API shape.
 #[derive(Debug, Default)]
@@ -61,9 +64,99 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A non-poisoning reader-writer lock with `parking_lot`'s API shape.
+///
+/// The serving layer uses it as the publication point of immutable `Arc`'d
+/// snapshots: any number of readers clone the current `Arc` under the shared
+/// lock while a single writer swaps the pointer — the stand-in for the
+/// `arc-swap` pattern in environments without that crate.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+/// RAII shared-access guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = StdRwLockReadGuard<'a, T>;
+
+/// RAII exclusive-access guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = StdRwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Create a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consume the lock and return the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until no writer holds the lock.
+    /// Unlike `std`, a panic in another thread while holding the lock does not
+    /// poison it.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempt to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive access to the lock).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rwlock_allows_concurrent_readers_and_survives_panics() {
+        let l = std::sync::Arc::new(RwLock::new(5u32));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (5, 5));
+        }
+        *l.write() = 6;
+        let l2 = std::sync::Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*l.read(), 6);
+        assert!(l.try_read().is_some());
+    }
 
     #[test]
     fn lock_survives_a_panicking_holder() {
