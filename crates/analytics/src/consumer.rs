@@ -1,0 +1,669 @@
+//! The incremental analytics consumer: a read-side subscriber of the serving
+//! pipeline's epoch stream.
+//!
+//! [`AnalyticsConsumer`] owns its own rank runtime, a topology replica (a [`Csr`] plus
+//! per-rank [`DistGraph`]s) and the warm state of three analytics — PageRank,
+//! connected components and coreness. Instead of redistributing the graph and
+//! recomputing from scratch every epoch, it ingests each epoch's
+//! [`GraphDelta`](xtrapulp_graph::GraphDelta) stream (and the published partition it
+//! rode in on) and repairs its state with the kernels in [`crate::incremental`],
+//! falling back to a cold recomputation only when the [`WarmPolicy`] says the epoch's
+//! churn is too large for the repair to pay off — the same warm/cold self-stabilising
+//! shape `xtrapulp_api::DynamicSession` uses for the partition itself.
+//!
+//! [`AnalyticsSubscriber`] binds a consumer to an
+//! [`EpochStore`](xtrapulp_serve::EpochStore): each [`poll`](AnalyticsSubscriber::poll)
+//! blocks for the next published epoch ([`wait_for_epoch`]), fetches the delta chain
+//! from the store's bounded history ([`deltas_since`]) and feeds the consumer — the
+//! read-side analogue of RFP-style remote fetching, where consumers pull exactly the
+//! state that changed instead of the producer redistributing everything.
+//!
+//! [`wait_for_epoch`]: xtrapulp_serve::EpochStore::wait_for_epoch
+//! [`deltas_since`]: xtrapulp_serve::EpochStore::deltas_since
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use xtrapulp_comm::Runtime;
+use xtrapulp_graph::{Csr, DistGraph, Distribution, GlobalId, GraphDelta, LocalId};
+use xtrapulp_serve::EpochStore;
+
+use crate::incremental::{
+    kcore_tighten, pagerank_resume, wcc_propagate, wcc_repair, PagerankWork, WccWork,
+};
+
+/// When the consumer repairs warm state and when it recomputes from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmPolicy {
+    /// Fall back to a cold recomputation when an epoch touches more than this
+    /// fraction of the graph's vertices (insert/delete endpoints plus additions).
+    pub max_churn_fraction: f64,
+    /// Rebuild the per-rank graphs around the *published* partition (and recompute
+    /// cold) once more than this fraction of vertices has migrated away from the
+    /// placement the replica was built with — the consumer's answer to an
+    /// accumulating [`MigrationDiff`](xtrapulp_serve::MigrationDiff).
+    pub redistribute_moved_fraction: f64,
+    /// PageRank damping factor.
+    pub damping: f64,
+    /// PageRank convergence tolerance (global L1 residual).
+    pub tolerance: f64,
+    /// PageRank iteration cap per epoch.
+    pub max_iterations: usize,
+}
+
+impl Default for WarmPolicy {
+    fn default() -> Self {
+        WarmPolicy {
+            max_churn_fraction: 0.05,
+            redistribute_moved_fraction: 0.25,
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 400,
+        }
+    }
+}
+
+/// What one ingested epoch cost the consumer — the incremental-vs-cold evidence the
+/// bench and the acceptance tests assert on.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochReport {
+    /// The graph epoch this report describes.
+    pub epoch: u64,
+    /// Whether the warm (repair) path ran, as opposed to a cold recomputation.
+    pub warm: bool,
+    /// Whether the per-rank graphs were rebuilt around the published partition.
+    pub redistributed: bool,
+    /// Fraction of vertices the epoch's deltas touched.
+    pub churn_fraction: f64,
+    /// Fraction of vertices whose published part differs from the replica's placement.
+    pub moved_fraction: f64,
+    /// PageRank supersteps this epoch.
+    pub pagerank_iterations: u64,
+    /// Active vertices PageRank scored (summed over iterations and ranks).
+    pub pagerank_vertices_scored: u64,
+    /// Whether PageRank reached its residual tolerance.
+    pub pagerank_converged: bool,
+    /// Min-label propagation sweeps this epoch.
+    pub wcc_sweeps: u64,
+    /// Components a deletion forced a BFS connectivity check for.
+    pub wcc_components_checked: u64,
+    /// Labels reset because a deletion split their component.
+    pub wcc_reset_vertices: u64,
+    /// h-index tightening rounds this epoch.
+    pub kcore_rounds: u64,
+    /// Wall-clock seconds to ingest the epoch (apply deltas + update every analytic).
+    pub seconds: f64,
+    /// Bytes exchanged between ranks while ingesting the epoch.
+    pub comm_bytes: u64,
+}
+
+impl EpochReport {
+    /// One JSON object per epoch, for machine-readable bench output.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation is infallible")
+    }
+
+    fn no_op(epoch: u64, moved_fraction: f64, seconds: f64) -> EpochReport {
+        EpochReport {
+            epoch,
+            warm: true,
+            redistributed: false,
+            churn_fraction: 0.0,
+            moved_fraction,
+            pagerank_iterations: 0,
+            pagerank_vertices_scored: 0,
+            pagerank_converged: true,
+            wcc_sweeps: 0,
+            wcc_components_checked: 0,
+            wcc_reset_vertices: 0,
+            kcore_rounds: 0,
+            seconds,
+            comm_bytes: 0,
+        }
+    }
+}
+
+/// What the most recent from-scratch recomputation cost — the warm-vs-cold reference
+/// the bench and acceptance tests compare [`EpochReport`] work counters against.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ColdWork {
+    /// PageRank supersteps of the cold run.
+    pub pagerank_iterations: u64,
+    /// Vertices the cold PageRank scored (every vertex, every iteration).
+    pub pagerank_vertices_scored: u64,
+    /// Min-label propagation sweeps of the cold run.
+    pub wcc_sweeps: u64,
+    /// h-index tightening rounds of the cold run (seeded from degrees).
+    pub kcore_rounds: u64,
+}
+
+/// One rank's replica and warm state; lives on the consumer, handed into the rank
+/// closure by reference each epoch.
+struct RankState {
+    graph: DistGraph,
+    pagerank: Vec<f64>,
+    labels: Vec<u64>,
+    core: Vec<u64>,
+}
+
+/// The delta-aware analytics consumer. See the module docs for the design.
+pub struct AnalyticsConsumer {
+    runtime: Runtime,
+    nranks: usize,
+    states: Vec<RankState>,
+    /// Full-topology replica, evolved by the same deltas as the per-rank graphs; the
+    /// redistribution path rebuilds the rank graphs from it.
+    csr: Csr,
+    /// The distribution the rank graphs were built with (grown alongside the graph).
+    dist: Distribution,
+    policy: WarmPolicy,
+    epoch: u64,
+    /// Work of the most recent cold recomputation (epoch 0, a churn fallback or a
+    /// redistribution) — the reference warm epochs are measured against.
+    cold: ColdWork,
+}
+
+/// Map a published part id to the rank that will own its vertices in the replica
+/// (parts may outnumber the consumer's ranks).
+fn part_to_rank(part: i32, nranks: usize) -> i32 {
+    part.max(0) % nranks as i32
+}
+
+impl AnalyticsConsumer {
+    /// Build a consumer with its own `nranks`-rank runtime, replicating `csr`
+    /// distributed by `parts` (the published partition), and compute the initial
+    /// (cold) analytics state.
+    pub fn new(nranks: usize, csr: Csr, parts: &[i32], policy: WarmPolicy) -> AnalyticsConsumer {
+        assert!(nranks > 0, "an analytics consumer needs at least one rank");
+        let placement: Vec<i32> = parts.iter().map(|&p| part_to_rank(p, nranks)).collect();
+        let dist = Distribution::from_parts(&placement);
+        let mut runtime = Runtime::new(nranks);
+        let per_rank = {
+            let csr = &csr;
+            let dist = &dist;
+            runtime.execute(|ctx| {
+                let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
+                cold_state(ctx, graph, &policy)
+            })
+        };
+        let mut states = Vec::with_capacity(nranks);
+        let mut cold = ColdWork::default();
+        for (state, pr, sweeps, rounds) in per_rank {
+            if states.is_empty() {
+                cold = ColdWork {
+                    pagerank_iterations: pr.iterations,
+                    pagerank_vertices_scored: pr.vertices_scored,
+                    wcc_sweeps: sweeps,
+                    kcore_rounds: rounds,
+                };
+            }
+            states.push(state);
+        }
+        AnalyticsConsumer {
+            runtime,
+            nranks,
+            states,
+            csr,
+            dist,
+            policy,
+            epoch: 0,
+            cold,
+        }
+    }
+
+    /// The work of the most recent from-scratch recomputation — the reference warm
+    /// epochs are measured against.
+    pub fn cold_reference(&self) -> ColdWork {
+        self.cold
+    }
+
+    /// The epoch the consumer's state corresponds to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-anchor the consumer to `epoch` without touching its state — for binding a
+    /// freshly built consumer to a store whose initial published epoch is not 0.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The consumer's live topology replica.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The warm/cold policy in force.
+    pub fn policy(&self) -> &WarmPolicy {
+        &self.policy
+    }
+
+    /// Ingest one published epoch: `deltas` are the graph mutations since the epoch
+    /// the consumer currently holds (in application order), `parts` the published
+    /// partition of the new epoch. Repairs the analytics state warm when the policy
+    /// allows, recomputes cold otherwise, and reports the work either way.
+    pub fn ingest_epoch(
+        &mut self,
+        epoch: u64,
+        deltas: &[GraphDelta],
+        parts: &[i32],
+    ) -> EpochReport {
+        let start = Instant::now();
+        let new_n = deltas
+            .last()
+            .map(|d| d.new_n())
+            .unwrap_or(self.csr.num_vertices() as u64);
+
+        // Grow the replica's distribution over the new tail first (the same hashing
+        // `DistGraph::apply_delta` uses), so ownership queries below cover new ids.
+        self.dist = self.dist.grown(new_n, self.nranks);
+
+        // Accumulated migration between the replica's placement and the published
+        // partition (the consumer-side view of the epoch stream's MigrationDiff).
+        let moved = (0..new_n.min(parts.len() as u64))
+            .filter(|&v| {
+                self.dist.owner(v, new_n, self.nranks) as i32
+                    != part_to_rank(parts[v as usize], self.nranks)
+            })
+            .count();
+        let moved_fraction = moved as f64 / new_n.max(1) as f64;
+
+        if deltas.is_empty() && moved_fraction <= self.policy.redistribute_moved_fraction {
+            // Empty-delta fast path: the topology is unchanged, so every analytic is
+            // still exact — a below-threshold placement drift costs nothing either.
+            self.epoch = epoch;
+            return EpochReport::no_op(epoch, moved_fraction, start.elapsed().as_secs_f64());
+        }
+
+        let mut touched: Vec<GlobalId> = deltas
+            .iter()
+            .flat_map(|d| d.touched_including_added())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let churn_fraction = touched.len() as f64 / new_n.max(1) as f64;
+
+        for delta in deltas {
+            self.csr = self.csr.apply_delta(delta);
+        }
+
+        let redistribute = moved_fraction > self.policy.redistribute_moved_fraction;
+        let warm = !redistribute && churn_fraction <= self.policy.max_churn_fraction;
+
+        let policy = self.policy;
+        let (new_states, mut report) = if redistribute {
+            // The published partition drifted too far from the replica's placement:
+            // rebuild the rank graphs around it (restoring analytics locality) and
+            // recompute cold — warm state does not survive an ownership reshuffle.
+            let placement: Vec<i32> = parts
+                .iter()
+                .map(|&p| part_to_rank(p, self.nranks))
+                .collect();
+            self.dist = Distribution::from_parts(&placement);
+            let csr = &self.csr;
+            let dist = &self.dist;
+            let per_rank = self.runtime.execute(|ctx| {
+                let bytes_before = ctx.stats().bytes_sent();
+                let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
+                let (state, pr, sweeps, rounds) = cold_state(ctx, graph, &policy);
+                let bytes = ctx.stats().bytes_sent_since(bytes_before);
+                (state, pr, sweeps, rounds, bytes)
+            });
+            collect_cold(epoch, per_rank, churn_fraction, moved_fraction)
+        } else {
+            let states = &self.states;
+            let touched = &touched;
+            let deleted: Vec<(GlobalId, GlobalId)> = {
+                let mut d: Vec<_> = deltas.iter().flat_map(|d| d.deleted_edges()).collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            let inserted_bound: u64 = deltas.iter().map(|d| d.num_insert_edges()).sum();
+            let per_rank = self.runtime.execute(|ctx| {
+                let bytes_before = ctx.stats().bytes_sent();
+                let old = &states[ctx.rank()];
+                // This branch is only reached with a non-empty delta chain (the empty
+                // case is the fast path or a redistribution), so the first apply
+                // replaces what would otherwise be a full-replica clone.
+                let graph = match deltas.split_first() {
+                    Some((first, rest)) => {
+                        let mut graph = old.graph.apply_delta(ctx, first);
+                        for delta in rest {
+                            graph = graph.apply_delta(ctx, delta);
+                        }
+                        graph
+                    }
+                    None => old.graph.clone(),
+                };
+                let mut state = remap_state(old, graph, inserted_bound);
+                let outcome = if warm {
+                    let pr = pagerank_resume(
+                        ctx,
+                        &state.graph,
+                        &mut state.pagerank,
+                        Some(touched),
+                        policy.damping,
+                        policy.tolerance,
+                        policy.max_iterations,
+                    );
+                    let wcc = wcc_repair(ctx, &state.graph, &mut state.labels, &deleted);
+                    let rounds = kcore_tighten(ctx, &state.graph, &mut state.core, usize::MAX);
+                    (pr, wcc, rounds)
+                } else {
+                    let (cold, pr, sweeps, rounds) = cold_state(ctx, state.graph, &policy);
+                    state = cold;
+                    (
+                        pr,
+                        WccWork {
+                            sweeps,
+                            ..WccWork::default()
+                        },
+                        rounds,
+                    )
+                };
+                let bytes = ctx.stats().bytes_sent_since(bytes_before);
+                (state, outcome, bytes)
+            });
+            let mut states = Vec::with_capacity(per_rank.len());
+            let mut pr = PagerankWork::default();
+            let mut wcc = WccWork::default();
+            let mut rounds = 0u64;
+            let mut bytes = 0u64;
+            for (state, (pr_r, wcc_r, rounds_r), bytes_r) in per_rank {
+                states.push(state);
+                // The work counters are globally reduced inside the kernels, so every
+                // rank reports identical values; keep rank 0's.
+                if states.len() == 1 {
+                    pr = pr_r;
+                    wcc = wcc_r;
+                    rounds = rounds_r;
+                }
+                bytes += bytes_r;
+            }
+            let report = EpochReport {
+                epoch,
+                warm,
+                redistributed: false,
+                churn_fraction,
+                moved_fraction,
+                pagerank_iterations: pr.iterations,
+                pagerank_vertices_scored: pr.vertices_scored,
+                pagerank_converged: pr.converged,
+                wcc_sweeps: wcc.sweeps,
+                wcc_components_checked: wcc.components_checked,
+                wcc_reset_vertices: wcc.reset_vertices,
+                kcore_rounds: rounds,
+                seconds: 0.0,
+                comm_bytes: bytes,
+            };
+            (states, report)
+        };
+
+        self.states = new_states;
+        self.epoch = epoch;
+        if !report.warm {
+            self.cold = ColdWork {
+                pagerank_iterations: report.pagerank_iterations,
+                pagerank_vertices_scored: report.pagerank_vertices_scored,
+                wcc_sweeps: report.wcc_sweeps,
+                kcore_rounds: report.kcore_rounds,
+            };
+        }
+        report.seconds = start.elapsed().as_secs_f64();
+        report
+    }
+
+    /// The PageRank of every vertex, gathered to a global vector (identical on every
+    /// call until the next ingested epoch).
+    pub fn pagerank_global(&mut self) -> Vec<f64> {
+        let n = self.csr.num_vertices();
+        let states = &self.states;
+        let per_rank = self.runtime.execute(|ctx| {
+            let st = &states[ctx.rank()];
+            (0..st.graph.n_owned())
+                .map(|v| (st.graph.global_id(v as LocalId), st.pagerank[v]))
+                .collect::<Vec<_>>()
+        });
+        scatter(per_rank, n, 0.0)
+    }
+
+    /// The component label (smallest global id in the component) of every vertex.
+    pub fn wcc_global(&mut self) -> Vec<u64> {
+        let n = self.csr.num_vertices();
+        let states = &self.states;
+        let per_rank = self.runtime.execute(|ctx| {
+            let st = &states[ctx.rank()];
+            (0..st.graph.n_owned())
+                .map(|v| (st.graph.global_id(v as LocalId), st.labels[v]))
+                .collect::<Vec<_>>()
+        });
+        scatter(per_rank, n, 0)
+    }
+
+    /// The exact coreness of every vertex.
+    pub fn coreness_global(&mut self) -> Vec<u64> {
+        let n = self.csr.num_vertices();
+        let states = &self.states;
+        let per_rank = self.runtime.execute(|ctx| {
+            let st = &states[ctx.rank()];
+            (0..st.graph.n_owned())
+                .map(|v| (st.graph.global_id(v as LocalId), st.core[v]))
+                .collect::<Vec<_>>()
+        });
+        scatter(per_rank, n, 0)
+    }
+}
+
+fn scatter<T: Copy>(per_rank: Vec<Vec<(GlobalId, T)>>, n: usize, default: T) -> Vec<T> {
+    let mut out = vec![default; n];
+    for pairs in per_rank {
+        for (g, v) in pairs {
+            out[g as usize] = v;
+        }
+    }
+    out
+}
+
+/// Cold recomputation of every analytic on `graph`; also the epoch-0 initialiser.
+fn cold_state(
+    ctx: &xtrapulp_comm::RankCtx,
+    graph: DistGraph,
+    policy: &WarmPolicy,
+) -> (RankState, PagerankWork, u64, u64) {
+    let n_owned = graph.n_owned();
+    let uniform = 1.0 / graph.global_n().max(1) as f64;
+    let mut pagerank = vec![uniform; n_owned];
+    let pr = pagerank_resume(
+        ctx,
+        &graph,
+        &mut pagerank,
+        None,
+        policy.damping,
+        policy.tolerance,
+        policy.max_iterations,
+    );
+    let mut labels: Vec<u64> = (0..n_owned)
+        .map(|v| graph.global_id(v as LocalId))
+        .collect();
+    let sweeps = wcc_propagate(ctx, &graph, &mut labels);
+    let mut core: Vec<u64> = (0..n_owned)
+        .map(|v| graph.degree_owned(v as LocalId))
+        .collect();
+    let rounds = kcore_tighten(ctx, &graph, &mut core, usize::MAX);
+    (
+        RankState {
+            graph,
+            pagerank,
+            labels,
+            core,
+        },
+        pr,
+        sweeps,
+        rounds,
+    )
+}
+
+/// Carry one rank's warm state over to the delta-evolved `graph`: PageRank values are
+/// rescaled by the vertex-count ratio (the teleport term's exact response to growth),
+/// labels and coreness bounds are copied, and new vertices get their cold seeds
+/// (uniform rank, own-id label, degree bound). `inserted_bound` widens the coreness
+/// bound: a batch of `k` edge insertions raises any coreness by at most `k`.
+fn remap_state(old: &RankState, graph: DistGraph, inserted_bound: u64) -> RankState {
+    let n_owned = graph.n_owned();
+    let scale = old.graph.global_n().max(1) as f64 / graph.global_n().max(1) as f64;
+    let uniform = 1.0 / graph.global_n().max(1) as f64;
+    let mut pagerank = vec![uniform; n_owned];
+    let mut labels = vec![0u64; n_owned];
+    let mut core = vec![0u64; n_owned];
+    for v in 0..n_owned {
+        let g = graph.global_id(v as LocalId);
+        let degree = graph.degree_owned(v as LocalId);
+        match old.graph.local_id(g).filter(|&l| old.graph.is_owned(l)) {
+            Some(l) => {
+                let l = l as usize;
+                pagerank[v] = old.pagerank[l] * scale;
+                labels[v] = old.labels[l];
+                core[v] = (old.core[l] + inserted_bound).min(degree);
+            }
+            None => {
+                labels[v] = g;
+                core[v] = degree;
+            }
+        }
+    }
+    RankState {
+        graph,
+        pagerank,
+        labels,
+        core,
+    }
+}
+
+/// Assemble the cold/redistributed epoch report from per-rank results.
+#[allow(clippy::type_complexity)]
+fn collect_cold(
+    epoch: u64,
+    per_rank: Vec<(RankState, PagerankWork, u64, u64, u64)>,
+    churn_fraction: f64,
+    moved_fraction: f64,
+) -> (Vec<RankState>, EpochReport) {
+    let mut states = Vec::with_capacity(per_rank.len());
+    let mut pr = PagerankWork::default();
+    let mut sweeps = 0u64;
+    let mut rounds = 0u64;
+    let mut bytes = 0u64;
+    for (state, pr_r, sweeps_r, rounds_r, bytes_r) in per_rank {
+        states.push(state);
+        if states.len() == 1 {
+            pr = pr_r;
+            sweeps = sweeps_r;
+            rounds = rounds_r;
+        }
+        bytes += bytes_r;
+    }
+    let report = EpochReport {
+        epoch,
+        warm: false,
+        redistributed: true,
+        churn_fraction,
+        moved_fraction,
+        pagerank_iterations: pr.iterations,
+        pagerank_vertices_scored: pr.vertices_scored,
+        pagerank_converged: pr.converged,
+        wcc_sweeps: sweeps,
+        wcc_components_checked: 0,
+        wcc_reset_vertices: 0,
+        kcore_rounds: rounds,
+        seconds: 0.0,
+        comm_bytes: bytes,
+    };
+    (states, report)
+}
+
+/// Why a subscriber could not ingest the next epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriberError {
+    /// The consumer lagged beyond the store's bounded delta history; the chain back
+    /// to its held epoch has been evicted and only a full rebuild can recover.
+    Lagged {
+        /// The epoch the consumer holds.
+        held: u64,
+        /// The store's current epoch.
+        current: u64,
+    },
+}
+
+impl std::fmt::Display for SubscriberError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscriberError::Lagged { held, current } => write!(
+                f,
+                "analytics consumer lagged beyond the store's delta history \
+                 (holds epoch {held}, store is at {current}); rebuild required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubscriberError {}
+
+/// An [`AnalyticsConsumer`] bound to an [`EpochStore`]: poll to block for the next
+/// published epoch and ingest it.
+pub struct AnalyticsSubscriber {
+    store: Arc<EpochStore>,
+    consumer: AnalyticsConsumer,
+    held: u64,
+}
+
+impl AnalyticsSubscriber {
+    /// Bind `consumer` (whose state must correspond to an epoch the store has
+    /// published — normally the epoch-0 graph the pipeline was spawned with) to the
+    /// store.
+    pub fn new(store: Arc<EpochStore>, consumer: AnalyticsConsumer) -> AnalyticsSubscriber {
+        let held = consumer.epoch();
+        AnalyticsSubscriber {
+            store,
+            consumer,
+            held,
+        }
+    }
+
+    /// Block up to `timeout` for an epoch newer than the held one, ingest every delta
+    /// between them, and return the epoch's report — or `Ok(None)` if nothing newer
+    /// was published within the timeout.
+    pub fn poll(&mut self, timeout: Duration) -> Result<Option<EpochReport>, SubscriberError> {
+        let Some(snapshot) = self.store.wait_for_epoch(self.held + 1, timeout) else {
+            return Ok(None);
+        };
+        // Pin the chain to the snapshot actually held: epochs published after the
+        // wait returned are ingested by the next poll, against *their* partitions.
+        let deltas = self.store.deltas_between(self.held, snapshot.epoch).ok_or(
+            SubscriberError::Lagged {
+                held: self.held,
+                current: snapshot.epoch,
+            },
+        )?;
+        let report = self
+            .consumer
+            .ingest_epoch(snapshot.epoch, &deltas, &snapshot.parts);
+        self.held = snapshot.epoch;
+        Ok(Some(report))
+    }
+
+    /// The epoch the subscriber has ingested up to.
+    pub fn held_epoch(&self) -> u64 {
+        self.held
+    }
+
+    /// The wrapped consumer (e.g. to gather global analytics vectors).
+    pub fn consumer_mut(&mut self) -> &mut AnalyticsConsumer {
+        &mut self.consumer
+    }
+
+    /// Unbind, returning the consumer.
+    pub fn into_consumer(self) -> AnalyticsConsumer {
+        self.consumer
+    }
+}

@@ -1,0 +1,553 @@
+//! Warm (delta-aware) variants of the analytics kernels.
+//!
+//! The suite in [`crate::suite`] recomputes every analytic from scratch, which is the
+//! right baseline for the paper's Fig. 8 comparison but wasteful in a serving setting
+//! where the graph mutates by small deltas: after a ≤1% churn epoch, the previous
+//! PageRank vector is already within a hair of the new fixed point, the previous
+//! component labels are correct everywhere no deletion split a component, and the
+//! previous coreness values are still valid upper bounds. The kernels here exploit
+//! exactly that:
+//!
+//! * [`pagerank_resume`] — resume power iteration from the previous rank vector and
+//!   score only an *active region* seeded from the delta-touched vertices, expanding
+//!   it along edges wherever a scored vertex's outgoing contribution still changes
+//!   by more than a threshold derived from the convergence tolerance. A cold run is
+//!   the same loop with every vertex active.
+//! * [`wcc_repair`] — repair the previous component labels: insertions are handled by
+//!   the seeded min-label propagation itself (labels merge downhill), deletions by a
+//!   connectivity re-check (one distributed BFS per affected component, from an
+//!   endpoint of a deleted edge) that resets exactly the components a deletion
+//!   actually split.
+//! * [`kcore_tighten`] — run the h-index peeling of
+//!   [`kcore_approx`](crate::algorithms::kcore_approx) seeded from any pointwise
+//!   *upper bound* of the true coreness (the previous epoch's values, bumped by the
+//!   number of inserted edges and capped by the new degree). The iteration
+//!   `x ← min(x, H(x))` converges to the exact coreness from any such bound, so warm
+//!   and cold runs agree exactly — warm ones just start much closer.
+//!
+//! All kernels are collectives: every rank of the runtime must call them with the same
+//! arguments (seed sets and deleted-edge lists are replicated, as they come from the
+//! replicated [`GraphDelta`](xtrapulp_graph::GraphDelta) stream).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xtrapulp_comm::RankCtx;
+use xtrapulp_graph::bfs::{dist_bfs, UNREACHED};
+use xtrapulp_graph::{DistGraph, GlobalId, LocalId};
+
+/// Work accounting of one [`pagerank_resume`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PagerankWork {
+    /// Power-iteration supersteps executed.
+    pub iterations: u64,
+    /// Active vertices scored, summed over iterations and ranks — the real unit of
+    /// PageRank work (a cold run scores `global_n` per iteration).
+    pub vertices_scored: u64,
+    /// Whether the global L1 residual fell below the tolerance (as opposed to the
+    /// iteration cap stopping the run).
+    pub converged: bool,
+}
+
+/// Resume distributed PageRank from `ranks` (the owned values of this rank, one per
+/// owned vertex), scoring only the active region.
+///
+/// `seeds = None` runs cold: every vertex active every iteration, stopping when the
+/// global L1 residual drops below `tol`. `seeds = Some(touched)` (global ids,
+/// replicated) activates the touched vertices and their one-hop neighbourhoods; a
+/// scored vertex re-activates its neighbours (remote ones via an all-to-all) only
+/// while its *outgoing contribution* still changes materially, so the active region
+/// grows exactly as far as the delta's influence actually reaches and collapses as
+/// the perturbation damps out. Warm runs both score fewer vertices per iteration and
+/// converge in fewer iterations (they start near the fixed point); the savings grow
+/// with graph size, since the influence ball of a small delta stops covering the
+/// whole graph.
+pub fn pagerank_resume(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    ranks: &mut [f64],
+    seeds: Option<&[GlobalId]>,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> PagerankWork {
+    let n_owned = graph.n_owned();
+    assert_eq!(ranks.len(), n_owned, "one rank value per owned vertex");
+    let n = graph.global_n().max(1) as f64;
+    // Per-*edge* activation threshold: a scored vertex re-activates its neighbours
+    // only when the change of its outgoing contribution (`damping * delta / degree`)
+    // exceeds it — raw rank deltas dilute through high-degree vertices, so hubs stop
+    // flooding the active region the way a raw-delta rule makes them. Suppressed
+    // notifications are what bounds the error (each frozen vertex misses at most
+    // `degree * eps` of input), so the threshold scales with the arc count; the
+    // `sqrt` softening reflects that real suppressed sums sit far below the
+    // worst-case bound — the parity tests pin the actual accuracy.
+    let activate_eps = tol / (graph.global_m().max(1) as f64).sqrt();
+    let nranks = ctx.nranks();
+
+    let mut active = vec![false; n_owned];
+    match seeds {
+        None => active.iter_mut().for_each(|a| *a = true),
+        Some(seeds) => {
+            // Mark owned seeds and their local neighbours; seed neighbours owned by
+            // other ranks are pushed to their owners (their input changed too).
+            let mut remote: Vec<Vec<GlobalId>> = vec![Vec::new(); nranks];
+            for &g in seeds {
+                let Some(l) = graph.local_id(g).filter(|&l| graph.is_owned(l)) else {
+                    continue;
+                };
+                active[l as usize] = true;
+                for &u in graph.neighbors(l) {
+                    let u_idx = u as usize;
+                    if u_idx < n_owned {
+                        active[u_idx] = true;
+                    } else {
+                        remote[graph.owner_of_local(u)].push(graph.global_id(u));
+                    }
+                }
+            }
+            for gids in ctx.alltoallv(remote) {
+                for g in gids {
+                    if let Some(l) = graph.local_id(g).filter(|&l| graph.is_owned(l)) {
+                        active[l as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut work = PagerankWork::default();
+    for _ in 0..max_iters {
+        // Contributions of every owned vertex (the ghost refresh ships boundary values
+        // whether or not their owners were scored this round, keeping reads coherent).
+        let contrib: Vec<f64> = (0..n_owned)
+            .map(|v| {
+                let d = graph.degree_owned(v as LocalId);
+                if d == 0 {
+                    0.0
+                } else {
+                    ranks[v] / d as f64
+                }
+            })
+            .collect();
+        let ghost_contrib = graph.ghost_values_f64(ctx, &contrib);
+
+        let mut next_active = vec![false; n_owned];
+        let mut remote: Vec<Vec<GlobalId>> = vec![Vec::new(); nranks];
+        let mut residual = 0.0f64;
+        let mut scored = 0u64;
+        for v in 0..n_owned {
+            if !active[v] {
+                continue;
+            }
+            scored += 1;
+            let mut sum = 0.0;
+            for &u in graph.neighbors(v as LocalId) {
+                let u = u as usize;
+                sum += if u < n_owned {
+                    contrib[u]
+                } else {
+                    ghost_contrib[u - n_owned]
+                };
+            }
+            let next_v = (1.0 - damping) / n + damping * sum;
+            let delta = (next_v - ranks[v]).abs();
+            ranks[v] = next_v;
+            residual += delta;
+            // A vertex goes (and stays) active only when a neighbour announces a
+            // material input change: with unchanged inputs its next update would be a
+            // no-op, so there is no self-reactivation.
+            let degree = graph.degree_owned(v as LocalId).max(1) as f64;
+            if damping * delta / degree > activate_eps {
+                for &u in graph.neighbors(v as LocalId) {
+                    let u_idx = u as usize;
+                    if u_idx < n_owned {
+                        next_active[u_idx] = true;
+                    } else {
+                        remote[graph.owner_of_local(u)].push(graph.global_id(u));
+                    }
+                }
+            }
+        }
+        for gids in ctx.alltoallv(remote) {
+            for g in gids {
+                if let Some(l) = graph.local_id(g).filter(|&l| graph.is_owned(l)) {
+                    next_active[l as usize] = true;
+                }
+            }
+        }
+        active = next_active;
+        let reduced = ctx.allreduce_sum_f64(&[residual, scored as f64]);
+        work.iterations += 1;
+        work.vertices_scored += reduced[1] as u64;
+        if reduced[0] < tol {
+            work.converged = true;
+            break;
+        }
+    }
+    work
+}
+
+/// Work accounting of one [`wcc_repair`] (or cold [`wcc_propagate`]) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WccWork {
+    /// Min-label propagation sweeps executed.
+    pub sweeps: u64,
+    /// Components whose deleted edges forced a distributed BFS connectivity check.
+    pub components_checked: u64,
+    /// Vertices whose label was reset because a deletion actually split their
+    /// component (summed over ranks).
+    pub reset_vertices: u64,
+}
+
+/// Min-label propagation seeded from `labels` (owned values), run to a fixed point.
+/// With `labels` initialised to each vertex's own global id this is exactly the cold
+/// [`wcc`](crate::algorithms::wcc); with the previous epoch's labels it converges in a
+/// couple of sweeps after a small delta. Returns the sweep count.
+pub fn wcc_propagate(ctx: &RankCtx, graph: &DistGraph, labels: &mut [u64]) -> u64 {
+    let n_owned = graph.n_owned();
+    assert_eq!(labels.len(), n_owned, "one label per owned vertex");
+    let mut sweeps = 0u64;
+    loop {
+        let ghost_labels = graph.ghost_values_u64(ctx, labels);
+        let mut changed = 0u64;
+        for v in 0..n_owned {
+            let mut best = labels[v];
+            for &u in graph.neighbors(v as LocalId) {
+                let u = u as usize;
+                let lu = if u < n_owned {
+                    labels[u]
+                } else {
+                    ghost_labels[u - n_owned]
+                };
+                if lu < best {
+                    best = lu;
+                }
+            }
+            if best < labels[v] {
+                labels[v] = best;
+                changed += 1;
+            }
+        }
+        sweeps += 1;
+        if ctx.allreduce_scalar_sum_u64(changed) == 0 {
+            break;
+        }
+    }
+    sweeps
+}
+
+/// Repair the previous epoch's component labels after a delta, then propagate to a
+/// fixed point.
+///
+/// `deleted_edges` are the undirected `(min, max)` edges the epoch deleted (replicated
+/// on every rank). Insertions need no preparation — seeded propagation merges labels
+/// on its own. For deletions, each previously-existing deleted edge has endpoints in
+/// the same old component (its old label); for every such *affected* component one
+/// distributed BFS from a deleted-edge endpoint checks whether every deleted-edge
+/// endpoint of that component is still reachable. If yes, the component is provably
+/// intact (any region a deletion disconnects must border a deleted edge) and its
+/// labels stand; if not, the component's labels are reset to the vertices' own ids and
+/// recomputed by the propagation phase. Deleted edges whose endpoints carried
+/// *different* old labels were inserted within the same epoch (never part of the
+/// previously-labelled graph) and cannot split an old component, so they are skipped.
+pub fn wcc_repair(
+    ctx: &RankCtx,
+    graph: &DistGraph,
+    labels: &mut [u64],
+    deleted_edges: &[(GlobalId, GlobalId)],
+) -> WccWork {
+    let n_owned = graph.n_owned();
+    assert_eq!(labels.len(), n_owned, "one label per owned vertex");
+    let mut work = WccWork::default();
+
+    if !deleted_edges.is_empty() {
+        // Old labels of every deleted-edge endpoint, replicated via allgather (the
+        // endpoint set is tiny compared to the graph).
+        let mut endpoints: Vec<GlobalId> =
+            deleted_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let local_pairs: Vec<(GlobalId, u64)> = endpoints
+            .iter()
+            .filter_map(|&g| {
+                let l = graph.local_id(g).filter(|&l| graph.is_owned(l))?;
+                Some((g, labels[l as usize]))
+            })
+            .collect();
+        let label_of: BTreeMap<GlobalId, u64> = ctx.allgatherv(local_pairs).into_iter().collect();
+
+        // Group endpoints by affected old component; BTree order keeps every rank's
+        // iteration (and therefore the BFS collective schedule) identical.
+        let mut affected: BTreeMap<u64, BTreeSet<GlobalId>> = BTreeMap::new();
+        for &(u, v) in deleted_edges {
+            match (label_of.get(&u), label_of.get(&v)) {
+                (Some(&lu), Some(&lv)) if lu == lv => {
+                    let set = affected.entry(lu).or_default();
+                    set.insert(u);
+                    set.insert(v);
+                }
+                _ => {} // same-epoch inserted edge: cannot split an old component
+            }
+        }
+
+        for (component, endpoints) in affected {
+            work.components_checked += 1;
+            let root = *endpoints.first().expect("affected sets are non-empty");
+            let bfs = dist_bfs(ctx, graph, root);
+            let unreached_here: u64 = endpoints
+                .iter()
+                .filter_map(|&g| graph.local_id(g).filter(|&l| graph.is_owned(l)))
+                .filter(|&l| bfs.levels[l as usize] == UNREACHED)
+                .count() as u64;
+            let split = ctx.allreduce_scalar_sum_u64(unreached_here) > 0;
+            let mut reset_here = 0u64;
+            if split {
+                for (v, label) in labels.iter_mut().enumerate() {
+                    if *label == component {
+                        *label = graph.global_id(v as LocalId);
+                        reset_here += 1;
+                    }
+                }
+            }
+            work.reset_vertices += ctx.allreduce_scalar_sum_u64(reset_here);
+        }
+    }
+
+    work.sweeps = wcc_propagate(ctx, graph, labels);
+    work
+}
+
+/// Tighten `core` — any pointwise *upper bound* of the true coreness of the owned
+/// vertices — down to the exact coreness with the monotone h-index iteration
+/// `x ← min(x, H(x))`, returning the number of rounds to the fixed point. Cold runs
+/// seed with the degrees; warm runs seed with the previous epoch's coreness bumped by
+/// the epoch's inserted-edge count (an edge batch of `k` insertions raises any
+/// coreness by at most `k`) and capped by the new degree.
+pub fn kcore_tighten(ctx: &RankCtx, graph: &DistGraph, core: &mut [u64], max_rounds: usize) -> u64 {
+    let n_owned = graph.n_owned();
+    assert_eq!(core.len(), n_owned, "one coreness bound per owned vertex");
+    let mut rounds = 0u64;
+    for _ in 0..max_rounds {
+        let ghost_core = graph.ghost_values_u64(ctx, core);
+        let mut changed = 0u64;
+        let mut neigh: Vec<u64> = Vec::new();
+        for v in 0..n_owned {
+            neigh.clear();
+            neigh.extend(graph.neighbors(v as LocalId).iter().map(|&u| {
+                let u = u as usize;
+                if u < n_owned {
+                    core[u]
+                } else {
+                    ghost_core[u - n_owned]
+                }
+            }));
+            neigh.sort_unstable_by(|a, b| b.cmp(a));
+            let mut h = 0u64;
+            for (i, &c) in neigh.iter().enumerate() {
+                if c >= (i as u64 + 1) {
+                    h = i as u64 + 1;
+                } else {
+                    break;
+                }
+            }
+            if h < core[v] {
+                core[v] = h;
+                changed += 1;
+            }
+        }
+        rounds += 1;
+        if ctx.allreduce_scalar_sum_u64(changed) == 0 {
+            break;
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{pagerank, wcc};
+    use xtrapulp_comm::Runtime;
+    use xtrapulp_graph::{Distribution, GraphDelta};
+
+    /// Two triangles joined by a bridge, plus an isolated pair.
+    fn test_edges() -> (u64, Vec<(u64, u64)>) {
+        (
+            8,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (6, 7),
+            ],
+        )
+    }
+
+    fn gather<T: Copy + Default>(out: Vec<Vec<(u64, T)>>, n: usize) -> Vec<T> {
+        let mut global = vec![T::default(); n];
+        for pairs in out {
+            for (g, v) in pairs {
+                global[g as usize] = v;
+            }
+        }
+        global
+    }
+
+    #[test]
+    fn cold_pagerank_resume_matches_fixed_iteration_pagerank() {
+        let (n, edges) = test_edges();
+        for nranks in [1usize, 3] {
+            let out = Runtime::run(nranks, |ctx| {
+                let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+                let mut ranks = vec![1.0 / n as f64; g.n_owned()];
+                let work = pagerank_resume(ctx, &g, &mut ranks, None, 0.85, 1e-12, 500);
+                assert!(work.converged);
+                let reference = pagerank(ctx, &g, 120, 0.85);
+                for (a, b) in ranks.iter().zip(reference.iter()) {
+                    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+                }
+                work.iterations
+            });
+            assert!(out.iter().all(|&it| it > 0));
+        }
+    }
+
+    #[test]
+    fn warm_pagerank_tracks_an_edge_insertion_cheaply() {
+        let (n, edges) = test_edges();
+        let mut new_edges = edges.clone();
+        new_edges.push((5, 6)); // connect the isolated pair to a triangle
+        let delta = GraphDelta::new(n, 0, &[(5, 6)], &[]);
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let mut ranks = vec![1.0 / n as f64; g.n_owned()];
+            pagerank_resume(ctx, &g, &mut ranks, None, 0.85, 1e-12, 500);
+
+            let g2 = g.apply_delta(ctx, &delta);
+            let warm = pagerank_resume(
+                ctx,
+                &g2,
+                &mut ranks,
+                Some(&delta.touched_including_added()),
+                0.85,
+                1e-12,
+                500,
+            );
+            // Reference: cold solve on the mutated graph.
+            let mut cold_ranks = vec![1.0 / n as f64; g2.n_owned()];
+            let cold = pagerank_resume(ctx, &g2, &mut cold_ranks, None, 0.85, 1e-12, 500);
+            for (a, b) in ranks.iter().zip(cold_ranks.iter()) {
+                assert!((a - b).abs() < 1e-7, "warm {a} vs cold {b}");
+            }
+            (warm.vertices_scored, cold.vertices_scored)
+        });
+        for (warm_scored, cold_scored) in out {
+            assert!(
+                warm_scored < cold_scored,
+                "warm resume should score fewer vertices: {warm_scored} vs {cold_scored}"
+            );
+        }
+    }
+
+    #[test]
+    fn wcc_repair_handles_merges_and_splits_exactly() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let mut labels: Vec<u64> = (0..g.n_owned())
+                .map(|v| g.global_id(v as LocalId))
+                .collect();
+            wcc_propagate(ctx, &g, &mut labels);
+
+            // Delete the bridge 2-3 (splits {0..5}) and insert 5-6 (merges {3,4,5}
+            // with {6,7}); both in one delta.
+            let delta = GraphDelta::new(n, 0, &[(5, 6)], &[(2, 3)]);
+            let g2 = g.apply_delta(ctx, &delta);
+            let work = wcc_repair(
+                ctx,
+                &g2,
+                &mut labels,
+                &delta.deleted_edges().collect::<Vec<_>>(),
+            );
+            assert!(work.components_checked >= 1);
+            assert!(work.reset_vertices > 0, "the bridge deletion splits");
+
+            let mut fresh = wcc(ctx, &g2);
+            let repaired: Vec<(u64, u64)> = (0..g2.n_owned())
+                .map(|v| (g2.global_id(v as LocalId), labels[v]))
+                .collect();
+            let fresh_pairs: Vec<(u64, u64)> = (0..g2.n_owned())
+                .map(|v| (g2.global_id(v as LocalId), fresh.remove(0)))
+                .collect();
+            assert_eq!(
+                repaired, fresh_pairs,
+                "repair must match a cold WCC exactly"
+            );
+            repaired
+        });
+        let labels = gather(out, n as usize);
+        assert_eq!(&labels[..3], &[0, 0, 0]);
+        assert_eq!(&labels[3..], &[3, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn intact_components_are_not_reset() {
+        // Delete one edge of a triangle: the component stays connected, so the BFS
+        // check must leave every label alone.
+        let (n, edges) = test_edges();
+        let out = Runtime::run(3, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Cyclic, n, &edges);
+            let mut labels: Vec<u64> = (0..g.n_owned())
+                .map(|v| g.global_id(v as LocalId))
+                .collect();
+            wcc_propagate(ctx, &g, &mut labels);
+            let delta = GraphDelta::new(n, 0, &[], &[(0, 1)]);
+            let g2 = g.apply_delta(ctx, &delta);
+            let work = wcc_repair(
+                ctx,
+                &g2,
+                &mut labels,
+                &delta.deleted_edges().collect::<Vec<_>>(),
+            );
+            (work.components_checked, work.reset_vertices)
+        });
+        for (checked, reset) in out {
+            assert_eq!(checked, 1);
+            assert_eq!(reset, 0);
+        }
+    }
+
+    #[test]
+    fn kcore_tighten_from_bounds_matches_cold_peeling() {
+        let (n, edges) = test_edges();
+        let out = Runtime::run(2, |ctx| {
+            let g = DistGraph::from_shared_edges(ctx, Distribution::Block, n, &edges);
+            let mut cold: Vec<u64> = (0..g.n_owned())
+                .map(|v| g.degree_owned(v as LocalId))
+                .collect();
+            let cold_rounds = kcore_tighten(ctx, &g, &mut cold, 100);
+
+            // A loose-but-valid upper bound (degree + 3) must land on the same values.
+            let mut loose: Vec<u64> = (0..g.n_owned())
+                .map(|v| g.degree_owned(v as LocalId) + 3)
+                .collect();
+            kcore_tighten(ctx, &g, &mut loose, 100);
+            assert_eq!(cold, loose);
+
+            // A warm seed (the answer itself) converges in one verification round.
+            let mut warm = cold.clone();
+            let warm_rounds = kcore_tighten(ctx, &g, &mut warm, 100);
+            assert_eq!(warm, cold);
+            assert!(warm_rounds <= cold_rounds);
+            (0..g.n_owned())
+                .map(|v| (g.global_id(v as LocalId), cold[v]))
+                .collect::<Vec<_>>()
+        });
+        let core = gather(out, n as usize);
+        assert_eq!(core, vec![2, 2, 2, 2, 2, 2, 1, 1]);
+    }
+}

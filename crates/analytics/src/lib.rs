@@ -11,11 +11,26 @@
 //! [`Explicit`](xtrapulp_graph::Distribution::Explicit) distribution built from a
 //! partition computed by XtraPuLP or one of the baselines, which is how the Fig. 8
 //! comparison of EdgeBlock / Random / VertexBlock / XtraPuLP placements is reproduced.
+//!
+//! On top of the from-scratch suite, the [`incremental`] module provides delta-aware
+//! (warm) variants of PageRank, connected components and coreness, and [`consumer`]
+//! packages them as an [`AnalyticsConsumer`]/[`AnalyticsSubscriber`] pair that
+//! subscribes to a serving pipeline's [`EpochStore`](xtrapulp_serve::EpochStore) and
+//! repairs its state from each epoch's [`GraphDelta`](xtrapulp_graph::GraphDelta)
+//! stream instead of redistributing and recomputing.
 
 pub mod algorithms;
+pub mod consumer;
+pub mod incremental;
 pub mod suite;
 
 pub use algorithms::{
     harmonic_centrality, kcore_approx, label_propagation, largest_component, pagerank, wcc,
+};
+pub use consumer::{
+    AnalyticsConsumer, AnalyticsSubscriber, ColdWork, EpochReport, SubscriberError, WarmPolicy,
+};
+pub use incremental::{
+    kcore_tighten, pagerank_resume, wcc_propagate, wcc_repair, PagerankWork, WccWork,
 };
 pub use suite::{run_suite, run_suite_with_partition, AnalyticResult, SuiteResult};

@@ -44,10 +44,9 @@ impl SuiteResult {
 pub fn run_suite(ctx: &RankCtx, graph: &DistGraph, hc_sources: usize) -> Vec<AnalyticResult> {
     let mut results = Vec::new();
     let mut record = |ctx: &RankCtx, name: &'static str, seconds: f64, bytes_before: u64| {
-        let bytes_now = ctx.stats().bytes_sent();
         let local = [seconds];
         let max_secs = ctx.allreduce_max_f64(&local)[0];
-        let total_bytes = ctx.allreduce_scalar_sum_u64(bytes_now - bytes_before);
+        let total_bytes = ctx.allreduce_scalar_sum_u64(ctx.stats().bytes_sent_since(bytes_before));
         results.push(AnalyticResult {
             name,
             seconds: max_secs,
@@ -56,9 +55,7 @@ pub fn run_suite(ctx: &RankCtx, graph: &DistGraph, hc_sources: usize) -> Vec<Ana
     };
 
     // HC: harmonic centrality of a sample of sources (paper: 100 vertices).
-    let sources: Vec<GlobalId> = (0..hc_sources as u64)
-        .map(|i| (i * 977) % graph.global_n().max(1))
-        .collect();
+    let sources = hc_source_sample(graph.global_n(), hc_sources);
     let before = ctx.stats().bytes_sent();
     let t = Timer::start();
     let _ = harmonic_centrality(ctx, graph, &sources);
@@ -95,6 +92,45 @@ pub fn run_suite(ctx: &RankCtx, graph: &DistGraph, hc_sources: usize) -> Vec<Ana
     record(ctx, "WCC", t.elapsed_secs(), before);
 
     results
+}
+
+/// The distinct harmonic-centrality BFS sources: up to `want` *unique* vertices,
+/// deterministically strided through `0..global_n`.
+///
+/// The previous sampler mapped `i` to `(i * 977) % global_n` directly, which repeats
+/// sources whenever `want >= global_n` or `gcd(977, global_n) > 1` (e.g. any graph whose
+/// vertex count is a multiple of 977 collapses the whole sample to a few residues) —
+/// skewing the HC timing with redundant BFS runs from the same vertex. The stride walk
+/// below visits every residue of the coprime cycle first and tops up from the remaining
+/// ids, so the sample is always `min(want, global_n)` distinct vertices.
+fn hc_source_sample(global_n: u64, want: usize) -> Vec<GlobalId> {
+    let n = global_n.max(1);
+    let want = (want as u64).min(n) as usize;
+    // Memory stays O(want), not O(global_n) — the sample is ~100 sources on
+    // billion-vertex graphs. 977 is prime, so the stride walk's first
+    // `n / gcd(977, n)` values are all distinct; beyond that it only repeats.
+    let cycle = if n.is_multiple_of(977) { n / 977 } else { n };
+    let mut seen = std::collections::HashSet::with_capacity(want);
+    let mut sources = Vec::with_capacity(want);
+    for i in 0..cycle {
+        if sources.len() >= want {
+            break;
+        }
+        let v = (i * 977) % n;
+        if seen.insert(v) {
+            sources.push(v);
+        }
+    }
+    // gcd(977, n) > 1 leaves whole residue classes unvisited; fill from the front.
+    for v in 0..n {
+        if sources.len() >= want {
+            break;
+        }
+        if seen.insert(v) {
+            sources.push(v);
+        }
+    }
+    sources
 }
 
 /// Build the graph with ownership given by `parts` (one rank per part) and run the suite.
@@ -189,6 +225,50 @@ mod tests {
             xtrapulp_comm < random_comm,
             "XtraPuLP distribution should cut communication: {xtrapulp_comm} vs {random_comm}"
         );
+    }
+
+    #[test]
+    fn hc_sources_are_unique_even_under_pathological_vertex_counts() {
+        // gcd(977, 977) = 977: the old sampler returned `hc_sources` copies of vertex 0.
+        let s = hc_source_sample(977, 10);
+        let unique: std::collections::BTreeSet<_> = s.iter().copied().collect();
+        assert_eq!(s.len(), 10);
+        assert_eq!(unique.len(), 10);
+
+        // gcd(977, 1954) = 977: only two residues are reachable by the stride walk;
+        // the top-up must still produce distinct sources.
+        let s = hc_source_sample(1954, 8);
+        assert_eq!(
+            s.iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            8
+        );
+
+        // More sources requested than vertices exist: clamp, don't repeat.
+        let s = hc_source_sample(5, 100);
+        assert_eq!(s.len(), 5);
+        assert_eq!(
+            s.iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            5
+        );
+        for &v in &s {
+            assert!(v < 5);
+        }
+    }
+
+    #[test]
+    fn comm_accounting_saturates_instead_of_wrapping() {
+        // Counters reset between the `before` capture and the read: the delta must
+        // clamp to zero, not panic (debug) or wrap to ~u64::MAX (release). The suite
+        // records per-analytic traffic through this shared helper.
+        let stats = xtrapulp_comm::CommStats::new();
+        assert_eq!(stats.bytes_sent(), 0);
+        assert_eq!(stats.bytes_sent_since(200), 0);
     }
 
     #[test]

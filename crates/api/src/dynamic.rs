@@ -185,6 +185,17 @@ impl DynamicSession {
     /// [`DistGraph::apply_delta`], and the carried part vector is extended with
     /// [`UNASSIGNED`] entries for new vertices. A rejected batch changes nothing.
     pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<UpdateSummary, UpdateError> {
+        self.apply_updates_with_delta(batch).map(|(s, _)| s)
+    }
+
+    /// [`apply_updates`](DynamicSession::apply_updates), additionally returning the
+    /// normalised [`GraphDelta`] that was applied — the record an epoch consumer
+    /// (incremental analytics, SpMV layouts) needs to update its own replicas without
+    /// re-deriving the batch's net effect.
+    pub fn apply_updates_with_delta(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(UpdateSummary, GraphDelta), UpdateError> {
         let delta = self.graph.validate(batch)?;
         // Growth under an Explicit ownership table is handled in the graph layer:
         // `DistGraph::apply_delta` (and the from-CSR build paths) extend the table by
@@ -201,11 +212,11 @@ impl DynamicSession {
             self.parts = Some(seed_from_previous(&parts, &delta));
         }
         if let Some(touched) = self.touched.as_mut() {
-            touched.extend(touched_vertices(&delta));
+            touched.extend(delta.touched_including_added());
             touched.sort_unstable();
             touched.dedup();
         }
-        Ok(summary)
+        Ok((summary, delta))
     }
 
     /// Partition the current epoch's graph and report.
@@ -339,16 +350,6 @@ impl DynamicSession {
             stats.stages,
         ))
     }
-}
-
-/// The global ids a delta touches: every endpoint of an inserted or deleted edge
-/// ([`GraphDelta::touched_vertices`]) plus every added vertex — the seed set of a warm
-/// run's refinement frontier.
-fn touched_vertices(delta: &GraphDelta) -> impl Iterator<Item = GlobalId> + '_ {
-    delta
-        .touched_vertices()
-        .into_iter()
-        .chain(delta.base_n()..delta.new_n())
 }
 
 #[cfg(test)]

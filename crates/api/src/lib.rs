@@ -66,15 +66,19 @@ mod session;
 pub use dynamic::{DynamicReport, DynamicSession};
 pub use method::Method;
 pub use report::PartitionReport;
-pub use serving::{ServeError, ServingSession};
+pub use serving::{EngineError, ServingSession};
 pub use session::{PartitionJob, Session};
 
 // The facade's error type lives in the core crate (validation happens there); re-export
-// it so `xtrapulp_api` is self-contained for serving callers. The dynamic-subsystem
-// and serve-subsystem types come from their crates for the same reason.
+// it so `xtrapulp_api` is self-contained for serving callers. The dynamic-subsystem,
+// serve-subsystem and analytics-consumer types come from their crates for the same
+// reason.
 pub use xtrapulp::PartitionError;
+pub use xtrapulp_analytics::{
+    AnalyticsConsumer, AnalyticsSubscriber, EpochReport, SubscriberError, WarmPolicy,
+};
 pub use xtrapulp_dynamic::{UpdateBatch, UpdateError, UpdateSummary};
 pub use xtrapulp_serve::{
     BatchPolicy, EpochStore, IngestError, IngestQueue, MigrationDiff, PartitionSnapshot,
-    ReplayError, ReplayOutcome, ServeConfig, ServeStats,
+    ReplayError, ReplayOutcome, ServeConfig, ServeError, ServeStats,
 };

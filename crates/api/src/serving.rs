@@ -22,11 +22,12 @@ use std::path::Path;
 use std::sync::Arc;
 
 use xtrapulp::PartitionError;
+use xtrapulp_analytics::{AnalyticsConsumer, AnalyticsSubscriber, WarmPolicy};
 use xtrapulp_dynamic::{UpdateBatch, UpdateError};
-use xtrapulp_graph::Csr;
+use xtrapulp_graph::{Csr, GraphDelta};
 use xtrapulp_serve::{
     replay_update_log, EpochStore, IngestError, IngestQueue, PartitionSnapshot, RepartitionEngine,
-    ReplayError, ReplayOutcome, ServeConfig, ServeHandle, ServeStats,
+    ReplayError, ReplayOutcome, ServeConfig, ServeError, ServeHandle, ServeStats,
 };
 
 use crate::dynamic::{DynamicReport, DynamicSession};
@@ -35,51 +36,61 @@ use crate::session::PartitionJob;
 /// Why the serving engine failed to process a cycle: a batch the dynamic subsystem
 /// rejected, or a repartition error. Rejected batches leave the graph untouched and
 /// are counted in [`ServeStats::batches_rejected`]; repartition failures keep the
-/// previous epoch serving.
+/// previous epoch serving. (Pipeline-level failures — a dead worker — surface as
+/// [`xtrapulp_serve::ServeError`] instead.)
 #[derive(Debug)]
-pub enum ServeError {
+pub enum EngineError {
     /// The update batch failed validation against the live topology.
     Update(UpdateError),
     /// The repartition job failed.
     Partition(PartitionError),
 }
 
-impl std::fmt::Display for ServeError {
+impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::Update(e) => write!(f, "update batch rejected: {e}"),
-            ServeError::Partition(e) => write!(f, "repartition failed: {e}"),
+            EngineError::Update(e) => write!(f, "update batch rejected: {e}"),
+            EngineError::Partition(e) => write!(f, "repartition failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for EngineError {}
 
 /// The production [`RepartitionEngine`]: a [`DynamicSession`] driven on the worker
 /// thread. Public only through [`ServingSession`].
 struct DynamicEngine {
     session: DynamicSession,
+    /// Deltas applied since the last *published* snapshot; drained into the next one
+    /// so epoch consumers can replay them (a failed publish keeps them pending).
+    pending_deltas: Vec<GraphDelta>,
 }
 
 impl RepartitionEngine for DynamicEngine {
-    type Error = ServeError;
+    type Error = EngineError;
 
-    fn apply(&mut self, batch: &UpdateBatch) -> Result<(), ServeError> {
-        self.session
-            .apply_updates(batch)
-            .map(|_| ())
-            .map_err(ServeError::Update)
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<(), EngineError> {
+        let (_, delta) = self
+            .session
+            .apply_updates_with_delta(batch)
+            .map_err(EngineError::Update)?;
+        self.pending_deltas.push(delta);
+        Ok(())
     }
 
-    fn repartition(&mut self) -> Result<PartitionSnapshot, ServeError> {
-        let report = self.session.repartition().map_err(ServeError::Partition)?;
-        Ok(snapshot_from(report))
+    fn repartition(&mut self) -> Result<PartitionSnapshot, EngineError> {
+        let report = self.session.repartition().map_err(EngineError::Partition)?;
+        Ok(snapshot_from(
+            report,
+            std::mem::take(&mut self.pending_deltas),
+        ))
     }
 }
 
 /// Convert one dynamic-session epoch report into the immutable snapshot the epoch
-/// store publishes.
-fn snapshot_from(report: DynamicReport) -> PartitionSnapshot {
+/// store publishes; `deltas` are the graph mutations applied since the previously
+/// published snapshot.
+fn snapshot_from(report: DynamicReport, deltas: Vec<GraphDelta>) -> PartitionSnapshot {
     PartitionSnapshot {
         epoch: report.epoch,
         num_parts: report.report.num_parts,
@@ -90,12 +101,22 @@ fn snapshot_from(report: DynamicReport) -> PartitionSnapshot {
         stages: report.stages,
         vertices_migrated: report.vertices_migrated,
         parts: report.report.parts,
+        deltas: deltas.into(),
     }
 }
 
 /// A concurrently-served dynamic partitioning session.
 pub struct ServingSession {
     handle: ServeHandle<DynamicEngine>,
+    nranks: usize,
+    /// The epoch the store was seeded with and the topology it covered, retained so
+    /// analytics consumers can bootstrap a replica and catch up via the store's delta
+    /// history. This duplicates the graph for the session's lifetime even when no
+    /// consumer subscribes — an opt-out (or a delta-compacted base) is a known
+    /// follow-up (see ROADMAP).
+    base_epoch: u64,
+    base_csr: Csr,
+    base_parts: Vec<i32>,
 }
 
 impl ServingSession {
@@ -119,10 +140,48 @@ impl ServingSession {
         job: PartitionJob,
         config: ServeConfig,
     ) -> Result<ServingSession, PartitionError> {
+        let base_csr = csr.clone();
         let mut session = DynamicSession::spawn(nranks, csr, job)?;
-        let initial = snapshot_from(session.repartition()?);
-        let handle = xtrapulp_serve::spawn(DynamicEngine { session }, initial, config);
-        Ok(ServingSession { handle })
+        let initial = snapshot_from(session.repartition()?, Vec::new());
+        let base_epoch = initial.epoch;
+        let base_parts = initial.parts.clone();
+        let handle = xtrapulp_serve::spawn(
+            DynamicEngine {
+                session,
+                pending_deltas: Vec::new(),
+            },
+            initial,
+            config,
+        );
+        Ok(ServingSession {
+            handle,
+            nranks,
+            base_epoch,
+            base_csr,
+            base_parts,
+        })
+    }
+
+    /// Subscribe an incremental analytics consumer to this session's epoch stream.
+    ///
+    /// The consumer gets its own `nranks`-rank runtime and a topology replica seeded
+    /// from the graph the session was spawned with, distributed by the cold epoch's
+    /// partition; its initial (cold) analytics state is computed before this returns.
+    /// Each [`poll`](AnalyticsSubscriber::poll) then blocks for the next published
+    /// epoch and repairs the consumer's PageRank / components / coreness state from
+    /// the epoch's [`GraphDelta`](xtrapulp_graph::GraphDelta) stream — warm while the
+    /// churn stays under the [`WarmPolicy`] thresholds, cold (and re-distributed
+    /// around the published partition) beyond them.
+    ///
+    /// Subscribe before heavy ingest: a consumer that lags more than the store's
+    /// delta history (see [`xtrapulp_serve::DEFAULT_DELTA_HISTORY`]) behind the
+    /// published epoch observes [`SubscriberError::Lagged`](
+    /// xtrapulp_analytics::SubscriberError::Lagged) and must be rebuilt.
+    pub fn subscribe_analytics(&self, policy: WarmPolicy) -> AnalyticsSubscriber {
+        let mut consumer =
+            AnalyticsConsumer::new(self.nranks, self.base_csr.clone(), &self.base_parts, policy);
+        consumer.set_epoch(self.base_epoch);
+        AnalyticsSubscriber::new(self.handle.store(), consumer)
     }
 
     /// The epoch store readers subscribe to: clone the returned `Arc` into as many
@@ -177,10 +236,12 @@ impl ServingSession {
 
     /// Drain-then-stop shutdown: close the queue, apply and publish everything already
     /// accepted, then return the inner [`DynamicSession`] (live graph, final
-    /// partition, persistent ranks) and the final counters.
-    pub fn shutdown(self) -> (DynamicSession, ServeStats) {
-        let (engine, stats) = self.handle.shutdown();
-        (engine.session, stats)
+    /// partition, persistent ranks) and the final counters. A worker that died
+    /// mid-serve comes back as [`ServeError::WorkerPanicked`] instead of re-raising
+    /// the panic here.
+    pub fn shutdown(self) -> Result<(DynamicSession, ServeStats), ServeError> {
+        let (engine, stats) = self.handle.shutdown()?;
+        Ok((engine.session, stats))
     }
 }
 
@@ -232,7 +293,7 @@ mod tests {
         assert!(published.warm_start);
         assert_eq!(published.num_vertices(), 401);
 
-        let (session, stats) = serving.shutdown();
+        let (session, stats) = serving.shutdown().expect("worker exits cleanly");
         assert_eq!(stats.batches_applied, 1);
         assert_eq!(stats.warm_epochs, 1);
         assert_eq!(stats.cold_epochs, 0, "epoch 0 is published by the spawner");
@@ -253,7 +314,7 @@ mod tests {
         while serving.stats().batches_rejected == 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
-        let (_, stats) = serving.shutdown();
+        let (_, stats) = serving.shutdown().expect("worker exits cleanly");
         assert_eq!(stats.batches_rejected, 1);
         assert_eq!(stats.epochs_published, 0);
     }

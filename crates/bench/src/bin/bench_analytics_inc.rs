@@ -1,0 +1,224 @@
+//! Incremental vs from-scratch analytics across churn rates.
+//!
+//! For each churn rate, a Barabási–Albert serving graph is evolved through a random
+//! churn stream. Two consumers ingest the identical epoch stream:
+//!
+//! * **incremental** — the default [`WarmPolicy`]: warm PageRank/WCC/coreness repair,
+//!   cold fallback only beyond the churn threshold;
+//! * **cold** — the same consumer with `max_churn_fraction = 0`, forcing a
+//!   from-scratch recomputation every epoch (the pre-subsystem behaviour).
+//!
+//! Reported per rate: wall-clock and comm-bytes totals for both consumers, the
+//! speedup, and the work counters (PageRank iterations / vertices scored, WCC
+//! sweeps) that explain it. The 2-D SpMV layout rides along: each epoch is applied to
+//! a [`Matrix2d`] once via [`Matrix2d::apply_delta`] and once by rebuilding from the
+//! full edge list, timing both.
+//!
+//! `--json` switches to one JSON object per epoch plus one summary object per rate.
+//! `XTRAPULP_SCALE` scales the graph size.
+
+use std::time::Instant;
+
+use xtrapulp_analytics::{AnalyticsConsumer, WarmPolicy};
+use xtrapulp_bench::scaled;
+use xtrapulp_gen::updates::{generate_stream, StreamKind, UpdateStreamConfig};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+use xtrapulp_graph::{GlobalId, GraphDelta};
+use xtrapulp_spmv::Matrix2d;
+
+const NRANKS: usize = 4;
+const EPOCHS: usize = 10;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let n = scaled(4_000);
+    let el = GraphConfig::new(
+        GraphKind::BarabasiAlbert {
+            num_vertices: n,
+            edges_per_vertex: 6,
+        },
+        29,
+    )
+    .generate();
+    let csr0 = el.to_csr();
+    let parts = xtrapulp::baselines::vertex_block_partition(n, NRANKS);
+    let num_edges = csr0.num_edges();
+
+    if !json {
+        println!("# bench_analytics_inc: n={n} m={num_edges} ranks={NRANKS} epochs={EPOCHS}");
+        println!(
+            "{:>7} {:>6} | {:>10} {:>10} {:>7} | {:>12} {:>12} | {:>9} {:>9} | {:>10} {:>10}",
+            "churn",
+            "warm",
+            "inc_s",
+            "cold_s",
+            "speedup",
+            "inc_scored",
+            "cold_scored",
+            "inc_MB",
+            "cold_MB",
+            "patch2d_s",
+            "build2d_s"
+        );
+    }
+
+    // Churn rate = mutated edges per epoch as a fraction of the vertex count, so each
+    // epoch touches roughly `2 * churn` of the vertices: the two smaller rates sit in
+    // the warm regime, the largest trips the cold fallback.
+    for churn in [0.002f64, 0.01, 0.05] {
+        let ops_per_batch = ((n as f64 * churn) as usize).max(2);
+        let stream = generate_stream(
+            &el,
+            &UpdateStreamConfig {
+                kind: StreamKind::RandomChurn {
+                    ops_per_batch,
+                    delete_fraction: 0.4,
+                },
+                num_batches: EPOCHS,
+                seed: 41,
+            },
+        );
+
+        let mut incremental =
+            AnalyticsConsumer::new(NRANKS, csr0.clone(), &parts, WarmPolicy::default());
+        let mut cold = AnalyticsConsumer::new(
+            NRANKS,
+            csr0.clone(),
+            &parts,
+            WarmPolicy {
+                max_churn_fraction: 0.0,
+                ..WarmPolicy::default()
+            },
+        );
+
+        // The 2-D SpMV layout, patched per epoch vs rebuilt per epoch, on a
+        // persistent rank runtime (one local matrix block per rank).
+        let mut spmv_runtime = xtrapulp_comm::Runtime::new(NRANKS);
+        let mut matrices = {
+            let edges = &el.edges;
+            let parts = &parts;
+            spmv_runtime.execute(|ctx| Matrix2d::build(ctx, n, edges, parts))
+        };
+        let mut edges: Vec<(GlobalId, GlobalId)> = el.edges.clone();
+
+        let mut totals = Totals::default();
+        let mut base_n = n;
+        for (i, _) in stream.batches.iter().enumerate() {
+            let delta = GraphDelta::from_ops(base_n, stream.batch_ops(i));
+            base_n = delta.new_n();
+            let epoch = (i + 1) as u64;
+
+            let inc = incremental.ingest_epoch(epoch, std::slice::from_ref(&delta), &parts);
+            let cold_report = cold.ingest_epoch(epoch, std::slice::from_ref(&delta), &parts);
+
+            // SpMV layout maintenance: in-place patch vs full rebuild.
+            apply_edges(&mut edges, &delta);
+            let t = Instant::now();
+            let rebuilt = {
+                let edges = &edges;
+                let parts = &parts;
+                let new_n = delta.new_n();
+                spmv_runtime.execute(|ctx| Matrix2d::build(ctx, new_n, edges, parts))
+            };
+            let build2d_seconds = t.elapsed().as_secs_f64();
+            drop(rebuilt);
+            let t = Instant::now();
+            matrices = {
+                let ms = &matrices;
+                let delta = &delta;
+                let parts = &parts;
+                spmv_runtime.execute(|ctx| {
+                    let mut m = ms[ctx.rank()].clone();
+                    m.apply_delta(ctx, delta, parts);
+                    m
+                })
+            };
+            let patch2d_seconds = t.elapsed().as_secs_f64();
+
+            totals.add(&inc, &cold_report, patch2d_seconds, build2d_seconds);
+            if json {
+                println!(
+                    "{{\"churn\":{churn},\"epoch\":{epoch},\"incremental\":{},\"cold\":{},\
+                     \"patch2d_seconds\":{patch2d_seconds},\"build2d_seconds\":{build2d_seconds}}}",
+                    inc.to_json(),
+                    cold_report.to_json()
+                );
+            }
+        }
+
+        let warm_epochs = totals.warm_epochs;
+        if json {
+            println!(
+                "{{\"summary\":true,\"churn\":{churn},\"epochs\":{EPOCHS},\
+                 \"warm_epochs\":{warm_epochs},\
+                 \"inc_seconds\":{:.6},\"cold_seconds\":{:.6},\"speedup\":{:.3},\
+                 \"inc_scored\":{},\"cold_scored\":{},\
+                 \"inc_comm_bytes\":{},\"cold_comm_bytes\":{},\
+                 \"patch2d_seconds\":{:.6},\"build2d_seconds\":{:.6}}}",
+                totals.inc_seconds,
+                totals.cold_seconds,
+                totals.cold_seconds / totals.inc_seconds.max(1e-12),
+                totals.inc_scored,
+                totals.cold_scored,
+                totals.inc_bytes,
+                totals.cold_bytes,
+                totals.patch2d_seconds,
+                totals.build2d_seconds,
+            );
+        } else {
+            println!(
+                "{:>6.3} {:>5}/{EPOCHS} | {:>10.4} {:>10.4} {:>6.2}x | {:>12} {:>12} | {:>9.2} {:>9.2} | {:>10.4} {:>10.4}",
+                churn,
+                warm_epochs,
+                totals.inc_seconds,
+                totals.cold_seconds,
+                totals.cold_seconds / totals.inc_seconds.max(1e-12),
+                totals.inc_scored,
+                totals.cold_scored,
+                totals.inc_bytes as f64 / 1e6,
+                totals.cold_bytes as f64 / 1e6,
+                totals.patch2d_seconds,
+                totals.build2d_seconds,
+            );
+        }
+    }
+}
+
+#[derive(Default)]
+struct Totals {
+    warm_epochs: u64,
+    inc_seconds: f64,
+    cold_seconds: f64,
+    inc_scored: u64,
+    cold_scored: u64,
+    inc_bytes: u64,
+    cold_bytes: u64,
+    patch2d_seconds: f64,
+    build2d_seconds: f64,
+}
+
+impl Totals {
+    fn add(
+        &mut self,
+        inc: &xtrapulp_analytics::EpochReport,
+        cold: &xtrapulp_analytics::EpochReport,
+        patch2d: f64,
+        build2d: f64,
+    ) {
+        self.warm_epochs += inc.warm as u64;
+        self.inc_seconds += inc.seconds;
+        self.cold_seconds += cold.seconds;
+        self.inc_scored += inc.pagerank_vertices_scored;
+        self.cold_scored += cold.pagerank_vertices_scored;
+        self.inc_bytes += inc.comm_bytes;
+        self.cold_bytes += cold.comm_bytes;
+        self.patch2d_seconds += patch2d;
+        self.build2d_seconds += build2d;
+    }
+}
+
+/// Mirror a delta onto the flat edge list the rebuild path consumes.
+fn apply_edges(edges: &mut Vec<(GlobalId, GlobalId)>, delta: &GraphDelta) {
+    edges.retain(|&(u, v)| !delta.is_deleted(u, v) && !delta.is_deleted(v, u));
+    edges.extend(delta.insert_arcs().iter().filter(|&&(u, v)| u < v));
+}

@@ -130,7 +130,7 @@ fn readers_under_churn(
     }
     let elapsed = window.elapsed().as_secs_f64();
     producer.join().expect("producer thread");
-    let (_, stats) = serving.shutdown();
+    let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
 
     let reads_per_sec = total_reads.load(Ordering::Relaxed) as f64 / elapsed;
     let series = "readers-under-churn";
@@ -195,7 +195,7 @@ fn ingest_to_publish(
         latency_sum += stats.last_ingest_to_publish_seconds;
         publish_sum += stats.last_publish_seconds;
     }
-    let (_, stats) = serving.shutdown();
+    let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
     let series = "ingest-to-publish";
     emit_json(
         series,

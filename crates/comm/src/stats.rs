@@ -79,6 +79,14 @@ impl CommStats {
         self.bytes_sent.load(Ordering::Relaxed)
     }
 
+    /// Send-payload bytes since a previously captured [`bytes_sent`](CommStats::bytes_sent)
+    /// reading. Saturating, so a counter reset between the capture and this call
+    /// yields 0 instead of a debug-build panic (or a release-build wraparound) —
+    /// the one shared implementation of per-phase communication accounting.
+    pub fn bytes_sent_since(&self, before: u64) -> u64 {
+        self.bytes_sent().saturating_sub(before)
+    }
+
     /// Total bytes this rank received from collectives.
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)

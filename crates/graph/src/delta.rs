@@ -172,6 +172,24 @@ impl GraphDelta {
         touched.dedup();
         touched
     }
+
+    /// [`touched_vertices`](GraphDelta::touched_vertices) plus every appended vertex —
+    /// the seed set of a warm-started repartition's refinement frontier and of an
+    /// incremental analytics consumer's active region. Sorted and deduplicated.
+    pub fn touched_including_added(&self) -> Vec<GlobalId> {
+        let mut touched = self.touched_vertices();
+        // Arc endpoints may already reference appended ids, so the extended vector
+        // needs a re-sort before dedup.
+        touched.extend(self.base_n..self.new_n());
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// The undirected edges the delta deletes, each listed once as `(min, max)`.
+    pub fn deleted_edges(&self) -> impl Iterator<Item = (GlobalId, GlobalId)> + '_ {
+        self.delete_arcs.iter().copied().filter(|&(u, v)| u < v)
+    }
 }
 
 /// The contiguous sub-slice of sorted `(source, target)` arcs whose source is `u`.
@@ -284,6 +302,18 @@ mod tests {
         assert_eq!(d.inserts_from(3), &[]);
         assert_eq!(d.deletes_from(3), &[(3, 2)]);
         assert_eq!(d.touched_vertices(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn touched_including_added_covers_endpoints_and_new_tail() {
+        // Base graph of 4 vertices grows by 2; one insert references an added vertex.
+        let d = GraphDelta::new(4, 2, &[(0, 5), (1, 2)], &[(2, 3)]);
+        assert_eq!(d.touched_including_added(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            d.deleted_edges().collect::<Vec<_>>(),
+            vec![(2, 3)],
+            "each undirected deletion is listed once"
+        );
     }
 
     #[test]

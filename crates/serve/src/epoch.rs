@@ -12,13 +12,51 @@
 //! Readers that want to *block* for a new epoch (tests, replay drivers) use
 //! [`EpochStore::wait_for_epoch`], backed by a condvar the publisher signals.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
+use xtrapulp_graph::GraphDelta;
 
 use crate::snapshot::{MigrationDiff, PartitionSnapshot};
+
+/// How many published epochs' graph deltas the store retains for lagging consumers
+/// by default (see [`EpochStore::with_delta_history`]).
+pub const DEFAULT_DELTA_HISTORY: usize = 256;
+
+/// One published epoch's graph-mutation record: the deltas that took the graph from
+/// `from_epoch` to `to_epoch`. Entries form a contiguous chain, so a consumer holding
+/// any published epoch can replay forward without refetching topology.
+#[derive(Debug, Clone)]
+struct DeltaLogEntry {
+    from_epoch: u64,
+    to_epoch: u64,
+    deltas: Arc<[GraphDelta]>,
+}
+
+/// Walk the contiguous delta chain from published epoch `from` to published epoch
+/// `to`. `None` when the chain is broken: `from` predates the retained history, or
+/// either endpoint was never a published epoch.
+fn chain_deltas(log: &VecDeque<DeltaLogEntry>, from: u64, to: u64) -> Option<Vec<GraphDelta>> {
+    let mut out = Vec::new();
+    let mut at = from;
+    for entry in log.iter() {
+        if at == to {
+            break;
+        }
+        if entry.to_epoch <= from {
+            continue;
+        }
+        if entry.from_epoch != at {
+            return None;
+        }
+        out.extend(entry.deltas.iter().cloned());
+        at = entry.to_epoch;
+    }
+    (at == to).then_some(out)
+}
 
 /// The single-writer, many-reader publication point for partition epochs.
 #[derive(Debug)]
@@ -29,6 +67,10 @@ pub struct EpochStore {
     /// The previous snapshot, kept so readers can ask for the latest migration diff
     /// without having retained the older epoch themselves.
     previous: RwLock<Option<Arc<PartitionSnapshot>>>,
+    /// A bounded chain of per-publish graph deltas, so consumers that process epochs
+    /// slower than the worker publishes them can still catch up incrementally.
+    delta_log: RwLock<VecDeque<DeltaLogEntry>>,
+    delta_history: usize,
     /// The latest published epoch, for wait-free staleness checks.
     epoch: AtomicU64,
     /// Publish notifications for blocking waiters.
@@ -38,12 +80,22 @@ pub struct EpochStore {
 
 impl EpochStore {
     /// Create a store seeded with the initial (epoch-0) snapshot, so readers always
-    /// observe *some* fully-published partition.
+    /// observe *some* fully-published partition. Retains
+    /// [`DEFAULT_DELTA_HISTORY`] epochs of graph deltas for lagging consumers.
     pub fn new(initial: PartitionSnapshot) -> Arc<EpochStore> {
+        EpochStore::with_delta_history(initial, DEFAULT_DELTA_HISTORY)
+    }
+
+    /// [`new`](EpochStore::new) with an explicit delta-history depth (minimum 1):
+    /// how many published epochs a consumer may lag behind and still recover via
+    /// [`deltas_since`](EpochStore::deltas_since).
+    pub fn with_delta_history(initial: PartitionSnapshot, history: usize) -> Arc<EpochStore> {
         let epoch = initial.epoch;
         Arc::new(EpochStore {
             current: RwLock::new(Arc::new(initial)),
             previous: RwLock::new(None),
+            delta_log: RwLock::new(VecDeque::new()),
+            delta_history: history.max(1),
             epoch: AtomicU64::new(epoch),
             publish_mutex: StdMutex::new(epoch),
             publish_cond: Condvar::new(),
@@ -85,6 +137,30 @@ impl EpochStore {
         self.current().part_of(v)
     }
 
+    /// Every graph delta published after `epoch` (which must be an epoch the caller
+    /// actually held, i.e. one that was published), flattened into application order —
+    /// what an epoch consumer replays against its topology replica to catch up to the
+    /// current epoch. `None` when the consumer lagged beyond the store's bounded delta
+    /// history and the chain back to `epoch` has been evicted; recovery then requires
+    /// a full re-fetch of the graph.
+    pub fn deltas_since(&self, epoch: u64) -> Option<Vec<GraphDelta>> {
+        let log = self.delta_log.read();
+        // The epoch counter is only bumped while the log's write lock is held, so the
+        // pair read here is consistent.
+        let to = self.epoch.load(Ordering::Acquire);
+        chain_deltas(&log, epoch, to)
+    }
+
+    /// The delta chain from published epoch `from` up to published epoch `to` —
+    /// [`deltas_since`](EpochStore::deltas_since) with an explicit endpoint, for
+    /// consumers that pinned a snapshot and must not run ahead of it even if newer
+    /// epochs have landed since. `None` when either endpoint is outside the retained
+    /// history or was never published.
+    pub fn deltas_between(&self, from: u64, to: u64) -> Option<Vec<GraphDelta>> {
+        let log = self.delta_log.read();
+        chain_deltas(&log, from, to)
+    }
+
     /// Publish `snapshot` as the new current epoch and wake blocked waiters.
     ///
     /// # Panics
@@ -102,10 +178,22 @@ impl EpochStore {
         );
         {
             // Both slots are swapped inside one critical section (lock order:
-            // `previous`, then `current` — the same order `latest_diff` reads them
-            // in), so no reader can ever pair the new current with a stale previous.
+            // `previous`, then `current`, then `delta_log` — the same order readers
+            // acquire them in), so no reader can ever pair the new current with a
+            // stale previous, and a reader that saw the new epoch counter always
+            // finds its delta-log entry.
             let mut previous = self.previous.write();
             let mut current = self.current.write();
+            let mut log = self.delta_log.write();
+            log.push_back(DeltaLogEntry {
+                from_epoch: current.epoch,
+                to_epoch: published.epoch,
+                // An Arc clone: the log shares the snapshot's delta slice.
+                deltas: Arc::clone(&published.deltas),
+            });
+            while log.len() > self.delta_history {
+                log.pop_front();
+            }
             let displaced = std::mem::replace(&mut *current, Arc::clone(&published));
             *previous = Some(displaced);
             // The epoch counter is bumped while the write lock is still held, so a
@@ -179,6 +267,36 @@ mod tests {
     fn non_monotonic_publish_panics() {
         let store = EpochStore::new(snapshot(3, vec![0], 1));
         store.publish(snapshot(3, vec![0], 1));
+    }
+
+    #[test]
+    fn deltas_since_replays_the_contiguous_chain() {
+        let delta = |base_n: u64| GraphDelta::new(base_n, 1, &[], &[]);
+        let store = EpochStore::with_delta_history(snapshot(0, vec![0, 1], 2), 2);
+        assert_eq!(store.deltas_since(0), Some(vec![]));
+
+        let mut s1 = snapshot(2, vec![0, 1, 1], 2);
+        s1.deltas = vec![delta(2)].into();
+        store.publish(s1);
+        let mut s2 = snapshot(5, vec![0, 1, 1, 0], 2);
+        s2.deltas = vec![delta(3)].into();
+        store.publish(s2);
+
+        // From epoch 0: both publishes' deltas, in order.
+        assert_eq!(store.deltas_since(0), Some(vec![delta(2), delta(3)]));
+        // From the intermediate published epoch: just the tail.
+        assert_eq!(store.deltas_since(2), Some(vec![delta(3)]));
+        assert_eq!(store.deltas_since(5), Some(vec![]));
+        // A never-published epoch cannot anchor the chain.
+        assert!(store.deltas_since(3).is_none());
+
+        // A third publish evicts the oldest entry (history = 2): epoch 0 is now
+        // unrecoverable, epoch 2 onwards still replays.
+        let mut s3 = snapshot(6, vec![0, 1, 1, 0, 1], 2);
+        s3.deltas = vec![delta(4)].into();
+        store.publish(s3);
+        assert!(store.deltas_since(0).is_none());
+        assert_eq!(store.deltas_since(2), Some(vec![delta(3), delta(4)]));
     }
 
     #[test]

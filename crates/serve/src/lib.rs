@@ -39,12 +39,12 @@ mod snapshot;
 mod stats;
 mod worker;
 
-pub use epoch::EpochStore;
+pub use epoch::{EpochStore, DEFAULT_DELTA_HISTORY};
 pub use queue::{BatchPolicy, Drained, IngestError, IngestQueue, QueuedBatch};
 pub use replay::{replay_ops, replay_update_log, ReplayError, ReplayOutcome};
 pub use snapshot::{MigrationDiff, PartitionSnapshot};
 pub use stats::ServeStats;
-pub use worker::{spawn, RepartitionEngine, ServeConfig, ServeHandle};
+pub use worker::{spawn, RepartitionEngine, ServeConfig, ServeError, ServeHandle};
 
 // Re-exported so engine implementors and producers can name the batch type without an
 // extra dependency edge.

@@ -295,9 +295,14 @@ impl IngestQueue {
             {
                 break;
             }
+            // The front the loop guard just inspected is popped; `else` is unreachable
+            // but degrades to a clean stop instead of a panic.
+            let Some(batch) = state.queue.pop_front() else {
+                break;
+            };
             group_ops += ops;
             state.queued_ops -= ops;
-            group.push(state.queue.pop_front().expect("front exists"));
+            group.push(batch);
         }
         // Room was freed; wake blocked producers.
         self.writable.notify_all();

@@ -1,8 +1,10 @@
 //! Immutable partition snapshots: what the epoch store publishes and readers consume.
 
+use std::sync::Arc;
+
 use xtrapulp::metrics::PartitionQuality;
 use xtrapulp::StageBreakdown;
-use xtrapulp_graph::GlobalId;
+use xtrapulp_graph::{GlobalId, GraphDelta};
 
 /// One epoch's published partition: the part vector plus the metadata a serving reader
 /// needs to interpret it. Snapshots are immutable — the epoch store hands them out
@@ -30,6 +32,13 @@ pub struct PartitionSnapshot {
     /// Previously-assigned vertices whose part changed relative to the epoch this run
     /// was seeded from (0 for cold runs).
     pub vertices_migrated: u64,
+    /// The normalised graph mutations applied since the previously *published* epoch,
+    /// in application order (one entry per applied batch; empty for the cold epoch-0
+    /// snapshot). Epoch consumers — incremental analytics, SpMV layouts — replay these
+    /// against their own topology replicas instead of re-fetching the full graph.
+    /// Behind an `Arc` so the store's bounded delta history shares, rather than
+    /// copies, each publish's deltas.
+    pub deltas: Arc<[GraphDelta]>,
 }
 
 impl PartitionSnapshot {
@@ -122,6 +131,7 @@ pub(crate) mod tests {
             vertices_scored: 0,
             stages: StageBreakdown::default(),
             vertices_migrated: 0,
+            deltas: Arc::from([]),
         }
     }
 

@@ -14,6 +14,39 @@ use crate::queue::{BatchPolicy, Drained, IngestError, IngestQueue, QueuedBatch};
 use crate::snapshot::PartitionSnapshot;
 use crate::stats::{ServeStats, StatsCells};
 
+/// Why the serving pipeline itself (as opposed to one batch or one repartition) is no
+/// longer usable. Producer- and control-path code receives these as values; nothing in
+/// the pipeline re-raises a worker panic into the calling thread.
+///
+/// The queue/worker pair is audited to keep panics contained: every
+/// `std`-mutex/condvar acquisition recovers from poisoning with `into_inner` (the
+/// guarded state is a plain queue or counter, always valid), the worker closes the
+/// queue on *any* exit — including a panic — so blocked producers wake to
+/// [`IngestError::Closed`](crate::IngestError::Closed) instead of sleeping forever,
+/// and [`ServeHandle::shutdown`] reports a dead worker as
+/// [`ServeError::WorkerPanicked`] instead of resuming the unwind in the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The worker thread panicked mid-serve; the engine (and its live graph) is lost.
+    /// The epoch store keeps serving the last published snapshot.
+    WorkerPanicked {
+        /// The panic payload, when it was a string (the common case).
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WorkerPanicked { detail } => {
+                write!(f, "serve worker thread panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// What the worker drives: a stateful engine owning the live graph and the partitioner
 /// state. `xtrapulp_api::ServingSession` implements it over a `DynamicSession`
 /// (apply → incremental CSR/DistGraph evolution; repartition → warm-started run);
@@ -176,11 +209,11 @@ fn step<E: RepartitionEngine>(
     dirty: &mut bool,
 ) {
     let cycle_start = Instant::now();
-    let oldest = group
-        .iter()
-        .map(|qb| qb.enqueued_at)
-        .min()
-        .expect("drain_group returns at least one batch");
+    // `drain_group` never yields an empty group, but nothing here needs to panic if
+    // that invariant slips: an empty group simply has no enqueue timestamp.
+    let Some(oldest) = group.iter().map(|qb| qb.enqueued_at).min() else {
+        return;
+    };
     let mut applied = 0usize;
     for qb in &group {
         match engine.apply(&qb.batch) {
@@ -291,21 +324,31 @@ impl<E: RepartitionEngine> ServeHandle<E> {
     /// and publish everything already queued, then join it — returning the engine
     /// (with its final graph and partition state) and the final counters.
     ///
-    /// # Panics
-    ///
-    /// Re-raises a panic from the worker thread, if it died mid-serve.
-    pub fn shutdown(mut self) -> (E, ServeStats) {
+    /// A worker that died mid-serve comes back as a typed
+    /// [`ServeError::WorkerPanicked`] instead of re-raising the panic in the calling
+    /// thread, so a crashed pipeline cannot cascade into its producers.
+    pub fn shutdown(mut self) -> Result<(E, ServeStats), ServeError> {
         self.queue.close();
-        let worker = self.worker.take().expect("shutdown runs at most once");
-        let engine = match worker.join() {
-            Ok(engine) => engine,
-            Err(panic) => std::panic::resume_unwind(panic),
+        // `self.worker` is `Some` until this method consumes it; `shutdown` takes
+        // `self` by value, so it can only run once.
+        let Some(worker) = self.worker.take() else {
+            return Err(ServeError::WorkerPanicked {
+                detail: "worker handle already consumed".to_string(),
+            });
         };
+        let engine = worker.join().map_err(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            ServeError::WorkerPanicked { detail }
+        })?;
         let stats = self.stats.snapshot(
             self.queue.queued_ops() as u64,
             self.queue.queued_batches() as u64,
         );
-        (engine, stats)
+        Ok((engine, stats))
     }
 }
 
@@ -379,7 +422,7 @@ mod tests {
             .wait_for_epoch(1, Duration::from_secs(10))
             .expect("worker publishes");
         assert!(seen.epoch >= 1);
-        let (engine, stats) = handle.shutdown();
+        let (engine, stats) = handle.shutdown().expect("worker exits cleanly");
         // Drain-then-stop: every batch applied, final state published.
         assert_eq!(engine.epoch, 3);
         assert_eq!(engine.vertices, 10);
@@ -408,7 +451,7 @@ mod tests {
         store
             .wait_for_epoch(1, Duration::from_secs(10))
             .expect("the good batch publishes");
-        let (_, stats) = handle.shutdown();
+        let (_, stats) = handle.shutdown().expect("worker exits cleanly");
         assert_eq!(stats.batches_rejected, 1);
         assert_eq!(stats.batches_applied, 1);
         assert_eq!(store.epoch(), 1);
@@ -441,7 +484,7 @@ mod tests {
             Some("transient repartition failure")
         );
         handle.ingest(batch(1)).unwrap();
-        let (_, stats) = handle.shutdown();
+        let (_, stats) = handle.shutdown().expect("worker exits cleanly");
         assert_eq!(stats.repartition_failures, 1);
         assert!(stats.epochs_published >= 1);
     }
@@ -476,7 +519,7 @@ mod tests {
             .wait_for_epoch(1, Duration::from_secs(10))
             .expect("the rejected group still retries the pending publish");
         assert_eq!(published.epoch, 1);
-        let (_, stats) = handle.shutdown();
+        let (_, stats) = handle.shutdown().expect("worker exits cleanly");
         assert_eq!(stats.batches_rejected, 1);
         assert_eq!(stats.epochs_published, 1);
     }
@@ -503,9 +546,50 @@ mod tests {
             .wait_for_epoch(1, Duration::from_secs(10))
             .expect("the timed retry publishes without further ingest");
         assert_eq!(published.epoch, 1);
-        let (_, stats) = handle.shutdown();
+        let (_, stats) = handle.shutdown().expect("worker exits cleanly");
         assert_eq!(stats.repartition_failures, 1);
         assert_eq!(stats.epochs_published, 1);
+    }
+
+    /// An engine that panics while applying: the worker dies, but producers and the
+    /// shutdown path must observe typed errors, not cascaded panics.
+    #[derive(Debug)]
+    struct PanickingEngine;
+
+    impl RepartitionEngine for PanickingEngine {
+        type Error = String;
+
+        fn apply(&mut self, _batch: &UpdateBatch) -> Result<(), String> {
+            panic!("engine bug");
+        }
+
+        fn repartition(&mut self) -> Result<PartitionSnapshot, String> {
+            Ok(snapshot(1, vec![0], 1))
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error_not_cascade() {
+        let handle = spawn(
+            PanickingEngine,
+            snapshot(0, vec![0], 1),
+            ServeConfig::default(),
+        );
+        let queue = handle.queue();
+        let store = handle.store();
+        handle.ingest(batch(1)).unwrap();
+        // The dying worker closes the queue, so producers wake to a typed error
+        // instead of blocking (or panicking) forever.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !queue.is_closed() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(queue.submit(batch(1)), Err(IngestError::Closed));
+        // Shutdown reports the panic as a value; the store still serves epoch 0.
+        let err = handle.shutdown().expect_err("worker died");
+        let ServeError::WorkerPanicked { detail } = err;
+        assert!(detail.contains("engine bug"), "{detail}");
+        assert_eq!(store.epoch(), 0);
     }
 
     #[test]

@@ -100,7 +100,7 @@ fn main() {
 
     // Drain-then-stop: anything still queued is applied and published, and the
     // dynamic session (live graph + partition) comes back for further use.
-    let (session, stats) = serving.shutdown();
+    let (session, stats) = serving.shutdown().expect("serve worker exits cleanly");
     println!(
         "shutdown: {} epochs published ({} warm), {} ops applied, \
          last ingest→publish {:.4}s",

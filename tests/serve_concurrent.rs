@@ -142,7 +142,7 @@ fn concurrent_readers_observe_only_fully_published_epochs() {
         cold.lp_sweeps
     );
 
-    let (session, stats) = serving.shutdown();
+    let (session, stats) = serving.shutdown().expect("serve worker exits cleanly");
     assert_eq!(stats.epochs_published, BATCHES);
     assert_eq!(stats.warm_epochs, BATCHES);
     assert_eq!(stats.cold_epochs, 0);
@@ -217,7 +217,7 @@ fn queue_backpressure_is_typed_and_nonfatal() {
         .store()
         .wait_for_epoch(1, Duration::from_secs(600))
         .expect("the valid batch publishes");
-    let (_, stats) = serving.shutdown();
+    let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
     assert_eq!(stats.batches_applied, 1);
 }
 
@@ -242,7 +242,7 @@ fn shutdown_drains_queued_batches_before_stopping() {
         batch.add_vertices(1).insert_edge(BASE_N + i, i);
         serving.ingest(batch).unwrap();
     }
-    let (session, stats) = serving.shutdown();
+    let (session, stats) = serving.shutdown().expect("serve worker exits cleanly");
     assert_eq!(stats.batches_applied, 5);
     assert_eq!(stats.queue_depth_ops, 0);
     assert_eq!(stats.queue_depth_batches, 0);
@@ -285,7 +285,7 @@ fn ulog_replay_drives_the_serve_pipeline_end_to_end() {
     .unwrap();
     let outcome = serving.replay_log(&path, 64).unwrap();
     assert_eq!(outcome.ops as usize, stream.num_ops());
-    let (session, stats) = serving.shutdown();
+    let (session, stats) = serving.shutdown().expect("serve worker exits cleanly");
     std::fs::remove_file(&path).ok();
 
     assert_eq!(stats.batches_rejected, 0, "{:?}", serving_error(&stats));
