@@ -78,11 +78,30 @@ impl Session {
         if nranks == 0 {
             return Err(PartitionError::InvalidRanks { got: 0 });
         }
+        let runtime = Runtime::try_new(nranks).map_err(PartitionError::Comm)?;
         Ok(Session {
-            runtime: Runtime::new(nranks),
+            runtime,
             distribution,
             jobs_completed: 0,
         })
+    }
+
+    /// Build a session over an already-constructed runtime — notably one made
+    /// with [`Runtime::with_transport`], where this process hosts one rank of
+    /// a multi-process job. Distributed jobs then gather the full part vector
+    /// collectively, so every participating process returns an identical
+    /// report.
+    pub fn with_runtime(runtime: Runtime, distribution: Distribution) -> Session {
+        Session {
+            runtime,
+            distribution,
+            jobs_completed: 0,
+        }
+    }
+
+    /// True when some of this session's ranks live in other processes.
+    pub fn is_distributed(&self) -> bool {
+        self.runtime.is_distributed()
     }
 
     /// Number of ranks this session runs distributed jobs on.
@@ -163,26 +182,35 @@ impl Session {
         // hash the tail vertices to ranks (a no-op for the functional distributions).
         let dist = self.distribution.grown(n as u64, self.nranks());
         let params = job.params;
+        // When ranks span processes, each process holds only its own slice of
+        // the part vector; an in-job allgather gives every process the whole
+        // vector, keeping reports identical across the job.
+        let distributed = self.runtime.is_distributed();
         type RankOut = (
             Vec<(u64, i32)>,
             PartitionQuality,
             PhaseTimer,
             CommStatsSnapshot,
         );
-        let per_rank: Vec<RankOut> = self.runtime.execute(|ctx| {
+        let per_rank: Vec<RankOut> = self.runtime.try_execute(|ctx| {
             let graph = DistGraph::from_csr(ctx, dist.clone(), csr);
             let result = try_xtrapulp_partition(ctx, &graph, &params)
                 .expect("params are validated before the job enters the runtime");
-            let pairs = (0..graph.n_owned())
+            let pairs: Vec<(u64, i32)> = (0..graph.n_owned())
                 .map(|v| (graph.global_id(v as LocalId), result.parts[v]))
                 .collect();
+            let pairs = if distributed {
+                ctx.allgatherv(pairs)
+            } else {
+                pairs
+            };
             (
                 pairs,
                 result.quality,
                 result.timings,
                 ctx.stats().snapshot(),
             )
-        });
+        })?;
 
         let mut quality = None;
         let mut timings = PhaseTimer::new();
@@ -194,7 +222,11 @@ impl Session {
             quality.get_or_insert(rank_quality);
             timings.merge_max(&rank_timings);
             comm = comm.merged(rank_comm);
-            pairs.push(rank_pairs);
+            // In distributed mode every local rank already gathered the full
+            // pair set; keep one copy to avoid duplicate assignments.
+            if !distributed || pairs.is_empty() {
+                pairs.push(rank_pairs);
+            }
         }
         let parts = assemble_gathered_parts(n, job.params.num_parts, pairs)?;
         Ok(PartitionReport {

@@ -26,6 +26,8 @@ struct Measurement {
     cold_frontier_sweeps: u64,
     cold_full_scored: u64,
     warm_touched_scored: u64,
+    dist_loopback_seconds: f64,
+    dist_loopback_frames: u64,
 }
 
 fn measure() -> Measurement {
@@ -70,12 +72,31 @@ fn measure() -> Measurement {
     let (_, warm_stats) =
         try_pulp_partition_from_with_stats(&csr, &frontier, &parts, Some(&touched)).unwrap();
 
+    // Distributed loopback: the same graph through the 4-rank in-process
+    // transport, so collective traffic pays the full Transport-trait
+    // indirection. Wall time is informational; the frame count is
+    // deterministic and gates (a regression here means a collective started
+    // sending more frames than it should).
+    let mut session = xtrapulp_api::Session::new(4).expect("loopback session");
+    let _ = session.partition(&csr, &frontier).unwrap(); // warm-up
+    let mut dist_times = Vec::new();
+    let mut dist_frames = 0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let report = session.partition(&csr, &frontier).unwrap();
+        dist_times.push(t.elapsed().as_secs_f64());
+        dist_frames = report.comm.frames_sent;
+    }
+    dist_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
     Measurement {
         cold_frontier_seconds: times[1],
         cold_frontier_scored: stats.vertices_scored,
         cold_frontier_sweeps: stats.sweeps,
         cold_full_scored: full_stats.vertices_scored,
         warm_touched_scored: warm_stats.vertices_scored,
+        dist_loopback_seconds: dist_times[1],
+        dist_loopback_frames: dist_frames,
     }
 }
 
@@ -83,12 +104,15 @@ fn to_json(m: &Measurement) -> String {
     format!(
         "{{\n  \"cold_frontier_seconds\": {},\n  \"cold_frontier_scored\": {},\n  \
          \"cold_frontier_sweeps\": {},\n  \"cold_full_scored\": {},\n  \
-         \"warm_touched_scored\": {}\n}}\n",
+         \"warm_touched_scored\": {},\n  \"dist_loopback_seconds\": {},\n  \
+         \"dist_loopback_frames\": {}\n}}\n",
         m.cold_frontier_seconds,
         m.cold_frontier_scored,
         m.cold_frontier_sweeps,
         m.cold_full_scored,
-        m.warm_touched_scored
+        m.warm_touched_scored,
+        m.dist_loopback_seconds,
+        m.dist_loopback_frames
     )
 }
 
@@ -109,12 +133,14 @@ fn main() {
     let m = measure();
     println!(
         "perf_smoke: cold frontier {:.3}s, {} sweeps, {} scored (full mode scores {}); \
-         warm touched scores {}",
+         warm touched scores {}; 4-rank loopback {:.3}s / {} frames",
         m.cold_frontier_seconds,
         m.cold_frontier_sweeps,
         m.cold_frontier_scored,
         m.cold_full_scored,
-        m.warm_touched_scored
+        m.warm_touched_scored,
+        m.dist_loopback_seconds,
+        m.dist_loopback_frames
     );
 
     if write {
@@ -160,9 +186,17 @@ fn main() {
             m.cold_frontier_seconds / base.max(1e-9)
         );
     }
+    if let Some(base) = field(&baseline, "dist_loopback_seconds") {
+        println!(
+            "perf_smoke: dist_loopback_seconds: {} vs baseline {base} ({:.2}x) [informational]",
+            m.dist_loopback_seconds,
+            m.dist_loopback_seconds / base.max(1e-9)
+        );
+    }
     check("cold_frontier_scored", m.cold_frontier_scored as f64);
     check("cold_frontier_sweeps", m.cold_frontier_sweeps as f64);
     check("warm_touched_scored", m.warm_touched_scored as f64);
+    check("dist_loopback_frames", m.dist_loopback_frames as f64);
 
     if failed {
         eprintln!("perf_smoke: FAILED (>{TOLERANCE}x regression against {BASELINE_PATH})");

@@ -1,0 +1,516 @@
+//! `xtrapulp-mp`: the multi-process partition launcher.
+//!
+//! Runs one rank of a shared-nothing XtraPuLP job over the TCP transport, or —
+//! with `--spawn K` — forks `K` local worker processes, waits for them, and
+//! verifies their gathered part vectors are identical to each other (and, by
+//! default, to an in-process run at the same rank count).
+//!
+//! Worker mode:
+//!
+//! ```text
+//! xtrapulp-mp --rank 0 --nranks 4 --coordinator 127.0.0.1:47000 \
+//!             --kind rmat --scale 10 --edge-factor 8 --parts 4 --seed 42
+//! ```
+//!
+//! Spawn mode (single command, local processes):
+//!
+//! ```text
+//! xtrapulp-mp --spawn 4 --scale 10 --parts 4
+//! xtrapulp-mp --spawn 3 --kill-rank 1 --recv-timeout-ms 15000   # failure drill
+//! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 typed transport failure,
+//! 4 verification/timeout failure in spawn mode, 17 deliberate death
+//! (`--die-after-handshake`, used by the failure drill).
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use xtrapulp::PartitionParams;
+use xtrapulp_api::Session;
+use xtrapulp_comm::{Runtime, TcpConfig, TcpTransport};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+use xtrapulp_graph::Distribution;
+
+const EXIT_USAGE: i32 = 2;
+const EXIT_TRANSPORT: i32 = 3;
+const EXIT_VERIFY: i32 = 4;
+const EXIT_DELIBERATE_DEATH: i32 = 17;
+
+#[derive(Clone)]
+struct Options {
+    // Worker identity.
+    rank: Option<usize>,
+    nranks: Option<usize>,
+    coordinator: Option<String>,
+    out: Option<PathBuf>,
+    die_after_handshake: bool,
+    // Spawn mode.
+    spawn: Option<usize>,
+    kill_rank: Option<usize>,
+    no_verify: bool,
+    // Job description.
+    kind: String,
+    scale: u32,
+    edge_factor: u64,
+    seed: u64,
+    parts: Option<usize>,
+    recv_timeout_ms: u64,
+    json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            rank: None,
+            nranks: None,
+            coordinator: None,
+            out: None,
+            die_after_handshake: false,
+            spawn: None,
+            kill_rank: None,
+            no_verify: false,
+            kind: "rmat".to_string(),
+            scale: 10,
+            edge_factor: 8,
+            seed: 42,
+            parts: None,
+            recv_timeout_ms: 60_000,
+            json: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xtrapulp-mp --rank N --nranks K --coordinator HOST:PORT [job args]\n\
+         \x20      xtrapulp-mp --spawn K [--kill-rank R] [--no-verify] [job args]\n\
+         job args: --kind rmat|webcrawl|er --scale S --edge-factor F --seed X\n\
+         \x20         --parts P --recv-timeout-ms MS --json"
+    );
+    std::process::exit(EXIT_USAGE);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rank" => opts.rank = value(&mut i).parse().ok(),
+            "--nranks" => opts.nranks = value(&mut i).parse().ok(),
+            "--coordinator" => opts.coordinator = Some(value(&mut i)),
+            "--out" => opts.out = Some(PathBuf::from(value(&mut i))),
+            "--die-after-handshake" => opts.die_after_handshake = true,
+            "--spawn" => opts.spawn = value(&mut i).parse().ok(),
+            "--kill-rank" => opts.kill_rank = value(&mut i).parse().ok(),
+            "--no-verify" => opts.no_verify = true,
+            "--kind" => opts.kind = value(&mut i),
+            "--scale" => opts.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--edge-factor" => opts.edge_factor = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--parts" => opts.parts = value(&mut i).parse().ok(),
+            "--recv-timeout-ms" => {
+                opts.recv_timeout_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn graph_config(opts: &Options) -> GraphConfig {
+    let kind = match opts.kind.as_str() {
+        "rmat" => GraphKind::Rmat {
+            scale: opts.scale,
+            edge_factor: opts.edge_factor,
+        },
+        "er" => GraphKind::ErdosRenyi {
+            num_vertices: 1u64 << opts.scale,
+            avg_degree: opts.edge_factor,
+        },
+        "webcrawl" => GraphKind::WebCrawl {
+            num_vertices: 1u64 << opts.scale,
+            avg_degree: opts.edge_factor,
+            community_size: 64,
+        },
+        other => {
+            eprintln!("unknown graph kind: {other}");
+            usage();
+        }
+    };
+    GraphConfig::new(kind, opts.seed)
+}
+
+fn main() {
+    let opts = parse_args();
+    let code = if let Some(workers) = opts.spawn {
+        run_spawner(&opts, workers)
+    } else {
+        run_worker(&opts)
+    };
+    std::process::exit(code);
+}
+
+// ----------------------------------------------------------------------------------
+// Worker mode: one rank of the job in this process.
+// ----------------------------------------------------------------------------------
+
+fn run_worker(opts: &Options) -> i32 {
+    let (Some(nranks), Some(coordinator)) = (opts.nranks, opts.coordinator.as_deref()) else {
+        usage();
+    };
+    let mut config = TcpConfig::new(coordinator, opts.rank, nranks);
+    config.recv_timeout = Duration::from_millis(opts.recv_timeout_ms);
+    let started = Instant::now();
+    let transport = match TcpTransport::connect(&config) {
+        Ok(t) => t,
+        Err(e) => return report_transport_error(&e),
+    };
+    let rank = xtrapulp_comm::Transport::rank(&transport);
+    if opts.die_after_handshake {
+        // Failure drill: vanish after the mesh is up, mid-job for the peers.
+        eprintln!("rank {rank}: dying deliberately after handshake");
+        std::process::exit(EXIT_DELIBERATE_DEATH);
+    }
+    let runtime = match Runtime::with_transport(Box::new(transport)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{{\"error\":\"comm\",\"detail\":\"{e}\"}}");
+            return EXIT_TRANSPORT;
+        }
+    };
+    let mut session = Session::with_runtime(runtime, Distribution::Block);
+
+    let config = graph_config(opts);
+    let csr = config.generate().to_csr();
+    let params = PartitionParams {
+        num_parts: opts.parts.unwrap_or(nranks),
+        ..Default::default()
+    };
+    let report = match session.partition(&csr, &params) {
+        Ok(report) => report,
+        Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(e))) => {
+            return report_transport_error(&e);
+        }
+        Err(e) => {
+            eprintln!("partition failed: {e}");
+            return 1;
+        }
+    };
+
+    if let Some(path) = &opts.out {
+        let mut body = String::with_capacity(report.parts.len() * 3);
+        for p in &report.parts {
+            body.push_str(&p.to_string());
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return 1;
+        }
+    }
+    let summary = format!(
+        "{{\"rank\":{},\"nranks\":{},\"vertices\":{},\"edges\":{},\"edge_cut\":{},\"wire_bytes_sent\":{},\"frames_sent\":{},\"seconds\":{:.3}}}",
+        rank,
+        nranks,
+        report.num_vertices,
+        report.num_edges,
+        report.quality.edge_cut,
+        report.comm.wire_bytes_sent,
+        report.comm.frames_sent,
+        started.elapsed().as_secs_f64(),
+    );
+    println!("{summary}");
+    0
+}
+
+fn report_transport_error(e: &xtrapulp_comm::TransportError) -> i32 {
+    // Machine-readable: the spawner (and CI) greps the kind.
+    println!(
+        "{{\"error\":\"transport\",\"kind\":\"{}\",\"detail\":\"{}\"}}",
+        e.kind(),
+        e.to_string().replace('"', "'"),
+    );
+    EXIT_TRANSPORT
+}
+
+// ----------------------------------------------------------------------------------
+// Spawn mode: fork local workers, wait, verify.
+// ----------------------------------------------------------------------------------
+
+fn pick_free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map(|a| a.port())
+        .expect("could not probe for a free port")
+}
+
+fn run_spawner(opts: &Options, workers: usize) -> i32 {
+    if workers == 0 {
+        eprintln!("--spawn needs at least one worker");
+        return EXIT_USAGE;
+    }
+    if let Some(k) = opts.kill_rank {
+        if k >= workers {
+            eprintln!("--kill-rank {k} out of range for {workers} workers");
+            return EXIT_USAGE;
+        }
+    }
+    let exe = std::env::current_exe().expect("own executable path");
+    let coordinator = format!("127.0.0.1:{}", pick_free_port());
+    let dir = std::env::temp_dir().join(format!("xtrapulp-mp-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("failed to create {}: {e}", dir.display());
+        return 1;
+    }
+    let drill = opts.kill_rank.is_some();
+    // The failure drill must not wait out the full production receive timeout.
+    let recv_timeout_ms = if drill {
+        opts.recv_timeout_ms.min(15_000)
+    } else {
+        opts.recv_timeout_ms
+    };
+
+    let started = Instant::now();
+    let mut children: Vec<Child> = Vec::with_capacity(workers);
+    for rank in 0..workers {
+        let out = dir.join(format!("parts-{rank}.txt"));
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--rank")
+            .arg(rank.to_string())
+            .arg("--nranks")
+            .arg(workers.to_string())
+            .arg("--coordinator")
+            .arg(&coordinator)
+            .arg("--out")
+            .arg(&out)
+            .arg("--kind")
+            .arg(&opts.kind)
+            .arg("--scale")
+            .arg(opts.scale.to_string())
+            .arg("--edge-factor")
+            .arg(opts.edge_factor.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--parts")
+            .arg(opts.parts.unwrap_or(workers).to_string())
+            .arg("--recv-timeout-ms")
+            .arg(recv_timeout_ms.to_string());
+        if opts.kill_rank == Some(rank) {
+            cmd.arg("--die-after-handshake");
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("failed to spawn worker {rank}: {e}");
+                for mut c in children {
+                    let _ = c.kill();
+                }
+                return 1;
+            }
+        }
+    }
+
+    // Wait for every worker, with a hard deadline so a hang is a test failure,
+    // not a stuck pipeline.
+    let deadline = started + Duration::from_millis(recv_timeout_ms.max(30_000) * 4);
+    let mut exits: Vec<Option<i32>> = vec![None; workers];
+    loop {
+        let mut pending = false;
+        for (rank, child) in children.iter_mut().enumerate() {
+            if exits[rank].is_some() {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => exits[rank] = Some(status.code().unwrap_or(-1)),
+                Ok(None) => pending = true,
+                Err(e) => {
+                    eprintln!("wait on worker {rank} failed: {e}");
+                    exits[rank] = Some(-1);
+                }
+            }
+        }
+        if !pending {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "TIMEOUT: workers still running after {:.1}s — killing",
+                started.elapsed().as_secs_f64()
+            );
+            for child in children.iter_mut() {
+                let _ = child.kill();
+            }
+            return EXIT_VERIFY;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let elapsed = started.elapsed();
+
+    // Collect captured output for reporting / drill validation.
+    let mut outputs: Vec<(String, String)> = Vec::with_capacity(workers);
+    for child in &mut children {
+        let mut stdout = String::new();
+        let mut stderr = String::new();
+        if let Some(mut s) = child.stdout.take() {
+            use std::io::Read;
+            let _ = s.read_to_string(&mut stdout);
+        }
+        if let Some(mut s) = child.stderr.take() {
+            use std::io::Read;
+            let _ = s.read_to_string(&mut stderr);
+        }
+        outputs.push((stdout, stderr));
+    }
+
+    let result = if drill {
+        validate_drill(opts, workers, &exits, &outputs, elapsed)
+    } else {
+        validate_success(opts, workers, &exits, &outputs, &dir, elapsed)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Happy path: every worker exited 0, all part files identical, and (unless
+/// `--no-verify`) identical to an in-process run at the same rank count.
+fn validate_success(
+    opts: &Options,
+    workers: usize,
+    exits: &[Option<i32>],
+    outputs: &[(String, String)],
+    dir: &Path,
+    elapsed: Duration,
+) -> i32 {
+    for (rank, code) in exits.iter().enumerate() {
+        if *code != Some(0) {
+            eprintln!(
+                "worker {rank} exited with {:?}\n--- stdout ---\n{}--- stderr ---\n{}",
+                code, outputs[rank].0, outputs[rank].1
+            );
+            return EXIT_VERIFY;
+        }
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(workers);
+    for rank in 0..workers {
+        match std::fs::read_to_string(dir.join(format!("parts-{rank}.txt"))) {
+            Ok(body) => parts.push(body),
+            Err(e) => {
+                eprintln!("worker {rank} wrote no part vector: {e}");
+                return EXIT_VERIFY;
+            }
+        }
+    }
+    for rank in 1..workers {
+        if parts[rank] != parts[0] {
+            eprintln!("part vectors differ between rank 0 and rank {rank}");
+            return EXIT_VERIFY;
+        }
+    }
+    let mut inproc_match = true;
+    if !opts.no_verify {
+        let reference = inproc_reference_parts(opts, workers);
+        inproc_match = reference == parts[0];
+        if !inproc_match {
+            eprintln!("multi-process part vector differs from the in-process backend");
+            return EXIT_VERIFY;
+        }
+    }
+    let lines = parts[0].lines().count();
+    let summary = format!(
+        "{{\"spawned\":{workers},\"vertices\":{lines},\"bit_identical_across_processes\":true,\
+         \"matches_inproc\":{inproc_match},\"seconds\":{:.3}}}",
+        elapsed.as_secs_f64()
+    );
+    println!("{summary}");
+    if !opts.json {
+        for (rank, (stdout, _)) in outputs.iter().enumerate() {
+            print!("worker {rank}: {stdout}");
+        }
+        let _ = std::io::stdout().flush();
+    }
+    0
+}
+
+/// Failure drill: the killed rank must exit 17 and every survivor must fail
+/// typed (exit 3 with a peer-death or timeout kind), not hang.
+fn validate_drill(
+    _opts: &Options,
+    workers: usize,
+    exits: &[Option<i32>],
+    outputs: &[(String, String)],
+    elapsed: Duration,
+) -> i32 {
+    let killed = _opts.kill_rank.expect("drill has a kill rank");
+    if exits[killed] != Some(EXIT_DELIBERATE_DEATH) {
+        eprintln!(
+            "killed rank {killed} exited {:?}, expected {EXIT_DELIBERATE_DEATH}",
+            exits[killed]
+        );
+        return EXIT_VERIFY;
+    }
+    let mut peer_death_seen = false;
+    for rank in (0..workers).filter(|&r| r != killed) {
+        if exits[rank] != Some(EXIT_TRANSPORT) {
+            eprintln!(
+                "survivor {rank} exited {:?}, expected typed transport failure ({EXIT_TRANSPORT})\n\
+                 --- stdout ---\n{}--- stderr ---\n{}",
+                exits[rank], outputs[rank].0, outputs[rank].1
+            );
+            return EXIT_VERIFY;
+        }
+        let stdout = &outputs[rank].0;
+        if stdout.contains("\"kind\":\"peer-death\"") {
+            peer_death_seen = true;
+        } else if !stdout.contains("\"kind\":\"timeout\"")
+            && !stdout.contains("\"kind\":\"short-read\"")
+        {
+            eprintln!("survivor {rank} reported an unexpected failure: {stdout}");
+            return EXIT_VERIFY;
+        }
+    }
+    if workers > 1 && !peer_death_seen {
+        eprintln!("no survivor observed the peer death directly");
+        return EXIT_VERIFY;
+    }
+    println!(
+        "{{\"drill\":\"kill-rank\",\"killed\":{killed},\"survivors_failed_typed\":true,\
+         \"seconds\":{:.3}}}",
+        elapsed.as_secs_f64()
+    );
+    0
+}
+
+/// Same job on the in-process backend, formatted like a worker's part file.
+fn inproc_reference_parts(opts: &Options, nranks: usize) -> String {
+    let csr = graph_config(opts).generate().to_csr();
+    let params = PartitionParams {
+        num_parts: opts.parts.unwrap_or(nranks),
+        ..Default::default()
+    };
+    let mut session = Session::new(nranks).expect("in-process session");
+    let report = session
+        .partition(&csr, &params)
+        .expect("in-process reference partition");
+    let mut body = String::with_capacity(report.parts.len() * 3);
+    for p in &report.parts {
+        body.push_str(&p.to_string());
+        body.push('\n');
+    }
+    body
+}

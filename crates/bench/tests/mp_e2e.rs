@@ -1,0 +1,68 @@
+//! End-to-end drills of the `xtrapulp-mp` launcher: real OS processes, real
+//! sockets. Covers the two acceptance behaviours of the transport subsystem —
+//! multi-process partitions bit-identical to the in-process backend, and a
+//! killed worker surfacing a typed error within a bounded timeout.
+
+use std::process::Command;
+use std::time::Instant;
+
+fn launcher() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xtrapulp-mp"))
+}
+
+#[test]
+fn spawn_four_processes_produces_bit_identical_partition() {
+    let output = launcher()
+        .args([
+            "--spawn", "4", "--scale", "8", "--parts", "8", "--seed", "99", "--json",
+        ])
+        .output()
+        .expect("launcher runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "launcher failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("\"bit_identical_across_processes\":true"),
+        "part vectors must agree across processes: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"matches_inproc\":true"),
+        "part vector must match the in-process backend: {stdout}"
+    );
+}
+
+#[test]
+fn killed_worker_yields_typed_error_not_a_hang() {
+    let started = Instant::now();
+    let output = launcher()
+        .args([
+            "--spawn",
+            "3",
+            "--kill-rank",
+            "1",
+            "--scale",
+            "8",
+            "--recv-timeout-ms",
+            "10000",
+        ])
+        .output()
+        .expect("launcher runs");
+    let elapsed = started.elapsed();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "drill failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("\"survivors_failed_typed\":true"),
+        "survivors must fail with typed transport errors: {stdout}"
+    );
+    assert!(
+        elapsed.as_secs() < 60,
+        "peer death must surface within the bounded timeout, took {elapsed:?}"
+    );
+}

@@ -1,0 +1,221 @@
+//! In-proc vs TCP parity: every collective, and a full partition job, must
+//! produce identical results whether ranks are threads of one process (typed
+//! frames, no serialisation) or sockets over localhost (real byte streams).
+//!
+//! The TCP "processes" here are threads of the test binary, each owning its
+//! own connected [`TcpTransport`] endpoint — the wire path is exactly the one
+//! `xtrapulp-mp` exercises across real processes (see `mp_e2e.rs` for that).
+
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use xtrapulp::PartitionParams;
+use xtrapulp_api::Session;
+use xtrapulp_comm::{RankCtx, Runtime, TcpConfig, TcpTransport, Transport};
+use xtrapulp_gen::{GraphConfig, GraphKind};
+use xtrapulp_graph::Distribution;
+
+/// One TCP mesh at a time per test process, so rendezvous ports never collide.
+fn mesh_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map(|a| a.port())
+        .expect("probe a free port")
+}
+
+/// Run `f` collectively over `nranks` TcpTransport endpoints (one thread per
+/// rank, sockets over localhost) and return the results in rank order.
+fn run_tcp<F, R>(nranks: usize, f: F) -> Vec<R>
+where
+    F: Fn(&RankCtx) -> R + Sync + Send + 'static,
+    R: Send + 'static,
+{
+    let _guard = mesh_lock().lock().unwrap();
+    let coordinator = format!("127.0.0.1:{}", free_port());
+    let f = Arc::new(f);
+    let mut handles = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        let coordinator = coordinator.clone();
+        let f = Arc::clone(&f);
+        handles.push(std::thread::spawn(move || {
+            let mut config = TcpConfig::new(coordinator, Some(rank), nranks);
+            config.recv_timeout = Duration::from_secs(30);
+            let transport = TcpTransport::connect(&config).expect("mesh connects");
+            let mut runtime = Runtime::with_transport(Box::new(transport)).expect("valid rank");
+            let mut out = runtime.execute(|ctx| f(ctx));
+            assert_eq!(out.len(), 1, "one local rank per endpoint");
+            out.pop().unwrap()
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread completes"))
+        .collect()
+}
+
+/// Exercise every collective once and return everything observable.
+#[allow(clippy::type_complexity)]
+fn exercise_all_collectives(
+    ctx: &RankCtx,
+) -> (
+    u64,              // broadcast
+    Vec<u64>,         // allgather
+    Vec<(u64, i32)>,  // allgatherv
+    Option<Vec<u64>>, // gather at root 0 (None off-root)
+    u64,              // scatter from last rank
+    Vec<u64>,         // alltoall
+    Vec<Vec<u64>>,    // alltoallv
+    Vec<u64>,         // allreduce sum
+    Vec<f64>,         // allreduce max f64
+    u64,              // exscan
+    u64,              // scalar sum
+) {
+    let rank = ctx.rank() as u64;
+    let n = ctx.nranks();
+    ctx.barrier();
+    let bcast = ctx.broadcast(0, ctx.is_root().then_some(7_000_007u64));
+    let allgather = ctx.allgather(rank * rank + 1);
+    let allgatherv: Vec<(u64, i32)> = ctx.allgatherv(
+        (0..rank + 1)
+            .map(|i| (rank * 100 + i, -(i as i32)))
+            .collect(),
+    );
+    let gathered = ctx.gather(0, rank + 10);
+    let scatter_root = n - 1;
+    let scattered = ctx.scatter(
+        scatter_root,
+        (ctx.rank() == scatter_root).then(|| (0..n as u64).map(|d| d * 3 + 1).collect()),
+    );
+    let alltoall = ctx.alltoall((0..n as u64).map(|d| rank * 1000 + d).collect());
+    let alltoallv = ctx.alltoallv(
+        (0..n as u64)
+            .map(|d| (0..d + 1).map(|i| rank * 10_000 + d * 100 + i).collect())
+            .collect(),
+    );
+    let summed = ctx.allreduce_sum_u64(&[rank, 1, rank * 2]);
+    let maxed = ctx.allreduce_max_f64(&[rank as f64 * 1.5, -(rank as f64)]);
+    let exscan = ctx.exscan_sum_u64(rank + 1);
+    ctx.barrier();
+    let scalar = ctx.allreduce_scalar_sum_u64(rank + 5);
+    (
+        bcast, allgather, allgatherv, gathered, scattered, alltoall, alltoallv, summed, maxed,
+        exscan, scalar,
+    )
+}
+
+#[test]
+fn every_collective_matches_inproc_at_1_2_and_8_ranks() {
+    for nranks in [1usize, 2, 8] {
+        let inproc = Runtime::new(nranks).execute(exercise_all_collectives);
+        let tcp = run_tcp(nranks, exercise_all_collectives);
+        assert_eq!(
+            inproc, tcp,
+            "collective results diverged between backends at {nranks} ranks"
+        );
+    }
+}
+
+#[test]
+fn partition_job_is_bit_identical_across_backends() {
+    let nranks = 4;
+    let csr = GraphConfig::new(
+        GraphKind::Rmat {
+            scale: 9,
+            edge_factor: 8,
+        },
+        1234,
+    )
+    .generate()
+    .to_csr();
+    let params = PartitionParams {
+        num_parts: 4,
+        ..Default::default()
+    };
+
+    let mut inproc = Session::new(nranks).expect("in-process session");
+    let reference = inproc.partition(&csr, &params).expect("in-process job");
+
+    let csr = Arc::new(csr);
+    let per_rank_parts = {
+        let _guard = mesh_lock().lock().unwrap();
+        let coordinator = format!("127.0.0.1:{}", free_port());
+        let mut handles = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let coordinator = coordinator.clone();
+            let csr = Arc::clone(&csr);
+            handles.push(std::thread::spawn(move || {
+                let config = TcpConfig::new(coordinator, Some(rank), nranks);
+                let transport = TcpTransport::connect(&config).expect("mesh connects");
+                let runtime = Runtime::with_transport(Box::new(transport)).expect("valid rank");
+                let mut session = Session::with_runtime(runtime, Distribution::Block);
+                assert!(session.is_distributed());
+                let report = session.partition(&csr, &params).expect("distributed job");
+                assert_eq!(report.nranks, nranks);
+                report.parts
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank completes"))
+            .collect::<Vec<_>>()
+    };
+
+    for (rank, parts) in per_rank_parts.iter().enumerate() {
+        assert_eq!(
+            parts, &reference.parts,
+            "rank {rank}'s gathered part vector differs from the in-process backend"
+        );
+    }
+}
+
+#[test]
+fn coordinator_assigns_free_ranks_to_auto_workers() {
+    let _guard = mesh_lock().lock().unwrap();
+    let nranks = 4;
+    let coordinator = format!("127.0.0.1:{}", free_port());
+    let mut handles = Vec::with_capacity(nranks);
+    for i in 0..nranks {
+        let coordinator = coordinator.clone();
+        handles.push(std::thread::spawn(move || {
+            // Only the coordinator claims its rank; everyone else takes
+            // whatever is assigned.
+            let requested = if i == 0 { Some(0) } else { None };
+            let config = TcpConfig::new(coordinator, requested, nranks);
+            let transport = TcpTransport::connect(&config).expect("mesh connects");
+            let assigned = transport.rank();
+            let mut runtime = Runtime::with_transport(Box::new(transport)).expect("valid rank");
+            let seen: Vec<u64> = runtime
+                .execute(|ctx| ctx.allgather(ctx.rank() as u64))
+                .pop()
+                .unwrap();
+            (assigned, seen)
+        }));
+    }
+    let results: Vec<(usize, Vec<u64>)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker completes"))
+        .collect();
+    let mut assigned: Vec<usize> = results.iter().map(|(r, _)| *r).collect();
+    assigned.sort_unstable();
+    assert_eq!(assigned, vec![0, 1, 2, 3], "ranks must be a permutation");
+    for (_, seen) in &results {
+        assert_eq!(seen, &vec![0u64, 1, 2, 3], "allgather sees every rank");
+    }
+}
+
+#[test]
+fn zero_and_mismatched_rank_configs_fail_typed() {
+    use xtrapulp_comm::CommError;
+    assert_eq!(Runtime::try_new(0).err(), Some(CommError::ZeroRanks));
+    // A transport claiming a rank beyond its nranks is rejected up front.
+    let err = TcpTransport::connect(&TcpConfig::new("127.0.0.1:1", Some(3), 2))
+        .err()
+        .expect("out-of-range rank must not connect");
+    assert_eq!(err.kind(), "handshake");
+}

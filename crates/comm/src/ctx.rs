@@ -6,16 +6,32 @@
 //! amortising thread spawn/teardown across jobs the way an MPI job reuses its
 //! task set across collective phases. [`Runtime::run`] remains as the one-shot
 //! convenience wrapper (spawn, execute once, tear down).
+//!
+//! Every collective is written against the [`Transport`] abstraction: a
+//! rank-addressed exchange of framed messages with FIFO ordering per ordered
+//! rank pair. Because every rank issues the same collectives in the same order
+//! (the usage contract), the k-th frame rank `s` sends to rank `d` always
+//! matches the k-th receive rank `d` posts from `s` — so each collective below
+//! is just "send to the ranks that need my data, then receive in rank order",
+//! with no slot protocol or barrier framing.
+//!
+//! [`Runtime::new`] builds the in-process backend (ranks are threads, frames
+//! move as typed boxes, nothing is serialised). [`Runtime::with_transport`]
+//! accepts any [`Transport`] — notably [`TcpTransport`](crate::TcpTransport),
+//! where this process hosts one rank of a multi-process job and frames are
+//! length-prefixed byte streams.
 
 use std::any::Any;
-use std::mem::size_of;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::hub::Hub;
+use crate::error::CommError;
 use crate::stats::{CollectiveKind, CommStats};
+use crate::transport::{
+    Frame, InProcFabric, Transport, TransportError, WireElem, WireMessage, FRAME_HEADER_BYTES,
+};
 
 /// Type-erased return value of one rank's job.
 type ErasedResult = Box<dyn Any + Send>;
@@ -34,86 +50,222 @@ struct Job {
 
 /// A persistent pool of rank threads executing bulk-synchronous jobs.
 ///
-/// Each rank is an OS thread with private state; ranks communicate only through the
-/// collectives on [`RankCtx`]. This mirrors how the original XtraPuLP runs one MPI task
-/// per node with OpenMP threads inside it: here the "node" is a thread and intra-rank
-/// parallelism is delegated to rayon by the caller.
+/// Each local rank is an OS thread with private state; ranks communicate only
+/// through the collectives on [`RankCtx`]. This mirrors how the original
+/// XtraPuLP runs one MPI task per node with OpenMP threads inside it: here the
+/// "node" is a thread and intra-rank parallelism is delegated to rayon by the
+/// caller.
 ///
-/// The rank threads are spawned once in [`Runtime::new`] and live until the
-/// runtime is dropped, so back-to-back jobs (a partitioning service handling
-/// many graphs, a bench loop, a pipeline of partition-then-analyse jobs) pay
-/// the spawn cost once. Every job gets a fresh [`RankCtx`] (and therefore
-/// fresh [`CommStats`]); the rendezvous state ([`Hub`]) is reused, which is
-/// safe because every collective leaves its slots empty on completion.
+/// A runtime hosts the ranks whose transports it was given. [`Runtime::new`]
+/// hosts *all* ranks of an in-process job; [`Runtime::with_transport`] hosts
+/// one rank of a multi-process job, with the remaining ranks living in other
+/// processes behind the transport. The rank threads are spawned once and live
+/// until the runtime is dropped, so back-to-back jobs pay the spawn cost once.
+/// Every job gets a fresh [`RankCtx`] (and therefore fresh [`CommStats`]).
 pub struct Runtime {
     nranks: usize,
+    local_ranks: Vec<usize>,
     job_txs: Vec<Sender<Job>>,
     results_rx: Receiver<(usize, std::thread::Result<ErasedResult>)>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Runtime {
-    /// Spawn a runtime of `nranks` persistent rank threads.
+    /// Spawn a runtime of `nranks` persistent in-process rank threads.
     ///
     /// # Panics
     ///
-    /// Panics if `nranks == 0`. (Request-path callers should validate rank
-    /// counts up front and surface a typed error; see `xtrapulp-api`.)
+    /// Panics if `nranks == 0`; use [`Runtime::try_new`] on request paths that
+    /// need a typed error instead.
     pub fn new(nranks: usize) -> Runtime {
-        assert!(nranks > 0, "a Runtime requires at least one rank");
-        let hub = Arc::new(Hub::new(nranks));
-        let (results_tx, results_rx) = channel();
-        let mut job_txs = Vec::with_capacity(nranks);
-        let mut workers = Vec::with_capacity(nranks);
-        for rank in 0..nranks {
-            let (job_tx, job_rx) = channel::<Job>();
-            let hub = Arc::clone(&hub);
-            let results_tx = results_tx.clone();
-            job_txs.push(job_tx);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("xtrapulp-rank-{rank}"))
-                    .spawn(move || Self::worker_main(rank, hub, job_rx, results_tx))
-                    .expect("failed to spawn rank thread"),
-            );
+        Runtime::try_new(nranks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Spawn a runtime of `nranks` persistent in-process rank threads,
+    /// returning a typed [`CommError`] on invalid rank counts or thread-spawn
+    /// failure instead of panicking.
+    pub fn try_new(nranks: usize) -> Result<Runtime, CommError> {
+        if nranks == 0 {
+            return Err(CommError::ZeroRanks);
         }
-        Runtime {
+        let transports: Vec<Box<dyn Transport>> = InProcFabric::create(nranks)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect();
+        Runtime::from_transports(transports)
+    }
+
+    /// Host one rank of a (typically multi-process) job over an established
+    /// transport. The other `nranks - 1` ranks live behind the transport, in
+    /// other processes.
+    pub fn with_transport(transport: Box<dyn Transport>) -> Result<Runtime, CommError> {
+        Runtime::from_transports(vec![transport])
+    }
+
+    /// Host every rank whose transport is supplied. All transports must agree
+    /// on the job's rank count; each claims a distinct rank within it.
+    pub fn from_transports(transports: Vec<Box<dyn Transport>>) -> Result<Runtime, CommError> {
+        if transports.is_empty() {
+            return Err(CommError::ZeroRanks);
+        }
+        let nranks = transports[0].nranks();
+        if nranks == 0 {
+            return Err(CommError::ZeroRanks);
+        }
+        for t in &transports {
+            if t.nranks() != nranks {
+                return Err(CommError::RankCountMismatch {
+                    expected: nranks,
+                    got: t.nranks(),
+                });
+            }
+            if t.rank() >= nranks {
+                return Err(CommError::RankOutOfRange {
+                    rank: t.rank(),
+                    nranks,
+                });
+            }
+        }
+        let (results_tx, results_rx) = channel();
+        let mut local_ranks = Vec::with_capacity(transports.len());
+        let mut job_txs = Vec::with_capacity(transports.len());
+        let mut workers = Vec::with_capacity(transports.len());
+        for (local, transport) in transports.into_iter().enumerate() {
+            let rank = transport.rank();
+            let (job_tx, job_rx) = channel::<Job>();
+            let results_tx = results_tx.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("xtrapulp-rank-{rank}"))
+                .spawn(move || Self::worker_main(transport, job_rx, results_tx, local));
+            match spawned {
+                Ok(handle) => {
+                    local_ranks.push(rank);
+                    job_txs.push(job_tx);
+                    workers.push(handle);
+                }
+                Err(e) => {
+                    // Unwind the partial pool before reporting.
+                    drop(job_tx);
+                    drop(job_txs);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(CommError::Spawn {
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Runtime {
             nranks,
+            local_ranks,
             job_txs,
             results_rx,
             workers,
-        }
+        })
     }
 
-    /// Number of ranks in the runtime.
+    /// Number of ranks in the job, across all participating processes.
     pub fn nranks(&self) -> usize {
         self.nranks
     }
 
-    /// Execute `f` collectively on every rank and return each rank's result,
-    /// indexed by rank.
+    /// The ranks hosted by this runtime (all of them for [`Runtime::new`],
+    /// usually one for [`Runtime::with_transport`]).
+    pub fn local_ranks(&self) -> &[usize] {
+        &self.local_ranks
+    }
+
+    /// True when some ranks of the job live in other processes.
+    pub fn is_distributed(&self) -> bool {
+        self.local_ranks.len() != self.nranks
+    }
+
+    /// Execute `f` collectively on every locally hosted rank and return each
+    /// local rank's result, in [`Runtime::local_ranks`] order (which is rank
+    /// order `0..nranks` for an in-process runtime).
     ///
     /// `f` is shared by reference across ranks, so it can capture read-only input (for
     /// example, a globally generated edge list that each rank filters down to the part it
     /// owns). Per-rank mutable state lives inside the closure body.
     ///
     /// Takes `&mut self` because a runtime executes one job at a time: the
-    /// rank threads and the hub are a single collective context, exactly like
-    /// an MPI communicator.
+    /// rank threads and the transport are a single collective context, exactly
+    /// like an MPI communicator.
     ///
     /// # Panics
     ///
     /// If any rank's closure panics, the panic is re-raised on the caller once
-    /// every rank has finished. If a rank panics *mid-collective* the
-    /// remaining ranks deadlock in the abandoned collective, exactly as an MPI
-    /// job would hang — don't let request-path code panic inside a job.
+    /// every local rank has finished — including transport failures, which
+    /// unwind the job as [`TransportError`] payloads. Use
+    /// [`Runtime::try_execute`] to receive those as typed errors instead. If a
+    /// rank panics *mid-collective* the remaining in-process ranks deadlock in
+    /// the abandoned collective, exactly as an MPI job would hang — don't let
+    /// request-path code panic inside a job.
     pub fn execute<F, R>(&mut self, f: F) -> Vec<R>
     where
         F: Fn(&RankCtx) -> R + Sync,
         R: Send + 'static,
     {
         let wrapper = |ctx: &RankCtx| -> ErasedResult { Box::new(f(ctx)) };
-        let erased: &(dyn Fn(&RankCtx) -> ErasedResult + Sync) = &wrapper;
+        let mut results = Vec::with_capacity(self.job_txs.len());
+        let mut panic_payload = None;
+        for outcome in self.dispatch(&wrapper) {
+            match outcome {
+                Ok(boxed) => results.push(
+                    *boxed
+                        .downcast::<R>()
+                        .expect("job result type mismatch between ranks"),
+                ),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    }
+
+    /// Like [`Runtime::execute`], but transport failures (peer death, receive
+    /// timeout, undecodable frames) surface as [`CommError::Transport`]
+    /// instead of unwinding the caller. Non-transport panics still propagate.
+    pub fn try_execute<F, R>(&mut self, f: F) -> Result<Vec<R>, CommError>
+    where
+        F: Fn(&RankCtx) -> R + Sync,
+        R: Send + 'static,
+    {
+        let wrapper = |ctx: &RankCtx| -> ErasedResult { Box::new(f(ctx)) };
+        let mut results = Vec::with_capacity(self.job_txs.len());
+        let mut transport_error: Option<TransportError> = None;
+        let mut other_panic = None;
+        for outcome in self.dispatch(&wrapper) {
+            match outcome {
+                Ok(boxed) => results.push(
+                    *boxed
+                        .downcast::<R>()
+                        .expect("job result type mismatch between ranks"),
+                ),
+                Err(payload) => match payload.downcast::<TransportError>() {
+                    Ok(err) => transport_error = Some(*err),
+                    Err(payload) => other_panic = Some(payload),
+                },
+            }
+        }
+        if let Some(err) = transport_error {
+            return Err(CommError::Transport(err));
+        }
+        if let Some(payload) = other_panic {
+            std::panic::resume_unwind(payload);
+        }
+        Ok(results)
+    }
+
+    /// Ship a job to every local rank and collect each rank's outcome, in
+    /// local-rank order.
+    fn dispatch(
+        &mut self,
+        erased: &(dyn Fn(&RankCtx) -> ErasedResult + Sync),
+    ) -> Vec<std::thread::Result<ErasedResult>> {
         // SAFETY: `Job` is only dereferenced by workers between the sends below
         // and the corresponding completion messages, all of which this function
         // waits for before returning; the closure therefore outlives every use
@@ -129,36 +281,25 @@ impl Runtime {
         for tx in &self.job_txs {
             tx.send(job).expect("rank thread exited unexpectedly");
         }
+        let locals = self.job_txs.len();
         let mut slots: Vec<Option<std::thread::Result<ErasedResult>>> = Vec::new();
-        slots.resize_with(self.nranks, || None);
-        for _ in 0..self.nranks {
-            let (rank, outcome) = self
+        slots.resize_with(locals, || None);
+        for _ in 0..locals {
+            let (local, outcome) = self
                 .results_rx
                 .recv()
                 .expect("rank thread exited unexpectedly");
-            slots[rank] = Some(outcome);
+            slots[local] = Some(outcome);
         }
-        // Every rank is done with the job; the borrow of `f` has ended.
-        let mut results = Vec::with_capacity(self.nranks);
-        let mut panic_payload = None;
-        for slot in slots {
-            match slot.expect("every rank reports exactly once") {
-                Ok(boxed) => results.push(
-                    *boxed
-                        .downcast::<R>()
-                        .expect("job result type mismatch between ranks"),
-                ),
-                Err(payload) => panic_payload = Some(payload),
-            }
-        }
-        if let Some(payload) = panic_payload {
-            std::panic::resume_unwind(payload);
-        }
-        results
+        // Every local rank is done with the job; the borrow of `erased` has ended.
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every rank reports exactly once"))
+            .collect()
     }
 
-    /// Run `f` on a fresh one-shot runtime of `nranks` ranks and return each
-    /// rank's result, indexed by rank. Convenience wrapper over
+    /// Run `f` on a fresh one-shot in-process runtime of `nranks` ranks and
+    /// return each rank's result, indexed by rank. Convenience wrapper over
     /// [`Runtime::new`] + [`Runtime::execute`]; for repeated jobs, keep a
     /// runtime (or an `xtrapulp-api` `Session`) alive instead.
     ///
@@ -174,17 +315,20 @@ impl Runtime {
     }
 
     fn worker_main(
-        rank: usize,
-        hub: Arc<Hub>,
+        transport: Box<dyn Transport>,
         job_rx: Receiver<Job>,
         results_tx: Sender<(usize, std::thread::Result<ErasedResult>)>,
+        local: usize,
     ) {
+        // The Arc never leaves this thread; it only lets each job's RankCtx
+        // share the long-lived endpoint.
+        let transport: Arc<dyn Transport> = Arc::from(transport);
         // Exits when the runtime drops its sender.
         while let Ok(job) = job_rx.recv() {
-            let ctx = RankCtx::new(rank, Arc::clone(&hub));
+            let ctx = RankCtx::new(Arc::clone(&transport));
             let f = job.f;
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-            if results_tx.send((rank, outcome)).is_err() {
+            if results_tx.send((local, outcome)).is_err() {
                 return;
             }
         }
@@ -203,18 +347,35 @@ impl Drop for Runtime {
     }
 }
 
+/// Unwind the current job with a typed transport failure as the payload;
+/// [`Runtime::try_execute`] turns it back into [`CommError::Transport`].
+fn fail(err: TransportError) -> ! {
+    std::panic::panic_any(err)
+}
+
+/// What the in-process backend charges as wire bytes for a payload a byte
+/// stream would have framed.
+fn est_wire(payload_bytes: usize) -> u64 {
+    (payload_bytes + FRAME_HEADER_BYTES) as u64
+}
+
 /// Handle given to each rank: identity, size, collectives and communication counters.
 pub struct RankCtx {
     rank: usize,
-    hub: Arc<Hub>,
+    nranks: usize,
+    /// Whether the transport moves real bytes (serialise) or typed boxes.
+    wire: bool,
+    transport: Arc<dyn Transport>,
     stats: CommStats,
 }
 
 impl RankCtx {
-    fn new(rank: usize, hub: Arc<Hub>) -> Self {
+    fn new(transport: Arc<dyn Transport>) -> Self {
         RankCtx {
-            rank,
-            hub,
+            rank: transport.rank(),
+            nranks: transport.nranks(),
+            wire: transport.is_wire(),
+            transport,
             stats: CommStats::new(),
         }
     }
@@ -226,7 +387,7 @@ impl RankCtx {
 
     /// Number of ranks in the runtime.
     pub fn nranks(&self) -> usize {
-        self.hub.nranks()
+        self.nranks
     }
 
     /// True on rank 0, the conventional root for rooted collectives.
@@ -234,9 +395,79 @@ impl RankCtx {
         self.rank == 0
     }
 
+    /// Short name of the transport backend carrying this job (`"inproc"`,
+    /// `"tcp"`).
+    pub fn backend(&self) -> &'static str {
+        self.transport.backend()
+    }
+
     /// Communication counters for this rank.
     pub fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    // ----------------------------------------------------------------------------------
+    // Point-to-point plumbing under the collectives.
+    // ----------------------------------------------------------------------------------
+
+    /// Send one message to `dst`, serialising iff the transport is a byte
+    /// stream.
+    fn send_message<M: WireMessage>(&self, kind: CollectiveKind, dst: usize, msg: M) {
+        let frame = if self.wire {
+            Frame::Bytes(msg.encode())
+        } else {
+            let est = est_wire(msg.wire_size());
+            Frame::typed(msg, est)
+        };
+        match self.transport.send(dst, frame) {
+            Ok(wire) => self.stats.record_frames_sent(kind, 1, wire),
+            Err(err) => fail(err),
+        }
+    }
+
+    /// Send the same message to every other rank, encoding it once on the
+    /// wire path.
+    fn send_to_all<M: WireMessage + Clone>(&self, kind: CollectiveKind, msg: &M) {
+        if self.wire {
+            let bytes = msg.encode();
+            for dst in (0..self.nranks).filter(|&d| d != self.rank) {
+                match self.transport.send(dst, Frame::Bytes(bytes.clone())) {
+                    Ok(wire) => self.stats.record_frames_sent(kind, 1, wire),
+                    Err(err) => fail(err),
+                }
+            }
+        } else {
+            let est = est_wire(msg.wire_size());
+            for dst in (0..self.nranks).filter(|&d| d != self.rank) {
+                match self.transport.send(dst, Frame::typed(msg.clone(), est)) {
+                    Ok(wire) => self.stats.record_frames_sent(kind, 1, wire),
+                    Err(err) => fail(err),
+                }
+            }
+        }
+    }
+
+    /// Receive the next message from `src`, decoding or downcasting as the
+    /// transport requires.
+    fn recv_message<M: WireMessage>(&self, kind: CollectiveKind, src: usize) -> M {
+        let frame = match self.transport.recv(src) {
+            Ok(frame) => frame,
+            Err(err) => fail(err),
+        };
+        self.stats.record_frame_recv(kind, frame.wire_len());
+        match frame {
+            Frame::Bytes(bytes) => match M::decode(&bytes) {
+                Ok(msg) => msg,
+                Err(source) => fail(TransportError::Codec { peer: src, source }),
+            },
+            Frame::Typed { payload, .. } => match payload.downcast::<M>() {
+                Ok(msg) => *msg,
+                Err(_) => panic!(
+                    "in-process frame carried an unexpected type: \
+                     ranks issued mismatched collectives"
+                ),
+            },
+        }
     }
 
     // ----------------------------------------------------------------------------------
@@ -246,49 +477,65 @@ impl RankCtx {
     /// Block until every rank reaches this call.
     pub fn barrier(&self) {
         self.stats.record_collective(CollectiveKind::Barrier);
-        self.hub.barrier();
+        match self.transport.barrier() {
+            Ok(cost) => {
+                if cost.frames_sent > 0 || cost.wire_sent > 0 {
+                    self.stats.record_frames_sent(
+                        CollectiveKind::Barrier,
+                        cost.frames_sent,
+                        cost.wire_sent,
+                    );
+                }
+                if cost.wire_recv > 0 {
+                    self.stats
+                        .record_frame_recv(CollectiveKind::Barrier, cost.wire_recv);
+                }
+            }
+            Err(err) => fail(err),
+        }
     }
 
     /// Broadcast `value` from `root` to every rank. Only the root's `value` is used;
     /// other ranks may pass `None`.
     pub fn broadcast<T>(&self, root: usize, value: Option<T>) -> T
     where
-        T: Clone + Send + 'static,
+        T: WireMessage + Clone,
     {
-        assert!(root < self.nranks(), "broadcast root out of range");
+        assert!(root < self.nranks, "broadcast root out of range");
         self.stats.record_collective(CollectiveKind::Broadcast);
-        if self.rank == root {
+        let out = if self.rank == root {
             let value = value.expect("broadcast root must supply a value");
-            self.stats.record_send(size_of::<T>() as u64);
-            self.hub.put_slot(root, value);
-        }
-        self.hub.barrier();
-        let out: T = self.hub.read_slot(root);
-        self.stats.record_recv(size_of::<T>() as u64);
-        self.hub.barrier();
-        if self.rank == root {
-            self.hub.clear_slot(root);
-        }
+            self.stats.record_send(value.wire_size() as u64);
+            self.send_to_all(CollectiveKind::Broadcast, &value);
+            value
+        } else {
+            self.recv_message(CollectiveKind::Broadcast, root)
+        };
+        self.stats.record_recv(out.wire_size() as u64);
         out
     }
 
     /// Gather one value from every rank on every rank, indexed by rank.
     pub fn allgather<T>(&self, value: T) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: WireMessage + Clone,
     {
         self.stats.record_collective(CollectiveKind::Allgather);
-        self.stats.record_send(size_of::<T>() as u64);
-        self.hub.put_slot(self.rank, value);
-        self.hub.barrier();
-        let nranks = self.nranks();
-        let mut out = Vec::with_capacity(nranks);
-        for r in 0..nranks {
-            out.push(self.hub.read_slot::<T>(r));
+        self.stats.record_send(value.wire_size() as u64);
+        self.send_to_all(CollectiveKind::Allgather, &value);
+        let mut own = Some(value);
+        let mut out = Vec::with_capacity(self.nranks);
+        let mut recv_bytes = 0u64;
+        for src in 0..self.nranks {
+            let msg = if src == self.rank {
+                own.take().expect("own contribution consumed once")
+            } else {
+                self.recv_message(CollectiveKind::Allgather, src)
+            };
+            recv_bytes += msg.wire_size() as u64;
+            out.push(msg);
         }
-        self.stats.record_recv((nranks * size_of::<T>()) as u64);
-        self.hub.barrier();
-        self.hub.clear_slot(self.rank);
+        self.stats.record_recv(recv_bytes);
         out
     }
 
@@ -296,23 +543,21 @@ impl RankCtx {
     /// order on every rank.
     pub fn allgatherv<T>(&self, values: Vec<T>) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: WireElem,
     {
         self.stats.record_collective(CollectiveKind::Allgather);
-        self.stats
-            .record_send((values.len() * size_of::<T>()) as u64);
-        self.hub.put_slot(self.rank, values);
-        self.hub.barrier();
-        let nranks = self.nranks();
+        self.stats.record_send((values.len() * T::SIZE) as u64);
+        self.send_to_all(CollectiveKind::Allgather, &values);
         let mut out = Vec::new();
-        for r in 0..nranks {
-            self.hub.with_slot::<Vec<T>, _>(r, |v| {
-                out.extend_from_slice(v);
-            });
+        for src in 0..self.nranks {
+            if src == self.rank {
+                out.extend_from_slice(&values);
+            } else {
+                let contrib: Vec<T> = self.recv_message(CollectiveKind::Allgather, src);
+                out.extend_from_slice(&contrib);
+            }
         }
-        self.stats.record_recv((out.len() * size_of::<T>()) as u64);
-        self.hub.barrier();
-        self.hub.clear_slot(self.rank);
+        self.stats.record_recv((out.len() * T::SIZE) as u64);
         out
     }
 
@@ -320,60 +565,61 @@ impl RankCtx {
     /// `None` elsewhere.
     pub fn gather<T>(&self, root: usize, value: T) -> Option<Vec<T>>
     where
-        T: Send + 'static,
+        T: WireMessage,
     {
-        assert!(root < self.nranks(), "gather root out of range");
+        assert!(root < self.nranks, "gather root out of range");
         self.stats.record_collective(CollectiveKind::Gather);
-        self.stats.record_send(size_of::<T>() as u64);
-        self.hub.put_mail(self.rank, root, value);
-        self.hub.barrier();
-        let out = if self.rank == root {
-            let nranks = self.nranks();
-            let mut all = Vec::with_capacity(nranks);
-            for src in 0..nranks {
-                all.push(
-                    self.hub
-                        .take_mail::<T>(src, root)
-                        .expect("gather: missing contribution"),
-                );
-            }
-            self.stats.record_recv((nranks * size_of::<T>()) as u64);
-            Some(all)
-        } else {
-            None
-        };
-        self.hub.barrier();
-        out
+        self.stats.record_send(value.wire_size() as u64);
+        if self.rank != root {
+            self.send_message(CollectiveKind::Gather, root, value);
+            return None;
+        }
+        let mut own = Some(value);
+        let mut all = Vec::with_capacity(self.nranks);
+        let mut recv_bytes = 0u64;
+        for src in 0..self.nranks {
+            let msg = if src == self.rank {
+                own.take().expect("own contribution consumed once")
+            } else {
+                self.recv_message(CollectiveKind::Gather, src)
+            };
+            recv_bytes += msg.wire_size() as u64;
+            all.push(msg);
+        }
+        self.stats.record_recv(recv_bytes);
+        Some(all)
     }
 
     /// Scatter one value per rank from `root`. The root passes `Some(values)` with
     /// exactly `nranks` entries; other ranks pass `None`.
     pub fn scatter<T>(&self, root: usize, values: Option<Vec<T>>) -> T
     where
-        T: Send + 'static,
+        T: WireMessage,
     {
-        assert!(root < self.nranks(), "scatter root out of range");
+        assert!(root < self.nranks, "scatter root out of range");
         self.stats.record_collective(CollectiveKind::Scatter);
-        if self.rank == root {
+        let out = if self.rank == root {
             let values = values.expect("scatter root must supply values");
             assert_eq!(
                 values.len(),
-                self.nranks(),
+                self.nranks,
                 "scatter requires exactly one value per rank"
             );
-            self.stats
-                .record_send((values.len() * size_of::<T>()) as u64);
+            let total: usize = values.iter().map(WireMessage::wire_size).sum();
+            self.stats.record_send(total as u64);
+            let mut own = None;
             for (dst, value) in values.into_iter().enumerate() {
-                self.hub.put_mail(root, dst, value);
+                if dst == self.rank {
+                    own = Some(value);
+                } else {
+                    self.send_message(CollectiveKind::Scatter, dst, value);
+                }
             }
-        }
-        self.hub.barrier();
-        let out = self
-            .hub
-            .take_mail::<T>(root, self.rank)
-            .expect("scatter: missing value for this rank");
-        self.stats.record_recv(size_of::<T>() as u64);
-        self.hub.barrier();
+            own.expect("scatter root owns its slot")
+        } else {
+            self.recv_message(CollectiveKind::Scatter, root)
+        };
+        self.stats.record_recv(out.wire_size() as u64);
         out
     }
 
@@ -381,31 +627,36 @@ impl RankCtx {
     /// `sends[d]` is delivered to rank `d`; the result's element `s` came from rank `s`.
     pub fn alltoall<T>(&self, sends: Vec<T>) -> Vec<T>
     where
-        T: Send + 'static,
+        T: WireMessage,
     {
         assert_eq!(
             sends.len(),
-            self.nranks(),
+            self.nranks,
             "alltoall requires one element per destination rank"
         );
         self.stats.record_collective(CollectiveKind::Alltoall);
-        self.stats
-            .record_send((sends.len() * size_of::<T>()) as u64);
+        let total: usize = sends.iter().map(WireMessage::wire_size).sum();
+        self.stats.record_send(total as u64);
+        let mut own = None;
         for (dst, value) in sends.into_iter().enumerate() {
-            self.hub.put_mail(self.rank, dst, value);
+            if dst == self.rank {
+                own = Some(value);
+            } else {
+                self.send_message(CollectiveKind::Alltoall, dst, value);
+            }
         }
-        self.hub.barrier();
-        let nranks = self.nranks();
-        let mut out = Vec::with_capacity(nranks);
-        for src in 0..nranks {
-            out.push(
-                self.hub
-                    .take_mail::<T>(src, self.rank)
-                    .expect("alltoall: missing contribution"),
-            );
+        let mut out = Vec::with_capacity(self.nranks);
+        let mut recv_bytes = 0u64;
+        for src in 0..self.nranks {
+            let msg = if src == self.rank {
+                own.take().expect("own contribution consumed once")
+            } else {
+                self.recv_message(CollectiveKind::Alltoall, src)
+            };
+            recv_bytes += msg.wire_size() as u64;
+            out.push(msg);
         }
-        self.stats.record_recv((nranks * size_of::<T>()) as u64);
-        self.hub.barrier();
+        self.stats.record_recv(recv_bytes);
         out
     }
 
@@ -414,32 +665,34 @@ impl RankCtx {
     /// result's entry `s` is the buffer sent by rank `s`.
     pub fn alltoallv<T>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>>
     where
-        T: Send + 'static,
+        T: WireElem,
     {
         assert_eq!(
             sends.len(),
-            self.nranks(),
+            self.nranks,
             "alltoallv requires one buffer per destination rank"
         );
         self.stats.record_collective(CollectiveKind::Alltoallv);
         let sent_elems: usize = sends.iter().map(Vec::len).sum();
-        self.stats.record_send((sent_elems * size_of::<T>()) as u64);
+        self.stats.record_send((sent_elems * T::SIZE) as u64);
+        let mut own = None;
         for (dst, buf) in sends.into_iter().enumerate() {
-            self.hub.put_mail(self.rank, dst, buf);
+            if dst == self.rank {
+                own = Some(buf);
+            } else {
+                self.send_message(CollectiveKind::Alltoallv, dst, buf);
+            }
         }
-        self.hub.barrier();
-        let nranks = self.nranks();
-        let mut out = Vec::with_capacity(nranks);
-        for src in 0..nranks {
-            out.push(
-                self.hub
-                    .take_mail::<Vec<T>>(src, self.rank)
-                    .expect("alltoallv: missing contribution"),
-            );
+        let mut out = Vec::with_capacity(self.nranks);
+        for src in 0..self.nranks {
+            if src == self.rank {
+                out.push(own.take().expect("own contribution consumed once"));
+            } else {
+                out.push(self.recv_message(CollectiveKind::Alltoallv, src));
+            }
         }
         let recv_elems: usize = out.iter().map(Vec::len).sum();
-        self.stats.record_recv((recv_elems * size_of::<T>()) as u64);
-        self.hub.barrier();
+        self.stats.record_recv((recv_elems * T::SIZE) as u64);
         out
     }
 
@@ -449,29 +702,39 @@ impl RankCtx {
     /// applied in rank order, so non-commutative reductions are deterministic.
     pub fn allreduce_with<T, F>(&self, local: &[T], combine: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: WireElem,
         F: Fn(&mut T, &T),
     {
         self.stats.record_collective(CollectiveKind::Allreduce);
-        self.stats.record_send(std::mem::size_of_val(local) as u64);
-        self.hub.put_slot(self.rank, local.to_vec());
-        self.hub.barrier();
-        let mut acc: Vec<T> = self.hub.read_slot(0);
-        for r in 1..self.nranks() {
-            self.hub.with_slot::<Vec<T>, _>(r, |contrib| {
-                assert_eq!(
-                    acc.len(),
-                    contrib.len(),
-                    "allreduce requires equal-length contributions on every rank"
-                );
-                for (a, c) in acc.iter_mut().zip(contrib.iter()) {
-                    combine(a, c);
+        self.stats.record_send((local.len() * T::SIZE) as u64);
+        let mut own = Some(local.to_vec());
+        self.send_to_all(
+            CollectiveKind::Allreduce,
+            own.as_ref().expect("own contribution present"),
+        );
+        let mut acc: Option<Vec<T>> = None;
+        for src in 0..self.nranks {
+            let contrib = if src == self.rank {
+                own.take().expect("own contribution consumed once")
+            } else {
+                self.recv_message::<Vec<T>>(CollectiveKind::Allreduce, src)
+            };
+            match &mut acc {
+                None => acc = Some(contrib),
+                Some(acc) => {
+                    assert_eq!(
+                        acc.len(),
+                        contrib.len(),
+                        "allreduce requires equal-length contributions on every rank"
+                    );
+                    for (a, c) in acc.iter_mut().zip(contrib.iter()) {
+                        combine(a, c);
+                    }
                 }
-            });
+            }
         }
-        self.stats.record_recv((acc.len() * size_of::<T>()) as u64);
-        self.hub.barrier();
-        self.hub.clear_slot(self.rank);
+        let acc = acc.expect("a runtime has at least one rank");
+        self.stats.record_recv((acc.len() * T::SIZE) as u64);
         acc
     }
 

@@ -1,0 +1,71 @@
+//! Typed errors for runtime construction and distributed execution.
+
+use std::fmt;
+
+use crate::transport::TransportError;
+
+/// Why building or driving a [`Runtime`](crate::Runtime) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A runtime was requested with zero ranks.
+    ZeroRanks,
+    /// A transport claimed a rank outside `0..nranks`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The job's rank count.
+        nranks: usize,
+    },
+    /// Transports handed to one runtime disagree on the job's rank count.
+    RankCountMismatch {
+        /// The rank count of the first transport.
+        expected: usize,
+        /// The conflicting rank count.
+        got: usize,
+    },
+    /// The OS refused to spawn a rank worker thread.
+    Spawn {
+        /// OS error detail.
+        detail: String,
+    },
+    /// A collective failed at the transport layer (peer death, timeout,
+    /// corrupt frame, ...).
+    Transport(TransportError),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::ZeroRanks => write!(f, "a Runtime requires at least one rank"),
+            CommError::RankOutOfRange { rank, nranks } => {
+                write!(
+                    f,
+                    "transport claims rank {rank}, out of range for {nranks} ranks"
+                )
+            }
+            CommError::RankCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "transports disagree on the rank count: expected {expected}, got {got}"
+                )
+            }
+            CommError::Spawn { detail } => write!(f, "failed to spawn rank worker: {detail}"),
+            CommError::Transport(e) => write!(f, "transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for CommError {
+    fn from(e: TransportError) -> Self {
+        CommError::Transport(e)
+    }
+}

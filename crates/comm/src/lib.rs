@@ -18,6 +18,15 @@
 //! is tracked per rank in [`CommStats`] so experiments can report the quantity that would
 //! have crossed the network.
 //!
+//! ## Transports
+//!
+//! The collectives are written against the pluggable [`Transport`] trait (see
+//! [`transport`]). [`Runtime::new`] hosts every rank as a thread of this
+//! process over the in-process backend; [`Runtime::with_transport`] hosts one
+//! rank of a shared-nothing multi-process job over a connected
+//! [`TcpTransport`], where frames really are serialised byte streams and peer
+//! failures surface as typed [`TransportError`]s via [`Runtime::try_execute`].
+//!
 //! ## Example
 //!
 //! ```
@@ -38,13 +47,21 @@
 //! order. Violating this deadlocks the step, exactly as it would on a real cluster.
 
 mod ctx;
-mod hub;
+mod error;
 mod stats;
 mod timer;
+pub mod transport;
 
 pub use ctx::{RankCtx, Runtime};
-pub use stats::{CollectiveKind, CommStats, CommStatsSnapshot};
+pub use error::CommError;
+pub use stats::{
+    CollectiveKind, CollectiveVolume, CommStats, CommStatsSnapshot, PerCollectiveSnapshot,
+};
 pub use timer::{PhaseTimer, Timer};
+pub use transport::{
+    BarrierCost, CodecError, Frame, InProcFabric, InProcTransport, TcpConfig, TcpTransport,
+    Transport, TransportError, WireElem, WireMessage,
+};
 
 #[cfg(test)]
 mod tests;

@@ -3,7 +3,18 @@
 //! The paper repeatedly reasons about communication volume (e.g. why RandHD partitions
 //! 7x faster than WDC12 on the same node count, or why RMAT weak scaling degrades).
 //! Tracking how many bytes each rank hands to the collectives lets the reproduction
-//! report the same quantity even though the "network" is shared memory.
+//! report the same quantity even though the "network" may be shared memory.
+//!
+//! Two levels of accounting coexist:
+//!
+//! * **Payload bytes** ([`CommStats::bytes_sent`]/[`bytes_received`](CommStats::bytes_received)) —
+//!   the element bytes a rank hands to or receives from a collective, including its own
+//!   contribution. This is the algorithmic volume the paper reasons about and is identical
+//!   on every backend.
+//! * **Wire traffic** ([`wire_bytes_sent`](CommStats::wire_bytes_sent), frame counts,
+//!   per-collective volumes) — what actually crosses (or would cross) the transport:
+//!   self-destined data is excluded, frame headers are included. Real serialized bytes on
+//!   the socket backend, the codec's size estimate on the in-process backend.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -30,11 +41,34 @@ pub enum CollectiveKind {
     Scatter,
 }
 
+impl CollectiveKind {
+    /// Number of collective kinds (size of per-kind counter arrays).
+    pub const COUNT: usize = 8;
+
+    /// Dense index for per-kind counter arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            CollectiveKind::Barrier => 0,
+            CollectiveKind::Broadcast => 1,
+            CollectiveKind::Allreduce => 2,
+            CollectiveKind::Alltoall => 3,
+            CollectiveKind::Alltoallv => 4,
+            CollectiveKind::Allgather => 5,
+            CollectiveKind::Gather => 6,
+            CollectiveKind::Scatter => 7,
+        }
+    }
+}
+
+fn zeroed_counters() -> [AtomicU64; CollectiveKind::COUNT] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
 /// Monotonic counters of collective traffic issued by one rank.
 ///
 /// Counters are updated by [`crate::RankCtx`] as collectives are issued and can be read
 /// at any time; experiments usually snapshot them once per phase.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CommStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
@@ -42,6 +76,31 @@ pub struct CommStats {
     barriers: AtomicU64,
     alltoallv_calls: AtomicU64,
     allreduce_calls: AtomicU64,
+    wire_bytes_sent: AtomicU64,
+    wire_bytes_received: AtomicU64,
+    frames_sent: AtomicU64,
+    per_kind_calls: [AtomicU64; CollectiveKind::COUNT],
+    per_kind_frames: [AtomicU64; CollectiveKind::COUNT],
+    per_kind_wire: [AtomicU64; CollectiveKind::COUNT],
+}
+
+impl Default for CommStats {
+    fn default() -> Self {
+        CommStats {
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            collectives: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+            alltoallv_calls: AtomicU64::new(0),
+            allreduce_calls: AtomicU64::new(0),
+            wire_bytes_sent: AtomicU64::new(0),
+            wire_bytes_received: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            per_kind_calls: zeroed_counters(),
+            per_kind_frames: zeroed_counters(),
+            per_kind_wire: zeroed_counters(),
+        }
+    }
 }
 
 impl CommStats {
@@ -60,6 +119,7 @@ impl CommStats {
 
     pub(crate) fn record_collective(&self, kind: CollectiveKind) {
         self.collectives.fetch_add(1, Ordering::Relaxed);
+        self.per_kind_calls[kind.index()].fetch_add(1, Ordering::Relaxed);
         match kind {
             CollectiveKind::Barrier => {
                 self.barriers.fetch_add(1, Ordering::Relaxed);
@@ -72,6 +132,20 @@ impl CommStats {
             }
             _ => {}
         }
+    }
+
+    /// Charge outbound frames and their wire bytes to a collective.
+    pub(crate) fn record_frames_sent(&self, kind: CollectiveKind, frames: u64, wire: u64) {
+        self.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        self.wire_bytes_sent.fetch_add(wire, Ordering::Relaxed);
+        self.per_kind_frames[kind.index()].fetch_add(frames, Ordering::Relaxed);
+        self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed);
+    }
+
+    /// Charge inbound wire bytes to a collective.
+    pub(crate) fn record_frame_recv(&self, kind: CollectiveKind, wire: u64) {
+        self.wire_bytes_received.fetch_add(wire, Ordering::Relaxed);
+        self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed);
     }
 
     /// Total bytes this rank handed to collectives as send payload.
@@ -112,8 +186,29 @@ impl CommStats {
         self.allreduce_calls.load(Ordering::Relaxed)
     }
 
+    /// Wire bytes this rank sent over the transport (excludes self-destined
+    /// data, includes frame headers on byte-stream backends).
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.wire_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes this rank received over the transport.
+    pub fn wire_bytes_received(&self) -> u64 {
+        self.wire_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Point-to-point frames this rank sent over the transport.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
     /// Copy the counters into a plain snapshot struct.
     pub fn snapshot(&self) -> CommStatsSnapshot {
+        let volume = |kind: CollectiveKind| CollectiveVolume {
+            calls: self.per_kind_calls[kind.index()].load(Ordering::Relaxed),
+            frames: self.per_kind_frames[kind.index()].load(Ordering::Relaxed),
+            wire_bytes: self.per_kind_wire[kind.index()].load(Ordering::Relaxed),
+        };
         CommStatsSnapshot {
             bytes_sent: self.bytes_sent(),
             bytes_received: self.bytes_received(),
@@ -121,6 +216,76 @@ impl CommStats {
             barriers: self.barriers(),
             alltoallv_calls: self.alltoallv_calls(),
             allreduce_calls: self.allreduce_calls(),
+            wire_bytes_sent: self.wire_bytes_sent(),
+            wire_bytes_received: self.wire_bytes_received(),
+            frames_sent: self.frames_sent(),
+            per_collective: PerCollectiveSnapshot {
+                barrier: volume(CollectiveKind::Barrier),
+                broadcast: volume(CollectiveKind::Broadcast),
+                allreduce: volume(CollectiveKind::Allreduce),
+                alltoall: volume(CollectiveKind::Alltoall),
+                alltoallv: volume(CollectiveKind::Alltoallv),
+                allgather: volume(CollectiveKind::Allgather),
+                gather: volume(CollectiveKind::Gather),
+                scatter: volume(CollectiveKind::Scatter),
+            },
+        }
+    }
+}
+
+/// Traffic one collective family generated on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CollectiveVolume {
+    /// Times the collective was issued.
+    pub calls: u64,
+    /// Point-to-point frames it sent.
+    pub frames: u64,
+    /// Wire bytes it moved (sent + received).
+    pub wire_bytes: u64,
+}
+
+impl CollectiveVolume {
+    fn merged(self, other: CollectiveVolume) -> CollectiveVolume {
+        CollectiveVolume {
+            calls: self.calls + other.calls,
+            frames: self.frames + other.frames,
+            wire_bytes: self.wire_bytes + other.wire_bytes,
+        }
+    }
+}
+
+/// Per-collective traffic breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PerCollectiveSnapshot {
+    /// Barrier traffic (release frames only; payload-free).
+    pub barrier: CollectiveVolume,
+    /// Broadcast traffic.
+    pub broadcast: CollectiveVolume,
+    /// Allreduce traffic.
+    pub allreduce: CollectiveVolume,
+    /// Alltoall traffic.
+    pub alltoall: CollectiveVolume,
+    /// Alltoallv traffic.
+    pub alltoallv: CollectiveVolume,
+    /// Allgather(v) traffic.
+    pub allgather: CollectiveVolume,
+    /// Rooted gather traffic.
+    pub gather: CollectiveVolume,
+    /// Rooted scatter traffic.
+    pub scatter: CollectiveVolume,
+}
+
+impl PerCollectiveSnapshot {
+    fn merged(self, other: PerCollectiveSnapshot) -> PerCollectiveSnapshot {
+        PerCollectiveSnapshot {
+            barrier: self.barrier.merged(other.barrier),
+            broadcast: self.broadcast.merged(other.broadcast),
+            allreduce: self.allreduce.merged(other.allreduce),
+            alltoall: self.alltoall.merged(other.alltoall),
+            alltoallv: self.alltoallv.merged(other.alltoallv),
+            allgather: self.allgather.merged(other.allgather),
+            gather: self.gather.merged(other.gather),
+            scatter: self.scatter.merged(other.scatter),
         }
     }
 }
@@ -140,6 +305,14 @@ pub struct CommStatsSnapshot {
     pub alltoallv_calls: u64,
     /// Allreduce count.
     pub allreduce_calls: u64,
+    /// Wire bytes sent over the transport (real on sockets, estimated in-proc).
+    pub wire_bytes_sent: u64,
+    /// Wire bytes received over the transport.
+    pub wire_bytes_received: u64,
+    /// Point-to-point frames sent over the transport.
+    pub frames_sent: u64,
+    /// Traffic broken down by collective family.
+    pub per_collective: PerCollectiveSnapshot,
 }
 
 impl CommStatsSnapshot {
@@ -152,6 +325,10 @@ impl CommStatsSnapshot {
             barriers: self.barriers + other.barriers,
             alltoallv_calls: self.alltoallv_calls + other.alltoallv_calls,
             allreduce_calls: self.allreduce_calls + other.allreduce_calls,
+            wire_bytes_sent: self.wire_bytes_sent + other.wire_bytes_sent,
+            wire_bytes_received: self.wire_bytes_received + other.wire_bytes_received,
+            frames_sent: self.frames_sent + other.frames_sent,
+            per_collective: self.per_collective.merged(other.per_collective),
         }
     }
 }

@@ -1,0 +1,115 @@
+//! Backend zero: the shared-memory hub refactored into a [`Transport`].
+//!
+//! Ranks are threads of one process. A fabric of per-ordered-pair unbounded
+//! channels replaces the old slot/mailbox hub: frames move as typed boxes
+//! (no serialisation), FIFO per pair, and the only shared synchronisation is
+//! a [`std::sync::Barrier`] backing the explicit `barrier` collective. Unlike
+//! the old hub — which framed every collective with two or three global
+//! barriers to protect slot reuse — channels need no framing at all, so
+//! in-process collectives now synchronise only with the ranks they actually
+//! exchange frames with.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+use super::{BarrierCost, Frame, Transport, TransportError};
+
+/// Builder of a matched set of in-process transports, one per rank.
+pub struct InProcFabric;
+
+impl InProcFabric {
+    /// Create `nranks` connected endpoints. Endpoint `r` is rank `r`; move
+    /// each to its rank thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nranks == 0` (validated upstream by
+    /// [`Runtime::try_new`](crate::Runtime::try_new)).
+    pub fn create(nranks: usize) -> Vec<InProcTransport> {
+        assert!(nranks > 0, "a fabric needs at least one rank");
+        let barrier = Arc::new(Barrier::new(nranks));
+        // txs[s][d] / rxs[d][s]: the (s -> d) channel. Self-channels are
+        // created for index regularity but never used.
+        let mut txs: Vec<Vec<Option<Sender<Frame>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Frame>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        for s in 0..nranks {
+            for d in 0..nranks {
+                let (tx, rx) = channel();
+                txs[s][d] = Some(tx);
+                rxs[d][s] = Some(rx);
+            }
+        }
+        txs.into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| InProcTransport {
+                rank,
+                nranks,
+                barrier: Arc::clone(&barrier),
+                txs: tx_row.into_iter().map(Option::unwrap).collect(),
+                rxs: rx_row.into_iter().map(Option::unwrap).collect(),
+            })
+            .collect()
+    }
+}
+
+/// One rank's endpoint of the in-process fabric.
+pub struct InProcTransport {
+    rank: usize,
+    nranks: usize,
+    barrier: Arc<Barrier>,
+    /// `txs[d]` queues frames to rank `d`.
+    txs: Vec<Sender<Frame>>,
+    /// `rxs[s]` receives frames from rank `s`.
+    rxs: Vec<Receiver<Frame>>,
+}
+
+impl Transport for InProcTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn is_wire(&self) -> bool {
+        false
+    }
+
+    fn backend(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn send(&self, dst: usize, frame: Frame) -> Result<u64, TransportError> {
+        debug_assert_ne!(dst, self.rank, "self-sends are handled above the transport");
+        let wire = frame.wire_len();
+        self.txs[dst]
+            .send(frame)
+            .map_err(|_| TransportError::PeerDeath {
+                peer: dst,
+                detail: "in-process peer released its transport".to_string(),
+            })?;
+        Ok(wire)
+    }
+
+    fn recv(&self, src: usize) -> Result<Frame, TransportError> {
+        debug_assert_ne!(
+            src, self.rank,
+            "self-receives are handled above the transport"
+        );
+        self.rxs[src].recv().map_err(|_| TransportError::PeerDeath {
+            peer: src,
+            detail: "in-process peer released its transport".to_string(),
+        })
+    }
+
+    fn barrier(&self) -> Result<BarrierCost, TransportError> {
+        self.barrier.wait();
+        Ok(BarrierCost::default())
+    }
+}

@@ -1,0 +1,811 @@
+//! Shared-nothing multi-process ranks over TCP sockets.
+//!
+//! ## Rendezvous
+//!
+//! One process per rank. The rank-0 process binds the well-known coordinator
+//! address; every other process binds an ephemeral mesh listener, connects to
+//! the coordinator (retrying until the connect timeout, so start order does
+//! not matter) and sends a `HELLO` carrying its requested rank (or auto), its
+//! expected rank count and its listener address. Once all `nranks - 1` workers
+//! have reported, the coordinator assigns ranks — honouring unique explicit
+//! requests, filling the rest — and answers each with a `WELCOME` carrying the
+//! assigned rank and the full peer address table. Mismatched rank counts,
+//! duplicate rank claims, bad magic/version and missing ranks all fail the
+//! handshake with a typed [`TransportError::Handshake`].
+//!
+//! ## Mesh
+//!
+//! The rendezvous connection itself becomes the rank-0 link of each worker.
+//! Worker `i` then dials workers `1..i` (each identified by an `IAM` frame)
+//! and accepts connections from workers `i+1..nranks`, completing the full
+//! mesh. Listeners are bound before `HELLO` is sent, so a dial can never
+//! outrun its target.
+//!
+//! ## Data plane
+//!
+//! Each connection gets a reader thread (length-prefixed frames into an inbox
+//! channel) and a writer thread (outbox channel onto the socket, `TCP_NODELAY`),
+//! so the rank thread never blocks on socket backpressure and any collective
+//! pattern is deadlock-free. A closed or reset connection surfaces as
+//! [`TransportError::PeerDeath`] on the next receive — within the receive
+//! timeout bound — and a peer that is alive but silent past the timeout
+//! surfaces as [`TransportError::Timeout`].
+
+use std::cell::RefCell;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::{Frame, Transport, TransportError, MAX_FRAME_BYTES};
+
+/// Protocol magic ("XPMP") opening every handshake message.
+const MAGIC: u32 = 0x5850_4D50;
+/// Wire protocol version; bumped on any incompatible change.
+const VERSION: u16 = 1;
+/// `HELLO.requested_rank` value meaning "assign me any free rank".
+const RANK_AUTO: u64 = u64::MAX;
+
+/// Configuration of one TCP endpoint (one rank, one process).
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Coordinator address (`host:port`). The rank-0 process binds it; every
+    /// other process connects to it.
+    pub coordinator: String,
+    /// Explicit rank to claim, or `None` to accept coordinator assignment.
+    /// The coordinator process must claim rank 0 explicitly.
+    pub rank: Option<usize>,
+    /// Total ranks across all processes. Every process must agree.
+    pub nranks: usize,
+    /// How long to keep retrying the initial connect (workers) before failing
+    /// typed. Also bounds each mesh dial.
+    pub connect_timeout: Duration,
+    /// How long the coordinator waits for all workers (and each endpoint waits
+    /// for individual handshake messages) before failing typed.
+    pub handshake_timeout: Duration,
+    /// How long `recv` waits for a frame before reporting
+    /// [`TransportError::Timeout`]. Bounds how long a rank can hang on a
+    /// wedged (rather than dead) peer.
+    pub recv_timeout: Duration,
+}
+
+impl TcpConfig {
+    /// A config with the default timeouts (10 s connect, 30 s handshake,
+    /// 60 s receive).
+    pub fn new(coordinator: impl Into<String>, rank: Option<usize>, nranks: usize) -> Self {
+        TcpConfig {
+            coordinator: coordinator.into(),
+            rank,
+            nranks,
+            connect_timeout: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(30),
+            recv_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a reader thread forwards to the rank thread.
+enum Inbound {
+    Frame(Vec<u8>),
+    Down(TransportError),
+}
+
+/// One established peer link.
+struct Peer {
+    outbox: Sender<Vec<u8>>,
+    inbox: Receiver<Inbound>,
+    /// Sticky death record: once a peer fails, every later receive reports the
+    /// same typed error instead of a confusing timeout.
+    dead: RefCell<Option<TransportError>>,
+}
+
+/// A connected TCP endpoint implementing [`Transport`].
+pub struct TcpTransport {
+    rank: usize,
+    nranks: usize,
+    recv_timeout: Duration,
+    /// Indexed by peer rank; `None` at our own index.
+    peers: Vec<Option<Peer>>,
+    /// Original streams, kept to force-shutdown reader threads on drop.
+    streams: Vec<Option<TcpStream>>,
+    readers: Vec<JoinHandle<()>>,
+    writers: Vec<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Establish the rendezvous and full mesh for this process's rank.
+    ///
+    /// Blocks until every rank of the job is connected (or a timeout/handshake
+    /// failure surfaces). The rank-0 process acts as coordinator.
+    pub fn connect(config: &TcpConfig) -> Result<TcpTransport, TransportError> {
+        if config.nranks == 0 {
+            return Err(TransportError::Handshake {
+                detail: "a transport needs at least one rank".to_string(),
+            });
+        }
+        if let Some(r) = config.rank {
+            if r >= config.nranks {
+                return Err(TransportError::Handshake {
+                    detail: format!("rank {r} out of range for {} ranks", config.nranks),
+                });
+            }
+        }
+        if config.nranks == 1 {
+            // A one-rank job has no peers and needs no sockets.
+            return Ok(TcpTransport {
+                rank: 0,
+                nranks: 1,
+                recv_timeout: config.recv_timeout,
+                peers: vec![None],
+                streams: vec![None],
+                readers: Vec::new(),
+                writers: Vec::new(),
+            });
+        }
+        let (rank, links) = if config.rank == Some(0) {
+            Self::rendezvous_coordinator(config)?
+        } else {
+            Self::rendezvous_worker(config)?
+        };
+        Self::spawn_io(rank, config, links)
+    }
+
+    /// Rank 0: bind the coordinator address, collect `HELLO`s, assign ranks,
+    /// answer `WELCOME`s. The rendezvous streams become the mesh links.
+    fn rendezvous_coordinator(
+        config: &TcpConfig,
+    ) -> Result<(usize, Vec<Option<TcpStream>>), TransportError> {
+        let nranks = config.nranks;
+        let listener =
+            TcpListener::bind(&config.coordinator).map_err(|e| TransportError::Bind {
+                addr: config.coordinator.clone(),
+                detail: e.to_string(),
+            })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| handshake_io("coordinator listener", &e))?;
+        let deadline = Instant::now() + config.handshake_timeout;
+        // (requested_rank, advertised mesh addr, stream), one per worker.
+        let mut hellos: Vec<(u64, String, TcpStream)> = Vec::new();
+        while hellos.len() < nranks - 1 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    prepare_stream(&stream, config.handshake_timeout)?;
+                    let hello = read_hello(&stream, nranks)?;
+                    hellos.push((hello.0, hello.1, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Handshake {
+                            detail: format!(
+                                "only {} of {} ranks reported to the coordinator within {:?}",
+                                hellos.len() + 1,
+                                nranks,
+                                config.handshake_timeout
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(handshake_io("coordinator accept", &e)),
+            }
+        }
+
+        // Assign ranks: explicit claims first (unique, in range), autos fill.
+        let mut claimed = vec![false; nranks];
+        claimed[0] = true;
+        for (req, _, _) in &hellos {
+            if *req == RANK_AUTO {
+                continue;
+            }
+            let r = *req as usize;
+            if r >= nranks {
+                return Err(TransportError::Handshake {
+                    detail: format!("a worker claimed rank {r}, out of range for {nranks} ranks"),
+                });
+            }
+            if claimed[r] {
+                return Err(TransportError::Handshake {
+                    detail: format!("rank {r} claimed twice"),
+                });
+            }
+            claimed[r] = true;
+        }
+        let mut next_free = 0usize;
+        let mut assigned: Vec<usize> = Vec::with_capacity(hellos.len());
+        for (req, _, _) in &hellos {
+            if *req == RANK_AUTO {
+                while claimed[next_free] {
+                    next_free += 1;
+                }
+                claimed[next_free] = true;
+                assigned.push(next_free);
+            } else {
+                assigned.push(*req as usize);
+            }
+        }
+
+        let mut addrs = vec![String::new(); nranks];
+        for ((_, addr, _), &rank) in hellos.iter().zip(&assigned) {
+            addrs[rank] = addr.clone();
+        }
+        let mut links: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+        for ((_, _, stream), rank) in hellos.into_iter().zip(assigned) {
+            write_welcome(&stream, rank, nranks, &addrs)?;
+            links[rank] = Some(stream);
+        }
+        Ok((0, links))
+    }
+
+    /// Non-zero ranks: dial the coordinator, `HELLO`/`WELCOME`, then complete
+    /// the worker-to-worker mesh.
+    fn rendezvous_worker(
+        config: &TcpConfig,
+    ) -> Result<(usize, Vec<Option<TcpStream>>), TransportError> {
+        let nranks = config.nranks;
+        let coord = connect_retry(&config.coordinator, config.connect_timeout)?;
+        prepare_stream(&coord, config.handshake_timeout)?;
+        // Bind the mesh listener on the interface that reaches the coordinator,
+        // before HELLO advertises it — a dialing peer can never outrun us.
+        let local_ip = coord
+            .local_addr()
+            .map_err(|e| handshake_io("local_addr", &e))?
+            .ip();
+        let listener = TcpListener::bind((local_ip, 0)).map_err(|e| TransportError::Bind {
+            addr: format!("{local_ip}:0"),
+            detail: e.to_string(),
+        })?;
+        let listen_addr = listener
+            .local_addr()
+            .map_err(|e| handshake_io("listener local_addr", &e))?
+            .to_string();
+
+        let requested = config.rank.map_or(RANK_AUTO, |r| r as u64);
+        write_hello(&coord, requested, nranks, &listen_addr)?;
+        let (my_rank, addrs) = read_welcome(&coord, nranks)?;
+
+        let mut links: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+        links[0] = Some(coord);
+        // Dial every lower-ranked worker; they are past WELCOME or their
+        // listener backlog holds us until they are.
+        for (peer, addr) in addrs.iter().enumerate().take(my_rank).skip(1) {
+            let stream = connect_retry(addr, config.connect_timeout)?;
+            prepare_stream(&stream, config.handshake_timeout)?;
+            write_iam(&stream, my_rank)?;
+            links[peer] = Some(stream);
+        }
+        // Accept every higher-ranked worker.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| handshake_io("mesh listener", &e))?;
+        let deadline = Instant::now() + config.handshake_timeout;
+        let mut pending = nranks - 1 - my_rank;
+        while pending > 0 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    prepare_stream(&stream, config.handshake_timeout)?;
+                    let peer = read_iam(&stream)?;
+                    if peer <= my_rank || peer >= nranks {
+                        return Err(TransportError::Handshake {
+                            detail: format!("mesh peer announced invalid rank {peer}"),
+                        });
+                    }
+                    if links[peer].is_some() {
+                        return Err(TransportError::Handshake {
+                            detail: format!("rank {peer} connected twice"),
+                        });
+                    }
+                    links[peer] = Some(stream);
+                    pending -= 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Handshake {
+                            detail: format!(
+                                "rank {my_rank} still waiting for {pending} mesh peers after {:?}",
+                                config.handshake_timeout
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(handshake_io("mesh accept", &e)),
+            }
+        }
+        Ok((my_rank, links))
+    }
+
+    /// Spawn the per-peer reader/writer threads over established links.
+    fn spawn_io(
+        rank: usize,
+        config: &TcpConfig,
+        links: Vec<Option<TcpStream>>,
+    ) -> Result<TcpTransport, TransportError> {
+        let nranks = config.nranks;
+        let mut peers: Vec<Option<Peer>> = (0..nranks).map(|_| None).collect();
+        let mut streams: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+        let mut readers = Vec::new();
+        let mut writers = Vec::new();
+        for (peer_rank, link) in links.into_iter().enumerate() {
+            let Some(stream) = link else { continue };
+            // Handshake used read timeouts; the data plane blocks indefinitely
+            // (liveness is the rank thread's recv_timeout, not the socket's).
+            stream
+                .set_read_timeout(None)
+                .and_then(|()| stream.set_nodelay(true))
+                .map_err(|e| handshake_io("stream setup", &e))?;
+            let reader_stream = stream.try_clone().map_err(|e| handshake_io("clone", &e))?;
+            let writer_stream = stream.try_clone().map_err(|e| handshake_io("clone", &e))?;
+            let (out_tx, out_rx) = channel::<Vec<u8>>();
+            let (in_tx, in_rx) = channel::<Inbound>();
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("xtrapulp-tcp-r{rank}-from{peer_rank}"))
+                    .spawn(move || reader_main(reader_stream, peer_rank, in_tx))
+                    .map_err(|e| handshake_io("spawn reader", &e))?,
+            );
+            writers.push(
+                std::thread::Builder::new()
+                    .name(format!("xtrapulp-tcp-r{rank}-to{peer_rank}"))
+                    .spawn(move || writer_main(writer_stream, out_rx))
+                    .map_err(|e| handshake_io("spawn writer", &e))?,
+            );
+            peers[peer_rank] = Some(Peer {
+                outbox: out_tx,
+                inbox: in_rx,
+                dead: RefCell::new(None),
+            });
+            streams[peer_rank] = Some(stream);
+        }
+        Ok(TcpTransport {
+            rank,
+            nranks,
+            recv_timeout: config.recv_timeout,
+            peers,
+            streams,
+            readers,
+            writers,
+        })
+    }
+
+    fn peer(&self, rank: usize) -> &Peer {
+        self.peers[rank]
+            .as_ref()
+            .expect("no link to this rank (self or out of range)")
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn is_wire(&self) -> bool {
+        true
+    }
+
+    fn backend(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn send(&self, dst: usize, frame: Frame) -> Result<u64, TransportError> {
+        let Frame::Bytes(bytes) = frame else {
+            unreachable!("typed frames are never handed to a wire transport");
+        };
+        let peer = self.peer(dst);
+        if let Some(err) = peer.dead.borrow().as_ref() {
+            return Err(err.clone());
+        }
+        let wire = (bytes.len() + super::FRAME_HEADER_BYTES) as u64;
+        peer.outbox.send(bytes).map_err(|_| {
+            let err = TransportError::PeerDeath {
+                peer: dst,
+                detail: "connection closed (send queue gone)".to_string(),
+            };
+            *peer.dead.borrow_mut() = Some(err.clone());
+            err
+        })?;
+        Ok(wire)
+    }
+
+    fn recv(&self, src: usize) -> Result<Frame, TransportError> {
+        let peer = self.peer(src);
+        if let Some(err) = peer.dead.borrow().as_ref() {
+            return Err(err.clone());
+        }
+        match peer.inbox.recv_timeout(self.recv_timeout) {
+            Ok(Inbound::Frame(bytes)) => Ok(Frame::Bytes(bytes)),
+            Ok(Inbound::Down(err)) => {
+                *peer.dead.borrow_mut() = Some(err.clone());
+                Err(err)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
+                peer: src,
+                after_ms: self.recv_timeout.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => {
+                let err = TransportError::PeerDeath {
+                    peer: src,
+                    detail: "connection closed (receive queue gone)".to_string(),
+                };
+                *peer.dead.borrow_mut() = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Dropping the outboxes lets each writer drain its queue and exit,
+        // so frames already sent (e.g. a final result gather) still flush.
+        for peer in self.peers.iter_mut().flatten() {
+            let (dummy_tx, _dummy_rx) = channel();
+            peer.outbox = dummy_tx;
+        }
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+        // Now tear the sockets down so blocked readers wake and exit.
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Reader thread: length-prefixed frames from one peer into the inbox.
+fn reader_main(mut stream: TcpStream, peer: usize, inbox: Sender<Inbound>) {
+    loop {
+        match read_frame(&mut stream, peer, MAX_FRAME_BYTES) {
+            Ok(Some(bytes)) => {
+                if inbox.send(Inbound::Frame(bytes)).is_err() {
+                    return; // transport dropped; nobody is listening
+                }
+            }
+            Ok(None) => {
+                let _ = inbox.send(Inbound::Down(TransportError::PeerDeath {
+                    peer,
+                    detail: "connection closed by peer".to_string(),
+                }));
+                return;
+            }
+            Err(err) => {
+                let _ = inbox.send(Inbound::Down(err));
+                return;
+            }
+        }
+    }
+}
+
+/// Read one `[u32 len][payload]` frame. `Ok(None)` is a clean EOF at a frame
+/// boundary; a mid-frame EOF is a typed [`TransportError::ShortRead`].
+///
+/// Exposed (crate-internal) so the framing rules are unit-testable without
+/// sockets.
+pub(crate) fn read_frame(
+    stream: &mut impl Read,
+    peer: usize,
+    max_frame: u64,
+) -> Result<Option<Vec<u8>>, TransportError> {
+    let mut header = [0u8; super::FRAME_HEADER_BYTES];
+    let mut got = 0usize;
+    while got < header.len() {
+        match stream.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(TransportError::ShortRead {
+                    peer,
+                    expected: header.len() as u64,
+                    got: got as u64,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(TransportError::PeerDeath {
+                    peer,
+                    detail: format!("read failed: {e}"),
+                })
+            }
+        }
+    }
+    let len = u32::from_le_bytes(header) as u64;
+    if len > max_frame {
+        return Err(TransportError::FrameTooLarge { peer, len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < payload.len() {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(TransportError::ShortRead {
+                    peer,
+                    expected: len,
+                    got: got as u64,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(TransportError::PeerDeath {
+                    peer,
+                    detail: format!("read failed: {e}"),
+                })
+            }
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writer thread: drain the outbox onto the socket until it closes or errors.
+fn writer_main(mut stream: TcpStream, outbox: Receiver<Vec<u8>>) {
+    while let Ok(bytes) = outbox.recv() {
+        let header = (bytes.len() as u32).to_le_bytes();
+        if stream.write_all(&header).is_err() || stream.write_all(&bytes).is_err() {
+            return; // dropping the receiver poisons future sends with PeerDeath
+        }
+        let _ = stream.flush();
+    }
+}
+
+// ----------------------------------------------------------------------------------
+// Handshake wire helpers (blocking IO with socket read timeouts set upstream).
+// ----------------------------------------------------------------------------------
+
+fn handshake_io(what: &str, e: &dyn std::fmt::Display) -> TransportError {
+    TransportError::Handshake {
+        detail: format!("{what}: {e}"),
+    }
+}
+
+fn prepare_stream(stream: &TcpStream, handshake_timeout: Duration) -> Result<(), TransportError> {
+    stream
+        .set_read_timeout(Some(handshake_timeout))
+        .and_then(|()| stream.set_nodelay(true))
+        .map_err(|e| handshake_io("stream setup", &e))
+}
+
+fn connect_retry(addr: &str, timeout: Duration) -> Result<TcpStream, TransportError> {
+    let deadline = Instant::now() + timeout;
+    let mut last = String::from("no address resolved");
+    loop {
+        match addr.to_socket_addrs() {
+            Ok(resolved) => {
+                let addrs: Vec<SocketAddr> = resolved.collect();
+                for sa in &addrs {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let attempt = remaining
+                        .min(Duration::from_millis(500))
+                        .max(Duration::from_millis(10));
+                    match TcpStream::connect_timeout(sa, attempt) {
+                        Ok(stream) => return Ok(stream),
+                        Err(e) => last = e.to_string(),
+                    }
+                }
+            }
+            Err(e) => last = e.to_string(),
+        }
+        if Instant::now() >= deadline {
+            return Err(TransportError::Connect {
+                addr: addr.to_string(),
+                detail: last,
+            });
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn write_all(stream: &TcpStream, bytes: &[u8]) -> Result<(), TransportError> {
+    (&mut &*stream)
+        .write_all(bytes)
+        .map_err(|e| handshake_io("handshake write", &e))
+}
+
+fn read_exact(stream: &TcpStream, buf: &mut [u8]) -> Result<(), TransportError> {
+    (&mut &*stream)
+        .read_exact(buf)
+        .map_err(|e| handshake_io("handshake read", &e))
+}
+
+fn read_u16(stream: &TcpStream) -> Result<u16, TransportError> {
+    let mut b = [0u8; 2];
+    read_exact(stream, &mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32(stream: &TcpStream) -> Result<u32, TransportError> {
+    let mut b = [0u8; 4];
+    read_exact(stream, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(stream: &TcpStream) -> Result<u64, TransportError> {
+    let mut b = [0u8; 8];
+    read_exact(stream, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_string(stream: &TcpStream) -> Result<String, TransportError> {
+    let len = read_u16(stream)? as usize;
+    let mut b = vec![0u8; len];
+    read_exact(stream, &mut b)?;
+    String::from_utf8(b).map_err(|e| handshake_io("handshake string", &e))
+}
+
+fn push_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn check_magic(stream: &TcpStream, what: &str) -> Result<(), TransportError> {
+    let magic = read_u32(stream)?;
+    if magic != MAGIC {
+        return Err(TransportError::Handshake {
+            detail: format!("{what}: bad magic {magic:#010x} (not an xtrapulp-mp peer?)"),
+        });
+    }
+    let version = read_u16(stream)?;
+    if version != VERSION {
+        return Err(TransportError::Handshake {
+            detail: format!("{what}: protocol version {version}, this build speaks {VERSION}"),
+        });
+    }
+    Ok(())
+}
+
+fn write_hello(
+    stream: &TcpStream,
+    requested_rank: u64,
+    nranks: usize,
+    listen_addr: &str,
+) -> Result<(), TransportError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&requested_rank.to_le_bytes());
+    out.extend_from_slice(&(nranks as u64).to_le_bytes());
+    push_string(&mut out, listen_addr);
+    write_all(stream, &out)
+}
+
+/// Returns `(requested_rank, advertised_mesh_addr)`.
+fn read_hello(stream: &TcpStream, nranks: usize) -> Result<(u64, String), TransportError> {
+    check_magic(stream, "HELLO")?;
+    let requested = read_u64(stream)?;
+    let their_nranks = read_u64(stream)? as usize;
+    if their_nranks != nranks {
+        return Err(TransportError::Handshake {
+            detail: format!(
+                "rank-count mismatch: a worker was launched with {their_nranks} ranks, \
+                 the coordinator with {nranks}"
+            ),
+        });
+    }
+    let addr = read_string(stream)?;
+    Ok((requested, addr))
+}
+
+fn write_welcome(
+    stream: &TcpStream,
+    rank: usize,
+    nranks: usize,
+    addrs: &[String],
+) -> Result<(), TransportError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(rank as u64).to_le_bytes());
+    out.extend_from_slice(&(nranks as u64).to_le_bytes());
+    for addr in addrs {
+        push_string(&mut out, addr);
+    }
+    write_all(stream, &out)
+}
+
+/// Returns `(assigned_rank, peer_addrs)`.
+fn read_welcome(stream: &TcpStream, nranks: usize) -> Result<(usize, Vec<String>), TransportError> {
+    check_magic(stream, "WELCOME")?;
+    let rank = read_u64(stream)? as usize;
+    let their_nranks = read_u64(stream)? as usize;
+    if their_nranks != nranks {
+        return Err(TransportError::Handshake {
+            detail: format!(
+                "rank-count mismatch: coordinator runs {their_nranks} ranks, this worker {nranks}"
+            ),
+        });
+    }
+    if rank >= nranks {
+        return Err(TransportError::Handshake {
+            detail: format!("coordinator assigned rank {rank}, out of range for {nranks}"),
+        });
+    }
+    let mut addrs = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        addrs.push(read_string(stream)?);
+    }
+    Ok((rank, addrs))
+}
+
+fn write_iam(stream: &TcpStream, rank: usize) -> Result<(), TransportError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(rank as u64).to_le_bytes());
+    write_all(stream, &out)
+}
+
+fn read_iam(stream: &TcpStream) -> Result<usize, TransportError> {
+    check_magic(stream, "IAM")?;
+    Ok(read_u64(stream)? as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn read_frame_round_trips_and_reports_clean_eof() {
+        let mut data = frame_bytes(b"hello");
+        data.extend_from_slice(&frame_bytes(b""));
+        let mut cur = Cursor::new(data);
+        assert_eq!(
+            read_frame(&mut cur, 1, 64).unwrap(),
+            Some(b"hello".to_vec())
+        );
+        assert_eq!(read_frame(&mut cur, 1, 64).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut cur, 1, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn read_frame_accepts_exactly_max_length() {
+        let payload = vec![7u8; 64];
+        let mut cur = Cursor::new(frame_bytes(&payload));
+        assert_eq!(read_frame(&mut cur, 0, 64).unwrap(), Some(payload));
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_length_prefix() {
+        let mut cur = Cursor::new(frame_bytes(&[0u8; 65]));
+        match read_frame(&mut cur, 3, 64) {
+            Err(TransportError::FrameTooLarge { peer: 3, len: 65 }) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_frame_reports_truncation_as_short_read() {
+        // Header promises 10 bytes, stream carries 4.
+        let mut data = (10u32).to_le_bytes().to_vec();
+        data.extend_from_slice(&[1, 2, 3, 4]);
+        let mut cur = Cursor::new(data);
+        match read_frame(&mut cur, 9, 64) {
+            Err(TransportError::ShortRead {
+                peer: 9,
+                expected: 10,
+                got: 4,
+            }) => {}
+            other => panic!("expected ShortRead, got {other:?}"),
+        }
+        // EOF inside the header itself is also a short read.
+        let mut cur = Cursor::new(vec![5u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, 0, 64),
+            Err(TransportError::ShortRead { .. })
+        ));
+    }
+}

@@ -63,6 +63,16 @@ pub enum PartitionError {
         /// What was wrong with the vector.
         detail: String,
     },
+    /// The communication layer failed underneath the job: an invalid rank
+    /// configuration, or — on a multi-process transport — a peer process died,
+    /// timed out or sent a corrupt frame mid-collective.
+    Comm(xtrapulp_comm::CommError),
+}
+
+impl From<xtrapulp_comm::CommError> for PartitionError {
+    fn from(e: xtrapulp_comm::CommError) -> Self {
+        PartitionError::Comm(e)
+    }
 }
 
 impl fmt::Display for PartitionError {
@@ -101,6 +111,7 @@ impl fmt::Display for PartitionError {
             PartitionError::InvalidWarmStart { detail } => {
                 write!(f, "invalid warm-start part vector: {detail}")
             }
+            PartitionError::Comm(e) => write!(f, "communication layer failed: {e}"),
         }
     }
 }

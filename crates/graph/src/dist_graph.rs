@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use xtrapulp_comm::RankCtx;
+use xtrapulp_comm::{RankCtx, WireElem};
 
 use crate::{Csr, Distribution, GlobalId, LocalId};
 
@@ -537,7 +537,7 @@ impl DistGraph {
     /// vertices with `value_of(local_owned_id)`, and receives the values of its ghosts.
     pub fn ghost_values_with<T, F>(&self, ctx: &RankCtx, value_of: F) -> Vec<T>
     where
-        T: Copy + Send + 'static,
+        T: WireElem,
         F: Fn(LocalId) -> T,
     {
         let nranks = self.nranks;
