@@ -100,8 +100,10 @@ pub struct EpochReport {
 
 impl EpochReport {
     /// One JSON object per epoch, for machine-readable bench output.
+    /// Infallible by construction: every field is a plain number or bool and the
+    /// writer appends to an in-memory `String`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("report serialisation is infallible")
+        serde::json::to_string(self)
     }
 
     fn no_op(epoch: u64, moved_fraction: f64, seconds: f64) -> EpochReport {
@@ -249,6 +251,7 @@ impl AnalyticsConsumer {
         deltas: &[GraphDelta],
         parts: &[i32],
     ) -> EpochReport {
+        let _span = xtrapulp_obs::span_with("analytics_epoch", epoch);
         let start = Instant::now();
         let new_n = deltas
             .last()
@@ -412,6 +415,7 @@ impl AnalyticsConsumer {
             };
         }
         report.seconds = start.elapsed().as_secs_f64();
+        xtrapulp_obs::registry::histogram("analytics_epoch_nanos").record_duration(start.elapsed());
         report
     }
 

@@ -66,9 +66,11 @@ struct DynamicSummary {
 }
 
 impl DynamicReport {
-    /// Serialise the full report (including the part vector) to JSON.
+    /// Serialise the full report (including the part vector) to JSON. Infallible by
+    /// construction: every field is numbers, strings and their containers, and the
+    /// writer appends to an in-memory `String`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("report serialisation is infallible")
+        serde::json::to_string(self)
     }
 
     /// Serialise everything except the part vector to JSON.
@@ -88,7 +90,7 @@ impl DynamicReport {
             quality: self.report.quality,
             total_seconds: self.report.total_seconds(),
         };
-        serde_json::to_string(&summary).expect("report serialisation is infallible")
+        serde::json::to_string(&summary)
     }
 }
 
@@ -344,6 +346,7 @@ impl DynamicSession {
                 quality,
                 timings,
                 comm: CommStatsSnapshot::default(),
+                trace_path: None,
             },
             stats.sweeps,
             stats.vertices_scored,

@@ -66,7 +66,7 @@ mod session;
 pub use dynamic::{DynamicReport, DynamicSession};
 pub use method::Method;
 pub use report::PartitionReport;
-pub use serving::{EngineError, ServingSession};
+pub use serving::{EngineError, MetricsEndpoint, ServingSession};
 pub use session::{PartitionJob, Session};
 
 // The facade's error type lives in the core crate (validation happens there); re-export
@@ -78,7 +78,8 @@ pub use xtrapulp_analytics::{
     AnalyticsConsumer, AnalyticsSubscriber, EpochReport, SubscriberError, WarmPolicy,
 };
 pub use xtrapulp_dynamic::{UpdateBatch, UpdateError, UpdateSummary};
+pub use xtrapulp_obs::{Histogram, HistogramSnapshot, MetricsServer};
 pub use xtrapulp_serve::{
     BatchPolicy, EpochStore, IngestError, IngestQueue, MigrationDiff, PartitionSnapshot,
-    ReplayError, ReplayOutcome, ServeConfig, ServeError, ServeStats,
+    ReplayError, ReplayOutcome, ServeConfig, ServeError, ServeLatencies, ServeStats,
 };

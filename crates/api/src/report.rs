@@ -28,6 +28,10 @@ pub struct PartitionReport {
     pub timings: PhaseTimer,
     /// Communication counters summed over all ranks (zero for serial methods).
     pub comm: CommStatsSnapshot,
+    /// Path of the merged cross-rank trace file this job's process wrote (see
+    /// [`crate::Session::export_trace`]), when tracing was requested. `None` for
+    /// untraced jobs and on ranks that contributed their buffers but did not write.
+    pub trace_path: Option<String>,
 }
 
 /// [`PartitionReport`] minus the (potentially huge) part vector — the shape emitted for
@@ -45,9 +49,11 @@ struct ReportSummary {
 }
 
 impl PartitionReport {
-    /// Serialise the full report (including the part vector) to JSON.
+    /// Serialise the full report (including the part vector) to JSON. Infallible by
+    /// construction: every field is numbers, strings and their containers, and the
+    /// writer appends to an in-memory `String`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("report serialisation is infallible")
+        serde::json::to_string(self)
     }
 
     /// Serialise everything except the part vector to JSON — the right shape for result
@@ -63,7 +69,7 @@ impl PartitionReport {
             timings: self.timings.clone(),
             comm: self.comm,
         };
-        serde_json::to_string(&summary).expect("report serialisation is infallible")
+        serde::json::to_string(&summary)
     }
 
     /// Total wall-clock seconds across all phases.
@@ -93,6 +99,7 @@ mod tests {
             ),
             timings,
             comm: CommStatsSnapshot::default(),
+            trace_path: None,
         }
     }
 
@@ -107,6 +114,7 @@ mod tests {
             "\"timings\":{",
             "\"init\":0.25",
             "\"comm\":{",
+            "\"trace_path\":null",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -18,6 +18,7 @@
 //! [`DynamicSession`] back, so a service can fall back to the single-writer loop (or
 //! run analytics on the final graph) after the concurrent phase.
 
+use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -25,9 +26,10 @@ use xtrapulp::PartitionError;
 use xtrapulp_analytics::{AnalyticsConsumer, AnalyticsSubscriber, WarmPolicy};
 use xtrapulp_dynamic::{UpdateBatch, UpdateError};
 use xtrapulp_graph::{Csr, GraphDelta};
+use xtrapulp_obs as obs;
 use xtrapulp_serve::{
     replay_update_log, EpochStore, IngestError, IngestQueue, PartitionSnapshot, RepartitionEngine,
-    ReplayError, ReplayOutcome, ServeConfig, ServeError, ServeHandle, ServeStats,
+    ReplayError, ReplayOutcome, ServeConfig, ServeError, ServeHandle, ServeLatencies, ServeStats,
 };
 
 use crate::dynamic::{DynamicReport, DynamicSession};
@@ -229,6 +231,34 @@ impl ServingSession {
         self.handle.stats()
     }
 
+    /// The serving pipeline's latency distributions
+    /// ([`xtrapulp_serve::ServeLatencies`]), as mergeable histogram snapshots;
+    /// benches subtract consecutive snapshots to report per-window percentiles.
+    pub fn latencies(&self) -> ServeLatencies {
+        self.handle.latencies()
+    }
+
+    /// Start a live metrics plane for this session: bind a Prometheus-style text
+    /// exposition endpoint on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port)
+    /// and register a collector exposing this session's [`ServeStats`] alongside
+    /// the process-global registry (collective latencies, analytics epochs, ...).
+    ///
+    /// Scrape with `curl http://<local_addr>/metrics` (any path serves the same
+    /// body). The endpoint and the collector unregister when the returned handle
+    /// is dropped or [`MetricsEndpoint::shutdown`] is called.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<MetricsEndpoint> {
+        let stats_fn = self.handle.stats_fn();
+        let collector = obs::registry::register_collector(move |out| {
+            let s = stats_fn();
+            render_serve_stats(&s, out);
+        });
+        let server = obs::MetricsServer::bind(addr)?;
+        Ok(MetricsEndpoint {
+            server,
+            _collector: collector,
+        })
+    }
+
     /// The most recent batch-rejection or repartition failure, if any.
     pub fn last_error(&self) -> Option<String> {
         self.handle.last_error()
@@ -242,6 +272,71 @@ impl ServingSession {
     pub fn shutdown(self) -> Result<(DynamicSession, ServeStats), ServeError> {
         let (engine, stats) = self.handle.shutdown()?;
         Ok((engine.session, stats))
+    }
+}
+
+/// A live metrics endpoint bound by [`ServingSession::serve_metrics`]: the HTTP
+/// listener plus the registry collector exposing the session's serving counters.
+/// Both shut down when this is dropped.
+pub struct MetricsEndpoint {
+    server: obs::MetricsServer,
+    _collector: obs::registry::CollectorGuard,
+}
+
+impl MetricsEndpoint {
+    /// The address the endpoint actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stop the listener thread and unregister the session's collector.
+    pub fn shutdown(mut self) {
+        self.server.shutdown();
+    }
+}
+
+/// Append the session's serving counters as Prometheus exposition lines.
+fn render_serve_stats(s: &ServeStats, out: &mut String) {
+    use std::fmt::Write as _;
+    let counters = [
+        ("serve_epochs_published", s.epochs_published),
+        ("serve_warm_epochs", s.warm_epochs),
+        ("serve_cold_epochs", s.cold_epochs),
+        ("serve_batches_applied", s.batches_applied),
+        ("serve_batches_rejected", s.batches_rejected),
+        ("serve_ops_applied", s.ops_applied),
+        ("serve_repartition_failures", s.repartition_failures),
+    ];
+    for (name, v) in counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+    }
+    let gauges = [
+        ("serve_queue_depth_ops", s.queue_depth_ops as f64),
+        ("serve_queue_depth_batches", s.queue_depth_batches as f64),
+        ("serve_total_publish_seconds", s.total_publish_seconds),
+        ("serve_last_lp_sweeps", s.last_lp_sweeps as f64),
+        ("serve_last_vertices_scored", s.last_vertices_scored as f64),
+    ];
+    for (name, v) in gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+    }
+    let summaries = [
+        (
+            "serve_publish_seconds",
+            s.publish_seconds_p50,
+            s.publish_seconds_p99,
+        ),
+        (
+            "serve_ingest_to_publish_seconds",
+            s.ingest_to_publish_seconds_p50,
+            s.ingest_to_publish_seconds_p99,
+        ),
+    ];
+    for (name, p50, p99) in summaries {
+        let _ = writeln!(
+            out,
+            "# TYPE {name} summary\n{name}{{quantile=\"0.5\"}} {p50}\n{name}{{quantile=\"0.99\"}} {p99}"
+        );
     }
 }
 

@@ -1,5 +1,7 @@
 //! The persistent partitioning session.
 
+use std::path::Path;
+
 use xtrapulp::metrics::PartitionQuality;
 use xtrapulp::partitioner::assemble_gathered_parts;
 use xtrapulp::{
@@ -159,6 +161,20 @@ impl Session {
         Ok(report)
     }
 
+    /// Gather every rank's trace buffers (across all participating processes) and
+    /// write one merged chrome://tracing JSON file at `path`, on rank 0's timeline.
+    ///
+    /// A collective: in a multi-process job every process must call it at the same
+    /// point. Returns `true` on the process that wrote the file (the one hosting
+    /// rank 0) and `false` on processes that only contributed their buffers.
+    /// Tracing is suspended for the duration of the gather so the export's own
+    /// collectives do not pollute the trace.
+    pub fn export_trace(&mut self, path: &Path) -> Result<bool, PartitionError> {
+        self.runtime
+            .export_trace(path)
+            .map_err(PartitionError::Comm)
+    }
+
     /// Run an arbitrary collective job on the session's ranks (for example analytics
     /// over a graph the session just partitioned). Delegates to [`Runtime::execute`].
     pub fn execute<F, R>(&mut self, f: F) -> Vec<R>
@@ -239,6 +255,7 @@ impl Session {
             quality: quality.expect("at least one rank ran the job"),
             timings,
             comm,
+            trace_path: None,
         })
     }
 
@@ -343,6 +360,7 @@ impl Session {
                 quality: quality.expect("at least one rank ran the job"),
                 timings,
                 comm,
+                trace_path: None,
             },
             lp_sweeps,
             vertices_scored,
@@ -371,6 +389,7 @@ impl Session {
             quality,
             timings,
             comm: CommStatsSnapshot::default(),
+            trace_path: None,
         })
     }
 
@@ -385,6 +404,7 @@ impl Session {
             quality: PartitionQuality::evaluate(csr, &[], job.params.num_parts),
             timings: PhaseTimer::new(),
             comm: CommStatsSnapshot::default(),
+            trace_path: None,
         }
     }
 }

@@ -12,6 +12,13 @@
 //! * **ingest-to-publish** — sequential batches, each waited to its published epoch;
 //!   the row reports the mean end-to-end latency from a batch entering the queue to
 //!   its epoch serving, plus the worker's own publish (apply+repartition) time.
+//! * **saturating-producer** — one producer submits batches back-to-back (blocking on
+//!   backpressure) while the main thread samples the pipeline's latency histograms per
+//!   epoch window; each window's row reports the ingest-to-publish p50/p99 over
+//!   exactly the batches published in that window
+//!   ([`HistogramSnapshot::delta_since`](xtrapulp_api::HistogramSnapshot) of
+//!   consecutive snapshots), which is what a saturated pipeline's tail actually
+//!   looks like — a single mean would hide it.
 //!
 //! `--json` emits one line per row with the full [`ServeStats`] object embedded.
 
@@ -216,6 +223,134 @@ fn ingest_to_publish(
     ]);
 }
 
+/// One producer saturates the queue while the main thread slices the pipeline's
+/// ingest-to-publish histogram into per-epoch-window percentiles.
+fn saturating_producer(
+    rows: &mut Vec<Vec<String>>,
+    base: &xtrapulp_gen::EdgeList,
+    ops_per_batch: usize,
+    epochs_per_window: u64,
+) {
+    let serving = ServingSession::spawn(NRANKS, base.to_csr(), job()).expect("valid job");
+    let store = serving.store();
+    let queue = serving.queue();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let stream = generate_stream(
+        base,
+        &UpdateStreamConfig {
+            kind: StreamKind::RandomChurn {
+                ops_per_batch,
+                delete_fraction: 0.5,
+            },
+            num_batches: 64,
+            seed: 23,
+        },
+    );
+    let producer = {
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            // Cycle the pre-generated batches back-to-back: `submit` blocks on
+            // backpressure, so the producer runs exactly as fast as the pipeline
+            // absorbs work — the saturation point.
+            let mut submitted = 0u64;
+            'outer: loop {
+                for i in 0..stream.batches.len() {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                    if queue
+                        .submit(UpdateBatch::from_ops(stream.batch_ops(i)))
+                        .is_err()
+                    {
+                        break 'outer;
+                    }
+                    submitted += 1;
+                }
+            }
+            submitted
+        })
+    };
+
+    let deadline = Instant::now() + Duration::from_millis(RUN_MS * 3);
+    let mut window_floor = serving.latencies();
+    let mut next_epoch_mark = epochs_per_window;
+    let mut window = 0u64;
+    let mut overall_p50 = 0.0f64;
+    let mut overall_p99 = 0.0f64;
+    while Instant::now() < deadline {
+        if store
+            .wait_for_epoch(next_epoch_mark, Duration::from_millis(50))
+            .is_none()
+        {
+            continue;
+        }
+        let now = serving.latencies();
+        let slice = now
+            .ingest_to_publish_nanos
+            .delta_since(&window_floor.ingest_to_publish_nanos);
+        let publish_slice = now.publish_nanos.delta_since(&window_floor.publish_nanos);
+        if slice.count() > 0 {
+            let p50 = slice.p50() as f64 * 1e-9;
+            let p99 = slice.p99() as f64 * 1e-9;
+            overall_p50 = p50;
+            overall_p99 = p99;
+            emit_json(
+                "saturating-producer",
+                &[
+                    ("window", window.to_string()),
+                    ("epoch", store.epoch().to_string()),
+                    ("batches", slice.count().to_string()),
+                    ("i2p_p50_seconds", fmt(p50)),
+                    ("i2p_p99_seconds", fmt(p99)),
+                    (
+                        "publish_p50_seconds",
+                        fmt(publish_slice.p50() as f64 * 1e-9),
+                    ),
+                    (
+                        "publish_p99_seconds",
+                        fmt(publish_slice.p99() as f64 * 1e-9),
+                    ),
+                ],
+                &serving.stats(),
+            );
+            window += 1;
+        }
+        window_floor = now;
+        next_epoch_mark = store.epoch() + epochs_per_window;
+    }
+    stop.store(true, Ordering::Relaxed);
+    // Unblock a producer parked on a full queue by draining the pipeline normally.
+    let submitted = producer.join().expect("producer thread");
+    let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
+
+    let series = "saturating-producer";
+    emit_json(
+        series,
+        &[
+            ("window", "\"final\"".to_string()),
+            ("batches_submitted", submitted.to_string()),
+            ("i2p_p50_seconds", fmt(stats.ingest_to_publish_seconds_p50)),
+            ("i2p_p99_seconds", fmt(stats.ingest_to_publish_seconds_p99)),
+        ],
+        &stats,
+    );
+    rows.push(vec![
+        series.to_string(),
+        format!("{window} windows"),
+        "-".to_string(),
+        format!("{}", stats.epochs_published),
+        format!("{}/{}", stats.warm_epochs, stats.cold_epochs),
+        format!(
+            "{} p50 / {} p99",
+            fmt(stats.publish_seconds_p50),
+            fmt(stats.publish_seconds_p99)
+        ),
+        format!("{} p50 / {} p99", fmt(overall_p50), fmt(overall_p99)),
+    ]);
+}
+
 fn main() {
     let n = scaled(1 << 14);
     let base = GraphConfig::new(
@@ -234,6 +369,7 @@ fn main() {
         readers_under_churn(&mut rows, &base, readers, churn_ops);
     }
     ingest_to_publish(&mut rows, &base, churn_ops);
+    saturating_producer(&mut rows, &base, churn_ops, 4);
 
     print_table(
         "Concurrent serving — reader throughput under churn, ingest-to-publish latency",

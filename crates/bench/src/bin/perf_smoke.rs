@@ -198,9 +198,115 @@ fn main() {
     check("warm_touched_scored", m.warm_touched_scored as f64);
     check("dist_loopback_frames", m.dist_loopback_frames as f64);
 
+    if !tracing_overhead_gate() {
+        failed = true;
+    }
+
     if failed {
         eprintln!("perf_smoke: FAILED (>{TOLERANCE}x regression against {BASELINE_PATH})");
         std::process::exit(1);
     }
     println!("perf_smoke: all checks within {TOLERANCE}x of baseline");
+}
+
+/// Observability overhead gate, two parts:
+///
+/// * **disabled hot path** — a span guard with tracing off must cost one relaxed
+///   atomic load and nothing else. 1M create/drop cycles gate on a generous
+///   absolute bound ([`DISABLED_SPAN_NS_BOUND`] ns/op, ~10x the expected cost),
+///   a tripwire for anyone adding work before the enabled check.
+/// * **enabled A/B** — the cold frontier partition run in interleaved
+///   disabled/enabled pairs (interleaving cancels machine drift). Fails when the
+///   tracing-disabled runs regress more than 2% plus the measured same-mode
+///   noise against the enabled runs' median — i.e. when instrumentation costs
+///   anything measurable with tracing off. The enabled-mode overhead is printed
+///   for the README's numbers but does not gate (it is allowed to cost a few
+///   percent; it is opt-in).
+fn tracing_overhead_gate() -> bool {
+    const DISABLED_SPAN_NS_BOUND: f64 = 25.0;
+    const SPAN_ITERS: u32 = 1_000_000;
+    const AB_PAIRS: usize = 5;
+    const DISABLED_REGRESSION_GATE: f64 = 0.02;
+
+    let mut ok = true;
+    xtrapulp_obs::set_enabled(false);
+    let t = Instant::now();
+    for i in 0..SPAN_ITERS {
+        let _span = xtrapulp_obs::span_with("perf_smoke_disabled", i as u64);
+    }
+    let ns_per_op = t.elapsed().as_nanos() as f64 / SPAN_ITERS as f64;
+    let verdict = if ns_per_op > DISABLED_SPAN_NS_BOUND {
+        ok = false;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "perf_smoke: tracing_disabled_span_ns: {ns_per_op:.2} (bound {DISABLED_SPAN_NS_BOUND}) {verdict}"
+    );
+
+    let csr = GraphConfig::new(
+        GraphKind::WebCrawl {
+            num_vertices: 4096,
+            avg_degree: 16,
+            community_size: 256,
+        },
+        77,
+    )
+    .generate()
+    .to_csr();
+    let params = PartitionParams {
+        num_parts: 8,
+        seed: 29,
+        ..Default::default()
+    };
+    let _ = try_pulp_partition_with_stats(&csr, &params).unwrap(); // warm-up
+    let mut disabled = Vec::with_capacity(AB_PAIRS);
+    let mut enabled = Vec::with_capacity(AB_PAIRS);
+    for _ in 0..AB_PAIRS {
+        xtrapulp_obs::set_enabled(false);
+        let t = Instant::now();
+        let _ = try_pulp_partition_with_stats(&csr, &params).unwrap();
+        disabled.push(t.elapsed().as_secs_f64());
+
+        xtrapulp_obs::set_enabled(true);
+        let t = Instant::now();
+        let _ = try_pulp_partition_with_stats(&csr, &params).unwrap();
+        enabled.push(t.elapsed().as_secs_f64());
+        // Throw away the accumulated events so the rings never skew later pairs.
+        let _ = xtrapulp_obs::trace::drain();
+    }
+    xtrapulp_obs::set_enabled(false);
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    // Same-mode spread estimates this machine's run-to-run noise; the gate
+    // allows 2% plus that, so a quiet machine gates tight and a noisy CI runner
+    // does not flake.
+    let noise = (disabled.iter().cloned().fold(f64::MIN, f64::max)
+        / disabled.iter().cloned().fold(f64::MAX, f64::min))
+        - 1.0;
+    let med_disabled = median(&mut disabled);
+    let med_enabled = median(&mut enabled);
+    let disabled_regression = med_disabled / med_enabled - 1.0;
+    let enabled_overhead = med_enabled / med_disabled - 1.0;
+    let allowed = DISABLED_REGRESSION_GATE + noise;
+    let verdict = if disabled_regression > allowed {
+        ok = false;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "perf_smoke: tracing_disabled_regression: {:.2}% vs enabled median (allowed {:.2}% = 2% + {:.2}% noise) {verdict}",
+        disabled_regression * 100.0,
+        allowed * 100.0,
+        noise * 100.0
+    );
+    println!(
+        "perf_smoke: tracing_enabled_overhead: {:.2}% (informational; tracing is opt-in)",
+        enabled_overhead * 100.0
+    );
+    ok
 }

@@ -60,6 +60,13 @@ struct Options {
     parts: Option<usize>,
     recv_timeout_ms: u64,
     json: bool,
+    /// Merged cross-rank trace output (chrome://tracing JSON). In worker mode the
+    /// process hosting rank 0 writes it; in spawn mode the path is forwarded to
+    /// every worker and the spawner validates the merged file.
+    trace: Option<PathBuf>,
+    /// Prometheus text-exposition listener address (worker mode; spawn mode
+    /// forwards it to rank 0's worker only, so one process binds).
+    metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -80,6 +87,8 @@ impl Default for Options {
             parts: None,
             recv_timeout_ms: 60_000,
             json: false,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -89,7 +98,9 @@ fn usage() -> ! {
         "usage: xtrapulp-mp --rank N --nranks K --coordinator HOST:PORT [job args]\n\
          \x20      xtrapulp-mp --spawn K [--kill-rank R] [--no-verify] [job args]\n\
          job args: --kind rmat|webcrawl|er --scale S --edge-factor F --seed X\n\
-         \x20         --parts P --recv-timeout-ms MS --json"
+         \x20         --parts P --recv-timeout-ms MS --json\n\
+         \x20         --trace FILE (merged chrome://tracing JSON, all ranks)\n\
+         \x20         --metrics HOST:PORT (Prometheus text endpoint)"
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -121,6 +132,8 @@ fn parse_args() -> Options {
                 opts.recv_timeout_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--json" => opts.json = true,
+            "--trace" => opts.trace = Some(PathBuf::from(value(&mut i))),
+            "--metrics" => opts.metrics = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -195,13 +208,25 @@ fn run_worker(opts: &Options) -> i32 {
     };
     let mut session = Session::with_runtime(runtime, Distribution::Block);
 
+    // Live metrics plane: the registry already carries the per-collective latency
+    // histograms this job will record; keep the listener alive until exit.
+    let _metrics_server = opts.metrics.as_deref().map(|addr| {
+        xtrapulp_obs::MetricsServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("failed to bind metrics endpoint {addr}: {e}");
+            std::process::exit(EXIT_USAGE);
+        })
+    });
+    if opts.trace.is_some() {
+        xtrapulp_obs::set_enabled(true);
+    }
+
     let config = graph_config(opts);
     let csr = config.generate().to_csr();
     let params = PartitionParams {
         num_parts: opts.parts.unwrap_or(nranks),
         ..Default::default()
     };
-    let report = match session.partition(&csr, &params) {
+    let mut report = match session.partition(&csr, &params) {
         Ok(report) => report,
         Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(e))) => {
             return report_transport_error(&e);
@@ -211,6 +236,27 @@ fn run_worker(opts: &Options) -> i32 {
             return 1;
         }
     };
+
+    // Collective: every worker contributes its buffers; the process hosting rank 0
+    // writes the merged, clock-aligned file.
+    let mut trace_written = false;
+    if let Some(path) = &opts.trace {
+        match session.export_trace(path) {
+            Ok(wrote) => {
+                trace_written = wrote;
+                if wrote {
+                    report.trace_path = Some(path.display().to_string());
+                }
+            }
+            Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(e))) => {
+                return report_transport_error(&e);
+            }
+            Err(e) => {
+                eprintln!("trace export failed: {e}");
+                return 1;
+            }
+        }
+    }
 
     if let Some(path) = &opts.out {
         let mut body = String::with_capacity(report.parts.len() * 3);
@@ -224,7 +270,7 @@ fn run_worker(opts: &Options) -> i32 {
         }
     }
     let summary = format!(
-        "{{\"rank\":{},\"nranks\":{},\"vertices\":{},\"edges\":{},\"edge_cut\":{},\"wire_bytes_sent\":{},\"frames_sent\":{},\"seconds\":{:.3}}}",
+        "{{\"rank\":{},\"nranks\":{},\"vertices\":{},\"edges\":{},\"edge_cut\":{},\"wire_bytes_sent\":{},\"frames_sent\":{},\"trace_written\":{},\"seconds\":{:.3}}}",
         rank,
         nranks,
         report.num_vertices,
@@ -232,6 +278,7 @@ fn run_worker(opts: &Options) -> i32 {
         report.quality.edge_cut,
         report.comm.wire_bytes_sent,
         report.comm.frames_sent,
+        trace_written,
         started.elapsed().as_secs_f64(),
     );
     println!("{summary}");
@@ -310,6 +357,13 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
             .arg(opts.parts.unwrap_or(workers).to_string())
             .arg("--recv-timeout-ms")
             .arg(recv_timeout_ms.to_string());
+        if let Some(trace) = &opts.trace {
+            cmd.arg("--trace").arg(trace);
+        }
+        if let (Some(metrics), 0) = (&opts.metrics, rank) {
+            // One listener per job: rank 0's process hosts the metrics plane.
+            cmd.arg("--metrics").arg(metrics);
+        }
         if opts.kill_rank == Some(rank) {
             cmd.arg("--die-after-handshake");
         }
@@ -431,10 +485,20 @@ fn validate_success(
             return EXIT_VERIFY;
         }
     }
+    let mut trace_ranks = 0usize;
+    if let Some(trace) = &opts.trace {
+        match validate_merged_trace(trace, workers) {
+            Ok(ranks) => trace_ranks = ranks,
+            Err(detail) => {
+                eprintln!("trace validation failed for {}: {detail}", trace.display());
+                return EXIT_VERIFY;
+            }
+        }
+    }
     let lines = parts[0].lines().count();
     let summary = format!(
         "{{\"spawned\":{workers},\"vertices\":{lines},\"bit_identical_across_processes\":true,\
-         \"matches_inproc\":{inproc_match},\"seconds\":{:.3}}}",
+         \"matches_inproc\":{inproc_match},\"trace_ranks\":{trace_ranks},\"seconds\":{:.3}}}",
         elapsed.as_secs_f64()
     );
     println!("{summary}");
@@ -494,6 +558,29 @@ fn validate_drill(
         elapsed.as_secs_f64()
     );
     0
+}
+
+/// Check the merged chrome://tracing file all workers cooperated on: it must be
+/// one JSON document with a `traceEvents` array carrying span events from every
+/// rank (`"pid":R` for each rank in `0..workers`). Returns the distinct rank
+/// count seen.
+fn validate_merged_trace(path: &Path, workers: usize) -> Result<usize, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if !body.contains("\"traceEvents\":[") {
+        return Err("missing traceEvents array".to_string());
+    }
+    if !body.contains("\"ph\":\"B\"") || !body.contains("\"ph\":\"E\"") {
+        return Err("no complete spans in the trace".to_string());
+    }
+    let mut ranks = 0usize;
+    for rank in 0..workers {
+        if body.contains(&format!("\"pid\":{rank},")) {
+            ranks += 1;
+        } else {
+            return Err(format!("no events from rank {rank}"));
+        }
+    }
+    Ok(ranks)
 }
 
 /// Same job on the in-process backend, formatted like a worker's part file.

@@ -24,8 +24,12 @@
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use xtrapulp_obs as obs;
+use xtrapulp_obs::Histogram;
 
 use crate::error::CommError;
 use crate::stats::{CollectiveKind, CommStats};
@@ -314,6 +318,61 @@ impl Runtime {
         Runtime::new(nranks).execute(f)
     }
 
+    /// Gather every rank's trace buffers at rank 0 and write one merged
+    /// chrome://tracing Trace Event Format file there.
+    ///
+    /// A collective operation: every process hosting ranks of the job must
+    /// call it (the launcher does, after its partition jobs). Within each
+    /// process the lowest local rank drains and ships the whole process's
+    /// buffers — rank threads, serve workers, analytics consumers alike —
+    /// with its transport clock offset applied, so TCP ranks land on rank 0's
+    /// timeline. Returns `true` iff this process hosted rank 0 and wrote
+    /// `path`.
+    ///
+    /// Tracing is suspended for the duration so the gather does not trace
+    /// itself; the previous enable state is restored before returning.
+    pub fn export_trace(&mut self, path: &std::path::Path) -> Result<bool, CommError> {
+        let was_enabled = obs::trace::enabled();
+        obs::set_enabled(false);
+        let leader = self.local_ranks.iter().copied().min().unwrap_or(0);
+        let path_buf = path.to_path_buf();
+        let outcome = self.try_execute(move |ctx| -> Result<bool, String> {
+            let blob = if ctx.rank() == leader {
+                let traces = obs::trace::drain();
+                obs::encode_traces(&traces, ctx.clock_offset_ns())
+            } else {
+                Vec::new()
+            };
+            match ctx.gather(0, blob) {
+                Some(blobs) => {
+                    let mut all = Vec::new();
+                    for b in &blobs {
+                        all.extend(
+                            obs::decode_traces(b)
+                                .map_err(|e| format!("undecodable rank trace blob: {e}"))?,
+                        );
+                    }
+                    let json = obs::export::chrome_trace_json(&all);
+                    std::fs::write(&path_buf, json)
+                        .map_err(|e| format!("writing {}: {e}", path_buf.display()))?;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        });
+        if was_enabled {
+            obs::set_enabled(true);
+        }
+        let mut wrote = false;
+        for r in outcome? {
+            match r {
+                Ok(w) => wrote = wrote || w,
+                Err(detail) => return Err(CommError::TraceExport { detail }),
+            }
+        }
+        Ok(wrote)
+    }
+
     fn worker_main(
         transport: Box<dyn Transport>,
         job_rx: Receiver<Job>,
@@ -323,6 +382,9 @@ impl Runtime {
         // The Arc never leaves this thread; it only lets each job's RankCtx
         // share the long-lived endpoint.
         let transport: Arc<dyn Transport> = Arc::from(transport);
+        // Label this worker thread so its trace events export under the
+        // rank's process lane in chrome://tracing.
+        obs::set_thread_rank(transport.rank());
         // Exits when the runtime drops its sender.
         while let Ok(job) = job_rx.recv() {
             let ctx = RankCtx::new(Arc::clone(&transport));
@@ -357,6 +419,41 @@ fn fail(err: TransportError) -> ! {
 /// stream would have framed.
 fn est_wire(payload_bytes: usize) -> u64 {
     (payload_bytes + FRAME_HEADER_BYTES) as u64
+}
+
+/// Per-collective latency histogram in the global metrics registry, fetched
+/// once and cached so the per-collective cost is one atomic `fetch_add`.
+fn collective_hist(kind: CollectiveKind) -> &'static Arc<Histogram> {
+    static HISTS: OnceLock<[Arc<Histogram>; CollectiveKind::COUNT]> = OnceLock::new();
+    &HISTS.get_or_init(|| {
+        CollectiveKind::ALL.map(|k| {
+            obs::registry::histogram(&format!("comm_collective_nanos{{kind=\"{}\"}}", k.name()))
+        })
+    })[kind.index()]
+}
+
+/// RAII observation of one collective call: a trace span named after the
+/// collective (its end event tagged with the wire bytes the call moved) plus
+/// a sample in the per-kind latency histogram.
+struct CollectiveObs<'a> {
+    span: obs::Span,
+    start: Instant,
+    stats: &'a CommStats,
+    kind: CollectiveKind,
+    wire_before: u64,
+}
+
+impl Drop for CollectiveObs<'_> {
+    fn drop(&mut self) {
+        collective_hist(self.kind).record_duration(self.start.elapsed());
+        if self.span.is_armed() {
+            let moved = self
+                .stats
+                .per_kind_wire(self.kind)
+                .saturating_sub(self.wire_before);
+            self.span.set_arg(moved);
+        }
+    }
 }
 
 /// Handle given to each rank: identity, size, collectives and communication counters.
@@ -404,6 +501,25 @@ impl RankCtx {
     /// Communication counters for this rank.
     pub fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    /// Estimated offset (ns) mapping this process's trace clock onto rank
+    /// 0's, measured during the transport handshake (0 in-process).
+    pub fn clock_offset_ns(&self) -> i64 {
+        self.transport.clock_offset_ns()
+    }
+
+    /// Open the span + latency observation for one collective call. Must be
+    /// created after `record_collective` so the wire-byte delta it reads on
+    /// drop covers exactly this call.
+    fn observe(&self, kind: CollectiveKind) -> CollectiveObs<'_> {
+        CollectiveObs {
+            span: obs::span(kind.name()),
+            start: Instant::now(),
+            stats: &self.stats,
+            kind,
+            wire_before: self.stats.per_kind_wire(kind),
+        }
     }
 
     // ----------------------------------------------------------------------------------
@@ -477,6 +593,7 @@ impl RankCtx {
     /// Block until every rank reaches this call.
     pub fn barrier(&self) {
         self.stats.record_collective(CollectiveKind::Barrier);
+        let _obs = self.observe(CollectiveKind::Barrier);
         match self.transport.barrier() {
             Ok(cost) => {
                 if cost.frames_sent > 0 || cost.wire_sent > 0 {
@@ -503,6 +620,7 @@ impl RankCtx {
     {
         assert!(root < self.nranks, "broadcast root out of range");
         self.stats.record_collective(CollectiveKind::Broadcast);
+        let _obs = self.observe(CollectiveKind::Broadcast);
         let out = if self.rank == root {
             let value = value.expect("broadcast root must supply a value");
             self.stats.record_send(value.wire_size() as u64);
@@ -521,6 +639,7 @@ impl RankCtx {
         T: WireMessage + Clone,
     {
         self.stats.record_collective(CollectiveKind::Allgather);
+        let _obs = self.observe(CollectiveKind::Allgather);
         self.stats.record_send(value.wire_size() as u64);
         self.send_to_all(CollectiveKind::Allgather, &value);
         let mut own = Some(value);
@@ -546,6 +665,7 @@ impl RankCtx {
         T: WireElem,
     {
         self.stats.record_collective(CollectiveKind::Allgather);
+        let _obs = self.observe(CollectiveKind::Allgather);
         self.stats.record_send((values.len() * T::SIZE) as u64);
         self.send_to_all(CollectiveKind::Allgather, &values);
         let mut out = Vec::new();
@@ -569,6 +689,7 @@ impl RankCtx {
     {
         assert!(root < self.nranks, "gather root out of range");
         self.stats.record_collective(CollectiveKind::Gather);
+        let _obs = self.observe(CollectiveKind::Gather);
         self.stats.record_send(value.wire_size() as u64);
         if self.rank != root {
             self.send_message(CollectiveKind::Gather, root, value);
@@ -598,6 +719,7 @@ impl RankCtx {
     {
         assert!(root < self.nranks, "scatter root out of range");
         self.stats.record_collective(CollectiveKind::Scatter);
+        let _obs = self.observe(CollectiveKind::Scatter);
         let out = if self.rank == root {
             let values = values.expect("scatter root must supply values");
             assert_eq!(
@@ -635,6 +757,7 @@ impl RankCtx {
             "alltoall requires one element per destination rank"
         );
         self.stats.record_collective(CollectiveKind::Alltoall);
+        let _obs = self.observe(CollectiveKind::Alltoall);
         let total: usize = sends.iter().map(WireMessage::wire_size).sum();
         self.stats.record_send(total as u64);
         let mut own = None;
@@ -673,6 +796,7 @@ impl RankCtx {
             "alltoallv requires one buffer per destination rank"
         );
         self.stats.record_collective(CollectiveKind::Alltoallv);
+        let _obs = self.observe(CollectiveKind::Alltoallv);
         let sent_elems: usize = sends.iter().map(Vec::len).sum();
         self.stats.record_send((sent_elems * T::SIZE) as u64);
         let mut own = None;
@@ -706,6 +830,7 @@ impl RankCtx {
         F: Fn(&mut T, &T),
     {
         self.stats.record_collective(CollectiveKind::Allreduce);
+        let _obs = self.observe(CollectiveKind::Allreduce);
         self.stats.record_send((local.len() * T::SIZE) as u64);
         let mut own = Some(local.to_vec());
         self.send_to_all(

@@ -31,6 +31,12 @@ pub enum CommError {
     /// A collective failed at the transport layer (peer death, timeout,
     /// corrupt frame, ...).
     Transport(TransportError),
+    /// The cross-rank trace gather succeeded but a blob failed to decode or
+    /// the merged trace file could not be written.
+    TraceExport {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -51,6 +57,7 @@ impl fmt::Display for CommError {
             }
             CommError::Spawn { detail } => write!(f, "failed to spawn rank worker: {detail}"),
             CommError::Transport(e) => write!(f, "transport failure: {e}"),
+            CommError::TraceExport { detail } => write!(f, "trace export failed: {detail}"),
         }
     }
 }

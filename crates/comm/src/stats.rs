@@ -45,6 +45,32 @@ impl CollectiveKind {
     /// Number of collective kinds (size of per-kind counter arrays).
     pub const COUNT: usize = 8;
 
+    /// Every kind, in [`CollectiveKind::index`] order.
+    pub const ALL: [CollectiveKind; CollectiveKind::COUNT] = [
+        CollectiveKind::Barrier,
+        CollectiveKind::Broadcast,
+        CollectiveKind::Allreduce,
+        CollectiveKind::Alltoall,
+        CollectiveKind::Alltoallv,
+        CollectiveKind::Allgather,
+        CollectiveKind::Gather,
+        CollectiveKind::Scatter,
+    ];
+
+    /// Stable lowercase name, used as the trace span name and metric label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Alltoall => "alltoall",
+            CollectiveKind::Alltoallv => "alltoallv",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Scatter => "scatter",
+        }
+    }
+
     /// Dense index for per-kind counter arrays.
     pub const fn index(self) -> usize {
         match self {
@@ -140,6 +166,11 @@ impl CommStats {
         self.wire_bytes_sent.fetch_add(wire, Ordering::Relaxed);
         self.per_kind_frames[kind.index()].fetch_add(frames, Ordering::Relaxed);
         self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed);
+    }
+
+    /// Current wire bytes (sent + received) charged to one collective kind.
+    pub(crate) fn per_kind_wire(&self, kind: CollectiveKind) -> u64 {
+        self.per_kind_wire[kind.index()].load(Ordering::Relaxed)
     }
 
     /// Charge inbound wire bytes to a collective.

@@ -253,6 +253,14 @@ pub trait Transport: Send {
     /// Short backend name for logs and reports (`"inproc"`, `"tcp"`).
     fn backend(&self) -> &'static str;
 
+    /// Estimated offset (nanoseconds) to add to this process's monotonic
+    /// trace timestamps to land them on rank 0's timeline. In-process
+    /// backends share one clock, so the default is 0; multi-process backends
+    /// measure it during their handshake.
+    fn clock_offset_ns(&self) -> i64 {
+        0
+    }
+
     /// Queue `frame` for delivery to `dst`. Returns the wire bytes charged
     /// (real for byte streams, the estimate for typed frames).
     ///

@@ -43,9 +43,13 @@ use super::{Frame, Transport, TransportError, MAX_FRAME_BYTES};
 /// Protocol magic ("XPMP") opening every handshake message.
 const MAGIC: u32 = 0x5850_4D50;
 /// Wire protocol version; bumped on any incompatible change.
-const VERSION: u16 = 1;
+/// v2 added the clock-sync rounds after `WELCOME`.
+const VERSION: u16 = 2;
 /// `HELLO.requested_rank` value meaning "assign me any free rank".
 const RANK_AUTO: u64 = u64::MAX;
+/// Ping/pong rounds of the post-`WELCOME` clock sync; the round with the
+/// smallest RTT wins.
+const CLOCK_SYNC_ROUNDS: usize = 4;
 
 /// Configuration of one TCP endpoint (one rank, one process).
 #[derive(Debug, Clone)]
@@ -105,6 +109,9 @@ pub struct TcpTransport {
     rank: usize,
     nranks: usize,
     recv_timeout: Duration,
+    /// Estimated offset from this process's trace clock to the coordinator's
+    /// (rank 0's), measured during rendezvous; 0 on the coordinator.
+    clock_offset_ns: i64,
     /// Indexed by peer rank; `None` at our own index.
     peers: Vec<Option<Peer>>,
     /// Original streams, kept to force-shutdown reader threads on drop.
@@ -137,18 +144,20 @@ impl TcpTransport {
                 rank: 0,
                 nranks: 1,
                 recv_timeout: config.recv_timeout,
+                clock_offset_ns: 0,
                 peers: vec![None],
                 streams: vec![None],
                 readers: Vec::new(),
                 writers: Vec::new(),
             });
         }
-        let (rank, links) = if config.rank == Some(0) {
-            Self::rendezvous_coordinator(config)?
+        let (rank, clock_offset_ns, links) = if config.rank == Some(0) {
+            let (rank, links) = Self::rendezvous_coordinator(config)?;
+            (rank, 0, links)
         } else {
             Self::rendezvous_worker(config)?
         };
-        Self::spawn_io(rank, config, links)
+        Self::spawn_io(rank, clock_offset_ns, config, links)
     }
 
     /// Rank 0: bind the coordinator address, collect `HELLO`s, assign ranks,
@@ -233,16 +242,19 @@ impl TcpTransport {
         let mut links: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
         for ((_, _, stream), rank) in hellos.into_iter().zip(assigned) {
             write_welcome(&stream, rank, nranks, &addrs)?;
+            // Serve this worker's clock-sync rounds before welcoming the
+            // next, so each worker measures against an idle coordinator.
+            sync_serve(&stream)?;
             links[rank] = Some(stream);
         }
         Ok((0, links))
     }
 
-    /// Non-zero ranks: dial the coordinator, `HELLO`/`WELCOME`, then complete
-    /// the worker-to-worker mesh.
+    /// Non-zero ranks: dial the coordinator, `HELLO`/`WELCOME` + clock sync,
+    /// then complete the worker-to-worker mesh.
     fn rendezvous_worker(
         config: &TcpConfig,
-    ) -> Result<(usize, Vec<Option<TcpStream>>), TransportError> {
+    ) -> Result<(usize, i64, Vec<Option<TcpStream>>), TransportError> {
         let nranks = config.nranks;
         let coord = connect_retry(&config.coordinator, config.connect_timeout)?;
         prepare_stream(&coord, config.handshake_timeout)?;
@@ -264,6 +276,7 @@ impl TcpTransport {
         let requested = config.rank.map_or(RANK_AUTO, |r| r as u64);
         write_hello(&coord, requested, nranks, &listen_addr)?;
         let (my_rank, addrs) = read_welcome(&coord, nranks)?;
+        let clock_offset_ns = sync_measure(&coord)?;
 
         let mut links: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
         links[0] = Some(coord);
@@ -313,12 +326,13 @@ impl TcpTransport {
                 Err(e) => return Err(handshake_io("mesh accept", &e)),
             }
         }
-        Ok((my_rank, links))
+        Ok((my_rank, clock_offset_ns, links))
     }
 
     /// Spawn the per-peer reader/writer threads over established links.
     fn spawn_io(
         rank: usize,
+        clock_offset_ns: i64,
         config: &TcpConfig,
         links: Vec<Option<TcpStream>>,
     ) -> Result<TcpTransport, TransportError> {
@@ -362,6 +376,7 @@ impl TcpTransport {
             rank,
             nranks,
             recv_timeout: config.recv_timeout,
+            clock_offset_ns,
             peers,
             streams,
             readers,
@@ -391,6 +406,10 @@ impl Transport for TcpTransport {
 
     fn backend(&self) -> &'static str {
         "tcp"
+    }
+
+    fn clock_offset_ns(&self) -> i64 {
+        self.clock_offset_ns
     }
 
     fn send(&self, dst: usize, frame: Frame) -> Result<u64, TransportError> {
@@ -732,6 +751,38 @@ fn read_welcome(stream: &TcpStream, nranks: usize) -> Result<(usize, Vec<String>
         addrs.push(read_string(stream)?);
     }
     Ok((rank, addrs))
+}
+
+/// Coordinator side of the clock sync: answer each ping with the trace
+/// clock's current nanosecond reading.
+fn sync_serve(stream: &TcpStream) -> Result<(), TransportError> {
+    for _ in 0..CLOCK_SYNC_ROUNDS {
+        let _ping = read_u64(stream)?;
+        write_all(stream, &xtrapulp_obs::trace::now_ns().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Worker side: ping/pong `CLOCK_SYNC_ROUNDS` times and estimate the offset
+/// from this process's trace clock to the coordinator's as
+/// `coord_now − (t0 + t1) / 2`, keeping the round with the smallest RTT
+/// (least queueing, so the symmetric-delay assumption is closest to true).
+fn sync_measure(stream: &TcpStream) -> Result<i64, TransportError> {
+    let mut best_rtt = u64::MAX;
+    let mut best_offset = 0i64;
+    for round in 0..CLOCK_SYNC_ROUNDS {
+        let t0 = xtrapulp_obs::trace::now_ns();
+        write_all(stream, &(round as u64).to_le_bytes())?;
+        let coord_now = read_u64(stream)?;
+        let t1 = xtrapulp_obs::trace::now_ns();
+        let rtt = t1.saturating_sub(t0);
+        if rtt < best_rtt {
+            best_rtt = rtt;
+            let midpoint = (t0 + rtt / 2) as i64;
+            best_offset = coord_now as i64 - midpoint;
+        }
+    }
+    Ok(best_offset)
 }
 
 fn write_iam(stream: &TcpStream, rank: usize) -> Result<(), TransportError> {

@@ -256,6 +256,18 @@ pub enum StageKind {
     Churn,
 }
 
+impl StageKind {
+    /// Trace span name for sweeps under this stage, matching the
+    /// [`stage_timings`](SweepEngine::stage_timings) phase names.
+    pub const fn span_name(self) -> &'static str {
+        match self {
+            StageKind::Refine => "sweep_refine",
+            StageKind::Balance => "sweep_balance",
+            StageKind::Churn => "sweep_churn",
+        }
+    }
+}
+
 /// Per-stage sweep/scored accounting: the [`SweepStats`] totals split by
 /// [`StageKind`], so a report can attribute label-propagation work to refinement,
 /// balance or perturbation churn. All counts, fully deterministic.
@@ -484,6 +496,8 @@ impl SweepEngine {
             return 0;
         }
 
+        // Span arg: vertices scored this sweep (the active-set size).
+        let _sweep_span = xtrapulp_obs::span_with(self.stage.span_name(), active.len() as u64);
         let sweep_started = std::time::Instant::now();
         self.stats.sweeps += 1;
         self.stats.vertices_scored += active.len() as u64;

@@ -1,0 +1,149 @@
+//! Live metrics plane: a minimal HTTP/1.1 listener serving the metrics
+//! registry as Prometheus text exposition.
+//!
+//! One background thread accepts connections, answers any `GET` with the
+//! current [`crate::registry::render`] output, and exits promptly on
+//! shutdown. It is deliberately not a web server: one request per
+//! connection, no keep-alive, no routing — exactly what a scraper or
+//! `curl` needs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics endpoint. Dropping it stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, or port 0 for an ephemeral
+    /// port) and start serving the registry.
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-metrics".to_string())
+            .spawn(move || serve_loop(listener, stop_thread))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare and tiny, a thread per
+                // connection would be overkill.
+                let _ = serve_one(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or the timeout / 8 KiB cap —
+    // whichever comes first). The request content is irrelevant: every
+    // request gets the metrics page.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = crate::registry::render();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_roundtrip() {
+        let c = crate::registry::counter("test_ep_scrapes_total");
+        c.add(7);
+        let mut server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let response = scrape(server.local_addr());
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain"));
+        assert!(response.contains("test_ep_scrapes_total 7"));
+        // Values move between scrapes.
+        c.add(1);
+        let response2 = scrape(server.local_addr());
+        assert!(response2.contains("test_ep_scrapes_total 8"));
+        server.shutdown();
+        // After shutdown the port stops answering.
+        assert!(TcpStream::connect(server.local_addr()).is_err());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_prompt() {
+        let mut server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        server.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,188 @@
+//! Chrome Trace Event Format export (the JSON Array / Object format that
+//! `chrome://tracing` and Perfetto load).
+//!
+//! Each rank becomes a "process" (`pid` = rank number), each recording thread
+//! a "thread" within it; threads without a rank label (serve workers,
+//! analytics consumers, benchmark drivers) are grouped under a synthetic
+//! "host" process so they still show on the timeline. Timestamps convert from
+//! aligned nanoseconds to the format's fractional microseconds.
+
+use serde::write_json_str;
+
+use crate::trace::Phase;
+use crate::wire::OwnedThreadTrace;
+
+/// Synthetic pid for threads with no rank label.
+pub const HOST_PID: u32 = 1_000_000;
+
+fn push_common(out: &mut String, pid: u32, tid: usize, name: &str, ph: char, ts_us: f64) {
+    out.push_str("{\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"name\":");
+    write_json_str(name, out);
+    out.push_str(",\"ph\":\"");
+    out.push(ph);
+    out.push_str("\",\"ts\":");
+    // Emit with fixed 3-decimal precision: nanosecond resolution in
+    // microsecond units, locale-free.
+    out.push_str(&format!("{ts_us:.3}"));
+}
+
+fn push_metadata(out: &mut String, pid: u32, tid: usize, kind: &str, name: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"name\":");
+    write_json_str(kind, out);
+    out.push_str(",\"ph\":\"M\",\"args\":{\"name\":");
+    write_json_str(name, out);
+    out.push_str("}}");
+}
+
+/// Render decoded traces as one Trace Event Format JSON document.
+pub fn chrome_trace_json(traces: &[OwnedThreadTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Process-name metadata: one per distinct pid.
+    let mut pids: Vec<u32> = traces.iter().map(|t| t.rank.unwrap_or(HOST_PID)).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        let pname = if *pid == HOST_PID {
+            "host threads".to_string()
+        } else {
+            format!("rank {pid}")
+        };
+        push_metadata(&mut out, *pid, 0, "process_name", &pname, &mut first);
+    }
+
+    for (tid, t) in traces.iter().enumerate() {
+        let pid = t.rank.unwrap_or(HOST_PID);
+        push_metadata(&mut out, pid, tid, "thread_name", &t.thread, &mut first);
+        for ev in &t.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ph = match ev.phase {
+                Phase::Begin => 'B',
+                Phase::End => 'E',
+                Phase::Instant => 'i',
+            };
+            let ts_us = ev.t_ns as f64 / 1_000.0;
+            push_common(&mut out, pid, tid, &ev.name, ph, ts_us);
+            if ev.phase == Phase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if ev.arg != 0 {
+                out.push_str(",\"args\":{\"v\":");
+                out.push_str(&ev.arg.to_string());
+                out.push('}');
+            }
+            out.push('}');
+        }
+        if t.dropped > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_common(&mut out, pid, tid, "events_dropped", 'i', 0.0);
+            out.push_str(",\"s\":\"t\",\"args\":{\"v\":");
+            out.push_str(&t.dropped.to_string());
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::OwnedEvent;
+
+    fn trace(rank: Option<u32>, thread: &str, names: &[&str]) -> OwnedThreadTrace {
+        let mut events = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            events.push(OwnedEvent {
+                name: n.to_string(),
+                phase: Phase::Begin,
+                t_ns: (i as i64) * 1000,
+                arg: 0,
+            });
+            events.push(OwnedEvent {
+                name: n.to_string(),
+                phase: Phase::End,
+                t_ns: (i as i64) * 1000 + 500,
+                arg: i as u64,
+            });
+        }
+        OwnedThreadTrace {
+            rank,
+            thread: thread.to_string(),
+            dropped: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn export_is_balanced_json_with_all_ranks() {
+        let traces = vec![
+            trace(Some(0), "xtrapulp-rank-0", &["barrier", "allreduce"]),
+            trace(Some(1), "xtrapulp-rank-1", &["barrier"]),
+            trace(None, "serve-worker", &["publish"]),
+        ];
+        let json = chrome_trace_json(&traces);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains(&format!("\"pid\":{HOST_PID}")));
+        assert!(json.contains("rank 0"));
+        assert!(json.contains("host threads"));
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends);
+        assert_eq!(begins, 4);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let t = OwnedThreadTrace {
+            rank: Some(0),
+            thread: "we\"ird\\name".to_string(),
+            dropped: 0,
+            events: vec![OwnedEvent {
+                name: "a\"b".to_string(),
+                phase: Phase::Instant,
+                t_ns: 1,
+                arg: 0,
+            }],
+        };
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("we\\\"ird\\\\name"));
+        assert!(json.contains("a\\\"b"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn dropped_events_are_annotated() {
+        let mut t = trace(Some(3), "r3", &["x"]);
+        t.dropped = 17;
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("events_dropped"));
+        assert!(json.contains("\"v\":17"));
+    }
+}

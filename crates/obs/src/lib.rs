@@ -1,0 +1,30 @@
+//! # xtrapulp-obs — workspace-wide observability
+//!
+//! One crate, four pieces, no dependencies beyond the vendored stand-ins:
+//!
+//! - [`trace`]: a tracing layer gated on a single relaxed atomic load.
+//!   Per-thread ring buffers record span begin/end and instant events with
+//!   monotonic-nanosecond timestamps; [`trace::span`] guards make
+//!   instrumentation one line per site.
+//! - [`hist`]: HDR-style log-bucketed atomic histograms — mergeable across
+//!   ranks, subtractable for windowed percentiles, wait-free to record.
+//! - [`registry`] + [`endpoint`]: a process-global metrics registry
+//!   (counters / gauges / histograms) rendered as Prometheus text
+//!   exposition, served live by a lightweight [`endpoint::MetricsServer`].
+//! - [`wire`] + [`export`]: binary trace blobs for the cross-rank gather and
+//!   the chrome://tracing Trace Event Format exporter rank 0 writes.
+//!
+//! The crate is a leaf: `comm`, `core`, `serve`, `analytics`, `api`, and
+//! `bench` all depend on it, never the reverse.
+
+pub mod endpoint;
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+pub mod wire;
+
+pub use endpoint::MetricsServer;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use trace::{instant, set_enabled, set_thread_rank, span, span_with, Span};
+pub use wire::{decode_traces, encode_traces, OwnedThreadTrace};

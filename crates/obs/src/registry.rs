@@ -1,0 +1,290 @@
+//! Process-global metrics registry: named counters, gauges, and histograms,
+//! rendered in the Prometheus text exposition format.
+//!
+//! Handles are `Arc`-backed and cheap to clone; hot call sites fetch a handle
+//! once (e.g. in a `OnceLock`) and then pay only the atomic op per update.
+//! Metric names may carry Prometheus labels inline
+//! (`comm_collective_seconds{kind="alltoallv"}`); the exposition groups them
+//! under one `# TYPE` line per family.
+//!
+//! Subsystems with their own pre-existing stats (e.g. a `ServingSession`'s
+//! `ServeStats`) can join the plane without re-homing their state by
+//! registering a *collector* — a closure appending exposition lines at render
+//! time. The returned guard unregisters on drop.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::Histogram;
+
+/// Monotonic counter handle.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge handle (stores an `f64`).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+type Collector = Box<dyn Fn(&mut String) + Send>;
+
+#[derive(Default)]
+struct Registry {
+    metrics: BTreeMap<String, Metric>,
+    collectors: Vec<(u64, Collector)>,
+    next_collector_id: u64,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Get or create the counter registered under `name`.
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = lock();
+    match reg
+        .metrics
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Get or create the gauge registered under `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = lock();
+    match reg
+        .metrics
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Get or create the histogram registered under `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = lock();
+    match reg
+        .metrics
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+    {
+        Metric::Histogram(h) => Arc::clone(h),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Unregisters its collector when dropped.
+pub struct CollectorGuard {
+    id: u64,
+}
+
+impl Drop for CollectorGuard {
+    fn drop(&mut self) {
+        lock().collectors.retain(|(id, _)| *id != self.id);
+    }
+}
+
+/// Register a closure that appends Prometheus exposition lines at render
+/// time. Lines must be complete (`name value\n`) and self-describing.
+pub fn register_collector(f: impl Fn(&mut String) + Send + 'static) -> CollectorGuard {
+    let mut reg = lock();
+    let id = reg.next_collector_id;
+    reg.next_collector_id += 1;
+    reg.collectors.push((id, Box::new(f)));
+    CollectorGuard { id }
+}
+
+/// Family name for `# TYPE` lines: the metric name with any `{labels}` and
+/// trailing text stripped.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Splice an extra label into a possibly-labelled metric name:
+/// `f("x", ...)` → `x{q="0.5"}`, `f("x{k=\"a\"}", ...)` → `x{k="a",q="0.5"}`.
+fn with_label(name: &str, label: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(prefix) => format!("{prefix},{label}=\"{value}\"}}"),
+        None => format!("{name}{{{label}=\"{value}\"}}"),
+    }
+}
+
+/// Append a suffix to the family part, preserving labels:
+/// `f("x", "_sum")` → `x_sum`, `f("x{k=\"a\"}", "_sum")` → `x_sum{k="a"}`.
+fn with_suffix(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(i) => format!("{}{}{}", &name[..i], suffix, &name[i..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the full registry (metrics first, then collectors) as Prometheus
+/// text exposition format, version 0.0.4.
+pub fn render() -> String {
+    let reg = lock();
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (name, metric) in &reg.metrics {
+        let fam = family(name);
+        if fam != last_family {
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            out.push_str("# TYPE ");
+            out.push_str(fam);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            last_family = fam.to_string();
+        }
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&c.get().to_string());
+                out.push('\n');
+            }
+            Metric::Gauge(g) => {
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&fmt_f64(g.get()));
+                out.push('\n');
+            }
+            Metric::Histogram(h) => {
+                let s = h.snapshot();
+                for (q, v) in [("0.5", s.p50()), ("0.9", s.p90()), ("0.99", s.p99())] {
+                    out.push_str(&with_label(name, "quantile", q));
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                for (suffix, v) in [("_sum", s.sum()), ("_count", s.count()), ("_max", s.max())] {
+                    out.push_str(&with_suffix(name, suffix));
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    for (_, collector) in &reg.collectors {
+        collector(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let c = counter("test_reg_requests_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying cell.
+        assert_eq!(counter("test_reg_requests_total").get(), 5);
+
+        let g = gauge("test_reg_queue_depth");
+        g.set(3.5);
+        assert_eq!(gauge("test_reg_queue_depth").get(), 3.5);
+
+        let h = histogram("test_reg_latency_nanos");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(histogram("test_reg_latency_nanos").snapshot().count(), 3);
+
+        let text = render();
+        assert!(text.contains("# TYPE test_reg_requests_total counter"));
+        assert!(text.contains("test_reg_requests_total 5"));
+        assert!(text.contains("test_reg_queue_depth 3.5"));
+        assert!(text.contains("# TYPE test_reg_latency_nanos summary"));
+        assert!(text.contains("test_reg_latency_nanos{quantile=\"0.5\"} 20"));
+        assert!(text.contains("test_reg_latency_nanos_count 3"));
+        assert!(text.contains("test_reg_latency_nanos_sum 60"));
+    }
+
+    #[test]
+    fn labelled_names_share_a_family() {
+        counter("test_reg_coll_total{kind=\"barrier\"}").add(2);
+        counter("test_reg_coll_total{kind=\"gather\"}").add(3);
+        let text = render();
+        let type_lines = text.matches("# TYPE test_reg_coll_total counter").count();
+        assert_eq!(type_lines, 1);
+        assert!(text.contains("test_reg_coll_total{kind=\"barrier\"} 2"));
+        assert!(text.contains("test_reg_coll_total{kind=\"gather\"} 3"));
+    }
+
+    #[test]
+    fn histogram_quantile_label_merges_into_existing_labels() {
+        let h = histogram("test_reg_lat{kind=\"x\"}");
+        h.record(42);
+        let text = render();
+        assert!(text.contains("test_reg_lat{kind=\"x\",quantile=\"0.5\"}"));
+        assert!(text.contains("test_reg_lat_count{kind=\"x\"} 1"));
+    }
+
+    #[test]
+    fn collectors_append_and_unregister() {
+        let guard = register_collector(|out| out.push_str("test_reg_custom 99\n"));
+        assert!(render().contains("test_reg_custom 99"));
+        drop(guard);
+        assert!(!render().contains("test_reg_custom 99"));
+    }
+}

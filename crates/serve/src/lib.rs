@@ -43,7 +43,7 @@ pub use epoch::{EpochStore, DEFAULT_DELTA_HISTORY};
 pub use queue::{BatchPolicy, Drained, IngestError, IngestQueue, QueuedBatch};
 pub use replay::{replay_ops, replay_update_log, ReplayError, ReplayOutcome};
 pub use snapshot::{MigrationDiff, PartitionSnapshot};
-pub use stats::ServeStats;
+pub use stats::{ServeLatencies, ServeStats};
 pub use worker::{spawn, RepartitionEngine, ServeConfig, ServeError, ServeHandle};
 
 // Re-exported so engine implementors and producers can name the batch type without an

@@ -3,9 +3,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::Serialize;
+use xtrapulp_obs::{Histogram, HistogramSnapshot};
 
-/// Lock-free counter cells shared between the worker (writer) and any thread asking
-/// for a [`ServeStats`] snapshot. All monotonic except the `last_*` gauges.
+/// Lock-free counter and histogram cells shared between the worker (writer) and any
+/// thread asking for a [`ServeStats`] snapshot. Counters are monotonic; the latency
+/// distributions are log-bucketed atomic histograms (every publish cycle and every
+/// applied batch is recorded, not just the most recent).
 #[derive(Debug, Default)]
 pub(crate) struct StatsCells {
     pub epochs_published: AtomicU64,
@@ -15,13 +18,14 @@ pub(crate) struct StatsCells {
     pub batches_rejected: AtomicU64,
     pub ops_applied: AtomicU64,
     pub repartition_failures: AtomicU64,
-    /// Nanoseconds the last apply+repartition+publish cycle took.
-    pub last_publish_nanos: AtomicU64,
     /// Total nanoseconds across all publish cycles.
     pub total_publish_nanos: AtomicU64,
-    /// Nanoseconds from the oldest batch of the last group entering the queue to its
-    /// epoch being published — the end-to-end ingest-to-publish latency.
-    pub last_ingest_to_publish_nanos: AtomicU64,
+    /// Nanoseconds of each apply+repartition+publish cycle.
+    pub publish_nanos: Histogram,
+    /// Nanoseconds from each applied batch entering the queue to its epoch being
+    /// published — the end-to-end ingest-to-publish latency, one sample per batch
+    /// (batches whose first repartition fails keep accruing until the retry lands).
+    pub ingest_to_publish_nanos: Histogram,
     /// `lp_sweeps` of the last published epoch.
     pub last_lp_sweeps: AtomicU64,
     /// `vertices_scored` of the last published epoch.
@@ -39,6 +43,8 @@ impl StatsCells {
 
     pub(crate) fn snapshot(&self, queue_depth_ops: u64, queue_depth_batches: u64) -> ServeStats {
         let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        let publish = self.publish_nanos.snapshot();
+        let ingest = self.ingest_to_publish_nanos.snapshot();
         ServeStats {
             epochs_published: get(&self.epochs_published),
             warm_epochs: get(&self.warm_epochs),
@@ -49,9 +55,13 @@ impl StatsCells {
             repartition_failures: get(&self.repartition_failures),
             queue_depth_ops,
             queue_depth_batches,
-            last_publish_seconds: get(&self.last_publish_nanos) as f64 * 1e-9,
+            last_publish_seconds: publish.mean() * 1e-9,
             total_publish_seconds: get(&self.total_publish_nanos) as f64 * 1e-9,
-            last_ingest_to_publish_seconds: get(&self.last_ingest_to_publish_nanos) as f64 * 1e-9,
+            last_ingest_to_publish_seconds: ingest.mean() * 1e-9,
+            publish_seconds_p50: publish.p50() as f64 * 1e-9,
+            publish_seconds_p99: publish.p99() as f64 * 1e-9,
+            ingest_to_publish_seconds_p50: ingest.p50() as f64 * 1e-9,
+            ingest_to_publish_seconds_p99: ingest.p99() as f64 * 1e-9,
             last_lp_sweeps: get(&self.last_lp_sweeps),
             last_vertices_scored: get(&self.last_vertices_scored),
         }
@@ -82,14 +92,31 @@ pub struct ServeStats {
     pub queue_depth_ops: u64,
     /// Batches currently waiting in the ingest queue.
     pub queue_depth_batches: u64,
-    /// Wall-clock seconds of the last apply+repartition+publish cycle.
+    /// **Deprecated** — scheduled for removal in the next release; read
+    /// [`publish_seconds_p50`](ServeStats::publish_seconds_p50) /
+    /// [`publish_seconds_p99`](ServeStats::publish_seconds_p99) instead. The JSON key
+    /// is kept for one release and now reports the *mean* publish-cycle latency (the
+    /// old last-value gauge was whatever cycle happened to finish last).
     pub last_publish_seconds: f64,
     /// Cumulative wall-clock seconds across all publish cycles.
     pub total_publish_seconds: f64,
-    /// Seconds from the oldest batch of the last published group entering the queue to
-    /// its epoch going live — what a producer actually waits for its mutation to be
-    /// reflected in served partitions.
+    /// **Deprecated** — scheduled for removal in the next release; read
+    /// [`ingest_to_publish_seconds_p50`](ServeStats::ingest_to_publish_seconds_p50) /
+    /// [`ingest_to_publish_seconds_p99`](ServeStats::ingest_to_publish_seconds_p99)
+    /// instead. The JSON key is kept for one release and now reports the *mean*
+    /// ingest-to-publish latency over every applied batch (the old gauge sampled only
+    /// the oldest batch of the most recent group).
     pub last_ingest_to_publish_seconds: f64,
+    /// Median wall-clock seconds of an apply+repartition+publish cycle.
+    pub publish_seconds_p50: f64,
+    /// 99th-percentile wall-clock seconds of an apply+repartition+publish cycle.
+    pub publish_seconds_p99: f64,
+    /// Median seconds from a batch entering the queue to its epoch going live — what a
+    /// producer actually waits for its mutation to be reflected in served partitions.
+    /// One sample per applied batch, not per group.
+    pub ingest_to_publish_seconds_p50: f64,
+    /// 99th-percentile seconds from a batch entering the queue to its epoch going live.
+    pub ingest_to_publish_seconds_p99: f64,
     /// Label-propagation sweeps of the last published epoch (warm runs: far fewer
     /// than the cold baseline).
     pub last_lp_sweeps: u64,
@@ -98,10 +125,22 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Serialise to one JSON object.
+    /// Serialise to one JSON object. Infallible by construction: every field is a
+    /// plain number and the writer appends to an in-memory `String`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("stats serialisation is infallible")
+        serde::json::to_string(self)
     }
+}
+
+/// The serving pipeline's latency distributions, as mergeable snapshots. Benches
+/// subtract consecutive snapshots ([`HistogramSnapshot::delta_since`]) to report
+/// percentiles per measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLatencies {
+    /// Nanoseconds of each apply+repartition+publish cycle.
+    pub publish_nanos: HistogramSnapshot,
+    /// Nanoseconds from each applied batch's enqueue to its epoch's publish.
+    pub ingest_to_publish_nanos: HistogramSnapshot,
 }
 
 #[cfg(test)]
@@ -115,19 +154,36 @@ mod tests {
         cells.add(&cells.warm_epochs, 2);
         cells.add(&cells.cold_epochs, 1);
         cells.add(&cells.ops_applied, 40);
-        cells.set(&cells.last_publish_nanos, 2_500_000_000);
+        cells.publish_nanos.record(2_500_000_000);
         let stats = cells.snapshot(7, 2);
         assert_eq!(stats.epochs_published, 3);
         assert_eq!(stats.warm_epochs + stats.cold_epochs, 3);
         assert_eq!(stats.queue_depth_ops, 7);
+        // One sample: mean is exact, percentiles land in its bucket (≤ 1/32 error).
         assert!((stats.last_publish_seconds - 2.5).abs() < 1e-9);
+        assert!((stats.publish_seconds_p50 - 2.5).abs() < 2.5 / 32.0);
+        assert!((stats.publish_seconds_p99 - 2.5).abs() < 2.5 / 32.0);
         let json = stats.to_json();
         for key in [
             "\"epochs_published\":3",
             "\"queue_depth_ops\":7",
             "\"last_publish_seconds\":2.5",
+            "\"publish_seconds_p50\":",
+            "\"ingest_to_publish_seconds_p99\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn deprecated_keys_report_histogram_means() {
+        let cells = StatsCells::default();
+        for nanos in [1_000_000_000u64, 3_000_000_000] {
+            cells.ingest_to_publish_nanos.record(nanos);
+        }
+        let stats = cells.snapshot(0, 0);
+        assert!((stats.last_ingest_to_publish_seconds - 2.0).abs() < 1e-9);
+        // Percentiles straddle the two samples instead of reporting only the last.
+        assert!(stats.ingest_to_publish_seconds_p50 < stats.ingest_to_publish_seconds_p99);
     }
 }

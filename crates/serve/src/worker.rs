@@ -9,10 +9,12 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use xtrapulp_dynamic::UpdateBatch;
 
+use xtrapulp_obs as obs;
+
 use crate::epoch::EpochStore;
 use crate::queue::{BatchPolicy, Drained, IngestError, IngestQueue, QueuedBatch};
 use crate::snapshot::PartitionSnapshot;
-use crate::stats::{ServeStats, StatsCells};
+use crate::stats::{ServeLatencies, ServeStats, StatsCells};
 
 /// Why the serving pipeline itself (as opposed to one batch or one repartition) is no
 /// longer usable. Producer- and control-path code receives these as values; nothing in
@@ -150,11 +152,29 @@ pub fn spawn<E: RepartitionEngine>(
                 // traffic, and every cycle retries regardless of what its own group
                 // applied.
                 let mut dirty = false;
+                // Enqueue instants of batches applied to the graph but not yet
+                // reflected in a published epoch; drained on a successful publish
+                // into the ingest-to-publish histogram (one sample per batch),
+                // carried across failed repartitions so retried batches keep
+                // accruing latency instead of being dropped from the distribution.
+                let mut pending_enqueues: Vec<Instant> = Vec::new();
                 loop {
                     let bound = dirty.then_some(publish_retry);
-                    match queue.drain_group_wait(&policy, bound) {
+                    let drained = {
+                        let _span = obs::span("serve_drain");
+                        queue.drain_group_wait(&policy, bound)
+                    };
+                    match drained {
                         Drained::Group(group) => {
-                            step(&mut engine, group, &store, &stats, &last_error, &mut dirty);
+                            step(
+                                &mut engine,
+                                group,
+                                &store,
+                                &stats,
+                                &last_error,
+                                &mut dirty,
+                                &mut pending_enqueues,
+                            );
                         }
                         Drained::TimedOut => {
                             dirty = !repartition_and_publish(
@@ -163,7 +183,7 @@ pub fn spawn<E: RepartitionEngine>(
                                 &stats,
                                 &last_error,
                                 Instant::now(),
-                                None,
+                                &mut pending_enqueues,
                             );
                         }
                         Drained::Closed => break,
@@ -179,7 +199,7 @@ pub fn spawn<E: RepartitionEngine>(
                         &stats,
                         &last_error,
                         Instant::now(),
-                        None,
+                        &mut pending_enqueues,
                     );
                 }
                 engine
@@ -207,13 +227,10 @@ fn step<E: RepartitionEngine>(
     stats: &StatsCells,
     last_error: &Mutex<Option<String>>,
     dirty: &mut bool,
+    pending_enqueues: &mut Vec<Instant>,
 ) {
     let cycle_start = Instant::now();
-    // `drain_group` never yields an empty group, but nothing here needs to panic if
-    // that invariant slips: an empty group simply has no enqueue timestamp.
-    let Some(oldest) = group.iter().map(|qb| qb.enqueued_at).min() else {
-        return;
-    };
+    let apply_span = obs::span_with("serve_apply", group.len() as u64);
     let mut applied = 0usize;
     for qb in &group {
         match engine.apply(&qb.batch) {
@@ -221,6 +238,7 @@ fn step<E: RepartitionEngine>(
                 applied += 1;
                 stats.add(&stats.batches_applied, 1);
                 stats.add(&stats.ops_applied, qb.batch.len() as u64);
+                pending_enqueues.push(qb.enqueued_at);
             }
             Err(e) => {
                 stats.add(&stats.batches_rejected, 1);
@@ -228,28 +246,41 @@ fn step<E: RepartitionEngine>(
             }
         }
     }
+    drop(apply_span);
     if applied == 0 && !*dirty {
         // Every batch was rejected and nothing earlier is waiting to publish: the
         // graph matches the published epoch — skip the repartition entirely.
         return;
     }
-    *dirty = !repartition_and_publish(engine, store, stats, last_error, cycle_start, Some(oldest));
+    *dirty = !repartition_and_publish(
+        engine,
+        store,
+        stats,
+        last_error,
+        cycle_start,
+        pending_enqueues,
+    );
 }
 
-/// Repartition and publish the engine's current graph, recording the latency gauges.
-/// Returns whether a snapshot was published; on failure the previous epoch keeps
-/// serving and the failure is counted and recorded.
+/// Repartition and publish the engine's current graph, recording the latency
+/// histograms. Returns whether a snapshot was published; on failure the previous
+/// epoch keeps serving, the failure is counted and recorded, and `pending_enqueues`
+/// is left intact so the batches' ingest-to-publish clocks keep running.
 fn repartition_and_publish<E: RepartitionEngine>(
     engine: &mut E,
     store: &EpochStore,
     stats: &StatsCells,
     last_error: &Mutex<Option<String>>,
     cycle_start: Instant,
-    oldest_enqueued: Option<Instant>,
+    pending_enqueues: &mut Vec<Instant>,
 ) -> bool {
-    match engine.repartition() {
+    let repartition_span = obs::span("serve_repartition");
+    let outcome = engine.repartition();
+    drop(repartition_span);
+    match outcome {
         Ok(snapshot) => {
-            // All of this epoch's counters and gauges are recorded *before* the
+            let _span = obs::span_with("serve_publish", snapshot.epoch);
+            // All of this epoch's counters and histograms are recorded *before* the
             // publish: a consumer woken by `wait_for_epoch` must read stats that
             // already describe the epoch it waited for (the publish itself is a
             // pointer swap, negligible against the repartition just timed).
@@ -265,13 +296,14 @@ fn repartition_and_publish<E: RepartitionEngine>(
                 1,
             );
             let publish_nanos = cycle_start.elapsed().as_nanos() as u64;
-            stats.set(&stats.last_publish_nanos, publish_nanos);
+            stats.publish_nanos.record(publish_nanos);
             stats.add(&stats.total_publish_nanos, publish_nanos);
-            if let Some(oldest) = oldest_enqueued {
-                stats.set(
-                    &stats.last_ingest_to_publish_nanos,
-                    oldest.elapsed().as_nanos() as u64,
-                );
+            // Every batch this epoch reflects gets its own end-to-end sample —
+            // including batches applied in earlier cycles whose publish failed.
+            for enqueued in pending_enqueues.drain(..) {
+                stats
+                    .ingest_to_publish_nanos
+                    .record(enqueued.elapsed().as_nanos() as u64);
             }
             store.publish(snapshot);
             true
@@ -312,6 +344,26 @@ impl<E: RepartitionEngine> ServeHandle<E> {
             self.queue.queued_ops() as u64,
             self.queue.queued_batches() as u64,
         )
+    }
+
+    /// A cheap `'static` closure snapshotting the pipeline's counters without
+    /// borrowing the handle — what a metrics-exposition thread captures. The closure
+    /// stays valid (returning final counters) after the worker exits.
+    pub fn stats_fn(&self) -> impl Fn() -> ServeStats + Send + Sync + 'static {
+        let stats = Arc::clone(&self.stats);
+        let queue = Arc::clone(&self.queue);
+        move || stats.snapshot(queue.queued_ops() as u64, queue.queued_batches() as u64)
+    }
+
+    /// The pipeline's latency distributions. Benches sample this per measurement
+    /// window and subtract consecutive snapshots
+    /// ([`HistogramSnapshot::delta_since`](xtrapulp_obs::HistogramSnapshot::delta_since))
+    /// to report per-window percentiles.
+    pub fn latencies(&self) -> ServeLatencies {
+        ServeLatencies {
+            publish_nanos: self.stats.publish_nanos.snapshot(),
+            ingest_to_publish_nanos: self.stats.ingest_to_publish_nanos.snapshot(),
+        }
     }
 
     /// The most recent apply/repartition failure, if any (rejected batches land here
@@ -433,7 +485,40 @@ mod tests {
         assert_eq!(store.epoch(), 3);
         assert_eq!(store.current().num_vertices(), 10);
         assert!(stats.last_publish_seconds >= 0.0);
-        assert!(stats.last_ingest_to_publish_seconds >= stats.last_publish_seconds);
+        assert!(stats.publish_seconds_p99 >= stats.publish_seconds_p50);
+        assert!(stats.ingest_to_publish_seconds_p99 >= stats.ingest_to_publish_seconds_p50);
+    }
+
+    #[test]
+    fn every_applied_batch_gets_an_ingest_to_publish_sample() {
+        let engine = ToyEngine {
+            epoch: 0,
+            vertices: 1,
+            reject_batches_of: Some(3),
+            fail_repartitions: 0,
+        };
+        let handle = spawn(engine, snapshot(0, vec![0], 1), ServeConfig::default());
+        for _ in 0..5 {
+            handle.ingest(batch(2)).unwrap(); // applied
+        }
+        handle.ingest(batch(3)).unwrap(); // rejected: must NOT contribute a sample
+                                          // The engine's epoch advances once per applied batch, so epoch 5 going live
+                                          // means every applied batch's sample is already recorded (samples land
+                                          // before the publish).
+        handle
+            .store()
+            .wait_for_epoch(5, Duration::from_secs(10))
+            .expect("all applied batches publish");
+        let lat = handle.latencies();
+        // The old gauge sampled one batch per group; the histogram records each
+        // applied batch exactly once, however the worker grouped them.
+        assert_eq!(lat.ingest_to_publish_nanos.count(), 5);
+        assert!(lat.publish_nanos.count() >= 1);
+        let (_, stats) = handle.shutdown().expect("worker exits cleanly");
+        assert_eq!(stats.batches_applied, 5);
+        assert_eq!(stats.batches_rejected, 1);
+        assert!(stats.ingest_to_publish_seconds_p50 > 0.0);
+        assert!(stats.ingest_to_publish_seconds_p99 >= stats.ingest_to_publish_seconds_p50);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub use xtrapulp_dynamic as dynamic;
 pub use xtrapulp_gen as gen;
 pub use xtrapulp_graph as graph;
 pub use xtrapulp_multilevel as multilevel;
+pub use xtrapulp_obs as obs;
 pub use xtrapulp_serve as serve;
 pub use xtrapulp_spmv as spmv;
 

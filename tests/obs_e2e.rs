@@ -1,0 +1,238 @@
+//! End-to-end observability tests: the cross-rank trace gather must produce one
+//! well-formed chrome://tracing JSON document with spans from every rank on a
+//! single timeline (at 1, 2 and 8 ranks), and the live metrics plane must
+//! round-trip a real HTTP scrape against a running [`ServingSession`].
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use xtrapulp_suite::obs;
+use xtrapulp_suite::prelude::*;
+
+/// Tracing is a process-global flag; tests that toggle it must not interleave
+/// with each other (the cargo test harness runs tests in parallel threads).
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn test_graph(seed: u64) -> Csr {
+    GraphConfig::new(
+        GraphKind::WebCrawl {
+            num_vertices: 1 << 10,
+            avg_degree: 8,
+            community_size: 64,
+        },
+        seed,
+    )
+    .generate()
+    .to_csr()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "xtrapulp-obs-e2e-{}-{}.json",
+        tag,
+        std::process::id()
+    ))
+}
+
+/// Structural well-formedness check for the exported document. The workspace has
+/// no JSON parser, so this verifies the invariants a real parser would enforce
+/// first: braces and brackets balance outside string literals, strings terminate,
+/// and escape sequences never swallow the closing quote.
+fn assert_balanced_json(text: &str) {
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_brace += 1,
+            '}' => depth_brace -= 1,
+            '[' => depth_bracket += 1,
+            ']' => depth_bracket -= 1,
+            _ => {}
+        }
+        assert!(depth_brace >= 0, "unbalanced closing brace");
+        assert!(depth_bracket >= 0, "unbalanced closing bracket");
+    }
+    assert!(!in_string, "unterminated string literal");
+    assert_eq!(depth_brace, 0, "unbalanced braces");
+    assert_eq!(depth_bracket, 0, "unbalanced brackets");
+}
+
+/// Run one traced partition job at `nranks` ranks, export the merged trace and
+/// return the document text.
+fn export_trace_for_ranks(nranks: usize) -> String {
+    let _gate = TRACE_GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let csr = test_graph(11);
+    let mut session = Session::new(nranks).expect("valid rank count");
+    obs::set_enabled(true);
+    let report = session
+        .partition(&csr, &PartitionParams::with_parts(4))
+        .expect("valid params");
+    let path = temp_path(&format!("ranks{nranks}"));
+    let wrote = session.export_trace(&path);
+    obs::set_enabled(false);
+    assert_eq!(report.parts.len(), csr.num_vertices());
+    assert!(
+        wrote.expect("trace gather succeeds"),
+        "the in-process runtime hosts rank 0, so this process writes the file"
+    );
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    std::fs::remove_file(&path).ok();
+    text
+}
+
+fn assert_merged_trace(text: &str, nranks: usize) {
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'));
+    assert_balanced_json(trimmed);
+    assert!(
+        text.contains("\"traceEvents\":["),
+        "document carries the Trace Event Format event array"
+    );
+    // Spans survive the gather: begin/end pairs, not just metadata records.
+    assert!(
+        text.contains("\"ph\":\"B\""),
+        "no span-begin events in trace"
+    );
+    assert!(text.contains("\"ph\":\"E\""), "no span-end events in trace");
+    // Every rank contributed events on its own process line of the timeline.
+    for rank in 0..nranks {
+        assert!(
+            text.contains(&format!("\"pid\":{rank},")),
+            "rank {rank} missing from merged {nranks}-rank trace"
+        );
+        assert!(
+            text.contains(&format!("\"name\":\"rank {rank}\"")),
+            "rank {rank} process-name metadata missing"
+        );
+    }
+    // The sweep engine's per-stage spans are the core instrumentation; a merged
+    // trace without them means the rank threads recorded nothing.
+    assert!(
+        text.contains("\"name\":\"sweep_refine\"") || text.contains("\"name\":\"sweep_balance\""),
+        "sweep-engine stage spans missing from merged trace"
+    );
+}
+
+#[test]
+fn trace_export_merges_one_rank() {
+    let text = export_trace_for_ranks(1);
+    assert_merged_trace(&text, 1);
+}
+
+#[test]
+fn trace_export_merges_two_ranks() {
+    let text = export_trace_for_ranks(2);
+    assert_merged_trace(&text, 2);
+}
+
+#[test]
+fn trace_export_merges_eight_ranks() {
+    let text = export_trace_for_ranks(8);
+    assert_merged_trace(&text, 8);
+}
+
+/// With tracing disabled the ranks record nothing: the export still writes a
+/// well-formed document (rank 0 always writes), but its timeline is empty.
+#[test]
+fn trace_export_without_tracing_yields_empty_timeline() {
+    let _gate = TRACE_GATE.lock().unwrap_or_else(|p| p.into_inner());
+    obs::set_enabled(false);
+    obs::trace::drain(); // discard anything a previous test left behind
+    let csr = test_graph(13);
+    let mut session = Session::new(2).expect("valid rank count");
+    session
+        .partition(&csr, &PartitionParams::with_parts(4))
+        .expect("valid params");
+    let path = temp_path("disabled");
+    let wrote = session.export_trace(&path).expect("gather succeeds");
+    assert!(wrote, "the process hosting rank 0 writes the document");
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    std::fs::remove_file(&path).ok();
+    assert_balanced_json(&text);
+    assert!(
+        !text.contains("\"ph\":\"B\""),
+        "disabled tracing must not record spans"
+    );
+}
+
+/// Live metrics plane round-trip: bind an ephemeral endpoint on a serving
+/// session, scrape it over a real TCP connection, and check the exposition
+/// carries the serving counter/gauge/summary families.
+#[test]
+fn metrics_endpoint_round_trips_a_real_scrape() {
+    const BASE_N: u64 = 300;
+    let serving = ServingSession::spawn(
+        1,
+        test_graph(5),
+        PartitionJob::new(Method::Pulp).with_params(PartitionParams {
+            num_parts: 4,
+            seed: 3,
+            ..Default::default()
+        }),
+    )
+    .expect("serving session spawns");
+
+    // Move the counters so the scrape shows real activity, not all-zeros.
+    for i in 0..3u64 {
+        let mut batch = UpdateBatch::new();
+        batch.add_vertices(1).insert_edge(BASE_N + i, i);
+        serving.ingest(batch).expect("queue accepts the batch");
+    }
+    serving
+        .store()
+        .wait_for_epoch(3, std::time::Duration::from_secs(600))
+        .expect("all three batches publish");
+
+    let endpoint = serving
+        .serve_metrics("127.0.0.1:0")
+        .expect("ephemeral bind succeeds");
+    let addr = endpoint.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("endpoint accepts connections");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("endpoint answers and closes");
+
+    assert!(response.starts_with("HTTP/1.1 200 OK"));
+    assert!(response.contains("text/plain; version=0.0.4"));
+    // Counter family, with the activity we just generated.
+    assert!(response.contains("# TYPE serve_batches_applied counter"));
+    assert!(response.contains("serve_batches_applied 3"));
+    assert!(response.contains("serve_epochs_published"));
+    // Gauge and summary families from the histogram-backed stats.
+    assert!(response.contains("# TYPE serve_queue_depth_ops gauge"));
+    assert!(response.contains("# TYPE serve_publish_seconds summary"));
+    assert!(response.contains("serve_publish_seconds{quantile=\"0.5\"}"));
+    assert!(response.contains("serve_ingest_to_publish_seconds{quantile=\"0.99\"}"));
+
+    // A second scrape works (the listener persists across connections)...
+    let mut stream = TcpStream::connect(addr).expect("second connection");
+    stream
+        .write_all(b"GET / HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("request writes");
+    let mut second = String::new();
+    stream.read_to_string(&mut second).expect("second scrape");
+    assert!(second.contains("serve_batches_applied 3"));
+
+    // ...and shutdown unbinds the port and unregisters the collector.
+    endpoint.shutdown();
+    serving.shutdown().expect("serve worker exits cleanly");
+}
