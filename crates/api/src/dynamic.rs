@@ -4,7 +4,8 @@ use serde::Serialize;
 use xtrapulp::metrics::PartitionQuality;
 use xtrapulp::sweep::{StageBreakdown, SweepStats};
 use xtrapulp::{
-    try_pulp_partition_from_with_stats_timed, try_pulp_partition_with_stats_timed, PartitionError,
+    try_pulp_partition_from_with_stats_timed, try_pulp_partition_with_stats_timed,
+    validate_warm_start, PartitionError,
 };
 use xtrapulp_comm::{CommStatsSnapshot, PhaseTimer};
 use xtrapulp_dynamic::{
@@ -180,6 +181,18 @@ impl DynamicSession {
     /// Tear the dynamic layer down, returning the inner session.
     pub fn into_session(self) -> Session {
         self.session
+    }
+
+    /// Install `parts` as the session's current partition without running a job —
+    /// the crash-recovery path, seeding a replayed topology from a durable
+    /// checkpoint taken at exactly this graph state. The next
+    /// [`repartition`](DynamicSession::repartition) warm-starts from it with an
+    /// empty touched set, as if the partition had been computed in-session.
+    pub(crate) fn seed_partition(&mut self, parts: Vec<i32>) -> Result<(), PartitionError> {
+        validate_warm_start(self.graph.num_vertices(), self.job.params.num_parts, &parts)?;
+        self.parts = Some(parts);
+        self.touched = Some(Vec::new());
+        Ok(())
     }
 
     /// Validate one update batch against the live topology and apply it: the CSR is

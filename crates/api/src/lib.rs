@@ -66,7 +66,7 @@ mod session;
 pub use dynamic::{DynamicReport, DynamicSession};
 pub use method::Method;
 pub use report::PartitionReport;
-pub use serving::{EngineError, MetricsEndpoint, ServingSession};
+pub use serving::{DurabilityError, EngineError, MetricsEndpoint, ServingSession};
 pub use session::{PartitionJob, Session};
 
 // The facade's error type lives in the core crate (validation happens there); re-export

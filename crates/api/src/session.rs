@@ -175,6 +175,17 @@ impl Session {
             .map_err(PartitionError::Comm)
     }
 
+    /// Recover the session's runtime after a distributed job failed on a
+    /// transport fault: every local rank runs its transport's recovery
+    /// protocol (for TCP, tear down the mesh, re-rendezvous with the
+    /// coordinator — waiting for a respawned replacement of any dead rank —
+    /// and reconnect). On success the next [`submit`](Session::submit) runs on
+    /// a fresh mesh; because jobs are deterministic, the retried job produces
+    /// the identical report the faulted one would have.
+    pub fn recover(&mut self) -> Result<(), PartitionError> {
+        self.runtime.recover().map_err(PartitionError::Comm)
+    }
+
     /// Run an arbitrary collective job on the session's ranks (for example analytics
     /// over a graph the session just partitioned). Delegates to [`Runtime::execute`].
     pub fn execute<F, R>(&mut self, f: F) -> Vec<R>

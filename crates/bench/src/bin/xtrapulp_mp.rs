@@ -17,11 +17,17 @@
 //! ```text
 //! xtrapulp-mp --spawn 4 --scale 10 --parts 4
 //! xtrapulp-mp --spawn 3 --kill-rank 1 --recv-timeout-ms 15000   # failure drill
+//! xtrapulp-mp --spawn 3 --respawn --recv-timeout-ms 5000        # recovery drill
 //! ```
+//!
+//! The `--respawn` drill kills one rank mid-job (a seeded frame-count fault
+//! injected below the runtime), respawns it, lets the survivors re-rendezvous
+//! with the replacement, and verifies the retried job's part vectors are
+//! bit-identical to the in-process backend — the full fault-tolerance loop.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 typed transport failure,
 //! 4 verification/timeout failure in spawn mode, 17 deliberate death
-//! (`--die-after-handshake`, used by the failure drill).
+//! (`--die-after-handshake` / `--kill-at-frame`, used by the drills).
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -31,7 +37,7 @@ use std::time::{Duration, Instant};
 
 use xtrapulp::PartitionParams;
 use xtrapulp_api::Session;
-use xtrapulp_comm::{Runtime, TcpConfig, TcpTransport};
+use xtrapulp_comm::{FaultInjectTransport, FaultPlan, Runtime, TcpConfig, TcpTransport, Transport};
 use xtrapulp_gen::{GraphConfig, GraphKind};
 use xtrapulp_graph::Distribution;
 
@@ -48,9 +54,19 @@ struct Options {
     coordinator: Option<String>,
     out: Option<PathBuf>,
     die_after_handshake: bool,
+    /// Kill this process (exit 17) once the transport's combined send+recv
+    /// frame counter reaches this value — a mid-job death, unlike
+    /// `--die-after-handshake`'s pre-job one.
+    kill_at_frame: Option<u64>,
+    /// Retry a transport-faulted job up to this many times, running the
+    /// runtime's recovery protocol (re-rendezvous with a respawned peer)
+    /// between attempts.
+    max_recoveries: u32,
     // Spawn mode.
     spawn: Option<usize>,
     kill_rank: Option<usize>,
+    /// Recovery drill: kill a rank mid-job, respawn it, expect full recovery.
+    respawn: bool,
     no_verify: bool,
     // Job description.
     kind: String,
@@ -77,8 +93,11 @@ impl Default for Options {
             coordinator: None,
             out: None,
             die_after_handshake: false,
+            kill_at_frame: None,
+            max_recoveries: 0,
             spawn: None,
             kill_rank: None,
+            respawn: false,
             no_verify: false,
             kind: "rmat".to_string(),
             scale: 10,
@@ -96,9 +115,11 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: xtrapulp-mp --rank N --nranks K --coordinator HOST:PORT [job args]\n\
-         \x20      xtrapulp-mp --spawn K [--kill-rank R] [--no-verify] [job args]\n\
+         \x20      xtrapulp-mp --spawn K [--kill-rank R] [--respawn] [--no-verify] [job args]\n\
          job args: --kind rmat|webcrawl|er --scale S --edge-factor F --seed X\n\
          \x20         --parts P --recv-timeout-ms MS --json\n\
+         \x20         --kill-at-frame N (die mid-job at transport frame N)\n\
+         \x20         --max-recoveries K (retry faulted jobs after recovery)\n\
          \x20         --trace FILE (merged chrome://tracing JSON, all ranks)\n\
          \x20         --metrics HOST:PORT (Prometheus text endpoint)"
     );
@@ -120,8 +141,13 @@ fn parse_args() -> Options {
             "--coordinator" => opts.coordinator = Some(value(&mut i)),
             "--out" => opts.out = Some(PathBuf::from(value(&mut i))),
             "--die-after-handshake" => opts.die_after_handshake = true,
+            "--kill-at-frame" => opts.kill_at_frame = value(&mut i).parse().ok(),
+            "--max-recoveries" => {
+                opts.max_recoveries = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--spawn" => opts.spawn = value(&mut i).parse().ok(),
             "--kill-rank" => opts.kill_rank = value(&mut i).parse().ok(),
+            "--respawn" => opts.respawn = true,
             "--no-verify" => opts.no_verify = true,
             "--kind" => opts.kind = value(&mut i),
             "--scale" => opts.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -193,13 +219,23 @@ fn run_worker(opts: &Options) -> i32 {
         Ok(t) => t,
         Err(e) => return report_transport_error(&e),
     };
-    let rank = xtrapulp_comm::Transport::rank(&transport);
+    let rank = Transport::rank(&transport);
     if opts.die_after_handshake {
         // Failure drill: vanish after the mesh is up, mid-job for the peers.
         eprintln!("rank {rank}: dying deliberately after handshake");
         std::process::exit(EXIT_DELIBERATE_DEATH);
     }
-    let runtime = match Runtime::with_transport(Box::new(transport)) {
+    // Recovery drill: die mid-job, once the seeded fault layer counts enough
+    // transport frames. The exit code tells the spawner to respawn this rank.
+    let boxed: Box<dyn Transport> = match opts.kill_at_frame {
+        Some(frame) => {
+            let plan = FaultPlan::new(opts.seed ^ rank as u64)
+                .kill_process_at_frame(frame, EXIT_DELIBERATE_DEATH);
+            Box::new(FaultInjectTransport::new(Box::new(transport), plan))
+        }
+        None => Box::new(transport),
+    };
+    let runtime = match Runtime::with_transport(boxed) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{{\"error\":\"comm\",\"detail\":\"{e}\"}}");
@@ -226,14 +262,42 @@ fn run_worker(opts: &Options) -> i32 {
         num_parts: opts.parts.unwrap_or(nranks),
         ..Default::default()
     };
-    let mut report = match session.partition(&csr, &params) {
-        Ok(report) => report,
-        Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(e))) => {
-            return report_transport_error(&e);
-        }
-        Err(e) => {
-            eprintln!("partition failed: {e}");
-            return 1;
+    // Retry loop: a transport-faulted job is retried from scratch after the
+    // runtime recovers its mesh (re-rendezvous, waiting for a respawned peer
+    // to claim the dead rank). Jobs are deterministic, so the retried run's
+    // part vector is identical to what the faulted run would have produced.
+    let mut recoveries = 0u32;
+    let mut report = loop {
+        match session.partition(&csr, &params) {
+            Ok(report) => break report,
+            Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(e))) => {
+                if recoveries >= opts.max_recoveries {
+                    return report_transport_error(&e);
+                }
+                recoveries += 1;
+                eprintln!(
+                    "rank {rank}: job faulted ({e}); recovering mesh \
+                     (attempt {recoveries}/{})",
+                    opts.max_recoveries
+                );
+                match session.recover() {
+                    Ok(()) => eprintln!("rank {rank}: mesh recovered, retrying job"),
+                    Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(
+                        re,
+                    ))) => {
+                        eprintln!("rank {rank}: recovery failed");
+                        return report_transport_error(&re);
+                    }
+                    Err(re) => {
+                        eprintln!("rank {rank}: recovery failed: {re}");
+                        return EXIT_TRANSPORT;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("partition failed: {e}");
+                return 1;
+            }
         }
     };
 
@@ -270,7 +334,7 @@ fn run_worker(opts: &Options) -> i32 {
         }
     }
     let summary = format!(
-        "{{\"rank\":{},\"nranks\":{},\"vertices\":{},\"edges\":{},\"edge_cut\":{},\"wire_bytes_sent\":{},\"frames_sent\":{},\"trace_written\":{},\"seconds\":{:.3}}}",
+        "{{\"rank\":{},\"nranks\":{},\"vertices\":{},\"edges\":{},\"edge_cut\":{},\"wire_bytes_sent\":{},\"frames_sent\":{},\"recoveries\":{},\"trace_written\":{},\"seconds\":{:.3}}}",
         rank,
         nranks,
         report.num_vertices,
@@ -278,6 +342,7 @@ fn run_worker(opts: &Options) -> i32 {
         report.quality.edge_cut,
         report.comm.wire_bytes_sent,
         report.comm.frames_sent,
+        recoveries,
         trace_written,
         started.elapsed().as_secs_f64(),
     );
@@ -317,6 +382,23 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
             return EXIT_USAGE;
         }
     }
+    // Recovery drill: a nonzero victim dies mid-job at a transport frame count,
+    // the spawner respawns it, survivors re-rendezvous and retry. Rank 0 hosts
+    // the rendezvous listener, so it cannot be the victim.
+    let respawn_victim = if opts.respawn {
+        if workers < 2 {
+            eprintln!("--respawn needs at least two workers");
+            return EXIT_USAGE;
+        }
+        let victim = opts.kill_rank.unwrap_or(workers - 1);
+        if victim == 0 {
+            eprintln!("--respawn cannot kill rank 0 (it hosts the rendezvous listener)");
+            return EXIT_USAGE;
+        }
+        Some(victim)
+    } else {
+        None
+    };
     let exe = std::env::current_exe().expect("own executable path");
     let coordinator = format!("127.0.0.1:{}", pick_free_port());
     let dir = std::env::temp_dir().join(format!("xtrapulp-mp-{}", std::process::id()));
@@ -324,17 +406,15 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
         eprintln!("failed to create {}: {e}", dir.display());
         return 1;
     }
-    let drill = opts.kill_rank.is_some();
-    // The failure drill must not wait out the full production receive timeout.
-    let recv_timeout_ms = if drill {
+    let drill = opts.kill_rank.is_some() && respawn_victim.is_none();
+    // The drills must not wait out the full production receive timeout.
+    let recv_timeout_ms = if drill || respawn_victim.is_some() {
         opts.recv_timeout_ms.min(15_000)
     } else {
         opts.recv_timeout_ms
     };
 
-    let started = Instant::now();
-    let mut children: Vec<Child> = Vec::with_capacity(workers);
-    for rank in 0..workers {
+    let spawn_worker = |rank: usize, kill_at_frame: Option<u64>| -> std::io::Result<Child> {
         let out = dir.join(format!("parts-{rank}.txt"));
         let mut cmd = Command::new(&exe);
         cmd.arg("--rank")
@@ -364,11 +444,26 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
             // One listener per job: rank 0's process hosts the metrics plane.
             cmd.arg("--metrics").arg(metrics);
         }
-        if opts.kill_rank == Some(rank) {
+        if respawn_victim.is_some() {
+            // Every worker may need one mesh recovery when the victim dies.
+            cmd.arg("--max-recoveries").arg("1");
+        }
+        if let Some(frame) = kill_at_frame {
+            cmd.arg("--kill-at-frame").arg(frame.to_string());
+        }
+        if drill && opts.kill_rank == Some(rank) {
             cmd.arg("--die-after-handshake");
         }
         cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
-        match cmd.spawn() {
+        cmd.spawn()
+    };
+
+    let started = Instant::now();
+    let kill_frame = opts.kill_at_frame.unwrap_or(8);
+    let mut children: Vec<Child> = Vec::with_capacity(workers);
+    for rank in 0..workers {
+        let kill = (respawn_victim == Some(rank)).then_some(kill_frame);
+        match spawn_worker(rank, kill) {
             Ok(child) => children.push(child),
             Err(e) => {
                 eprintln!("failed to spawn worker {rank}: {e}");
@@ -381,9 +476,11 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
     }
 
     // Wait for every worker, with a hard deadline so a hang is a test failure,
-    // not a stuck pipeline.
+    // not a stuck pipeline. In the recovery drill, a victim exiting with the
+    // deliberate-death code is reaped and respawned (once) instead of recorded.
     let deadline = started + Duration::from_millis(recv_timeout_ms.max(30_000) * 4);
     let mut exits: Vec<Option<i32>> = vec![None; workers];
+    let mut respawned = false;
     loop {
         let mut pending = false;
         for (rank, child) in children.iter_mut().enumerate() {
@@ -396,6 +493,28 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
                 Err(e) => {
                     eprintln!("wait on worker {rank} failed: {e}");
                     exits[rank] = Some(-1);
+                }
+            }
+        }
+        if let Some(victim) = respawn_victim {
+            if !respawned && exits[victim] == Some(EXIT_DELIBERATE_DEATH) {
+                eprintln!(
+                    "spawner: rank {victim} died deliberately at frame {kill_frame}; respawning"
+                );
+                match spawn_worker(victim, None) {
+                    Ok(child) => {
+                        children[victim] = child;
+                        exits[victim] = None;
+                        respawned = true;
+                        pending = true;
+                    }
+                    Err(e) => {
+                        eprintln!("failed to respawn worker {victim}: {e}");
+                        for child in children.iter_mut() {
+                            let _ = child.kill();
+                        }
+                        return 1;
+                    }
                 }
             }
         }
@@ -434,6 +553,10 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
 
     let result = if drill {
         validate_drill(opts, workers, &exits, &outputs, elapsed)
+    } else if let Some(victim) = respawn_victim {
+        validate_respawn(
+            opts, workers, victim, respawned, &exits, &outputs, &dir, elapsed,
+        )
     } else {
         validate_success(opts, workers, &exits, &outputs, &dir, elapsed)
     };
@@ -509,6 +632,50 @@ fn validate_success(
         let _ = std::io::stdout().flush();
     }
     0
+}
+
+/// Recovery drill: the victim must actually have died and been respawned, every
+/// (final) worker must exit 0, at least one survivor must report a mesh
+/// recovery, and the retried job's part vectors must pass the full success
+/// validation — bit-identical across processes and against the in-process
+/// backend.
+#[allow(clippy::too_many_arguments)]
+fn validate_respawn(
+    opts: &Options,
+    workers: usize,
+    victim: usize,
+    respawned: bool,
+    exits: &[Option<i32>],
+    outputs: &[(String, String)],
+    dir: &Path,
+    elapsed: Duration,
+) -> i32 {
+    if !respawned {
+        eprintln!(
+            "respawn drill: rank {victim} never died (exited {:?}) — raise --kill-at-frame?",
+            exits[victim]
+        );
+        return EXIT_VERIFY;
+    }
+    let survivors_recovered = (0..workers)
+        .filter(|&r| r != victim)
+        .any(|r| outputs[r].0.contains("\"recoveries\":1"));
+    if !survivors_recovered {
+        eprintln!("respawn drill: no survivor reported a mesh recovery");
+        for (rank, (stdout, stderr)) in outputs.iter().enumerate() {
+            eprintln!("--- worker {rank} stdout ---\n{stdout}--- stderr ---\n{stderr}");
+        }
+        return EXIT_VERIFY;
+    }
+    let code = validate_success(opts, workers, exits, outputs, dir, elapsed);
+    if code == 0 {
+        println!(
+            "{{\"drill\":\"respawn\",\"killed\":{victim},\"respawned\":true,\
+             \"survivors_recovered\":true,\"seconds\":{:.3}}}",
+            elapsed.as_secs_f64()
+        );
+    }
+    code
 }
 
 /// Failure drill: the killed rank must exit 17 and every survivor must fail

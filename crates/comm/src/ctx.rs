@@ -40,16 +40,57 @@ use crate::transport::{
 /// Type-erased return value of one rank's job.
 type ErasedResult = Box<dyn Any + Send>;
 
-/// A borrowed, type-erased job closure shipped to the worker threads.
-///
-/// The pointee lives in [`Runtime::execute`]'s stack frame; the `'static`
-/// lifetime is a lie told via `transmute`, made sound because `execute` blocks
-/// until every worker has reported completion of the job, so the reference
-/// never outlives its referent (the same guarantee scoped threads provide,
-/// made manual because the workers are long-lived).
+/// What the runtime ships to its worker threads.
 #[derive(Clone, Copy)]
-struct Job {
-    f: &'static (dyn Fn(&RankCtx) -> ErasedResult + Sync),
+enum Job {
+    /// A borrowed, type-erased job closure.
+    ///
+    /// The pointee lives in [`Runtime::execute`]'s stack frame; the `'static`
+    /// lifetime is a lie told via `transmute`, made sound because `execute`
+    /// blocks until every worker has reported completion of the job, so the
+    /// reference never outlives its referent (the same guarantee scoped
+    /// threads provide, made manual because the workers are long-lived).
+    Run {
+        f: &'static (dyn Fn(&RankCtx) -> ErasedResult + Sync),
+    },
+    /// Recover this worker's transport in place (see [`Transport::recover`]).
+    /// Dispatched to every local rank in parallel, because recovery is itself
+    /// a collective rendezvous: with several local ranks, each must be mid-
+    /// recovery at once for any to complete.
+    Recover,
+}
+
+/// How a [`Runtime::try_execute_recoverable`] job finished.
+#[derive(Debug)]
+pub enum ExecOutcome<R> {
+    /// Every rank completed on the first attempt.
+    Completed(Vec<R>),
+    /// The job failed at least once, membership was restored, and a retry ran
+    /// to completion.
+    Recovered {
+        /// Each local rank's result, in local-rank order.
+        results: Vec<R>,
+        /// Successful mesh recoveries performed along the way.
+        recoveries: u32,
+    },
+}
+
+impl<R> ExecOutcome<R> {
+    /// The per-rank results, however the job got there.
+    pub fn into_results(self) -> Vec<R> {
+        match self {
+            ExecOutcome::Completed(results) => results,
+            ExecOutcome::Recovered { results, .. } => results,
+        }
+    }
+
+    /// Successful recoveries performed (0 for [`ExecOutcome::Completed`]).
+    pub fn recoveries(&self) -> u32 {
+        match self {
+            ExecOutcome::Completed(_) => 0,
+            ExecOutcome::Recovered { recoveries, .. } => *recoveries,
+        }
+    }
 }
 
 /// A persistent pool of rank threads executing bulk-synchronous jobs.
@@ -264,17 +305,107 @@ impl Runtime {
         Ok(results)
     }
 
-    /// Ship a job to every local rank and collect each rank's outcome, in
-    /// local-rank order.
+    /// Like [`Runtime::try_execute`], but a transport failure triggers a
+    /// membership recovery ([`Runtime::recover`]) followed by a from-scratch
+    /// retry of `f`, up to `max_recoveries` times. Jobs run this way must be
+    /// idempotent — deterministic pure functions of their captured input, as
+    /// every partitioning job here is.
+    ///
+    /// Returns a typed [`ExecOutcome`] distinguishing a clean first-attempt
+    /// completion from a completion that needed recoveries. When attempts are
+    /// exhausted, or a recovery itself fails, the job is abandoned with
+    /// [`CommError::Aborted`] carrying the last transport failure.
+    pub fn try_execute_recoverable<F, R>(
+        &mut self,
+        f: F,
+        max_recoveries: u32,
+    ) -> Result<ExecOutcome<R>, CommError>
+    where
+        F: Fn(&RankCtx) -> R + Sync,
+        R: Send + 'static,
+    {
+        let mut recoveries = 0u32;
+        loop {
+            match self.try_execute(&f) {
+                Ok(results) => {
+                    return Ok(if recoveries == 0 {
+                        ExecOutcome::Completed(results)
+                    } else {
+                        ExecOutcome::Recovered {
+                            results,
+                            recoveries,
+                        }
+                    })
+                }
+                Err(CommError::Transport(err)) => {
+                    if recoveries >= max_recoveries {
+                        return Err(CommError::Aborted {
+                            recoveries,
+                            last: err,
+                        });
+                    }
+                    if let Err(e) = self.recover() {
+                        let last = match e {
+                            CommError::Transport(t) => t,
+                            other => return Err(other),
+                        };
+                        return Err(CommError::Aborted { recoveries, last });
+                    }
+                    recoveries += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Restore the job's membership after a transport failure: every locally
+    /// hosted rank recovers its transport (see [`Transport::recover`]), in
+    /// parallel — recovery is itself a collective rendezvous, so with several
+    /// local ranks each must be mid-recovery at once for any to complete.
+    ///
+    /// On success the next job starts on a fresh mesh with sticky per-peer
+    /// death cleared. Fails typed with the first rank's recovery error
+    /// otherwise.
+    pub fn recover(&mut self) -> Result<(), CommError> {
+        let mut first: Option<TransportError> = None;
+        for outcome in self.dispatch_job(Job::Recover) {
+            match outcome {
+                Ok(boxed) => {
+                    let res = *boxed
+                        .downcast::<Result<(), TransportError>>()
+                        .expect("recover jobs report a transport result");
+                    if let Err(e) = res {
+                        first.get_or_insert(e);
+                    }
+                }
+                Err(payload) => match payload.downcast::<TransportError>() {
+                    Ok(err) => {
+                        first.get_or_insert(*err);
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+            }
+        }
+        match first {
+            Some(err) => Err(CommError::Transport(err)),
+            None => {
+                runtime_recoveries_counter().inc();
+                Ok(())
+            }
+        }
+    }
+
+    /// Ship a job closure to every local rank and collect each rank's
+    /// outcome, in local-rank order.
     fn dispatch(
         &mut self,
         erased: &(dyn Fn(&RankCtx) -> ErasedResult + Sync),
     ) -> Vec<std::thread::Result<ErasedResult>> {
-        // SAFETY: `Job` is only dereferenced by workers between the sends below
-        // and the corresponding completion messages, all of which this function
-        // waits for before returning; the closure therefore outlives every use
-        // of the forged `'static` reference.
-        let job = Job {
+        // SAFETY: `Job::Run` is only dereferenced by workers between the sends
+        // inside `dispatch_job` and the corresponding completion messages, all
+        // of which `dispatch_job` waits for before returning; the closure
+        // therefore outlives every use of the forged `'static` reference.
+        let job = Job::Run {
             f: unsafe {
                 std::mem::transmute::<
                     &(dyn Fn(&RankCtx) -> ErasedResult + Sync),
@@ -282,6 +413,12 @@ impl Runtime {
                 >(erased)
             },
         };
+        self.dispatch_job(job)
+    }
+
+    /// Ship `job` to every local rank and collect each rank's outcome, in
+    /// local-rank order.
+    fn dispatch_job(&mut self, job: Job) -> Vec<std::thread::Result<ErasedResult>> {
         for tx in &self.job_txs {
             tx.send(job).expect("rank thread exited unexpectedly");
         }
@@ -353,7 +490,13 @@ impl Runtime {
                         );
                     }
                     let json = obs::export::chrome_trace_json(&all);
-                    std::fs::write(&path_buf, json)
+                    // Write-then-rename so a crash mid-export never leaves a
+                    // torn half-trace at the published path.
+                    let mut tmp = path_buf.clone().into_os_string();
+                    tmp.push(".tmp");
+                    let tmp = std::path::PathBuf::from(tmp);
+                    std::fs::write(&tmp, json)
+                        .and_then(|()| std::fs::rename(&tmp, &path_buf))
                         .map_err(|e| format!("writing {}: {e}", path_buf.display()))?;
                     Ok(true)
                 }
@@ -387,9 +530,15 @@ impl Runtime {
         obs::set_thread_rank(transport.rank());
         // Exits when the runtime drops its sender.
         while let Ok(job) = job_rx.recv() {
-            let ctx = RankCtx::new(Arc::clone(&transport));
-            let f = job.f;
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            let outcome = match job {
+                Job::Run { f } => {
+                    let ctx = RankCtx::new(Arc::clone(&transport));
+                    std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)))
+                }
+                Job::Recover => std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    Box::new(transport.recover()) as ErasedResult
+                })),
+            };
             if results_tx.send((local, outcome)).is_err() {
                 return;
             }
@@ -419,6 +568,12 @@ fn fail(err: TransportError) -> ! {
 /// stream would have framed.
 fn est_wire(payload_bytes: usize) -> u64 {
     (payload_bytes + FRAME_HEADER_BYTES) as u64
+}
+
+/// Successful membership recoveries, fleet-wide.
+fn runtime_recoveries_counter() -> &'static obs::registry::Counter {
+    static C: OnceLock<obs::registry::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::registry::counter("runtime_recoveries_total"))
 }
 
 /// Per-collective latency histogram in the global metrics registry, fetched

@@ -31,6 +31,14 @@ pub enum CommError {
     /// A collective failed at the transport layer (peer death, timeout,
     /// corrupt frame, ...).
     Transport(TransportError),
+    /// A recoverable execution gave up: its recovery budget ran out, or a
+    /// recovery attempt itself failed.
+    Aborted {
+        /// Successful membership recoveries performed before giving up.
+        recoveries: u32,
+        /// The transport failure that ended the job.
+        last: TransportError,
+    },
     /// The cross-rank trace gather succeeded but a blob failed to decode or
     /// the merged trace file could not be written.
     TraceExport {
@@ -57,6 +65,10 @@ impl fmt::Display for CommError {
             }
             CommError::Spawn { detail } => write!(f, "failed to spawn rank worker: {detail}"),
             CommError::Transport(e) => write!(f, "transport failure: {e}"),
+            CommError::Aborted { recoveries, last } => write!(
+                f,
+                "job aborted after {recoveries} successful recoveries: {last}"
+            ),
             CommError::TraceExport { detail } => write!(f, "trace export failed: {detail}"),
         }
     }
@@ -66,6 +78,7 @@ impl std::error::Error for CommError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CommError::Transport(e) => Some(e),
+            CommError::Aborted { last, .. } => Some(last),
             _ => None,
         }
     }

@@ -52,15 +52,15 @@ mod stats;
 mod timer;
 pub mod transport;
 
-pub use ctx::{RankCtx, Runtime};
+pub use ctx::{ExecOutcome, RankCtx, Runtime};
 pub use error::CommError;
 pub use stats::{
     CollectiveKind, CollectiveVolume, CommStats, CommStatsSnapshot, PerCollectiveSnapshot,
 };
 pub use timer::{PhaseTimer, Timer};
 pub use transport::{
-    BarrierCost, CodecError, Frame, InProcFabric, InProcTransport, TcpConfig, TcpTransport,
-    Transport, TransportError, WireElem, WireMessage,
+    BarrierCost, CodecError, FaultInjectTransport, FaultPlan, Frame, InProcFabric, InProcTransport,
+    TcpConfig, TcpTransport, Transport, TransportError, WireElem, WireMessage,
 };
 
 #[cfg(test)]

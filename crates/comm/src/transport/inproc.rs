@@ -9,8 +9,9 @@
 //! in-process collectives now synchronise only with the ranks they actually
 //! exchange frames with.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 use super::{BarrierCost, Frame, Transport, TransportError};
 
@@ -26,6 +27,16 @@ impl InProcFabric {
     /// Panics if `nranks == 0` (validated upstream by
     /// [`Runtime::try_new`](crate::Runtime::try_new)).
     pub fn create(nranks: usize) -> Vec<InProcTransport> {
+        // Generous default: in-process peers only go silent when a sibling
+        // rank has failed its job, and then the bound keeps the survivors
+        // from hanging forever.
+        Self::create_with_recv_timeout(nranks, Duration::from_secs(60))
+    }
+
+    /// Like [`InProcFabric::create`] with an explicit receive timeout, after
+    /// which a silent peer surfaces as [`TransportError::Timeout`]. Fault
+    /// injection tests lower it so injected failures resolve quickly.
+    pub fn create_with_recv_timeout(nranks: usize, recv_timeout: Duration) -> Vec<InProcTransport> {
         assert!(nranks > 0, "a fabric needs at least one rank");
         let barrier = Arc::new(Barrier::new(nranks));
         // txs[s][d] / rxs[d][s]: the (s -> d) channel. Self-channels are
@@ -49,6 +60,7 @@ impl InProcFabric {
             .map(|(rank, (tx_row, rx_row))| InProcTransport {
                 rank,
                 nranks,
+                recv_timeout,
                 barrier: Arc::clone(&barrier),
                 txs: tx_row.into_iter().map(Option::unwrap).collect(),
                 rxs: rx_row.into_iter().map(Option::unwrap).collect(),
@@ -61,6 +73,7 @@ impl InProcFabric {
 pub struct InProcTransport {
     rank: usize,
     nranks: usize,
+    recv_timeout: Duration,
     barrier: Arc<Barrier>,
     /// `txs[d]` queues frames to rank `d`.
     txs: Vec<Sender<Frame>>,
@@ -102,10 +115,29 @@ impl Transport for InProcTransport {
             src, self.rank,
             "self-receives are handled above the transport"
         );
-        self.rxs[src].recv().map_err(|_| TransportError::PeerDeath {
-            peer: src,
-            detail: "in-process peer released its transport".to_string(),
-        })
+        match self.rxs[src].recv_timeout(self.recv_timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
+                peer: src,
+                after_ms: self.recv_timeout.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::PeerDeath {
+                peer: src,
+                detail: "in-process peer released its transport".to_string(),
+            }),
+        }
+    }
+
+    fn recover(&self) -> Result<(), TransportError> {
+        // The channels are shared with sibling ranks and cannot be replaced
+        // unilaterally, but by the recovery contract every local rank has
+        // finished (failed) its job before any rank recovers — so no sends
+        // are in flight and draining the inboxes restores a fresh FIFO state
+        // for the retry.
+        for rx in &self.rxs {
+            while rx.try_recv().is_ok() {}
+        }
+        Ok(())
     }
 
     fn barrier(&self) -> Result<BarrierCost, TransportError> {

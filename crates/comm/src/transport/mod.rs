@@ -29,6 +29,7 @@
 //! as [`CommError::Transport`](crate::CommError::Transport).
 
 pub mod codec;
+mod fault;
 mod inproc;
 mod tcp;
 
@@ -36,6 +37,7 @@ use std::any::Any;
 use std::fmt;
 
 pub use codec::{CodecError, WireElem, WireMessage};
+pub use fault::{FaultInjectTransport, FaultPlan};
 pub use inproc::{InProcFabric, InProcTransport};
 pub use tcp::{TcpConfig, TcpTransport};
 
@@ -271,6 +273,20 @@ pub trait Transport: Send {
     /// Block for the next frame from `src`, failing typed if the peer dies or
     /// stays silent past the backend's receive timeout.
     fn recv(&self, src: usize) -> Result<Frame, TransportError>;
+
+    /// Restore this endpoint to a usable state after a peer failure, clearing
+    /// sticky per-peer death so a collective-level retry can run.
+    ///
+    /// For a multi-process backend this means tearing down the broken mesh
+    /// and re-running the rendezvous claiming the same rank (see
+    /// [`TcpTransport::recover`](tcp::TcpTransport)); for the in-process
+    /// backend it means draining frames a half-finished job left queued. The
+    /// contract mirrors the collectives': every surviving rank of the job
+    /// recovers before any rank starts the retry job. The default is a no-op
+    /// for backends with no recoverable state.
+    fn recover(&self) -> Result<(), TransportError> {
+        Ok(())
+    }
 
     /// Block until every rank reaches this call.
     ///

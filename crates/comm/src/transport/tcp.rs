@@ -4,14 +4,15 @@
 //!
 //! One process per rank. The rank-0 process binds the well-known coordinator
 //! address; every other process binds an ephemeral mesh listener, connects to
-//! the coordinator (retrying until the connect timeout, so start order does
-//! not matter) and sends a `HELLO` carrying its requested rank (or auto), its
-//! expected rank count and its listener address. Once all `nranks - 1` workers
-//! have reported, the coordinator assigns ranks — honouring unique explicit
-//! requests, filling the rest — and answers each with a `WELCOME` carrying the
-//! assigned rank and the full peer address table. Mismatched rank counts,
-//! duplicate rank claims, bad magic/version and missing ranks all fail the
-//! handshake with a typed [`TransportError::Handshake`].
+//! the coordinator (retrying with exponential backoff + jitter until the
+//! connect timeout, so start order does not matter) and sends a `HELLO`
+//! carrying its requested rank (or auto), its expected rank count and its
+//! listener address. Once all `nranks - 1` workers have reported, the
+//! coordinator assigns ranks — honouring unique explicit requests, filling the
+//! rest — and answers each with a `WELCOME` carrying the assigned rank and the
+//! full peer address table. Mismatched rank counts, duplicate rank claims, bad
+//! magic/version and missing ranks all fail the handshake with a typed
+//! [`TransportError::Handshake`].
 //!
 //! ## Mesh
 //!
@@ -30,26 +31,72 @@
 //! [`TransportError::PeerDeath`] on the next receive — within the receive
 //! timeout bound — and a peer that is alive but silent past the timeout
 //! surfaces as [`TransportError::Timeout`].
+//!
+//! ## Heartbeats
+//!
+//! An idle writer emits a 4-byte liveness sentinel (`0xFFFF_FFFF`, never a
+//! valid frame length) every [`TcpConfig::heartbeat_interval`]; readers count
+//! and swallow them. A link that stays silent — no frames *and* no heartbeats
+//! — for [`TcpConfig::heartbeat_misses`] consecutive intervals is declared
+//! dead, catching frozen processes and network partitions that TCP alone would
+//! surface only after the OS-level keepalive horizon. Because heartbeats come
+//! from the dedicated writer thread, a rank that is merely busy computing never
+//! trips the detector.
+//!
+//! ## Recovery (REJOIN)
+//!
+//! [`TcpTransport::recover`] tears the current mesh down (waking every peer
+//! still blocked on this rank via the EOF cascade) and re-runs the rendezvous
+//! claiming the same rank explicitly. The coordinator retains its listener for
+//! the transport's lifetime, so reconnect attempts — including a freshly
+//! respawned process claiming a dead rank — queue in its backlog until rank 0
+//! itself enters recovery and accepts them. After recovery the mesh is fresh
+//! (new streams, new FIFO state, re-measured clock offsets) and a
+//! collective-level retry can run the failed job from scratch. Rank 0's own
+//! death is not survivable: it owns the rendezvous address.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use xtrapulp_obs::registry::Counter;
 
 use super::{Frame, Transport, TransportError, MAX_FRAME_BYTES};
 
 /// Protocol magic ("XPMP") opening every handshake message.
 const MAGIC: u32 = 0x5850_4D50;
 /// Wire protocol version; bumped on any incompatible change.
-/// v2 added the clock-sync rounds after `WELCOME`.
-const VERSION: u16 = 2;
+/// v2 added the clock-sync rounds after `WELCOME`; v3 added heartbeat
+/// sentinel frames and rank rejoin.
+const VERSION: u16 = 3;
 /// `HELLO.requested_rank` value meaning "assign me any free rank".
 const RANK_AUTO: u64 = u64::MAX;
 /// Ping/pong rounds of the post-`WELCOME` clock sync; the round with the
 /// smallest RTT wins.
 const CLOCK_SYNC_ROUNDS: usize = 4;
+/// Frame-header sentinel announcing "still alive, nothing to say". Strictly
+/// greater than [`MAX_FRAME_BYTES`], so it can never be mistaken for a
+/// payload length.
+const HEARTBEAT_HEADER: u32 = 0xFFFF_FFFF;
+
+fn heartbeats_sent_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| xtrapulp_obs::registry::counter("transport_heartbeats_sent_total"))
+}
+
+fn heartbeats_missed_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| xtrapulp_obs::registry::counter("transport_heartbeats_missed_total"))
+}
+
+fn reconnects_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| xtrapulp_obs::registry::counter("transport_reconnects_total"))
+}
 
 /// Configuration of one TCP endpoint (one rank, one process).
 #[derive(Debug, Clone)]
@@ -72,11 +119,17 @@ pub struct TcpConfig {
     /// [`TransportError::Timeout`]. Bounds how long a rank can hang on a
     /// wedged (rather than dead) peer.
     pub recv_timeout: Duration,
+    /// How often an idle writer emits a liveness sentinel. `Duration::ZERO`
+    /// disables heartbeats (and the silent-link detector) entirely.
+    pub heartbeat_interval: Duration,
+    /// Consecutive silent intervals — no data, no heartbeat — after which a
+    /// link is declared dead.
+    pub heartbeat_misses: u32,
 }
 
 impl TcpConfig {
     /// A config with the default timeouts (10 s connect, 30 s handshake,
-    /// 60 s receive).
+    /// 60 s receive, 2 s heartbeats with 5 tolerated misses).
     pub fn new(coordinator: impl Into<String>, rank: Option<usize>, nranks: usize) -> Self {
         TcpConfig {
             coordinator: coordinator.into(),
@@ -85,6 +138,8 @@ impl TcpConfig {
             connect_timeout: Duration::from_secs(10),
             handshake_timeout: Duration::from_secs(30),
             recv_timeout: Duration::from_secs(60),
+            heartbeat_interval: Duration::from_secs(2),
+            heartbeat_misses: 5,
         }
     }
 }
@@ -100,8 +155,64 @@ struct Peer {
     outbox: Sender<Vec<u8>>,
     inbox: Receiver<Inbound>,
     /// Sticky death record: once a peer fails, every later receive reports the
-    /// same typed error instead of a confusing timeout.
+    /// same typed error instead of a confusing timeout. Cleared only by a full
+    /// mesh recovery, which replaces the `Peer` wholesale.
     dead: RefCell<Option<TransportError>>,
+}
+
+/// The mutable half of a [`TcpTransport`]: everything a recovery replaces.
+///
+/// Lives behind a `RefCell` because a transport is owned by exactly one rank
+/// thread (the trait is `Send`, not `Sync`); interior mutability lets
+/// `recover(&self)` rebuild the mesh without changing the `Transport` trait's
+/// `&self` methods.
+#[derive(Default)]
+struct Mesh {
+    /// Estimated offset from this process's trace clock to the coordinator's
+    /// (rank 0's), measured during rendezvous; 0 on the coordinator.
+    clock_offset_ns: i64,
+    /// Indexed by peer rank; `None` at our own index.
+    peers: Vec<Option<Peer>>,
+    /// Original streams, kept to force-shutdown reader threads on teardown.
+    streams: Vec<Option<TcpStream>>,
+    readers: Vec<JoinHandle<()>>,
+    writers: Vec<JoinHandle<()>>,
+}
+
+impl Mesh {
+    fn peer(&self, rank: usize) -> Result<&Peer, TransportError> {
+        self.peers
+            .get(rank)
+            .and_then(Option::as_ref)
+            .ok_or(TransportError::PeerDeath {
+                peer: rank,
+                detail: "no link to this rank (self, out of range, or mesh torn down)".to_string(),
+            })
+    }
+
+    /// Flush and close every link, joining the IO threads. Closing our sockets
+    /// cascades an EOF to any peer still blocked on us, so one rank entering
+    /// teardown accelerates failure detection across the whole job.
+    fn teardown(&mut self) {
+        // Dropping the outboxes lets each writer drain its queue and exit,
+        // so frames already sent (e.g. a final result gather) still flush.
+        for peer in self.peers.iter_mut().flatten() {
+            let (dummy_tx, _dummy_rx) = channel();
+            peer.outbox = dummy_tx;
+        }
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+        // Now tear the sockets down so blocked readers wake and exit.
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
+        self.peers.iter_mut().for_each(|p| *p = None);
+        self.streams.iter_mut().for_each(|s| *s = None);
+    }
 }
 
 /// A connected TCP endpoint implementing [`Transport`].
@@ -109,15 +220,15 @@ pub struct TcpTransport {
     rank: usize,
     nranks: usize,
     recv_timeout: Duration,
-    /// Estimated offset from this process's trace clock to the coordinator's
-    /// (rank 0's), measured during rendezvous; 0 on the coordinator.
-    clock_offset_ns: i64,
-    /// Indexed by peer rank; `None` at our own index.
-    peers: Vec<Option<Peer>>,
-    /// Original streams, kept to force-shutdown reader threads on drop.
-    streams: Vec<Option<TcpStream>>,
-    readers: Vec<JoinHandle<()>>,
-    writers: Vec<JoinHandle<()>>,
+    /// The connect-time configuration, kept so a recovery can re-run the
+    /// rendezvous with identical parameters (claiming `rank` explicitly).
+    config: TcpConfig,
+    /// Rank 0 only: the rendezvous listener, retained for the transport's
+    /// lifetime. Recovery re-accepts on it — no rebind (so no `TIME_WAIT`
+    /// races) and early reconnects queue in its backlog.
+    coordinator_listener: Option<TcpListener>,
+    mesh: RefCell<Mesh>,
+    recoveries: Cell<u32>,
 }
 
 impl TcpTransport {
@@ -144,36 +255,49 @@ impl TcpTransport {
                 rank: 0,
                 nranks: 1,
                 recv_timeout: config.recv_timeout,
-                clock_offset_ns: 0,
-                peers: vec![None],
-                streams: vec![None],
-                readers: Vec::new(),
-                writers: Vec::new(),
+                config: config.clone(),
+                coordinator_listener: None,
+                mesh: RefCell::new(Mesh::default()),
+                recoveries: Cell::new(0),
             });
         }
-        let (rank, clock_offset_ns, links) = if config.rank == Some(0) {
-            let (rank, links) = Self::rendezvous_coordinator(config)?;
-            (rank, 0, links)
+        let (rank, listener, mesh) = if config.rank == Some(0) {
+            let listener = bind_coordinator(config)?;
+            let links = Self::rendezvous_coordinator(&listener, config)?;
+            (0, Some(listener), Self::spawn_io(0, 0, config, links)?)
         } else {
-            Self::rendezvous_worker(config)?
+            let (rank, clock_offset_ns, links) = Self::rendezvous_worker(config, config.rank)?;
+            (
+                rank,
+                None,
+                Self::spawn_io(rank, clock_offset_ns, config, links)?,
+            )
         };
-        Self::spawn_io(rank, clock_offset_ns, config, links)
+        let mut config = config.clone();
+        config.rank = Some(rank);
+        Ok(TcpTransport {
+            rank,
+            nranks: config.nranks,
+            recv_timeout: config.recv_timeout,
+            config,
+            coordinator_listener: listener,
+            mesh: RefCell::new(mesh),
+            recoveries: Cell::new(0),
+        })
     }
 
-    /// Rank 0: bind the coordinator address, collect `HELLO`s, assign ranks,
-    /// answer `WELCOME`s. The rendezvous streams become the mesh links.
+    /// How many times this endpoint has successfully rebuilt its mesh.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries.get()
+    }
+
+    /// Rank 0: collect `HELLO`s on the (already nonblocking) listener, assign
+    /// ranks, answer `WELCOME`s. The rendezvous streams become the mesh links.
     fn rendezvous_coordinator(
+        listener: &TcpListener,
         config: &TcpConfig,
-    ) -> Result<(usize, Vec<Option<TcpStream>>), TransportError> {
+    ) -> Result<Vec<Option<TcpStream>>, TransportError> {
         let nranks = config.nranks;
-        let listener =
-            TcpListener::bind(&config.coordinator).map_err(|e| TransportError::Bind {
-                addr: config.coordinator.clone(),
-                detail: e.to_string(),
-            })?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| handshake_io("coordinator listener", &e))?;
         let deadline = Instant::now() + config.handshake_timeout;
         // (requested_rank, advertised mesh addr, stream), one per worker.
         let mut hellos: Vec<(u64, String, TcpStream)> = Vec::new();
@@ -247,13 +371,15 @@ impl TcpTransport {
             sync_serve(&stream)?;
             links[rank] = Some(stream);
         }
-        Ok((0, links))
+        Ok(links)
     }
 
     /// Non-zero ranks: dial the coordinator, `HELLO`/`WELCOME` + clock sync,
-    /// then complete the worker-to-worker mesh.
+    /// then complete the worker-to-worker mesh. `claim` is the rank to insist
+    /// on (`None` accepts coordinator assignment; recovery always claims).
     fn rendezvous_worker(
         config: &TcpConfig,
+        claim: Option<usize>,
     ) -> Result<(usize, i64, Vec<Option<TcpStream>>), TransportError> {
         let nranks = config.nranks;
         let coord = connect_retry(&config.coordinator, config.connect_timeout)?;
@@ -273,9 +399,16 @@ impl TcpTransport {
             .map_err(|e| handshake_io("listener local_addr", &e))?
             .to_string();
 
-        let requested = config.rank.map_or(RANK_AUTO, |r| r as u64);
+        let requested = claim.map_or(RANK_AUTO, |r| r as u64);
         write_hello(&coord, requested, nranks, &listen_addr)?;
         let (my_rank, addrs) = read_welcome(&coord, nranks)?;
+        if let Some(claimed) = claim {
+            if my_rank != claimed {
+                return Err(TransportError::Handshake {
+                    detail: format!("claimed rank {claimed} but coordinator assigned {my_rank}"),
+                });
+            }
+        }
         let clock_offset_ns = sync_measure(&coord)?;
 
         let mut links: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
@@ -335,34 +468,38 @@ impl TcpTransport {
         clock_offset_ns: i64,
         config: &TcpConfig,
         links: Vec<Option<TcpStream>>,
-    ) -> Result<TcpTransport, TransportError> {
+    ) -> Result<Mesh, TransportError> {
         let nranks = config.nranks;
+        let heartbeat = config.heartbeat_interval;
         let mut peers: Vec<Option<Peer>> = (0..nranks).map(|_| None).collect();
         let mut streams: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
         let mut readers = Vec::new();
         let mut writers = Vec::new();
         for (peer_rank, link) in links.into_iter().enumerate() {
             let Some(stream) = link else { continue };
-            // Handshake used read timeouts; the data plane blocks indefinitely
-            // (liveness is the rank thread's recv_timeout, not the socket's).
+            // Handshake used read timeouts; the data plane's socket timeout is
+            // the heartbeat interval (each expiry is one "missed" tick for the
+            // silent-link detector), or unbounded with heartbeats disabled.
+            let read_timeout = (heartbeat > Duration::ZERO).then_some(heartbeat);
             stream
-                .set_read_timeout(None)
+                .set_read_timeout(read_timeout)
                 .and_then(|()| stream.set_nodelay(true))
                 .map_err(|e| handshake_io("stream setup", &e))?;
             let reader_stream = stream.try_clone().map_err(|e| handshake_io("clone", &e))?;
             let writer_stream = stream.try_clone().map_err(|e| handshake_io("clone", &e))?;
             let (out_tx, out_rx) = channel::<Vec<u8>>();
             let (in_tx, in_rx) = channel::<Inbound>();
+            let max_misses = config.heartbeat_misses.max(1);
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("xtrapulp-tcp-r{rank}-from{peer_rank}"))
-                    .spawn(move || reader_main(reader_stream, peer_rank, in_tx))
+                    .spawn(move || reader_main(reader_stream, peer_rank, in_tx, max_misses))
                     .map_err(|e| handshake_io("spawn reader", &e))?,
             );
             writers.push(
                 std::thread::Builder::new()
                     .name(format!("xtrapulp-tcp-r{rank}-to{peer_rank}"))
-                    .spawn(move || writer_main(writer_stream, out_rx))
+                    .spawn(move || writer_main(writer_stream, out_rx, heartbeat))
                     .map_err(|e| handshake_io("spawn writer", &e))?,
             );
             peers[peer_rank] = Some(Peer {
@@ -372,22 +509,13 @@ impl TcpTransport {
             });
             streams[peer_rank] = Some(stream);
         }
-        Ok(TcpTransport {
-            rank,
-            nranks,
-            recv_timeout: config.recv_timeout,
+        Ok(Mesh {
             clock_offset_ns,
             peers,
             streams,
             readers,
             writers,
         })
-    }
-
-    fn peer(&self, rank: usize) -> &Peer {
-        self.peers[rank]
-            .as_ref()
-            .expect("no link to this rank (self or out of range)")
     }
 }
 
@@ -409,14 +537,15 @@ impl Transport for TcpTransport {
     }
 
     fn clock_offset_ns(&self) -> i64 {
-        self.clock_offset_ns
+        self.mesh.borrow().clock_offset_ns
     }
 
     fn send(&self, dst: usize, frame: Frame) -> Result<u64, TransportError> {
         let Frame::Bytes(bytes) = frame else {
             unreachable!("typed frames are never handed to a wire transport");
         };
-        let peer = self.peer(dst);
+        let mesh = self.mesh.borrow();
+        let peer = mesh.peer(dst)?;
         if let Some(err) = peer.dead.borrow().as_ref() {
             return Err(err.clone());
         }
@@ -433,7 +562,8 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self, src: usize) -> Result<Frame, TransportError> {
-        let peer = self.peer(src);
+        let mesh = self.mesh.borrow();
+        let peer = mesh.peer(src)?;
         if let Some(err) = peer.dead.borrow().as_ref() {
             return Err(err.clone());
         }
@@ -457,31 +587,57 @@ impl Transport for TcpTransport {
             }
         }
     }
+
+    fn recover(&self) -> Result<(), TransportError> {
+        if self.nranks == 1 {
+            return Ok(());
+        }
+        // Tear the old mesh down first: our closing sockets wake any peer
+        // still blocked on us, spreading failure detection cluster-wide.
+        self.mesh.borrow_mut().teardown();
+        let mesh = match &self.coordinator_listener {
+            Some(listener) => {
+                let links = Self::rendezvous_coordinator(listener, &self.config)?;
+                Self::spawn_io(self.rank, 0, &self.config, links)?
+            }
+            None => {
+                let (rank, clock_offset_ns, links) =
+                    Self::rendezvous_worker(&self.config, Some(self.rank))?;
+                Self::spawn_io(rank, clock_offset_ns, &self.config, links)?
+            }
+        };
+        *self.mesh.borrow_mut() = mesh;
+        self.recoveries.set(self.recoveries.get() + 1);
+        reconnects_counter().inc();
+        Ok(())
+    }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Dropping the outboxes lets each writer drain its queue and exit,
-        // so frames already sent (e.g. a final result gather) still flush.
-        for peer in self.peers.iter_mut().flatten() {
-            let (dummy_tx, _dummy_rx) = channel();
-            peer.outbox = dummy_tx;
-        }
-        for writer in self.writers.drain(..) {
-            let _ = writer.join();
-        }
-        // Now tear the sockets down so blocked readers wake and exit.
-        for stream in self.streams.iter().flatten() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for reader in self.readers.drain(..) {
-            let _ = reader.join();
-        }
+        self.mesh.borrow_mut().teardown();
     }
 }
 
-/// Reader thread: length-prefixed frames from one peer into the inbox.
-fn reader_main(mut stream: TcpStream, peer: usize, inbox: Sender<Inbound>) {
+fn bind_coordinator(config: &TcpConfig) -> Result<TcpListener, TransportError> {
+    let listener = TcpListener::bind(&config.coordinator).map_err(|e| TransportError::Bind {
+        addr: config.coordinator.clone(),
+        detail: e.to_string(),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| handshake_io("coordinator listener", &e))?;
+    Ok(listener)
+}
+
+/// Reader thread: length-prefixed frames from one peer into the inbox,
+/// tolerating up to `max_misses` consecutive heartbeat-interval silences.
+fn reader_main(stream: TcpStream, peer: usize, inbox: Sender<Inbound>, max_misses: u32) {
+    let mut stream = HeartbeatRead {
+        inner: stream,
+        misses: 0,
+        max_misses,
+    };
     loop {
         match read_frame(&mut stream, peer, MAX_FRAME_BYTES) {
             Ok(Some(bytes)) => {
@@ -504,8 +660,52 @@ fn reader_main(mut stream: TcpStream, peer: usize, inbox: Sender<Inbound>) {
     }
 }
 
-/// Read one `[u32 len][payload]` frame. `Ok(None)` is a clean EOF at a frame
-/// boundary; a mid-frame EOF is a typed [`TransportError::ShortRead`].
+/// A [`Read`] adaptor that turns socket read timeouts into missed-heartbeat
+/// ticks: each expiry of the socket's read timeout (one heartbeat interval)
+/// counts one miss, any arriving byte resets the count, and `max_misses`
+/// consecutive misses surface as a timeout error (mapped to a typed peer
+/// death by [`read_frame`]).
+struct HeartbeatRead {
+    inner: TcpStream,
+    misses: u32,
+    max_misses: u32,
+}
+
+impl Read for HeartbeatRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => {
+                    self.misses = 0;
+                    return Ok(n);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    self.misses += 1;
+                    heartbeats_missed_counter().inc();
+                    if self.misses >= self.max_misses {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "link silent for {} heartbeat intervals (no data, no heartbeat)",
+                                self.max_misses
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Read one `[u32 len][payload]` frame, silently consuming heartbeat
+/// sentinels. `Ok(None)` is a clean EOF at a frame boundary; a mid-frame EOF
+/// is a typed [`TransportError::ShortRead`].
 ///
 /// Exposed (crate-internal) so the framing rules are unit-testable without
 /// sockets.
@@ -514,64 +714,99 @@ pub(crate) fn read_frame(
     peer: usize,
     max_frame: u64,
 ) -> Result<Option<Vec<u8>>, TransportError> {
-    let mut header = [0u8; super::FRAME_HEADER_BYTES];
-    let mut got = 0usize;
-    while got < header.len() {
-        match stream.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(TransportError::ShortRead {
-                    peer,
-                    expected: header.len() as u64,
-                    got: got as u64,
-                })
-            }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => {
-                return Err(TransportError::PeerDeath {
-                    peer,
-                    detail: format!("read failed: {e}"),
-                })
-            }
-        }
-    }
-    let len = u32::from_le_bytes(header) as u64;
-    if len > max_frame {
-        return Err(TransportError::FrameTooLarge { peer, len });
-    }
-    let mut payload = vec![0u8; len as usize];
-    let mut got = 0usize;
-    while got < payload.len() {
-        match stream.read(&mut payload[got..]) {
-            Ok(0) => {
-                return Err(TransportError::ShortRead {
-                    peer,
-                    expected: len,
-                    got: got as u64,
-                })
-            }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => {
-                return Err(TransportError::PeerDeath {
-                    peer,
-                    detail: format!("read failed: {e}"),
-                })
+    loop {
+        let mut header = [0u8; super::FRAME_HEADER_BYTES];
+        let mut got = 0usize;
+        while got < header.len() {
+            match stream.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(TransportError::ShortRead {
+                        peer,
+                        expected: header.len() as u64,
+                        got: got as u64,
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(TransportError::PeerDeath {
+                        peer,
+                        detail: format!("read failed: {e}"),
+                    })
+                }
             }
         }
+        let len = u32::from_le_bytes(header);
+        if len == HEARTBEAT_HEADER {
+            // Liveness sentinel, not a frame; go read the next header.
+            continue;
+        }
+        let len = len as u64;
+        if len > max_frame {
+            return Err(TransportError::FrameTooLarge { peer, len });
+        }
+        let mut payload = vec![0u8; len as usize];
+        let mut got = 0usize;
+        while got < payload.len() {
+            match stream.read(&mut payload[got..]) {
+                Ok(0) => {
+                    return Err(TransportError::ShortRead {
+                        peer,
+                        expected: len,
+                        got: got as u64,
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(TransportError::PeerDeath {
+                        peer,
+                        detail: format!("read failed: {e}"),
+                    })
+                }
+            }
+        }
+        return Ok(Some(payload));
     }
-    Ok(Some(payload))
 }
 
-/// Writer thread: drain the outbox onto the socket until it closes or errors.
-fn writer_main(mut stream: TcpStream, outbox: Receiver<Vec<u8>>) {
-    while let Ok(bytes) = outbox.recv() {
+/// Writer thread: drain the outbox onto the socket until it closes or errors,
+/// emitting a heartbeat sentinel whenever the outbox stays idle a full
+/// interval (zero interval disables heartbeats).
+fn writer_main(mut stream: TcpStream, outbox: Receiver<Vec<u8>>, heartbeat: Duration) {
+    let write_frame = |stream: &mut TcpStream, bytes: Vec<u8>| -> bool {
         let header = (bytes.len() as u32).to_le_bytes();
         if stream.write_all(&header).is_err() || stream.write_all(&bytes).is_err() {
-            return; // dropping the receiver poisons future sends with PeerDeath
+            return false; // dropping the receiver poisons future sends with PeerDeath
         }
         let _ = stream.flush();
+        true
+    };
+    if heartbeat == Duration::ZERO {
+        while let Ok(bytes) = outbox.recv() {
+            if !write_frame(&mut stream, bytes) {
+                return;
+            }
+        }
+        return;
+    }
+    loop {
+        match outbox.recv_timeout(heartbeat) {
+            Ok(bytes) => {
+                if !write_frame(&mut stream, bytes) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stream.write_all(&HEARTBEAT_HEADER.to_le_bytes()).is_err() {
+                    return;
+                }
+                let _ = stream.flush();
+                heartbeats_sent_counter().inc();
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
     }
 }
 
@@ -592,19 +827,48 @@ fn prepare_stream(stream: &TcpStream, handshake_timeout: Duration) -> Result<(),
         .map_err(|e| handshake_io("stream setup", &e))
 }
 
+/// Exponential backoff with deterministic jitter for dial retries: attempt
+/// `k` waits `min(10ms << k, 500ms)` plus up to half that again of jitter
+/// derived by mixing `seed` and `k` (so concurrently-starting workers spread
+/// out instead of dialing in lockstep).
+pub(crate) fn backoff_delay(attempt: u32, seed: u64) -> Duration {
+    const BASE_MS: u64 = 10;
+    const CAP_MS: u64 = 500;
+    let exp = BASE_MS.saturating_mul(1u64 << attempt.min(10)).min(CAP_MS);
+    // splitmix64-style mix of (seed, attempt) for stateless deterministic jitter.
+    let mut x = seed.wrapping_add((u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let jitter = x % (exp / 2 + 1);
+    Duration::from_millis(exp + jitter)
+}
+
+/// FNV-1a 64 over `bytes`; seeds the per-address jitter stream.
+fn addr_seed(addr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 fn connect_retry(addr: &str, timeout: Duration) -> Result<TcpStream, TransportError> {
     let deadline = Instant::now() + timeout;
+    let seed = addr_seed(addr);
     let mut last = String::from("no address resolved");
+    let mut attempt = 0u32;
     loop {
         match addr.to_socket_addrs() {
             Ok(resolved) => {
                 let addrs: Vec<SocketAddr> = resolved.collect();
                 for sa in &addrs {
                     let remaining = deadline.saturating_duration_since(Instant::now());
-                    let attempt = remaining
+                    let dial = remaining
                         .min(Duration::from_millis(500))
                         .max(Duration::from_millis(10));
-                    match TcpStream::connect_timeout(sa, attempt) {
+                    match TcpStream::connect_timeout(sa, dial) {
                         Ok(stream) => return Ok(stream),
                         Err(e) => last = e.to_string(),
                     }
@@ -612,13 +876,16 @@ fn connect_retry(addr: &str, timeout: Duration) -> Result<TcpStream, TransportEr
             }
             Err(e) => last = e.to_string(),
         }
-        if Instant::now() >= deadline {
+        let now = Instant::now();
+        if now >= deadline {
             return Err(TransportError::Connect {
                 addr: addr.to_string(),
                 detail: last,
             });
         }
-        std::thread::sleep(Duration::from_millis(25));
+        let delay = backoff_delay(attempt, seed).min(deadline.saturating_duration_since(now));
+        attempt = attempt.saturating_add(1);
+        std::thread::sleep(delay);
     }
 }
 
@@ -858,5 +1125,39 @@ mod tests {
             read_frame(&mut cur, 0, 64),
             Err(TransportError::ShortRead { .. })
         ));
+    }
+
+    #[test]
+    fn read_frame_skips_heartbeat_sentinels() {
+        // heartbeat, frame, heartbeat, heartbeat, frame, heartbeat, EOF
+        let hb = HEARTBEAT_HEADER.to_le_bytes();
+        let mut data = hb.to_vec();
+        data.extend_from_slice(&frame_bytes(b"abc"));
+        data.extend_from_slice(&hb);
+        data.extend_from_slice(&hb);
+        data.extend_from_slice(&frame_bytes(b"d"));
+        data.extend_from_slice(&hb);
+        let mut cur = Cursor::new(data);
+        assert_eq!(read_frame(&mut cur, 0, 64).unwrap(), Some(b"abc".to_vec()));
+        assert_eq!(read_frame(&mut cur, 0, 64).unwrap(), Some(b"d".to_vec()));
+        // The trailing heartbeat is consumed, then a clean EOF follows.
+        assert_eq!(read_frame(&mut cur, 0, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn backoff_delay_is_deterministic_bounded_and_grows() {
+        for attempt in 0..20 {
+            let a = backoff_delay(attempt, 42);
+            let b = backoff_delay(attempt, 42);
+            assert_eq!(a, b, "same (attempt, seed) must give the same delay");
+            // exp is capped at 500ms and jitter at half of exp.
+            assert!(a <= Duration::from_millis(750), "attempt {attempt}: {a:?}");
+            assert!(a >= Duration::from_millis(10), "attempt {attempt}: {a:?}");
+        }
+        // The deterministic (jitter-free) floor grows exponentially early on.
+        let floor = |attempt: u32| Duration::from_millis(10 * (1 << attempt.min(10)).min(50));
+        assert!(backoff_delay(4, 7) >= floor(4));
+        // Different seeds decorrelate the jitter for at least one attempt.
+        assert!((0..8).any(|k| backoff_delay(k, 1) != backoff_delay(k, 2)));
     }
 }

@@ -11,7 +11,7 @@
 //! binary format (`.ulog`) and a human-readable text format (everything else), the
 //! same scheme [`read_edge_list`] uses.
 
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -207,16 +207,21 @@ pub fn read_update_log(path: &Path) -> io::Result<Vec<TimedOp>> {
 
 /// Write a text update log (see [`UpdateLogFormat::Text`] for the line grammar).
 pub fn write_text_update_log(path: &Path, ops: &[TimedOp]) -> io::Result<()> {
-    let file = File::create(path)?;
-    let mut w = BufWriter::new(file);
-    for t in ops {
-        match t.op {
-            UpdateOp::InsertEdge(u, v) => writeln!(w, "{} i {u} {v}", t.time)?,
-            UpdateOp::DeleteEdge(u, v) => writeln!(w, "{} d {u} {v}", t.time)?,
-            UpdateOp::AddVertices(c) => writeln!(w, "{} a {c}", t.time)?,
+    // Atomic: a crash mid-write must not leave a torn log at the final path.
+    let tmp = partial_path(path);
+    {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        for t in ops {
+            match t.op {
+                UpdateOp::InsertEdge(u, v) => writeln!(w, "{} i {u} {v}", t.time)?,
+                UpdateOp::DeleteEdge(u, v) => writeln!(w, "{} d {u} {v}", t.time)?,
+                UpdateOp::AddVertices(c) => writeln!(w, "{} a {c}", t.time)?,
+            }
         }
+        w.flush()?;
     }
-    w.flush()
+    fs::rename(&tmp, path)
 }
 
 /// Read a text update log written by [`write_text_update_log`]. Malformed lines are
@@ -265,20 +270,34 @@ pub fn read_text_update_log(path: &Path) -> io::Result<Vec<TimedOp>> {
 
 /// Write a binary update log (see [`UpdateLogFormat::Binary`] for the record layout).
 pub fn write_binary_update_log(path: &Path, ops: &[TimedOp]) -> io::Result<()> {
-    let file = File::create(path)?;
-    let mut w = BufWriter::new(file);
-    for t in ops {
-        let (tag, a, b): (u8, u64, u64) = match t.op {
-            UpdateOp::AddVertices(c) => (0, c, 0),
-            UpdateOp::InsertEdge(u, v) => (1, u, v),
-            UpdateOp::DeleteEdge(u, v) => (2, u, v),
-        };
-        w.write_all(&[tag])?;
-        w.write_all(&t.time.to_le_bytes())?;
-        w.write_all(&a.to_le_bytes())?;
-        w.write_all(&b.to_le_bytes())?;
+    // Atomic, like the text writer: tmp sibling + rename.
+    let tmp = partial_path(path);
+    {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        for t in ops {
+            let (tag, a, b): (u8, u64, u64) = match t.op {
+                UpdateOp::AddVertices(c) => (0, c, 0),
+                UpdateOp::InsertEdge(u, v) => (1, u, v),
+                UpdateOp::DeleteEdge(u, v) => (2, u, v),
+            };
+            w.write_all(&[tag])?;
+            w.write_all(&t.time.to_le_bytes())?;
+            w.write_all(&a.to_le_bytes())?;
+            w.write_all(&b.to_le_bytes())?;
+        }
+        w.flush()?;
     }
-    w.flush()
+    fs::rename(&tmp, path)
+}
+
+/// The temp sibling an atomic writer stages into before the rename. `.partial`
+/// is appended to the whole file name (not swapped in as an extension), so the
+/// staged file can never satisfy a format auto-detection pass.
+fn partial_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".partial");
+    path.with_file_name(name)
 }
 
 /// Read a binary update log written by [`write_binary_update_log`]. Truncated files

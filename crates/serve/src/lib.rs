@@ -32,6 +32,7 @@
 //!   ([`xtrapulp_graph::io::read_update_log`]) through the same queue, so replayed
 //!   traffic exercises the identical pipeline as live producers.
 
+pub mod durable;
 mod epoch;
 mod queue;
 mod replay;
@@ -39,6 +40,7 @@ mod snapshot;
 mod stats;
 mod worker;
 
+pub use durable::{Checkpoint, DurableConfig, WalRecord, WalWriter};
 pub use epoch::{EpochStore, DEFAULT_DELTA_HISTORY};
 pub use queue::{BatchPolicy, Drained, IngestError, IngestQueue, QueuedBatch};
 pub use replay::{replay_ops, replay_update_log, ReplayError, ReplayOutcome};

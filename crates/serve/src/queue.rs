@@ -37,6 +37,14 @@ pub enum IngestError {
         /// The queue's total op capacity.
         capacity: usize,
     },
+    /// A bounded-wait submit ([`IngestQueue::submit_deadline`]) gave up: the queue
+    /// stayed full for the whole wait. The batch was not enqueued.
+    Timeout {
+        /// How long the producer waited before giving up.
+        waited_ms: u64,
+        /// Ops in the rejected batch.
+        batch_ops: usize,
+    },
     /// The queue has been closed (the serving session is shutting down); no further
     /// submissions are accepted.
     Closed,
@@ -61,6 +69,14 @@ impl fmt::Display for IngestError {
                 f,
                 "batch of {batch_ops} ops exceeds the queue capacity of {capacity} ops; \
                  split the batch or grow the queue"
+            ),
+            IngestError::Timeout {
+                waited_ms,
+                batch_ops,
+            } => write!(
+                f,
+                "ingest queue stayed full for {waited_ms}ms; batch of {batch_ops} ops \
+                 not enqueued"
             ),
             IngestError::Closed => write!(f, "ingest queue is closed"),
         }
@@ -221,6 +237,51 @@ impl IngestQueue {
                         .writable
                         .wait(state)
                         .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+    }
+
+    /// Submit with a bounded wait: like [`submit`](IngestQueue::submit), but a queue
+    /// that stays full past `deadline` fails with a typed [`IngestError::Timeout`]
+    /// instead of blocking indefinitely — the backpressure form a producer with its
+    /// own latency budget (an RPC handler, a replay driver with a cancellation
+    /// deadline) needs. [`IngestError::BatchTooLarge`] and [`IngestError::Closed`]
+    /// surface immediately, as in `submit`.
+    pub fn submit_deadline(
+        &self,
+        batch: UpdateBatch,
+        deadline: std::time::Duration,
+    ) -> Result<(), IngestError> {
+        if batch.is_empty() {
+            return if self.lock().closed {
+                Err(IngestError::Closed)
+            } else {
+                Ok(())
+            };
+        }
+        let started = Instant::now();
+        let mut state = self.lock();
+        loop {
+            match self.check(&state, &batch) {
+                Ok(()) => {
+                    self.enqueue(&mut state, batch);
+                    return Ok(());
+                }
+                Err(IngestError::QueueFull { .. }) => {
+                    let waited = started.elapsed();
+                    if waited >= deadline {
+                        return Err(IngestError::Timeout {
+                            waited_ms: waited.as_millis() as u64,
+                            batch_ops: batch.len(),
+                        });
+                    }
+                    let (guard, _) = self
+                        .writable
+                        .wait_timeout(state, deadline - waited)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    state = guard;
                 }
                 Err(fatal) => return Err(fatal),
             }
@@ -405,6 +466,49 @@ mod tests {
         let policy = BatchPolicy::default();
         assert_eq!(q.drain_group(&policy).unwrap().len(), 1);
         assert!(q.drain_group(&policy).is_none());
+    }
+
+    #[test]
+    fn submit_deadline_times_out_typed_on_a_stuck_queue() {
+        let q = IngestQueue::new(4);
+        q.try_submit(batch(4)).unwrap();
+        let started = std::time::Instant::now();
+        let err = q
+            .submit_deadline(batch(2), Duration::from_millis(30))
+            .unwrap_err();
+        assert!(
+            matches!(err, IngestError::Timeout { batch_ops: 2, .. }),
+            "{err}"
+        );
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        // Deadline zero degrades to try_submit semantics with a typed timeout.
+        let err = q.submit_deadline(batch(1), Duration::ZERO).unwrap_err();
+        assert!(matches!(err, IngestError::Timeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn submit_deadline_succeeds_once_the_consumer_drains() {
+        let q = Arc::new(IngestQueue::new(4));
+        q.try_submit(batch(4)).unwrap();
+        let q2 = Arc::clone(&q);
+        let drainer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.drain_group(&BatchPolicy::default())
+        });
+        q.submit_deadline(batch(3), Duration::from_secs(10))
+            .expect("room frees up well within the deadline");
+        assert_eq!(drainer.join().unwrap().unwrap().len(), 1);
+        assert_eq!(q.queued_ops(), 3);
+        // Closed and oversized batches fail immediately, not after the wait.
+        let err = q
+            .submit_deadline(batch(9), Duration::from_secs(10))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::BatchTooLarge { .. }), "{err}");
+        q.close();
+        assert_eq!(
+            q.submit_deadline(batch(1), Duration::from_secs(10)),
+            Err(IngestError::Closed)
+        );
     }
 
     #[test]
