@@ -990,4 +990,67 @@ mod tests {
         assert_eq!(stats.batches_rejected, 1);
         assert_eq!(stats.epochs_published, 0);
     }
+
+    /// Raw one-shot HTTP GET against the metrics endpoint, returning the body.
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("endpoint reachable");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let body_at = response.find("\r\n\r\n").expect("complete HTTP response");
+        response[body_at + 4..].to_string()
+    }
+
+    #[test]
+    fn metrics_endpoint_survives_concurrent_scrapes_while_epochs_publish() {
+        let csr = ba_csr(500, 7);
+        let serving = ServingSession::spawn(2, csr, job(4)).unwrap();
+        let endpoint = serving.serve_metrics("127.0.0.1:0").unwrap();
+        let addr = endpoint.local_addr();
+
+        // Scrapers hammer the endpoint while the writer publishes epochs. Every
+        // response must be a complete, well-formed exposition: the serving
+        // counters, the memory gauges (including RSS, sampled per scrape), and
+        // no torn/empty bodies under scrape-vs-publish races.
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let body = scrape(addr);
+                        assert!(
+                            body.contains("serve_epochs_published"),
+                            "scrape missing serving counters:\n{body}"
+                        );
+                        assert!(body.contains("process_rss_bytes"));
+                        assert!(body.contains("mem_bytes{subsystem="));
+                    }
+                })
+            })
+            .collect();
+        for i in 0..6u64 {
+            let mut batch = UpdateBatch::new();
+            batch
+                .add_vertices(1)
+                .insert_edge(500 + i, i)
+                .insert_edge(500 + i, i + 1);
+            serving.ingest(batch).unwrap();
+        }
+        serving
+            .store()
+            .wait_for_epoch(6, Duration::from_secs(600))
+            .expect("worker publishes under scrape load");
+        for s in scrapers {
+            s.join().expect("scraper thread panicked");
+        }
+        // The final scrape reflects the published epochs and the byte gauges
+        // the worker maintained while publishing.
+        let body = scrape(addr);
+        assert!(body.contains("mem_bytes{subsystem=\"epoch_store\"}"));
+        assert!(body.contains("mem_bytes{subsystem=\"ingest_queue\"}"));
+        endpoint.shutdown();
+        serving.shutdown().unwrap();
+    }
 }

@@ -175,6 +175,27 @@ impl Session {
             .map_err(PartitionError::Comm)
     }
 
+    /// Gather every rank's flight-recorder ring (across all participating
+    /// processes) and write one merged post-mortem JSON file at `path`, tagged
+    /// with `reason`. A collective, like [`export_trace`](Session::export_trace);
+    /// the stall watchdog is suspended for the duration of the gather, so a
+    /// post-stall export completes even over the transport that just stalled.
+    /// Returns `true` on the process that wrote the file.
+    pub fn export_flight(&mut self, path: &Path, reason: &str) -> Result<bool, PartitionError> {
+        self.runtime
+            .export_flight(path, reason)
+            .map_err(PartitionError::Comm)
+    }
+
+    /// Arm (or with `None` disarm) the per-collective stall watchdog on this
+    /// session's runtime: a rank whose current collective makes no transport
+    /// progress for `deadline` trips with a typed
+    /// [`CommError::Stalled`](xtrapulp_comm::CommError) and an automatic
+    /// flight-recorder dump. Sampled per job; disabled by default.
+    pub fn set_watchdog_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.runtime.set_watchdog_deadline(deadline);
+    }
+
     /// Recover the session's runtime after a distributed job failed on a
     /// transport fault: every local rank runs its transport's recovery
     /// protocol (for TCP, tear down the mesh, re-rendezvous with the

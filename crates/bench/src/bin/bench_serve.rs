@@ -155,8 +155,8 @@ fn readers_under_churn(
         format!("{:.2}M", reads_per_sec / 1e6),
         format!("{}", stats.epochs_published),
         format!("{}/{}", stats.warm_epochs, stats.cold_epochs),
-        fmt(stats.last_publish_seconds),
-        fmt(stats.last_ingest_to_publish_seconds),
+        fmt(stats.publish_seconds_p50),
+        fmt(stats.ingest_to_publish_seconds_p50),
     ]);
 }
 
@@ -188,9 +188,6 @@ fn ingest_to_publish(
             seed: 31,
         },
     );
-    let mut latency_sum = 0.0f64;
-    let mut publish_sum = 0.0f64;
-    let epochs = stream.batches.len() as u64;
     for i in 0..stream.batches.len() {
         serving
             .ingest(UpdateBatch::from_ops(stream.batch_ops(i)))
@@ -198,9 +195,6 @@ fn ingest_to_publish(
         store
             .wait_for_epoch(i as u64 + 1, Duration::from_secs(600))
             .expect("epoch publishes");
-        let stats = serving.stats();
-        latency_sum += stats.last_ingest_to_publish_seconds;
-        publish_sum += stats.last_publish_seconds;
     }
     let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
     let series = "ingest-to-publish";
@@ -208,7 +202,10 @@ fn ingest_to_publish(
         series,
         &[
             ("ops_per_batch", ops_per_batch.to_string()),
-            ("mean_latency_seconds", fmt(latency_sum / epochs as f64)),
+            (
+                "p50_latency_seconds",
+                fmt(stats.ingest_to_publish_seconds_p50),
+            ),
         ],
         &stats,
     );
@@ -218,8 +215,8 @@ fn ingest_to_publish(
         "-".to_string(),
         format!("{}", stats.epochs_published),
         format!("{}/{}", stats.warm_epochs, stats.cold_epochs),
-        fmt(publish_sum / epochs as f64),
-        fmt(latency_sum / epochs as f64),
+        fmt(stats.publish_seconds_p50),
+        fmt(stats.ingest_to_publish_seconds_p50),
     ]);
 }
 

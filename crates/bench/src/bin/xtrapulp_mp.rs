@@ -25,9 +25,16 @@
 //! with the replacement, and verifies the retried job's part vectors are
 //! bit-identical to the in-process backend — the full fault-tolerance loop.
 //!
+//! The `--stall-ms` drill wedges one rank with injected transport delays past
+//! the watchdog deadline (`--watchdog-ms`): the victim trips with a typed
+//! stall naming the collective, rank and frame, every rank re-joins the mesh,
+//! and the job's flight recorders are gathered into one merged post-mortem
+//! file (`--postmortem`) that the spawner validates.
+//!
 //! Exit codes: 0 success, 2 usage error, 3 typed transport failure,
-//! 4 verification/timeout failure in spawn mode, 17 deliberate death
-//! (`--die-after-handshake` / `--kill-at-frame`, used by the drills).
+//! 4 verification/timeout failure in spawn mode, 5 typed stall (watchdog
+//! trip), 17 deliberate death (`--die-after-handshake` / `--kill-at-frame`,
+//! used by the drills).
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -44,6 +51,7 @@ use xtrapulp_graph::Distribution;
 const EXIT_USAGE: i32 = 2;
 const EXIT_TRANSPORT: i32 = 3;
 const EXIT_VERIFY: i32 = 4;
+const EXIT_STALLED: i32 = 5;
 const EXIT_DELIBERATE_DEATH: i32 = 17;
 
 #[derive(Clone)]
@@ -83,6 +91,16 @@ struct Options {
     /// Prometheus text-exposition listener address (worker mode; spawn mode
     /// forwards it to rank 0's worker only, so one process binds).
     metrics: Option<String>,
+    /// Stall drill: the rank that gets delay-injected transport ops.
+    stall_rank: Option<usize>,
+    /// Stall drill: injected delay per faulted op, milliseconds (0 = off).
+    stall_ms: u64,
+    /// Per-collective stall-watchdog deadline, milliseconds (None = disabled).
+    watchdog_ms: Option<u64>,
+    /// Merged cross-rank flight-recorder post-mortem output path. After a
+    /// stalled/faulted job, every rank recovers the mesh and contributes its
+    /// flight ring; the process hosting rank 0 writes the merged file.
+    postmortem: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -108,6 +126,10 @@ impl Default for Options {
             json: false,
             trace: None,
             metrics: None,
+            stall_rank: None,
+            stall_ms: 0,
+            watchdog_ms: None,
+            postmortem: None,
         }
     }
 }
@@ -121,7 +143,10 @@ fn usage() -> ! {
          \x20         --kill-at-frame N (die mid-job at transport frame N)\n\
          \x20         --max-recoveries K (retry faulted jobs after recovery)\n\
          \x20         --trace FILE (merged chrome://tracing JSON, all ranks)\n\
-         \x20         --metrics HOST:PORT (Prometheus text endpoint)"
+         \x20         --metrics HOST:PORT (Prometheus text endpoint)\n\
+         \x20         --stall-rank R --stall-ms MS (inject delays on rank R)\n\
+         \x20         --watchdog-ms MS (per-collective stall deadline)\n\
+         \x20         --postmortem FILE (merged flight-recorder dump)"
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -160,6 +185,10 @@ fn parse_args() -> Options {
             "--json" => opts.json = true,
             "--trace" => opts.trace = Some(PathBuf::from(value(&mut i))),
             "--metrics" => opts.metrics = Some(value(&mut i)),
+            "--stall-rank" => opts.stall_rank = value(&mut i).parse().ok(),
+            "--stall-ms" => opts.stall_ms = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--watchdog-ms" => opts.watchdog_ms = value(&mut i).parse().ok(),
+            "--postmortem" => opts.postmortem = Some(PathBuf::from(value(&mut i))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -227,10 +256,21 @@ fn run_worker(opts: &Options) -> i32 {
     }
     // Recovery drill: die mid-job, once the seeded fault layer counts enough
     // transport frames. The exit code tells the spawner to respawn this rank.
+    let stall_here = opts.stall_ms > 0 && opts.stall_rank == Some(rank);
     let boxed: Box<dyn Transport> = match opts.kill_at_frame {
         Some(frame) => {
             let plan = FaultPlan::new(opts.seed ^ rank as u64)
                 .kill_process_at_frame(frame, EXIT_DELIBERATE_DEATH);
+            Box::new(FaultInjectTransport::new(Box::new(transport), plan))
+        }
+        None if stall_here => {
+            // Stall drill: wedge every 64th op long enough to blow the
+            // watchdog deadline. Frame 0 is a multiple of 64, so the very
+            // first collective on this rank stalls — a deterministic trip —
+            // while the plan stays sparse enough for the post-mortem export
+            // to complete afterwards.
+            let plan = FaultPlan::new(opts.seed ^ rank as u64)
+                .delay_every(64, Duration::from_millis(opts.stall_ms));
             Box::new(FaultInjectTransport::new(Box::new(transport), plan))
         }
         None => Box::new(transport),
@@ -243,6 +283,9 @@ fn run_worker(opts: &Options) -> i32 {
         }
     };
     let mut session = Session::with_runtime(runtime, Distribution::Block);
+    if let Some(ms) = opts.watchdog_ms {
+        session.set_watchdog_deadline(Some(Duration::from_millis(ms)));
+    }
 
     // Live metrics plane: the registry already carries the per-collective latency
     // histograms this job will record; keep the listener alive until exit.
@@ -270,8 +313,28 @@ fn run_worker(opts: &Options) -> i32 {
     let mut report = loop {
         match session.partition(&csr, &params) {
             Ok(report) => break report,
+            Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Stalled {
+                collective,
+                rank: stalled_rank,
+                frame,
+                waited_ms,
+            })) => {
+                // Watchdog trip: typed, machine-readable, names the wedged
+                // collective. The flight recorder already dumped a local
+                // post-mortem; if asked, contribute to the merged one too.
+                println!(
+                    "{{\"error\":\"stalled\",\"collective\":\"{collective}\",\"rank\":{stalled_rank},\"frame\":{frame},\"waited_ms\":{waited_ms}}}"
+                );
+                if let Some(path) = &opts.postmortem {
+                    export_postmortem(&mut session, rank, path);
+                }
+                return EXIT_STALLED;
+            }
             Err(xtrapulp::PartitionError::Comm(xtrapulp_comm::CommError::Transport(e))) => {
                 if recoveries >= opts.max_recoveries {
+                    if let Some(path) = &opts.postmortem {
+                        export_postmortem(&mut session, rank, path);
+                    }
                     return report_transport_error(&e);
                 }
                 recoveries += 1;
@@ -350,6 +413,24 @@ fn run_worker(opts: &Options) -> i32 {
     0
 }
 
+/// Post-failure flight-recorder gather. Collective: every rank of a stall
+/// drill runs this from its own failure path, so the `export_flight`
+/// rendezvous always completes. The watchdog is disarmed first (the gather
+/// itself must not trip) and the mesh recovered (the abandoned collective
+/// left stale in-flight frames that `recover` flushes).
+fn export_postmortem(session: &mut Session, rank: usize, path: &std::path::Path) {
+    session.set_watchdog_deadline(None);
+    if let Err(e) = session.recover() {
+        eprintln!("rank {rank}: post-stall mesh recovery failed: {e}");
+        return;
+    }
+    match session.export_flight(path, "stall") {
+        Ok(true) => eprintln!("rank {rank}: wrote merged post-mortem {}", path.display()),
+        Ok(false) => {}
+        Err(e) => eprintln!("rank {rank}: post-mortem export failed: {e}"),
+    }
+}
+
 fn report_transport_error(e: &xtrapulp_comm::TransportError) -> i32 {
     // Machine-readable: the spawner (and CI) greps the kind.
     println!(
@@ -407,9 +488,37 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
         return 1;
     }
     let drill = opts.kill_rank.is_some() && respawn_victim.is_none();
+    // Stall drill: one rank gets delay-injected transport, every rank arms the
+    // watchdog, and the merged post-mortem is validated after the job fails.
+    let stall_drill = opts.stall_ms > 0;
+    let stall_victim = opts.stall_rank.unwrap_or(workers - 1);
+    let watchdog_ms = opts.watchdog_ms.unwrap_or(500);
+    let postmortem = opts
+        .postmortem
+        .clone()
+        .unwrap_or_else(|| dir.join("postmortem.json"));
+    if stall_drill {
+        if drill || respawn_victim.is_some() {
+            eprintln!("--stall-ms cannot be combined with the kill/respawn drills");
+            return EXIT_USAGE;
+        }
+        if stall_victim >= workers {
+            eprintln!("--stall-rank {stall_victim} out of range for {workers} workers");
+            return EXIT_USAGE;
+        }
+        if opts.stall_ms <= watchdog_ms {
+            eprintln!(
+                "--stall-ms ({}) must exceed the watchdog deadline ({watchdog_ms}ms) to trip it",
+                opts.stall_ms
+            );
+            return EXIT_USAGE;
+        }
+    }
     // The drills must not wait out the full production receive timeout.
     let recv_timeout_ms = if drill || respawn_victim.is_some() {
         opts.recv_timeout_ms.min(15_000)
+    } else if stall_drill {
+        opts.recv_timeout_ms.min(10_000)
     } else {
         opts.recv_timeout_ms
     };
@@ -453,6 +562,16 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
         }
         if drill && opts.kill_rank == Some(rank) {
             cmd.arg("--die-after-handshake");
+        }
+        if stall_drill {
+            // Every rank arms the watchdog and contributes to the merged
+            // post-mortem; only the victim gets the delay-injected transport.
+            cmd.arg("--watchdog-ms").arg(watchdog_ms.to_string());
+            cmd.arg("--postmortem").arg(&postmortem);
+            if rank == stall_victim {
+                cmd.arg("--stall-rank").arg(rank.to_string());
+                cmd.arg("--stall-ms").arg(opts.stall_ms.to_string());
+            }
         }
         cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
         cmd.spawn()
@@ -551,7 +670,16 @@ fn run_spawner(opts: &Options, workers: usize) -> i32 {
         outputs.push((stdout, stderr));
     }
 
-    let result = if drill {
+    let result = if stall_drill {
+        validate_stall(
+            workers,
+            stall_victim,
+            &postmortem,
+            &exits,
+            &outputs,
+            elapsed,
+        )
+    } else if drill {
         validate_drill(opts, workers, &exits, &outputs, elapsed)
     } else if let Some(victim) = respawn_victim {
         validate_respawn(
@@ -722,6 +850,86 @@ fn validate_drill(
     println!(
         "{{\"drill\":\"kill-rank\",\"killed\":{killed},\"survivors_failed_typed\":true,\
          \"seconds\":{:.3}}}",
+        elapsed.as_secs_f64()
+    );
+    0
+}
+
+/// Stall drill: the delay-injected rank must trip the watchdog and exit with
+/// the typed stall code and a machine-readable line naming the wedged
+/// collective and frame. Peers must fail typed too — stalled (their receive
+/// timeout upgraded by the watchdog) or transport (the victim's panic closed
+/// the connection) — never hang. The merged post-mortem all ranks cooperated
+/// on must exist, record the stall reason and the watchdog trip for the same
+/// collective the victim reported, and carry events from several ranks.
+fn validate_stall(
+    workers: usize,
+    victim: usize,
+    postmortem: &Path,
+    exits: &[Option<i32>],
+    outputs: &[(String, String)],
+    elapsed: Duration,
+) -> i32 {
+    if exits[victim] != Some(EXIT_STALLED) {
+        eprintln!(
+            "stalled rank {victim} exited {:?}, expected typed stall ({EXIT_STALLED})\n\
+             --- stdout ---\n{}--- stderr ---\n{}",
+            exits[victim], outputs[victim].0, outputs[victim].1
+        );
+        return EXIT_VERIFY;
+    }
+    let victim_stdout = &outputs[victim].0;
+    if !victim_stdout.contains("\"error\":\"stalled\"")
+        || !victim_stdout.contains("\"collective\":\"")
+        || !victim_stdout.contains("\"frame\":")
+    {
+        eprintln!("stalled rank {victim} did not report a typed stall: {victim_stdout}");
+        return EXIT_VERIFY;
+    }
+    let collective = victim_stdout
+        .split("\"collective\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or("");
+    for rank in (0..workers).filter(|&r| r != victim) {
+        if exits[rank] != Some(EXIT_STALLED) && exits[rank] != Some(EXIT_TRANSPORT) {
+            eprintln!(
+                "rank {rank} exited {:?}, expected typed stall ({EXIT_STALLED}) or \
+                 transport failure ({EXIT_TRANSPORT})\n\
+                 --- stdout ---\n{}--- stderr ---\n{}",
+                exits[rank], outputs[rank].0, outputs[rank].1
+            );
+            return EXIT_VERIFY;
+        }
+    }
+    let body = match std::fs::read_to_string(postmortem) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "merged post-mortem {} unreadable: {e}",
+                postmortem.display()
+            );
+            return EXIT_VERIFY;
+        }
+    };
+    if !body.contains("\"reason\":\"stall\"") {
+        eprintln!("post-mortem does not record the stall reason");
+        return EXIT_VERIFY;
+    }
+    if !body.contains(&format!("\"kind\":\"watchdog\",\"name\":\"{collective}\"")) {
+        eprintln!("post-mortem has no watchdog trip for collective '{collective}'");
+        return EXIT_VERIFY;
+    }
+    let ranks_seen = (0..workers)
+        .filter(|r| body.contains(&format!("\"rank\":{r},")))
+        .count();
+    if ranks_seen < 2 {
+        eprintln!("post-mortem carries events from {ranks_seen} rank(s), expected a merged dump");
+        return EXIT_VERIFY;
+    }
+    println!(
+        "{{\"drill\":\"stall\",\"stalled_rank\":{victim},\"collective\":\"{collective}\",\
+         \"postmortem_ranks\":{ranks_seen},\"seconds\":{:.3}}}",
         elapsed.as_secs_f64()
     );
     0

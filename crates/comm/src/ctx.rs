@@ -22,20 +22,22 @@
 //! length-prefixed byte streams.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use xtrapulp_obs as obs;
-use xtrapulp_obs::Histogram;
+use xtrapulp_obs::{FlightKind, Histogram};
 
 use crate::error::CommError;
 use crate::stats::{CollectiveKind, CommStats};
 use crate::transport::{
     Frame, InProcFabric, Transport, TransportError, WireElem, WireMessage, FRAME_HEADER_BYTES,
 };
+use crate::watchdog::Stall;
 
 /// Type-erased return value of one rank's job.
 type ErasedResult = Box<dyn Any + Send>;
@@ -52,6 +54,9 @@ enum Job {
     /// threads provide, made manual because the workers are long-lived).
     Run {
         f: &'static (dyn Fn(&RankCtx) -> ErasedResult + Sync),
+        /// The runtime's stall deadline, sampled at dispatch so a mid-job
+        /// change never affects a running job.
+        wd_deadline: Option<Duration>,
     },
     /// Recover this worker's transport in place (see [`Transport::recover`]).
     /// Dispatched to every local rank in parallel, because recovery is itself
@@ -113,6 +118,9 @@ pub struct Runtime {
     job_txs: Vec<Sender<Job>>,
     results_rx: Receiver<(usize, std::thread::Result<ErasedResult>)>,
     workers: Vec<JoinHandle<()>>,
+    /// Stall-watchdog deadline applied to subsequently dispatched jobs
+    /// (`None` = watchdog disabled, the default).
+    wd_deadline: Option<Duration>,
 }
 
 impl Runtime {
@@ -207,12 +215,28 @@ impl Runtime {
             job_txs,
             results_rx,
             workers,
+            wd_deadline: None,
         })
     }
 
     /// Number of ranks in the job, across all participating processes.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// Arm (or with `None`, disarm) the stall watchdog for jobs dispatched
+    /// after this call: a rank whose next transport operation makes no
+    /// progress for `deadline` trips with [`CommError::Stalled`], records a
+    /// flight-recorder watchdog event naming the collective, rank, and
+    /// frame, and dumps a post-mortem file. Disabled by default. See
+    /// [`crate::watchdog`].
+    pub fn set_watchdog_deadline(&mut self, deadline: Option<Duration>) {
+        self.wd_deadline = deadline;
+    }
+
+    /// The currently configured stall deadline, if any.
+    pub fn watchdog_deadline(&self) -> Option<Duration> {
+        self.wd_deadline
     }
 
     /// The ranks hosted by this runtime (all of them for [`Runtime::new`],
@@ -283,6 +307,7 @@ impl Runtime {
         let mut results = Vec::with_capacity(self.job_txs.len());
         let mut transport_error: Option<TransportError> = None;
         let mut other_panic = None;
+        let mut stall: Option<Stall> = None;
         for outcome in self.dispatch(&wrapper) {
             match outcome {
                 Ok(boxed) => results.push(
@@ -290,11 +315,25 @@ impl Runtime {
                         .downcast::<R>()
                         .expect("job result type mismatch between ranks"),
                 ),
-                Err(payload) => match payload.downcast::<TransportError>() {
-                    Ok(err) => transport_error = Some(*err),
-                    Err(payload) => other_panic = Some(payload),
+                Err(payload) => match payload.downcast::<Stall>() {
+                    Ok(s) => stall = Some(*s),
+                    Err(payload) => match payload.downcast::<TransportError>() {
+                        Ok(err) => transport_error = Some(*err),
+                        Err(payload) => other_panic = Some(payload),
+                    },
                 },
             }
+        }
+        // A stall is the most specific diagnosis: when one rank trips the
+        // watchdog, its peers often fail with secondary transport timeouts —
+        // report the stall, not the symptom.
+        if let Some(s) = stall {
+            return Err(CommError::Stalled {
+                collective: s.collective,
+                rank: s.rank,
+                frame: s.frame,
+                waited_ms: s.waited_ms,
+            });
         }
         if let Some(err) = transport_error {
             return Err(CommError::Transport(err));
@@ -339,6 +378,7 @@ impl Runtime {
                 }
                 Err(CommError::Transport(err)) => {
                     if recoveries >= max_recoveries {
+                        abort_postmortem(recoveries);
                         return Err(CommError::Aborted {
                             recoveries,
                             last: err,
@@ -349,6 +389,7 @@ impl Runtime {
                             CommError::Transport(t) => t,
                             other => return Err(other),
                         };
+                        abort_postmortem(recoveries);
                         return Err(CommError::Aborted { recoveries, last });
                     }
                     recoveries += 1;
@@ -390,6 +431,12 @@ impl Runtime {
             Some(err) => Err(CommError::Transport(err)),
             None => {
                 runtime_recoveries_counter().inc();
+                obs::flight::record(
+                    FlightKind::Recovery,
+                    "recovered",
+                    runtime_recoveries_counter().get(),
+                    0,
+                );
                 Ok(())
             }
         }
@@ -412,6 +459,7 @@ impl Runtime {
                     &'static (dyn Fn(&RankCtx) -> ErasedResult + Sync),
                 >(erased)
             },
+            wd_deadline: self.wd_deadline,
         };
         self.dispatch_job(job)
     }
@@ -516,6 +564,63 @@ impl Runtime {
         Ok(wrote)
     }
 
+    /// Gather every process's flight-recorder ring at rank 0 and write one
+    /// merged post-mortem JSON file there, tagged with `reason`.
+    ///
+    /// The cross-rank counterpart of [`xtrapulp_obs::flight::dump`]: a
+    /// collective (every process hosting ranks must call it), modeled on
+    /// [`Runtime::export_trace`]. Each process's lowest local rank snapshots
+    /// the ring — without resetting it — with its transport clock offset
+    /// applied; rank 0 merges all logs time-sorted into `path`. Returns
+    /// `true` iff this process hosted rank 0 and wrote the file.
+    ///
+    /// The stall watchdog is disabled for the duration: after a trip the
+    /// surviving ranks run this gather over the same slow transport that
+    /// stalled, and it must complete rather than re-trip.
+    pub fn export_flight(
+        &mut self,
+        path: &std::path::Path,
+        reason: &str,
+    ) -> Result<bool, CommError> {
+        let prev_deadline = self.wd_deadline;
+        self.wd_deadline = None;
+        let leader = self.local_ranks.iter().copied().min().unwrap_or(0);
+        let path_buf = path.to_path_buf();
+        let reason = reason.to_string();
+        let outcome = self.try_execute(move |ctx| -> Result<bool, String> {
+            let blob = if ctx.rank() == leader {
+                let (events, dropped) = obs::flight::snapshot();
+                obs::flight::encode_flight(&events, dropped, ctx.clock_offset_ns())
+            } else {
+                Vec::new()
+            };
+            match ctx.gather(0, blob) {
+                Some(blobs) => {
+                    let mut logs = Vec::new();
+                    for b in &blobs {
+                        logs.push(
+                            obs::flight::decode_flight(b)
+                                .map_err(|e| format!("undecodable rank flight blob: {e}"))?,
+                        );
+                    }
+                    obs::flight::write_postmortem(&path_buf, &reason, &logs)
+                        .map_err(|e| format!("writing {}: {e}", path_buf.display()))?;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        });
+        self.wd_deadline = prev_deadline;
+        let mut wrote = false;
+        for r in outcome? {
+            match r {
+                Ok(w) => wrote = wrote || w,
+                Err(detail) => return Err(CommError::TraceExport { detail }),
+            }
+        }
+        Ok(wrote)
+    }
+
     fn worker_main(
         transport: Box<dyn Transport>,
         job_rx: Receiver<Job>,
@@ -531,8 +636,8 @@ impl Runtime {
         // Exits when the runtime drops its sender.
         while let Ok(job) = job_rx.recv() {
             let outcome = match job {
-                Job::Run { f } => {
-                    let ctx = RankCtx::new(Arc::clone(&transport));
+                Job::Run { f, wd_deadline } => {
+                    let ctx = RankCtx::new(Arc::clone(&transport), wd_deadline);
                     std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)))
                 }
                 Job::Recover => std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -564,6 +669,27 @@ fn fail(err: TransportError) -> ! {
     std::panic::panic_any(err)
 }
 
+/// Stable label for a transport failure's kind, for flight-recorder events.
+fn transport_error_name(err: &TransportError) -> &'static str {
+    match err {
+        TransportError::Bind { .. } => "bind",
+        TransportError::Connect { .. } => "connect",
+        TransportError::Handshake { .. } => "handshake",
+        TransportError::ShortRead { .. } => "short_read",
+        TransportError::FrameTooLarge { .. } => "frame_too_large",
+        TransportError::Codec { .. } => "codec",
+        TransportError::PeerDeath { .. } => "peer_death",
+        TransportError::Timeout { .. } => "timeout",
+    }
+}
+
+/// Dump the flight recorder when a recoverable job gives up: the ring holds
+/// the collective entries, faults, and recoveries that explain the abort.
+fn abort_postmortem(recoveries: u32) {
+    obs::flight::record(FlightKind::Fault, "aborted", u64::from(recoveries), 0);
+    let _ = obs::flight::dump("aborted");
+}
+
 /// What the in-process backend charges as wire bytes for a payload a byte
 /// stream would have framed.
 fn est_wire(payload_bytes: usize) -> u64 {
@@ -589,18 +715,27 @@ fn collective_hist(kind: CollectiveKind) -> &'static Arc<Histogram> {
 
 /// RAII observation of one collective call: a trace span named after the
 /// collective (its end event tagged with the wire bytes the call moved) plus
-/// a sample in the per-kind latency histogram.
+/// a sample in the per-kind latency histogram and the flight recorder's
+/// always-on collective enter/exit pair.
 struct CollectiveObs<'a> {
     span: obs::Span,
     start: Instant,
     stats: &'a CommStats,
     kind: CollectiveKind,
     wire_before: u64,
+    /// The rank's transport-op frame counter at collective entry.
+    frame: u64,
 }
 
 impl Drop for CollectiveObs<'_> {
     fn drop(&mut self) {
         collective_hist(self.kind).record_duration(self.start.elapsed());
+        obs::flight::record(
+            FlightKind::CollectiveExit,
+            self.kind.name(),
+            self.frame,
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         if self.span.is_armed() {
             let moved = self
                 .stats
@@ -611,6 +746,16 @@ impl Drop for CollectiveObs<'_> {
     }
 }
 
+/// The stall watchdog's per-rank progress beacon: which collective the rank
+/// is inside, when it last made transport progress, and its monotonically
+/// increasing transport-operation frame counter.
+#[derive(Clone, Copy)]
+struct Beacon {
+    collective: &'static str,
+    last_progress: Instant,
+    frame: u64,
+}
+
 /// Handle given to each rank: identity, size, collectives and communication counters.
 pub struct RankCtx {
     rank: usize,
@@ -619,16 +764,25 @@ pub struct RankCtx {
     wire: bool,
     transport: Arc<dyn Transport>,
     stats: CommStats,
+    /// Stall deadline sampled at job start (`None` = watchdog disabled).
+    wd_deadline: Option<Duration>,
+    beacon: Cell<Beacon>,
 }
 
 impl RankCtx {
-    fn new(transport: Arc<dyn Transport>) -> Self {
+    fn new(transport: Arc<dyn Transport>, wd_deadline: Option<Duration>) -> Self {
         RankCtx {
             rank: transport.rank(),
             nranks: transport.nranks(),
             wire: transport.is_wire(),
             transport,
             stats: CommStats::new(),
+            wd_deadline,
+            beacon: Cell::new(Beacon {
+                collective: "none",
+                last_progress: Instant::now(),
+                frame: 0,
+            }),
         }
     }
 
@@ -666,15 +820,76 @@ impl RankCtx {
 
     /// Open the span + latency observation for one collective call. Must be
     /// created after `record_collective` so the wire-byte delta it reads on
-    /// drop covers exactly this call.
+    /// drop covers exactly this call. Also resets the watchdog beacon: the
+    /// compute phase between collectives never counts against the deadline.
     fn observe(&self, kind: CollectiveKind) -> CollectiveObs<'_> {
+        let mut beacon = self.beacon.get();
+        beacon.collective = kind.name();
+        beacon.last_progress = Instant::now();
+        self.beacon.set(beacon);
+        obs::flight::record(FlightKind::CollectiveEnter, kind.name(), beacon.frame, 0);
         CollectiveObs {
             span: obs::span(kind.name()),
             start: Instant::now(),
             stats: &self.stats,
             kind,
             wire_before: self.stats.per_kind_wire(kind),
+            frame: beacon.frame,
         }
+    }
+
+    /// Mark one completed transport operation as watchdog progress. Trips
+    /// when the gap since the previous mark reached the deadline — even if
+    /// the operation eventually succeeded, a frame that stalled past the
+    /// deadline already blew the progress SLA, and tripping on it is what
+    /// makes injected-delay drills deterministic.
+    fn mark_progress(&self) {
+        let mut beacon = self.beacon.get();
+        let waited = beacon.last_progress.elapsed();
+        let stalled_frame = beacon.frame;
+        beacon.frame += 1;
+        beacon.last_progress = Instant::now();
+        self.beacon.set(beacon);
+        if let Some(deadline) = self.wd_deadline {
+            if waited >= deadline {
+                self.trip(beacon.collective, stalled_frame, waited);
+            }
+        }
+    }
+
+    /// Unwind a failed transport operation, recording the fault in the flight
+    /// recorder first. A receive timeout that already waited past the stall
+    /// deadline upgrades to a watchdog trip: the peer is alive but not
+    /// moving, which is a stall, not a death.
+    fn fail_op(&self, err: TransportError) -> ! {
+        let beacon = self.beacon.get();
+        obs::flight::record(
+            FlightKind::Fault,
+            transport_error_name(&err),
+            beacon.frame,
+            0,
+        );
+        if let (Some(deadline), TransportError::Timeout { .. }) = (self.wd_deadline, &err) {
+            let waited = beacon.last_progress.elapsed();
+            if waited >= deadline {
+                self.trip(beacon.collective, beacon.frame, waited);
+            }
+        }
+        fail(err)
+    }
+
+    /// Trip the stall watchdog: flight-record the trip, dump the post-mortem,
+    /// and unwind with a typed [`Stall`] payload.
+    fn trip(&self, collective: &'static str, frame: u64, waited: Duration) -> ! {
+        let waited_ms = u64::try_from(waited.as_millis()).unwrap_or(u64::MAX);
+        obs::flight::record(FlightKind::Watchdog, collective, frame, waited_ms);
+        let _ = obs::flight::dump("watchdog");
+        std::panic::panic_any(Stall {
+            collective,
+            rank: self.rank,
+            frame,
+            waited_ms,
+        })
     }
 
     // ----------------------------------------------------------------------------------
@@ -691,8 +906,11 @@ impl RankCtx {
             Frame::typed(msg, est)
         };
         match self.transport.send(dst, frame) {
-            Ok(wire) => self.stats.record_frames_sent(kind, 1, wire),
-            Err(err) => fail(err),
+            Ok(wire) => {
+                self.stats.record_frames_sent(kind, 1, wire);
+                self.mark_progress();
+            }
+            Err(err) => self.fail_op(err),
         }
     }
 
@@ -703,16 +921,22 @@ impl RankCtx {
             let bytes = msg.encode();
             for dst in (0..self.nranks).filter(|&d| d != self.rank) {
                 match self.transport.send(dst, Frame::Bytes(bytes.clone())) {
-                    Ok(wire) => self.stats.record_frames_sent(kind, 1, wire),
-                    Err(err) => fail(err),
+                    Ok(wire) => {
+                        self.stats.record_frames_sent(kind, 1, wire);
+                        self.mark_progress();
+                    }
+                    Err(err) => self.fail_op(err),
                 }
             }
         } else {
             let est = est_wire(msg.wire_size());
             for dst in (0..self.nranks).filter(|&d| d != self.rank) {
                 match self.transport.send(dst, Frame::typed(msg.clone(), est)) {
-                    Ok(wire) => self.stats.record_frames_sent(kind, 1, wire),
-                    Err(err) => fail(err),
+                    Ok(wire) => {
+                        self.stats.record_frames_sent(kind, 1, wire);
+                        self.mark_progress();
+                    }
+                    Err(err) => self.fail_op(err),
                 }
             }
         }
@@ -723,9 +947,10 @@ impl RankCtx {
     fn recv_message<M: WireMessage>(&self, kind: CollectiveKind, src: usize) -> M {
         let frame = match self.transport.recv(src) {
             Ok(frame) => frame,
-            Err(err) => fail(err),
+            Err(err) => self.fail_op(err),
         };
         self.stats.record_frame_recv(kind, frame.wire_len());
+        self.mark_progress();
         match frame {
             Frame::Bytes(bytes) => match M::decode(&bytes) {
                 Ok(msg) => msg,
@@ -762,8 +987,9 @@ impl RankCtx {
                     self.stats
                         .record_frame_recv(CollectiveKind::Barrier, cost.wire_recv);
                 }
+                self.mark_progress();
             }
-            Err(err) => fail(err),
+            Err(err) => self.fail_op(err),
         }
     }
 

@@ -45,6 +45,20 @@ pub enum CommError {
         /// What went wrong.
         detail: String,
     },
+    /// The stall watchdog tripped: a rank stopped making progress inside a
+    /// collective for longer than the configured deadline while still alive
+    /// (distinct from [`CommError::Transport`] peer death or timeout — the
+    /// peer was *there*, just not moving).
+    Stalled {
+        /// The collective the stalled rank was inside.
+        collective: &'static str,
+        /// The rank that tripped the watchdog.
+        rank: usize,
+        /// The rank's transport-operation frame counter at the stall.
+        frame: u64,
+        /// Milliseconds waited without progress before tripping.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -70,6 +84,16 @@ impl fmt::Display for CommError {
                 "job aborted after {recoveries} successful recoveries: {last}"
             ),
             CommError::TraceExport { detail } => write!(f, "trace export failed: {detail}"),
+            CommError::Stalled {
+                collective,
+                rank,
+                frame,
+                waited_ms,
+            } => write!(
+                f,
+                "watchdog tripped: rank {rank} made no progress in {collective} \
+                 at frame {frame} for {waited_ms} ms"
+            ),
         }
     }
 }

@@ -51,6 +51,7 @@ mod error;
 mod stats;
 mod timer;
 pub mod transport;
+pub mod watchdog;
 
 pub use ctx::{ExecOutcome, RankCtx, Runtime};
 pub use error::CommError;

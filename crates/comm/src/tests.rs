@@ -1,5 +1,6 @@
 //! Unit tests for the rank-parallel runtime and its collectives.
 
+use crate::transport::Transport as _;
 use crate::{Runtime, Timer};
 
 #[test]
@@ -292,4 +293,120 @@ fn phase_timer_accumulates() {
     assert!(pt.get("a").as_secs_f64() >= 0.003);
     assert!(pt.total() >= pt.get("a"));
     assert_eq!(pt.iter().count(), 2);
+}
+
+// ----------------------------------------------------------------------------
+// Stall watchdog + flight recorder.
+// ----------------------------------------------------------------------------
+
+/// Wrap each rank of an in-process fabric in a [`FaultInjectTransport`]
+/// built from `plan_for(rank)`.
+fn fault_injected_runtime(nranks: usize, plan_for: impl Fn(usize) -> crate::FaultPlan) -> Runtime {
+    let transports: Vec<Box<dyn crate::Transport>> = crate::InProcFabric::create(nranks)
+        .into_iter()
+        .map(|t| {
+            let plan = plan_for(t.rank());
+            Box::new(crate::FaultInjectTransport::new(Box::new(t), plan))
+                as Box<dyn crate::Transport>
+        })
+        .collect();
+    Runtime::from_transports(transports).unwrap()
+}
+
+#[test]
+fn watchdog_trips_typed_on_an_injected_stall() {
+    use std::time::Duration;
+    // Rank 1 sleeps 400 ms before every operation; the deadline is 50 ms.
+    let mut rt = fault_injected_runtime(2, |rank| {
+        let plan = crate::FaultPlan::new(3);
+        if rank == 1 {
+            plan.delay_every(1, Duration::from_millis(400))
+        } else {
+            plan
+        }
+    });
+    rt.set_watchdog_deadline(Some(Duration::from_millis(50)));
+    let err = rt
+        .try_execute(|ctx| ctx.allreduce_scalar_sum_u64(ctx.rank() as u64))
+        .expect_err("an injected stall past the deadline must trip");
+    match err {
+        crate::CommError::Stalled {
+            collective,
+            rank,
+            waited_ms,
+            ..
+        } => {
+            assert_eq!(collective, "allreduce");
+            assert!(rank < 2, "the tripping rank is one of the job's ranks");
+            assert!(waited_ms >= 50, "waited {waited_ms} ms");
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    // The trip dumped a post-mortem naming the stalled collective.
+    let dump = xtrapulp_obs::flight::dump_path();
+    let body = std::fs::read_to_string(&dump).expect("watchdog trip wrote a post-mortem");
+    assert!(body.contains("\"reason\":\"watchdog\""), "{body}");
+    assert!(body.contains("\"kind\":\"watchdog\""), "{body}");
+    let _ = std::fs::remove_file(&dump);
+    // The runtime survives: the watchdog unwound the job, not the workers.
+    // Like any mid-collective failure, the abandoned collective's in-flight
+    // frames must be flushed by a recovery before the next job.
+    rt.set_watchdog_deadline(None);
+    rt.recover().unwrap();
+    let sums = rt.execute(|ctx| ctx.allreduce_scalar_sum_u64(1));
+    assert_eq!(sums, vec![2, 2]);
+}
+
+#[test]
+fn watchdog_does_not_trip_on_slow_but_progressing_ranks() {
+    use std::time::Duration;
+    // Every operation on every rank is delayed 20 ms — slow, but each op
+    // completes well inside the 250 ms deadline, so progress never stops.
+    let mut rt = fault_injected_runtime(2, |_| {
+        crate::FaultPlan::new(5).delay_every(1, Duration::from_millis(20))
+    });
+    rt.set_watchdog_deadline(Some(Duration::from_millis(250)));
+    let results = rt
+        .try_execute(|ctx| {
+            let mut acc = 0u64;
+            for _ in 0..4 {
+                acc = ctx.allreduce_scalar_sum_u64(ctx.rank() as u64 + 1);
+            }
+            acc
+        })
+        .expect("a slow-but-progressing job must not trip the watchdog");
+    assert_eq!(results, vec![3, 3]);
+}
+
+#[test]
+fn watchdog_disabled_by_default_and_per_job_sampling() {
+    use std::time::Duration;
+    let mut rt = Runtime::new(2);
+    assert_eq!(rt.watchdog_deadline(), None);
+    rt.set_watchdog_deadline(Some(Duration::from_secs(5)));
+    assert_eq!(rt.watchdog_deadline(), Some(Duration::from_secs(5)));
+    // A normal fast job under an armed watchdog completes untripped.
+    let r = rt.try_execute(|ctx| ctx.allreduce_scalar_max_u64(ctx.rank() as u64));
+    assert_eq!(r.unwrap(), vec![1, 1]);
+}
+
+#[test]
+fn export_flight_merges_ranks_into_one_postmortem() {
+    let dir = std::env::temp_dir().join(format!(
+        "xtrapulp-flight-export-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("postmortem.json");
+    let mut rt = Runtime::new(2);
+    // Generate some collective traffic so the ring has events to merge.
+    rt.execute(|ctx| ctx.allreduce_scalar_sum_u64(ctx.rank() as u64));
+    let wrote = rt.export_flight(&path, "test-export").unwrap();
+    assert!(wrote, "the process hosting rank 0 writes the file");
+    let body = std::fs::read_to_string(&path).unwrap();
+    assert!(body.contains("\"reason\":\"test-export\""));
+    assert!(body.contains("\"kind\":\"collective_enter\""), "{body}");
+    assert!(body.contains("\"name\":\"allreduce\""), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

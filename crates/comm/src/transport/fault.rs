@@ -148,6 +148,7 @@ impl FaultInjectTransport {
         let plan = self.plan.borrow();
         if let Some((every, delay)) = plan.delay {
             if frame.is_multiple_of(every) {
+                injected_faults_counter().inc();
                 std::thread::sleep(delay);
             }
         }

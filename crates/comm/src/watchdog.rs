@@ -1,0 +1,40 @@
+//! The stall watchdog: per-collective progress deadlines that distinguish a
+//! live-locked or stalled rank from a merely slow one.
+//!
+//! PR 8's heartbeat/PeerDeath detection only catches *dead* peers; a rank
+//! that is alive but making no progress (a live-locked collective, a peer
+//! wedged in a syscall, an injected delay) hangs the job indistinguishably
+//! from a slow run. The watchdog closes that gap: every
+//! [`RankCtx`](crate::RankCtx) keeps a per-collective progress beacon, reset
+//! at collective entry and advanced after every transport operation. When
+//! the gap between two progress marks reaches the runtime's configured
+//! deadline ([`Runtime::set_watchdog_deadline`](
+//! crate::Runtime::set_watchdog_deadline)), the rank trips — it records a
+//! [`FlightKind::Watchdog`](xtrapulp_obs::FlightKind) event naming the
+//! collective, rank, and frame, dumps the flight recorder to a post-mortem
+//! file, and unwinds with a [`Stall`] payload that `Runtime::try_execute`
+//! surfaces as [`CommError::Stalled`](crate::CommError::Stalled).
+//!
+//! The deadline is per-runtime and **disabled by default**: existing
+//! kill/respawn drills rely on plain transport timeouts. It is sampled once
+//! per job, at dispatch, so flipping it mid-job affects only subsequent jobs
+//! — which is also how the flight-recorder gather runs un-watched after a
+//! trip.
+//!
+//! A slow-but-progressing collective never trips: each transport operation
+//! that completes within the deadline resets the beacon, so only a genuine
+//! per-operation stall (one op outwaiting the whole deadline) fires.
+
+/// Panic payload a tripped watchdog unwinds a rank job with;
+/// `Runtime::try_execute` downcasts it into `CommError::Stalled`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// The collective the rank was inside when progress stopped.
+    pub collective: &'static str,
+    /// The rank that tripped.
+    pub rank: usize,
+    /// The rank's transport-operation frame counter at the stalled operation.
+    pub frame: u64,
+    /// How long the rank waited without progress before tripping.
+    pub waited_ms: u64,
+}

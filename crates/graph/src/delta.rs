@@ -144,6 +144,13 @@ impl GraphDelta {
         self.added_vertices == 0 && self.insert_arcs.is_empty() && self.delete_arcs.is_empty()
     }
 
+    /// Approximate heap + inline footprint in bytes, for the memory-accounting
+    /// gauges (`mem_bytes{subsystem=...}`). Counts the two arc vectors at 16
+    /// bytes per `(GlobalId, GlobalId)` arc plus the fixed header fields.
+    pub fn approx_bytes(&self) -> u64 {
+        32 + (self.insert_arcs.len() as u64 + self.delete_arcs.len() as u64) * 16
+    }
+
     /// Is the arc `u -> v` scheduled for deletion?
     pub fn is_deleted(&self, u: GlobalId, v: GlobalId) -> bool {
         self.delete_arcs.binary_search(&(u, v)).is_ok()

@@ -210,6 +210,7 @@ impl DistGraph {
             .map(|v| graph.degree_owned(v as LocalId))
             .collect();
         graph.ghost_degree = graph.ghost_values_u64(ctx, &owned_degrees);
+        graph.account_ghosts();
         graph
     }
 
@@ -346,6 +347,7 @@ impl DistGraph {
             .map(|v| graph.degree_owned(v as LocalId))
             .collect();
         graph.ghost_degree = graph.ghost_values_u64(ctx, &owned_degrees);
+        graph.account_ghosts();
         graph
     }
 
@@ -432,6 +434,34 @@ impl DistGraph {
     /// The ownership function used to distribute the graph.
     pub fn distribution(&self) -> Distribution {
         self.dist.clone()
+    }
+
+    /// Approximate heap footprint of this rank's ghost tables in bytes: the
+    /// ghost global-id, owner, and degree arrays plus the ghosts' share of the
+    /// global→local map (keyed entries at ~24 bytes each with hash-table
+    /// overhead).
+    pub fn ghost_bytes(&self) -> u64 {
+        let n_ghost = self.ghost_global.len() as u64;
+        n_ghost * (8 + 4 + 8) + n_ghost * 24
+    }
+
+    /// Approximate heap footprint of the whole rank-local graph in bytes:
+    /// owned-id and CSR arrays, the full global→local map, and
+    /// [`ghost_bytes`](DistGraph::ghost_bytes).
+    pub fn approx_bytes(&self) -> u64 {
+        let owned = self.owned_global.len() as u64 * (8 + 24); // ids + map share
+        let csr = self.offsets.len() as u64 * 8 + self.adjacency.len() as u64 * 4;
+        owned + csr + self.ghost_bytes()
+    }
+
+    /// Publish this rank's ghost-table bytes to the memory-accounting plane
+    /// (`mem_bytes{subsystem="ghost_tables_rank<r>"}`). Called on every
+    /// (re)build so the gauge tracks the latest epoch's tables.
+    fn account_ghosts(&self) {
+        xtrapulp_obs::mem::set(
+            &format!("ghost_tables_rank{}", self.rank),
+            self.ghost_bytes(),
+        );
     }
 
     // --------------------------------------------------------------------------------

@@ -96,6 +96,9 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
             Err(_) => break,
         }
     }
+    // Refresh the process-level memory gauges so every scrape observes a
+    // fresh RSS sample alongside the subsystem accounting.
+    crate::mem::sample_process();
     let body = crate::registry::render();
     let response = format!(
         "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",

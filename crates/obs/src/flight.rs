@@ -1,0 +1,433 @@
+//! Always-on flight recorder: a bounded, process-global ring of structured
+//! health events, dumped to a post-mortem file when something goes wrong.
+//!
+//! Distinct from the opt-in [`crate::trace`] rings: the flight recorder is
+//! never disabled, holds coarse *health* events (collective entries/exits,
+//! epoch publishes, faults, recoveries, watchdog trips) rather than
+//! fine-grained spans, and survives at a fixed memory cost
+//! ([`ring_bytes`]). On `CommError::Aborted`, a worker panic, a watchdog
+//! trip, or an explicit request, [`dump`] snapshots the ring — without
+//! resetting it — into a JSON post-mortem under
+//! `$XTRAPULP_POSTMORTEM_DIR` (default: the system temp dir). The comm
+//! runtime's `export_flight` merges every process's ring cross-rank via the
+//! same gather the trace exporter uses, so one file explains a bad
+//! 4-process run.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use crate::wire::{put_i64, put_str, put_u16, put_u32, put_u64, DecodeError, Reader};
+
+/// Events the ring holds before overwriting the oldest (48 B/event → 384 KiB).
+pub const FLIGHT_CAPACITY: usize = 8192;
+
+const MAGIC: u32 = 0x544C_4658; // "XFLT"
+const VERSION: u16 = 1;
+
+/// What kind of health event a [`FlightEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A coarse state transition (worker start/stop, session spawn, abort).
+    State = 0,
+    /// A rank entered a collective (`name` = collective kind, `a` = frame).
+    CollectiveEnter = 1,
+    /// A rank left a collective (`a` = frame, `b` = elapsed ns).
+    CollectiveExit = 2,
+    /// The serving worker published an epoch (`a` = epoch, `b` = vertices).
+    EpochPublish = 3,
+    /// A transport/durability fault surfaced (`a` = peer or detail code).
+    Fault = 4,
+    /// A recovery attempt completed (`a` = total recoveries).
+    Recovery = 5,
+    /// The stall watchdog tripped (`name` = collective, `a` = frame,
+    /// `b` = milliseconds waited without progress).
+    Watchdog = 6,
+}
+
+impl FlightKind {
+    pub fn from_u8(v: u8) -> Option<FlightKind> {
+        match v {
+            0 => Some(FlightKind::State),
+            1 => Some(FlightKind::CollectiveEnter),
+            2 => Some(FlightKind::CollectiveExit),
+            3 => Some(FlightKind::EpochPublish),
+            4 => Some(FlightKind::Fault),
+            5 => Some(FlightKind::Recovery),
+            6 => Some(FlightKind::Watchdog),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label used in post-mortem JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::State => "state",
+            FlightKind::CollectiveEnter => "collective_enter",
+            FlightKind::CollectiveExit => "collective_exit",
+            FlightKind::EpochPublish => "epoch_publish",
+            FlightKind::Fault => "fault",
+            FlightKind::Recovery => "recovery",
+            FlightKind::Watchdog => "watchdog",
+        }
+    }
+}
+
+/// One recorded health event. `name` is static so recording never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Monotonic nanoseconds ([`crate::trace::now_ns`] timeline).
+    pub t_ns: u64,
+    /// Rank of the recording thread, or -1 when unranked (serve worker, main).
+    pub rank: i64,
+    pub kind: FlightKind,
+    pub name: &'static str,
+    pub a: u64,
+    pub b: u64,
+}
+
+struct FlightRing {
+    events: Vec<FlightEvent>,
+    head: usize,
+    dropped: u64,
+}
+
+fn ring() -> &'static parking_lot::Mutex<FlightRing> {
+    static RING: OnceLock<parking_lot::Mutex<FlightRing>> = OnceLock::new();
+    RING.get_or_init(|| {
+        parking_lot::Mutex::new(FlightRing {
+            events: Vec::with_capacity(FLIGHT_CAPACITY),
+            head: 0,
+            dropped: 0,
+        })
+    })
+}
+
+thread_local! {
+    static THREAD_RANK: std::cell::Cell<i64> = const { std::cell::Cell::new(-1) };
+}
+
+/// Label the current thread with a rank for subsequent flight events.
+/// Forwarded from [`crate::trace::set_thread_rank`], so rank worker threads
+/// need no extra call.
+pub fn set_thread_rank(rank: usize) {
+    THREAD_RANK.with(|r| r.set(rank as i64));
+}
+
+/// Record one health event. Always on; bounded; never allocates.
+pub fn record(kind: FlightKind, name: &'static str, a: u64, b: u64) {
+    let ev = FlightEvent {
+        t_ns: crate::trace::now_ns(),
+        rank: THREAD_RANK.with(|r| r.get()),
+        kind,
+        name,
+        a,
+        b,
+    };
+    let mut ring = ring().lock();
+    if ring.events.len() < FLIGHT_CAPACITY {
+        ring.events.push(ev);
+        return;
+    }
+    let head = ring.head;
+    ring.events[head] = ev;
+    ring.head = (head + 1) % FLIGHT_CAPACITY;
+    ring.dropped += 1;
+}
+
+/// Copy the ring's current contents, oldest first, **without** resetting it —
+/// a post-mortem dump must not erase the evidence for a later, better one.
+pub fn snapshot() -> (Vec<FlightEvent>, u64) {
+    let ring = ring().lock();
+    let mut out = Vec::with_capacity(ring.events.len());
+    out.extend_from_slice(&ring.events[ring.head..]);
+    out.extend_from_slice(&ring.events[..ring.head]);
+    (out, ring.dropped)
+}
+
+/// Fixed resident cost of the flight ring, for memory accounting.
+pub fn ring_bytes() -> u64 {
+    (FLIGHT_CAPACITY * std::mem::size_of::<FlightEvent>()) as u64
+}
+
+/// One decoded flight event, timestamps on the coordinator's timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedFlightEvent {
+    pub t_ns: i64,
+    pub rank: i64,
+    pub kind: FlightKind,
+    pub name: String,
+    pub a: u64,
+    pub b: u64,
+}
+
+/// One process's decoded flight log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedFlightLog {
+    pub dropped: u64,
+    pub events: Vec<OwnedFlightEvent>,
+}
+
+/// Serialise a flight snapshot into one blob for the cross-rank gather,
+/// shifting every timestamp by `clock_offset_ns` onto the gathering rank's
+/// timeline. Same framing discipline as [`crate::wire::encode_traces`].
+pub fn encode_flight(events: &[FlightEvent], dropped: u64, clock_offset_ns: i64) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u64(&mut out, dropped);
+    let mut names: Vec<&'static str> = Vec::new();
+    for ev in events {
+        if !names.contains(&ev.name) {
+            names.push(ev.name);
+        }
+    }
+    put_u32(&mut out, names.len() as u32);
+    for n in &names {
+        put_str(&mut out, n);
+    }
+    put_u32(&mut out, events.len() as u32);
+    for ev in events {
+        let idx = names.iter().position(|n| *n == ev.name).unwrap_or(0) as u16;
+        put_u16(&mut out, idx);
+        out.push(ev.kind as u8);
+        put_i64(&mut out, ev.rank);
+        put_i64(&mut out, (ev.t_ns as i64).saturating_add(clock_offset_ns));
+        put_u64(&mut out, ev.a);
+        put_u64(&mut out, ev.b);
+    }
+    out
+}
+
+/// Decode one blob produced by [`encode_flight`]. An empty blob decodes to an
+/// empty log.
+pub fn decode_flight(bytes: &[u8]) -> Result<OwnedFlightLog, DecodeError> {
+    if bytes.is_empty() {
+        return Ok(OwnedFlightLog {
+            dropped: 0,
+            events: Vec::new(),
+        });
+    }
+    let mut r = Reader::new(bytes);
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let dropped = r.u64()?;
+    let nnames = r.u32()? as usize;
+    let mut names = Vec::with_capacity(nnames.min(4096));
+    for _ in 0..nnames {
+        names.push(r.str()?);
+    }
+    let nevents = r.u32()? as usize;
+    let mut events = Vec::with_capacity(nevents.min(1 << 20));
+    for _ in 0..nevents {
+        let idx = r.u16()?;
+        let name = names
+            .get(idx as usize)
+            .cloned()
+            .ok_or(DecodeError::BadNameIndex(idx))?;
+        let kind = r.u8()?;
+        let kind = FlightKind::from_u8(kind).ok_or(DecodeError::BadPhase(kind))?;
+        let rank = r.i64()?;
+        let t_ns = r.i64()?;
+        let a = r.u64()?;
+        let b = r.u64()?;
+        events.push(OwnedFlightEvent {
+            t_ns,
+            rank,
+            kind,
+            name,
+            a,
+            b,
+        });
+    }
+    Ok(OwnedFlightLog { dropped, events })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one merged post-mortem JSON document from any number of per-process
+/// flight logs: every event, globally sorted by timestamp, one object per
+/// line, so `grep watchdog` on the dump answers "who stalled where".
+pub fn postmortem_json(reason: &str, logs: &[OwnedFlightLog]) -> String {
+    let mut events: Vec<&OwnedFlightEvent> = logs.iter().flat_map(|l| l.events.iter()).collect();
+    events.sort_by_key(|e| e.t_ns);
+    let dropped: u64 = logs.iter().map(|l| l.dropped).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("\"reason\":\"{}\",\n", json_escape(reason)));
+    out.push_str(&format!("\"pid\":{},\n", std::process::id()));
+    out.push_str(&format!("\"dropped\":{dropped},\n"));
+    out.push_str("\"events\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"t_ns\":{},\"rank\":{},\"kind\":\"{}\",\"name\":\"{}\",\"a\":{},\"b\":{}}}{}\n",
+            ev.t_ns,
+            ev.rank,
+            ev.kind.label(),
+            json_escape(&ev.name),
+            ev.a,
+            ev.b,
+            if i + 1 < events.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Where post-mortem dumps land: `$XTRAPULP_POSTMORTEM_DIR` when set,
+/// otherwise the system temp dir.
+pub fn dump_dir() -> PathBuf {
+    std::env::var_os("XTRAPULP_POSTMORTEM_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+/// The file this process's [`dump`] writes.
+pub fn dump_path() -> PathBuf {
+    dump_dir().join(format!("xtrapulp-postmortem-{}.json", std::process::id()))
+}
+
+/// Write a merged post-mortem document to an explicit path, atomically
+/// (temp file + rename).
+pub fn write_postmortem(path: &Path, reason: &str, logs: &[OwnedFlightLog]) -> std::io::Result<()> {
+    let json = postmortem_json(reason, logs);
+    let tmp = path.with_extension("json.partial");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Snapshot this process's flight ring and write it as a post-mortem JSON
+/// file named after the pid (see [`dump_path`]). The ring keeps recording;
+/// repeated dumps overwrite the file with a fresher snapshot. Never panics —
+/// it is called from unwind paths.
+pub fn dump(reason: &str) -> std::io::Result<PathBuf> {
+    let (events, dropped) = snapshot();
+    let log = OwnedFlightLog {
+        dropped,
+        events: events
+            .iter()
+            .map(|e| OwnedFlightEvent {
+                t_ns: e.t_ns as i64,
+                rank: e.rank,
+                kind: e.kind,
+                name: e.name.to_string(),
+                a: e.a,
+                b: e.b,
+            })
+            .collect(),
+    };
+    let path = dump_path();
+    write_postmortem(&path, reason, &[log])?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_snapshot_preserves_order_and_ring() {
+        record(FlightKind::State, "test_flight_a", 1, 2);
+        record(FlightKind::EpochPublish, "test_flight_b", 3, 4);
+        let (events, _) = snapshot();
+        let a = events.iter().position(|e| e.name == "test_flight_a");
+        let b = events.iter().position(|e| e.name == "test_flight_b");
+        let (a, b) = (a.expect("a recorded"), b.expect("b recorded"));
+        assert!(a < b, "snapshot is oldest-first");
+        // Snapshot does not reset: a second snapshot still sees both.
+        let (again, _) = snapshot();
+        assert!(again.iter().any(|e| e.name == "test_flight_a"));
+    }
+
+    #[test]
+    fn codec_roundtrips_with_offset() {
+        let events = vec![
+            FlightEvent {
+                t_ns: 100,
+                rank: 2,
+                kind: FlightKind::CollectiveEnter,
+                name: "allreduce",
+                a: 7,
+                b: 0,
+            },
+            FlightEvent {
+                t_ns: 250,
+                rank: 2,
+                kind: FlightKind::Watchdog,
+                name: "allreduce",
+                a: 7,
+                b: 150,
+            },
+        ];
+        let blob = encode_flight(&events, 3, -40);
+        let log = decode_flight(&blob).unwrap();
+        assert_eq!(log.dropped, 3);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].t_ns, 60);
+        assert_eq!(log.events[1].kind, FlightKind::Watchdog);
+        assert_eq!(log.events[1].name, "allreduce");
+        assert_eq!(log.events[1].b, 150);
+        // Truncated blobs error, never panic.
+        assert_eq!(decode_flight(&blob[..5]), Err(DecodeError::Truncated));
+        // Empty blob is an empty log.
+        assert_eq!(decode_flight(&[]).unwrap().events.len(), 0);
+    }
+
+    #[test]
+    fn dump_writes_a_postmortem_file() {
+        record(FlightKind::Fault, "test_flight_dump", 11, 0);
+        let path = dump("unit-test").expect("dump succeeds");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"reason\":\"unit-test\""));
+        assert!(body.contains("test_flight_dump"));
+        assert!(body.contains("\"kind\":\"fault\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn postmortem_merges_and_sorts_across_logs() {
+        let mk = |t, rank, name: &str| OwnedFlightEvent {
+            t_ns: t,
+            rank,
+            kind: FlightKind::State,
+            name: name.to_string(),
+            a: 0,
+            b: 0,
+        };
+        let a = OwnedFlightLog {
+            dropped: 1,
+            events: vec![mk(300, 0, "late")],
+        };
+        let b = OwnedFlightLog {
+            dropped: 2,
+            events: vec![mk(100, 1, "early")],
+        };
+        let json = postmortem_json("merge", &[a, b]);
+        assert!(json.contains("\"dropped\":3"));
+        let early = json.find("early").unwrap();
+        let late = json.find("late").unwrap();
+        assert!(early < late, "events are globally time-sorted");
+    }
+}

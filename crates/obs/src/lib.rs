@@ -13,18 +13,24 @@
 //!   exposition, served live by a lightweight [`endpoint::MetricsServer`].
 //! - [`wire`] + [`export`]: binary trace blobs for the cross-rank gather and
 //!   the chrome://tracing Trace Event Format exporter rank 0 writes.
+//! - [`flight`] + [`mem`]: the continuous health plane — an always-on
+//!   bounded flight recorder dumped to a post-mortem file on failure, and
+//!   per-subsystem byte accounting with a process RSS sampler.
 //!
 //! The crate is a leaf: `comm`, `core`, `serve`, `analytics`, `api`, and
 //! `bench` all depend on it, never the reverse.
 
 pub mod endpoint;
 pub mod export;
+pub mod flight;
 pub mod hist;
+pub mod mem;
 pub mod registry;
 pub mod trace;
 pub mod wire;
 
 pub use endpoint::MetricsServer;
+pub use flight::{FlightEvent, FlightKind, OwnedFlightLog};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use trace::{instant, set_enabled, set_thread_rank, span, span_with, Span};
 pub use wire::{decode_traces, encode_traces, OwnedThreadTrace};

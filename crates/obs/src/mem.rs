@@ -1,0 +1,97 @@
+//! Byte-level memory accounting: per-subsystem gauges plus a process RSS
+//! sampler, all in the metrics registry.
+//!
+//! Long-lived structures (epoch store, ingest queue, WAL, ghost tables,
+//! trace/flight rings) report their approximate resident bytes through
+//! [`set`], which lands in the registry as `mem_bytes{subsystem="..."}`.
+//! [`accounted_total`] sums every subsystem gauge, and [`rss_bytes`] reads
+//! the kernel's view, so a soak test can assert the accounting *explains*
+//! the process's growth rather than trusting it blindly.
+//!
+//! [`sample_process`] refreshes the RSS gauge and the rings' fixed costs; the
+//! metrics endpoint calls it before every render, so each scrape observes a
+//! fresh sample. It is deliberately **not** a registry collector: `render`
+//! holds the registry lock while running collectors, so a collector that
+//! creates gauges would deadlock.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::registry::{self, Gauge};
+
+fn gauges() -> &'static Mutex<BTreeMap<String, Gauge>> {
+    static GAUGES: OnceLock<Mutex<BTreeMap<String, Gauge>>> = OnceLock::new();
+    GAUGES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<String, Gauge>> {
+    gauges().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Set the accounted byte gauge for one subsystem
+/// (`mem_bytes{subsystem="<name>"}`). Cheap after the first call per name.
+pub fn set(subsystem: &str, bytes: u64) {
+    let mut map = lock();
+    let g = map
+        .entry(subsystem.to_string())
+        .or_insert_with(|| registry::gauge(&format!("mem_bytes{{subsystem=\"{subsystem}\"}}")));
+    g.set(bytes as f64);
+}
+
+/// Sum of every subsystem byte gauge set so far (excludes the RSS gauge).
+pub fn accounted_total() -> u64 {
+    lock().values().map(|g| g.get().max(0.0) as u64).sum()
+}
+
+/// The process's resident set size in bytes, from `/proc/self/status`
+/// (`VmRSS`). `None` off Linux or if the field is missing.
+pub fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Refresh the process-level gauges: RSS (`process_rss_bytes`) and the fixed
+/// costs of the trace and flight rings. Called by the metrics endpoint before
+/// every render; tests and soak drivers call it directly.
+pub fn sample_process() {
+    set("trace_rings", crate::trace::rings_bytes());
+    set("flight_ring", crate::flight::ring_bytes());
+    if let Some(rss) = rss_bytes() {
+        static RSS: OnceLock<Gauge> = OnceLock::new();
+        RSS.get_or_init(|| registry::gauge("process_rss_bytes"))
+            .set(rss as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_updates_gauge_and_total() {
+        set("test_mem_a", 1000);
+        set("test_mem_b", 500);
+        set("test_mem_a", 1500); // overwrite, not accumulate
+        assert!(accounted_total() >= 2000);
+        let text = registry::render();
+        assert!(text.contains("mem_bytes{subsystem=\"test_mem_a\"} 1500.0"));
+        assert!(text.contains("mem_bytes{subsystem=\"test_mem_b\"} 500.0"));
+    }
+
+    #[test]
+    fn rss_sampler_reads_a_positive_resident_size() {
+        let rss = rss_bytes().expect("Linux exposes VmRSS");
+        assert!(rss > 1024 * 1024, "a running test process exceeds 1 MiB");
+        sample_process();
+        let text = registry::render();
+        assert!(text.contains("process_rss_bytes"));
+        assert!(text.contains("mem_bytes{subsystem=\"flight_ring\"}"));
+        assert!(text.contains("mem_bytes{subsystem=\"trace_rings\"}"));
+    }
+}

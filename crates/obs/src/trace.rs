@@ -100,10 +100,13 @@ impl Ring {
             self.len += 1;
             return;
         }
-        // Full: overwrite the oldest slot.
+        // Full: overwrite the oldest slot. The per-ring `dropped` count
+        // resets on every drain, so the cumulative registry counter is what
+        // a scrape watches to see the tracer losing spans.
         self.events[self.head] = ev;
         self.head = (self.head + 1) % self.capacity;
         self.dropped += 1;
+        ring_dropped_counter().inc();
     }
 
     /// Remove and return all events, oldest first.
@@ -128,6 +131,12 @@ impl Ring {
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped
     }
+}
+
+/// Cumulative count of trace events lost to ring overwrites, process-wide.
+fn ring_dropped_counter() -> &'static crate::registry::Counter {
+    static C: OnceLock<crate::registry::Counter> = OnceLock::new();
+    C.get_or_init(|| crate::registry::counter("trace_ring_dropped_total"))
 }
 
 struct ThreadBuffer {
@@ -168,9 +177,19 @@ fn local_buffer<R>(f: impl FnOnce(&ThreadBuffer) -> R) -> R {
 }
 
 /// Label the current thread with a rank; its events export under that rank's
-/// process lane. Rank worker threads call this once at thread start.
+/// process lane. Rank worker threads call this once at thread start. The
+/// flight recorder's per-thread rank label is set here too, so one call
+/// covers both planes.
 pub fn set_thread_rank(rank: usize) {
     local_buffer(|b| b.rank.store(rank as i64, Ordering::Relaxed));
+    crate::flight::set_thread_rank(rank);
+}
+
+/// Total resident cost of every registered per-thread trace ring, for
+/// memory accounting.
+pub fn rings_bytes() -> u64 {
+    let buffers = registry().lock().expect("trace registry").len() as u64;
+    buffers * (RING_CAPACITY * std::mem::size_of::<TraceEvent>()) as u64
 }
 
 #[inline]

@@ -221,13 +221,18 @@ fn parse_wal(bytes: &[u8]) -> (Vec<WalRecord>, u64) {
 pub struct WalWriter {
     file: File,
     records: u64,
+    bytes: u64,
 }
 
 impl WalWriter {
     /// Create a fresh (empty) WAL at `path`, truncating any existing one.
     pub fn create(path: &Path) -> io::Result<WalWriter> {
         let file = File::create(path)?;
-        Ok(WalWriter { file, records: 0 })
+        Ok(WalWriter {
+            file,
+            records: 0,
+            bytes: 0,
+        })
     }
 
     /// Open an existing WAL (creating it when absent), validate it, truncate
@@ -250,6 +255,7 @@ impl WalWriter {
         let writer = WalWriter {
             file,
             records: records.len() as u64,
+            bytes: valid_len,
         };
         Ok((writer, records))
     }
@@ -257,6 +263,12 @@ impl WalWriter {
     /// Records durably appended so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Durable bytes of the log (the valid prefix at open plus every frame
+    /// appended since). Feeds the `mem_bytes{subsystem="durable_wal"}` gauge.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Append one record (framed and checksummed) and flush it.
@@ -269,7 +281,9 @@ impl WalWriter {
         self.file.write_all(&frame)?;
         self.file.flush()?;
         self.records += 1;
+        self.bytes += frame.len() as u64;
         wal_records_counter().inc();
+        xtrapulp_obs::mem::set("durable_wal", self.bytes);
         Ok(self.records)
     }
 }
@@ -354,6 +368,19 @@ pub fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> io::Result<PathBuf> {
     fs::rename(&tmp, &path)?;
     checkpoint_bytes_counter().add(bytes.len() as u64);
     checkpoint_write_histogram().record_duration(started.elapsed());
+    // The accounted gauge is the *total* on-disk checkpoint footprint, so the
+    // soak harness can bound it even when old checkpoints are retained.
+    let mut total = 0u64;
+    for entry in fs::read_dir(dir)?.flatten() {
+        let is_ckpt = entry
+            .file_name()
+            .to_str()
+            .is_some_and(|name| name.starts_with("ckpt-") && !name.ends_with(".tmp"));
+        if is_ckpt {
+            total += entry.metadata().map(|m| m.len()).unwrap_or(0);
+        }
+    }
+    xtrapulp_obs::mem::set("durable_checkpoints", total);
     Ok(path)
 }
 

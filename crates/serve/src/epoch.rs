@@ -210,6 +210,28 @@ impl EpochStore {
         published
     }
 
+    /// Approximate resident bytes of the store: the current and previous part
+    /// vectors plus the retained delta history. Delta slices are shared
+    /// (`Arc`) with the snapshots, so they are counted once, via the log.
+    /// Feeds the `mem_bytes{subsystem="epoch_store"}` gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        // Locks are taken sequentially (each dropped before the next), so this
+        // can never deadlock against `publish`'s ordered multi-lock section.
+        let current = self.current.read().num_vertices() as u64 * 4;
+        let previous = self
+            .previous
+            .read()
+            .as_ref()
+            .map_or(0, |p| p.num_vertices() as u64 * 4);
+        let log: u64 = self
+            .delta_log
+            .read()
+            .iter()
+            .map(|e| e.deltas.iter().map(|d| d.approx_bytes()).sum::<u64>() + 48)
+            .sum();
+        current + previous + log + 256
+    }
+
     /// Block until an epoch `>= min_epoch` is published (or `timeout` elapses),
     /// returning the then-current snapshot — which may be newer than `min_epoch` if
     /// the worker published several epochs in between. `None` on timeout.

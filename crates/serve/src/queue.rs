@@ -163,6 +163,14 @@ impl IngestQueue {
         self.lock().closed
     }
 
+    /// Approximate resident bytes of the queued batches (each op at ~24 bytes
+    /// plus per-batch overhead). Feeds the
+    /// `mem_bytes{subsystem="ingest_queue"}` gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        let state = self.lock();
+        state.queued_ops as u64 * 24 + state.queue.len() as u64 * 64
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
         self.state
             .lock()

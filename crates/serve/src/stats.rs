@@ -55,9 +55,7 @@ impl StatsCells {
             repartition_failures: get(&self.repartition_failures),
             queue_depth_ops,
             queue_depth_batches,
-            last_publish_seconds: publish.mean() * 1e-9,
             total_publish_seconds: get(&self.total_publish_nanos) as f64 * 1e-9,
-            last_ingest_to_publish_seconds: ingest.mean() * 1e-9,
             publish_seconds_p50: publish.p50() as f64 * 1e-9,
             publish_seconds_p99: publish.p99() as f64 * 1e-9,
             ingest_to_publish_seconds_p50: ingest.p50() as f64 * 1e-9,
@@ -92,21 +90,8 @@ pub struct ServeStats {
     pub queue_depth_ops: u64,
     /// Batches currently waiting in the ingest queue.
     pub queue_depth_batches: u64,
-    /// **Deprecated** — scheduled for removal in the next release; read
-    /// [`publish_seconds_p50`](ServeStats::publish_seconds_p50) /
-    /// [`publish_seconds_p99`](ServeStats::publish_seconds_p99) instead. The JSON key
-    /// is kept for one release and now reports the *mean* publish-cycle latency (the
-    /// old last-value gauge was whatever cycle happened to finish last).
-    pub last_publish_seconds: f64,
     /// Cumulative wall-clock seconds across all publish cycles.
     pub total_publish_seconds: f64,
-    /// **Deprecated** — scheduled for removal in the next release; read
-    /// [`ingest_to_publish_seconds_p50`](ServeStats::ingest_to_publish_seconds_p50) /
-    /// [`ingest_to_publish_seconds_p99`](ServeStats::ingest_to_publish_seconds_p99)
-    /// instead. The JSON key is kept for one release and now reports the *mean*
-    /// ingest-to-publish latency over every applied batch (the old gauge sampled only
-    /// the oldest batch of the most recent group).
-    pub last_ingest_to_publish_seconds: f64,
     /// Median wall-clock seconds of an apply+repartition+publish cycle.
     pub publish_seconds_p50: f64,
     /// 99th-percentile wall-clock seconds of an apply+repartition+publish cycle.
@@ -159,15 +144,13 @@ mod tests {
         assert_eq!(stats.epochs_published, 3);
         assert_eq!(stats.warm_epochs + stats.cold_epochs, 3);
         assert_eq!(stats.queue_depth_ops, 7);
-        // One sample: mean is exact, percentiles land in its bucket (≤ 1/32 error).
-        assert!((stats.last_publish_seconds - 2.5).abs() < 1e-9);
+        // One sample: percentiles land in its bucket (≤ 1/32 error).
         assert!((stats.publish_seconds_p50 - 2.5).abs() < 2.5 / 32.0);
         assert!((stats.publish_seconds_p99 - 2.5).abs() < 2.5 / 32.0);
         let json = stats.to_json();
         for key in [
             "\"epochs_published\":3",
             "\"queue_depth_ops\":7",
-            "\"last_publish_seconds\":2.5",
             "\"publish_seconds_p50\":",
             "\"ingest_to_publish_seconds_p99\":",
         ] {
@@ -176,13 +159,15 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_keys_report_histogram_means() {
+    fn deprecated_mean_keys_are_gone_from_the_json() {
         let cells = StatsCells::default();
         for nanos in [1_000_000_000u64, 3_000_000_000] {
             cells.ingest_to_publish_nanos.record(nanos);
         }
         let stats = cells.snapshot(0, 0);
-        assert!((stats.last_ingest_to_publish_seconds - 2.0).abs() < 1e-9);
+        let json = stats.to_json();
+        assert!(!json.contains("last_publish_seconds"));
+        assert!(!json.contains("last_ingest_to_publish_seconds"));
         // Percentiles straddle the two samples instead of reporting only the last.
         assert!(stats.ingest_to_publish_seconds_p50 < stats.ingest_to_publish_seconds_p99);
     }

@@ -115,6 +115,12 @@ struct CloseQueueOnExit(Arc<IngestQueue>);
 
 impl Drop for CloseQueueOnExit {
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The worker is dying mid-serve: capture the flight recorder
+            // before the process state degrades further. `dump` never panics.
+            obs::flight::record(obs::FlightKind::Fault, "worker_panic", 0, 0);
+            let _ = obs::flight::dump("worker-panic");
+        }
         self.0.close();
     }
 }
@@ -164,6 +170,7 @@ pub fn spawn<E: RepartitionEngine>(
                         let _span = obs::span("serve_drain");
                         queue.drain_group_wait(&policy, bound)
                     };
+                    obs::mem::set("ingest_queue", queue.approx_bytes());
                     match drained {
                         Drained::Group(group) => {
                             step(
@@ -305,7 +312,14 @@ fn repartition_and_publish<E: RepartitionEngine>(
                     .ingest_to_publish_nanos
                     .record(enqueued.elapsed().as_nanos() as u64);
             }
+            obs::flight::record(
+                obs::FlightKind::EpochPublish,
+                "epoch",
+                snapshot.epoch,
+                publish_nanos,
+            );
             store.publish(snapshot);
+            obs::mem::set("epoch_store", store.approx_bytes());
             true
         }
         Err(e) => {
@@ -484,7 +498,7 @@ mod tests {
         assert!(stats.epochs_published >= 1);
         assert_eq!(store.epoch(), 3);
         assert_eq!(store.current().num_vertices(), 10);
-        assert!(stats.last_publish_seconds >= 0.0);
+        assert!(stats.total_publish_seconds >= 0.0);
         assert!(stats.publish_seconds_p99 >= stats.publish_seconds_p50);
         assert!(stats.ingest_to_publish_seconds_p99 >= stats.ingest_to_publish_seconds_p50);
     }

@@ -103,11 +103,11 @@ fn main() {
     let (session, stats) = serving.shutdown().expect("serve worker exits cleanly");
     println!(
         "shutdown: {} epochs published ({} warm), {} ops applied, \
-         last ingest→publish {:.4}s",
+         p50 ingest→publish {:.4}s",
         stats.epochs_published,
         stats.warm_epochs,
         stats.ops_applied,
-        stats.last_ingest_to_publish_seconds
+        stats.ingest_to_publish_seconds_p50
     );
     println!(
         "returned session: epoch {}, {} vertices",
