@@ -252,6 +252,8 @@ impl AnalyticsConsumer {
         parts: &[i32],
     ) -> EpochReport {
         let _span = xtrapulp_obs::span_with("analytics_epoch", epoch);
+        // lint: nondeterministic-ok — wall-clock feeds EpochReport timing
+        // telemetry only; kernel results never depend on it.
         let start = Instant::now();
         let new_n = deltas
             .last()

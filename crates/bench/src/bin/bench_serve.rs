@@ -83,6 +83,7 @@ fn readers_under_churn(
                 let mut x = r as u64;
                 let mut checksum = 0i64;
                 let mut reads = 0u64;
+                // ordering: stop-flag poll; an extra read batch is harmless
                 while !stop.load(Ordering::Relaxed) {
                     let snapshot = store.current();
                     let n = snapshot.num_vertices() as u64;
@@ -92,7 +93,7 @@ fn readers_under_churn(
                     }
                     reads += 64;
                 }
-                total_reads.fetch_add(reads, Ordering::Relaxed);
+                total_reads.fetch_add(reads, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
                 checksum
             })
         })
@@ -116,6 +117,7 @@ fn readers_under_churn(
         let queue = Arc::clone(&queue);
         std::thread::spawn(move || {
             for i in 0..stream.batches.len() {
+                // ordering: stop-flag poll; an extra produce iteration is harmless
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -131,7 +133,7 @@ fn readers_under_churn(
 
     let window = Instant::now();
     std::thread::sleep(Duration::from_millis(RUN_MS));
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed); // ordering: stop flag; worker threads poll it, join() is the real barrier
     for reader in readers {
         reader.join().expect("reader thread");
     }
@@ -139,7 +141,7 @@ fn readers_under_churn(
     producer.join().expect("producer thread");
     let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
 
-    let reads_per_sec = total_reads.load(Ordering::Relaxed) as f64 / elapsed;
+    let reads_per_sec = total_reads.load(Ordering::Relaxed) as f64 / elapsed; // ordering: read after join(); all bumps happened-before
     let series = "readers-under-churn";
     emit_json(
         series,
@@ -254,6 +256,7 @@ fn saturating_producer(
             let mut submitted = 0u64;
             'outer: loop {
                 for i in 0..stream.batches.len() {
+                    // ordering: stop-flag poll; an extra produce iteration is harmless
                     if stop.load(Ordering::Relaxed) {
                         break 'outer;
                     }
@@ -317,8 +320,8 @@ fn saturating_producer(
         window_floor = now;
         next_epoch_mark = store.epoch() + epochs_per_window;
     }
-    stop.store(true, Ordering::Relaxed);
-    // Unblock a producer parked on a full queue by draining the pipeline normally.
+    stop.store(true, Ordering::Relaxed); // ordering: stop flag; worker threads poll it, join() is the real barrier
+                                         // Unblock a producer parked on a full queue by draining the pipeline normally.
     let submitted = producer.join().expect("producer thread");
     let (_, stats) = serving.shutdown().expect("serve worker exits cleanly");
 

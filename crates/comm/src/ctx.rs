@@ -448,11 +448,12 @@ impl Runtime {
         &mut self,
         erased: &(dyn Fn(&RankCtx) -> ErasedResult + Sync),
     ) -> Vec<std::thread::Result<ErasedResult>> {
-        // SAFETY: `Job::Run` is only dereferenced by workers between the sends
-        // inside `dispatch_job` and the corresponding completion messages, all
-        // of which `dispatch_job` waits for before returning; the closure
-        // therefore outlives every use of the forged `'static` reference.
         let job = Job::Run {
+            // SAFETY: `Job::Run` is only dereferenced by workers between the
+            // sends inside `dispatch_job` and the corresponding completion
+            // messages, all of which `dispatch_job` waits for before
+            // returning; the closure therefore outlives every use of the
+            // forged `'static` reference.
             f: unsafe {
                 std::mem::transmute::<
                     &(dyn Fn(&RankCtx) -> ErasedResult + Sync),

@@ -136,25 +136,25 @@ impl CommStats {
     }
 
     pub(crate) fn record_send(&self, bytes: u64) {
-        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     pub(crate) fn record_recv(&self, bytes: u64) {
-        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     pub(crate) fn record_collective(&self, kind: CollectiveKind) {
-        self.collectives.fetch_add(1, Ordering::Relaxed);
-        self.per_kind_calls[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.collectives.fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.per_kind_calls[kind.index()].fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
         match kind {
             CollectiveKind::Barrier => {
-                self.barriers.fetch_add(1, Ordering::Relaxed);
+                self.barriers.fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
             }
             CollectiveKind::Alltoallv => {
-                self.alltoallv_calls.fetch_add(1, Ordering::Relaxed);
+                self.alltoallv_calls.fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
             }
             CollectiveKind::Allreduce => {
-                self.allreduce_calls.fetch_add(1, Ordering::Relaxed);
+                self.allreduce_calls.fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
             }
             _ => {}
         }
@@ -162,26 +162,26 @@ impl CommStats {
 
     /// Charge outbound frames and their wire bytes to a collective.
     pub(crate) fn record_frames_sent(&self, kind: CollectiveKind, frames: u64, wire: u64) {
-        self.frames_sent.fetch_add(frames, Ordering::Relaxed);
-        self.wire_bytes_sent.fetch_add(wire, Ordering::Relaxed);
-        self.per_kind_frames[kind.index()].fetch_add(frames, Ordering::Relaxed);
-        self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed);
+        self.frames_sent.fetch_add(frames, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.wire_bytes_sent.fetch_add(wire, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.per_kind_frames[kind.index()].fetch_add(frames, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     /// Current wire bytes (sent + received) charged to one collective kind.
     pub(crate) fn per_kind_wire(&self, kind: CollectiveKind) -> u64 {
-        self.per_kind_wire[kind.index()].load(Ordering::Relaxed)
+        self.per_kind_wire[kind.index()].load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Charge inbound wire bytes to a collective.
     pub(crate) fn record_frame_recv(&self, kind: CollectiveKind, wire: u64) {
-        self.wire_bytes_received.fetch_add(wire, Ordering::Relaxed);
-        self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed);
+        self.wire_bytes_received.fetch_add(wire, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.per_kind_wire[kind.index()].fetch_add(wire, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     /// Total bytes this rank handed to collectives as send payload.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.bytes_sent.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Send-payload bytes since a previously captured [`bytes_sent`](CommStats::bytes_sent)
@@ -194,51 +194,51 @@ impl CommStats {
 
     /// Total bytes this rank received from collectives.
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
+        self.bytes_received.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Total number of collective operations issued (including barriers).
     pub fn collectives(&self) -> u64 {
-        self.collectives.load(Ordering::Relaxed)
+        self.collectives.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Number of barrier operations issued.
     pub fn barriers(&self) -> u64 {
-        self.barriers.load(Ordering::Relaxed)
+        self.barriers.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Number of alltoallv exchanges issued.
     pub fn alltoallv_calls(&self) -> u64 {
-        self.alltoallv_calls.load(Ordering::Relaxed)
+        self.alltoallv_calls.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Number of allreduce operations issued.
     pub fn allreduce_calls(&self) -> u64 {
-        self.allreduce_calls.load(Ordering::Relaxed)
+        self.allreduce_calls.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Wire bytes this rank sent over the transport (excludes self-destined
     /// data, includes frame headers on byte-stream backends).
     pub fn wire_bytes_sent(&self) -> u64 {
-        self.wire_bytes_sent.load(Ordering::Relaxed)
+        self.wire_bytes_sent.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Wire bytes this rank received over the transport.
     pub fn wire_bytes_received(&self) -> u64 {
-        self.wire_bytes_received.load(Ordering::Relaxed)
+        self.wire_bytes_received.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Point-to-point frames this rank sent over the transport.
     pub fn frames_sent(&self) -> u64 {
-        self.frames_sent.load(Ordering::Relaxed)
+        self.frames_sent.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Copy the counters into a plain snapshot struct.
     pub fn snapshot(&self) -> CommStatsSnapshot {
         let volume = |kind: CollectiveKind| CollectiveVolume {
-            calls: self.per_kind_calls[kind.index()].load(Ordering::Relaxed),
-            frames: self.per_kind_frames[kind.index()].load(Ordering::Relaxed),
-            wire_bytes: self.per_kind_wire[kind.index()].load(Ordering::Relaxed),
+            calls: self.per_kind_calls[kind.index()].load(Ordering::Relaxed), // ordering: stat read; snapshots tolerate cross-cell lag
+            frames: self.per_kind_frames[kind.index()].load(Ordering::Relaxed), // ordering: stat read; snapshots tolerate cross-cell lag
+            wire_bytes: self.per_kind_wire[kind.index()].load(Ordering::Relaxed), // ordering: stat read; snapshots tolerate cross-cell lag
         };
         CommStatsSnapshot {
             bytes_sent: self.bytes_sent(),

@@ -75,7 +75,10 @@ fn bfs_grow_init(ctx: &RankCtx, graph: &DistGraph, params: &PartitionParams) -> 
             .collect();
         ctx.allgatherv(mine)
     };
-    let roots: Vec<GlobalId> = if rank == 0 {
+    // Only rank 0 draws the roots, but the broadcast itself is reached by
+    // every rank unconditionally (collective-symmetry: the rank-dependent
+    // part is confined to computing the payload).
+    let drawn: Option<Vec<GlobalId>> = if rank == 0 {
         let mut rng = SmallRng::seed_from_u64(params.seed);
         let universe: Vec<GlobalId> = if candidate_roots.is_empty() {
             (0..n).collect()
@@ -84,19 +87,18 @@ fn bfs_grow_init(ctx: &RankCtx, graph: &DistGraph, params: &PartitionParams) -> 
             sorted.sort_unstable();
             sorted
         };
-        let roots = if p >= universe.len() {
+        Some(if p >= universe.len() {
             universe
         } else {
             let mut shuffled = universe;
             shuffled.shuffle(&mut rng);
             shuffled.truncate(p);
             shuffled
-        };
-        ctx.broadcast(0, Some(roots.clone()));
-        roots
+        })
     } else {
-        ctx.broadcast::<Vec<GlobalId>>(0, None)
+        None
     };
+    let roots: Vec<GlobalId> = ctx.broadcast(0, drawn);
 
     let mut parts = vec![UNASSIGNED; graph.n_total()];
     let mut seed_updates: Vec<PartUpdate> = Vec::new();

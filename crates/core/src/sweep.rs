@@ -498,6 +498,8 @@ impl SweepEngine {
 
         // Span arg: vertices scored this sweep (the active-set size).
         let _sweep_span = xtrapulp_obs::span_with(self.stage.span_name(), active.len() as u64);
+        // lint: nondeterministic-ok — wall-clock feeds SweepStats timing
+        // telemetry only; no partition decision reads it.
         let sweep_started = std::time::Instant::now();
         self.stats.sweeps += 1;
         self.stats.vertices_scored += active.len() as u64;

@@ -1,0 +1,200 @@
+//! The committed `lint-allow.toml` baseline: a hand-rolled parser for the
+//! small TOML subset the allowlist uses, plus the baseline writer behind
+//! `--write-baseline`.
+//!
+//! Format — one `[[allow]]` table per (rule, file) group:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R5"
+//! path = "crates/serve/src/worker.rs"
+//! max = 12
+//! reason = "pre-existing unwraps; burn down incrementally"
+//! ```
+//!
+//! `max` caps the number of findings the entry absorbs: adding a new
+//! violation to an already-baselined file still fails the gate. Entries that
+//! match nothing are reported as stale so the baseline only ever shrinks.
+
+use crate::{Finding, Rule};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    pub path: String,
+    pub max: usize,
+    pub reason: String,
+}
+
+#[derive(Debug)]
+pub enum AllowError {
+    Parse { line: usize, detail: String },
+}
+
+impl std::fmt::Display for AllowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllowError::Parse { line, detail } => {
+                write!(f, "lint-allow.toml:{line}: {detail}")
+            }
+        }
+    }
+}
+
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<(usize, BTreeMap<String, String>)> = None;
+
+    let flush = |current: &mut Option<(usize, BTreeMap<String, String>)>,
+                 entries: &mut Vec<AllowEntry>|
+     -> Result<(), AllowError> {
+        if let Some((start, map)) = current.take() {
+            let get = |k: &str| -> Result<&String, AllowError> {
+                map.get(k).ok_or(AllowError::Parse {
+                    line: start,
+                    detail: format!("[[allow]] entry missing required key `{k}`"),
+                })
+            };
+            let rule_s = get("rule")?;
+            let rule = Rule::from_id(rule_s).ok_or(AllowError::Parse {
+                line: start,
+                detail: format!("unknown rule id `{rule_s}` (expected R1..R5)"),
+            })?;
+            let max: usize = get("max")?.parse().map_err(|_| AllowError::Parse {
+                line: start,
+                detail: "`max` must be a non-negative integer".to_string(),
+            })?;
+            entries.push(AllowEntry {
+                rule,
+                path: get("path")?.clone(),
+                max,
+                reason: map.get("reason").cloned().unwrap_or_default(),
+            });
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut current, &mut entries)?;
+            current = Some((lineno, BTreeMap::new()));
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().to_string();
+            let value = parse_value(line[eq + 1..].trim()).ok_or(AllowError::Parse {
+                line: lineno,
+                detail: format!("unparseable value for `{key}`"),
+            })?;
+            match &mut current {
+                Some((_, map)) => {
+                    map.insert(key, value);
+                }
+                None => {
+                    return Err(AllowError::Parse {
+                        line: lineno,
+                        detail: "key/value outside an [[allow]] table".to_string(),
+                    })
+                }
+            }
+        } else {
+            return Err(AllowError::Parse {
+                line: lineno,
+                detail: format!("unrecognised line: `{line}`"),
+            });
+        }
+    }
+    flush(&mut current, &mut entries)?;
+    Ok(entries)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside a quoted string starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Option<String> {
+    if let Some(stripped) = v.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(stripped[..end].to_string())
+    } else if v.chars().all(|c| c.is_ascii_digit()) && !v.is_empty() {
+        Some(v.to_string())
+    } else {
+        None
+    }
+}
+
+/// Serialise a baseline covering `findings`, grouped by (rule, file), each
+/// entry capped at the current count so regressions still fail.
+pub fn write_baseline(findings: &[Finding]) -> String {
+    let mut groups: BTreeMap<(&'static str, String), usize> = BTreeMap::new();
+    for f in findings {
+        *groups.entry((f.rule.id(), f.file.clone())).or_default() += 1;
+    }
+    let mut out = String::from(
+        "# lint-allow.toml — committed baseline for `xtrapulp-lint`.\n\
+         #\n\
+         # Each [[allow]] entry absorbs up to `max` findings of `rule` in `path`;\n\
+         # a new violation in a baselined file still fails the gate. Prefer fixing\n\
+         # or annotating over growing this file (see LINT.md); regenerate a fresh\n\
+         # baseline with `cargo run -p xtrapulp-lint -- --write-baseline` only when\n\
+         # adopting a new rule.\n\n",
+    );
+    for ((rule, path), count) in groups {
+        out.push_str("[[allow]]\n");
+        out.push_str(&format!("rule = \"{rule}\"\n"));
+        out.push_str(&format!("path = \"{path}\"\n"));
+        out.push_str(&format!("max = {count}\n"));
+        out.push_str("reason = \"baseline at lint adoption; burn down, do not grow\"\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_write() {
+        let findings = vec![
+            Finding::new(Rule::R5PanicHygiene, "a/b.rs", 3, "x".into()),
+            Finding::new(Rule::R5PanicHygiene, "a/b.rs", 9, "y".into()),
+            Finding::new(Rule::R2AtomicOrdering, "c.rs", 1, "z".into()),
+        ];
+        let text = write_baseline(&findings);
+        let entries = parse(&text).expect("baseline parses");
+        assert_eq!(entries.len(), 2);
+        let r5 = entries
+            .iter()
+            .find(|e| e.rule == Rule::R5PanicHygiene)
+            .unwrap();
+        assert_eq!(r5.path, "a/b.rs");
+        assert_eq!(r5.max, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_stray_keys() {
+        assert!(parse("[[allow]]\nrule = \"R9\"\npath = \"x\"\nmax = 1\n").is_err());
+        assert!(parse("rule = \"R1\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n[[allow]]\nrule = \"R1\" # trailing\npath = \"p.rs\"\nmax = 0\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].max, 0);
+    }
+}

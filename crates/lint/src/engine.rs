@@ -1,0 +1,684 @@
+//! The rule engine: a single scope-tracking walk over the token stream.
+//!
+//! The walker maintains a stack of brace scopes annotated with the two
+//! context bits the rules need — "is this reachable only under rank-dependent
+//! control flow" (R1) and "is this test code" (all rules) — plus the set of
+//! lock guards live in each scope (R3). Rules fire inline as their trigger
+//! tokens stream past; see LINT.md for the catalogue.
+
+use crate::lexer::{lex, Lexed, Tok, Token};
+use crate::{FileKind, Finding, Rule};
+use std::collections::HashMap;
+
+/// Identifiers that mark a condition as rank-dependent when they appear in
+/// an `if`/`while`/`match` head: `rank == 0`, `self.rank()`, `is_root()`,
+/// `is_coordinator`, `my_rank`, ...
+const RANK_IDENTS: &[&str] = &[
+    "rank",
+    "my_rank",
+    "is_root",
+    "is_coordinator",
+    "coordinator",
+];
+
+/// Collective operations on `CommCtx`/`RankCtx`/`Transport`/`Runtime`/
+/// `Session`: every rank must reach these in the same order.
+fn is_collective(name: &str) -> bool {
+    matches!(
+        name,
+        "barrier"
+            | "broadcast"
+            | "gather"
+            | "gatherv"
+            | "scatter"
+            | "scatterv"
+            | "allgather"
+            | "allgatherv"
+            | "alltoall"
+            | "alltoallv"
+            | "export_trace"
+            | "export_flight"
+    ) || name.starts_with("allreduce")
+        || name.starts_with("exscan")
+}
+
+/// Transport-level point-to-point ops count as comm ops for R3 (a guard held
+/// across a blocking wire op is as deadlock-prone as one held across a
+/// collective) — but only on receivers that are plausibly a transport, so
+/// channel `tx.send(..)` does not fire.
+const P2P_OPS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "send_message",
+    "recv_message",
+];
+const P2P_RECEIVERS: &[&str] = &["transport", "ctx"];
+
+/// Variable-name prefixes that mark a buffer as peer-supplied for the R5
+/// unchecked-indexing heuristic.
+const PEER_DATA_PREFIXES: &[&str] = &["peer_", "recv_", "remote_", "incoming_"];
+
+const LOCK_METHODS: &[&str] = &["lock", "try_lock"];
+const RW_METHODS: &[&str] = &["read", "write", "try_read", "try_write", "upgradable_read"];
+
+#[derive(Debug, Clone)]
+struct Guard {
+    name: String,
+    line: usize,
+}
+
+#[derive(Debug, Default)]
+struct Scope {
+    rank_dep: bool,
+    cfg_test: bool,
+    from_if: bool,
+    guards: Vec<Guard>,
+}
+
+struct AtomicAccess {
+    field: String,
+    ordering_class: u8, // 0 = Relaxed, 1 = Acquire/Release/AcqRel, 2 = SeqCst
+    class_name: &'static str,
+    line: usize,
+    /// The site's `// ordering:` comment contains the word "mixed",
+    /// acknowledging a deliberate cross-class pairing on this field.
+    mixed_ack: bool,
+}
+
+/// Lint one source file. `path` is the repo-relative path used both for
+/// reporting and for file-kind / deterministic-scope classification.
+pub fn lint_source(path: &str, source: &str, det_prefixes: &[String]) -> Vec<Finding> {
+    let kind = crate::classify(path);
+    if kind == FileKind::Test {
+        return Vec::new();
+    }
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    let mut scopes: Vec<Scope> = vec![Scope::default()];
+    let mut pending_rank = false;
+    let mut pending_test = false;
+    let mut pending_from_if = false;
+    let mut pending_guards: Vec<Guard> = Vec::new();
+    let mut else_carry = false;
+    let mut last_popped_if_rank: bool = false;
+    let mut stmt_start_line = 1usize;
+    let mut at_stmt_start = true;
+    let mut atomic_accesses: Vec<AtomicAccess> = Vec::new();
+
+    let in_rank_dep = |scopes: &[Scope]| scopes.iter().any(|s| s.rank_dep);
+    let in_test = |scopes: &[Scope]| scopes.iter().any(|s| s.cfg_test);
+    let deterministic_scope =
+        kind == FileKind::Lib && det_prefixes.iter().any(|p| path.starts_with(p.as_str()));
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if at_stmt_start {
+            stmt_start_line = t.line;
+            at_stmt_start = false;
+        }
+        match &t.tok {
+            Tok::Punct('{') => {
+                let parent = scopes.last().expect("root scope always present"); // lint: panic-ok — scope-stack invariant: the root scope is never popped
+                scopes.push(Scope {
+                    rank_dep: parent.rank_dep || pending_rank || else_carry,
+                    cfg_test: parent.cfg_test || pending_test,
+                    from_if: pending_from_if,
+                    guards: std::mem::take(&mut pending_guards),
+                });
+                pending_rank = false;
+                pending_test = false;
+                pending_from_if = false;
+                else_carry = false;
+                at_stmt_start = true;
+            }
+            Tok::Punct('}') => {
+                if scopes.len() > 1 {
+                    let popped = scopes.pop().expect("non-root scope"); // lint: panic-ok — guarded by the len() > 1 check above
+                    last_popped_if_rank = popped.from_if && popped.rank_dep;
+                }
+                at_stmt_start = true;
+            }
+            Tok::Punct(';') => at_stmt_start = true,
+            Tok::Punct('#') => {
+                // Attribute: `#[...]` or `#![...]`. Mark pending test context
+                // for `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]`, ...
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('[') {
+                    let mut depth = 0i32;
+                    let mut has_test = false;
+                    while j < toks.len() {
+                        match &toks[j].tok {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Tok::Ident(s) if s == "test" => has_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if has_test {
+                        pending_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            Tok::Ident(kw) if kw == "if" || kw == "while" || kw == "match" => {
+                let (rank_cond, guards, end) = scan_condition(toks, i + 1);
+                pending_rank = rank_cond || (kw != "match" && else_carry);
+                if kw != "match" {
+                    else_carry = false;
+                }
+                pending_from_if = kw == "if";
+                pending_guards = guards;
+                // Do NOT skip the condition tokens: rules (R2/R5/...) must
+                // still see them. Only the scope flags are precomputed.
+                let _ = end;
+            }
+            Tok::Ident(kw) if kw == "else" => {
+                else_carry = last_popped_if_rank;
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                if let Some(guard) = scan_let_guard(toks, i) {
+                    scopes
+                        .last_mut()
+                        // lint: panic-ok — scope-stack invariant: root never popped
+                        .expect("root scope always present")
+                        .guards
+                        .push(guard);
+                }
+            }
+            // `drop(name)` releases a tracked guard early.
+            Tok::Ident(kw)
+                if kw == "drop"
+                    && i + 3 < toks.len()
+                    && toks[i + 1].is_punct('(')
+                    && toks[i + 3].is_punct(')') =>
+            {
+                if let Some(name) = toks[i + 2].ident() {
+                    for s in scopes.iter_mut() {
+                        s.guards.retain(|g| g.name != name);
+                    }
+                }
+            }
+            Tok::Ident(name) if name == "Ordering" => {
+                // `Ordering::X` — skip `std::cmp::Ordering` paths.
+                let is_cmp =
+                    i >= 2 && toks[i - 1].is_op("::") && toks[i - 2].ident() == Some("cmp");
+                if !is_cmp && i + 2 < toks.len() && toks[i + 1].is_op("::") {
+                    if let Some(ord) = toks[i + 2].ident() {
+                        let class = match ord {
+                            "Relaxed" => Some((0u8, "Relaxed")),
+                            "Acquire" | "Release" | "AcqRel" => Some((1, "Acquire/Release")),
+                            "SeqCst" => Some((2, "SeqCst")),
+                            _ => None,
+                        };
+                        if let Some((class, class_name)) = class {
+                            let annotated =
+                                has_annotation(&lexed, t.line, stmt_start_line, "// ordering:");
+                            if let Some(field) = atomic_receiver_field(toks, i) {
+                                let mixed_ack = annotated
+                                    && annotation_mentions(
+                                        &lexed,
+                                        t.line,
+                                        stmt_start_line,
+                                        "mixed",
+                                    );
+                                atomic_accesses.push(AtomicAccess {
+                                    field,
+                                    ordering_class: class,
+                                    class_name,
+                                    line: t.line,
+                                    mixed_ack,
+                                });
+                            }
+                            if (class == 0 || class == 2) && !in_test(&scopes) && !annotated {
+                                findings.push(Finding::new(
+                                    Rule::R2AtomicOrdering,
+                                    path,
+                                    t.line,
+                                    format!(
+                                        "`Ordering::{ord}` without an adjacent \
+                                         `// ordering:` justification comment"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Tok::Ident(name) if i > 0 && toks[i - 1].is_punct('.') => {
+                let is_call = call_follows(toks, i);
+                if is_call {
+                    let collective = is_collective(name);
+                    let p2p = P2P_OPS.contains(&name.as_str())
+                        && i >= 2
+                        && toks[i - 2]
+                            .ident()
+                            .is_some_and(|r| P2P_RECEIVERS.contains(&r));
+                    // R1: collective reachable only under rank-dependent flow.
+                    if collective
+                        && in_rank_dep(&scopes)
+                        && !in_test(&scopes)
+                        && !has_annotation(&lexed, t.line, stmt_start_line, "rank-asymmetric")
+                    {
+                        findings.push(Finding::new(
+                            Rule::R1CollectiveSymmetry,
+                            path,
+                            t.line,
+                            format!(
+                                "collective `{name}` is reachable only under \
+                                 rank-dependent control flow — divergence/deadlock \
+                                 hazard (annotate `// lint: rank-asymmetric — <why>` \
+                                 if intentional)"
+                            ),
+                        ));
+                    }
+                    // R3: a lock guard live across a collective / transport op.
+                    if (collective || p2p) && !in_test(&scopes) {
+                        let live: Vec<&Guard> =
+                            scopes.iter().flat_map(|s| s.guards.iter()).collect();
+                        if let Some(g) = live.last() {
+                            if !has_annotation(&lexed, t.line, stmt_start_line, "guard-held-ok") {
+                                findings.push(Finding::new(
+                                    Rule::R3LockDiscipline,
+                                    path,
+                                    t.line,
+                                    format!(
+                                        "lock guard `{}` (acquired line {}) is still live \
+                                         across blocking comm op `{name}` — drop it first",
+                                        g.name, g.line
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    // R5: panic hygiene in library code.
+                    if kind == FileKind::Lib
+                        && (name == "unwrap" || name == "expect")
+                        && !in_test(&scopes)
+                        && !has_annotation(&lexed, t.line, stmt_start_line, "panic-ok")
+                    {
+                        findings.push(Finding::new(
+                            Rule::R5PanicHygiene,
+                            path,
+                            t.line,
+                            format!(
+                                "`.{name}()` in library code — return a typed error or \
+                                 annotate `// lint: panic-ok — <why>`"
+                            ),
+                        ));
+                    }
+                }
+            }
+            Tok::Ident(name)
+                if kind == FileKind::Lib
+                    && i + 1 < toks.len()
+                    && toks[i + 1].is_punct('[')
+                    && PEER_DATA_PREFIXES.iter().any(|p| name.starts_with(p))
+                    && !(i > 0
+                        && (toks[i - 1].is_punct('.')
+                            || toks[i - 1].ident() == Some("let")
+                            || toks[i - 1].ident() == Some("mut")))
+                    && !in_test(&scopes)
+                    && !has_annotation(&lexed, t.line, stmt_start_line, "checked-index") =>
+            {
+                // R5 (peer-index): direct indexing into a peer-supplied buffer.
+                findings.push(Finding::new(
+                    Rule::R5PanicHygiene,
+                    path,
+                    t.line,
+                    format!(
+                        "unchecked indexing into peer-supplied buffer `{name}` — \
+                         validate bounds or annotate `// lint: checked-index — <why>`"
+                    ),
+                ));
+            }
+            Tok::Ident(name) if deterministic_scope && !in_test(&scopes) => {
+                // R4: wall-clock / ambient randomness in deterministic kernels.
+                let hit = match name.as_str() {
+                    "Instant" | "SystemTime" => {
+                        i + 2 < toks.len()
+                            && toks[i + 1].is_op("::")
+                            && toks[i + 2].ident() == Some("now")
+                    }
+                    "thread_rng" | "random" => {
+                        i + 1 < toks.len()
+                            && toks[i + 1].is_punct('(')
+                            // `random` must be `rand::random` / `thread_rng()`,
+                            // not a local method named `random`.
+                            && (name == "thread_rng"
+                                || (i >= 2
+                                    && toks[i - 1].is_op("::")
+                                    && toks[i - 2].ident() == Some("rand")))
+                    }
+                    _ => false,
+                };
+                if hit && !has_annotation(&lexed, t.line, stmt_start_line, "nondeterministic-ok") {
+                    findings.push(Finding::new(
+                        Rule::R4Determinism,
+                        path,
+                        t.line,
+                        format!(
+                            "`{name}` in a deterministic (bit-identical) path — move the \
+                             nondeterminism out or annotate \
+                             `// lint: nondeterministic-ok — <why>`"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // R2 second half: mixed ordering classes on the same atomic field.
+    findings.extend(mixed_ordering_findings(path, &atomic_accesses));
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.id().cmp(b.rule.id())));
+    findings
+}
+
+fn mixed_ordering_findings(path: &str, accesses: &[AtomicAccess]) -> Vec<Finding> {
+    let mut per_field: HashMap<&str, Vec<&AtomicAccess>> = HashMap::new();
+    for a in accesses {
+        per_field.entry(a.field.as_str()).or_default().push(a);
+    }
+    let mut out = Vec::new();
+    for (field, accs) in per_field {
+        let mut classes: Vec<(u8, &'static str, usize)> = Vec::new();
+        for a in accs.iter() {
+            if !classes.iter().any(|(c, _, _)| *c == a.ordering_class) {
+                classes.push((a.ordering_class, a.class_name, a.line));
+            }
+        }
+        if classes.len() > 1 {
+            // Escape hatch: any site whose `// ordering:` comment mentions
+            // "mixed" acknowledges the cross-class pairing deliberately.
+            if accs.iter().any(|a| a.mixed_ack) {
+                continue;
+            }
+            classes.sort_by_key(|(c, _, _)| *c);
+            let desc: Vec<String> = classes
+                .iter()
+                .map(|(_, name, line)| format!("{name} (line {line})"))
+                .collect();
+            out.push(Finding::new(
+                Rule::R2AtomicOrdering,
+                path,
+                classes.last().map(|(_, _, l)| *l).unwrap_or(1),
+                format!(
+                    "atomic field `{field}` is accessed with mixed ordering classes: {} — \
+                     unify them or say `mixed` in an `// ordering:` comment at one site",
+                    desc.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Is the ident at `i` followed by a call's `(`, allowing a turbofish
+/// (`.broadcast::<Vec<u64>>(..)`) in between?
+fn call_follows(toks: &[Token], i: usize) -> bool {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_op("::"))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct('<'))
+    {
+        // Skip the balanced `<...>` of the turbofish. `>` only ever closes
+        // generics here (a comparison cannot follow `::<`).
+        let mut depth = 0i32;
+        j += 1;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                Tok::Punct('(') | Tok::Punct(';') | Tok::Punct('{') => return false,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    toks.get(j).is_some_and(|t| t.is_punct('('))
+}
+
+/// Walk back from the `Ordering` token to the atomic receiver field of the
+/// enclosing call: `self.count.fetch_add(1, Ordering::Relaxed)` -> `count`,
+/// `ENABLED.store(x, Ordering::SeqCst)` -> `ENABLED`,
+/// `self.buckets[i].fetch_add(..)` -> `buckets`.
+fn atomic_receiver_field(toks: &[Token], ordering_idx: usize) -> Option<String> {
+    // Find the `(` that opens the call this Ordering argument belongs to.
+    let mut depth = 0i32;
+    let mut j = ordering_idx;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        match &toks[j].tok {
+            Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            Tok::Punct(';') | Tok::Punct('{') if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    // toks[j] is the call-open `(`; before it: method ident, then `.`, then
+    // the receiver (ident, or `]` closing an index expression).
+    if j < 3 {
+        return None;
+    }
+    let method = toks[j - 1].ident()?;
+    let _ = method;
+    if !toks[j - 2].is_punct('.') {
+        return None;
+    }
+    let mut k = j - 3;
+    if toks[k].is_punct(']') {
+        // Skip the balanced `[...]` of an indexed receiver.
+        let mut d = 1i32;
+        loop {
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+            match &toks[k].tok {
+                Tok::Punct(']') => d += 1,
+                Tok::Punct('[') => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    toks[k].ident().map(|s| s.to_string())
+}
+
+/// Scan an `if`/`while`/`match` head from `start` to its opening `{` at
+/// delimiter depth 0. Returns (condition-is-rank-dependent, guards bound by
+/// an `if let ... = x.lock()` head, index of the `{`).
+fn scan_condition(toks: &[Token], start: usize) -> (bool, Vec<Guard>, usize) {
+    let mut depth = 0i32;
+    let mut rank = false;
+    let mut j = start;
+    let mut is_let = false;
+    let mut last_pat_ident: Option<(String, usize)> = None;
+    let mut seen_eq = false;
+    let mut acquires = false;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('{') if depth == 0 => break,
+            Tok::Punct(';') if depth == 0 => break,
+            Tok::Punct('=') if depth == 0 => seen_eq = true,
+            Tok::Ident(s) => {
+                if s == "let" && j == start {
+                    is_let = true;
+                } else if RANK_IDENTS.contains(&s.as_str()) {
+                    rank = true;
+                }
+                if is_let && !seen_eq && s != "let" && s != "mut" {
+                    last_pat_ident = Some((s.clone(), toks[j].line));
+                }
+                if seen_eq && is_lock_acquisition(toks, j) {
+                    acquires = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let guards = match (acquires, last_pat_ident) {
+        (true, Some((name, line))) => vec![Guard { name, line }],
+        _ => Vec::new(),
+    };
+    (rank, guards, j)
+}
+
+/// Is the ident at `j` a lock-acquisition method call (`.lock(...)`,
+/// `.read()`, `.write()`, `try_*` variants)? `read`/`write` must be
+/// zero-argument so `io::Read::read(&mut buf)` never matches.
+fn is_lock_acquisition(toks: &[Token], j: usize) -> bool {
+    if j == 0 || !toks[j - 1].is_punct('.') {
+        return false;
+    }
+    let Some(name) = toks[j].ident() else {
+        return false;
+    };
+    if LOCK_METHODS.contains(&name) {
+        return toks.get(j + 1).is_some_and(|t| t.is_punct('('));
+    }
+    if RW_METHODS.contains(&name) {
+        return toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(')'));
+    }
+    false
+}
+
+/// Scan a `let` statement starting at the `let` token; return a Guard if it
+/// binds a lock guard to a name. The acquisition must be the tail of the
+/// initialiser (optionally followed by `.unwrap()` / `.expect(..)` / `?`) so
+/// `let n = m.lock().len();` — where the guard is a temporary — is not
+/// tracked.
+fn scan_let_guard(toks: &[Token], let_idx: usize) -> Option<Guard> {
+    let mut depth = 0i32;
+    let mut j = let_idx + 1;
+    let mut seen_eq = false;
+    let mut name: Option<(String, usize)> = None;
+    let mut acq_idx: Option<usize> = None;
+    let limit = (let_idx + 240).min(toks.len());
+    while j < limit {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(';') if depth == 0 => break,
+            Tok::Punct('=') if depth == 0 && !toks[j].is_op("=>") => seen_eq = true,
+            Tok::Ident(s) => {
+                if !seen_eq {
+                    if depth == 0 && s != "mut" && name.is_none() {
+                        // First depth-0 ident is the binding for plain
+                        // patterns; tuple/struct patterns take the first.
+                        let is_type_pos = toks[let_idx + 1..j]
+                            .iter()
+                            .any(|t| t.is_punct(':') && !t.is_op("::"));
+                        if !is_type_pos {
+                            name = Some((s.clone(), toks[j].line));
+                        }
+                    }
+                } else if is_lock_acquisition(toks, j) {
+                    acq_idx = Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let (name, line) = name?;
+    let acq = acq_idx?;
+    // Verify the tail after the acquisition call is only unwrap/expect/`?`.
+    let mut k = acq + 1; // at `(`
+    let mut d = 0i32;
+    while k < j {
+        match &toks[k].tok {
+            Tok::Punct('(') => d += 1,
+            Tok::Punct(')') => {
+                d -= 1;
+                if d == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    while k < j {
+        match &toks[k].tok {
+            Tok::Punct('?') => k += 1,
+            Tok::Punct('.') => {
+                let m = toks.get(k + 1).and_then(|t| t.ident());
+                if m == Some("unwrap") || m == Some("expect") {
+                    // Skip `.unwrap()` / `.expect(<args>)`.
+                    k += 2;
+                    let mut dd = 0i32;
+                    while k < j {
+                        match &toks[k].tok {
+                            Tok::Punct('(') => dd += 1,
+                            Tok::Punct(')') => {
+                                dd -= 1;
+                                if dd == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                } else {
+                    return None; // guard is consumed by a further call
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(Guard { name, line })
+}
+
+fn has_annotation(lexed: &Lexed, line: usize, stmt_start_line: usize, needle: &str) -> bool {
+    annotation_mentions(lexed, line, stmt_start_line, needle)
+}
+
+/// Does the comment adjacent to `line` (or to the statement's first line,
+/// for calls rustfmt split across lines) contain `needle`?
+fn annotation_mentions(lexed: &Lexed, line: usize, stmt_start_line: usize, needle: &str) -> bool {
+    let check = |l: usize| lexed.annotation_text(l).is_some_and(|c| c.contains(needle));
+    check(line) || (stmt_start_line != line && check(stmt_start_line))
+}

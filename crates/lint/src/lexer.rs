@@ -1,0 +1,364 @@
+//! A hand-rolled Rust lexer: just enough token structure for the rule engine.
+//!
+//! The lexer deliberately does not try to be a full Rust grammar. It produces
+//! a flat token stream (identifiers, punctuation, a few multi-char operators)
+//! with line numbers, plus a side table of line comments so the rules can
+//! check for justification annotations (`// ordering: ...`,
+//! `// lint: <tag> — <why>`). String/char/byte literals, lifetimes, block
+//! comments and numbers are consumed correctly (so braces inside a format
+//! string never unbalance the scope tracker) but carry no payload.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// One lexical token. `Lit` covers string/char/byte/numeric literals whose
+/// content the rules never inspect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    /// Single-character punctuation: `{ } ( ) [ ] . , ; # ! & | = < > ...`
+    Punct(char),
+    /// Multi-character operators the rules care about: `::`, `->`, `=>`.
+    Op(&'static str),
+    Lit,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.tok, Tok::Punct(p) if p == c)
+    }
+
+    pub fn is_op(&self, s: &str) -> bool {
+        matches!(self.tok, Tok::Op(o) if o == s)
+    }
+}
+
+/// Lexer output: the token stream plus the comment side tables used for
+/// annotation lookup.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// line -> concatenated text of every `//` comment starting on that line.
+    pub comments: BTreeMap<usize, String>,
+    /// Lines that contain at least one non-comment token (so a comment line
+    /// can be distinguished from a trailing comment).
+    pub code_lines: HashSet<usize>,
+}
+
+impl Lexed {
+    /// The justification comment attached to `line`: a trailing comment on
+    /// the same line, or the comment block immediately above it (walking up
+    /// through consecutive comment-only lines).
+    pub fn annotation_text(&self, line: usize) -> Option<String> {
+        if let Some(c) = self.comments.get(&line) {
+            return Some(c.clone());
+        }
+        // Walk upwards through comment-only lines.
+        let mut l = line;
+        let mut collected: Vec<&str> = Vec::new();
+        while l > 1 {
+            l -= 1;
+            match self.comments.get(&l) {
+                Some(c) if !self.code_lines.contains(&l) => collected.push(c.as_str()),
+                _ => break,
+            }
+        }
+        if collected.is_empty() {
+            None
+        } else {
+            collected.reverse();
+            Some(collected.join(" "))
+        }
+    }
+}
+
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    let mut code_lines = HashSet::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($tok:expr) => {{
+            code_lines.insert(line);
+            tokens.push(Token { tok: $tok, line });
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments). Record its text.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let entry = comments.entry(line).or_default();
+                if !entry.is_empty() {
+                    entry.push(' ');
+                }
+                entry.push_str(text);
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = consume_string(bytes, i, &mut line);
+                push!(Tok::Lit);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = consume_prefixed_string(bytes, i, &mut line);
+                push!(Tok::Lit);
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if is_lifetime(bytes, i) {
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                    push!(Tok::Lit);
+                } else {
+                    i = consume_char_literal(bytes, i);
+                    push!(Tok::Lit);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (is_ident_char(bytes[i]) || bytes[i] == b'.') {
+                    // Stop a float scan from eating a method call: `1.max(2)`.
+                    if bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| !b.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                push!(Tok::Lit);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                push!(Tok::Ident(source[start..i].to_string()));
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                push!(Tok::Op("::"));
+                i += 2;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                push!(Tok::Op("->"));
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'>') => {
+                push!(Tok::Op("=>"));
+                i += 2;
+            }
+            c => {
+                push!(Tok::Punct(c));
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        tokens,
+        comments,
+        code_lines,
+    }
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b == b'_' || (b as char).is_alphanumeric()
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    // A plain `b"..."` (no `r`) is also a prefixed string.
+    j < bytes.len() && bytes[j] == b'"' && j > i
+}
+
+fn consume_prefixed_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+        i += 1; // opening quote
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+            }
+            if bytes[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0;
+                while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                    j += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        consume_string(bytes, i, line)
+    }
+}
+
+fn consume_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn consume_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if i < bytes.len() && bytes[i] == b'\\' {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    // Multi-byte chars ('é'): scan to the closing quote defensively.
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    i + 1
+}
+
+/// `'a` (lifetime) vs `'a'` (char literal): a lifetime's ident is not
+/// followed by a closing quote.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= bytes.len() || bytes[j] == b'\\' {
+        return false;
+    }
+    if !is_ident_char(bytes[j]) {
+        return false;
+    }
+    while j < bytes.len() && is_ident_char(bytes[j]) {
+        j += 1;
+    }
+    j >= bytes.len() || bytes[j] != b'\''
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        let src = r##"let s = "if rank { }"; let c = '{'; let l: &'static str = r#"x " y"#;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"rank".to_string()));
+        let braces = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.is_punct('{') || t.is_punct('}'))
+            .count();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn trailing_and_preceding_annotations_resolve() {
+        let src = "// lint: panic-ok — startup\nfoo.unwrap(); // ordering: hot path\n";
+        let lexed = lex(src);
+        assert!(lexed.annotation_text(2).unwrap().contains("ordering:"));
+        // Line 2's own trailing comment wins, but a bare line 3 would see it.
+        let src2 = "// lint: panic-ok — startup\nfoo.unwrap();\n";
+        let lexed2 = lex(src2);
+        assert!(lexed2.annotation_text(2).unwrap().contains("panic-ok"));
+    }
+
+    #[test]
+    fn float_literal_does_not_eat_method_call() {
+        let ids = idents("let x = 1.5; let y = 2.max(3);");
+        assert!(ids.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        let braces = lex("fn f<'a>(x: &'a str) { }")
+            .tokens
+            .iter()
+            .filter(|t| t.is_punct('{'))
+            .count();
+        assert_eq!(braces, 1);
+    }
+}

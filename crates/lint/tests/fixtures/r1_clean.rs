@@ -1,0 +1,30 @@
+// R1 must-not-trigger fixtures. (Lint corpus, never compiled.)
+
+pub fn payload_asymmetry_only(ctx: &Ctx) {
+    // The rank-dependent part computes the payload; the collective itself is
+    // reached by every rank.
+    let payload = if ctx.rank() == 0 { Some(compute()) } else { None };
+    let roots = ctx.broadcast(0, payload);
+    use_roots(roots);
+}
+
+pub fn annotated(ctx: &Ctx) {
+    if ctx.is_root() {
+        // lint: rank-asymmetric — coordinator-only trace drain; workers are
+        // parked in recv and never enter this path
+        ctx.export_trace(path);
+    }
+}
+
+pub fn non_rank_condition(ctx: &Ctx, ready: bool) {
+    if ready {
+        ctx.barrier(); // every rank computes `ready` identically
+    }
+}
+
+pub fn after_rank_branch(ctx: &Ctx) {
+    if ctx.rank() == 0 {
+        log_header();
+    }
+    ctx.allgatherv(vec![1u64]); // sibling statement, not inside the branch
+}

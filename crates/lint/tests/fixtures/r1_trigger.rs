@@ -1,0 +1,33 @@
+// R1 must-trigger fixtures: collectives reachable only under rank-dependent
+// control flow. (This file is a lint corpus, never compiled.)
+
+pub fn direct_branch(ctx: &Ctx) {
+    if ctx.rank() == 0 {
+        ctx.allreduce_sum_u64(&[1]); // finding: rank-conditional allreduce
+    }
+}
+
+pub fn else_branch(ctx: &Ctx) {
+    if ctx.rank() == 0 {
+        prepare();
+    } else {
+        ctx.barrier(); // finding: the else of a rank test is rank-dependent too
+    }
+}
+
+pub fn match_on_rank(ctx: &Ctx) {
+    match ctx.rank() {
+        0 => {
+            ctx.broadcast::<u64>(0, Some(1)); // finding: turbofish form still detected
+        }
+        _ => {}
+    }
+}
+
+pub fn nested(ctx: &Ctx, ready: bool) {
+    if is_coordinator(ctx) {
+        if ready {
+            ctx.export_flight(path, "done"); // finding: inherited rank-dependence
+        }
+    }
+}

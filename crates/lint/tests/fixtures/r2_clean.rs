@@ -1,0 +1,27 @@
+// R2 must-not-trigger fixtures. (Lint corpus, never compiled.)
+
+pub fn justified_relaxed(c: &Counter) {
+    c.hits.fetch_add(1, Ordering::Relaxed); // ordering: monotonic counter; no cross-field sync
+}
+
+pub fn acquire_release_pair(e: &Epoch) {
+    // Acquire/Release need no per-site comment (the pairing is the idiom);
+    // they only participate in mixed-class detection.
+    e.epoch.store(1, Ordering::Release);
+    let _ = e.epoch.load(Ordering::Acquire);
+}
+
+pub fn acknowledged_mixed(f: &Flag) {
+    f.flag.store(true, Ordering::SeqCst); // ordering: mixed — SeqCst store fences the slow path, Relaxed poll is advisory
+    let _ = f.flag.load(Ordering::Relaxed); // ordering: advisory poll
+}
+
+pub fn cmp_ordering_is_not_atomic(a: i32, b: i32) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+pub fn comment_above_split_call(c: &Counter) {
+    // ordering: monotonic counter; statement split across lines by rustfmt
+    c.long_named_field_for_wrapping
+        .fetch_add(1, Ordering::Relaxed);
+}

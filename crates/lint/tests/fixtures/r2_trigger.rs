@@ -1,0 +1,19 @@
+// R2 must-trigger fixtures. (Lint corpus, never compiled.)
+
+pub fn unjustified_relaxed(c: &Counter) {
+    c.hits.fetch_add(1, Ordering::Relaxed); // finding: justification comment absent
+}
+
+pub struct Flag {
+    flag: AtomicBool,
+}
+
+impl Flag {
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::SeqCst); // finding: unjustified SeqCst
+    }
+
+    pub fn get(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) // finding: unjustified + mixed classes on `flag`
+    }
+}

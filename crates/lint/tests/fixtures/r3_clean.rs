@@ -1,0 +1,37 @@
+// R3 must-not-trigger fixtures. (Lint corpus, never compiled.)
+
+pub fn dropped_before(ctx: &Ctx, m: &Mutex<u64>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    ctx.barrier();
+    let _ = v;
+}
+
+pub fn scoped_out(ctx: &Ctx, m: &Mutex<u64>) {
+    {
+        let g = m.lock();
+        consume(*g);
+    }
+    ctx.allreduce_sum_u64(&[1]);
+}
+
+pub fn temporary_guard(ctx: &Ctx, m: &Mutex<Vec<u64>>) {
+    // The guard here is a temporary dropped at the end of the statement; the
+    // binding holds the *length*, not the lock.
+    let len = m.lock().len();
+    ctx.barrier();
+    let _ = len;
+}
+
+pub fn channel_send_is_not_transport(m: &Mutex<u64>, tx: &Sender<u64>) {
+    let g = m.lock();
+    tx.send(*g).ok(); // mpsc send: receiver is not a transport
+}
+
+pub fn io_read_is_not_a_lock(ctx: &Ctx, f: &mut File) {
+    let mut buf = [0u8; 8];
+    let n = f.read(&mut buf); // io::Read::read takes an argument: not a guard
+    ctx.barrier();
+    let _ = n;
+}

@@ -1,0 +1,23 @@
+// R3 must-trigger fixtures. (Lint corpus, never compiled.)
+
+pub fn mutex_across_barrier(ctx: &Ctx, m: &Mutex<u64>) {
+    let g = m.lock();
+    ctx.barrier(); // finding: `g` still live
+    drop(g);
+}
+
+pub fn rwlock_read_across_collective(ctx: &Ctx, l: &RwLock<u64>) {
+    let stats = l.read();
+    let _ = ctx.allgather(*stats); // finding: `stats` guard live
+}
+
+pub fn guard_across_transport_send(m: &Mutex<u64>, transport: &T) {
+    let g = m.lock().unwrap();
+    transport.send(1, frame(*g)); // finding: guard live across wire op
+}
+
+pub fn if_let_guard(ctx: &Ctx, m: &Mutex<u64>) {
+    if let Some(g) = m.try_lock() {
+        ctx.exscan_sum_u64(*g); // finding: guard bound by the if-let head
+    }
+}

@@ -1,0 +1,17 @@
+// R4 must-not-trigger fixtures (linted under a deterministic-path prefix).
+// (Lint corpus, never compiled.)
+
+pub fn annotated_telemetry() -> Instant {
+    // lint: nondeterministic-ok — timing telemetry only; no algorithmic read
+    Instant::now()
+}
+
+pub fn seeded_rng(seed: u64, parts: &mut [i32]) {
+    // Seeded generators are the deterministic idiom — not flagged.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    parts[0] = rng.gen_range(0..4);
+}
+
+pub fn instant_as_type(t: Instant) -> Instant {
+    t // mentioning the type is fine; only `::now()` is ambient
+}

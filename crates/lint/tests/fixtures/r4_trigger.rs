@@ -1,0 +1,15 @@
+// R4 must-trigger fixtures (linted under a deterministic-path prefix).
+// (Lint corpus, never compiled.)
+
+pub fn wall_clock() -> Instant {
+    Instant::now() // finding: wall clock in a bit-identical path
+}
+
+pub fn system_time() -> u64 {
+    SystemTime::now().elapsed().as_nanos() as u64 // finding
+}
+
+pub fn ambient_rng(parts: &mut [i32]) {
+    let mut rng = rand::thread_rng(); // finding: ambient randomness
+    parts[0] = rng.gen_range(0..4);
+}

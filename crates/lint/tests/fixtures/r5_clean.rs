@@ -1,0 +1,29 @@
+// R5 must-not-trigger fixtures. (Lint corpus, never compiled.)
+
+pub fn typed_parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn annotated(v: &[u64]) -> u64 {
+    *v.first().expect("nonempty") // lint: panic-ok — caller validated len above
+}
+
+pub fn checked_peer_access(recv_counts: &[usize], r: usize) -> Option<usize> {
+    recv_counts.get(r).copied()
+}
+
+pub fn annotated_peer_index(recv_counts: &[usize], r: usize) -> usize {
+    recv_counts[r] // lint: checked-index — r < nranks validated at rendezvous
+}
+
+pub fn local_index_ok(part_sizes: &[usize], p: usize) -> usize {
+    part_sizes[p] // locally-owned buffer: not peer data
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_fine_in_tests() {
+        super::typed_parse("7").unwrap();
+    }
+}

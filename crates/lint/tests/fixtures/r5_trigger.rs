@@ -1,0 +1,14 @@
+// R5 must-trigger fixtures (linted as library code). (Lint corpus, never
+// compiled.)
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap() // finding: unwrap in library code
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("nonempty") // finding: expect in library code
+}
+
+pub fn peer_offset(recv_counts: &[usize], r: usize) -> usize {
+    recv_counts[r] // finding: unchecked index into peer-supplied buffer
+}

@@ -1,0 +1,106 @@
+//! The self-run gate: the workspace must be clean against the committed
+//! `lint-allow.toml`, and the baseline must follow policy (R5-only —
+//! R1–R4 findings are fixed or annotated inline, never baselined).
+
+use std::path::PathBuf;
+use xtrapulp_lint::{allow, apply_allowlist, lint_workspace, Rule};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_clean_against_baseline() {
+    let root = workspace_root();
+    let (findings, files) = lint_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        files.len() > 50,
+        "scan looks truncated: only {} files",
+        files.len()
+    );
+    let baseline = std::fs::read_to_string(root.join("lint-allow.toml"))
+        .expect("committed lint-allow.toml exists");
+    let entries = allow::parse(&baseline).expect("committed baseline parses");
+    let applied = apply_allowlist(findings, &entries);
+    assert!(
+        applied.unsuppressed.is_empty(),
+        "workspace has unsuppressed lint findings:\n{}",
+        applied
+            .unsuppressed
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        applied.unused_entries.is_empty(),
+        "stale lint-allow.toml entries (remove them): {:?}",
+        applied
+            .unused_entries
+            .iter()
+            .map(|e| format!("{} {}", e.rule.id(), e.path))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn baseline_contains_only_r5_entries() {
+    let root = workspace_root();
+    let baseline = std::fs::read_to_string(root.join("lint-allow.toml"))
+        .expect("committed lint-allow.toml exists");
+    let entries = allow::parse(&baseline).expect("committed baseline parses");
+    for e in &entries {
+        assert_eq!(
+            e.rule,
+            Rule::R5PanicHygiene,
+            "policy: only R5 panic-hygiene may be baselined; {} findings in {} \
+             must be fixed or annotated inline",
+            e.rule.id(),
+            e.path
+        );
+    }
+}
+
+#[test]
+fn scratch_violation_fails_the_bin() {
+    // Acceptance drill: drop a rank-conditional allreduce and an unjustified
+    // Ordering::Relaxed into a scratch workspace; the tool must exit non-zero
+    // naming file, line and rule.
+    let dir = std::env::temp_dir().join(format!("xtrapulp-lint-scratch-{}", std::process::id()));
+    let src = dir.join("crates/scratch/src");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(ctx: &Ctx, c: &C) {\n\
+         \x20   if ctx.rank() == 0 {\n\
+         \x20       ctx.allreduce_sum_u64(&[1]);\n\
+         \x20   }\n\
+         \x20   c.n.fetch_add(1, Ordering::Relaxed);\n\
+         }\n",
+    )
+    .expect("scratch file");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtrapulp-lint"))
+        .args(["--root", dir.to_str().expect("utf8 tmp path"), "--no-allow"])
+        .output()
+        .expect("lint bin runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "expected non-zero exit, got {:?}\n{stdout}",
+        out.status
+    );
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(
+        stdout.contains("crates/scratch/src/lib.rs:3: R1(collective-symmetry)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/scratch/src/lib.rs:5: R2(atomic-ordering)"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -46,7 +46,7 @@ impl MetricsServer {
 
     /// Stop the listener thread and wait for it to exit.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Relaxed); // ordering: shutdown flag; accept loop polls it, no data is published through it
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -60,7 +60,8 @@ impl Drop for MetricsServer {
 }
 
 fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+    // ordering: shutdown flag poll; one extra accept iteration is harmless
+    while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Serve inline: scrapes are rare and tiny, a thread per

@@ -65,9 +65,9 @@ impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // The bucket array is huge and mostly zero; summarise instead.
         f.debug_struct("Histogram")
-            .field("count", &self.count.load(Ordering::Relaxed))
-            .field("sum", &self.sum.load(Ordering::Relaxed))
-            .field("max", &self.max.load(Ordering::Relaxed))
+            .field("count", &self.count.load(Ordering::Relaxed)) // ordering: stat read; snapshots tolerate cross-cell lag
+            .field("sum", &self.sum.load(Ordering::Relaxed)) // ordering: stat read; snapshots tolerate cross-cell lag
+            .field("max", &self.max.load(Ordering::Relaxed)) // ordering: stat read; snapshots tolerate cross-cell lag
             .finish_non_exhaustive()
     }
 }
@@ -87,10 +87,10 @@ impl Histogram {
     /// `fetch_max`.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.sum.fetch_add(value, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
+        self.max.fetch_max(value, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     /// Record a duration in nanoseconds (saturating at `u64::MAX`).
@@ -101,7 +101,7 @@ impl Histogram {
 
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 
     /// Take a consistent-enough snapshot for reporting. Concurrent recording
@@ -111,13 +111,13 @@ impl Histogram {
         let buckets: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // ordering: stat read; snapshots tolerate cross-cell lag
             .collect();
         HistogramSnapshot {
             buckets,
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed), // ordering: stat read; snapshots tolerate cross-cell lag
+            sum: self.sum.load(Ordering::Relaxed), // ordering: stat read; snapshots tolerate cross-cell lag
+            max: self.max.load(Ordering::Relaxed), // ordering: stat read; snapshots tolerate cross-cell lag
         }
     }
 
@@ -125,11 +125,11 @@ impl Histogram {
     /// recorders; intended for tests and between benchmark phases.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: plain publish; readers only need eventual visibility
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ordering: plain publish; readers only need eventual visibility
+        self.sum.store(0, Ordering::Relaxed); // ordering: plain publish; readers only need eventual visibility
+        self.max.store(0, Ordering::Relaxed); // ordering: plain publish; readers only need eventual visibility
     }
 }
 

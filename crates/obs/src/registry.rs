@@ -25,16 +25,16 @@ pub struct Counter(Arc<AtomicU64>);
 impl Counter {
     #[inline]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 }
 
@@ -45,11 +45,11 @@ pub struct Gauge(Arc<AtomicU64>);
 impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        self.0.store(v.to_bits(), Ordering::Relaxed); // ordering: plain publish; readers only need eventual visibility
     }
 
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.load(Ordering::Relaxed)) // ordering: stat read; snapshots tolerate cross-cell lag
     }
 }
 

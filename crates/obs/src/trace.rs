@@ -24,13 +24,13 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Turn tracing on or off process-wide. Spans already open keep their guard
 /// and still record their end event, so B/E pairs stay balanced.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+    ENABLED.store(on, Ordering::Relaxed); // ordering: advisory gate; in-flight span sites may see the old value for one event
 }
 
 /// The one relaxed load every instrumentation site pays when tracing is off.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) // ordering: hot-path gate (~2.3ns); correctness never depends on observing a toggle promptly
 }
 
 fn anchor() -> Instant {
@@ -181,7 +181,7 @@ fn local_buffer<R>(f: impl FnOnce(&ThreadBuffer) -> R) -> R {
 /// flight recorder's per-thread rank label is set here too, so one call
 /// covers both planes.
 pub fn set_thread_rank(rank: usize) {
-    local_buffer(|b| b.rank.store(rank as i64, Ordering::Relaxed));
+    local_buffer(|b| b.rank.store(rank as i64, Ordering::Relaxed)); // ordering: label written by owner thread; drain reads it after the registry mutex
     crate::flight::set_thread_rank(rank);
 }
 
@@ -302,7 +302,7 @@ pub fn drain() -> Vec<ThreadTrace> {
         if events.is_empty() && dropped == 0 {
             continue;
         }
-        let rank = buf.rank.load(Ordering::Relaxed);
+        let rank = buf.rank.load(Ordering::Relaxed); // ordering: label read under the registry mutex that ordered the store
         out.push(ThreadTrace {
             rank: u32::try_from(rank).ok(),
             thread: buf.thread.clone(),

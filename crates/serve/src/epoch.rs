@@ -104,7 +104,7 @@ impl EpochStore {
 
     /// The latest published epoch (wait-free).
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.epoch.load(Ordering::Acquire) // ordering: pairs with the Release publish; epoch k implies snapshot k is visible
     }
 
     /// The latest published snapshot. Cheap: a shared lock and an `Arc` clone — the
@@ -147,7 +147,7 @@ impl EpochStore {
         let log = self.delta_log.read();
         // The epoch counter is only bumped while the log's write lock is held, so the
         // pair read here is consistent.
-        let to = self.epoch.load(Ordering::Acquire);
+        let to = self.epoch.load(Ordering::Acquire); // ordering: pairs with the Release publish
         chain_deltas(&log, epoch, to)
     }
 
@@ -198,7 +198,7 @@ impl EpochStore {
             *previous = Some(displaced);
             // The epoch counter is bumped while the write lock is still held, so a
             // reader that saw the new counter can never read the *older* snapshot.
-            self.epoch.store(published.epoch, Ordering::Release);
+            self.epoch.store(published.epoch, Ordering::Release); // ordering: Release-publishes the snapshot installed above
         }
         let mut latest = self
             .publish_mutex

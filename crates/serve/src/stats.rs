@@ -34,15 +34,15 @@ pub(crate) struct StatsCells {
 
 impl StatsCells {
     pub(crate) fn add(&self, cell: &AtomicU64, value: u64) {
-        cell.fetch_add(value, Ordering::Relaxed);
+        cell.fetch_add(value, Ordering::Relaxed); // ordering: independent wait-free counter bump; no cross-field sync
     }
 
     pub(crate) fn set(&self, cell: &AtomicU64, value: u64) {
-        cell.store(value, Ordering::Relaxed);
+        cell.store(value, Ordering::Relaxed); // ordering: gauge publish; stats readers accept a stale value
     }
 
     pub(crate) fn snapshot(&self, queue_depth_ops: u64, queue_depth_batches: u64) -> ServeStats {
-        let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed); // ordering: stats snapshot; fields may be mutually torn, documented on ServeStats
         let publish = self.publish_nanos.snapshot();
         let ingest = self.ingest_to_publish_nanos.snapshot();
         ServeStats {

@@ -47,6 +47,7 @@ fn main() {
             std::thread::spawn(move || {
                 let mut reads = 0u64;
                 let mut checksum = 0i64;
+                // ordering: stop-flag poll; an extra read iteration is harmless
                 while !stop.load(Ordering::Relaxed) {
                     let snapshot = store.current();
                     for v in 0..256u64 {
@@ -92,7 +93,7 @@ fn main() {
         );
     }
 
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed); // ordering: stop flag; reader threads poll it, join() is the real barrier
     for reader in readers {
         let (r, reads, _) = reader.join().expect("reader thread");
         println!("reader {r}: {reads} part queries against live epochs");
